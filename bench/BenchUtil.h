@@ -1,0 +1,96 @@
+//===- BenchUtil.h - Shared benchmark-harness helpers -----------*- C++ -*-===//
+///
+/// \file
+/// Common plumbing for the table-regenerating benchmark binaries: building
+/// a fresh pipeline for a preset, timing one analysis phase, and measuring
+/// the points-to storage it allocates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_BENCH_BENCHUTIL_H
+#define VSFS_BENCH_BENCHUTIL_H
+
+#include "core/AnalysisContext.h"
+#include "core/FlowSensitive.h"
+#include "core/IterativeFlowSensitive.h"
+#include "core/VersionedFlowSensitive.h"
+#include "support/Format.h"
+#include "support/MemUsage.h"
+#include "support/Timer.h"
+#include "workload/BenchmarkSuite.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace vsfs {
+namespace bench {
+
+/// Builds the full pipeline for a preset (fresh module each call so repeat
+/// runs and different analyses never share mutable state).
+inline std::unique_ptr<core::AnalysisContext>
+buildPipeline(const workload::BenchSpec &Spec,
+              bool ConnectAuxIndirectCalls = false) {
+  auto Module = workload::generateProgram(Spec.Config);
+  auto Ctx = std::make_unique<core::AnalysisContext>();
+  Ctx->module() = std::move(*Module);
+  Ctx->build(ConnectAuxIndirectCalls);
+  return Ctx;
+}
+
+/// Result of timing one analysis phase.
+struct PhaseResult {
+  double Seconds = 0;
+  /// Peak growth of live points-to storage during the phase (bytes).
+  uint64_t PtsBytes = 0;
+};
+
+/// Times \p Phase and measures the points-to storage it allocates on top of
+/// what was live when it started (the pre-analyses' sets are excluded, so
+/// SFS and VSFS main phases are compared on their own storage).
+template <typename PhaseFn> PhaseResult measurePhase(PhaseFn Phase) {
+  PhaseResult R;
+  uint64_t LiveBefore = PointsToBytes::live();
+  PointsToBytes::resetPeak();
+  Timer T;
+  Phase();
+  R.Seconds = T.seconds();
+  uint64_t Peak = PointsToBytes::peak();
+  R.PtsBytes = Peak > LiveBefore ? Peak - LiveBefore : 0;
+  return R;
+}
+
+/// Parses the common flags: --quick (8-benchmark tier), --runs N,
+/// --bench NAME (single benchmark). Returns the selected suite.
+inline std::vector<workload::BenchSpec>
+parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs) {
+  std::vector<workload::BenchSpec> Suite = workload::benchmarkSuite();
+  Runs = 1;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--quick") {
+      Suite = workload::quickSuite();
+    } else if (Arg == "--runs" && I + 1 < Argc) {
+      Runs = static_cast<uint32_t>(std::atoi(Argv[++I]));
+      if (Runs == 0)
+        Runs = 1;
+    } else if (Arg == "--bench" && I + 1 < Argc) {
+      workload::BenchSpec S;
+      if (workload::findBenchmark(Argv[++I], S)) {
+        Suite = {S};
+      } else {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", Argv[I]);
+        Suite.clear();
+      }
+    } else if (Arg == "--help") {
+      std::printf("usage: %s [--quick] [--runs N] [--bench NAME]\n", Argv[0]);
+      Suite.clear();
+    }
+  }
+  return Suite;
+}
+
+} // namespace bench
+} // namespace vsfs
+
+#endif // VSFS_BENCH_BENCHUTIL_H

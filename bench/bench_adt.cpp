@@ -1,0 +1,138 @@
+//===- bench_adt.cpp - SparseBitVector micro-benchmarks ---------*- C++ -*-===//
+///
+/// Design-choice ablation (google-benchmark): the sparse bit vector is the
+/// points-to set *and* the meld-label representation (§V-B notes the data
+/// structure choice matters and that LLVM's SparseBitVector was used
+/// off-the-shelf). These microbenches measure the operations the analyses
+/// lean on: set/test, union (points-to propagation and melding), the
+/// difference used by strong updates, iteration, and the hashing that backs
+/// version interning.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/SparseBitVector.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using vsfs::adt::SparseBitVector;
+
+namespace {
+
+/// A set of \p N elements drawn from [0, Universe): density varies with
+/// the benchmark argument, like small vs. large points-to sets.
+SparseBitVector randomSet(std::mt19937 &Rng, uint32_t N, uint32_t Universe) {
+  SparseBitVector S;
+  for (uint32_t I = 0; I < N; ++I)
+    S.set(Rng() % Universe);
+  return S;
+}
+
+void BM_Set(benchmark::State &State) {
+  std::mt19937 Rng(7);
+  const uint32_t Universe = static_cast<uint32_t>(State.range(0));
+  std::vector<uint32_t> Values(1024);
+  for (auto &V : Values)
+    V = Rng() % Universe;
+  for (auto _ : State) {
+    SparseBitVector S;
+    for (uint32_t V : Values)
+      benchmark::DoNotOptimize(S.set(V));
+  }
+  State.SetItemsProcessed(State.iterations() * Values.size());
+}
+BENCHMARK(BM_Set)->Arg(256)->Arg(4096)->Arg(1 << 20);
+
+void BM_Test(benchmark::State &State) {
+  std::mt19937 Rng(11);
+  const uint32_t Universe = static_cast<uint32_t>(State.range(0));
+  SparseBitVector S = randomSet(Rng, 512, Universe);
+  std::vector<uint32_t> Probes(1024);
+  for (auto &V : Probes)
+    V = Rng() % Universe;
+  for (auto _ : State)
+    for (uint32_t V : Probes)
+      benchmark::DoNotOptimize(S.test(V));
+  State.SetItemsProcessed(State.iterations() * Probes.size());
+}
+BENCHMARK(BM_Test)->Arg(4096)->Arg(1 << 20);
+
+void BM_UnionDisjoint(benchmark::State &State) {
+  std::mt19937 Rng(13);
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  SparseBitVector A = randomSet(Rng, N, 1 << 20);
+  SparseBitVector B = randomSet(Rng, N, 1 << 20);
+  for (auto _ : State) {
+    SparseBitVector C = A;
+    benchmark::DoNotOptimize(C.unionWith(B));
+  }
+}
+BENCHMARK(BM_UnionDisjoint)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_UnionSubset(benchmark::State &State) {
+  // The steady-state fixpoint case: the union changes nothing.
+  std::mt19937 Rng(17);
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  SparseBitVector A = randomSet(Rng, N, 1 << 20);
+  SparseBitVector B = A;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.unionWith(B));
+}
+BENCHMARK(BM_UnionSubset)->Arg(256)->Arg(4096);
+
+void BM_IntersectWithComplement(benchmark::State &State) {
+  // Strong updates: IN - KILL.
+  std::mt19937 Rng(19);
+  const uint32_t N = static_cast<uint32_t>(State.range(0));
+  SparseBitVector A = randomSet(Rng, N, 1 << 16);
+  SparseBitVector Kill = randomSet(Rng, N / 4, 1 << 16);
+  for (auto _ : State) {
+    SparseBitVector C = A;
+    benchmark::DoNotOptimize(C.intersectWithComplement(Kill));
+  }
+}
+BENCHMARK(BM_IntersectWithComplement)->Arg(256)->Arg(4096);
+
+void BM_Iterate(benchmark::State &State) {
+  std::mt19937 Rng(23);
+  SparseBitVector S =
+      randomSet(Rng, static_cast<uint32_t>(State.range(0)), 1 << 20);
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (uint32_t V : S)
+      Sum += V;
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_Iterate)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HashForInterning(benchmark::State &State) {
+  // Version interning hashes one label per (node, object) position.
+  std::mt19937 Rng(29);
+  SparseBitVector S =
+      randomSet(Rng, static_cast<uint32_t>(State.range(0)), 1 << 16);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.hash());
+}
+BENCHMARK(BM_HashForInterning)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MeldLabelChain(benchmark::State &State) {
+  // Melding along a def-use chain: repeated unions of mostly-overlapping
+  // prelabel sets (object-local dense prelabel numbering keeps them tight).
+  const uint32_t Chain = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    SparseBitVector Acc;
+    for (uint32_t I = 0; I < Chain; ++I) {
+      SparseBitVector Pre;
+      Pre.set(I);
+      benchmark::DoNotOptimize(Acc.unionWith(Pre));
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Chain);
+}
+BENCHMARK(BM_MeldLabelChain)->Arg(64)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+//===- compare_analyses.cpp - All four analyses, side by side ---*- C++ -*-===//
+///
+/// Runs Andersen, the dense ICFG analysis, SFS and VSFS on one generated
+/// workload and prints a precision/performance scorecard: average
+/// points-to set size (lower = more precise), resolved call-graph edges,
+/// time, and the storage each keeps. A compact demonstration of the
+/// paper's landscape: flow-sensitivity buys precision, staging buys speed,
+/// versioning buys more speed and memory at identical precision.
+///
+/// Build & run:  ./build/examples/compare_analyses [seed]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisContext.h"
+#include "core/FlowSensitive.h"
+#include "core/IterativeFlowSensitive.h"
+#include "core/VersionedFlowSensitive.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+#include "workload/ProgramGenerator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace vsfs;
+
+namespace {
+
+double averagePtsSize(const ir::Module &M,
+                      const core::PointerAnalysisResult &A) {
+  uint64_t Total = 0, Nonempty = 0;
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V) {
+    uint32_t C = A.ptsOfVar(V).count();
+    Total += C;
+    Nonempty += C > 0;
+  }
+  return Nonempty == 0 ? 0.0 : double(Total) / double(Nonempty);
+}
+
+/// Adapts Andersen's results to the common interface for averagePtsSize.
+struct AndersenResult : core::PointerAnalysisResult {
+  andersen::Andersen &A;
+  explicit AndersenResult(andersen::Andersen &A) : A(A) {}
+  const PointsTo &ptsOfVar(ir::VarID V) const override {
+    return A.ptsOfVar(V);
+  }
+  const andersen::CallGraph &callGraph() const override {
+    return A.callGraph();
+  }
+  const StatGroup &stats() const override { return A.stats(); }
+};
+
+std::unique_ptr<core::AnalysisContext> pipeline(uint64_t Seed) {
+  workload::GenConfig C;
+  C.Seed = Seed;
+  C.NumFunctions = 16;
+  C.NumGlobals = 10;
+  C.HeapFraction = 0.5;
+  C.IndirectCallFraction = 0.25;
+  auto Ctx = std::make_unique<core::AnalysisContext>();
+  Ctx->module() = std::move(*workload::generateProgram(C));
+  Ctx->build();
+  return Ctx;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 2026;
+  std::printf("workload seed %llu\n\n", (unsigned long long)Seed);
+
+  TableWriter T({-22, 10, 12, 12, 12});
+  std::printf("%s", T.row({"analysis", "time", "avg pt size", "cg edges",
+                           "pts sets"})
+                        .c_str());
+  std::printf("%s", T.separator().c_str());
+
+  auto Row = [&T](const char *Name, double Secs, double AvgPts,
+                  uint64_t CgEdges, uint64_t Sets) {
+    std::printf("%s", T.row({Name, formatDouble(Secs, 3) + "s",
+                             formatDouble(AvgPts, 2),
+                             std::to_string(CgEdges), std::to_string(Sets)})
+                          .c_str());
+  };
+
+  // Andersen (flow-insensitive auxiliary).
+  {
+    auto Ctx = pipeline(Seed);
+    AndersenResult AR(Ctx->andersen());
+    Row("andersen", Ctx->andersenSeconds(),
+        averagePtsSize(Ctx->module(), AR),
+        Ctx->andersen().callGraph().numEdges(), 0);
+  }
+
+  // Dense ICFG data-flow (traditional flow-sensitive, §IV-A).
+  {
+    auto Ctx = pipeline(Seed);
+    core::IterativeFlowSensitive Dense(Ctx->module(), Ctx->andersen());
+    Timer Tm;
+    Dense.solve();
+    Row("dense flow-sensitive", Tm.seconds(),
+        averagePtsSize(Ctx->module(), Dense), Dense.callGraph().numEdges(),
+        Dense.numPtsSetsStored());
+  }
+
+  // SFS (staged, CGO'11 baseline).
+  {
+    auto Ctx = pipeline(Seed);
+    core::FlowSensitive SFS(Ctx->svfg());
+    Timer Tm;
+    SFS.solve();
+    Row("SFS (staged)", Tm.seconds(), averagePtsSize(Ctx->module(), SFS),
+        SFS.callGraph().numEdges(), SFS.numPtsSetsStored());
+  }
+
+  // VSFS (this paper).
+  {
+    auto Ctx = pipeline(Seed);
+    core::VersionedFlowSensitive VSFS(Ctx->svfg());
+    Timer Tm;
+    VSFS.solve();
+    Row("VSFS (versioned)", Tm.seconds(),
+        averagePtsSize(Ctx->module(), VSFS), VSFS.callGraph().numEdges(),
+        VSFS.numPtsSetsStored());
+  }
+
+  std::printf(
+      "\nreading the table:\n"
+      "  - the flow-sensitive analyses report smaller average points-to\n"
+      "    sets and fewer call-graph edges than Andersen (precision);\n"
+      "  - SFS and VSFS report identical precision (§IV-E);\n"
+      "  - VSFS stores far fewer points-to sets and runs fastest among\n"
+      "    the flow-sensitive analyses.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- meld_labelling.cpp - Figure 4 on the generic API ---------*- C++ -*-===//
+///
+/// Runs the paper's Figure 4 example through the graph-generic meld
+/// labelling of §IV-B: an 8-node digraph prelabelled with two "patterns",
+/// melded with set union. Shows that nodes 5 and 8 end with the same label
+/// despite different incoming neighbours, because equivalence comes from
+/// the *set of prelabels that reach a node*, not from shared predecessors.
+///
+/// Build & run:  ./build/examples/meld_labelling
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/SparseBitVector.h"
+#include "core/MeldLabelling.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace vsfs;
+using adt::SparseBitVector;
+
+namespace {
+
+/// Renders a label set as the paper's patterns: bit 0 = "●", bit 1 = "⊗".
+std::string pattern(const SparseBitVector &L) {
+  if (L.empty())
+    return "ε";
+  std::string Out;
+  if (L.test(0))
+    Out += "●";
+  if (L.test(1))
+    Out += "⊗";
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  // Figure 4's graph (nodes 1..8 -> ids 0..7):
+  //   1 -> 3, 2 -> 3, 3 -> 4, 4 -> 5       (1 prelabelled ●)
+  //   2 -> 6, 6 -> 7, 4 -> 7, 7 -> 8, 6 -> 8   (2 prelabelled ⊗)
+  graph::AdjacencyGraph G(8);
+  auto Edge = [&G](uint32_t A, uint32_t B) { G.addEdge(A - 1, B - 1); };
+  Edge(1, 3);
+  Edge(2, 3);
+  Edge(3, 4);
+  Edge(4, 5);
+  Edge(2, 6);
+  Edge(6, 7);
+  Edge(4, 7);
+  Edge(7, 8);
+  Edge(6, 8);
+
+  std::vector<SparseBitVector> Prelabels(8);
+  Prelabels[0].set(0); // node 1: ●
+  Prelabels[1].set(1); // node 2: ⊗
+
+  std::printf("prelabelling:\n");
+  for (uint32_t N = 0; N < 8; ++N)
+    std::printf("  node %u: %s\n", N + 1, pattern(Prelabels[N]).c_str());
+
+  // The meld operator is set union: commutative, associative, idempotent,
+  // with ε (the empty set) as identity — exactly §IV-B's requirements.
+  auto Labels = core::meldLabel(
+      G, Prelabels, [](SparseBitVector &Dst, const SparseBitVector &Src) {
+        return Dst.unionWith(Src);
+      });
+
+  std::printf("\nafter meld labelling ([MELD] to fixpoint):\n");
+  for (uint32_t N = 0; N < 8; ++N)
+    std::printf("  node %u: %s\n", N + 1, pattern(Labels[N]).c_str());
+
+  std::printf("\nnodes 5 and 8 share label %s despite different incoming\n"
+              "neighbours: the same set of prelabels reaches both — this is\n"
+              "exactly why versioned nodes can share points-to sets.\n",
+              pattern(Labels[4]).c_str());
+  return Labels[4] == Labels[7] ? 0 : 1;
+}

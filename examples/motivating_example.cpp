@@ -1,0 +1,142 @@
+//===- motivating_example.cpp - Figures 2, 5, 7 and 9 live ------*- C++ -*-===//
+///
+/// Rebuilds the paper's motivating example (§III): an SVFG fragment where
+/// object o is written by two stores and read by four loads. Prints the
+/// stages of the pre-analysis (prelabelling, melding — Figures 5/7/9) and
+/// then Figure 2b's comparison from live analysis state:
+///
+///   column 2 (SFS):   points-to sets maintained and propagations done
+///   column 3 (VSFS):  versions, shared sets, propagations done
+///
+/// Build & run:  ./build/examples/motivating_example
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisContext.h"
+#include "core/FlowSensitive.h"
+#include "core/VersionedFlowSensitive.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+using namespace vsfs;
+
+namespace {
+
+/// Figure 2a's shape: l1 stores to o; l2/l3 load o relying only on l1;
+/// a second store l2' adds to o on one path; l4/l5 load the merge.
+const char *Program = R"(
+  func @main() {
+  entry:
+    %a = alloc
+    %b = alloc
+    %o = alloc [weak]
+    %p = copy %o
+    %q = copy %o
+    %r = copy %o
+    store %a -> %p        ; l1:  pt(o) becomes {a}
+    br left, right
+  left:
+    %v2 = load %q         ; l2:  reads k1
+    %v3 = load %q         ; l3:  reads k1
+    br middle
+  middle:
+    store %b -> %r        ; l2': pt(o) gains {b} (weak update)
+    br join
+  join:
+    br out
+  right:
+    br out
+  out:
+    %v4 = load %q         ; l4:  reads k1 (x) k2
+    %v5 = load %q         ; l5:  reads k1 (x) k2
+    ret %v4
+  }
+)";
+
+} // namespace
+
+int main() {
+  core::AnalysisContext Ctx;
+  std::string Error;
+  if (!Ctx.loadText(Program, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  Ctx.build();
+  const ir::Module &M = Ctx.module();
+
+  // Locate o and the interesting instructions.
+  ir::ObjID O = ir::InvalidObj;
+  for (ir::ObjID I = 0; I < M.symbols().numObjects(); ++I)
+    if (M.symbols().object(I).Name == "o.obj")
+      O = I;
+  std::vector<ir::InstID> Stores, Loads;
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    if (M.inst(I).Parent != M.main())
+      continue;
+    if (M.inst(I).Kind == ir::InstKind::Store)
+      Stores.push_back(I);
+    if (M.inst(I).Kind == ir::InstKind::Load)
+      Loads.push_back(I);
+  }
+
+  std::printf("=== the SVFG fragment (Figure 2a) ===\n%s\n",
+              ir::printModule(M).c_str());
+
+  // --- SFS: column 2 of Figure 2b --------------------------------------
+  core::FlowSensitive SFS(Ctx.svfg());
+  SFS.solve();
+
+  // --- VSFS: column 3 ----------------------------------------------------
+  core::VersionedFlowSensitive VSFS(Ctx.svfg());
+  VSFS.solve();
+  const core::ObjectVersioning &OV = VSFS.versioning();
+
+  // Figure 5: prelabelling — each store yields a fresh version.
+  std::printf("=== prelabelling (Figure 5) ===\n");
+  std::map<core::Version, std::string> VersionName;
+  for (size_t K = 0; K < Stores.size(); ++K) {
+    core::Version Y = OV.yield(Stores[K], O);
+    VersionName[Y] = "k" + std::to_string(K + 1);
+    std::printf("  store '%s' yields %s for o\n",
+                ir::printInst(M, Stores[K]).c_str(),
+                VersionName[Y].c_str());
+  }
+
+  // Figure 9: the versions every load consumes after melding.
+  std::printf("\n=== after meld labelling (Figures 7 and 9) ===\n");
+  auto NameOf = [&VersionName](core::Version V) {
+    auto It = VersionName.find(V);
+    if (It != VersionName.end())
+      return It->second;
+    return std::string("k1(x)k2"); // The only melded version here.
+  };
+  const char *LoadNames[] = {"l2", "l3", "l4", "l5"};
+  for (size_t K = 0; K < Loads.size(); ++K)
+    std::printf("  %s ('%s') consumes %s\n", LoadNames[K],
+                ir::printInst(M, Loads[K]).c_str(),
+                NameOf(OV.consume(Loads[K], O)).c_str());
+
+  // Figure 2b's bottom rows: storage and propagation counts.
+  std::printf("\n=== Figure 2b: SFS vs our approach ===\n");
+  std::printf("  %-34s %10s %14s\n", "", "SFS", "our approach");
+  std::printf("  %-34s %10llu %14llu\n", "points-to sets maintained",
+              (unsigned long long)SFS.numPtsSetsStored(),
+              (unsigned long long)VSFS.numPtsSetsStored());
+  std::printf("  %-34s %10llu %14llu\n", "propagations performed",
+              (unsigned long long)SFS.stats().lookup("propagations"),
+              (unsigned long long)VSFS.stats().lookup("propagations"));
+  std::printf("  (paper's fragment: 6 sets -> 3, 6 constraints -> 2)\n");
+
+  // And the actual points-to results agree exactly (§IV-E).
+  std::printf("\n=== identical precision ===\n");
+  bool Same = true;
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+    Same &= SFS.ptsOfVar(V) == VSFS.ptsOfVar(V);
+  std::printf("  SFS and VSFS agree on every variable: %s\n",
+              Same ? "yes" : "NO (bug!)");
+  return Same ? 0 : 1;
+}

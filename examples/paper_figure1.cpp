@@ -1,0 +1,88 @@
+//===- paper_figure1.cpp - Figure 1: IR, χ/μ, and the SVFG ------*- C++ -*-===//
+///
+/// Reproduces the paper's Figure 1: a small C snippet lowered to the
+/// Table I instruction set, annotated with the χ/μ functions derived from
+/// the auxiliary analysis, and the SVFG's indirect (object-labelled)
+/// value-flow edges.
+///
+/// Build & run:  ./build/examples/paper_figure1
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisContext.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+using namespace vsfs;
+
+namespace {
+
+/// Figure 1a's spirit in C:
+///   int **p, *q, a, *x, *y;
+///   p = &a_slot; q = &a;          (address-taking)
+///   *p = q;                       (store, defines a_slot)
+///   x = *p;  y = *p;              (loads, use a_slot)
+const char *Program = R"(
+  func @main() {
+  entry:
+    %a = alloc
+    %p = alloc
+    %q = copy %a
+    store %q -> %p
+    %x = load %p
+    %y = load %p
+    ret %x
+  }
+)";
+
+} // namespace
+
+int main() {
+  core::AnalysisContext Ctx;
+  std::string Error;
+  if (!Ctx.loadText(Program, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  Ctx.build();
+  const ir::Module &M = Ctx.module();
+  const memssa::MemSSA &SSA = Ctx.memSSA();
+  const svfg::SVFG &G = Ctx.svfg();
+
+  std::printf("=== IR with chi/mu annotations (Figure 1b) ===\n");
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    if (M.inst(I).Parent != M.main())
+      continue;
+    std::ostringstream Line;
+    Line << "  l" << I << ":  " << ir::printInst(M, I);
+    const PointsTo &Chis = SSA.chiObjs(I);
+    const PointsTo &Mus = SSA.muObjs(I);
+    for (uint32_t O : Chis)
+      Line << "   [" << M.symbols().object(O).Name << " = chi("
+           << M.symbols().object(O).Name << ")]";
+    for (uint32_t O : Mus)
+      Line << "   [mu(" << M.symbols().object(O).Name << ")]";
+    std::printf("%s\n", Line.str().c_str());
+  }
+
+  std::printf("\n=== SVFG indirect value-flow edges ===\n");
+  for (svfg::NodeID N = 0; N < G.numNodes(); ++N) {
+    if (G.node(N).Kind != svfg::NodeKind::Inst)
+      continue;
+    if (M.inst(G.node(N).Inst).Parent != M.main())
+      continue;
+    for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+      if (G.node(E.Dst).Kind != svfg::NodeKind::Inst)
+        continue;
+      std::printf("  l%u --%s--> l%u\n", G.node(N).Inst,
+                  M.symbols().object(E.Obj).Name.c_str(),
+                  G.node(E.Dst).Inst);
+    }
+  }
+  std::printf("\nThe store defines p.obj; both loads use it — the two\n"
+              "indirect edges above are Figure 1b's arrows.\n");
+  return 0;
+}

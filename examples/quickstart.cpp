@@ -1,0 +1,120 @@
+//===- quickstart.cpp - Five-minute tour of the library ---------*- C++ -*-===//
+///
+/// Parses a small program in the textual IR, runs the whole pipeline
+/// (Andersen -> memory SSA -> SVFG -> VSFS), and answers the questions a
+/// client of a pointer analysis typically asks: what does this pointer
+/// point to, and may these two pointers alias?
+///
+/// Build & run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisContext.h"
+#include "core/VersionedFlowSensitive.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace vsfs;
+
+namespace {
+
+/// The C program this IR mirrors:
+///
+///   struct node { void *payload; };
+///   struct node slot;              // global
+///   void set(void **where, void *what) { *where = what; }
+///   int main() {
+///     int x, y;
+///     void *p = &x;
+///     set(&slot.payload, p);       // slot.payload = &x
+///     void *q = slot.payload;      // q == &x
+///     set(&slot.payload, &y);      // slot.payload = &y (strong update)
+///     void *r = slot.payload;      // r == &y
+///   }
+const char *Program = R"(
+  global @slot [fields=2]
+
+  func @set(%where, %what) {
+  entry:
+    store %what -> %where
+    ret
+  }
+
+  func @main() {
+  entry:
+    %x = alloc
+    %y = alloc
+    %payload = field @slot, 1
+    %p = copy %x
+    call @set(%payload, %p)
+    %q = load %payload
+    call @set(%payload, %y)
+    %r = load %payload
+    ret %r
+  }
+)";
+
+ir::VarID var(const ir::Module &M, const char *Name) {
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+    if (M.symbols().var(V).Name == Name)
+      return V;
+  return ir::InvalidVar;
+}
+
+void show(const ir::Module &M, const core::PointerAnalysisResult &A,
+          const char *Name) {
+  std::string Line = std::string("  pt(%") + Name + ") = {";
+  bool First = true;
+  for (uint32_t O : A.ptsOfVar(var(M, Name))) {
+    Line += (First ? " " : ", ") + M.symbols().object(O).Name;
+    First = false;
+  }
+  std::printf("%s }\n", Line.c_str());
+}
+
+} // namespace
+
+int main() {
+  // 1. Parse and verify the module.
+  core::AnalysisContext Ctx;
+  std::string Error;
+  if (!Ctx.loadText(Program, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("=== input module ===\n%s\n",
+              ir::printModule(Ctx.module()).c_str());
+
+  // 2. Build the staged pipeline: Andersen's auxiliary analysis, memory
+  //    SSA, and the sparse value-flow graph.
+  Ctx.build();
+  std::printf("SVFG: %u nodes, %llu direct edges, %llu indirect edges\n\n",
+              Ctx.svfg().numNodes(),
+              (unsigned long long)Ctx.svfg().numDirectEdges(),
+              (unsigned long long)Ctx.svfg().numIndirectEdges());
+
+  // 3. Run the paper's analysis.
+  core::VersionedFlowSensitive VSFS(Ctx.svfg());
+  VSFS.solve();
+
+  // 4. Query it. Flow-sensitivity with strong updates distinguishes the
+  //    two reads of slot.payload even though the writes go through a
+  //    helper function.
+  const ir::Module &M = Ctx.module();
+  std::printf("=== VSFS results ===\n");
+  show(M, VSFS, "q");
+  show(M, VSFS, "r");
+  std::printf("  mayAlias(q, r) = %s\n",
+              VSFS.mayAlias(var(M, "q"), var(M, "r")) ? "yes" : "no");
+
+  // Andersen, being flow-insensitive, merges both writes.
+  std::printf("\n=== Andersen (auxiliary) for contrast ===\n");
+  std::printf("  pt(%%q) and pt(%%r) both = { x.obj, y.obj } there\n");
+
+  std::printf("\n=== analysis statistics ===\n%s",
+              VSFS.stats().toString().c_str());
+  std::printf("%s", VSFS.versioning().stats().toString().c_str());
+  return 0;
+}

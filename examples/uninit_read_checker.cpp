@@ -1,0 +1,119 @@
+//===- uninit_read_checker.cpp - A client of the analysis -------*- C++ -*-===//
+///
+/// A small downstream client (the paper's motivation: points-to analysis
+/// underpins vulnerability detection, verification, slicing): a checker
+/// that flags loads which may read pointer memory *before any store
+/// initialised it* — at that program point.
+///
+/// Flow-sensitivity is what makes this checkable at all: with VSFS, the
+/// points-to set of the consumed version of o is empty exactly when no
+/// store to o can reach the load. A flow-insensitive analysis (Andersen)
+/// sees some store to o *somewhere* and goes quiet — missing the bug.
+///
+/// Build & run:  ./build/examples/uninit_read_checker
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisContext.h"
+#include "core/VersionedFlowSensitive.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace vsfs;
+
+namespace {
+
+/// Mirrors:
+///   void *box;                 // global pointer slot
+///   int main() {
+///     int v;
+///     void *early = box;       // BUG: box not yet initialised
+///     void **h = malloc(...);
+///     void *e2 = *h;           // BUG: heap cell never initialised
+///     box = &v;
+///     void *late = box;        // fine: box initialised by now
+///   }
+const char *Program = R"(
+  global @box
+  func @main() {
+  entry:
+    %v = alloc
+    %early = load @box
+    %h = alloc [heap]
+    %e2 = load %h
+    store %v -> @box
+    %late = load @box
+    ret %late
+  }
+)";
+
+struct Finding {
+  ir::InstID Load;
+  ir::ObjID Obj;
+};
+
+/// Reports loads whose loaded cell may be uninitialised at that point:
+/// some object the pointer refers to has an empty consumed points-to set
+/// while being a pointer-typed location the program later relies on.
+std::vector<Finding> findUninitReads(core::AnalysisContext &Ctx,
+                                     core::VersionedFlowSensitive &VSFS) {
+  std::vector<Finding> Findings;
+  const ir::Module &M = Ctx.module();
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    const ir::Instruction &Inst = M.inst(I);
+    if (Inst.Kind != ir::InstKind::Load)
+      continue;
+    for (uint32_t O : VSFS.ptsOfVar(Inst.loadPtr())) {
+      if (M.symbols().isFunctionObject(O))
+        continue;
+      core::Version C = VSFS.versioning().consume(I, O);
+      if (VSFS.ptsOfVersion(C).empty())
+        Findings.push_back(Finding{I, O});
+    }
+  }
+  return Findings;
+}
+
+} // namespace
+
+int main() {
+  core::AnalysisContext Ctx;
+  std::string Error;
+  if (!Ctx.loadText(Program, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  Ctx.build();
+  core::VersionedFlowSensitive VSFS(Ctx.svfg());
+  VSFS.solve();
+
+  const ir::Module &M = Ctx.module();
+  std::printf("=== program ===\n%s\n", ir::printModule(M).c_str());
+
+  auto Findings = findUninitReads(Ctx, VSFS);
+  std::printf("=== possibly-uninitialised pointer reads (VSFS) ===\n");
+  for (const Finding &F : Findings)
+    std::printf("  %-24s may read %s before any initialising store\n",
+                ir::printInst(M, F.Load).c_str(),
+                M.symbols().object(F.Obj).Name.c_str());
+  std::printf("  (%zu findings; expected 2: %%early and %%e2, "
+              "but not %%late)\n",
+              Findings.size());
+
+  // Contrast: Andersen would miss the @box case entirely, because *some*
+  // store to box exists in the program.
+  bool AndersenSeesBoxInitialised = false;
+  for (ir::ObjID O = 0; O < M.symbols().numObjects(); ++O)
+    if (M.symbols().object(O).Name == "box" &&
+        !Ctx.andersen().ptsOfObj(O).empty())
+      AndersenSeesBoxInitialised = true;
+  std::printf("\nAndersen (flow-insensitive) thinks box is initialised: %s\n"
+              "— it cannot place the read before the write.\n",
+              AndersenSeesBoxInitialised ? "yes" : "no");
+
+  bool OK = Findings.size() == 2 && AndersenSeesBoxInitialised;
+  return OK ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Reproduces the paper's evaluation tables, mirroring the artifact
+# appendix's bench.sh workflow (Appendix E):
+#
+#   ./scripts/bench.sh [runs] [tier]
+#
+#   runs:  repetitions per analysis (paper used 5; default 1)
+#   tier:  "full" (all 15 benchmarks, paper's 120 GB tier analogue)
+#          "quick" (8 benchmarks, the 8 GB tier analogue; default)
+#
+# Outputs land in results/ as plain text, in the paper's table shapes.
+set -euo pipefail
+
+RUNS="${1:-1}"
+TIER="${2:-quick}"
+BUILD_DIR="$(dirname "$0")/../build"
+OUT_DIR="$(dirname "$0")/../results"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_table3" ]]; then
+  echo "error: build first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+TIER_FLAG=""
+if [[ "$TIER" == "quick" ]]; then
+  TIER_FLAG="--quick"
+elif [[ "$TIER" != "full" ]]; then
+  echo "error: tier must be 'quick' or 'full'" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+echo "== Table II: benchmark characteristics =="
+"$BUILD_DIR/bench/bench_table2" $TIER_FLAG | tee "$OUT_DIR/table2.txt"
+echo
+echo "== Table III: time and memory ($RUNS run(s), $TIER tier) =="
+"$BUILD_DIR/bench/bench_table3" $TIER_FLAG --runs "$RUNS" | tee "$OUT_DIR/table3.txt"
+echo
+echo "== Figure 2 counts across the suite =="
+"$BUILD_DIR/bench/bench_sparsity" $TIER_FLAG | tee "$OUT_DIR/sparsity.txt"
+echo
+echo "== Versioning cost sweep (SV-A) =="
+"$BUILD_DIR/bench/bench_versioning_cost" | tee "$OUT_DIR/versioning_cost.txt"
+echo
+echo "== Dense-vs-staged ablation (SIV-A) =="
+"$BUILD_DIR/bench/bench_dense_baseline" | tee "$OUT_DIR/dense_baseline.txt"
+echo
+echo "== Meld representation ablation (SV-B) =="
+"$BUILD_DIR/bench/bench_meld_repr" $TIER_FLAG | tee "$OUT_DIR/meld_repr.txt"
+echo
+echo "== Offline variable substitution ablation (SVI) =="
+"$BUILD_DIR/bench/bench_ovs" $TIER_FLAG | tee "$OUT_DIR/ovs.txt"
+echo
+echo "done; outputs in $OUT_DIR/"

@@ -1,0 +1,118 @@
+//===- LabelStore.h - Hash-consed meld labels -------------------*- C++ -*-===//
+///
+/// \file
+/// §V-B suggests the versioning overhead "could perhaps be further reduced
+/// by designing a data structure specifically catered to versioning rather
+/// than using one off-the-shelf (LLVM's SparseBitVector)". This is that
+/// experiment: labels are hash-consed into dense IDs, and the meld operator
+/// becomes a memoised table over ID pairs — repeated melds of the same two
+/// labels (extremely common at join-heavy SVFGs, where the same few
+/// prelabel sets meet again and again) cost one hash lookup instead of a
+/// bit-vector union.
+///
+/// The store upholds the meld algebra by construction:
+///   meld(a, a) == a                (idempotence; checked before the memo)
+///   meld(a, b) == meld(b, a)       (pairs are memoised order-normalised)
+///   meld(a, ε) == a                (ID 0 is ε)
+/// and associativity follows from melding the underlying sets.
+///
+/// Used by ObjectVersioning when MeldRep::Interned is selected (compare
+/// with bench_meld_repr) and by the offline variable substitution of
+/// Andersen's analysis, whose labelling is the same algebra.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ADT_LABELSTORE_H
+#define VSFS_ADT_LABELSTORE_H
+
+#include "adt/SparseBitVector.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace adt {
+
+/// A dense ID for an interned label; 0 is the identity ε.
+using LabelID = uint32_t;
+constexpr LabelID EpsilonLabel = 0;
+
+/// Interns labels (sets of prelabel bits) and memoises their melds.
+class LabelStore {
+public:
+  LabelStore() {
+    Labels.emplace_back(); // ID 0: ε.
+  }
+
+  /// The label {Bit}.
+  LabelID singleton(uint32_t Bit) {
+    SparseBitVector L;
+    L.set(Bit);
+    return intern(std::move(L));
+  }
+
+  /// Interns an arbitrary bit set.
+  LabelID fromBits(const SparseBitVector &Bits) {
+    if (Bits.empty())
+      return EpsilonLabel;
+    return intern(SparseBitVector(Bits));
+  }
+
+  /// meld(A, B): the union of the two labels, memoised.
+  LabelID meld(LabelID A, LabelID B) {
+    if (A == B || B == EpsilonLabel)
+      return A;
+    if (A == EpsilonLabel)
+      return B;
+    // Normalise the pair: the meld operator is commutative.
+    if (A > B)
+      std::swap(A, B);
+    uint64_t Key = (uint64_t(A) << 32) | B;
+    auto It = Memo.find(Key);
+    if (It != Memo.end()) {
+      ++MemoHits;
+      return It->second;
+    }
+    ++MemoMisses;
+    SparseBitVector Union = Labels[A];
+    Union.unionWith(Labels[B]);
+    LabelID R = intern(std::move(Union));
+    Memo.emplace(Key, R);
+    return R;
+  }
+
+  /// The bit set an ID stands for.
+  const SparseBitVector &bits(LabelID Id) const {
+    assert(Id < Labels.size() && "unknown label");
+    return Labels[Id];
+  }
+
+  uint32_t numLabels() const { return static_cast<uint32_t>(Labels.size()); }
+  uint64_t memoHits() const { return MemoHits; }
+  uint64_t memoMisses() const { return MemoMisses; }
+
+private:
+  LabelID intern(SparseBitVector Bits) {
+    uint64_t H = Bits.hash();
+    auto &Chain = InternTable[H];
+    for (LabelID Id : Chain)
+      if (Labels[Id] == Bits)
+        return Id;
+    LabelID Id = static_cast<LabelID>(Labels.size());
+    Labels.push_back(std::move(Bits));
+    Chain.push_back(Id);
+    return Id;
+  }
+
+  std::vector<SparseBitVector> Labels;
+  std::unordered_map<uint64_t, std::vector<LabelID>> InternTable;
+  std::unordered_map<uint64_t, LabelID> Memo;
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
+};
+
+} // namespace adt
+} // namespace vsfs
+
+#endif // VSFS_ADT_LABELSTORE_H

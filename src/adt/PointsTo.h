@@ -1,0 +1,21 @@
+//===- PointsTo.h - Points-to set alias -------------------------*- C++ -*-===//
+///
+/// \file
+/// The canonical points-to set representation used by every analysis in this
+/// library: a sparse bit vector of abstract object IDs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ADT_POINTSTO_H
+#define VSFS_ADT_POINTSTO_H
+
+#include "adt/SparseBitVector.h"
+
+namespace vsfs {
+
+/// A set of abstract-object IDs.
+using PointsTo = adt::SparseBitVector;
+
+} // namespace vsfs
+
+#endif // VSFS_ADT_POINTSTO_H

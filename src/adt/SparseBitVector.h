@@ -1,0 +1,441 @@
+//===- SparseBitVector.h - Sparse set of unsigned integers -----*- C++ -*-===//
+///
+/// \file
+/// A sparse bit vector storing only 128-bit elements that contain set bits,
+/// in base-sorted order. This is the representation for points-to sets and
+/// for meld labels (sets of prelabel origins), mirroring the role LLVM's
+/// SparseBitVector plays in SVF's SFS/VSFS implementations.
+///
+/// Set operations are word-parallel merges over the element vectors, so
+/// union/intersection cost O(number of set elements), not O(universe).
+/// All mutating operations keep the global \c PointsToBytes accounting in
+/// sync so analyses can report exact points-to storage (Table III memory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ADT_SPARSEBITVECTOR_H
+#define VSFS_ADT_SPARSEBITVECTOR_H
+
+#include "support/MemUsage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace adt {
+
+/// A set of uint32_t values stored as sparse 128-bit elements.
+class SparseBitVector {
+  static constexpr uint32_t WordBits = 64;
+  static constexpr uint32_t WordsPerElement = 2;
+  static constexpr uint32_t ElementBits = WordBits * WordsPerElement;
+
+  /// One aligned 128-bit chunk of the bit space. \c Base is the first bit
+  /// index covered (always a multiple of 128). Invariant: at least one bit
+  /// is set in \c Words for every element stored.
+  struct Element {
+    uint32_t Base;
+    uint64_t Words[WordsPerElement];
+
+    bool empty() const { return Words[0] == 0 && Words[1] == 0; }
+
+    friend bool operator==(const Element &L, const Element &R) {
+      return L.Base == R.Base && L.Words[0] == R.Words[0] &&
+             L.Words[1] == R.Words[1];
+    }
+  };
+
+public:
+  SparseBitVector() = default;
+
+  SparseBitVector(const SparseBitVector &RHS) : Elements(RHS.Elements) {
+    PointsToBytes::retain(capacityBytes());
+  }
+
+  SparseBitVector(SparseBitVector &&RHS) noexcept
+      : Elements(std::move(RHS.Elements)) {
+    // Moved-from vector releases in its destructor with zero capacity; the
+    // bytes stay accounted to this object.
+    RHS.Elements = {};
+  }
+
+  SparseBitVector &operator=(const SparseBitVector &RHS) {
+    if (this == &RHS)
+      return *this;
+    PointsToBytes::release(capacityBytes());
+    Elements = RHS.Elements;
+    PointsToBytes::retain(capacityBytes());
+    return *this;
+  }
+
+  SparseBitVector &operator=(SparseBitVector &&RHS) noexcept {
+    if (this == &RHS)
+      return *this;
+    PointsToBytes::release(capacityBytes());
+    Elements = std::move(RHS.Elements);
+    RHS.Elements = {};
+    return *this;
+  }
+
+  ~SparseBitVector() { PointsToBytes::release(capacityBytes()); }
+
+  /// Returns true if no bits are set.
+  bool empty() const { return Elements.empty(); }
+
+  /// Number of set bits.
+  uint32_t count() const {
+    uint32_t Total = 0;
+    for (const Element &E : Elements)
+      Total += static_cast<uint32_t>(__builtin_popcountll(E.Words[0]) +
+                                     __builtin_popcountll(E.Words[1]));
+    return Total;
+  }
+
+  /// Returns true if bit \p Idx is set.
+  bool test(uint32_t Idx) const {
+    const Element *E = findElement(baseOf(Idx));
+    if (!E)
+      return false;
+    return (E->Words[wordOf(Idx)] >> bitOf(Idx)) & 1;
+  }
+
+  /// Sets bit \p Idx; returns true if the bit was newly set.
+  bool set(uint32_t Idx) {
+    BytesGuard Guard(*this);
+    Element &E = findOrCreateElement(baseOf(Idx));
+    uint64_t Mask = uint64_t(1) << bitOf(Idx);
+    if (E.Words[wordOf(Idx)] & Mask)
+      return false;
+    E.Words[wordOf(Idx)] |= Mask;
+    return true;
+  }
+
+  /// Clears bit \p Idx; returns true if the bit was previously set.
+  bool reset(uint32_t Idx) {
+    BytesGuard Guard(*this);
+    auto It = lowerBound(baseOf(Idx));
+    if (It == Elements.end() || It->Base != baseOf(Idx))
+      return false;
+    uint64_t Mask = uint64_t(1) << bitOf(Idx);
+    if (!(It->Words[wordOf(Idx)] & Mask))
+      return false;
+    It->Words[wordOf(Idx)] &= ~Mask;
+    if (It->empty())
+      Elements.erase(It);
+    return true;
+  }
+
+  /// Removes all bits.
+  void clear() {
+    PointsToBytes::release(capacityBytes());
+    Elements.clear();
+    Elements.shrink_to_fit();
+    PointsToBytes::retain(capacityBytes());
+  }
+
+  /// Unions \p RHS into this set; returns true if any bit was added.
+  bool unionWith(const SparseBitVector &RHS) {
+    if (RHS.Elements.empty())
+      return false;
+    BytesGuard Guard(*this);
+    bool Changed = false;
+    std::vector<Element> Result;
+    Result.reserve(std::max(Elements.size(), RHS.Elements.size()));
+    size_t I = 0, J = 0;
+    while (I < Elements.size() && J < RHS.Elements.size()) {
+      const Element &L = Elements[I];
+      const Element &R = RHS.Elements[J];
+      if (L.Base < R.Base) {
+        Result.push_back(L);
+        ++I;
+      } else if (R.Base < L.Base) {
+        Result.push_back(R);
+        Changed = true;
+        ++J;
+      } else {
+        Element Merged = L;
+        Merged.Words[0] |= R.Words[0];
+        Merged.Words[1] |= R.Words[1];
+        Changed |= !(Merged == L);
+        Result.push_back(Merged);
+        ++I;
+        ++J;
+      }
+    }
+    for (; I < Elements.size(); ++I)
+      Result.push_back(Elements[I]);
+    for (; J < RHS.Elements.size(); ++J) {
+      Result.push_back(RHS.Elements[J]);
+      Changed = true;
+    }
+    if (Changed)
+      Elements = std::move(Result);
+    return Changed;
+  }
+
+  SparseBitVector &operator|=(const SparseBitVector &RHS) {
+    unionWith(RHS);
+    return *this;
+  }
+
+  /// Intersects this set with \p RHS; returns true if any bit was removed.
+  bool intersectWith(const SparseBitVector &RHS) {
+    BytesGuard Guard(*this);
+    bool Changed = false;
+    std::vector<Element> Result;
+    size_t I = 0, J = 0;
+    while (I < Elements.size() && J < RHS.Elements.size()) {
+      const Element &L = Elements[I];
+      const Element &R = RHS.Elements[J];
+      if (L.Base < R.Base) {
+        Changed = true;
+        ++I;
+      } else if (R.Base < L.Base) {
+        ++J;
+      } else {
+        Element Merged = L;
+        Merged.Words[0] &= R.Words[0];
+        Merged.Words[1] &= R.Words[1];
+        Changed |= !(Merged == L);
+        if (!Merged.empty())
+          Result.push_back(Merged);
+        ++I;
+        ++J;
+      }
+    }
+    if (I < Elements.size())
+      Changed = true;
+    if (Changed)
+      Elements = std::move(Result);
+    return Changed;
+  }
+
+  SparseBitVector &operator&=(const SparseBitVector &RHS) {
+    intersectWith(RHS);
+    return *this;
+  }
+
+  /// Removes every bit that is set in \p RHS (this &= ~RHS); returns true if
+  /// any bit was removed. Used for Kill sets in strong updates.
+  bool intersectWithComplement(const SparseBitVector &RHS) {
+    BytesGuard Guard(*this);
+    bool Changed = false;
+    std::vector<Element> Result;
+    Result.reserve(Elements.size());
+    size_t I = 0, J = 0;
+    while (I < Elements.size()) {
+      while (J < RHS.Elements.size() && RHS.Elements[J].Base < Elements[I].Base)
+        ++J;
+      if (J < RHS.Elements.size() && RHS.Elements[J].Base == Elements[I].Base) {
+        Element Merged = Elements[I];
+        Merged.Words[0] &= ~RHS.Elements[J].Words[0];
+        Merged.Words[1] &= ~RHS.Elements[J].Words[1];
+        Changed |= !(Merged == Elements[I]);
+        if (!Merged.empty())
+          Result.push_back(Merged);
+      } else {
+        Result.push_back(Elements[I]);
+      }
+      ++I;
+    }
+    if (Changed)
+      Elements = std::move(Result);
+    return Changed;
+  }
+
+  /// Returns true if every bit of \p RHS is set in this set.
+  bool contains(const SparseBitVector &RHS) const {
+    size_t I = 0;
+    for (const Element &R : RHS.Elements) {
+      while (I < Elements.size() && Elements[I].Base < R.Base)
+        ++I;
+      if (I == Elements.size() || Elements[I].Base != R.Base)
+        return false;
+      if ((R.Words[0] & ~Elements[I].Words[0]) ||
+          (R.Words[1] & ~Elements[I].Words[1]))
+        return false;
+    }
+    return true;
+  }
+
+  /// Returns true if this set and \p RHS share any bit.
+  bool intersects(const SparseBitVector &RHS) const {
+    size_t I = 0, J = 0;
+    while (I < Elements.size() && J < RHS.Elements.size()) {
+      if (Elements[I].Base < RHS.Elements[J].Base)
+        ++I;
+      else if (RHS.Elements[J].Base < Elements[I].Base)
+        ++J;
+      else {
+        if ((Elements[I].Words[0] & RHS.Elements[J].Words[0]) ||
+            (Elements[I].Words[1] & RHS.Elements[J].Words[1]))
+          return true;
+        ++I;
+        ++J;
+      }
+    }
+    return false;
+  }
+
+  /// Returns the lowest set bit. Asserts on an empty set.
+  uint32_t findFirst() const {
+    assert(!Elements.empty() && "findFirst on empty SparseBitVector");
+    const Element &E = Elements.front();
+    if (E.Words[0])
+      return E.Base + static_cast<uint32_t>(__builtin_ctzll(E.Words[0]));
+    return E.Base + WordBits +
+           static_cast<uint32_t>(__builtin_ctzll(E.Words[1]));
+  }
+
+  friend bool operator==(const SparseBitVector &L, const SparseBitVector &R) {
+    return L.Elements == R.Elements;
+  }
+  friend bool operator!=(const SparseBitVector &L, const SparseBitVector &R) {
+    return !(L == R);
+  }
+
+  /// FNV-1a style hash over the element list; suitable for hash-consing
+  /// meld labels into dense version IDs.
+  uint64_t hash() const {
+    uint64_t H = 1469598103934665603ull;
+    auto Mix = [&H](uint64_t V) {
+      H ^= V;
+      H *= 1099511628211ull;
+    };
+    for (const Element &E : Elements) {
+      Mix(E.Base);
+      Mix(E.Words[0]);
+      Mix(E.Words[1]);
+    }
+    return H;
+  }
+
+  /// Forward iterator over set bit indices in increasing order.
+  class const_iterator {
+  public:
+    using value_type = uint32_t;
+
+    const_iterator() = default;
+
+    uint32_t operator*() const {
+      const Element &E = (*Elems)[ElemIdx];
+      return E.Base + WordIdx * WordBits +
+             static_cast<uint32_t>(__builtin_ctzll(Remaining));
+    }
+
+    const_iterator &operator++() {
+      Remaining &= Remaining - 1; // Clear lowest set bit.
+      advanceToBit();
+      return *this;
+    }
+
+    friend bool operator==(const const_iterator &L, const const_iterator &R) {
+      return L.ElemIdx == R.ElemIdx && L.WordIdx == R.WordIdx &&
+             L.Remaining == R.Remaining;
+    }
+    friend bool operator!=(const const_iterator &L, const const_iterator &R) {
+      return !(L == R);
+    }
+
+  private:
+    /// Skips to the next non-empty word, loading \c Remaining.
+    void advanceToBit() {
+      if (!Elems)
+        return;
+      while (ElemIdx < Elems->size()) {
+        if (Remaining)
+          return;
+        if (++WordIdx >= WordsPerElement) {
+          ++ElemIdx;
+          WordIdx = 0;
+          if (ElemIdx >= Elems->size())
+            break;
+        }
+        Remaining = (*Elems)[ElemIdx].Words[WordIdx];
+      }
+      // End state.
+      WordIdx = 0;
+      Remaining = 0;
+    }
+
+    const std::vector<Element> *Elems = nullptr;
+    size_t ElemIdx = 0;
+    uint32_t WordIdx = 0;
+    uint64_t Remaining = 0;
+
+    friend class SparseBitVector;
+  };
+
+  const_iterator begin() const {
+    const_iterator It;
+    It.Elems = &Elements;
+    It.ElemIdx = 0;
+    It.WordIdx = 0;
+    It.Remaining = Elements.empty() ? 0 : Elements[0].Words[0];
+    It.advanceToBit();
+    return It;
+  }
+
+  const_iterator end() const {
+    const_iterator It;
+    It.Elems = &Elements;
+    It.ElemIdx = Elements.size();
+    return It;
+  }
+
+  /// Bytes of heap storage currently held (for the global accounting).
+  size_t capacityBytes() const { return Elements.capacity() * sizeof(Element); }
+
+private:
+  static uint32_t baseOf(uint32_t Idx) { return Idx & ~(ElementBits - 1); }
+  static uint32_t wordOf(uint32_t Idx) {
+    return (Idx % ElementBits) / WordBits;
+  }
+  static uint32_t bitOf(uint32_t Idx) { return Idx % WordBits; }
+
+  /// Keeps PointsToBytes in sync across a mutation that may reallocate.
+  struct BytesGuard {
+    explicit BytesGuard(SparseBitVector &S) : S(S), Old(S.capacityBytes()) {}
+    ~BytesGuard() {
+      size_t New = S.capacityBytes();
+      if (New > Old)
+        PointsToBytes::retain(New - Old);
+      else
+        PointsToBytes::release(Old - New);
+    }
+    SparseBitVector &S;
+    size_t Old;
+  };
+
+  std::vector<Element>::iterator lowerBound(uint32_t Base) {
+    return std::lower_bound(
+        Elements.begin(), Elements.end(), Base,
+        [](const Element &E, uint32_t B) { return E.Base < B; });
+  }
+
+  const Element *findElement(uint32_t Base) const {
+    auto It = std::lower_bound(
+        Elements.begin(), Elements.end(), Base,
+        [](const Element &E, uint32_t B) { return E.Base < B; });
+    if (It == Elements.end() || It->Base != Base)
+      return nullptr;
+    return &*It;
+  }
+
+  Element &findOrCreateElement(uint32_t Base) {
+    auto It = lowerBound(Base);
+    if (It != Elements.end() && It->Base == Base)
+      return *It;
+    It = Elements.insert(It, Element{Base, {0, 0}});
+    return *It;
+  }
+
+  std::vector<Element> Elements;
+};
+
+} // namespace adt
+} // namespace vsfs
+
+#endif // VSFS_ADT_SPARSEBITVECTOR_H

@@ -1,0 +1,89 @@
+//===- UnionFind.h - Disjoint-set forest ------------------------*- C++ -*-===//
+///
+/// \file
+/// Union-find with path compression and union by rank. Andersen's solver
+/// uses it to collapse constraint-graph cycles (all pointers in an SCC share
+/// one points-to set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ADT_UNIONFIND_H
+#define VSFS_ADT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace adt {
+
+/// Disjoint sets over dense uint32_t IDs.
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(uint32_t Size) { grow(Size); }
+
+  /// Ensures IDs [0, Size) exist, each initially its own set.
+  void grow(uint32_t Size) {
+    uint32_t Old = static_cast<uint32_t>(Parent.size());
+    if (Size <= Old)
+      return;
+    Parent.resize(Size);
+    Rank.resize(Size, 0);
+    for (uint32_t I = Old; I < Size; ++I)
+      Parent[I] = I;
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Returns the representative of \p Id's set.
+  uint32_t find(uint32_t Id) const {
+    assert(Id < Parent.size() && "find of unknown id");
+    uint32_t Root = Id;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    // Path compression.
+    while (Parent[Id] != Root) {
+      uint32_t Next = Parent[Id];
+      Parent[Id] = Root;
+      Id = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the sets of \p A and \p B; returns the new representative.
+  uint32_t unite(uint32_t A, uint32_t B) {
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB)
+      return RA;
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    return RA;
+  }
+
+  /// Merges \p Child's set into \p Leader's set and makes \p Leader's
+  /// representative the root (useful when one ID owns auxiliary state).
+  uint32_t uniteInto(uint32_t Leader, uint32_t Child) {
+    uint32_t RL = find(Leader), RC = find(Child);
+    if (RL == RC)
+      return RL;
+    Parent[RC] = RL;
+    if (Rank[RL] <= Rank[RC])
+      Rank[RL] = Rank[RC] + 1;
+    return RL;
+  }
+
+  bool connected(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+private:
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint32_t> Rank;
+};
+
+} // namespace adt
+} // namespace vsfs
+
+#endif // VSFS_ADT_UNIONFIND_H

@@ -1,0 +1,99 @@
+//===- WorkList.h - Deduplicating work queues -------------------*- C++ -*-===//
+///
+/// \file
+/// Work queues used by the constraint solvers. Both queues deduplicate: an
+/// item already enqueued is not enqueued again, which keeps fixed-point
+/// iterations linear in the number of *changes* rather than pushes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ADT_WORKLIST_H
+#define VSFS_ADT_WORKLIST_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace vsfs {
+namespace adt {
+
+/// FIFO queue of dense uint32_t IDs with O(1) membership checks.
+///
+/// FIFO order approximates reverse-post-order sweeps on value-flow graphs
+/// and is what SVF's solvers use for points-to propagation.
+class FIFOWorkList {
+public:
+  bool empty() const { return Queue.empty(); }
+  size_t size() const { return Queue.size(); }
+
+  /// Enqueues \p Id unless it is already queued; returns true if enqueued.
+  bool push(uint32_t Id) {
+    if (Id >= InQueue.size())
+      InQueue.resize(Id + 1, false);
+    if (InQueue[Id])
+      return false;
+    InQueue[Id] = true;
+    Queue.push_back(Id);
+    return true;
+  }
+
+  /// Dequeues the oldest item. Asserts on an empty queue.
+  uint32_t pop() {
+    assert(!empty() && "pop from empty worklist");
+    uint32_t Id = Queue.front();
+    Queue.pop_front();
+    InQueue[Id] = false;
+    return Id;
+  }
+
+  void clear() {
+    Queue.clear();
+    InQueue.assign(InQueue.size(), false);
+  }
+
+private:
+  std::deque<uint32_t> Queue;
+  std::vector<bool> InQueue;
+};
+
+/// LIFO variant of \c FIFOWorkList; depth-first processing order suits the
+/// meld-labelling propagation where labels stabilise along paths.
+class LIFOWorkList {
+public:
+  bool empty() const { return Stack.empty(); }
+  size_t size() const { return Stack.size(); }
+
+  bool push(uint32_t Id) {
+    if (Id >= InStack.size())
+      InStack.resize(Id + 1, false);
+    if (InStack[Id])
+      return false;
+    InStack[Id] = true;
+    Stack.push_back(Id);
+    return true;
+  }
+
+  uint32_t pop() {
+    assert(!empty() && "pop from empty worklist");
+    uint32_t Id = Stack.back();
+    Stack.pop_back();
+    InStack[Id] = false;
+    return Id;
+  }
+
+  void clear() {
+    Stack.clear();
+    InStack.assign(InStack.size(), false);
+  }
+
+private:
+  std::vector<uint32_t> Stack;
+  std::vector<bool> InStack;
+};
+
+} // namespace adt
+} // namespace vsfs
+
+#endif // VSFS_ADT_WORKLIST_H

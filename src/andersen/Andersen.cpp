@@ -1,0 +1,276 @@
+//===- Andersen.cpp - Inclusion-based points-to analysis --------*- C++ -*-===//
+
+#include "andersen/Andersen.h"
+
+#include "andersen/OVS.h"
+
+#include "graph/Graph.h"
+#include "graph/SCC.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::andersen;
+using namespace vsfs::ir;
+
+Andersen::Andersen(Module &M, Options Opts)
+    : M(M), Opts(Opts), NumVars(M.symbols().numVars()) {
+  uint32_t Initial = NumVars + M.symbols().numObjects();
+  ensureNode(Initial == 0 ? 0 : Initial - 1);
+}
+
+void Andersen::ensureNode(uint32_t N) {
+  uint32_t Size = N + 1;
+  if (Size <= Pts.size())
+    return;
+  Pts.resize(Size);
+  Done.resize(Size);
+  Succs.resize(Size);
+  Loads.resize(Size);
+  Stores.resize(Size);
+  Geps.resize(Size);
+  IndCalls.resize(Size);
+  UF.grow(Size);
+}
+
+void Andersen::addCopyEdge(uint32_t From, uint32_t To) {
+  From = rep(From);
+  To = rep(To);
+  if (From == To)
+    return;
+  if (!Succs[From].insert(To).second)
+    return;
+  ++Stats.get("copy-edges");
+  // A new edge must carry everything already known at its source, including
+  // bits marked Done (those were only pushed through the old edges).
+  if (Pts[To].unionWith(Pts[From]))
+    WorkList.push(To);
+}
+
+void Andersen::connectCall(InstID CallSite, FunID Callee) {
+  const Instruction &Call = M.inst(CallSite);
+  const Function &F = M.function(Callee);
+  const auto &Args = Call.callArgs();
+  size_t N = std::min(Args.size(), F.Params.size());
+  for (size_t I = 0; I < N; ++I)
+    addCopyEdge(varNode(Args[I]), varNode(F.Params[I]));
+  if (Call.Dst != InvalidVar) {
+    VarID Ret = M.inst(F.Exit).exitRet();
+    if (Ret != InvalidVar)
+      addCopyEdge(varNode(Ret), varNode(Call.Dst));
+  }
+}
+
+void Andersen::buildConstraints() {
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    switch (Inst.Kind) {
+    case InstKind::Alloc: {
+      uint32_t N = rep(varNode(Inst.Dst));
+      if (Pts[N].set(Inst.allocObject()))
+        WorkList.push(N);
+      break;
+    }
+    case InstKind::Copy:
+      addCopyEdge(varNode(Inst.copySrc()), varNode(Inst.Dst));
+      break;
+    case InstKind::Phi:
+      for (VarID Src : Inst.phiSrcs())
+        addCopyEdge(varNode(Src), varNode(Inst.Dst));
+      break;
+    case InstKind::FieldAddr:
+      Geps[rep(varNode(Inst.fieldBase()))].push_back(
+          {varNode(Inst.Dst), Inst.fieldOffset()});
+      WorkList.push(rep(varNode(Inst.fieldBase())));
+      break;
+    case InstKind::Load:
+      Loads[rep(varNode(Inst.loadPtr()))].push_back({varNode(Inst.Dst)});
+      WorkList.push(rep(varNode(Inst.loadPtr())));
+      break;
+    case InstKind::Store:
+      Stores[rep(varNode(Inst.storePtr()))].push_back(
+          {varNode(Inst.storeVal())});
+      WorkList.push(rep(varNode(Inst.storePtr())));
+      break;
+    case InstKind::Call:
+      if (Inst.isIndirectCall()) {
+        IndCalls[rep(varNode(Inst.indirectCalleeVar()))].push_back(I);
+        WorkList.push(rep(varNode(Inst.indirectCalleeVar())));
+      } else {
+        if (CG.addEdge(I, Inst.directCallee()))
+          connectCall(I, Inst.directCallee());
+      }
+      break;
+    case InstKind::FunEntry:
+    case InstKind::FunExit:
+      break; // Parameter/return flow is wired per call edge.
+    }
+  }
+}
+
+PointsTo Andersen::pendingDelta(uint32_t N) {
+  PointsTo Delta = Pts[N];
+  Delta.intersectWithComplement(Done[N]);
+  return Delta;
+}
+
+void Andersen::processNode(uint32_t N) {
+  assert(N == rep(N) && "process representatives only");
+  PointsTo Delta = pendingDelta(N);
+  if (Delta.empty() && Succs[N].empty())
+    return;
+  Done[N].unionWith(Delta);
+
+  // Copy the constraint lists: processing a field-addr constraint can create
+  // a new object, growing (and relocating) the per-node tables.
+  const std::vector<LoadCons> NodeLoads = Loads[N];
+  const std::vector<StoreCons> NodeStores = Stores[N];
+  const std::vector<GepCons> NodeGeps = Geps[N];
+  const std::vector<InstID> NodeIndCalls = IndCalls[N];
+
+  // Complex constraints driven by the new pointees.
+  for (uint32_t O : Delta) {
+    for (const LoadCons &L : NodeLoads)
+      addCopyEdge(objNode(O), varNode(L.Dst));
+    for (const StoreCons &S : NodeStores)
+      addCopyEdge(varNode(S.Src), objNode(O));
+    for (const GepCons &G : NodeGeps) {
+      ObjID Fld = M.symbols().getFieldObject(O, G.Offset);
+      ensureNode(objNode(Fld));
+      uint32_t DstRep = rep(varNode(G.Dst));
+      if (Pts[DstRep].set(Fld))
+        WorkList.push(DstRep);
+    }
+    if (!NodeIndCalls.empty() && M.symbols().isFunctionObject(O)) {
+      FunID Callee = M.symbols().object(O).Func;
+      for (InstID CS : NodeIndCalls)
+        if (CG.addEdge(CS, Callee))
+          connectCall(CS, Callee);
+    }
+  }
+
+  // Inclusion propagation of the delta.
+  if (!Delta.empty()) {
+    for (uint32_t S : Succs[N]) {
+      uint32_t SR = rep(S);
+      if (SR == N)
+        continue;
+      ++Stats.get("propagations");
+      if (Pts[SR].unionWith(Delta))
+        WorkList.push(SR);
+    }
+  }
+}
+
+void Andersen::collapseCycles() {
+  ++Stats.get("scc-passes");
+  const uint32_t Size = static_cast<uint32_t>(Pts.size());
+  graph::AdjacencyGraph G(Size);
+  for (uint32_t N = 0; N < Size; ++N) {
+    if (N != rep(N))
+      continue;
+    for (uint32_t S : Succs[N]) {
+      uint32_t SR = rep(S);
+      if (SR != N)
+        G.addEdge(N, SR);
+    }
+  }
+  graph::SCCResult SCCs = graph::computeSCCs(G);
+  for (const auto &Members : SCCs.Members) {
+    // Only current representatives matter; non-reps are isolated nodes in G.
+    if (Members.size() < 2)
+      continue;
+    uint32_t Lead = rep(Members.front());
+    for (size_t I = 1; I < Members.size(); ++I) {
+      uint32_t Node = Members[I];
+      if (rep(Node) == Lead)
+        continue;
+      ++Stats.get("nodes-collapsed");
+      mergeNodeInto(Lead, Node);
+    }
+    // Self-edges may remain as stale entries pointing at merged nodes;
+    // rep() mapping at use makes them no-ops.
+    WorkList.push(Lead);
+  }
+}
+
+void Andersen::mergeNodeInto(uint32_t Lead, uint32_t Node) {
+  assert(Lead == rep(Lead) && Node == rep(Node) && Lead != Node &&
+         "merge distinct representatives");
+  UF.uniteInto(Lead, Node);
+  Pts[Lead].unionWith(Pts[Node]);
+  Pts[Node].clear();
+  // Bits count as processed only if both halves processed them.
+  Done[Lead].intersectWith(Done[Node]);
+  Done[Node].clear();
+  Succs[Lead].insert(Succs[Node].begin(), Succs[Node].end());
+  Succs[Node].clear();
+  Succs[Lead].erase(Lead);
+  Succs[Lead].erase(Node);
+  auto MoveAll = [](auto &From, auto &To) {
+    To.insert(To.end(), From.begin(), From.end());
+    From.clear();
+    From.shrink_to_fit();
+  };
+  MoveAll(Loads[Node], Loads[Lead]);
+  MoveAll(Stores[Node], Stores[Lead]);
+  MoveAll(Geps[Node], Geps[Lead]);
+  MoveAll(IndCalls[Node], IndCalls[Lead]);
+}
+
+void Andersen::applySubstitution() {
+  OfflineSubstitution OVS(M);
+  // Group variables by class and merge each class onto one node.
+  std::vector<uint32_t> LeadOfClass(OVS.numClasses(), UINT32_MAX);
+  for (ir::VarID V = 0; V < NumVars; ++V) {
+    uint32_t C = OVS.classOf(V);
+    uint32_t Node = rep(varNode(V));
+    if (LeadOfClass[C] == UINT32_MAX) {
+      LeadOfClass[C] = Node;
+      continue;
+    }
+    uint32_t Lead = rep(LeadOfClass[C]);
+    if (Lead != Node) {
+      ++Stats.get("vars-substituted");
+      mergeNodeInto(Lead, Node);
+      WorkList.push(Lead);
+    }
+    LeadOfClass[C] = Lead;
+  }
+  Stats.get("ovs-classes") = OVS.numClasses();
+}
+
+void Andersen::solve() {
+  if (Solved)
+    return;
+  Solved = true;
+  buildConstraints();
+  if (Opts.OfflineSubstitution)
+    applySubstitution();
+  collapseCycles();
+
+  const uint64_t CollapsePeriod =
+      std::max<uint64_t>(50000, static_cast<uint64_t>(Pts.size()));
+  while (!WorkList.empty()) {
+    uint32_t N = rep(WorkList.pop());
+    processNode(N);
+    if (++ProcessedSinceCollapse >= CollapsePeriod) {
+      ProcessedSinceCollapse = 0;
+      collapseCycles();
+    }
+  }
+
+  Stats.get("nodes") = Pts.size();
+  Stats.get("objects") = M.symbols().numObjects();
+}
+
+const PointsTo &Andersen::ptsOfVar(VarID V) const {
+  assert(V < NumVars && "unknown variable");
+  return Pts[rep(varNode(V))];
+}
+
+const PointsTo &Andersen::ptsOfObj(ObjID O) const {
+  uint32_t N = NumVars + O;
+  assert(N < Pts.size() && "unknown object");
+  return Pts[rep(N)];
+}

@@ -1,0 +1,136 @@
+//===- Andersen.h - Inclusion-based points-to analysis ----------*- C++ -*-===//
+///
+/// \file
+/// Andersen-style flow-insensitive, inclusion-based points-to analysis with
+/// on-the-fly call-graph construction and field sensitivity. This is the
+/// auxiliary ("staged") analysis of SFS/VSFS: its results build the memory
+/// SSA form and the SVFG, and bound which objects each store/load may
+/// define/use.
+///
+/// The solver runs over a unified node space (top-level variables followed
+/// by abstract objects), propagating points-to sets along inclusion (copy)
+/// edges with difference propagation, and collapsing copy-edge cycles with
+/// periodic Tarjan passes over the constraint graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ANDERSEN_ANDERSEN_H
+#define VSFS_ANDERSEN_ANDERSEN_H
+
+#include "adt/PointsTo.h"
+#include "adt/UnionFind.h"
+#include "adt/WorkList.h"
+#include "andersen/CallGraph.h"
+#include "ir/Module.h"
+#include "support/Statistics.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace vsfs {
+namespace andersen {
+
+/// Runs Andersen's analysis on a module and exposes the results.
+///
+/// Field objects may be created during solving (FieldAddr on heap objects),
+/// so the analysis mutates the module's symbol table; all later stages see
+/// the complete object universe.
+class Andersen {
+public:
+  struct Options {
+    /// Collapse pointer-equivalent variables before solving (offline
+    /// variable substitution, see andersen/OVS.h). Precision-neutral.
+    bool OfflineSubstitution = false;
+  };
+
+  Andersen(ir::Module &M, Options Opts);
+  explicit Andersen(ir::Module &M) : Andersen(M, Options()) {}
+
+  /// Solves to a fixed point. Idempotent.
+  void solve();
+
+  /// Points-to set of a top-level variable.
+  const PointsTo &ptsOfVar(ir::VarID V) const;
+  /// Points-to set of an address-taken object (what its memory points to).
+  const PointsTo &ptsOfObj(ir::ObjID O) const;
+
+  /// The call graph including resolved indirect calls.
+  const CallGraph &callGraph() const { return CG; }
+
+  /// Work statistics (propagations, SCC collapses, ...).
+  const StatGroup &stats() const { return Stats; }
+  ir::Module &module() { return M; }
+
+private:
+  // --- Node space -------------------------------------------------------
+  // Node IDs: [0, NumVars) are variables; NumVars + O is object O.
+  uint32_t varNode(ir::VarID V) const { return V; }
+  uint32_t objNode(ir::ObjID O) const { return NumVars + O; }
+  bool isObjNode(uint32_t N) const { return N >= NumVars; }
+  ir::ObjID nodeObj(uint32_t N) const { return N - NumVars; }
+
+  /// Representative node after cycle collapsing.
+  uint32_t rep(uint32_t N) const { return UF.find(N); }
+
+  /// Grows per-node tables to cover node \p N (field objects appear lazily).
+  void ensureNode(uint32_t N);
+
+  // --- Constraint construction -------------------------------------------
+  void buildConstraints();
+  void addCopyEdge(uint32_t From, uint32_t To);
+  void connectCall(ir::InstID CallSite, ir::FunID Callee);
+
+  // --- Solving ------------------------------------------------------------
+  void processNode(uint32_t N);
+  void collapseCycles();
+  /// Merges node \p Node into representative \p Lead (points-to sets,
+  /// constraint lists, edges); used by cycle collapsing and substitution.
+  void mergeNodeInto(uint32_t Lead, uint32_t Node);
+  /// Applies offline variable substitution's classes to the node space.
+  void applySubstitution();
+
+  /// Pending (unprocessed) part of a node's points-to set.
+  PointsTo pendingDelta(uint32_t N);
+
+  ir::Module &M;
+  Options Opts;
+  uint32_t NumVars;
+
+  /// Per-node points-to sets and the already-processed subsets.
+  std::vector<PointsTo> Pts;
+  std::vector<PointsTo> Done;
+  /// Copy (inclusion) edges, deduplicated.
+  std::vector<std::unordered_set<uint32_t>> Succs;
+
+  /// Complex constraints indexed by the node whose points-to set drives
+  /// them. Loads attach to the loaded pointer, stores to the stored-through
+  /// pointer, field-addrs to the base pointer, indirect calls to the callee
+  /// pointer.
+  struct LoadCons {
+    uint32_t Dst;
+  };
+  struct StoreCons {
+    uint32_t Src;
+  };
+  struct GepCons {
+    uint32_t Dst;
+    uint32_t Offset;
+  };
+  std::vector<std::vector<LoadCons>> Loads;
+  std::vector<std::vector<StoreCons>> Stores;
+  std::vector<std::vector<GepCons>> Geps;
+  std::vector<std::vector<ir::InstID>> IndCalls;
+
+  adt::UnionFind UF;
+  adt::FIFOWorkList WorkList;
+  CallGraph CG;
+  StatGroup Stats{"andersen"};
+
+  uint64_t ProcessedSinceCollapse = 0;
+  bool Solved = false;
+};
+
+} // namespace andersen
+} // namespace vsfs
+
+#endif // VSFS_ANDERSEN_ANDERSEN_H

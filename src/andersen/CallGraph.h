@@ -1,0 +1,80 @@
+//===- CallGraph.h - Call graph with indirect-call edges --------*- C++ -*-===//
+///
+/// \file
+/// The call graph discovered by a pointer analysis. Direct call edges come
+/// straight from the IR; indirect edges are added as the analysis resolves
+/// function-pointer targets (Andersen's for the auxiliary stage, or the
+/// flow-sensitive analysis itself when resolving on the fly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ANDERSEN_CALLGRAPH_H
+#define VSFS_ANDERSEN_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace andersen {
+
+/// Callsite -> callee multimap plus reverse index.
+class CallGraph {
+public:
+  /// Adds an edge; returns true if it was new.
+  bool addEdge(ir::InstID CallSite, ir::FunID Callee) {
+    auto &Out = CalleesOf[CallSite];
+    if (std::find(Out.begin(), Out.end(), Callee) != Out.end())
+      return false;
+    Out.push_back(Callee);
+    CallersOf[Callee].push_back(CallSite);
+    ++NumEdgesCount;
+    return true;
+  }
+
+  bool hasEdge(ir::InstID CallSite, ir::FunID Callee) const {
+    auto It = CalleesOf.find(CallSite);
+    if (It == CalleesOf.end())
+      return false;
+    return std::find(It->second.begin(), It->second.end(), Callee) !=
+           It->second.end();
+  }
+
+  /// Callees of \p CallSite (empty if unresolved).
+  const std::vector<ir::FunID> &callees(ir::InstID CallSite) const {
+    static const std::vector<ir::FunID> Empty;
+    auto It = CalleesOf.find(CallSite);
+    return It == CalleesOf.end() ? Empty : It->second;
+  }
+
+  /// Callsites that may invoke \p Callee.
+  const std::vector<ir::InstID> &callers(ir::FunID Callee) const {
+    static const std::vector<ir::InstID> Empty;
+    auto It = CallersOf.find(Callee);
+    return It == CallersOf.end() ? Empty : It->second;
+  }
+
+  uint64_t numEdges() const { return NumEdgesCount; }
+
+  /// All callsites with at least one callee.
+  std::vector<ir::InstID> callSites() const {
+    std::vector<ir::InstID> Sites;
+    Sites.reserve(CalleesOf.size());
+    for (const auto &[CS, Callees] : CalleesOf)
+      Sites.push_back(CS);
+    std::sort(Sites.begin(), Sites.end());
+    return Sites;
+  }
+
+private:
+  std::unordered_map<ir::InstID, std::vector<ir::FunID>> CalleesOf;
+  std::unordered_map<ir::FunID, std::vector<ir::InstID>> CallersOf;
+  uint64_t NumEdgesCount = 0;
+};
+
+} // namespace andersen
+} // namespace vsfs
+
+#endif // VSFS_ANDERSEN_CALLGRAPH_H

@@ -1,0 +1,189 @@
+//===- OVS.cpp - Offline variable substitution (HVN) ------------*- C++ -*-===//
+
+#include "andersen/OVS.h"
+
+#include "adt/LabelStore.h"
+#include "graph/Graph.h"
+#include "graph/SCC.h"
+
+#include <unordered_map>
+
+using namespace vsfs;
+using namespace vsfs::andersen;
+using namespace vsfs::ir;
+
+namespace {
+
+/// How a variable's label is computed from its (single, partial-SSA)
+/// definition.
+enum class DefRule : uint8_t {
+  Fresh, ///< alloc dst, load dst, indirect-call dst, address-taken params
+  Union, ///< copy/phi/direct-call dst/param: union of input labels
+  Gep,   ///< field-addr dst: a memoised function of (base label, offset)
+  None   ///< no definition seen (dead name): the empty label
+};
+
+} // namespace
+
+OfflineSubstitution::OfflineSubstitution(const Module &M) {
+  const uint32_t N = M.symbols().numVars();
+  ClassOf.assign(N, 0);
+  if (N == 0)
+    return;
+
+  std::vector<DefRule> Rule(N, DefRule::None);
+  std::vector<std::vector<VarID>> Inputs(N);
+  std::vector<uint32_t> GepOffset(N, 0);
+
+  // Which functions may be entered through a pointer: their parameters
+  // (and, symmetrically, indirect-call results) have inputs the offline
+  // pass cannot see.
+  std::vector<uint8_t> AddressTaken(M.numFunctions(), 0);
+  for (FunID F = 0; F < M.numFunctions(); ++F)
+    AddressTaken[F] = M.function(F).hasAddressTaken();
+
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    switch (Inst.Kind) {
+    case InstKind::Alloc:
+      Rule[Inst.Dst] = DefRule::Fresh;
+      break;
+    case InstKind::Copy:
+      Rule[Inst.Dst] = DefRule::Union;
+      Inputs[Inst.Dst].push_back(Inst.copySrc());
+      break;
+    case InstKind::Phi:
+      Rule[Inst.Dst] = DefRule::Union;
+      for (VarID Src : Inst.phiSrcs())
+        Inputs[Inst.Dst].push_back(Src);
+      break;
+    case InstKind::FieldAddr:
+      Rule[Inst.Dst] = DefRule::Gep;
+      Inputs[Inst.Dst].push_back(Inst.fieldBase());
+      GepOffset[Inst.Dst] = Inst.fieldOffset();
+      break;
+    case InstKind::Load:
+      Rule[Inst.Dst] = DefRule::Fresh;
+      break;
+    case InstKind::Store:
+      break;
+    case InstKind::Call: {
+      if (Inst.Dst != InvalidVar) {
+        if (Inst.isIndirectCall()) {
+          Rule[Inst.Dst] = DefRule::Fresh;
+        } else {
+          Rule[Inst.Dst] = DefRule::Union;
+          VarID Ret = M.inst(M.function(Inst.directCallee()).Exit).exitRet();
+          if (Ret != InvalidVar)
+            Inputs[Inst.Dst].push_back(Ret);
+        }
+      }
+      if (!Inst.isIndirectCall()) {
+        // Actual -> formal flows of this (direct) callsite.
+        const Function &F = M.function(Inst.directCallee());
+        size_t Count = std::min(Inst.callArgs().size(), F.Params.size());
+        for (size_t K = 0; K < Count; ++K)
+          Inputs[F.Params[K]].push_back(Inst.callArgs()[K]);
+      }
+      break;
+    }
+    case InstKind::FunEntry:
+      for (VarID P : Inst.entryParams())
+        Rule[P] = AddressTaken[Inst.Parent] ? DefRule::Fresh
+                                            : DefRule::Union;
+      break;
+    case InstKind::FunExit:
+      break;
+    }
+  }
+  // Fresh nodes take no inputs; drop any recorded for them (e.g. a direct
+  // callsite feeding an address-taken function's parameter).
+  for (VarID V = 0; V < N; ++V)
+    if (Rule[V] == DefRule::Fresh || Rule[V] == DefRule::None)
+      Inputs[V].clear();
+
+  // Dependency graph (input -> var) and its condensation; component IDs
+  // are reverse-topological, so descending order visits inputs first.
+  graph::AdjacencyGraph Dep(N);
+  for (VarID V = 0; V < N; ++V)
+    for (VarID In : Inputs[V])
+      Dep.addEdge(In, V);
+  graph::SCCResult SCCs = graph::computeSCCs(Dep);
+
+  adt::LabelStore Store;
+  uint32_t NextFreshBit = 0;
+  std::vector<adt::LabelID> VarLabel(N, adt::EpsilonLabel);
+  // Memoised gep transformer: (base label, offset) -> derived label.
+  std::unordered_map<uint64_t, adt::LabelID> GepMemo;
+
+  // A component is "poisoned" when a gep feeds it from within itself: the
+  // union algebra cannot stabilise a transformer cycle, and unlike a pure
+  // copy/phi cycle its members' solutions are NOT mutually equal (the gep
+  // destination holds fields of what the others hold). Poisoned members
+  // each get their own fresh label so nothing merges with them. (A gep
+  // destination's only input is its base, so gep-in-a-cycle implies the
+  // base is in the same component.)
+  std::vector<uint8_t> Poisoned(SCCs.NumComponents, 0);
+  for (VarID V = 0; V < N; ++V)
+    if (Rule[V] == DefRule::Gep &&
+        SCCs.ComponentOf[Inputs[V][0]] == SCCs.ComponentOf[V])
+      Poisoned[SCCs.ComponentOf[V]] = 1;
+
+  for (uint32_t C = SCCs.NumComponents; C-- > 0;) {
+    if (Poisoned[C]) {
+      for (VarID V : SCCs.Members[C])
+        VarLabel[V] = Store.singleton(NextFreshBit++);
+      continue;
+    }
+    adt::LabelID L = adt::EpsilonLabel;
+    for (VarID V : SCCs.Members[C]) {
+      switch (Rule[V]) {
+      case DefRule::Fresh:
+        // Fresh vars have no inputs, so they are always singleton comps.
+        L = Store.meld(L, Store.singleton(NextFreshBit++));
+        break;
+      case DefRule::Gep: {
+        // Base outside the component (otherwise poisoned above).
+        uint64_t Key =
+            (uint64_t(VarLabel[Inputs[V][0]]) << 32) | GepOffset[V];
+        auto [It, New] = GepMemo.emplace(Key, adt::EpsilonLabel);
+        if (New)
+          It->second = Store.singleton(NextFreshBit++);
+        L = Store.meld(L, It->second);
+        break;
+      }
+      case DefRule::Union:
+      case DefRule::None:
+        for (VarID In : Inputs[V])
+          if (SCCs.ComponentOf[In] != C)
+            L = Store.meld(L, VarLabel[In]);
+        break;
+      }
+    }
+    for (VarID V : SCCs.Members[C])
+      VarLabel[V] = L;
+  }
+
+  // Classes: variables sharing a final label share a class.
+  std::unordered_map<adt::LabelID, uint32_t> ClassOfLabel;
+  std::vector<uint32_t> ClassSize;
+  for (VarID V = 0; V < N; ++V) {
+    adt::LabelID L = VarLabel[V];
+    auto [It, New] = ClassOfLabel.emplace(L, NumClasses);
+    if (New) {
+      ++NumClasses;
+      ClassSize.push_back(0);
+    }
+    ClassOf[V] = It->second;
+    ++ClassSize[It->second];
+  }
+  for (uint32_t Size : ClassSize)
+    if (Size > 1)
+      Collapsible += Size;
+
+  Stats.get("vars") = N;
+  Stats.get("classes") = NumClasses;
+  Stats.get("collapsible-vars") = Collapsible;
+  Stats.get("fresh-bits") = NextFreshBit;
+  Stats.get("memo-hits") = Store.memoHits();
+}

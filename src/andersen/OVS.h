@@ -1,0 +1,70 @@
+//===- OVS.h - Offline variable substitution (HVN) --------------*- C++ -*-===//
+///
+/// \file
+/// Offline variable substitution (Rountev & Chandra), in the hash-based
+/// value-numbering form (Hardekopf & Lin): before Andersen's analysis
+/// runs, find top-level variables that provably end up with *equal*
+/// points-to sets and collapse each class to one solver node.
+///
+/// §VI of the paper observes that object versioning "is an instance of
+/// offline variable substitution" — the same idea, applied offline to the
+/// auxiliary analysis itself: assign labels such that equal label sets
+/// imply equal solutions, then share.
+///
+/// Labelling rules over the offline (top-level) constraint graph, processed
+/// on the SCC condensation in topological order:
+///  - an Alloc destination holds a fresh label (a distinct points-to seed);
+///  - "indirect" nodes — load results, destinations of indirect calls, and
+///    parameters/returns reachable through address-taken functions — hold
+///    fresh labels (their inputs are unknown offline);
+///  - a FieldAddr destination's label is a memoised function of its base's
+///    label and the offset (equal bases at equal offsets ⇒ equal fields);
+///  - every other node's label is the union of its predecessors' labels
+///    (hash-consed);
+///  - an SCC shares one label.
+///
+/// Variables with identical labels form one substitution class; Andersen
+/// solves one node per class. Precision is unchanged — the classes merge
+/// only provably-equal solutions — which tests/ovs_test.cpp verifies
+/// against the unsubstituted solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ANDERSEN_OVS_H
+#define VSFS_ANDERSEN_OVS_H
+
+#include "ir/Module.h"
+#include "support/Statistics.h"
+
+#include <vector>
+
+namespace vsfs {
+namespace andersen {
+
+/// Computes pointer-equivalence classes of top-level variables.
+class OfflineSubstitution {
+public:
+  explicit OfflineSubstitution(const ir::Module &M);
+
+  /// The substitution class of \p V (dense IDs in [0, numClasses())).
+  /// Variables sharing a class have provably equal Andersen solutions.
+  uint32_t classOf(ir::VarID V) const { return ClassOf[V]; }
+  uint32_t numClasses() const { return NumClasses; }
+
+  /// Number of variables sharing a class with at least one other variable
+  /// (the substitution opportunity OVS found).
+  uint32_t numCollapsibleVars() const { return Collapsible; }
+
+  const StatGroup &stats() const { return Stats; }
+
+private:
+  std::vector<uint32_t> ClassOf;
+  uint32_t NumClasses = 0;
+  uint32_t Collapsible = 0;
+  StatGroup Stats{"ovs"};
+};
+
+} // namespace andersen
+} // namespace vsfs
+
+#endif // VSFS_ANDERSEN_OVS_H

@@ -1,0 +1,108 @@
+//===- Validate.cpp - Andersen solution validator ---------------*- C++ -*-===//
+
+#include "andersen/Validate.h"
+
+#include "ir/Printer.h"
+
+using namespace vsfs;
+using namespace vsfs::andersen;
+using namespace vsfs::ir;
+
+namespace {
+
+/// Copies the symbol table interface for field lookups without mutating:
+/// by validation time every needed field object exists (the solver created
+/// them), so getFieldObject only reads.
+ObjID fieldObject(Module &M, ObjID Base, uint32_t Offset) {
+  return M.symbols().getFieldObject(Base, Offset);
+}
+
+} // namespace
+
+std::vector<std::string>
+vsfs::andersen::validateSolution(const Module &MConst, const Andersen &A) {
+  // getFieldObject is memoised; see fieldObject() above.
+  Module &M = const_cast<Module &>(MConst);
+  std::vector<std::string> Errors;
+  auto Fail = [&Errors, &M](InstID I, const std::string &Why) {
+    Errors.push_back("constraint violated at '" + printInst(M, I) +
+                     "': " + Why);
+  };
+  auto Contains = [](const PointsTo &Sup, const PointsTo &Sub) {
+    return Sup.contains(Sub);
+  };
+
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    switch (Inst.Kind) {
+    case InstKind::Alloc:
+      // [ADDR]: o ∈ pt(p).
+      if (!A.ptsOfVar(Inst.Dst).test(Inst.allocObject()))
+        Fail(I, "allocated object missing from pt(dst)");
+      break;
+    case InstKind::Copy:
+      // [COPY]: pt(src) ⊆ pt(dst).
+      if (!Contains(A.ptsOfVar(Inst.Dst), A.ptsOfVar(Inst.copySrc())))
+        Fail(I, "pt(src) not within pt(dst)");
+      break;
+    case InstKind::Phi:
+      for (VarID Src : Inst.phiSrcs())
+        if (!Contains(A.ptsOfVar(Inst.Dst), A.ptsOfVar(Src)))
+          Fail(I, "pt(phi operand) not within pt(dst)");
+      break;
+    case InstKind::FieldAddr:
+      // [FIELD]: ∀o ∈ pt(base): fld(o, k) ∈ pt(dst).
+      for (uint32_t O : A.ptsOfVar(Inst.fieldBase()))
+        if (!A.ptsOfVar(Inst.Dst).test(
+                fieldObject(M, O, Inst.fieldOffset())))
+          Fail(I, "field object of pointee missing from pt(dst)");
+      break;
+    case InstKind::Load:
+      // [LOAD]: ∀o ∈ pt(q): pt(o) ⊆ pt(p).
+      for (uint32_t O : A.ptsOfVar(Inst.loadPtr()))
+        if (!Contains(A.ptsOfVar(Inst.Dst), A.ptsOfObj(O)))
+          Fail(I, "pt(pointee of q) not within pt(p)");
+      break;
+    case InstKind::Store:
+      // [STORE]: ∀o ∈ pt(p): pt(q) ⊆ pt(o).
+      for (uint32_t O : A.ptsOfVar(Inst.storePtr()))
+        if (!Contains(A.ptsOfObj(O), A.ptsOfVar(Inst.storeVal())))
+          Fail(I, "pt(value) not within pt(pointee of p)");
+      break;
+    case InstKind::Call: {
+      // [CALL]/[RET], plus call-graph completeness for indirect calls:
+      // every function object in the callee pointer's set is an edge.
+      std::vector<FunID> Expected;
+      if (Inst.isIndirectCall()) {
+        for (uint32_t O : A.ptsOfVar(Inst.indirectCalleeVar()))
+          if (M.symbols().isFunctionObject(O))
+            Expected.push_back(M.symbols().object(O).Func);
+      } else {
+        Expected.push_back(Inst.directCallee());
+      }
+      for (FunID Callee : Expected) {
+        if (!A.callGraph().hasEdge(I, Callee)) {
+          Fail(I, "missing call-graph edge to @" +
+                      M.function(Callee).Name);
+          continue;
+        }
+        const Function &F = M.function(Callee);
+        size_t N = std::min(Inst.callArgs().size(), F.Params.size());
+        for (size_t K = 0; K < N; ++K)
+          if (!Contains(A.ptsOfVar(F.Params[K]),
+                        A.ptsOfVar(Inst.callArgs()[K])))
+            Fail(I, "pt(arg) not within pt(param) of @" + F.Name);
+        VarID Ret = M.inst(F.Exit).exitRet();
+        if (Inst.Dst != InvalidVar && Ret != InvalidVar &&
+            !Contains(A.ptsOfVar(Inst.Dst), A.ptsOfVar(Ret)))
+          Fail(I, "pt(return of @" + F.Name + ") not within pt(dst)");
+      }
+      break;
+    }
+    case InstKind::FunEntry:
+    case InstKind::FunExit:
+      break;
+    }
+  }
+  return Errors;
+}

@@ -1,0 +1,35 @@
+//===- Validate.h - Andersen solution validator -----------------*- C++ -*-===//
+///
+/// \file
+/// Checks that a solved Andersen analysis actually satisfies every
+/// inclusion constraint the program induces — a direct, solver-independent
+/// encoding of the [ADDR]/[COPY]/[PHI]/[FIELD]/[LOAD]/[STORE]/[CALL]/[RET]
+/// closure rules. The solver being checked uses worklists, difference
+/// propagation and cycle collapsing; this validator uses none of them, so
+/// a bug in those optimisations cannot hide from it.
+///
+/// Used by the test suite on generated programs; also handy as a debugging
+/// aid when modifying the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ANDERSEN_VALIDATE_H
+#define VSFS_ANDERSEN_VALIDATE_H
+
+#include "andersen/Andersen.h"
+
+#include <string>
+#include <vector>
+
+namespace vsfs {
+namespace andersen {
+
+/// Returns all constraint violations found in \p A's solution for \p M
+/// (empty means the solution is a valid closure). \p A must be solved.
+std::vector<std::string> validateSolution(const ir::Module &M,
+                                          const Andersen &A);
+
+} // namespace andersen
+} // namespace vsfs
+
+#endif // VSFS_ANDERSEN_VALIDATE_H

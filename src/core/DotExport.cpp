@@ -1,0 +1,116 @@
+//===- DotExport.cpp - GraphViz dumps ---------------------------*- C++ -*-===//
+
+#include "core/DotExport.h"
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace vsfs;
+using namespace vsfs::core;
+using namespace vsfs::ir;
+
+namespace {
+
+/// Escapes characters dot label strings cannot contain verbatim.
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string vsfs::core::dotCFG(const Module &M, FunID F) {
+  const Function &Fun = M.function(F);
+  std::ostringstream OS;
+  OS << "digraph \"cfg_" << escape(Fun.Name) << "\" {\n";
+  OS << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (BlockID B = 0; B < Fun.Blocks.size(); ++B) {
+    const BasicBlock &Block = Fun.Blocks[B];
+    OS << "  b" << B << " [label=\"" << escape(Block.Name) << ":\\l";
+    for (InstID I : Block.Insts)
+      OS << escape(printInst(M, I)) << "\\l";
+    OS << "\"];\n";
+    for (BlockID S : Block.Succs)
+      OS << "  b" << B << " -> b" << S << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string vsfs::core::dotCallGraph(const Module &M,
+                                     const andersen::CallGraph &CG) {
+  std::ostringstream OS;
+  OS << "digraph callgraph {\n  node [shape=oval];\n";
+  for (FunID F = 0; F < M.numFunctions(); ++F)
+    OS << "  f" << F << " [label=\"" << escape(M.function(F).Name)
+       << "\"];\n";
+  for (InstID CS : CG.callSites()) {
+    const Instruction &Call = M.inst(CS);
+    const char *Style = Call.isIndirectCall() ? " [style=dashed]" : "";
+    for (FunID Callee : CG.callees(CS))
+      OS << "  f" << Call.Parent << " -> f" << Callee << Style << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string vsfs::core::dotSVFG(const svfg::SVFG &G, uint32_t MaxNodes) {
+  const Module &M = G.module();
+  const uint32_t Limit =
+      MaxNodes == 0 ? G.numNodes() : std::min(MaxNodes, G.numNodes());
+  std::ostringstream OS;
+  OS << "digraph svfg {\n  node [fontname=\"monospace\"];\n";
+  for (svfg::NodeID N = 0; N < Limit; ++N) {
+    const svfg::Node &Node = G.node(N);
+    OS << "  n" << N << " [";
+    switch (Node.Kind) {
+    case svfg::NodeKind::Inst:
+      OS << "shape=box, label=\"" << escape(printInst(M, Node.Inst)) << "\"";
+      break;
+    case svfg::NodeKind::MemPhi:
+      OS << "shape=diamond, label=\"memphi("
+         << escape(M.symbols().object(Node.Obj).Name) << ")\"";
+      break;
+    case svfg::NodeKind::EntryChi:
+      OS << "shape=ellipse, label=\"entrychi("
+         << escape(M.symbols().object(Node.Obj).Name) << ")@"
+         << escape(M.function(Node.Fun).Name) << "\"";
+      break;
+    case svfg::NodeKind::ExitMu:
+      OS << "shape=ellipse, label=\"exitmu("
+         << escape(M.symbols().object(Node.Obj).Name) << ")@"
+         << escape(M.function(Node.Fun).Name) << "\"";
+      break;
+    case svfg::NodeKind::CallMu:
+      OS << "shape=hexagon, label=\"callmu("
+         << escape(M.symbols().object(Node.Obj).Name) << ")\"";
+      break;
+    case svfg::NodeKind::CallChi:
+      OS << "shape=hexagon, label=\"callchi("
+         << escape(M.symbols().object(Node.Obj).Name) << ")\"";
+      break;
+    }
+    OS << "];\n";
+  }
+  for (svfg::NodeID N = 0; N < Limit; ++N) {
+    for (svfg::NodeID S : G.directSuccs(N))
+      if (S < Limit)
+        OS << "  n" << N << " -> n" << S << ";\n";
+    for (const svfg::IndEdge &E : G.indirectSuccs(N))
+      if (E.Dst < Limit)
+        OS << "  n" << N << " -> n" << E.Dst << " [style=dashed, label=\""
+           << escape(M.symbols().object(E.Obj).Name) << "\"];\n";
+  }
+  if (Limit < G.numNodes())
+    OS << "  elided [shape=plaintext, label=\"(" << (G.numNodes() - Limit)
+       << " more nodes elided)\"];\n";
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,37 @@
+//===- DotExport.h - GraphViz dumps of analysis structures ------*- C++ -*-===//
+///
+/// \file
+/// Renders the analysis data structures as GraphViz dot: per-function CFGs,
+/// the call graph (direct vs. resolved-indirect edges), and the SVFG
+/// (direct edges solid, object-labelled indirect edges dashed and labelled,
+/// χ/μ/φ nodes shaped distinctly). Used by the vsfs-wpa tool's --dump-*
+/// options and handy when debugging analyses on small programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_DOTEXPORT_H
+#define VSFS_CORE_DOTEXPORT_H
+
+#include "andersen/CallGraph.h"
+#include "ir/Module.h"
+#include "svfg/SVFG.h"
+
+#include <string>
+
+namespace vsfs {
+namespace core {
+
+/// The block-level control-flow graph of \p F.
+std::string dotCFG(const ir::Module &M, ir::FunID F);
+
+/// The call graph; indirect-call edges are dashed.
+std::string dotCallGraph(const ir::Module &M, const andersen::CallGraph &CG);
+
+/// The SVFG. \p MaxNodes caps output size (0 = no cap); nodes past the cap
+/// are elided with a summary note, since real SVFGs are enormous.
+std::string dotSVFG(const svfg::SVFG &G, uint32_t MaxNodes = 0);
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_DOTEXPORT_H

@@ -1,0 +1,252 @@
+//===- FlowSensitive.cpp - Staged flow-sensitive analysis -------*- C++ -*-===//
+
+#include "core/FlowSensitive.h"
+
+#include "core/StrongUpdate.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::core;
+using namespace vsfs::ir;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+FlowSensitive::FlowSensitive(svfg::SVFG &G, Options Opts)
+    : G(G), M(G.module()), Opts(Opts) {
+  VarPts.assign(M.symbols().numVars(), {});
+  In.assign(G.numNodes(), {});
+  Out.assign(G.numNodes(), {});
+  SUStore = computeStrongUpdateStores(M, G.auxAnalysis());
+
+  // Seed the flow-sensitive call graph. Direct calls are always known; with
+  // the auxiliary call graph option, indirect targets are adopted from
+  // Andersen (the SVFG already wired their value flows).
+  const andersen::CallGraph &AuxCG = G.auxAnalysis().callGraph();
+  for (InstID CS : AuxCG.callSites()) {
+    if (M.inst(CS).isIndirectCall() && Opts.OnTheFlyCallGraph)
+      continue;
+    for (FunID Callee : AuxCG.callees(CS))
+      FSCG.addEdge(CS, Callee);
+  }
+}
+
+void FlowSensitive::solve() {
+  if (Solved)
+    return;
+  Solved = true;
+  for (NodeID N = 0; N < G.numNodes(); ++N)
+    WL.push(N);
+  while (!WL.empty()) {
+    ++Stats.get("node-visits");
+    processNode(WL.pop());
+  }
+  Stats.get("pts-sets-stored") = numPtsSetsStored();
+}
+
+void FlowSensitive::processNode(NodeID N) {
+  const svfg::Node &Node = G.node(N);
+  bool TopChanged = false;
+  if (Node.Kind == NodeKind::Inst)
+    TopChanged = processInst(Node.Inst);
+  // Chi/mu/phi nodes have no transfer function of their own: their IN is
+  // the union of incoming values, forwarded by the propagation below.
+
+  propagateIndirect(N);
+  if (TopChanged)
+    for (NodeID S : G.directSuccs(N))
+      WL.push(S);
+}
+
+bool FlowSensitive::processInst(InstID I) {
+  const Instruction &Inst = M.inst(I);
+  switch (Inst.Kind) {
+  case InstKind::Alloc:
+    return VarPts[Inst.Dst].set(Inst.allocObject());
+  case InstKind::Copy:
+    return VarPts[Inst.Dst].unionWith(VarPts[Inst.copySrc()]);
+  case InstKind::Phi: {
+    bool Changed = false;
+    for (VarID Src : Inst.phiSrcs())
+      Changed |= VarPts[Inst.Dst].unionWith(VarPts[Src]);
+    return Changed;
+  }
+  case InstKind::FieldAddr: {
+    bool Changed = false;
+    for (uint32_t O : VarPts[Inst.fieldBase()])
+      Changed |= VarPts[Inst.Dst].set(
+          M.symbols().getFieldObject(O, Inst.fieldOffset()));
+    return Changed;
+  }
+  case InstKind::Load:
+    return processLoad(Inst, I);
+  case InstKind::Store:
+    processStore(Inst, I);
+    return false;
+  case InstKind::Call:
+    processCall(Inst, I);
+    return false;
+  case InstKind::FunEntry:
+    // Parameters are (re)defined here by callers; always forward so their
+    // uses observe updates (this node is only pushed on parameter change).
+    return true;
+  case InstKind::FunExit:
+    processFunExit(Inst);
+    return false;
+  }
+  return false;
+}
+
+bool FlowSensitive::processLoad(const Instruction &Inst, InstID I) {
+  // [LOAD]: pt(p) ⊇ IN(ℓ, o) for every o ∈ pt(q).
+  bool Changed = false;
+  const ObjMap &NodeIn = In[G.instNode(I)];
+  for (uint32_t O : VarPts[Inst.loadPtr()]) {
+    if (M.symbols().isFunctionObject(O))
+      continue;
+    auto It = NodeIn.find(O);
+    if (It != NodeIn.end())
+      Changed |= VarPts[Inst.Dst].unionWith(It->second);
+  }
+  return Changed;
+}
+
+void FlowSensitive::processStore(const Instruction &Inst, InstID I) {
+  // [STORE] and [SU/WU]: objects the store may write get GEN = pt(q); at a
+  // strong-update store (statically decided, see core/StrongUpdate.h) the
+  // sole pointee's incoming value is killed; every other object annotated
+  // on this store passes through IN -> OUT.
+  NodeID N = G.instNode(I);
+  const PointsTo &PtrPts = VarPts[Inst.storePtr()];
+  const PointsTo &ValPts = VarPts[Inst.storeVal()];
+  const PointsTo &ChiObjs = G.memSSA().chiObjs(I);
+  const bool StrongUpdate = SUStore[I];
+  ObjMap &NodeIn = In[N];
+  ObjMap &NodeOut = Out[N];
+  for (uint32_t O : ChiObjs) {
+    PointsTo &OutSet = NodeOut[O];
+    if (PtrPts.test(O))
+      OutSet.unionWith(ValPts);
+    // At an SU store the chi set is exactly the killed singleton; its IN
+    // never flows out (even while pt(p) is still empty mid-solve: if it
+    // stays empty the store can never execute a write).
+    if (StrongUpdate)
+      continue;
+    auto It = NodeIn.find(O);
+    if (It != NodeIn.end())
+      OutSet.unionWith(It->second);
+  }
+}
+
+void FlowSensitive::connectDiscoveredCallee(InstID CS, FunID Callee) {
+  // Wire the SVFG value flows for the new call edge and make sure both the
+  // freshly connected sources and the callee boundary nodes run again.
+  std::vector<std::pair<NodeID, svfg::IndEdge>> Added;
+  G.connectCallEdge(CS, Callee, Added);
+  for (auto &[From, Edge] : Added) {
+    (void)Edge;
+    WL.push(From);
+  }
+  const Function &F = M.function(Callee);
+  WL.push(G.instNode(F.Entry));
+  WL.push(G.instNode(F.Exit));
+  ++Stats.get("otf-call-edges");
+}
+
+void FlowSensitive::processCall(const Instruction &Inst, InstID I) {
+  // [CALL]: on-the-fly resolution discovers callees from the current
+  // flow-sensitive points-to set of the callee pointer.
+  if (Inst.isIndirectCall() && Opts.OnTheFlyCallGraph) {
+    for (uint32_t O : VarPts[Inst.indirectCalleeVar()]) {
+      if (!M.symbols().isFunctionObject(O))
+        continue;
+      FunID Callee = M.symbols().object(O).Func;
+      if (FSCG.addEdge(I, Callee))
+        connectDiscoveredCallee(I, Callee);
+    }
+  }
+
+  // Actual -> formal argument bindings.
+  const auto &Args = Inst.callArgs();
+  for (FunID Callee : FSCG.callees(I)) {
+    const Function &F = M.function(Callee);
+    size_t N = std::min(Args.size(), F.Params.size());
+    bool ParamChanged = false;
+    for (size_t K = 0; K < N; ++K)
+      ParamChanged |= VarPts[F.Params[K]].unionWith(VarPts[Args[K]]);
+    if (ParamChanged)
+      WL.push(G.instNode(F.Entry));
+  }
+}
+
+void FlowSensitive::processFunExit(const Instruction &Inst) {
+  // [RET]: flow the returned pointer into every caller's destination, and
+  // wake the uses of those destinations (the call nodes' direct succs).
+  VarID Ret = Inst.exitRet();
+  if (Ret == InvalidVar)
+    return;
+  for (InstID CS : FSCG.callers(Inst.Parent)) {
+    const Instruction &Call = M.inst(CS);
+    if (Call.Dst == InvalidVar)
+      continue;
+    if (VarPts[Call.Dst].unionWith(VarPts[Ret]))
+      for (NodeID S : G.directSuccs(G.instNode(CS)))
+        WL.push(S);
+  }
+}
+
+void FlowSensitive::propagateIndirect(NodeID N) {
+  // [A-PROP]: forward this node's view of each object along its outgoing
+  // object-labelled edges. Stores forward OUT; everything else forwards IN.
+  const bool IsStore = G.node(N).Kind == NodeKind::Inst &&
+                       M.inst(G.node(N).Inst).Kind == InstKind::Store;
+  const ObjMap &Src = IsStore ? Out[N] : In[N];
+  if (Src.empty() && G.indirectSuccs(N).empty())
+    return;
+  for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+    auto It = Src.find(E.Obj);
+    if (It == Src.end() || It->second.empty())
+      continue;
+    ++Stats.get("propagations");
+    if (In[E.Dst][E.Obj].unionWith(It->second))
+      WL.push(E.Dst);
+  }
+}
+
+const PointsTo &FlowSensitive::inOf(NodeID N, ObjID O) const {
+  static const PointsTo Empty;
+  auto It = In[N].find(O);
+  return It == In[N].end() ? Empty : It->second;
+}
+
+uint64_t FlowSensitive::footprintBytes() const {
+  auto MapBytes = [](const ObjMap &Map) {
+    // Hash buckets + per-entry node overhead + the PointsTo headers.
+    uint64_t B = Map.bucket_count() * sizeof(void *);
+    B += Map.size() * (sizeof(std::pair<const ir::ObjID, PointsTo>) +
+                       2 * sizeof(void *));
+    for (const auto &[O, Set] : Map) {
+      (void)O;
+      B += Set.capacityBytes();
+    }
+    return B;
+  };
+  uint64_t Total = 0;
+  for (const ObjMap &Map : In)
+    Total += MapBytes(Map);
+  for (const ObjMap &Map : Out)
+    Total += MapBytes(Map);
+  Total += VarPts.capacity() * sizeof(PointsTo);
+  for (const PointsTo &P : VarPts)
+    Total += P.capacityBytes();
+  return Total;
+}
+
+uint64_t FlowSensitive::numPtsSetsStored() const {
+  uint64_t Total = 0;
+  for (const ObjMap &Map : In)
+    Total += Map.size();
+  for (const ObjMap &Map : Out)
+    Total += Map.size();
+  return Total;
+}

@@ -1,0 +1,80 @@
+//===- MeldLabelling.h - Generic prelabelling extension ---------*- C++ -*-===//
+///
+/// \file
+/// Meld labelling (§IV-B): a prelabelling extension for directed graphs.
+/// Given a prelabelling of some nodes, each node's final label is the meld
+/// (⊕) of the labels of everything that transitively reaches it:
+///
+///   [MELD]  n' → n  ⟹  κ_n = κ_n' ⊕ κ_n      (to fixpoint)
+///
+/// The meld operator must be commutative, associative, idempotent, and have
+/// an identity ε — exactly the algebra of set union, which is the
+/// instantiation object versioning uses (labels are sets of prelabel IDs,
+/// represented as sparse bit vectors).
+///
+/// Nodes can optionally be \e frozen: their label is fixed by the
+/// prelabelling and never melds incoming labels (the paper's δ nodes).
+///
+/// This header is the reusable, graph-generic form; \c ObjectVersioning
+/// applies the same process per-object over the SVFG's labelled edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_MELDLABELLING_H
+#define VSFS_CORE_MELDLABELLING_H
+
+#include "adt/WorkList.h"
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace vsfs {
+namespace core {
+
+/// Runs meld labelling over \p G.
+///
+/// \tparam LabelT   the label domain K; default-constructed = identity ε.
+/// \tparam MeldInto callable bool(LabelT &Dst, const LabelT &Src) melding
+///                  Src into Dst, returning true iff Dst changed. The
+///                  operation must be commutative, associative and
+///                  idempotent over the labels actually used.
+///
+/// \param Prelabels initial labels, one per node (ε for non-prelabelled).
+/// \param Frozen    per-node flags; frozen nodes keep their prelabel.
+/// \returns the fixpoint labelling.
+template <typename LabelT, typename MeldInto>
+std::vector<LabelT> meldLabel(const graph::AdjacencyGraph &G,
+                              std::vector<LabelT> Prelabels,
+                              const std::vector<bool> &Frozen,
+                              MeldInto Meld) {
+  std::vector<LabelT> Labels = std::move(Prelabels);
+  Labels.resize(G.numNodes());
+
+  adt::LIFOWorkList WL;
+  for (uint32_t N = 0; N < G.numNodes(); ++N)
+    WL.push(N);
+
+  while (!WL.empty()) {
+    uint32_t N = WL.pop();
+    for (uint32_t S : G.successors(N)) {
+      if (S < Frozen.size() && Frozen[S])
+        continue;
+      if (Meld(Labels[S], Labels[N]))
+        WL.push(S);
+    }
+  }
+  return Labels;
+}
+
+/// Convenience overload without frozen nodes.
+template <typename LabelT, typename MeldInto>
+std::vector<LabelT> meldLabel(const graph::AdjacencyGraph &G,
+                              std::vector<LabelT> Prelabels, MeldInto Meld) {
+  return meldLabel(G, std::move(Prelabels), std::vector<bool>(),
+                   std::move(Meld));
+}
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_MELDLABELLING_H

@@ -1,0 +1,264 @@
+//===- ObjectVersioning.cpp - Meld-labelling object versioning --*- C++ -*-===//
+
+#include "core/ObjectVersioning.h"
+
+#include "adt/WorkList.h"
+#include "adt/LabelStore.h"
+#include "graph/Graph.h"
+#include "graph/SCC.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::core;
+using namespace vsfs::ir;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+ObjectVersioning::ObjectVersioning(const svfg::SVFG &G, bool OnTheFlyCallGraph,
+                                   MeldRep Rep)
+    : G(G), OTF(OnTheFlyCallGraph), Rep(Rep) {}
+
+void ObjectVersioning::run() {
+  if (Ran)
+    return;
+  Ran = true;
+  Timer T;
+  NumObjects = G.module().symbols().numObjects();
+
+  // ε versions first: version ID == object ID for the identity version
+  // (intern() maps every empty label straight to this range).
+  VersionObj.resize(NumObjects);
+  for (ObjID O = 0; O < NumObjects; ++O)
+    VersionObj[O] = O;
+
+  prelabel();
+  meld();
+  internVersions();
+
+  Seconds = T.seconds();
+  Stats.get("prelabels") = NextPrelabel;
+  Stats.get("versions") = VersionObj.size();
+  Stats.get("consume-positions") = ConsumeVer.size();
+}
+
+void ObjectVersioning::prelabel() {
+  const Module &M = G.module();
+  // Prelabel IDs are numbered per object: labels are only ever compared
+  // within one object, and object-local numbering keeps them dense (small
+  // sparse-bit-vector footprints during melding).
+  auto NewPrelabel = [this](ObjID O) {
+    ++NextPrelabel;
+    return NextPreOfObj[O]++;
+  };
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    const svfg::Node &Node = G.node(N);
+    switch (Node.Kind) {
+    case NodeKind::Inst: {
+      // [STORE]ᴾ: a store yields a fresh version for each object it may
+      // define, because it may propagate forward a different points-to set
+      // than the one propagated to it.
+      const Instruction &Inst = M.inst(Node.Inst);
+      if (Inst.Kind != InstKind::Store)
+        break;
+      for (uint32_t O : G.memSSA().chiObjs(Node.Inst))
+        StoreYieldPre.emplace(key(N, O), NewPrelabel(O));
+      break;
+    }
+    case NodeKind::EntryChi:
+      // [OTF-CG]ᴾ: entry-χ of an address-taken function may gain incoming
+      // edges when indirect calls are resolved during the main phase.
+      if (OTF && M.function(Node.Fun).hasAddressTaken()) {
+        Label L;
+        L.set(NewPrelabel(Node.Obj));
+        ConsumeLabel[key(N, Node.Obj)] = std::move(L);
+        Frozen[key(N, Node.Obj)] = true;
+      }
+      break;
+    case NodeKind::CallChi:
+      // [OTF-CG]ᴾ: the return side of an indirect call likewise gains
+      // incoming exit-μ edges during solving.
+      if (OTF && M.inst(Node.Inst).isIndirectCall()) {
+        Label L;
+        L.set(NewPrelabel(Node.Obj));
+        ConsumeLabel[key(N, Node.Obj)] = std::move(L);
+        Frozen[key(N, Node.Obj)] = true;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+void ObjectVersioning::meld() {
+  // [EXTERNAL]ᵛ along indirect edges; [INTERNAL]ᵛ is implicit because a
+  // non-store node's yield is read from the same label storage it consumes.
+  //
+  // The fixpoint is computed one object at a time on that object's labelled
+  // subgraph: nodes in a cycle provably share a label, so we condense the
+  // subgraph with Tarjan and propagate labels in one topological pass —
+  // O(edges + label unions) per object instead of a quadratic node-level
+  // worklist over the whole SVFG.
+  //
+  // Store nodes split in two: their consume side receives like any node,
+  // while their yield side is a fresh source holding only the store's
+  // prelabel ([INTERNAL]ᵛ does not apply to stores). δ consume positions
+  // are sources too: prelabelled, with incoming edges cut (frozen).
+
+  // Bucket the SVFG's indirect edges by object.
+  std::unordered_map<ObjID, std::vector<std::pair<NodeID, NodeID>>>
+      EdgesByObj;
+  for (NodeID N = 0; N < G.numNodes(); ++N)
+    for (const svfg::IndEdge &E : G.indirectSuccs(N))
+      EdgesByObj[E.Obj].emplace_back(N, E.Dst);
+
+  for (auto &[Obj, Edges] : EdgesByObj) {
+    // Local node numbering: consume side of every endpoint, plus a
+    // dedicated source node per store's yield. Init is the ID allocator:
+    // one label slot per local node.
+    std::unordered_map<NodeID, uint32_t> LocalOf;
+    std::unordered_map<NodeID, uint32_t> StoreSrcLocal;
+    std::vector<Label> Init;
+    auto LocalConsume = [&](NodeID N) {
+      auto [It, New] = LocalOf.emplace(N, static_cast<uint32_t>(Init.size()));
+      if (New)
+        Init.emplace_back();
+      return It->second;
+    };
+
+    vsfs::graph::AdjacencyGraph LG;
+    std::vector<std::pair<uint32_t, uint32_t>> LocalEdges;
+    LocalEdges.reserve(Edges.size());
+    for (auto &[From, To] : Edges) {
+      uint32_t Dst = LocalConsume(To);
+      if (Frozen.count(key(To, Obj)))
+        continue; // δ consume positions never meld incoming labels.
+      uint32_t Src;
+      auto PreIt = StoreYieldPre.find(key(From, Obj));
+      if (PreIt != StoreYieldPre.end()) {
+        // The store's yield: a fresh source carrying its prelabel.
+        auto [SIt, SNew] =
+            StoreSrcLocal.emplace(From, static_cast<uint32_t>(Init.size()));
+        if (SNew) {
+          Init.emplace_back();
+          Init.back().set(PreIt->second);
+        }
+        Src = SIt->second;
+      } else {
+        Src = LocalConsume(From);
+      }
+      LocalEdges.emplace_back(Src, Dst);
+    }
+    // Seed δ consume prelabels.
+    for (auto &[From, To] : Edges) {
+      for (NodeID N : {From, To}) {
+        auto It = ConsumeLabel.find(key(N, Obj));
+        if (It != ConsumeLabel.end()) {
+          auto LocalIt = LocalOf.find(N);
+          if (LocalIt != LocalOf.end())
+            Init[LocalIt->second].unionWith(It->second);
+        }
+      }
+    }
+
+    LG.resize(static_cast<uint32_t>(Init.size()));
+    for (auto &[Src, Dst] : LocalEdges)
+      LG.addEdge(Src, Dst);
+
+    // Condense and propagate in one topological sweep: component IDs are
+    // in reverse topological order, so walking them downwards visits every
+    // component after all of its predecessors.
+    vsfs::graph::SCCResult SCCs = vsfs::graph::computeSCCs(LG);
+    std::vector<std::vector<uint32_t>> CompSuccs(SCCs.NumComponents);
+    for (auto &[Src, Dst] : LocalEdges) {
+      uint32_t CS = SCCs.ComponentOf[Src], CD = SCCs.ComponentOf[Dst];
+      if (CS != CD)
+        CompSuccs[CS].push_back(CD);
+    }
+
+    std::vector<Label> CompLabel(SCCs.NumComponents);
+    if (Rep == MeldRep::SparseBits) {
+      for (uint32_t L = 0; L < Init.size(); ++L)
+        CompLabel[SCCs.ComponentOf[L]].unionWith(Init[L]);
+      for (uint32_t C = SCCs.NumComponents; C-- > 0;) {
+        for (uint32_t S : CompSuccs[C]) {
+          ++Stats.get("meld-ops");
+          CompLabel[S].unionWith(CompLabel[C]);
+        }
+      }
+    } else {
+      // §V-B's versioning-specific representation: labels are interned
+      // IDs; repeated melds of the same pair are one memo lookup.
+      adt::LabelStore Store;
+      std::vector<adt::LabelID> CompId(SCCs.NumComponents, adt::EpsilonLabel);
+      for (uint32_t L = 0; L < Init.size(); ++L) {
+        uint32_t C = SCCs.ComponentOf[L];
+        CompId[C] = Store.meld(CompId[C], Store.fromBits(Init[L]));
+      }
+      for (uint32_t C = SCCs.NumComponents; C-- > 0;) {
+        for (uint32_t S : CompSuccs[C]) {
+          ++Stats.get("meld-ops");
+          CompId[S] = Store.meld(CompId[S], CompId[C]);
+        }
+      }
+      for (uint32_t C = 0; C < SCCs.NumComponents; ++C)
+        CompLabel[C] = Store.bits(CompId[C]);
+      Stats.add("memo-hits", Store.memoHits());
+      Stats.add("memo-misses", Store.memoMisses());
+    }
+
+    // Publish the melded consume labels (δ positions already hold theirs).
+    for (const auto &[N, L] : LocalOf) {
+      uint64_t K = key(N, Obj);
+      if (Frozen.count(K))
+        continue;
+      const Label &Final = CompLabel[SCCs.ComponentOf[L]];
+      if (!Final.empty())
+        ConsumeLabel[K] = Final;
+    }
+  }
+}
+
+Version ObjectVersioning::intern(ObjID O, const Label &L) {
+  if (L.empty())
+    return O; // ε version of O.
+  uint64_t H = (key(O, 0) * 0x9E3779B97F4A7C15ull) ^ L.hash();
+  auto &Chain = InternTable[H];
+  for (const InternEntry &E : Chain)
+    if (E.Obj == O && E.L == L)
+      return E.V;
+  Version V = static_cast<Version>(VersionObj.size());
+  VersionObj.push_back(O);
+  Chain.push_back(InternEntry{O, L, V});
+  return V;
+}
+
+void ObjectVersioning::internVersions() {
+  for (const auto &[Key, L] : ConsumeLabel) {
+    ObjID O = static_cast<ObjID>(Key & 0xFFFFFFFF);
+    ConsumeVer.emplace(Key, intern(O, L));
+  }
+  for (const auto &[Key, Pre] : StoreYieldPre) {
+    ObjID O = static_cast<ObjID>(Key & 0xFFFFFFFF);
+    Label L;
+    L.set(Pre);
+    YieldVer.emplace(Key, intern(O, L));
+  }
+}
+
+Version ObjectVersioning::consume(NodeID N, ObjID O) const {
+  auto It = ConsumeVer.find(key(N, O));
+  if (It != ConsumeVer.end())
+    return It->second;
+  return O; // ε version of O.
+}
+
+Version ObjectVersioning::yield(NodeID N, ObjID O) const {
+  // Stores yield their prelabel; everyone else yields what they consume.
+  auto It = YieldVer.find(key(N, O));
+  if (It != YieldVer.end())
+    return It->second;
+  return consume(N, O);
+}

@@ -1,0 +1,142 @@
+//===- ObjectVersioning.h - Meld-labelling object versioning ----*- C++ -*-===//
+///
+/// \file
+/// The paper's pre-analysis (§IV-C): versions every address-taken object at
+/// every SVFG node that may use or define it, such that two nodes sharing a
+/// version of o provably rely on the same set of store-modifications to o
+/// and can therefore share one global points-to set for o.
+///
+/// Prelabelling ([STORE]ᴾ, [OTF-CG]ᴾ):
+///  - every store yields a fresh version for each object it may define
+///    (per the auxiliary analysis);
+///  - every δ node — the entry-χ of an address-taken function and the
+///    call-χ of an indirect callsite, which may receive new incoming edges
+///    during on-the-fly call-graph resolution — consumes a fresh version.
+///
+/// Meld labelling ([EXTERNAL]ᵛ, [INTERNAL]ᵛ): versions-as-labels (sets of
+/// prelabel origins, melded by set union) propagate along object-labelled
+/// indirect edges into non-frozen consume positions; non-store nodes yield
+/// what they consume. Finally, identical (object, label-set) pairs are
+/// hash-consed into dense version IDs.
+///
+/// Version ID layout: IDs [0, numObjects) are the ε (identity) version of
+/// each object — positions no store modification reaches, whose points-to
+/// set is permanently empty. Melded versions follow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_OBJECTVERSIONING_H
+#define VSFS_CORE_OBJECTVERSIONING_H
+
+#include "adt/SparseBitVector.h"
+#include "support/Statistics.h"
+#include "svfg/SVFG.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace core {
+
+/// A version of an object: an index into the global version-points-to table.
+using Version = uint32_t;
+constexpr Version InvalidVersion = UINT32_MAX;
+
+/// How meld labels are represented during the pre-analysis.
+enum class MeldRep : uint8_t {
+  SparseBits, ///< plain sparse bit vectors (the paper's off-the-shelf choice)
+  Interned    ///< hash-consed label IDs with memoised melds (§V-B's idea)
+};
+
+/// Computes consumed/yielded versions for every (node, object) pair of
+/// interest in the SVFG.
+class ObjectVersioning {
+public:
+  /// \p OnTheFlyCallGraph: when true, δ nodes are prelabelled with fresh
+  /// consumed versions so late call edges stay sound; when false, all call
+  /// edges are static and no δ prelabels are needed. \p Rep selects the
+  /// meld-label representation (a §V-B ablation; the final versions are
+  /// identical either way).
+  ObjectVersioning(const svfg::SVFG &G, bool OnTheFlyCallGraph,
+                   MeldRep Rep = MeldRep::SparseBits);
+
+  /// Runs prelabelling + meld labelling + version interning. Idempotent.
+  void run();
+
+  /// The version node \p N consumes / yields for object \p O. Pairs the
+  /// versioning never saw consume/yield the object's ε version.
+  Version consume(svfg::NodeID N, ir::ObjID O) const;
+  Version yield(svfg::NodeID N, ir::ObjID O) const;
+
+  uint32_t numVersions() const {
+    return static_cast<uint32_t>(VersionObj.size());
+  }
+  ir::ObjID objectOf(Version V) const { return VersionObj[V]; }
+  bool isEpsilon(Version V) const { return V < NumObjects; }
+
+  /// Wall-clock seconds spent versioning (Table III's versioning column).
+  double seconds() const { return Seconds; }
+
+  /// Approximate bytes of the lasting consume/yield tables (the transient
+  /// meld-labelling state is freed before solving starts).
+  uint64_t tableBytes() const {
+    auto MapBytes = [](const std::unordered_map<uint64_t, Version> &Map) {
+      return Map.bucket_count() * sizeof(void *) +
+             Map.size() * (sizeof(std::pair<const uint64_t, Version>) +
+                           2 * sizeof(void *));
+    };
+    return MapBytes(ConsumeVer) + MapBytes(YieldVer) +
+           VersionObj.capacity() * sizeof(ir::ObjID);
+  }
+  const StatGroup &stats() const { return Stats; }
+
+private:
+  using Label = adt::SparseBitVector;
+
+  static uint64_t key(uint32_t A, uint32_t B) {
+    return (uint64_t(A) << 32) | B;
+  }
+
+  void prelabel();
+  void meld();
+  void internVersions();
+
+  /// Hash-conses (object, label) into a dense version.
+  Version intern(ir::ObjID O, const Label &L);
+
+  const svfg::SVFG &G;
+  bool OTF;
+  MeldRep Rep;
+  uint32_t NumObjects = 0;
+
+  /// (node << 32 | obj) -> melded consume-side label.
+  std::unordered_map<uint64_t, Label> ConsumeLabel;
+  /// (store-node << 32 | obj) -> yielded prelabel ID.
+  std::unordered_map<uint64_t, uint32_t> StoreYieldPre;
+  /// δ positions whose consume label is fixed by prelabelling.
+  std::unordered_map<uint64_t, bool> Frozen;
+  /// Total prelabels issued, and the per-object ID allocators (prelabel
+  /// bits are object-local so labels stay dense).
+  uint32_t NextPrelabel = 0;
+  std::unordered_map<ir::ObjID, uint32_t> NextPreOfObj;
+
+  /// Final dense version tables.
+  std::unordered_map<uint64_t, Version> ConsumeVer, YieldVer;
+  std::vector<ir::ObjID> VersionObj;
+  /// Hash-consing: hash(obj, label) -> candidate (obj, label, version).
+  struct InternEntry {
+    ir::ObjID Obj;
+    Label L;
+    Version V;
+  };
+  std::unordered_map<uint64_t, std::vector<InternEntry>> InternTable;
+
+  double Seconds = 0;
+  StatGroup Stats{"versioning"};
+  bool Ran = false;
+};
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_OBJECTVERSIONING_H

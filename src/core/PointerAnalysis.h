@@ -1,0 +1,50 @@
+//===- PointerAnalysis.h - Common analysis result interface -----*- C++ -*-===//
+///
+/// \file
+/// The interface every whole-program pointer analysis in this library
+/// implements. Clients (examples, checkers, benches) program against this so
+/// Andersen/SFS/VSFS are interchangeable, and the equivalence tests compare
+/// any two implementations uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_POINTERANALYSIS_H
+#define VSFS_CORE_POINTERANALYSIS_H
+
+#include "adt/PointsTo.h"
+#include "andersen/CallGraph.h"
+#include "ir/Module.h"
+#include "support/Statistics.h"
+
+namespace vsfs {
+namespace core {
+
+/// Abstract results of a pointer analysis.
+class PointerAnalysisResult {
+public:
+  virtual ~PointerAnalysisResult() = default;
+
+  /// The final points-to set of a top-level variable.
+  virtual const PointsTo &ptsOfVar(ir::VarID V) const = 0;
+
+  /// The call graph as resolved by this analysis.
+  virtual const andersen::CallGraph &callGraph() const = 0;
+
+  /// Work/size statistics.
+  virtual const StatGroup &stats() const = 0;
+
+  /// True if \p V may point to \p O.
+  bool mayPointTo(ir::VarID V, ir::ObjID O) const {
+    return ptsOfVar(V).test(O);
+  }
+
+  /// True if \p A and \p B may alias (their points-to sets intersect).
+  bool mayAlias(ir::VarID A, ir::VarID B) const {
+    return ptsOfVar(A).intersects(ptsOfVar(B));
+  }
+};
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_POINTERANALYSIS_H

@@ -1,0 +1,59 @@
+//===- StrongUpdate.h - Static strong-update eligibility --------*- C++ -*-===//
+///
+/// \file
+/// Decides, per store, whether the flow-sensitive analyses perform a strong
+/// update ([SU/WU]): the store's pointer must (per the auxiliary analysis)
+/// refer to exactly one abstract object, and that object must be a
+/// singleton (paper's SN — it represents exactly one runtime object), so
+/// overwriting it kills its incoming value.
+///
+/// Deciding eligibility from the *auxiliary* points-to set — which is fixed
+/// before flow-sensitive solving — rather than from the evolving
+/// flow-sensitive set makes every store transfer function monotone with a
+/// statically known kill set. The analyses then have a unique least fixed
+/// point independent of worklist order, which is what allows the
+/// VSFS ≡ SFS precision property (§IV-E) to be verified by exact
+/// comparison. With kill decisions based on the evolving sets (as in SVF),
+/// a store can weakly pass values through during the transient window
+/// before its pointer set narrows to a singleton, making results
+/// order-dependent (still sound, but not canonical). Since the
+/// flow-sensitive pointer set is a subset of the auxiliary one, every
+/// auxiliary-singleton store is also a flow-sensitive-singleton store; the
+/// only strong updates given up are those where Andersen is strictly
+/// coarser than the flow-sensitive result at the store pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_STRONGUPDATE_H
+#define VSFS_CORE_STRONGUPDATE_H
+
+#include "andersen/Andersen.h"
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace vsfs {
+namespace core {
+
+/// Returns a per-instruction flag: true iff the instruction is a store
+/// whose auxiliary pointee set is exactly one singleton object.
+inline std::vector<bool>
+computeStrongUpdateStores(const ir::Module &M, const andersen::Andersen &A) {
+  std::vector<bool> SU(M.numInstructions(), false);
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    const ir::Instruction &Inst = M.inst(I);
+    if (Inst.Kind != ir::InstKind::Store)
+      continue;
+    const PointsTo &Pts = A.ptsOfVar(Inst.storePtr());
+    if (Pts.count() != 1)
+      continue;
+    const ir::ObjInfo &Obj = M.symbols().object(Pts.findFirst());
+    SU[I] = Obj.Singleton && Obj.Kind != ir::ObjKind::Function;
+  }
+  return SU;
+}
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_STRONGUPDATE_H

@@ -1,0 +1,279 @@
+//===- VersionedFlowSensitive.cpp - VSFS ------------------------*- C++ -*-===//
+
+#include "core/VersionedFlowSensitive.h"
+
+#include "core/StrongUpdate.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::core;
+using namespace vsfs::ir;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+VersionedFlowSensitive::VersionedFlowSensitive(svfg::SVFG &G, Options Opts)
+    : G(G), M(G.module()), Opts(Opts),
+      OV(G, Opts.OnTheFlyCallGraph, Opts.LabelRep) {
+  VarPts.assign(M.symbols().numVars(), {});
+  SUStore = computeStrongUpdateStores(M, G.auxAnalysis());
+
+  const andersen::CallGraph &AuxCG = G.auxAnalysis().callGraph();
+  for (InstID CS : AuxCG.callSites()) {
+    if (M.inst(CS).isIndirectCall() && Opts.OnTheFlyCallGraph)
+      continue;
+    for (FunID Callee : AuxCG.callees(CS))
+      FSCG.addEdge(CS, Callee);
+  }
+}
+
+void VersionedFlowSensitive::solve() {
+  if (Solved)
+    return;
+  Solved = true;
+
+  OV.run();
+  VersionPts.assign(OV.numVersions(), {});
+  VGSuccs.assign(OV.numVersions(), {});
+  VGEdgeSet.assign(OV.numVersions(), {});
+  Consumers.assign(OV.numVersions(), {});
+  buildVersionGraph();
+
+  for (NodeID N = 0; N < G.numNodes(); ++N)
+    if (G.node(N).Kind == NodeKind::Inst)
+      NodeWL.push(N);
+
+  while (!NodeWL.empty() || !VersionWL.empty()) {
+    while (!NodeWL.empty()) {
+      ++Stats.get("node-visits");
+      processNode(NodeWL.pop());
+    }
+    while (!VersionWL.empty()) {
+      ++Stats.get("version-visits");
+      processVersion(VersionWL.pop());
+    }
+  }
+
+  Stats.get("versions") = OV.numVersions();
+  Stats.get("vg-edges") = [this] {
+    uint64_t Total = 0;
+    for (const auto &S : VGSuccs)
+      Total += S.size();
+    return Total;
+  }();
+  Stats.get("pts-sets-stored") = numPtsSetsStored();
+}
+
+bool VersionedFlowSensitive::addVGEdge(Version From, Version To) {
+  assert(From != To && "self version edges are propagation no-ops");
+  if (!VGEdgeSet[From].insert(To).second)
+    return false;
+  VGSuccs[From].push_back(To);
+  return true;
+}
+
+void VersionedFlowSensitive::buildVersionGraph() {
+  // [A-PROP]ᵛ: an SVFG indirect edge ℓ --o--> ℓ' demands propagation only
+  // when Y_ℓ(o) differs from C_ℓ'(o); shared versions need none.
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+      Version Y = OV.yield(N, E.Obj);
+      Version C = OV.consume(E.Dst, E.Obj);
+      if (Y != C)
+        addVGEdge(Y, C);
+      else
+        ++Stats.get("propagations-avoided");
+    }
+  }
+
+  // Register the solve-time consumers of each version.
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind == InstKind::Load) {
+      for (uint32_t O : G.memSSA().muObjs(I))
+        Consumers[OV.consume(G.instNode(I), O)].push_back(G.instNode(I));
+    } else if (Inst.Kind == InstKind::Store) {
+      for (uint32_t O : G.memSSA().chiObjs(I))
+        Consumers[OV.consume(G.instNode(I), O)].push_back(G.instNode(I));
+    }
+  }
+}
+
+void VersionedFlowSensitive::processNode(NodeID N) {
+  const svfg::Node &Node = G.node(N);
+  // MemPhi/χ/μ nodes do no work in VSFS: the pre-analysis folded their
+  // merging into shared versions and version-graph edges.
+  if (Node.Kind != NodeKind::Inst)
+    return;
+  if (processInst(Node.Inst))
+    for (NodeID S : G.directSuccs(N))
+      NodeWL.push(S);
+}
+
+bool VersionedFlowSensitive::processInst(InstID I) {
+  const Instruction &Inst = M.inst(I);
+  switch (Inst.Kind) {
+  case InstKind::Alloc:
+    return VarPts[Inst.Dst].set(Inst.allocObject());
+  case InstKind::Copy:
+    return VarPts[Inst.Dst].unionWith(VarPts[Inst.copySrc()]);
+  case InstKind::Phi: {
+    bool Changed = false;
+    for (VarID Src : Inst.phiSrcs())
+      Changed |= VarPts[Inst.Dst].unionWith(VarPts[Src]);
+    return Changed;
+  }
+  case InstKind::FieldAddr: {
+    bool Changed = false;
+    for (uint32_t O : VarPts[Inst.fieldBase()])
+      Changed |= VarPts[Inst.Dst].set(
+          M.symbols().getFieldObject(O, Inst.fieldOffset()));
+    return Changed;
+  }
+  case InstKind::Load:
+    return processLoad(Inst, I);
+  case InstKind::Store:
+    processStore(Inst, I);
+    return false;
+  case InstKind::Call:
+    processCall(Inst, I);
+    return false;
+  case InstKind::FunEntry:
+    return true; // Forward parameter updates to their uses.
+  case InstKind::FunExit:
+    processFunExit(Inst);
+    return false;
+  }
+  return false;
+}
+
+bool VersionedFlowSensitive::processLoad(const Instruction &Inst, InstID I) {
+  // [LOAD]ᵛ: pt(p) ⊇ pt_{C_ℓ(o)}(o) for every o ∈ pt(q).
+  bool Changed = false;
+  for (uint32_t O : VarPts[Inst.loadPtr()]) {
+    if (M.symbols().isFunctionObject(O))
+      continue;
+    Changed |= VarPts[Inst.Dst].unionWith(
+        VersionPts[OV.consume(G.instNode(I), O)]);
+  }
+  return Changed;
+}
+
+void VersionedFlowSensitive::processStore(const Instruction &Inst, InstID I) {
+  // [STORE]ᵛ + [SU/WU]ᵛ over the objects the store may define. Strong
+  // updates use the same static eligibility as SFS (core/StrongUpdate.h) so
+  // both analyses share one canonical least fixed point.
+  NodeID N = G.instNode(I);
+  const PointsTo &PtrPts = VarPts[Inst.storePtr()];
+  const PointsTo &ValPts = VarPts[Inst.storeVal()];
+  const bool StrongUpdate = SUStore[I];
+  for (uint32_t O : G.memSSA().chiObjs(I)) {
+    Version Y = OV.yield(N, O);
+    bool Changed = false;
+    if (PtrPts.test(O))
+      Changed |= VersionPts[Y].unionWith(ValPts);
+    if (!StrongUpdate) {
+      // Weak update / pass-through: the consumed version's set survives
+      // (the store may not overwrite o, or o's def-use chain was merely
+      // routed through this store by the over-approximate memory SSA).
+      Changed |= VersionPts[Y].unionWith(VersionPts[OV.consume(N, O)]);
+    }
+    if (Changed)
+      VersionWL.push(Y);
+  }
+}
+
+void VersionedFlowSensitive::connectDiscoveredCallee(InstID CS, FunID Callee) {
+  // New call edge: wire the SVFG flows and translate each added edge into a
+  // version-propagation edge into the δ node's prelabelled version.
+  std::vector<std::pair<NodeID, svfg::IndEdge>> Added;
+  G.connectCallEdge(CS, Callee, Added);
+  for (auto &[From, Edge] : Added) {
+    Version Y = OV.yield(From, Edge.Obj);
+    Version C = OV.consume(Edge.Dst, Edge.Obj);
+    if (Y == C)
+      continue;
+    if (addVGEdge(Y, C) && VersionPts[C].unionWith(VersionPts[Y]))
+      VersionWL.push(C);
+  }
+  const Function &F = M.function(Callee);
+  NodeWL.push(G.instNode(F.Entry));
+  NodeWL.push(G.instNode(F.Exit));
+  ++Stats.get("otf-call-edges");
+}
+
+void VersionedFlowSensitive::processCall(const Instruction &Inst, InstID I) {
+  if (Inst.isIndirectCall() && Opts.OnTheFlyCallGraph) {
+    for (uint32_t O : VarPts[Inst.indirectCalleeVar()]) {
+      if (!M.symbols().isFunctionObject(O))
+        continue;
+      FunID Callee = M.symbols().object(O).Func;
+      if (FSCG.addEdge(I, Callee))
+        connectDiscoveredCallee(I, Callee);
+    }
+  }
+
+  const auto &Args = Inst.callArgs();
+  for (FunID Callee : FSCG.callees(I)) {
+    const Function &F = M.function(Callee);
+    size_t N = std::min(Args.size(), F.Params.size());
+    bool ParamChanged = false;
+    for (size_t K = 0; K < N; ++K)
+      ParamChanged |= VarPts[F.Params[K]].unionWith(VarPts[Args[K]]);
+    if (ParamChanged)
+      NodeWL.push(G.instNode(F.Entry));
+  }
+}
+
+void VersionedFlowSensitive::processFunExit(const Instruction &Inst) {
+  VarID Ret = Inst.exitRet();
+  if (Ret == InvalidVar)
+    return;
+  for (InstID CS : FSCG.callers(Inst.Parent)) {
+    const Instruction &Call = M.inst(CS);
+    if (Call.Dst == InvalidVar)
+      continue;
+    if (VarPts[Call.Dst].unionWith(VarPts[Ret]))
+      for (NodeID S : G.directSuccs(G.instNode(CS)))
+        NodeWL.push(S);
+  }
+}
+
+void VersionedFlowSensitive::processVersion(Version V) {
+  // [A-PROP]ᵛ: push the version's points-to set to reliant versions, and
+  // re-run the instructions whose transfer functions read it.
+  const PointsTo &Pts = VersionPts[V];
+  for (Version S : VGSuccs[V]) {
+    ++Stats.get("propagations");
+    if (VersionPts[S].unionWith(Pts))
+      VersionWL.push(S);
+  }
+  for (NodeID N : Consumers[V])
+    NodeWL.push(N);
+}
+
+uint64_t VersionedFlowSensitive::footprintBytes() const {
+  uint64_t Total = VersionPts.capacity() * sizeof(PointsTo);
+  for (const PointsTo &P : VersionPts)
+    Total += P.capacityBytes();
+  Total += VarPts.capacity() * sizeof(PointsTo);
+  for (const PointsTo &P : VarPts)
+    Total += P.capacityBytes();
+  for (const auto &S : VGSuccs)
+    Total += S.capacity() * sizeof(Version);
+  for (const auto &S : VGEdgeSet)
+    Total += S.bucket_count() * sizeof(void *) +
+             S.size() * (sizeof(Version) + 2 * sizeof(void *));
+  for (const auto &C : Consumers)
+    Total += C.capacity() * sizeof(svfg::NodeID);
+  // Consume/yield version tables (the versioning's lasting state).
+  Total += OV.tableBytes();
+  return Total;
+}
+
+uint64_t VersionedFlowSensitive::numPtsSetsStored() const {
+  uint64_t Total = 0;
+  for (const PointsTo &P : VersionPts)
+    Total += P.empty() ? 0 : 1;
+  return Total;
+}

@@ -1,0 +1,120 @@
+//===- VersionedFlowSensitive.h - VSFS (the paper's analysis) ---*- C++ -*-===//
+///
+/// \file
+/// Versioned staged flow-sensitive points-to analysis (§IV-D): SFS with
+/// IN/OUT sets replaced by one global points-to set per (object, version),
+/// where versions come from the meld-labelling pre-analysis
+/// (\c ObjectVersioning).
+///
+///  - [LOAD]ᵛ/[STORE]ᵛ read pt_{C_ℓ(o)}(o) and write pt_{Y_ℓ(o)}(o);
+///  - [SU/WU]ᵛ strongly updates singletons (the consumed version is not
+///    folded into the yielded version), weakly updates otherwise;
+///  - [A-PROP]ᵛ propagates pt between versions only along edges whose
+///    endpoint versions differ — nodes that share a version share the set,
+///    so the propagation (and the storage) SFS would perform there simply
+///    does not exist.
+///
+/// MemPhi/χ/μ nodes do no solve-time work at all: their merging behaviour
+/// was compiled into the version propagation graph by the pre-analysis.
+/// On-the-fly call-graph resolution adds version-propagation edges into the
+/// fresh versions δ nodes were prelabelled with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_VERSIONEDFLOWSENSITIVE_H
+#define VSFS_CORE_VERSIONEDFLOWSENSITIVE_H
+
+#include "adt/WorkList.h"
+#include "core/ObjectVersioning.h"
+#include "core/PointerAnalysis.h"
+#include "svfg/SVFG.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace vsfs {
+namespace core {
+
+/// The paper's analysis: versioned staged flow-sensitive points-to.
+class VersionedFlowSensitive : public PointerAnalysisResult {
+public:
+  struct Options {
+    /// Resolve indirect calls flow-sensitively during solving (δ-node
+    /// machinery). When false, the auxiliary call graph is reused and the
+    /// SVFG must have been built with ConnectAuxIndirectCalls=true.
+    bool OnTheFlyCallGraph = true;
+    /// Meld-label representation for the pre-analysis (§V-B ablation).
+    MeldRep LabelRep = MeldRep::SparseBits;
+  };
+
+  VersionedFlowSensitive(svfg::SVFG &G, Options Opts);
+  explicit VersionedFlowSensitive(svfg::SVFG &G) : VersionedFlowSensitive(G, Options()) {}
+
+  /// Runs versioning (if needed) and the main phase to a fixed point.
+  void solve();
+
+  const PointsTo &ptsOfVar(ir::VarID V) const override { return VarPts[V]; }
+  const andersen::CallGraph &callGraph() const override { return FSCG; }
+  const StatGroup &stats() const override { return Stats; }
+
+  /// The pre-analysis, for inspection (versions, timing).
+  const ObjectVersioning &versioning() const { return OV; }
+
+  /// pt_κ(o): the global points-to set of a version.
+  const PointsTo &ptsOfVersion(Version V) const { return VersionPts[V]; }
+
+  /// Number of non-empty version points-to sets (Figure 2b column 3's
+  /// storage count).
+  uint64_t numPtsSetsStored() const;
+
+  /// Seconds spent in the versioning pre-analysis.
+  double versioningSeconds() const { return OV.seconds(); }
+
+  /// Approximate bytes of analysis state: the global version points-to
+  /// table, the version propagation graph, consumer lists, the
+  /// consume/yield tables, and the top-level sets. Analogue of SFS's
+  /// footprintBytes() for the paper's memory comparison.
+  uint64_t footprintBytes() const;
+
+private:
+  void buildVersionGraph();
+  bool addVGEdge(Version From, Version To);
+  void processNode(svfg::NodeID N);
+  bool processInst(ir::InstID I);
+  bool processLoad(const ir::Instruction &Inst, ir::InstID I);
+  void processStore(const ir::Instruction &Inst, ir::InstID I);
+  void processCall(const ir::Instruction &Inst, ir::InstID I);
+  void processFunExit(const ir::Instruction &Inst);
+  void connectDiscoveredCallee(ir::InstID CS, ir::FunID Callee);
+  void processVersion(Version V);
+
+  svfg::SVFG &G;
+  ir::Module &M;
+  Options Opts;
+  ObjectVersioning OV;
+
+  std::vector<PointsTo> VarPts;
+  /// pt_κ(o), indexed by version (ε versions stay empty).
+  std::vector<PointsTo> VersionPts;
+  /// Stores eligible for strong updates (see core/StrongUpdate.h).
+  std::vector<bool> SUStore;
+
+  /// Version propagation graph ([A-PROP]ᵛ edges with distinct endpoints).
+  std::vector<std::vector<Version>> VGSuccs;
+  std::vector<std::unordered_set<Version>> VGEdgeSet;
+  /// Nodes to reprocess when a version's points-to set changes: loads
+  /// consuming it (top-level result) and stores consuming it (weak-update
+  /// flow into their yielded version).
+  std::vector<std::vector<svfg::NodeID>> Consumers;
+
+  andersen::CallGraph FSCG;
+  adt::FIFOWorkList NodeWL;
+  adt::FIFOWorkList VersionWL;
+  StatGroup Stats{"vsfs"};
+  bool Solved = false;
+};
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_VERSIONEDFLOWSENSITIVE_H

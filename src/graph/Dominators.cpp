@@ -1,0 +1,135 @@
+//===- Dominators.cpp - Cooper–Harvey–Kennedy dominators --------*- C++ -*-===//
+
+#include "graph/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::graph;
+
+DominatorTree::DominatorTree(const AdjacencyGraph &G, uint32_t Entry)
+    : EntryNode(Entry) {
+  const uint32_t N = G.numNodes();
+  IDom.assign(N, None);
+  RPONumber.assign(N, None);
+  Kids.assign(N, {});
+  if (N == 0)
+    return;
+
+  std::vector<uint32_t> RPO = reversePostOrder(G, Entry);
+  for (uint32_t I = 0; I < RPO.size(); ++I)
+    RPONumber[RPO[I]] = I;
+
+  auto Preds = G.buildPredecessors();
+
+  // "Engineering a simple, fast dominance algorithm": intersect walks both
+  // fingers up the as-yet-computed tree until they meet.
+  auto Intersect = [this](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Node : RPO) {
+      if (Node == Entry)
+        continue;
+      uint32_t NewIDom = None;
+      for (uint32_t P : Preds[Node]) {
+        if (IDom[P] == None)
+          continue; // Unreachable or not yet processed.
+        NewIDom = NewIDom == None ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != None && IDom[Node] != NewIDom) {
+        IDom[Node] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (uint32_t Node = 0; Node < N; ++Node)
+    if (Node != Entry && IDom[Node] != None)
+      Kids[IDom[Node]].push_back(Node);
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B up the tree; RPO numbers strictly decrease along idom chains,
+  // so stop once we pass A's position.
+  while (RPONumber[B] > RPONumber[A]) {
+    if (B == EntryNode)
+      return false;
+    B = IDom[B];
+  }
+  return A == B;
+}
+
+DominanceFrontier::DominanceFrontier(const AdjacencyGraph &G,
+                                     const DominatorTree &DT) {
+  const uint32_t N = G.numNodes();
+  DF.assign(N, {});
+  auto Preds = G.buildPredecessors();
+  // Cytron et al.: a join node with >=2 reachable preds is in the frontier
+  // of every node on the pred->idom(join) chains.
+  for (uint32_t Join = 0; Join < N; ++Join) {
+    if (!DT.isReachable(Join))
+      continue;
+    uint32_t NumReachablePreds = 0;
+    for (uint32_t P : Preds[Join])
+      if (DT.isReachable(P))
+        ++NumReachablePreds;
+    if (NumReachablePreds < 2)
+      continue;
+    for (uint32_t P : Preds[Join]) {
+      if (!DT.isReachable(P))
+        continue;
+      uint32_t Runner = P;
+      while (Runner != DT.immediateDominator(Join)) {
+        DF[Runner].push_back(Join);
+        if (Runner == DT.entry())
+          break;
+        Runner = DT.immediateDominator(Runner);
+      }
+    }
+  }
+  // Deduplicate (a node can reach the same join through several preds).
+  for (auto &Front : DF) {
+    std::sort(Front.begin(), Front.end());
+    Front.erase(std::unique(Front.begin(), Front.end()), Front.end());
+  }
+}
+
+std::vector<uint32_t> DominanceFrontier::iteratedFrontier(
+    const std::vector<uint32_t> &DefSites) const {
+  std::vector<uint32_t> Result;
+  std::vector<uint8_t> InResult(DF.size(), 0);
+  std::vector<uint32_t> Work(DefSites);
+  std::vector<uint8_t> Visited(DF.size(), 0);
+  for (uint32_t D : DefSites)
+    Visited[D] = 1;
+  while (!Work.empty()) {
+    uint32_t Node = Work.back();
+    Work.pop_back();
+    for (uint32_t F : DF[Node]) {
+      if (InResult[F])
+        continue;
+      InResult[F] = 1;
+      Result.push_back(F);
+      if (!Visited[F]) {
+        Visited[F] = 1;
+        Work.push_back(F);
+      }
+    }
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

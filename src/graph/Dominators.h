@@ -1,0 +1,77 @@
+//===- Dominators.h - Dominator tree & dominance frontier -------*- C++ -*-===//
+///
+/// \file
+/// Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm and
+/// Cytron-style dominance frontiers. Memory SSA construction places MemPhi
+/// nodes at the iterated dominance frontier of each object's definition
+/// sites, exactly as ordinary SSA places phis for scalar variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_GRAPH_DOMINATORS_H
+#define VSFS_GRAPH_DOMINATORS_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace graph {
+
+/// Dominator tree of the nodes reachable from a designated entry node.
+/// Unreachable nodes have no immediate dominator and are excluded from
+/// frontiers.
+class DominatorTree {
+public:
+  /// Builds the tree for \p G rooted at \p Entry.
+  DominatorTree(const AdjacencyGraph &G, uint32_t Entry);
+
+  static constexpr uint32_t None = UINT32_MAX;
+
+  uint32_t entry() const { return EntryNode; }
+  bool isReachable(uint32_t Node) const { return IDom[Node] != None; }
+
+  /// Immediate dominator of \p Node; the entry dominates itself; \c None
+  /// for unreachable nodes.
+  uint32_t immediateDominator(uint32_t Node) const { return IDom[Node]; }
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  /// Children of \p Node in the dominator tree.
+  const std::vector<uint32_t> &children(uint32_t Node) const {
+    return Kids[Node];
+  }
+
+private:
+  uint32_t EntryNode;
+  std::vector<uint32_t> IDom;
+  /// Reverse-post-order position of each node; used to order intersections
+  /// and to answer \c dominates by walking up the tree.
+  std::vector<uint32_t> RPONumber;
+  std::vector<std::vector<uint32_t>> Kids;
+};
+
+/// Dominance frontier DF(n) for every reachable node of the graph.
+class DominanceFrontier {
+public:
+  DominanceFrontier(const AdjacencyGraph &G, const DominatorTree &DT);
+
+  const std::vector<uint32_t> &frontier(uint32_t Node) const {
+    return DF[Node];
+  }
+
+  /// Iterated dominance frontier of a set of definition sites: the classic
+  /// worklist closure used for pruned SSA phi placement.
+  std::vector<uint32_t>
+  iteratedFrontier(const std::vector<uint32_t> &DefSites) const;
+
+private:
+  std::vector<std::vector<uint32_t>> DF;
+};
+
+} // namespace graph
+} // namespace vsfs
+
+#endif // VSFS_GRAPH_DOMINATORS_H

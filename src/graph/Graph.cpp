@@ -1,0 +1,38 @@
+//===- Graph.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "graph/Graph.h"
+
+using namespace vsfs;
+using namespace vsfs::graph;
+
+std::vector<uint32_t> vsfs::graph::reversePostOrder(const AdjacencyGraph &G,
+                                                    uint32_t Entry) {
+  std::vector<uint32_t> PostOrder;
+  if (G.numNodes() == 0)
+    return PostOrder;
+  std::vector<uint8_t> Visited(G.numNodes(), 0);
+  // Iterative DFS; the frame records the next successor index to explore.
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.emplace_back(Entry, 0);
+  Visited[Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextSucc] = Stack.back();
+    const auto &Out = G.successors(Node);
+    bool Descended = false;
+    while (NextSucc < Out.size()) {
+      uint32_t S = Out[NextSucc++];
+      if (!Visited[S]) {
+        Visited[S] = 1;
+        Stack.emplace_back(S, 0);
+        Descended = true;
+        break;
+      }
+    }
+    if (Descended)
+      continue;
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}

@@ -1,0 +1,91 @@
+//===- Graph.h - Adjacency-list directed graph ------------------*- C++ -*-===//
+///
+/// \file
+/// A minimal adjacency-list digraph over dense uint32_t node IDs. The graph
+/// algorithms in this library (SCC, dominators) and the analyses' internal
+/// graphs (constraint graph, version constraint graph) all operate on this
+/// shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_GRAPH_GRAPH_H
+#define VSFS_GRAPH_GRAPH_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace graph {
+
+/// Directed graph as vectors of successor lists. Parallel edges are allowed
+/// unless \c addUniqueEdge is used.
+class AdjacencyGraph {
+public:
+  AdjacencyGraph() = default;
+  explicit AdjacencyGraph(uint32_t NumNodes) : Succs(NumNodes) {}
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Succs.size()); }
+
+  /// Adds a node and returns its ID.
+  uint32_t addNode() {
+    Succs.emplace_back();
+    return numNodes() - 1;
+  }
+
+  /// Grows the graph to at least \p NumNodes nodes.
+  void resize(uint32_t NumNodes) {
+    if (NumNodes > numNodes())
+      Succs.resize(NumNodes);
+  }
+
+  void addEdge(uint32_t From, uint32_t To) {
+    assert(From < numNodes() && To < numNodes() && "edge endpoints exist");
+    Succs[From].push_back(To);
+  }
+
+  /// Adds the edge unless it is already present; returns true if added.
+  /// Linear in out-degree; fine for the small degrees seen here.
+  bool addUniqueEdge(uint32_t From, uint32_t To) {
+    assert(From < numNodes() && To < numNodes() && "edge endpoints exist");
+    auto &Out = Succs[From];
+    if (std::find(Out.begin(), Out.end(), To) != Out.end())
+      return false;
+    Out.push_back(To);
+    return true;
+  }
+
+  const std::vector<uint32_t> &successors(uint32_t Node) const {
+    assert(Node < numNodes() && "node exists");
+    return Succs[Node];
+  }
+
+  /// Builds and returns the predecessor lists (O(V+E)).
+  std::vector<std::vector<uint32_t>> buildPredecessors() const {
+    std::vector<std::vector<uint32_t>> Preds(numNodes());
+    for (uint32_t N = 0; N < numNodes(); ++N)
+      for (uint32_t S : Succs[N])
+        Preds[S].push_back(N);
+    return Preds;
+  }
+
+  uint64_t numEdges() const {
+    uint64_t Total = 0;
+    for (const auto &Out : Succs)
+      Total += Out.size();
+    return Total;
+  }
+
+private:
+  std::vector<std::vector<uint32_t>> Succs;
+};
+
+/// Reverse post-order of the nodes reachable from \p Entry.
+std::vector<uint32_t> reversePostOrder(const AdjacencyGraph &G,
+                                       uint32_t Entry);
+
+} // namespace graph
+} // namespace vsfs
+
+#endif // VSFS_GRAPH_GRAPH_H

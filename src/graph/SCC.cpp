@@ -1,0 +1,85 @@
+//===- SCC.cpp - Iterative Tarjan -------------------------------*- C++ -*-===//
+
+#include "graph/SCC.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::graph;
+
+namespace {
+
+constexpr uint32_t Unvisited = UINT32_MAX;
+
+/// Explicit DFS frame for the iterative Tarjan walk.
+struct Frame {
+  uint32_t Node;
+  size_t NextSucc;
+};
+
+} // namespace
+
+SCCResult vsfs::graph::computeSCCs(const AdjacencyGraph &G) {
+  const uint32_t N = G.numNodes();
+  SCCResult Result;
+  Result.ComponentOf.assign(N, Unvisited);
+
+  std::vector<uint32_t> Index(N, Unvisited);
+  std::vector<uint32_t> LowLink(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<uint32_t> TarjanStack;
+  std::vector<Frame> CallStack;
+  uint32_t NextIndex = 0;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    CallStack.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    TarjanStack.push_back(Root);
+    OnStack[Root] = 1;
+
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      const auto &Out = G.successors(F.Node);
+      if (F.NextSucc < Out.size()) {
+        uint32_t S = Out[F.NextSucc++];
+        if (Index[S] == Unvisited) {
+          Index[S] = LowLink[S] = NextIndex++;
+          TarjanStack.push_back(S);
+          OnStack[S] = 1;
+          CallStack.push_back({S, 0});
+        } else if (OnStack[S]) {
+          if (Index[S] < LowLink[F.Node])
+            LowLink[F.Node] = Index[S];
+        }
+        continue;
+      }
+
+      // All successors processed: maybe emit a component, then propagate
+      // the lowlink to the parent frame.
+      uint32_t Node = F.Node;
+      CallStack.pop_back();
+      if (LowLink[Node] == Index[Node]) {
+        uint32_t Comp = Result.NumComponents++;
+        Result.Members.emplace_back();
+        uint32_t Member;
+        do {
+          Member = TarjanStack.back();
+          TarjanStack.pop_back();
+          OnStack[Member] = 0;
+          Result.ComponentOf[Member] = Comp;
+          Result.Members[Comp].push_back(Member);
+        } while (Member != Node);
+      }
+      if (!CallStack.empty()) {
+        uint32_t Parent = CallStack.back().Node;
+        if (LowLink[Node] < LowLink[Parent])
+          LowLink[Parent] = LowLink[Node];
+      }
+    }
+  }
+
+  assert(TarjanStack.empty() && "Tarjan stack fully drained");
+  return Result;
+}

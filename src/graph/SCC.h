@@ -1,0 +1,47 @@
+//===- SCC.h - Strongly connected components --------------------*- C++ -*-===//
+///
+/// \file
+/// Iterative Tarjan SCC over an \c AdjacencyGraph. Andersen's solver uses
+/// this to detect and collapse copy-edge cycles; tests use it as an oracle
+/// for meld-labelling equivalence reasoning.
+///
+/// Components are numbered in the order Tarjan pops them, which is a
+/// *reverse topological* order of the condensation: every edge between
+/// distinct components goes from a higher component ID to a lower one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_GRAPH_SCC_H
+#define VSFS_GRAPH_SCC_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace graph {
+
+/// Result of an SCC computation.
+struct SCCResult {
+  /// Maps each node to its component ID in [0, NumComponents).
+  std::vector<uint32_t> ComponentOf;
+  uint32_t NumComponents = 0;
+
+  /// Members of each component, in discovery order.
+  std::vector<std::vector<uint32_t>> Members;
+
+  /// True if \p Node is in a component with >1 member or with a self loop
+  /// (the caller supplies self-loop knowledge; this only checks size).
+  bool inCycle(uint32_t Node) const {
+    return Members[ComponentOf[Node]].size() > 1;
+  }
+};
+
+/// Computes SCCs of all nodes of \p G (every node is visited).
+SCCResult computeSCCs(const AdjacencyGraph &G);
+
+} // namespace graph
+} // namespace vsfs
+
+#endif // VSFS_GRAPH_SCC_H

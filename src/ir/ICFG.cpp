@@ -1,0 +1,127 @@
+//===- ICFG.cpp - Interprocedural control-flow graph ------------*- C++ -*-===//
+
+#include "ir/ICFG.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::ir;
+
+ICFG::ICFG(const Module &M, CalleeResolver Resolve) : M(M) {
+  Succs.assign(M.numInstructions(), {});
+  Reachable.assign(M.numInstructions(), false);
+
+  for (FunID F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fun = M.function(F);
+    if (Fun.Blocks.empty())
+      continue;
+
+    // Per-block reachability from the function entry.
+    std::vector<uint8_t> BlockReachable(Fun.Blocks.size(), 0);
+    {
+      std::vector<BlockID> Stack{Fun.entryBlock()};
+      BlockReachable[Fun.entryBlock()] = 1;
+      while (!Stack.empty()) {
+        BlockID Cur = Stack.back();
+        Stack.pop_back();
+        for (BlockID S : Fun.Blocks[Cur].Succs)
+          if (!BlockReachable[S]) {
+            BlockReachable[S] = 1;
+            Stack.push_back(S);
+          }
+      }
+    }
+
+    // First instructions of each block, looking through empty blocks
+    // (blocks holding only a branch own no instructions).
+    std::vector<std::vector<InstID>> FirstOf(Fun.Blocks.size());
+    for (BlockID B = 0; B < Fun.Blocks.size(); ++B) {
+      std::vector<uint8_t> Seen(Fun.Blocks.size(), 0);
+      std::vector<BlockID> Stack{B};
+      Seen[B] = 1;
+      while (!Stack.empty()) {
+        BlockID Cur = Stack.back();
+        Stack.pop_back();
+        if (!Fun.Blocks[Cur].Insts.empty()) {
+          FirstOf[B].push_back(Fun.Blocks[Cur].Insts.front());
+          continue;
+        }
+        for (BlockID S : Fun.Blocks[Cur].Succs)
+          if (!Seen[S]) {
+            Seen[S] = 1;
+            Stack.push_back(S);
+          }
+      }
+    }
+
+    auto ConnectToNext = [&](InstID From, BlockID B, size_t Pos) {
+      const auto &Insts = Fun.Blocks[B].Insts;
+      if (Pos + 1 < Insts.size()) {
+        Succs[From].push_back(Insts[Pos + 1]);
+        return;
+      }
+      for (BlockID S : Fun.Blocks[B].Succs)
+        for (InstID T : FirstOf[S])
+          Succs[From].push_back(T);
+    };
+
+    for (BlockID B = 0; B < Fun.Blocks.size(); ++B) {
+      if (!BlockReachable[B])
+        continue;
+      const auto &Insts = Fun.Blocks[B].Insts;
+      for (size_t Pos = 0; Pos < Insts.size(); ++Pos) {
+        InstID I = Insts[Pos];
+        Reachable[I] = true;
+        const Instruction &Inst = M.inst(I);
+        std::vector<FunID> Callees;
+        if (Inst.Kind == InstKind::Call && Resolve)
+          Callees = Resolve(I);
+        if (!Callees.empty()) {
+          for (FunID Callee : Callees) {
+            Succs[I].push_back(M.function(Callee).Entry);
+            ConnectToNext(M.function(Callee).Exit, B, Pos);
+          }
+        } else {
+          ConnectToNext(I, B, Pos);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<InstID> &ICFG::predecessors(InstID I) const {
+  if (!PredsBuilt) {
+    Preds.assign(Succs.size(), {});
+    for (InstID N = 0; N < Succs.size(); ++N)
+      for (InstID S : Succs[N])
+        Preds[S].push_back(N);
+    PredsBuilt = true;
+  }
+  assert(I < Preds.size() && "unknown instruction");
+  return Preds[I];
+}
+
+uint64_t ICFG::numEdges() const {
+  uint64_t Total = 0;
+  for (const auto &S : Succs)
+    Total += S.size();
+  return Total;
+}
+
+std::vector<InstID> ICFG::reachableFrom(InstID Entry) const {
+  std::vector<InstID> Out;
+  std::vector<uint8_t> Seen(Succs.size(), 0);
+  std::vector<InstID> Stack{Entry};
+  Seen[Entry] = 1;
+  while (!Stack.empty()) {
+    InstID Cur = Stack.back();
+    Stack.pop_back();
+    Out.push_back(Cur);
+    for (InstID S : Succs[Cur])
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Stack.push_back(S);
+      }
+  }
+  return Out;
+}

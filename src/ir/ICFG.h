@@ -1,0 +1,70 @@
+//===- ICFG.h - Interprocedural control-flow graph --------------*- C++ -*-===//
+///
+/// \file
+/// The interprocedural control-flow graph (§IV-A): one node per
+/// instruction, with
+///
+///  - intraprocedural edges following block order and branch successors
+///    (empty blocks are looked through),
+///  - interprocedural edges for resolved calls: callsite → callee FunEntry
+///    and callee FunExit → the callsite's fall-through ("return site"),
+///  - a fall-through edge at unresolved callsites so flow is not lost.
+///
+/// Call resolution is supplied by the caller as a callback so this module
+/// stays independent of any particular pointer analysis (Andersen's call
+/// graph is the usual source). Only blocks reachable from each function's
+/// entry participate: memory SSA gives unreachable code no definitions, and
+/// the dense baseline analysis must agree (see IterativeFlowSensitive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_ICFG_H
+#define VSFS_IR_ICFG_H
+
+#include "ir/Module.h"
+
+#include <functional>
+#include <vector>
+
+namespace vsfs {
+namespace ir {
+
+/// The ICFG over instruction IDs.
+class ICFG {
+public:
+  /// Resolves a call instruction to its (known) callees; an empty result
+  /// means the call is unresolved and keeps its fall-through edge.
+  using CalleeResolver = std::function<std::vector<FunID>(InstID)>;
+
+  /// Builds the graph. \p Resolve may be null: all calls fall through
+  /// (a purely intraprocedural CFG over instructions).
+  ICFG(const Module &M, CalleeResolver Resolve);
+
+  const std::vector<InstID> &successors(InstID I) const {
+    return Succs[I];
+  }
+
+  /// Predecessor lists (computed on first use).
+  const std::vector<InstID> &predecessors(InstID I) const;
+
+  /// True if \p I is inside a block reachable from its function's entry.
+  bool isReachableInFunction(InstID I) const { return Reachable[I]; }
+
+  uint64_t numEdges() const;
+
+  /// Instructions reachable in the ICFG from \p Entry (a FunEntry,
+  /// typically the program entry's).
+  std::vector<InstID> reachableFrom(InstID Entry) const;
+
+private:
+  const Module &M;
+  std::vector<std::vector<InstID>> Succs;
+  std::vector<bool> Reachable;
+  mutable std::vector<std::vector<InstID>> Preds;
+  mutable bool PredsBuilt = false;
+};
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_ICFG_H

@@ -1,0 +1,457 @@
+//===- IRBuilder.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::ir;
+
+const char *vsfs::ir::instKindName(InstKind Kind) {
+  switch (Kind) {
+  case InstKind::Alloc:
+    return "alloc";
+  case InstKind::Copy:
+    return "copy";
+  case InstKind::Phi:
+    return "phi";
+  case InstKind::FieldAddr:
+    return "field";
+  case InstKind::Load:
+    return "load";
+  case InstKind::Store:
+    return "store";
+  case InstKind::Call:
+    return "call";
+  case InstKind::FunEntry:
+    return "funentry";
+  case InstKind::FunExit:
+    return "funexit";
+  }
+  return "<invalid>";
+}
+
+void vsfs::ir::collectUsedVars(const Instruction &Inst,
+                               std::vector<VarID> &Uses) {
+  switch (Inst.Kind) {
+  case InstKind::Alloc:
+    break;
+  case InstKind::Copy:
+  case InstKind::FieldAddr:
+  case InstKind::Load:
+    Uses.push_back(Inst.Op0);
+    break;
+  case InstKind::Store:
+    Uses.push_back(Inst.Op0);
+    Uses.push_back(Inst.Op1);
+    break;
+  case InstKind::Phi:
+    for (VarID V : Inst.Operands)
+      Uses.push_back(V);
+    break;
+  case InstKind::Call:
+    if (Inst.isIndirectCall())
+      Uses.push_back(Inst.Op0);
+    for (VarID V : Inst.Operands)
+      Uses.push_back(V);
+    break;
+  case InstKind::FunEntry:
+    break; // Parameters are definitions.
+  case InstKind::FunExit:
+    if (Inst.Op0 != InvalidVar)
+      Uses.push_back(Inst.Op0);
+    break;
+  }
+}
+
+void vsfs::ir::linkProgramEntry(Module &M) {
+  FunID Main = M.main();
+  FunID GI = M.globalInit();
+  if (Main == InvalidFun || GI == InvalidFun)
+    return;
+  Function &Init = M.function(GI);
+  // Idempotence: look for an existing call to main in the init block.
+  for (InstID I : Init.Blocks[0].Insts) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind == InstKind::Call && !Inst.isIndirectCall() &&
+        Inst.directCallee() == Main)
+      return;
+  }
+  Instruction Call;
+  Call.Kind = InstKind::Call;
+  Call.Parent = GI;
+  Call.Block = 0;
+  Call.Extra = Main;
+  InstID Id = M.addInstruction(std::move(Call));
+  Init.Blocks[0].Insts.push_back(Id);
+}
+
+FunID vsfs::ir::programEntry(const Module &M) {
+  if (M.globalInit() != InvalidFun)
+    return M.globalInit();
+  return M.main();
+}
+
+FunID IRBuilder::ensureGlobalInit() {
+  if (M.globalInit() != InvalidFun) {
+    GlobalInitBlock = 0;
+    return M.globalInit();
+  }
+  FunID F = M.makeFunction("__global_init__");
+  M.setGlobalInit(F);
+  Function &Fun = M.function(F);
+
+  // Block 0 holds FunEntry plus all global allocs/initialising stores;
+  // block 1 holds the FunExit. Appending to block 0 keeps every global
+  // instruction before the exit.
+  Fun.Blocks.emplace_back();
+  Fun.Blocks[0].Name = "entry";
+  Fun.Blocks.emplace_back();
+  Fun.Blocks[1].Name = "exit";
+  Fun.Blocks[0].Succs.push_back(1);
+
+  Instruction Entry;
+  Entry.Kind = InstKind::FunEntry;
+  Entry.Parent = F;
+  Entry.Block = 0;
+  InstID EntryId = M.addInstruction(std::move(Entry));
+  Fun.Blocks[0].Insts.push_back(EntryId);
+  Fun.Entry = EntryId;
+
+  Instruction Exit;
+  Exit.Kind = InstKind::FunExit;
+  Exit.Parent = F;
+  Exit.Block = 1;
+  InstID ExitId = M.addInstruction(std::move(Exit));
+  Fun.Blocks[1].Insts.push_back(ExitId);
+  Fun.Exit = ExitId;
+
+  GlobalInitBlock = 0;
+  return F;
+}
+
+VarID IRBuilder::addGlobal(const std::string &Name, uint32_t NumFields) {
+  FunID GI = ensureGlobalInit();
+  ObjID Obj = M.symbols().makeObject(Name, ObjKind::Global,
+                                     /*Singleton=*/true, NumFields);
+  VarID V = M.symbols().makeVar(Name, InvalidFun);
+  M.registerGlobalVar(Name, V);
+
+  Instruction Alloc;
+  Alloc.Kind = InstKind::Alloc;
+  Alloc.Parent = GI;
+  Alloc.Block = GlobalInitBlock;
+  Alloc.Dst = V;
+  Alloc.Extra = Obj;
+  InstID Id = M.addInstruction(std::move(Alloc));
+  M.symbols().object(Obj).AllocSite = Id;
+  M.function(GI).Blocks[GlobalInitBlock].Insts.push_back(Id);
+  return V;
+}
+
+void IRBuilder::addGlobalInit(VarID GlobalVar, VarID Value) {
+  FunID GI = ensureGlobalInit();
+  Instruction St;
+  St.Kind = InstKind::Store;
+  St.Parent = GI;
+  St.Block = GlobalInitBlock;
+  St.Op0 = GlobalVar;
+  St.Op1 = Value;
+  InstID Id = M.addInstruction(std::move(St));
+  M.function(GI).Blocks[GlobalInitBlock].Insts.push_back(Id);
+}
+
+VarID IRBuilder::functionAddress(FunID F) {
+  auto It = FunAddrVar.find(F);
+  if (It != FunAddrVar.end())
+    return It->second;
+  VarID Existing = M.lookupFunAddrVar(F);
+  if (Existing != InvalidVar) {
+    FunAddrVar.emplace(F, Existing);
+    return Existing;
+  }
+  FunID GI = ensureGlobalInit();
+  ObjID Obj = M.functionAddressObject(F);
+  VarID V = M.symbols().makeVar(M.function(F).Name + ".addr", InvalidFun);
+
+  Instruction Alloc;
+  Alloc.Kind = InstKind::Alloc;
+  Alloc.Parent = GI;
+  Alloc.Block = GlobalInitBlock;
+  Alloc.Dst = V;
+  Alloc.Extra = Obj;
+  InstID Id = M.addInstruction(std::move(Alloc));
+  M.function(GI).Blocks[GlobalInitBlock].Insts.push_back(Id);
+  FunAddrVar.emplace(F, V);
+  M.registerFunAddrVar(V, F);
+  return V;
+}
+
+FunID IRBuilder::startFunction(const std::string &Name,
+                               const std::vector<std::string> &ParamNames) {
+  assert(CurFun == InvalidFun && "finish the previous function first");
+  FunID F = M.lookupFunction(Name);
+  if (F == InvalidFun)
+    F = M.makeFunction(Name);
+  CurFun = F;
+  Function &Fun = M.function(F);
+  assert(Fun.Blocks.empty() && "function already has a body");
+
+  BlockByName.clear();
+  BlockTerminated.clear();
+  RetSites.clear();
+
+  Fun.Blocks.emplace_back();
+  Fun.Blocks[0].Name = "entry";
+  BlockByName.emplace("entry", 0);
+  BlockTerminated.push_back(false);
+  CurBlock = 0;
+
+  for (const std::string &P : ParamNames)
+    Fun.Params.push_back(M.symbols().makeVar(P, F));
+
+  Instruction Entry;
+  Entry.Kind = InstKind::FunEntry;
+  Entry.Operands = Fun.Params;
+  Fun.Entry = emit(std::move(Entry));
+  return F;
+}
+
+BlockID IRBuilder::block(const std::string &Name) {
+  assert(CurFun != InvalidFun && "no current function");
+  auto It = BlockByName.find(Name);
+  if (It != BlockByName.end())
+    return It->second;
+  Function &Fun = M.function(CurFun);
+  BlockID Id = static_cast<BlockID>(Fun.Blocks.size());
+  Fun.Blocks.emplace_back();
+  Fun.Blocks[Id].Name = Name;
+  BlockByName.emplace(Name, Id);
+  BlockTerminated.push_back(false);
+  return Id;
+}
+
+void IRBuilder::setInsertPoint(BlockID Block) {
+  assert(CurFun != InvalidFun && Block < M.function(CurFun).Blocks.size());
+  CurBlock = Block;
+}
+
+void IRBuilder::br(BlockID B1) {
+  assert(!BlockTerminated[CurBlock] && "block already terminated");
+  M.function(CurFun).Blocks[CurBlock].Succs.push_back(B1);
+  BlockTerminated[CurBlock] = true;
+}
+
+void IRBuilder::br(BlockID B1, BlockID B2) {
+  assert(!BlockTerminated[CurBlock] && "block already terminated");
+  auto &Succs = M.function(CurFun).Blocks[CurBlock].Succs;
+  Succs.push_back(B1);
+  Succs.push_back(B2);
+  BlockTerminated[CurBlock] = true;
+}
+
+void IRBuilder::ret(VarID Value) {
+  assert(!BlockTerminated[CurBlock] && "block already terminated");
+  RetSites.emplace_back(CurBlock, Value);
+  BlockTerminated[CurBlock] = true;
+}
+
+FunID IRBuilder::finishFunction() {
+  assert(CurFun != InvalidFun && "no current function");
+  Function &Fun = M.function(CurFun);
+
+  // Synthesise the unified exit (UnifyFunctionExitNodes).
+  BlockID ExitBlock = static_cast<BlockID>(Fun.Blocks.size());
+  Fun.Blocks.emplace_back();
+  Fun.Blocks[ExitBlock].Name = "__exit";
+  BlockTerminated.push_back(true);
+
+  VarID RetVal = InvalidVar;
+  std::vector<VarID> RetVals;
+  for (auto &[Block, Val] : RetSites) {
+    Fun.Blocks[Block].Succs.push_back(ExitBlock);
+    if (Val != InvalidVar)
+      RetVals.push_back(Val);
+  }
+
+  CurBlock = ExitBlock;
+  BlockTerminated[ExitBlock] = false;
+  if (RetVals.size() == 1) {
+    RetVal = RetVals.front();
+  } else if (RetVals.size() > 1) {
+    // Merge the returned pointers; the Phi lives in the exit block.
+    Instruction Phi;
+    Phi.Kind = InstKind::Phi;
+    Phi.Dst = M.symbols().makeVar(Fun.Name + ".retval", CurFun);
+    Phi.Operands = RetVals;
+    RetVal = Phi.Dst;
+    emit(std::move(Phi));
+  }
+
+  Instruction Exit;
+  Exit.Kind = InstKind::FunExit;
+  Exit.Op0 = RetVal;
+  Fun.Exit = emit(std::move(Exit));
+  BlockTerminated[ExitBlock] = true;
+
+  FunID Finished = CurFun;
+  CurFun = InvalidFun;
+  CurBlock = InvalidBlock;
+  return Finished;
+}
+
+InstID IRBuilder::emit(Instruction Inst) {
+  assert(CurFun != InvalidFun && CurBlock != InvalidBlock &&
+         "no insertion point");
+  assert(!BlockTerminated[CurBlock] && "emitting into a terminated block");
+  Inst.Parent = CurFun;
+  Inst.Block = CurBlock;
+  InstID Id = M.addInstruction(std::move(Inst));
+  M.function(CurFun).Blocks[CurBlock].Insts.push_back(Id);
+  return Id;
+}
+
+VarID IRBuilder::makeVar(const std::string &Name) {
+  return M.symbols().makeVar(Name, CurFun);
+}
+
+void IRBuilder::allocTo(VarID Dst, const std::string &ObjName, ObjKind Kind,
+                        bool Singleton, uint32_t NumFields) {
+  assert(Kind != ObjKind::Field && Kind != ObjKind::Function &&
+         "alloc creates stack/heap/global objects");
+  // Heap allocation sites may execute many times; never singletons.
+  if (Kind == ObjKind::Heap)
+    Singleton = false;
+  ObjID Obj = M.symbols().makeObject(ObjName, Kind, Singleton, NumFields);
+  Instruction Inst;
+  Inst.Kind = InstKind::Alloc;
+  Inst.Dst = Dst;
+  Inst.Extra = Obj;
+  InstID Id = emit(std::move(Inst));
+  M.symbols().object(Obj).AllocSite = Id;
+}
+
+void IRBuilder::copyTo(VarID Dst, VarID Src) {
+  Instruction Inst;
+  Inst.Kind = InstKind::Copy;
+  Inst.Dst = Dst;
+  Inst.Op0 = Src;
+  emit(std::move(Inst));
+}
+
+void IRBuilder::phiTo(VarID Dst, const std::vector<VarID> &Srcs) {
+  assert(!Srcs.empty() && "phi needs at least one source");
+  Instruction Inst;
+  Inst.Kind = InstKind::Phi;
+  Inst.Dst = Dst;
+  Inst.Operands = Srcs;
+  emit(std::move(Inst));
+}
+
+void IRBuilder::fieldAddrTo(VarID Dst, VarID Base, uint32_t Offset) {
+  Instruction Inst;
+  Inst.Kind = InstKind::FieldAddr;
+  Inst.Dst = Dst;
+  Inst.Op0 = Base;
+  Inst.Extra = Offset;
+  emit(std::move(Inst));
+}
+
+void IRBuilder::loadTo(VarID Dst, VarID Ptr) {
+  Instruction Inst;
+  Inst.Kind = InstKind::Load;
+  Inst.Dst = Dst;
+  Inst.Op0 = Ptr;
+  emit(std::move(Inst));
+}
+
+void IRBuilder::callDirectTo(VarID Dst, FunID Callee,
+                             const std::vector<VarID> &Args) {
+  Instruction Inst;
+  Inst.Kind = InstKind::Call;
+  Inst.Dst = Dst;
+  Inst.Extra = Callee;
+  Inst.Operands = Args;
+  emit(std::move(Inst));
+}
+
+void IRBuilder::callIndirectTo(VarID Dst, VarID CalleePtr,
+                               const std::vector<VarID> &Args) {
+  Instruction Inst;
+  Inst.Kind = InstKind::Call;
+  Inst.Dst = Dst;
+  Inst.Op0 = CalleePtr;
+  Inst.Extra = InvalidFun;
+  Inst.Operands = Args;
+  emit(std::move(Inst));
+}
+
+void IRBuilder::funcAddrTo(VarID Dst, FunID F) {
+  ObjID Obj = M.functionAddressObject(F);
+  Instruction Inst;
+  Inst.Kind = InstKind::Alloc;
+  Inst.Dst = Dst;
+  Inst.Extra = Obj;
+  emit(std::move(Inst));
+}
+
+VarID IRBuilder::alloc(const std::string &VarName, const std::string &ObjName,
+                       ObjKind Kind, bool Singleton, uint32_t NumFields) {
+  VarID V = makeVar(VarName);
+  allocTo(V, ObjName, Kind, Singleton, NumFields);
+  return V;
+}
+
+VarID IRBuilder::copy(const std::string &VarName, VarID Src) {
+  VarID V = makeVar(VarName);
+  copyTo(V, Src);
+  return V;
+}
+
+VarID IRBuilder::phi(const std::string &VarName,
+                     const std::vector<VarID> &Srcs) {
+  VarID V = makeVar(VarName);
+  phiTo(V, Srcs);
+  return V;
+}
+
+VarID IRBuilder::fieldAddr(const std::string &VarName, VarID Base,
+                           uint32_t Offset) {
+  VarID V = makeVar(VarName);
+  fieldAddrTo(V, Base, Offset);
+  return V;
+}
+
+VarID IRBuilder::load(const std::string &VarName, VarID Ptr) {
+  VarID V = makeVar(VarName);
+  loadTo(V, Ptr);
+  return V;
+}
+
+void IRBuilder::store(VarID Value, VarID Ptr) {
+  Instruction Inst;
+  Inst.Kind = InstKind::Store;
+  Inst.Op0 = Ptr;
+  Inst.Op1 = Value;
+  emit(std::move(Inst));
+}
+
+VarID IRBuilder::callDirect(const std::string &DstName, FunID Callee,
+                            const std::vector<VarID> &Args) {
+  VarID V = DstName.empty() ? InvalidVar : makeVar(DstName);
+  callDirectTo(V, Callee, Args);
+  return V;
+}
+
+VarID IRBuilder::callIndirect(const std::string &DstName, VarID CalleePtr,
+                              const std::vector<VarID> &Args) {
+  VarID V = DstName.empty() ? InvalidVar : makeVar(DstName);
+  callIndirectTo(V, CalleePtr, Args);
+  return V;
+}
+
+VarID IRBuilder::funcAddr(const std::string &VarName, FunID F) {
+  VarID V = makeVar(VarName);
+  funcAddrTo(V, F);
+  return V;
+}

@@ -1,0 +1,155 @@
+//===- IRBuilder.h - Programmatic IR construction ----------------*- C++ -*-===//
+///
+/// \file
+/// Builds modules in partial SSA form. The builder enforces the structural
+/// invariants the analyses rely on:
+///  - every function starts with a FunEntry instruction in block 0;
+///  - every function has exactly one FunExit (UnifyFunctionExitNodes): all
+///    \c ret sites branch to a synthesised exit block whose return value is
+///    merged by a Phi;
+///  - taking a function's address materialises an Alloc of the function
+///    object, so the [ADDR] rule uniformly seeds function pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_IRBUILDER_H
+#define VSFS_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace vsfs {
+namespace ir {
+
+/// Finalises a module for whole-program analysis: if the module has a main
+/// function and any global initialisation, appends a "call @main()" to
+/// __global_init__ so initialised globals flow into main, and the analyses
+/// can treat __global_init__ (if present, else main) as the program entry.
+/// Idempotent. Call after building/parsing and before running analyses.
+void linkProgramEntry(Module &M);
+
+/// The function analyses should start from: __global_init__ when it exists,
+/// otherwise main, otherwise InvalidFun.
+FunID programEntry(const Module &M);
+
+/// Incremental module builder. Typical use:
+/// \code
+///   IRBuilder B(M);
+///   FunID F = B.startFunction("main", {"argv"});
+///   VarID P = B.alloc("p", "obj_p");
+///   B.store(Q, P);
+///   B.ret(P);
+///   B.finishFunction();
+/// \endcode
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &module() { return M; }
+
+  // --- Globals ----------------------------------------------------------
+
+  /// Declares a global variable: creates its storage object, the top-level
+  /// variable \p Name holding its address, and the Alloc in __global_init__.
+  /// Returns the top-level variable.
+  VarID addGlobal(const std::string &Name, uint32_t NumFields = 1);
+
+  /// Emits "*global = value" in __global_init__ (global initialiser).
+  void addGlobalInit(VarID GlobalVar, VarID Value);
+
+  /// Returns a module-level variable holding \p F's address, creating it
+  /// (and its initialising Alloc in __global_init__) on first use.
+  VarID functionAddress(FunID F);
+
+  // --- Functions ----------------------------------------------------------
+
+  /// Starts a function with named parameters; creates the entry block with
+  /// its FunEntry and leaves the insertion point there.
+  FunID startFunction(const std::string &Name,
+                      const std::vector<std::string> &ParamNames);
+
+  /// Creates (or retrieves) a block named \p Name in the current function.
+  BlockID block(const std::string &Name);
+
+  /// Moves the insertion point to \p Block.
+  void setInsertPoint(BlockID Block);
+  BlockID insertBlock() const { return CurBlock; }
+
+  /// Terminates the current block with branches to the given successors.
+  void br(BlockID B1);
+  void br(BlockID B1, BlockID B2);
+
+  /// Terminates the current block with a return of \p Value (InvalidVar for
+  /// a void return).
+  void ret(VarID Value = InvalidVar);
+
+  /// Synthesises the unified exit block; must be called once per function.
+  /// Returns the finished function.
+  FunID finishFunction();
+
+  // --- Instructions (emitted at the insertion point) ---------------------
+
+  /// p = alloca_o. Creates object \p ObjName; stack objects default to
+  /// singletons, heap objects are never singletons (an allocation site may
+  /// execute many times).
+  VarID alloc(const std::string &VarName, const std::string &ObjName,
+              ObjKind Kind = ObjKind::Stack, bool Singleton = true,
+              uint32_t NumFields = 1);
+
+  VarID copy(const std::string &VarName, VarID Src);
+  VarID phi(const std::string &VarName, const std::vector<VarID> &Srcs);
+  VarID fieldAddr(const std::string &VarName, VarID Base, uint32_t Offset);
+  VarID load(const std::string &VarName, VarID Ptr);
+  void store(VarID Value, VarID Ptr);
+
+  /// Direct call; \p DstName empty means no return value is used.
+  VarID callDirect(const std::string &DstName, FunID Callee,
+                   const std::vector<VarID> &Args);
+  /// Indirect call through \p CalleePtr.
+  VarID callIndirect(const std::string &DstName, VarID CalleePtr,
+                     const std::vector<VarID> &Args);
+
+  /// p = &function (an Alloc of the function object).
+  VarID funcAddr(const std::string &VarName, FunID F);
+
+  // Destination-reuse variants: emit the same instructions but define an
+  // existing variable (the parser needs these to resolve forward references
+  // such as loop-carried phi operands).
+  void allocTo(VarID Dst, const std::string &ObjName, ObjKind Kind,
+               bool Singleton, uint32_t NumFields);
+  void copyTo(VarID Dst, VarID Src);
+  void phiTo(VarID Dst, const std::vector<VarID> &Srcs);
+  void fieldAddrTo(VarID Dst, VarID Base, uint32_t Offset);
+  void loadTo(VarID Dst, VarID Ptr);
+  void callDirectTo(VarID Dst, FunID Callee, const std::vector<VarID> &Args);
+  void callIndirectTo(VarID Dst, VarID CalleePtr,
+                      const std::vector<VarID> &Args);
+  void funcAddrTo(VarID Dst, FunID F);
+
+  /// Creates a fresh local variable in the current function.
+  VarID makeVar(const std::string &Name);
+
+private:
+  InstID emit(Instruction Inst);
+  FunID ensureGlobalInit();
+  void endBlock();
+
+  Module &M;
+  FunID CurFun = InvalidFun;
+  BlockID CurBlock = InvalidBlock;
+  /// Return sites of the current function: (block, returned var).
+  std::vector<std::pair<BlockID, VarID>> RetSites;
+  /// Whether the current block already has a terminator.
+  std::vector<bool> BlockTerminated;
+  std::unordered_map<std::string, BlockID> BlockByName;
+  std::unordered_map<FunID, VarID> FunAddrVar;
+  /// Insertion block inside __global_init__ (its single body block).
+  BlockID GlobalInitBlock = InvalidBlock;
+};
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_IRBUILDER_H

@@ -1,0 +1,40 @@
+//===- Ids.h - Dense ID types for the IR ------------------------*- C++ -*-===//
+///
+/// \file
+/// Dense integer identifiers for the entities of Table I: top-level
+/// variables (P = S ∪ G), address-taken abstract objects (A = O ∪ F),
+/// instruction labels (L), functions, and basic blocks. All IDs are dense
+/// uint32_t values so analyses can index vectors and sparse bit vectors
+/// directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_IDS_H
+#define VSFS_IR_IDS_H
+
+#include <cstdint>
+
+namespace vsfs {
+namespace ir {
+
+/// A top-level (stack or global) pointer variable.
+using VarID = uint32_t;
+/// An address-taken abstract object or field object.
+using ObjID = uint32_t;
+/// An instruction label (dense across the whole module).
+using InstID = uint32_t;
+/// A function.
+using FunID = uint32_t;
+/// A basic block index within its function.
+using BlockID = uint32_t;
+
+constexpr VarID InvalidVar = UINT32_MAX;
+constexpr ObjID InvalidObj = UINT32_MAX;
+constexpr InstID InvalidInst = UINT32_MAX;
+constexpr FunID InvalidFun = UINT32_MAX;
+constexpr BlockID InvalidBlock = UINT32_MAX;
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_IDS_H

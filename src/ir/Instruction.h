@@ -1,0 +1,151 @@
+//===- Instruction.h - Table I instruction set ------------------*- C++ -*-===//
+///
+/// \file
+/// The LLVM-like instruction set of Table I in partial SSA form. MEMPHI
+/// instructions are not part of the input IR; memory SSA inserts them and
+/// the SVFG materialises them as nodes.
+///
+/// Instructions are stored by value in a module-wide dense array so that an
+/// InstID doubles as a label (the paper's ℓ) and as an index into analysis
+/// side tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_INSTRUCTION_H
+#define VSFS_IR_INSTRUCTION_H
+
+#include "ir/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace ir {
+
+/// Instruction kinds (Table I). CAST is represented as Copy: a pointer cast
+/// is a value-preserving copy for points-to purposes.
+enum class InstKind : uint8_t {
+  Alloc,     ///< p = alloca_o
+  Copy,      ///< p = (t) q, or plain p = q
+  Phi,       ///< p = phi(q, r, ...)
+  FieldAddr, ///< p = &q->f_k
+  Load,      ///< p = *q
+  Store,     ///< *p = q
+  Call,      ///< p = q(r1, ..., rn)  (direct or indirect)
+  FunEntry,  ///< fun(r1, ..., rn)
+  FunExit    ///< ret_fun p
+};
+
+/// Returns a printable mnemonic.
+const char *instKindName(InstKind Kind);
+
+struct Instruction;
+
+/// Appends the top-level variables \p Inst reads (not defines) to \p Uses.
+/// FunEntry parameters count as definitions, not uses.
+void collectUsedVars(const Instruction &Inst, std::vector<VarID> &Uses);
+
+/// One instruction. The field meaning depends on \c Kind; use the typed
+/// accessors, which assert the kind.
+struct Instruction {
+  InstKind Kind;
+  /// Owning function and block (block set when attached to a block).
+  FunID Parent = InvalidFun;
+  BlockID Block = InvalidBlock;
+
+  /// Defined top-level variable (Alloc/Copy/Phi/FieldAddr/Load, optional for
+  /// Call), otherwise InvalidVar.
+  VarID Dst = InvalidVar;
+  /// First operand: Copy source, Load/Store pointer, FieldAddr base,
+  /// indirect Call callee, FunExit return value.
+  VarID Op0 = InvalidVar;
+  /// Second operand: Store value.
+  VarID Op1 = InvalidVar;
+  /// Extra payload: Alloc object, FieldAddr offset, direct Call callee
+  /// function (InvalidFun when the call is indirect).
+  uint32_t Extra = UINT32_MAX;
+  /// Variadic operands: Phi sources, Call arguments, FunEntry parameters.
+  std::vector<VarID> Operands;
+
+  // --- Typed accessors -------------------------------------------------
+
+  ObjID allocObject() const {
+    assert(Kind == InstKind::Alloc && "not an Alloc");
+    return Extra;
+  }
+
+  VarID copySrc() const {
+    assert(Kind == InstKind::Copy && "not a Copy");
+    return Op0;
+  }
+
+  VarID fieldBase() const {
+    assert(Kind == InstKind::FieldAddr && "not a FieldAddr");
+    return Op0;
+  }
+
+  uint32_t fieldOffset() const {
+    assert(Kind == InstKind::FieldAddr && "not a FieldAddr");
+    return Extra;
+  }
+
+  VarID loadPtr() const {
+    assert(Kind == InstKind::Load && "not a Load");
+    return Op0;
+  }
+
+  VarID storePtr() const {
+    assert(Kind == InstKind::Store && "not a Store");
+    return Op0;
+  }
+
+  VarID storeVal() const {
+    assert(Kind == InstKind::Store && "not a Store");
+    return Op1;
+  }
+
+  bool isIndirectCall() const {
+    assert(Kind == InstKind::Call && "not a Call");
+    return Extra == InvalidFun;
+  }
+
+  FunID directCallee() const {
+    assert(Kind == InstKind::Call && !isIndirectCall() && "not a direct call");
+    return Extra;
+  }
+
+  VarID indirectCalleeVar() const {
+    assert(Kind == InstKind::Call && isIndirectCall() && "not indirect call");
+    return Op0;
+  }
+
+  const std::vector<VarID> &callArgs() const {
+    assert(Kind == InstKind::Call && "not a Call");
+    return Operands;
+  }
+
+  const std::vector<VarID> &phiSrcs() const {
+    assert(Kind == InstKind::Phi && "not a Phi");
+    return Operands;
+  }
+
+  const std::vector<VarID> &entryParams() const {
+    assert(Kind == InstKind::FunEntry && "not a FunEntry");
+    return Operands;
+  }
+
+  /// FunExit return variable, or InvalidVar for void returns.
+  VarID exitRet() const {
+    assert(Kind == InstKind::FunExit && "not a FunExit");
+    return Op0;
+  }
+
+  /// True for instructions that define a top-level variable.
+  bool definesVar() const { return Dst != InvalidVar; }
+};
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_INSTRUCTION_H

@@ -1,0 +1,166 @@
+//===- Module.h - Functions, blocks, and the module --------------*- C++ -*-===//
+///
+/// \file
+/// The program container. A module owns a dense array of instructions
+/// (indexed by InstID), the functions partitioning them into basic blocks,
+/// and the symbol table of variables and objects.
+///
+/// Global variables are modelled as allocations plus initialising stores in
+/// a synthetic "__global_init__" function which the ICFG sequences before
+/// \c main, mirroring how SVF handles global initialisation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_MODULE_H
+#define VSFS_IR_MODULE_H
+
+#include "ir/Instruction.h"
+#include "ir/SymbolTable.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace ir {
+
+/// A basic block: a sequence of instruction IDs plus successor block IDs.
+struct BasicBlock {
+  std::string Name;
+  std::vector<InstID> Insts;
+  std::vector<BlockID> Succs;
+};
+
+/// A function. Every function has a unique FunEntry instruction (in its
+/// entry block) and a unique FunExit instruction (UnifyFunctionExitNodes);
+/// the builder and parser enforce this shape.
+struct Function {
+  std::string Name;
+  FunID Id = InvalidFun;
+  std::vector<VarID> Params;
+  std::vector<BasicBlock> Blocks;
+  InstID Entry = InvalidInst; ///< The FunEntry instruction.
+  InstID Exit = InvalidInst;  ///< The FunExit instruction.
+  /// The object representing this function's address; created on demand
+  /// when the address is taken (targets of indirect calls).
+  ObjID AddrObject = InvalidObj;
+
+  bool hasAddressTaken() const { return AddrObject != InvalidObj; }
+  BlockID entryBlock() const { return 0; }
+};
+
+/// The whole program.
+class Module {
+public:
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  // --- Functions --------------------------------------------------------
+
+  /// Creates an empty function (no blocks yet) and registers its name.
+  FunID makeFunction(std::string Name) {
+    assert(FunByName.find(Name) == FunByName.end() && "duplicate function");
+    FunID Id = static_cast<FunID>(Funs.size());
+    Funs.emplace_back();
+    Funs.back().Name = Name;
+    Funs.back().Id = Id;
+    FunByName.emplace(std::move(Name), Id);
+    return Id;
+  }
+
+  Function &function(FunID F) {
+    assert(F < Funs.size() && "unknown function");
+    return Funs[F];
+  }
+  const Function &function(FunID F) const {
+    assert(F < Funs.size() && "unknown function");
+    return Funs[F];
+  }
+
+  FunID lookupFunction(const std::string &Name) const {
+    auto It = FunByName.find(Name);
+    return It == FunByName.end() ? InvalidFun : It->second;
+  }
+
+  uint32_t numFunctions() const { return static_cast<uint32_t>(Funs.size()); }
+
+  /// Returns (creating on first use) the object for \p F's address.
+  ObjID functionAddressObject(FunID F) {
+    Function &Fun = function(F);
+    if (Fun.AddrObject == InvalidObj)
+      Fun.AddrObject = Symbols.makeFunctionObject(Fun.Name, F);
+    return Fun.AddrObject;
+  }
+
+  // --- Instructions -----------------------------------------------------
+
+  /// Appends \p Inst to the module-wide array; does not attach it to a
+  /// block (the builder does that).
+  InstID addInstruction(Instruction Inst) {
+    Insts.push_back(std::move(Inst));
+    return static_cast<InstID>(Insts.size() - 1);
+  }
+
+  Instruction &inst(InstID I) {
+    assert(I < Insts.size() && "unknown instruction");
+    return Insts[I];
+  }
+  const Instruction &inst(InstID I) const {
+    assert(I < Insts.size() && "unknown instruction");
+    return Insts[I];
+  }
+
+  uint32_t numInstructions() const {
+    return static_cast<uint32_t>(Insts.size());
+  }
+
+  // --- Entry points -----------------------------------------------------
+
+  void setGlobalInit(FunID F) { GlobalInit = F; }
+  FunID globalInit() const { return GlobalInit; }
+
+  void setMain(FunID F) { Main = F; }
+  FunID main() const { return Main; }
+
+  /// Module-level variables holding function addresses (see
+  /// IRBuilder::functionAddress); the printer resolves them back to @name.
+  void registerFunAddrVar(VarID V, FunID F) { FunAddrVars.emplace(V, F); }
+  FunID funAddrVarTarget(VarID V) const {
+    auto It = FunAddrVars.find(V);
+    return It == FunAddrVars.end() ? InvalidFun : It->second;
+  }
+  VarID lookupFunAddrVar(FunID F) const {
+    for (const auto &[V, Fun] : FunAddrVars)
+      if (Fun == F)
+        return V;
+    return InvalidVar;
+  }
+
+  /// Named global top-level variables (for the parser and printer).
+  void registerGlobalVar(const std::string &Name, VarID V) {
+    GlobalVarByName.emplace(Name, V);
+  }
+  VarID lookupGlobalVar(const std::string &Name) const {
+    auto It = GlobalVarByName.find(Name);
+    return It == GlobalVarByName.end() ? InvalidVar : It->second;
+  }
+  const std::unordered_map<std::string, VarID> &globalVars() const {
+    return GlobalVarByName;
+  }
+
+private:
+  SymbolTable Symbols;
+  std::vector<Instruction> Insts;
+  std::vector<Function> Funs;
+  std::unordered_map<std::string, FunID> FunByName;
+  std::unordered_map<std::string, VarID> GlobalVarByName;
+  std::unordered_map<VarID, FunID> FunAddrVars;
+  FunID GlobalInit = InvalidFun;
+  FunID Main = InvalidFun;
+};
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_MODULE_H

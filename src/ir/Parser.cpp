@@ -1,0 +1,652 @@
+//===- Parser.cpp - Textual IR parser ---------------------------*- C++ -*-===//
+
+#include "ir/Parser.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+using namespace vsfs;
+using namespace vsfs::ir;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  AtIdent,      // @name
+  PercentIdent, // %name
+  Ident,        // bareword / keyword / label
+  Int,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Equal,
+  Arrow,
+  Colon,
+  End
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text; // Identifier spelling (without sigil).
+  uint64_t IntValue = 0;
+  uint32_t Line = 0;
+};
+
+/// Tokenises the whole input up front; ';' starts a line comment.
+class Lexer {
+public:
+  Lexer(std::string_view Text, std::string &Error) : Text(Text), Err(Error) {}
+
+  /// Returns false on a lexical error (Err set).
+  bool run(std::vector<Token> &Out) {
+    while (skipTrivia()) {
+      Token T;
+      if (!lexOne(T))
+        return false;
+      Out.push_back(std::move(T));
+    }
+    Out.push_back(Token{TokKind::End, "", 0, Line});
+    return true;
+  }
+
+private:
+  bool skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool lexOne(Token &T) {
+    char C = Text[Pos];
+    T.Line = Line;
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      ++Pos;
+      return true;
+    case ')':
+      T.Kind = TokKind::RParen;
+      ++Pos;
+      return true;
+    case '[':
+      T.Kind = TokKind::LBracket;
+      ++Pos;
+      return true;
+    case ']':
+      T.Kind = TokKind::RBracket;
+      ++Pos;
+      return true;
+    case '{':
+      T.Kind = TokKind::LBrace;
+      ++Pos;
+      return true;
+    case '}':
+      T.Kind = TokKind::RBrace;
+      ++Pos;
+      return true;
+    case ',':
+      T.Kind = TokKind::Comma;
+      ++Pos;
+      return true;
+    case ':':
+      T.Kind = TokKind::Colon;
+      ++Pos;
+      return true;
+    case '=':
+      T.Kind = TokKind::Equal;
+      ++Pos;
+      return true;
+    case '-':
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '>') {
+        T.Kind = TokKind::Arrow;
+        Pos += 2;
+        return true;
+      }
+      return fail("unexpected '-'");
+    case '@':
+    case '%': {
+      ++Pos;
+      std::string Name = lexWord();
+      if (Name.empty())
+        return fail("expected identifier after sigil");
+      T.Kind = C == '@' ? TokKind::AtIdent : TokKind::PercentIdent;
+      T.Text = std::move(Name);
+      return true;
+    }
+    default:
+      break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      uint64_t Value = 0;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        Value = Value * 10 + (Text[Pos++] - '0');
+      T.Kind = TokKind::Int;
+      T.IntValue = Value;
+      return true;
+    }
+    if (isWordChar(C)) {
+      T.Kind = TokKind::Ident;
+      T.Text = lexWord();
+      return true;
+    }
+    return fail(std::string("unexpected character '") + C + "'");
+  }
+
+  static bool isWordChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '.' || C == '$';
+  }
+
+  std::string lexWord() {
+    size_t Start = Pos;
+    while (Pos < Text.size() && isWordChar(Text[Pos]))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  bool fail(const std::string &Msg) {
+    Err = "line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  }
+
+  std::string_view Text;
+  std::string &Err;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+};
+
+/// Attributes accepted on 'alloc' and 'global'.
+struct AllocAttrs {
+  bool Heap = false;
+  bool Weak = false;
+  uint32_t NumFields = 1;
+};
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Module &M, std::string &Error)
+      : Tokens(std::move(Tokens)), M(M), B(M), Err(Error) {}
+
+  bool run() {
+    if (!prescan())
+      return false;
+    Cursor = 0;
+    while (peek().Kind != TokKind::End) {
+      const Token &T = peek();
+      if (T.Kind == TokKind::Ident && T.Text == "global") {
+        if (!parseGlobal())
+          return false;
+      } else if (T.Kind == TokKind::Ident && T.Text == "func") {
+        if (!parseFunction())
+          return false;
+      } else {
+        return fail("expected 'global' or 'func'");
+      }
+    }
+    // Emit deferred global initialisers now every global/function exists.
+    for (const auto &[GlobalName, ValueName, Line] : DeferredInits) {
+      VarID G = M.lookupGlobalVar(GlobalName);
+      VarID V = resolveAtName(ValueName);
+      if (V == InvalidVar) {
+        Err = "line " + std::to_string(Line) + ": unknown global or function @" +
+              ValueName;
+        return false;
+      }
+      B.addGlobalInit(G, V);
+    }
+    FunID Main = M.lookupFunction("main");
+    if (Main != InvalidFun)
+      M.setMain(Main);
+    linkProgramEntry(M);
+    return true;
+  }
+
+private:
+  // --- Token plumbing ---------------------------------------------------
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Cursor + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  const Token &advance() { return Tokens[Cursor++]; }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (peek().Kind != Kind)
+      return fail(std::string("expected ") + What);
+    ++Cursor;
+    return true;
+  }
+
+  bool fail(const std::string &Msg) {
+    Err = "line " + std::to_string(peek().Line) + ": " + Msg;
+    return false;
+  }
+
+  // --- Pre-scan: register every function signature -----------------------
+
+  bool prescan() {
+    for (size_t I = 0; I + 1 < Tokens.size(); ++I) {
+      if (Tokens[I].Kind == TokKind::Ident && Tokens[I].Text == "func") {
+        if (Tokens[I + 1].Kind != TokKind::AtIdent) {
+          Err = "line " + std::to_string(Tokens[I].Line) +
+                ": expected function name after 'func'";
+          return false;
+        }
+        if (M.lookupFunction(Tokens[I + 1].Text) != InvalidFun) {
+          Err = "line " + std::to_string(Tokens[I].Line) +
+                ": duplicate function @" + Tokens[I + 1].Text;
+          return false;
+        }
+        M.makeFunction(Tokens[I + 1].Text);
+      }
+    }
+    return true;
+  }
+
+  // --- Operand resolution -------------------------------------------------
+
+  /// Resolves '@name': a global variable, else a function address.
+  VarID resolveAtName(const std::string &Name) {
+    VarID G = M.lookupGlobalVar(Name);
+    if (G != InvalidVar)
+      return G;
+    FunID F = M.lookupFunction(Name);
+    if (F != InvalidFun)
+      return B.functionAddress(F);
+    return InvalidVar;
+  }
+
+  /// Resolves '%name' within the current function, creating on first use.
+  VarID resolveLocal(const std::string &Name) {
+    auto It = LocalVars.find(Name);
+    if (It != LocalVars.end())
+      return It->second;
+    VarID V = B.makeVar(Name);
+    LocalVars.emplace(Name, V);
+    return V;
+  }
+
+  /// Parses one operand: %local or @global/function.
+  bool parseOperand(VarID &Out) {
+    const Token &T = peek();
+    if (T.Kind == TokKind::PercentIdent) {
+      Out = resolveLocal(T.Text);
+      ++Cursor;
+      return true;
+    }
+    if (T.Kind == TokKind::AtIdent) {
+      Out = resolveAtName(T.Text);
+      if (Out == InvalidVar)
+        return fail("unknown global or function @" + T.Text);
+      ++Cursor;
+      return true;
+    }
+    return fail("expected operand (%var or @global)");
+  }
+
+  // --- Attributes ---------------------------------------------------------
+
+  /// Parses zero or more "[attr]" groups.
+  bool parseAttrs(AllocAttrs &Attrs) {
+    while (peek().Kind == TokKind::LBracket) {
+      ++Cursor;
+      const Token &T = peek();
+      if (T.Kind != TokKind::Ident)
+        return fail("expected attribute name");
+      if (T.Text == "heap") {
+        Attrs.Heap = true;
+        ++Cursor;
+      } else if (T.Text == "weak") {
+        Attrs.Weak = true;
+        ++Cursor;
+      } else if (T.Text == "fields") {
+        ++Cursor;
+        if (!expect(TokKind::Equal, "'=' after fields"))
+          return false;
+        if (peek().Kind != TokKind::Int)
+          return fail("expected field count");
+        Attrs.NumFields = static_cast<uint32_t>(advance().IntValue);
+        if (Attrs.NumFields == 0)
+          return fail("field count must be >= 1");
+      } else {
+        return fail("unknown attribute '" + T.Text + "'");
+      }
+      if (!expect(TokKind::RBracket, "']'"))
+        return false;
+    }
+    return true;
+  }
+
+  // --- Globals ------------------------------------------------------------
+
+  bool parseGlobal() {
+    ++Cursor; // 'global'
+    if (peek().Kind != TokKind::AtIdent)
+      return fail("expected global name");
+    std::string Name = advance().Text;
+    if (M.lookupGlobalVar(Name) != InvalidVar)
+      return fail("duplicate global @" + Name);
+    AllocAttrs Attrs;
+    if (!parseAttrs(Attrs))
+      return false;
+    VarID G = B.addGlobal(Name, Attrs.NumFields);
+    if (Attrs.Weak)
+      markVarObjectsWeak(G);
+    if (peek().Kind == TokKind::Equal) {
+      ++Cursor;
+      // Initialisers may reference later globals/functions; defer them.
+      while (true) {
+        if (peek().Kind != TokKind::AtIdent)
+          return fail("global initialisers must be @names");
+        DeferredInits.emplace_back(Name, advance().Text, peek().Line);
+        if (peek().Kind != TokKind::Comma)
+          break;
+        ++Cursor;
+      }
+    }
+    return true;
+  }
+
+  /// Clears the singleton flag on the object allocated for \p GlobalVar.
+  void markVarObjectsWeak(VarID GlobalVar) {
+    // The global's Alloc is the last instruction emitted in __global_init__.
+    (void)GlobalVar;
+    for (uint32_t I = M.numInstructions(); I-- > 0;) {
+      const Instruction &Inst = M.inst(I);
+      if (Inst.Kind == InstKind::Alloc && Inst.Dst == GlobalVar) {
+        M.symbols().object(Inst.allocObject()).Singleton = false;
+        return;
+      }
+    }
+  }
+
+  // --- Functions ------------------------------------------------------------
+
+  bool parseFunction() {
+    ++Cursor; // 'func'
+    if (peek().Kind != TokKind::AtIdent)
+      return fail("expected function name");
+    std::string Name = advance().Text;
+    if (!expect(TokKind::LParen, "'('"))
+      return false;
+    std::vector<std::string> Params;
+    if (peek().Kind != TokKind::RParen) {
+      while (true) {
+        if (peek().Kind != TokKind::PercentIdent)
+          return fail("expected parameter %name");
+        Params.push_back(advance().Text);
+        if (peek().Kind != TokKind::Comma)
+          break;
+        ++Cursor;
+      }
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return false;
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+
+    LocalVars.clear();
+    FunID F = B.startFunction(Name, Params);
+    for (size_t I = 0; I < Params.size(); ++I)
+      LocalVars.emplace(Params[I], M.function(F).Params[I]);
+
+    // First label decides whether the implicit entry block is reused.
+    if (peek().Kind != TokKind::Ident || peek(1).Kind != TokKind::Colon)
+      return fail("expected block label");
+    bool First = true;
+    while (peek().Kind == TokKind::Ident && peek(1).Kind == TokKind::Colon) {
+      std::string Label = advance().Text;
+      ++Cursor; // ':'
+      BlockID BB;
+      if (First && Label == "entry") {
+        BB = 0;
+      } else {
+        BB = B.block(Label);
+        if (First)
+          B.br(BB); // Fall from the implicit entry into the first block.
+      }
+      First = false;
+      B.setInsertPoint(BB);
+      if (!parseBlockBody())
+        return false;
+    }
+    if (!expect(TokKind::RBrace, "'}' or block label"))
+      return false;
+    B.finishFunction();
+    return true;
+  }
+
+  /// Parses instructions until a terminator ends the block.
+  bool parseBlockBody() {
+    while (true) {
+      const Token &T = peek();
+      if (T.Kind == TokKind::Ident && T.Text == "br")
+        return parseBr();
+      if (T.Kind == TokKind::Ident && T.Text == "ret")
+        return parseRet();
+      if (T.Kind == TokKind::Ident && T.Text == "store") {
+        if (!parseStore())
+          return false;
+        continue;
+      }
+      if (T.Kind == TokKind::Ident && T.Text == "call") {
+        if (!parseCall(/*DstName=*/""))
+          return false;
+        continue;
+      }
+      if (T.Kind == TokKind::PercentIdent) {
+        if (!parseAssignment())
+          return false;
+        continue;
+      }
+      return fail("expected instruction or terminator");
+    }
+  }
+
+  bool parseBr() {
+    ++Cursor; // 'br'
+    std::vector<BlockID> Targets;
+    while (true) {
+      if (peek().Kind != TokKind::Ident)
+        return fail("expected block label after 'br'");
+      Targets.push_back(B.block(advance().Text));
+      if (peek().Kind != TokKind::Comma)
+        break;
+      ++Cursor;
+    }
+    if (Targets.size() == 1)
+      B.br(Targets[0]);
+    else if (Targets.size() == 2)
+      B.br(Targets[0], Targets[1]);
+    else
+      return fail("'br' takes one or two targets");
+    return true;
+  }
+
+  bool parseRet() {
+    ++Cursor; // 'ret'
+    VarID V = InvalidVar;
+    if (peek().Kind == TokKind::PercentIdent ||
+        peek().Kind == TokKind::AtIdent) {
+      if (!parseOperand(V))
+        return false;
+    }
+    B.ret(V);
+    return true;
+  }
+
+  bool parseStore() {
+    ++Cursor; // 'store'
+    VarID Value, Ptr;
+    if (!parseOperand(Value))
+      return false;
+    if (!expect(TokKind::Arrow, "'->' in store"))
+      return false;
+    if (!parseOperand(Ptr))
+      return false;
+    B.store(Value, Ptr);
+    return true;
+  }
+
+  bool parseCall(const std::string &DstName) {
+    ++Cursor; // 'call'
+    const Token &CalleeTok = peek();
+    bool Indirect;
+    FunID DirectCallee = InvalidFun;
+    VarID CalleeVar = InvalidVar;
+    if (CalleeTok.Kind == TokKind::AtIdent) {
+      DirectCallee = M.lookupFunction(CalleeTok.Text);
+      if (DirectCallee == InvalidFun)
+        return fail("unknown function @" + CalleeTok.Text);
+      Indirect = false;
+      ++Cursor;
+    } else if (CalleeTok.Kind == TokKind::PercentIdent) {
+      CalleeVar = resolveLocal(CalleeTok.Text);
+      Indirect = true;
+      ++Cursor;
+    } else {
+      return fail("expected callee after 'call'");
+    }
+    if (!expect(TokKind::LParen, "'('"))
+      return false;
+    std::vector<VarID> Args;
+    if (peek().Kind != TokKind::RParen) {
+      while (true) {
+        VarID A;
+        if (!parseOperand(A))
+          return false;
+        Args.push_back(A);
+        if (peek().Kind != TokKind::Comma)
+          break;
+        ++Cursor;
+      }
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return false;
+    VarID Dst = DstName.empty() ? InvalidVar : resolveLocal(DstName);
+    if (Indirect)
+      B.callIndirectTo(Dst, CalleeVar, Args);
+    else
+      B.callDirectTo(Dst, DirectCallee, Args);
+    return true;
+  }
+
+  bool parseAssignment() {
+    std::string DstName = advance().Text; // %dst
+    if (!expect(TokKind::Equal, "'='"))
+      return false;
+    const Token &Op = peek();
+    if (Op.Kind != TokKind::Ident)
+      return fail("expected opcode");
+
+    if (Op.Text == "call")
+      return parseCall(DstName);
+
+    ++Cursor;
+    VarID Dst = resolveLocal(DstName);
+    if (Op.Text == "alloc") {
+      AllocAttrs Attrs;
+      if (!parseAttrs(Attrs))
+        return false;
+      ObjKind Kind = Attrs.Heap ? ObjKind::Heap : ObjKind::Stack;
+      B.allocTo(Dst, DstName + ".obj", Kind,
+                /*Singleton=*/!Attrs.Weak, Attrs.NumFields);
+      return true;
+    }
+    if (Op.Text == "copy") {
+      VarID Src;
+      if (!parseOperand(Src))
+        return false;
+      B.copyTo(Dst, Src);
+      return true;
+    }
+    if (Op.Text == "phi") {
+      std::vector<VarID> Srcs;
+      while (true) {
+        VarID S;
+        if (!parseOperand(S))
+          return false;
+        Srcs.push_back(S);
+        if (peek().Kind != TokKind::Comma)
+          break;
+        ++Cursor;
+      }
+      B.phiTo(Dst, Srcs);
+      return true;
+    }
+    if (Op.Text == "field") {
+      VarID Base;
+      if (!parseOperand(Base))
+        return false;
+      if (!expect(TokKind::Comma, "',' in field"))
+        return false;
+      if (peek().Kind != TokKind::Int)
+        return fail("expected field offset");
+      uint32_t Offset = static_cast<uint32_t>(advance().IntValue);
+      B.fieldAddrTo(Dst, Base, Offset);
+      return true;
+    }
+    if (Op.Text == "load") {
+      VarID Ptr;
+      if (!parseOperand(Ptr))
+        return false;
+      B.loadTo(Dst, Ptr);
+      return true;
+    }
+    if (Op.Text == "funcaddr") {
+      if (peek().Kind != TokKind::AtIdent)
+        return fail("expected function name after 'funcaddr'");
+      FunID F = M.lookupFunction(advance().Text);
+      if (F == InvalidFun)
+        return fail("unknown function in funcaddr");
+      B.funcAddrTo(Dst, F);
+      return true;
+    }
+    Err = "line " + std::to_string(Op.Line) + ": unknown opcode '" +
+          Op.Text + "'";
+    return false;
+  }
+
+  std::vector<Token> Tokens;
+  Module &M;
+  IRBuilder B;
+  std::string &Err;
+  size_t Cursor = 0;
+  std::unordered_map<std::string, VarID> LocalVars;
+  /// (global name, value @name, source line) emitted after parsing.
+  std::vector<std::tuple<std::string, std::string, uint32_t>> DeferredInits;
+};
+
+} // namespace
+
+bool vsfs::ir::parseModule(std::string_view Text, Module &M,
+                           std::string &Error) {
+  std::vector<Token> Tokens;
+  Lexer L(Text, Error);
+  if (!L.run(Tokens))
+    return false;
+  Parser P(std::move(Tokens), M, Error);
+  return P.run();
+}

@@ -1,0 +1,55 @@
+//===- Parser.h - Textual IR parser -----------------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual form of the Table I instruction set. The syntax is a
+/// thin, readable skin over the IR; see the grammar below. Examples and
+/// tests express programs in this language.
+///
+/// \code
+///   ; a global object and an initialiser (*g = &x is spelt "= @x")
+///   global @g [fields=2] = @x
+///   global @x
+///
+///   func @main(%argc) {
+///   entry:
+///     %p = alloc                ; stack singleton, 1 field
+///     %h = alloc [heap]         ; heap object (never singleton)
+///     %q = copy %p
+///     %f = field %h, 1          ; %f = &h->f1
+///     store %q -> %p            ; *p = q
+///     %v = load %p              ; v = *p
+///     %r = call @callee(%p, %q) ; direct call
+///     %fp = funcaddr @callee
+///     %s = call %fp(%p)         ; indirect call
+///     br next, done             ; 1..n successor labels
+///   next:
+///     ret %v
+///   done:
+///     ret %r                    ; multiple rets are legal; the parser
+///   }                           ; unifies them into one FunExit
+/// \endcode
+///
+/// A '@name' operand resolves to the global variable of that name, or, if
+/// none exists, to the address of the function of that name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_PARSER_H
+#define VSFS_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <string_view>
+
+namespace vsfs {
+namespace ir {
+
+/// Parses \p Text into \p M (which must be empty). On failure returns false
+/// and sets \p Error to "line N: message".
+bool parseModule(std::string_view Text, Module &M, std::string &Error);
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_PARSER_H

@@ -1,0 +1,175 @@
+//===- Printer.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace vsfs;
+using namespace vsfs::ir;
+
+std::string vsfs::ir::printVar(const Module &M, VarID V) {
+  if (V == InvalidVar)
+    return "<none>";
+  const VarInfo &Info = M.symbols().var(V);
+  if (Info.Parent != InvalidFun)
+    return "%" + Info.Name;
+  FunID F = M.funAddrVarTarget(V);
+  if (F != InvalidFun)
+    return "@" + M.function(F).Name;
+  return "@" + Info.Name;
+}
+
+namespace {
+
+/// Prints the attribute suffix for an allocated object.
+std::string allocAttrs(const Module &M, ObjID Obj) {
+  const ObjInfo &Info = M.symbols().object(Obj);
+  std::string Out;
+  if (Info.Kind == ObjKind::Heap)
+    Out += " [heap]";
+  // Heap objects are unconditionally weak; only print for others.
+  if (!Info.Singleton && Info.Kind != ObjKind::Heap)
+    Out += " [weak]";
+  if (Info.NumFields > 1)
+    Out += " [fields=" + std::to_string(Info.NumFields) + "]";
+  return Out;
+}
+
+void printOperandList(const Module &M, const std::vector<VarID> &Ops,
+                      std::ostringstream &OS) {
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << printVar(M, Ops[I]);
+  }
+}
+
+} // namespace
+
+std::string vsfs::ir::printInst(const Module &M, InstID I) {
+  const Instruction &Inst = M.inst(I);
+  std::ostringstream OS;
+  switch (Inst.Kind) {
+  case InstKind::Alloc: {
+    ObjID Obj = Inst.allocObject();
+    if (M.symbols().object(Obj).Kind == ObjKind::Function) {
+      OS << printVar(M, Inst.Dst) << " = funcaddr @"
+         << M.function(M.symbols().object(Obj).Func).Name;
+    } else {
+      OS << printVar(M, Inst.Dst) << " = alloc" << allocAttrs(M, Obj);
+    }
+    break;
+  }
+  case InstKind::Copy:
+    OS << printVar(M, Inst.Dst) << " = copy " << printVar(M, Inst.copySrc());
+    break;
+  case InstKind::Phi:
+    OS << printVar(M, Inst.Dst) << " = phi ";
+    printOperandList(M, Inst.phiSrcs(), OS);
+    break;
+  case InstKind::FieldAddr:
+    OS << printVar(M, Inst.Dst) << " = field " << printVar(M, Inst.fieldBase())
+       << ", " << Inst.fieldOffset();
+    break;
+  case InstKind::Load:
+    OS << printVar(M, Inst.Dst) << " = load " << printVar(M, Inst.loadPtr());
+    break;
+  case InstKind::Store:
+    OS << "store " << printVar(M, Inst.storeVal()) << " -> "
+       << printVar(M, Inst.storePtr());
+    break;
+  case InstKind::Call:
+    if (Inst.Dst != InvalidVar)
+      OS << printVar(M, Inst.Dst) << " = ";
+    OS << "call ";
+    if (Inst.isIndirectCall())
+      OS << printVar(M, Inst.indirectCalleeVar());
+    else
+      OS << "@" << M.function(Inst.directCallee()).Name;
+    OS << "(";
+    printOperandList(M, Inst.callArgs(), OS);
+    OS << ")";
+    break;
+  case InstKind::FunEntry:
+    OS << "funentry(";
+    printOperandList(M, Inst.entryParams(), OS);
+    OS << ")";
+    break;
+  case InstKind::FunExit:
+    OS << "ret";
+    if (Inst.exitRet() != InvalidVar)
+      OS << " " << printVar(M, Inst.exitRet());
+    break;
+  }
+  return OS.str();
+}
+
+std::string vsfs::ir::printModule(const Module &M) {
+  std::ostringstream OS;
+
+  // Globals: reconstruct declarations and initialisers from __global_init__.
+  // Function-address Allocs are implicit (recreated by operand resolution),
+  // so they are not printed.
+  if (M.globalInit() != InvalidFun) {
+    const Function &GI = M.function(M.globalInit());
+    // Initialising stores per global variable, in emission order.
+    std::unordered_map<VarID, std::vector<VarID>> Inits;
+    for (InstID I : GI.Blocks[0].Insts) {
+      const Instruction &Inst = M.inst(I);
+      if (Inst.Kind == InstKind::Store)
+        Inits[Inst.storePtr()].push_back(Inst.storeVal());
+    }
+    for (InstID I : GI.Blocks[0].Insts) {
+      const Instruction &Inst = M.inst(I);
+      if (Inst.Kind != InstKind::Alloc)
+        continue;
+      ObjID Obj = Inst.allocObject();
+      if (M.symbols().object(Obj).Kind == ObjKind::Function)
+        continue;
+      OS << "global @" << M.symbols().var(Inst.Dst).Name
+         << allocAttrs(M, Obj);
+      auto It = Inits.find(Inst.Dst);
+      if (It != Inits.end()) {
+        OS << " =";
+        for (size_t K = 0; K < It->second.size(); ++K)
+          OS << (K ? ", " : " ") << printVar(M, It->second[K]);
+      }
+      OS << "\n";
+    }
+    OS << "\n";
+  }
+
+  for (FunID F = 0; F < M.numFunctions(); ++F) {
+    if (F == M.globalInit())
+      continue;
+    const Function &Fun = M.function(F);
+    OS << "func @" << Fun.Name << "(";
+    for (size_t I = 0; I < Fun.Params.size(); ++I)
+      OS << (I ? ", " : "") << printVar(M, Fun.Params[I]);
+    OS << ") {\n";
+    for (BlockID BB = 0; BB < Fun.Blocks.size(); ++BB) {
+      const BasicBlock &Block = Fun.Blocks[BB];
+      OS << Block.Name << ":\n";
+      bool SawRetLikeExit = false;
+      for (InstID I : Block.Insts) {
+        const Instruction &Inst = M.inst(I);
+        // FunEntry is implicit in the textual form.
+        if (Inst.Kind == InstKind::FunEntry)
+          continue;
+        if (Inst.Kind == InstKind::FunExit)
+          SawRetLikeExit = true;
+        OS << "  " << printInst(M, I) << "\n";
+      }
+      if (!Block.Succs.empty()) {
+        OS << "  br ";
+        for (size_t S = 0; S < Block.Succs.size(); ++S)
+          OS << (S ? ", " : "") << Fun.Blocks[Block.Succs[S]].Name;
+        OS << "\n";
+      } else if (!SawRetLikeExit) {
+        OS << "  ; unterminated block\n";
+      }
+    }
+    OS << "}\n\n";
+  }
+  return OS.str();
+}

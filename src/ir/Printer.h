@@ -1,0 +1,33 @@
+//===- Printer.h - Textual IR printer ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Prints a module in the textual syntax accepted by \c parseModule, so
+/// print(parse(T)) round-trips. Also provides single-instruction printing
+/// for diagnostics and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_PRINTER_H
+#define VSFS_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace vsfs {
+namespace ir {
+
+/// Renders the whole module as parseable text.
+std::string printModule(const Module &M);
+
+/// Renders one instruction (without trailing newline).
+std::string printInst(const Module &M, InstID I);
+
+/// Renders an operand: "%name" for locals, "@name" for globals and function
+/// addresses.
+std::string printVar(const Module &M, VarID V);
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_PRINTER_H

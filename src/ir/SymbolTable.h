@@ -1,0 +1,161 @@
+//===- SymbolTable.h - Variables and abstract objects -----------*- C++ -*-===//
+///
+/// \file
+/// Owns the analysis domain of Table I: top-level variables and address-taken
+/// abstract objects, including lazily created field objects (the paper's
+/// [FIELD-ADDR] rules flatten fields so a field of a field is represented as
+/// a single offset into the base object).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_SYMBOLTABLE_H
+#define VSFS_IR_SYMBOLTABLE_H
+
+#include "ir/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace ir {
+
+/// Kind of an abstract object.
+enum class ObjKind : uint8_t {
+  Stack,    ///< alloca in a function body
+  Heap,     ///< heap allocation site
+  Global,   ///< global variable's storage
+  Function, ///< a function's address (targets of indirect calls)
+  Field     ///< a field derived from a base object at a constant offset
+};
+
+/// Metadata for one abstract object.
+struct ObjInfo {
+  std::string Name;
+  ObjKind Kind = ObjKind::Stack;
+  /// True if this abstract object represents exactly one runtime object
+  /// (the paper's SN set); strong updates are only legal on singletons.
+  bool Singleton = false;
+  /// Number of flattened fields (>= 1). Field objects have 1.
+  uint32_t NumFields = 1;
+  /// For Field objects: the base object and constant offset; otherwise the
+  /// object itself at offset 0.
+  ObjID Base = InvalidObj;
+  uint32_t Offset = 0;
+  /// For Function objects: the function whose address this is.
+  FunID Func = InvalidFun;
+  /// Allocation site, when the object comes from an Alloc instruction.
+  InstID AllocSite = InvalidInst;
+};
+
+/// Metadata for one top-level variable.
+struct VarInfo {
+  std::string Name;
+  /// Owning function, or InvalidFun for globals.
+  FunID Parent = InvalidFun;
+};
+
+/// The symbol table: dense registries of variables and objects.
+class SymbolTable {
+public:
+  /// Creates a top-level variable. \p Parent is InvalidFun for globals.
+  VarID makeVar(std::string Name, FunID Parent) {
+    Vars.push_back(VarInfo{std::move(Name), Parent});
+    return static_cast<VarID>(Vars.size() - 1);
+  }
+
+  /// Creates a base (non-field) abstract object.
+  ObjID makeObject(std::string Name, ObjKind Kind, bool Singleton,
+                   uint32_t NumFields) {
+    assert(Kind != ObjKind::Field && "use getFieldObject for fields");
+    assert(NumFields >= 1 && "objects have at least one field");
+    ObjInfo Info;
+    Info.Name = std::move(Name);
+    Info.Kind = Kind;
+    Info.Singleton = Singleton;
+    Info.NumFields = NumFields;
+    Objs.push_back(std::move(Info));
+    ObjID Id = static_cast<ObjID>(Objs.size() - 1);
+    Objs[Id].Base = Id;
+    Objs[Id].Offset = 0;
+    return Id;
+  }
+
+  /// Creates the object standing for \p F's address.
+  ObjID makeFunctionObject(std::string Name, FunID F) {
+    ObjID Id = makeObject(std::move(Name), ObjKind::Function,
+                          /*Singleton=*/true, /*NumFields=*/1);
+    Objs[Id].Kind = ObjKind::Function;
+    Objs[Id].Func = F;
+    return Id;
+  }
+
+  /// Returns the field object of \p Obj at \p Offset, creating it lazily.
+  ///
+  /// Offsets are flattened: asking for field k of a field object at offset j
+  /// yields the base's field at offset j+k ("D.f_{i+j}, not D.f_i.f_j").
+  /// Offsets past the end are clamped to the last field, which soundly
+  /// merges out-of-bounds accesses into one abstract location. Objects with
+  /// a single field are their own field 0.
+  ObjID getFieldObject(ObjID Obj, uint32_t Offset) {
+    assert(Obj < Objs.size() && "unknown object");
+    ObjID Base = Objs[Obj].Base;
+    uint64_t Flat = uint64_t(Objs[Obj].Offset) + Offset;
+    const ObjInfo &BaseInfo = Objs[Base];
+    if (Flat >= BaseInfo.NumFields)
+      Flat = BaseInfo.NumFields - 1;
+    if (Flat == 0)
+      return Base;
+    uint64_t Key = (uint64_t(Base) << 32) | Flat;
+    auto It = FieldMap.find(Key);
+    if (It != FieldMap.end())
+      return It->second;
+    ObjInfo Info;
+    Info.Name = BaseInfo.Name + ".f" + std::to_string(Flat);
+    Info.Kind = ObjKind::Field;
+    Info.Singleton = BaseInfo.Singleton;
+    Info.NumFields = 1;
+    Info.Base = Base;
+    Info.Offset = static_cast<uint32_t>(Flat);
+    Info.AllocSite = BaseInfo.AllocSite;
+    Objs.push_back(std::move(Info));
+    ObjID Id = static_cast<ObjID>(Objs.size() - 1);
+    FieldMap.emplace(Key, Id);
+    return Id;
+  }
+
+  uint32_t numVars() const { return static_cast<uint32_t>(Vars.size()); }
+  uint32_t numObjects() const { return static_cast<uint32_t>(Objs.size()); }
+
+  const VarInfo &var(VarID V) const {
+    assert(V < Vars.size() && "unknown variable");
+    return Vars[V];
+  }
+
+  const ObjInfo &object(ObjID O) const {
+    assert(O < Objs.size() && "unknown object");
+    return Objs[O];
+  }
+
+  ObjInfo &object(ObjID O) {
+    assert(O < Objs.size() && "unknown object");
+    return Objs[O];
+  }
+
+  bool isFunctionObject(ObjID O) const {
+    return object(O).Kind == ObjKind::Function;
+  }
+
+private:
+  std::vector<VarInfo> Vars;
+  std::vector<ObjInfo> Objs;
+  /// (base << 32 | offset) -> field object.
+  std::unordered_map<uint64_t, ObjID> FieldMap;
+};
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_SYMBOLTABLE_H

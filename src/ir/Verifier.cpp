@@ -1,0 +1,142 @@
+//===- Verifier.cpp -------------------------------------------*- C++ -*-===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Printer.h"
+
+#include <unordered_set>
+
+using namespace vsfs;
+using namespace vsfs::ir;
+
+namespace {
+
+/// Collects the variables an instruction uses (not defines).
+void collectUses(const Instruction &Inst, std::vector<VarID> &Uses) {
+  collectUsedVars(Inst, Uses);
+}
+
+} // namespace
+
+std::vector<std::string> vsfs::ir::verifyModule(const Module &M) {
+  std::vector<std::string> Errors;
+  auto Error = [&Errors](std::string Msg) { Errors.push_back(std::move(Msg)); };
+
+  const uint32_t NumVars = M.symbols().numVars();
+  std::vector<uint32_t> DefCount(NumVars, 0);
+
+  for (FunID F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fun = M.function(F);
+    if (Fun.Blocks.empty()) {
+      Error("function @" + Fun.Name + " has no body");
+      continue;
+    }
+
+    uint32_t NumEntries = 0, NumExits = 0;
+    for (BlockID BB = 0; BB < Fun.Blocks.size(); ++BB) {
+      const BasicBlock &Block = Fun.Blocks[BB];
+      for (BlockID S : Block.Succs) {
+        if (S >= Fun.Blocks.size())
+          Error("function @" + Fun.Name + " block '" + Block.Name +
+                "' has out-of-range successor");
+        // The entry block holds the FunEntry definitions of the incoming
+        // memory state; giving it predecessors would let loop-carried state
+        // bypass them (same restriction as LLVM).
+        else if (S == Fun.entryBlock())
+          Error("@" + Fun.Name + ": branch to the entry block (block '" +
+                Block.Name + "')");
+      }
+
+      bool HasExit = false;
+      for (InstID I : Block.Insts) {
+        const Instruction &Inst = M.inst(I);
+        if (Inst.Parent != F)
+          Error("instruction '" + printInst(M, I) +
+                "' is listed by @" + Fun.Name + " but owned elsewhere");
+        if (Inst.Block != BB)
+          Error("instruction '" + printInst(M, I) +
+                "' has a stale block index in @" + Fun.Name);
+
+        if (Inst.Kind == InstKind::FunEntry) {
+          ++NumEntries;
+          if (BB != 0 || Block.Insts.front() != I)
+            Error("@" + Fun.Name +
+                  ": FunEntry must be the first instruction of block 0");
+          for (VarID P : Inst.Operands)
+            if (P < NumVars)
+              ++DefCount[P];
+        } else if (Inst.Kind == InstKind::FunExit) {
+          ++NumExits;
+          HasExit = true;
+        }
+
+        if (Inst.definesVar()) {
+          if (Inst.Dst >= NumVars) {
+            Error("@" + Fun.Name + ": instruction defines unknown variable");
+          } else {
+            ++DefCount[Inst.Dst];
+            const VarInfo &Info = M.symbols().var(Inst.Dst);
+            if (Info.Parent != F && Info.Parent != InvalidFun)
+              Error("@" + Fun.Name + ": defines variable %" + Info.Name +
+                    " owned by another function");
+          }
+        }
+
+        if (Inst.Kind == InstKind::Phi && Inst.Operands.empty())
+          Error("@" + Fun.Name + ": phi with no sources");
+
+        std::vector<VarID> Uses;
+        collectUses(Inst, Uses);
+        for (VarID V : Uses) {
+          if (V >= NumVars) {
+            Error("@" + Fun.Name + ": instruction '" + printInst(M, I) +
+                  "' uses an unknown variable");
+            continue;
+          }
+          const VarInfo &Info = M.symbols().var(V);
+          if (Info.Parent != InvalidFun && Info.Parent != F)
+            Error("@" + Fun.Name + ": uses %" + Info.Name +
+                  " owned by another function");
+        }
+      }
+
+      if (Block.Succs.empty() && !HasExit)
+        Error("@" + Fun.Name + ": block '" + Block.Name +
+              "' has no terminator");
+      if (HasExit && !Block.Succs.empty())
+        Error("@" + Fun.Name + ": exit block has successors");
+    }
+
+    if (NumEntries != 1)
+      Error("@" + Fun.Name + " has " + std::to_string(NumEntries) +
+            " FunEntry instructions (need exactly 1)");
+    if (NumExits != 1)
+      Error("@" + Fun.Name + " has " + std::to_string(NumExits) +
+            " FunExit instructions (need exactly 1)");
+    if (Fun.Entry == InvalidInst ||
+        M.inst(Fun.Entry).Kind != InstKind::FunEntry)
+      Error("@" + Fun.Name + ": Entry does not point at a FunEntry");
+    if (Fun.Exit == InvalidInst || M.inst(Fun.Exit).Kind != InstKind::FunExit)
+      Error("@" + Fun.Name + ": Exit does not point at a FunExit");
+  }
+
+  // Partial SSA: single definitions. A variable that is never used may have
+  // zero defs only if it is also never defined (dead name), so check uses.
+  std::vector<uint8_t> Used(NumVars, 0);
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    std::vector<VarID> Uses;
+    collectUses(M.inst(I), Uses);
+    for (VarID V : Uses)
+      if (V < NumVars)
+        Used[V] = 1;
+  }
+  for (VarID V = 0; V < NumVars; ++V) {
+    if (DefCount[V] > 1)
+      Error("variable " + printVar(M, V) + " has " +
+            std::to_string(DefCount[V]) + " definitions (partial SSA)");
+    if (Used[V] && DefCount[V] == 0)
+      Error("variable " + printVar(M, V) + " is used but never defined");
+  }
+
+  return Errors;
+}

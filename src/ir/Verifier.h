@@ -1,0 +1,30 @@
+//===- Verifier.h - IR structural checks ------------------------*- C++ -*-===//
+///
+/// \file
+/// Validates the structural invariants the analyses assume:
+///  - partial SSA: every top-level variable has exactly one definition;
+///  - every function has exactly one FunEntry (first instruction of block 0)
+///    and one FunExit, and only the FunExit block lacks successors;
+///  - instructions are attached to the function/block that lists them;
+///  - operands are visible (local to the function, or module-level).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_IR_VERIFIER_H
+#define VSFS_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace vsfs {
+namespace ir {
+
+/// Returns all violations found (empty means the module is well formed).
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace ir
+} // namespace vsfs
+
+#endif // VSFS_IR_VERIFIER_H

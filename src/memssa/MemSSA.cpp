@@ -1,0 +1,262 @@
+//===- MemSSA.cpp - Interprocedural memory SSA ------------------*- C++ -*-===//
+
+#include "memssa/MemSSA.h"
+
+#include "adt/WorkList.h"
+#include "graph/Dominators.h"
+#include "graph/Graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::memssa;
+using namespace vsfs::ir;
+
+namespace {
+
+/// Drops function objects: their "memory" is code, never written or read as
+/// pointer storage, so they take no part in memory SSA.
+PointsTo filterStorageObjects(const PointsTo &P, const SymbolTable &Syms) {
+  PointsTo Out;
+  for (uint32_t O : P)
+    if (!Syms.isFunctionObject(O))
+      Out.set(O);
+  return Out;
+}
+
+} // namespace
+
+MemSSA::MemSSA(Module &M, const andersen::Andersen &Ander)
+    : M(M), Ander(Ander) {
+  computeModRef();
+  annotate();
+  for (FunID F = 0; F < M.numFunctions(); ++F)
+    buildFunctionSSA(F);
+  Stats.get("defs") = Defs.size();
+  Stats.get("mus") = Mus.size();
+}
+
+void MemSSA::computeModRef() {
+  const uint32_t NumFuns = M.numFunctions();
+  Mod.assign(NumFuns, {});
+  Ref.assign(NumFuns, {});
+
+  // Direct mod/ref from loads and stores.
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind == InstKind::Store)
+      Mod[Inst.Parent].unionWith(
+          filterStorageObjects(Ander.ptsOfVar(Inst.storePtr()), M.symbols()));
+    else if (Inst.Kind == InstKind::Load)
+      Ref[Inst.Parent].unionWith(
+          filterStorageObjects(Ander.ptsOfVar(Inst.loadPtr()), M.symbols()));
+  }
+
+  // Callee-transitive closure over the auxiliary call graph.
+  adt::FIFOWorkList Work;
+  for (FunID F = 0; F < NumFuns; ++F)
+    Work.push(F);
+  while (!Work.empty()) {
+    FunID F = Work.pop();
+    for (InstID CS : Ander.callGraph().callers(F)) {
+      FunID Caller = M.inst(CS).Parent;
+      bool Changed = Mod[Caller].unionWith(Mod[F]);
+      Changed |= Ref[Caller].unionWith(Ref[F]);
+      if (Changed)
+        Work.push(Caller);
+    }
+  }
+}
+
+void MemSSA::annotate() {
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    switch (Inst.Kind) {
+    case InstKind::Load: {
+      PointsTo Objs =
+          filterStorageObjects(Ander.ptsOfVar(Inst.loadPtr()), M.symbols());
+      if (!Objs.empty())
+        MuSets.emplace(I, std::move(Objs));
+      break;
+    }
+    case InstKind::Store: {
+      PointsTo Objs =
+          filterStorageObjects(Ander.ptsOfVar(Inst.storePtr()), M.symbols());
+      if (!Objs.empty())
+        ChiSets.emplace(I, std::move(Objs));
+      break;
+    }
+    case InstKind::Call: {
+      PointsTo ChiObjs, MuObjs;
+      for (FunID Callee : Ander.callGraph().callees(I)) {
+        ChiObjs.unionWith(Mod[Callee]);
+        MuObjs.unionWith(Mod[Callee]);
+        MuObjs.unionWith(Ref[Callee]);
+      }
+      if (!ChiObjs.empty())
+        ChiSets.emplace(I, std::move(ChiObjs));
+      if (!MuObjs.empty())
+        MuSets.emplace(I, std::move(MuObjs));
+      break;
+    }
+    case InstKind::FunEntry: {
+      PointsTo Objs = Mod[Inst.Parent];
+      Objs.unionWith(Ref[Inst.Parent]);
+      if (!Objs.empty())
+        ChiSets.emplace(I, std::move(Objs));
+      break;
+    }
+    case InstKind::FunExit: {
+      if (!Mod[Inst.Parent].empty())
+        MuSets.emplace(I, Mod[Inst.Parent]);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+void MemSSA::buildFunctionSSA(FunID F) {
+  const Function &Fun = M.function(F);
+  if (Fun.Blocks.empty())
+    return;
+  const uint32_t NumBlocks = static_cast<uint32_t>(Fun.Blocks.size());
+
+  // Block-level CFG.
+  graph::AdjacencyGraph CFG(NumBlocks);
+  for (BlockID B = 0; B < NumBlocks; ++B)
+    for (BlockID S : Fun.Blocks[B].Succs)
+      CFG.addEdge(B, S);
+  graph::DominatorTree DT(CFG, Fun.entryBlock());
+  graph::DominanceFrontier DF(CFG, DT);
+  auto Preds = CFG.buildPredecessors();
+
+  // Definition blocks per object (blocks holding a χ of that object).
+  std::unordered_map<ObjID, std::vector<BlockID>> DefBlocks;
+  for (BlockID B = 0; B < NumBlocks; ++B) {
+    for (InstID I : Fun.Blocks[B].Insts) {
+      auto It = ChiSets.find(I);
+      if (It == ChiSets.end())
+        continue;
+      for (uint32_t O : It->second) {
+        auto &Blocks = DefBlocks[O];
+        if (Blocks.empty() || Blocks.back() != B)
+          Blocks.push_back(B);
+      }
+    }
+  }
+
+  // MemPhi placement at iterated dominance frontiers (per object).
+  // PhiAt maps (block, object) to the phi's DefID.
+  std::unordered_map<uint64_t, DefID> PhiAt;
+  std::vector<std::vector<DefID>> PhisInBlock(NumBlocks);
+  std::vector<ObjID> SSAObjects;
+  for (auto &[O, Blocks] : DefBlocks)
+    SSAObjects.push_back(O);
+  std::sort(SSAObjects.begin(), SSAObjects.end());
+  for (ObjID O : SSAObjects) {
+    for (BlockID B : DF.iteratedFrontier(DefBlocks[O])) {
+      Def Phi;
+      Phi.Kind = DefKind::MemPhi;
+      Phi.Obj = O;
+      Phi.Fun = F;
+      Phi.Block = B;
+      Phi.PhiOperands.assign(Preds[B].size(), InvalidDef);
+      DefID Id = makeDef(std::move(Phi));
+      PhiAt.emplace((uint64_t(B) << 32) | O, Id);
+      PhisInBlock[B].push_back(Id);
+      ++Stats.get("memphis");
+    }
+  }
+
+  // Renaming: iterative preorder walk of the dominator tree with
+  // per-object definition stacks.
+  std::unordered_map<ObjID, std::vector<DefID>> Stacks;
+  auto Top = [&Stacks](ObjID O) -> DefID {
+    auto It = Stacks.find(O);
+    if (It == Stacks.end() || It->second.empty())
+      return InvalidDef;
+    return It->second.back();
+  };
+
+  struct Frame {
+    BlockID Block;
+    size_t NextChild;
+    std::vector<ObjID> Pushed; // Pop these when leaving the block.
+  };
+  std::vector<Frame> Walk;
+
+  auto EnterBlock = [&](BlockID B) {
+    Frame Fr{B, 0, {}};
+
+    // 1. MemPhi definitions.
+    for (DefID Phi : PhisInBlock[B]) {
+      ObjID O = Defs[Phi].Obj;
+      Stacks[O].push_back(Phi);
+      Fr.Pushed.push_back(O);
+    }
+
+    // 2. Instructions: μ uses read the pre-state, χ defs replace it.
+    for (InstID I : Fun.Blocks[B].Insts) {
+      const Instruction &Inst = M.inst(I);
+      auto MuIt = MuSets.find(I);
+      if (MuIt != MuSets.end()) {
+        MuKind MK = Inst.Kind == InstKind::Load    ? MuKind::LoadMu
+                    : Inst.Kind == InstKind::Call ? MuKind::CallMu
+                                                  : MuKind::ExitMu;
+        for (uint32_t O : MuIt->second)
+          Mus.push_back(Mu{MK, O, I, Top(O)});
+      }
+      auto ChiIt = ChiSets.find(I);
+      if (ChiIt != ChiSets.end()) {
+        DefKind DK = Inst.Kind == InstKind::Store      ? DefKind::StoreChi
+                     : Inst.Kind == InstKind::Call    ? DefKind::CallChi
+                                                      : DefKind::EntryChi;
+        for (uint32_t O : ChiIt->second) {
+          Def D;
+          D.Kind = DK;
+          D.Obj = O;
+          D.Fun = F;
+          D.Inst = I;
+          D.Block = B;
+          // Entry χ receives its value from callers, not a local operand.
+          D.Operand = DK == DefKind::EntryChi ? InvalidDef : Top(O);
+          DefID Id = makeDef(std::move(D));
+          Stacks[O].push_back(Id);
+          Fr.Pushed.push_back(O);
+        }
+      }
+    }
+
+    // 3. Fill MemPhi operands in CFG successors.
+    for (BlockID S : CFG.successors(B)) {
+      // Position of B in S's predecessor list (duplicate edges fill the
+      // first slot only; the values would be identical anyway).
+      size_t PredIdx = 0;
+      while (PredIdx < Preds[S].size() && Preds[S][PredIdx] != B)
+        ++PredIdx;
+      assert(PredIdx < Preds[S].size() && "successor lists inconsistent");
+      for (DefID Phi : PhisInBlock[S])
+        Defs[Phi].PhiOperands[PredIdx] = Top(Defs[Phi].Obj);
+    }
+
+    Walk.push_back(std::move(Fr));
+  };
+
+  EnterBlock(Fun.entryBlock());
+  while (!Walk.empty()) {
+    Frame &Fr = Walk.back();
+    const auto &Children = DT.children(Fr.Block);
+    if (Fr.NextChild < Children.size()) {
+      BlockID Child = Children[Fr.NextChild++];
+      EnterBlock(Child);
+      continue;
+    }
+    // Leaving: pop this block's definitions in reverse.
+    for (auto It = Fr.Pushed.rbegin(); It != Fr.Pushed.rend(); ++It)
+      Stacks[*It].pop_back();
+    Walk.pop_back();
+  }
+}

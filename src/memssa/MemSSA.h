@@ -1,0 +1,129 @@
+//===- MemSSA.h - Interprocedural memory SSA --------------------*- C++ -*-===//
+///
+/// \file
+/// Memory SSA construction over address-taken objects, following §II-B of
+/// the paper (and Chow et al.'s χ/μ form):
+///
+///  - every STORE that may write object o (per the auxiliary Andersen
+///    analysis) carries a χ(o); every LOAD that may read o carries a μ(o);
+///  - FUNENTRY carries a χ(o) for every o the function may use or modify
+///    (mod ∪ ref, callee-transitive), FUNEXIT a μ(o) for every o it may
+///    modify (mod) — these mimic parameter passing/returning of objects;
+///  - every CALL carries μ(o)/χ(o) for the mod/ref of its (auxiliary)
+///    callees;
+///  - MEMPHI definitions are placed at the iterated dominance frontier of
+///    each object's definition blocks, then a standard dominator-tree
+///    renaming pass links every use to its unique reaching definition.
+///
+/// The output is a flat list of definitions (entry-χ, store-χ, call-χ,
+/// memphi) and uses (load-μ, call-μ, exit-μ), each use holding the DefID of
+/// its reaching definition. The SVFG builder turns defs/uses into nodes and
+/// def-use pairs into indirect, object-labelled edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_MEMSSA_MEMSSA_H
+#define VSFS_MEMSSA_MEMSSA_H
+
+#include "adt/PointsTo.h"
+#include "andersen/Andersen.h"
+#include "ir/Module.h"
+#include "support/Statistics.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace memssa {
+
+/// Dense ID of one SSA definition of one object.
+using DefID = uint32_t;
+constexpr DefID InvalidDef = UINT32_MAX;
+
+/// Interprocedural memory SSA form.
+class MemSSA {
+public:
+  enum class DefKind : uint8_t {
+    EntryChi, ///< o defined at FunEntry (value arrives from callers)
+    StoreChi, ///< o possibly (re)defined by a store
+    CallChi,  ///< o possibly (re)defined by a call (value from callees)
+    MemPhi    ///< control-flow merge of o's definitions
+  };
+
+  enum class MuKind : uint8_t {
+    LoadMu, ///< o possibly read by a load
+    CallMu, ///< o flows into a call's callees
+    ExitMu  ///< o flows out of the function at FunExit
+  };
+
+  struct Def {
+    DefKind Kind;
+    ir::ObjID Obj;
+    ir::FunID Fun;
+    /// Labelling instruction: the store, the call, or the FunEntry. For
+    /// MemPhi this is InvalidInst and Block identifies the join.
+    ir::InstID Inst = ir::InvalidInst;
+    ir::BlockID Block = ir::InvalidBlock;
+    /// Prior reaching definition (StoreChi/CallChi operand); the weak-update
+    /// path "new value ⊇ old value" flows along this def-use pair.
+    DefID Operand = InvalidDef;
+    /// MemPhi operands, one per CFG predecessor (InvalidDef when the object
+    /// is undefined along that edge).
+    std::vector<DefID> PhiOperands;
+  };
+
+  struct Mu {
+    MuKind Kind;
+    ir::ObjID Obj;
+    ir::InstID Inst;
+    DefID Reaching = InvalidDef;
+  };
+
+  /// Builds the SSA form. \p Ander must already be solved.
+  MemSSA(ir::Module &M, const andersen::Andersen &Ander);
+
+  const std::vector<Def> &defs() const { return Defs; }
+  const std::vector<Mu> &mus() const { return Mus; }
+
+  /// Objects function \p F may modify / reference (callee-transitive).
+  const PointsTo &modOf(ir::FunID F) const { return Mod[F]; }
+  const PointsTo &refOf(ir::FunID F) const { return Ref[F]; }
+
+  /// χ/μ object sets per annotated instruction (empty set if none).
+  const PointsTo &chiObjs(ir::InstID I) const { return lookup(ChiSets, I); }
+  const PointsTo &muObjs(ir::InstID I) const { return lookup(MuSets, I); }
+
+  const StatGroup &stats() const { return Stats; }
+
+private:
+  static const PointsTo &lookup(const std::unordered_map<ir::InstID, PointsTo> &Map,
+                                ir::InstID I) {
+    static const PointsTo Empty;
+    auto It = Map.find(I);
+    return It == Map.end() ? Empty : It->second;
+  }
+
+  void computeModRef();
+  void annotate();
+  void buildFunctionSSA(ir::FunID F);
+
+  DefID makeDef(Def D) {
+    Defs.push_back(std::move(D));
+    return static_cast<DefID>(Defs.size() - 1);
+  }
+
+  ir::Module &M;
+  const andersen::Andersen &Ander;
+
+  std::vector<PointsTo> Mod, Ref;
+  std::unordered_map<ir::InstID, PointsTo> ChiSets, MuSets;
+
+  std::vector<Def> Defs;
+  std::vector<Mu> Mus;
+  StatGroup Stats{"memssa"};
+};
+
+} // namespace memssa
+} // namespace vsfs
+
+#endif // VSFS_MEMSSA_MEMSSA_H

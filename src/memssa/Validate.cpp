@@ -1,0 +1,159 @@
+//===- Validate.cpp - Memory SSA validator ----------------------*- C++ -*-===//
+
+#include "memssa/Validate.h"
+
+#include "graph/Dominators.h"
+#include "graph/Graph.h"
+#include "ir/Printer.h"
+
+#include <memory>
+#include <unordered_map>
+
+using namespace vsfs;
+using namespace vsfs::memssa;
+using namespace vsfs::ir;
+
+namespace {
+
+/// Per-function dominance context with instruction positions.
+struct FunContext {
+  std::unique_ptr<graph::DominatorTree> DT;
+  std::vector<std::vector<BlockID>> Preds;
+  /// Instruction -> (block, index within block).
+  std::unordered_map<InstID, std::pair<BlockID, uint32_t>> Position;
+};
+
+FunContext buildContext(const Module &M, FunID F) {
+  const Function &Fun = M.function(F);
+  graph::AdjacencyGraph CFG(static_cast<uint32_t>(Fun.Blocks.size()));
+  for (BlockID B = 0; B < Fun.Blocks.size(); ++B)
+    for (BlockID S : Fun.Blocks[B].Succs)
+      CFG.addEdge(B, S);
+  FunContext Ctx;
+  Ctx.DT = std::make_unique<graph::DominatorTree>(CFG, Fun.entryBlock());
+  Ctx.Preds = CFG.buildPredecessors();
+  for (BlockID B = 0; B < Fun.Blocks.size(); ++B)
+    for (uint32_t K = 0; K < Fun.Blocks[B].Insts.size(); ++K)
+      Ctx.Position[Fun.Blocks[B].Insts[K]] = {B, K};
+  return Ctx;
+}
+
+/// Where a definition takes effect: MemPhis at the very top of their block
+/// (index -1 conceptually); a χ right after its instruction.
+struct DefPos {
+  BlockID Block;
+  int64_t Index; // -1 for MemPhi, instruction index for χ.
+};
+
+DefPos defPosition(const MemSSA::Def &D, const FunContext &Ctx) {
+  if (D.Kind == MemSSA::DefKind::MemPhi)
+    return {D.Block, -1};
+  auto It = Ctx.Position.find(D.Inst);
+  return {It->second.first, static_cast<int64_t>(It->second.second)};
+}
+
+/// True if a definition at \p Def reaches a *pre-state* use in \p UseBlock
+/// at instruction index \p UseIndex by dominance.
+bool defDominatesUse(const DefPos &Def, BlockID UseBlock, int64_t UseIndex,
+                     const graph::DominatorTree &DT) {
+  if (Def.Block == UseBlock)
+    return Def.Index < UseIndex;
+  return DT.dominates(Def.Block, UseBlock);
+}
+
+} // namespace
+
+std::vector<std::string>
+vsfs::memssa::validateMemSSA(const Module &M, const MemSSA &SSA) {
+  std::vector<std::string> Errors;
+  auto Fail = [&Errors](std::string Msg) {
+    Errors.push_back(std::move(Msg));
+  };
+
+  std::unordered_map<FunID, FunContext> Contexts;
+  auto Ctx = [&](FunID F) -> FunContext & {
+    auto It = Contexts.find(F);
+    if (It == Contexts.end())
+      It = Contexts.emplace(F, buildContext(M, F)).first;
+    return It->second;
+  };
+
+  // --- Definitions -------------------------------------------------------
+  for (DefID D = 0; D < SSA.defs().size(); ++D) {
+    const MemSSA::Def &Def = SSA.defs()[D];
+    FunContext &FC = Ctx(Def.Fun);
+
+    if (Def.Kind != MemSSA::DefKind::MemPhi) {
+      // The record must match the instruction's annotation set.
+      if (!SSA.chiObjs(Def.Inst).test(Def.Obj))
+        Fail("chi def for object not in the chi set of '" +
+             printInst(M, Def.Inst) + "'");
+      if (M.inst(Def.Inst).Parent != Def.Fun)
+        Fail("def attributed to the wrong function");
+    }
+
+    // χ operands: same object; the operand's def reaches this pre-state.
+    if (Def.Operand != InvalidDef) {
+      const MemSSA::Def &Op = SSA.defs()[Def.Operand];
+      if (Op.Obj != Def.Obj)
+        Fail("chi operand object mismatch at '" + printInst(M, Def.Inst) +
+             "'");
+      if (Op.Fun == Def.Fun) {
+        auto Pos = FC.Position.find(Def.Inst);
+        if (!defDominatesUse(defPosition(Op, FC), Pos->second.first,
+                             Pos->second.second, *FC.DT))
+          Fail("chi operand does not dominate its use at '" +
+               printInst(M, Def.Inst) + "'");
+      }
+    }
+
+    // MemPhi shape: one operand per predecessor; operands dominate the
+    // incoming edge (i.e., the predecessor block's end).
+    if (Def.Kind == MemSSA::DefKind::MemPhi) {
+      if (Def.PhiOperands.size() != FC.Preds[Def.Block].size())
+        Fail("memphi operand count differs from predecessor count");
+      for (size_t K = 0; K < Def.PhiOperands.size() &&
+                         K < FC.Preds[Def.Block].size();
+           ++K) {
+        DefID Op = Def.PhiOperands[K];
+        if (Op == InvalidDef)
+          continue; // Undefined along that edge (or duplicate edge slot).
+        const MemSSA::Def &OpDef = SSA.defs()[Op];
+        if (OpDef.Obj != Def.Obj)
+          Fail("memphi operand object mismatch");
+        if (OpDef.Fun != Def.Fun)
+          continue;
+        BlockID Pred = FC.Preds[Def.Block][K];
+        DefPos P = defPosition(OpDef, FC);
+        // "End of the predecessor block" = index beyond every instruction.
+        if (!defDominatesUse(P, Pred, static_cast<int64_t>(1) << 40,
+                             *FC.DT))
+          Fail("memphi operand does not dominate its incoming edge");
+      }
+    }
+  }
+
+  // --- Uses ---------------------------------------------------------------
+  for (const MemSSA::Mu &U : SSA.mus()) {
+    if (!SSA.muObjs(U.Inst).test(U.Obj))
+      Fail("mu record for object not in the mu set of '" +
+           printInst(M, U.Inst) + "'");
+    if (U.Reaching == InvalidDef)
+      continue;
+    const MemSSA::Def &Def = SSA.defs()[U.Reaching];
+    if (Def.Obj != U.Obj)
+      Fail("mu reaching-def object mismatch at '" + printInst(M, U.Inst) +
+           "'");
+    FunID F = M.inst(U.Inst).Parent;
+    if (Def.Fun != F)
+      continue;
+    FunContext &FC = Ctx(F);
+    auto Pos = FC.Position.find(U.Inst);
+    if (!defDominatesUse(defPosition(Def, FC), Pos->second.first,
+                         Pos->second.second, *FC.DT))
+      Fail("reaching def does not dominate the mu at '" +
+           printInst(M, U.Inst) + "'");
+  }
+
+  return Errors;
+}

@@ -1,0 +1,39 @@
+//===- Validate.h - Memory SSA validator ------------------------*- C++ -*-===//
+///
+/// \file
+/// Checks the structural invariants of a built memory SSA form:
+///
+///  - every use's reaching definition is for the same object and, when both
+///    live in the same function, the definition dominates the use (MemPhis
+///    sit at block tops; χ definitions take effect after their instruction,
+///    and μ/χ-operand uses read the state before theirs);
+///  - MemPhi operands come from (or dominate) the corresponding predecessor
+///    block;
+///  - μ/χ records agree with the per-instruction annotation sets;
+///  - every annotated object of a reachable instruction has a record.
+///
+/// Like andersen::validateSolution, this re-derives the invariants with
+/// none of the construction machinery (no renaming stacks, no iterated
+/// frontiers), so construction bugs cannot hide from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_MEMSSA_VALIDATE_H
+#define VSFS_MEMSSA_VALIDATE_H
+
+#include "memssa/MemSSA.h"
+
+#include <string>
+#include <vector>
+
+namespace vsfs {
+namespace memssa {
+
+/// Returns all violations found (empty means the SSA form is well formed).
+std::vector<std::string> validateMemSSA(const ir::Module &M,
+                                        const MemSSA &SSA);
+
+} // namespace memssa
+} // namespace vsfs
+
+#endif // VSFS_MEMSSA_VALIDATE_H

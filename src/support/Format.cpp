@@ -1,0 +1,74 @@
+//===- Format.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace vsfs;
+
+std::string vsfs::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string vsfs::formatBytes(uint64_t Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double Value = static_cast<double>(Bytes);
+  int Unit = 0;
+  while (Value >= 1024.0 && Unit < 4) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  return formatDouble(Value, Unit == 0 ? 0 : 2) + " " + Units[Unit];
+}
+
+std::string vsfs::formatRatio(double Ratio) {
+  if (!std::isfinite(Ratio))
+    return "-";
+  return formatDouble(Ratio, 2) + "x";
+}
+
+double vsfs::geometricMean(const std::vector<double> &Values) {
+  double LogSum = 0.0;
+  size_t Count = 0;
+  for (double V : Values) {
+    if (V <= 0.0 || !std::isfinite(V))
+      continue;
+    LogSum += std::log(V);
+    ++Count;
+  }
+  if (Count == 0)
+    return 0.0;
+  return std::exp(LogSum / static_cast<double>(Count));
+}
+
+std::string TableWriter::row(const std::vector<std::string> &Cells) const {
+  std::ostringstream OS;
+  for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+    const std::string Cell = I < Cells.size() ? Cells[I] : "";
+    int Width = Widths[I];
+    bool Left = Width < 0;
+    size_t AbsWidth = static_cast<size_t>(Left ? -Width : Width);
+    if (Left)
+      OS << Cell;
+    if (Cell.size() < AbsWidth)
+      OS << std::string(AbsWidth - Cell.size(), ' ');
+    if (!Left)
+      OS << Cell;
+    OS << (I + 1 == E ? "" : "  ");
+  }
+  OS << '\n';
+  return OS.str();
+}
+
+std::string TableWriter::separator() const {
+  size_t Total = 0;
+  for (int W : Widths)
+    Total += static_cast<size_t>(W < 0 ? -W : W) + 2;
+  if (Total >= 2)
+    Total -= 2;
+  return std::string(Total, '-') + "\n";
+}

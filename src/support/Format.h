@@ -1,0 +1,50 @@
+//===- Format.h - Table/number formatting helpers --------------*- C++ -*-===//
+///
+/// \file
+/// Small formatting utilities used by the benchmark harnesses to print
+/// Table II / Table III style rows: fixed-width columns, human-readable
+/// sizes, ratios ("5.31x"), and geometric means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SUPPORT_FORMAT_H
+#define VSFS_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsfs {
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, int Precision = 2);
+
+/// Formats a byte count as "12.3 KiB" / "4.5 MiB" / "1.2 GiB".
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats a ratio as "5.31x"; returns "-" for non-finite input.
+std::string formatRatio(double Ratio);
+
+/// Geometric mean of \p Values, ignoring non-positive entries (the paper
+/// ignores non-existent data, e.g. SFS on lynx). Returns 0 if none remain.
+double geometricMean(const std::vector<double> &Values);
+
+/// A fixed-width left/right aligned plain-text table writer.
+class TableWriter {
+public:
+  /// \p Widths: column widths; negative width means left-aligned.
+  explicit TableWriter(std::vector<int> Widths) : Widths(std::move(Widths)) {}
+
+  /// Renders one row; cells beyond Widths.size() are ignored.
+  std::string row(const std::vector<std::string> &Cells) const;
+
+  /// Renders a separator line of '-' spanning all columns.
+  std::string separator() const;
+
+private:
+  std::vector<int> Widths;
+};
+
+} // namespace vsfs
+
+#endif // VSFS_SUPPORT_FORMAT_H

@@ -1,0 +1,18 @@
+//===- MemUsage.cpp -------------------------------------------*- C++ -*-===//
+
+#include "support/MemUsage.h"
+
+#include <sys/resource.h>
+
+using namespace vsfs;
+
+uint64_t PointsToBytes::Live = 0;
+uint64_t PointsToBytes::Peak = 0;
+
+uint64_t vsfs::peakRSSBytes() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<uint64_t>(Usage.ru_maxrss) * 1024;
+}

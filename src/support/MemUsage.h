@@ -1,0 +1,57 @@
+//===- MemUsage.h - Memory accounting --------------------------*- C++ -*-===//
+///
+/// \file
+/// Two complementary memory measurements for Table III:
+///
+///  1. \c peakRSSBytes(): the process maximum resident set size, the same
+///     quantity GNU time reports in the paper. It is cumulative across the
+///     whole process, so when several analyses run in one binary it can only
+///     bound the largest one.
+///  2. \c PointsToBytes: an exact byte counter maintained by
+///     \c adt::SparseBitVector for live points-to/label storage. Per-analysis
+///     deltas of this counter attribute the paper's "propagation and storage
+///     of points-to sets" cost precisely even in a single process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SUPPORT_MEMUSAGE_H
+#define VSFS_SUPPORT_MEMUSAGE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vsfs {
+
+/// Returns the process peak resident set size in bytes (0 if unavailable).
+uint64_t peakRSSBytes();
+
+/// Global live/peak byte accounting for sparse-bit-vector storage.
+///
+/// SparseBitVector calls \c retain / \c release around element allocation.
+/// The counters are plain (non-atomic) because all analyses here are
+/// single-threaded, matching the paper's setting.
+class PointsToBytes {
+public:
+  static void retain(size_t Bytes) {
+    Live += Bytes;
+    if (Live > Peak)
+      Peak = Live;
+  }
+
+  static void release(size_t Bytes) { Live -= Bytes; }
+
+  static uint64_t live() { return Live; }
+  static uint64_t peak() { return Peak; }
+
+  /// Resets the peak to the current live amount; call before a phase to
+  /// measure that phase's peak with \c peak() afterwards.
+  static void resetPeak() { Peak = Live; }
+
+private:
+  static uint64_t Live;
+  static uint64_t Peak;
+};
+
+} // namespace vsfs
+
+#endif // VSFS_SUPPORT_MEMUSAGE_H

@@ -1,0 +1,23 @@
+//===- Statistics.cpp -----------------------------------------*- C++ -*-===//
+
+#include "support/Statistics.h"
+
+#include <sstream>
+
+using namespace vsfs;
+
+std::string StatGroup::toString() const {
+  std::ostringstream OS;
+  if (!GroupName.empty())
+    OS << "=== " << GroupName << " ===\n";
+  size_t Width = 0;
+  for (const auto &[Key, Value] : Counters)
+    Width = Key.size() > Width ? Key.size() : Width;
+  for (const auto &[Key, Value] : Counters) {
+    OS << "  " << Key;
+    for (size_t I = Key.size(); I < Width + 2; ++I)
+      OS << ' ';
+    OS << Value << '\n';
+  }
+  return OS.str();
+}

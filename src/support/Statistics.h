@@ -1,0 +1,66 @@
+//===- Statistics.h - Named counter registry ------------------*- C++ -*-===//
+///
+/// \file
+/// A lightweight named-counter registry used by the analyses to report how
+/// much work they performed (propagations, points-to sets stored, versions
+/// created, ...). Counters live in a \c StatGroup owned by the analysis so
+/// separate runs never share state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SUPPORT_STATISTICS_H
+#define VSFS_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vsfs {
+
+/// An ordered collection of named 64-bit counters.
+///
+/// Counters are created on first access and iterate in name order, so output
+/// is deterministic. The group is cheap to copy (used to snapshot state
+/// before/after a phase).
+class StatGroup {
+public:
+  StatGroup() = default;
+  explicit StatGroup(std::string Name) : GroupName(std::move(Name)) {}
+
+  /// Returns a mutable reference to the counter \p Key, creating it at zero.
+  uint64_t &get(const std::string &Key) { return Counters[Key]; }
+
+  /// Returns the value of \p Key, or 0 when the counter was never touched.
+  uint64_t lookup(const std::string &Key) const {
+    auto It = Counters.find(Key);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Adds \p Delta to counter \p Key.
+  void add(const std::string &Key, uint64_t Delta) { Counters[Key] += Delta; }
+
+  /// Records \p Value into \p Key if it exceeds the current value.
+  void max(const std::string &Key, uint64_t Value) {
+    uint64_t &Cur = Counters[Key];
+    if (Value > Cur)
+      Cur = Value;
+  }
+
+  const std::string &name() const { return GroupName; }
+  bool empty() const { return Counters.empty(); }
+
+  using const_iterator = std::map<std::string, uint64_t>::const_iterator;
+  const_iterator begin() const { return Counters.begin(); }
+  const_iterator end() const { return Counters.end(); }
+
+  /// Renders the group as aligned "key: value" lines.
+  std::string toString() const;
+
+private:
+  std::string GroupName;
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace vsfs
+
+#endif // VSFS_SUPPORT_STATISTICS_H

@@ -1,0 +1,50 @@
+//===- Timer.h - Wall-clock timing helpers ---------------------*- C++ -*-===//
+///
+/// \file
+/// Minimal wall-clock timer used by the benchmark harnesses. The paper's
+/// Table III reports per-phase analysis time; \c Timer measures one phase and
+/// \c ScopedTimer accumulates into a double on scope exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SUPPORT_TIMER_H
+#define VSFS_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace vsfs {
+
+/// Measures wall-clock seconds between \c start() and \c seconds().
+class Timer {
+public:
+  Timer() { start(); }
+
+  void start() { Begin = Clock::now(); }
+
+  /// Seconds elapsed since the last \c start().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Begin).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin;
+};
+
+/// Adds the scope's duration to a caller-owned accumulator on destruction.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double &Accumulator) : Acc(Accumulator) {}
+  ~ScopedTimer() { Acc += T.seconds(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  double &Acc;
+  Timer T;
+};
+
+} // namespace vsfs
+
+#endif // VSFS_SUPPORT_TIMER_H

@@ -1,0 +1,209 @@
+//===- SVFG.cpp - Sparse value-flow graph builder ---------------*- C++ -*-===//
+
+#include "svfg/SVFG.h"
+
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::svfg;
+using namespace vsfs::ir;
+using memssa::DefID;
+using memssa::InvalidDef;
+using memssa::MemSSA;
+
+SVFG::SVFG(Module &M, const andersen::Andersen &Ander, const MemSSA &SSA,
+           bool ConnectAuxIndirectCalls)
+    : M(M), Ander(Ander), SSA(SSA) {
+  buildNodes();
+  buildDirectEdges();
+  buildIndirectEdges();
+  connectKnownCalls(ConnectAuxIndirectCalls);
+}
+
+NodeID SVFG::makeNode(Node N) {
+  Nodes.push_back(std::move(N));
+  DirectSuccs.emplace_back();
+  IndSuccs.emplace_back();
+  IndEdgeSet.emplace_back();
+  return static_cast<NodeID>(Nodes.size() - 1);
+}
+
+void SVFG::buildNodes() {
+  // Instruction nodes first so NodeID == InstID for them.
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    Node N;
+    N.Kind = NodeKind::Inst;
+    N.Inst = I;
+    N.Fun = Inst.Parent;
+    N.Block = Inst.Block;
+    makeNode(std::move(N));
+  }
+
+  DefNode.assign(SSA.defs().size(), InvalidNode);
+
+  for (DefID D = 0; D < SSA.defs().size(); ++D) {
+    const MemSSA::Def &Def = SSA.defs()[D];
+    switch (Def.Kind) {
+    case MemSSA::DefKind::StoreChi:
+      DefNode[D] = instNode(Def.Inst);
+      break;
+    case MemSSA::DefKind::EntryChi: {
+      Node N;
+      N.Kind = NodeKind::EntryChi;
+      N.Inst = Def.Inst;
+      N.Obj = Def.Obj;
+      N.Fun = Def.Fun;
+      NodeID Id = makeNode(std::move(N));
+      EntryChiMap.emplace(key(Def.Fun, Def.Obj), Id);
+      EntryChisOfFun[Def.Fun].push_back(Id);
+      DefNode[D] = Id;
+      break;
+    }
+    case MemSSA::DefKind::CallChi: {
+      Node N;
+      N.Kind = NodeKind::CallChi;
+      N.Inst = Def.Inst;
+      N.Obj = Def.Obj;
+      N.Fun = Def.Fun;
+      NodeID Id = makeNode(std::move(N));
+      CallChiMap.emplace(key(Def.Inst, Def.Obj), Id);
+      CallChisOfSite[Def.Inst].push_back(Id);
+      DefNode[D] = Id;
+      break;
+    }
+    case MemSSA::DefKind::MemPhi: {
+      Node N;
+      N.Kind = NodeKind::MemPhi;
+      N.Obj = Def.Obj;
+      N.Fun = Def.Fun;
+      N.Block = Def.Block;
+      NodeID Id = makeNode(std::move(N));
+      DefNode[D] = Id;
+      break;
+    }
+    }
+  }
+
+  // Call-mu and exit-mu uses get their own nodes too.
+  for (const MemSSA::Mu &U : SSA.mus()) {
+    if (U.Kind == MemSSA::MuKind::CallMu) {
+      Node N;
+      N.Kind = NodeKind::CallMu;
+      N.Inst = U.Inst;
+      N.Obj = U.Obj;
+      N.Fun = M.inst(U.Inst).Parent;
+      NodeID Id = makeNode(std::move(N));
+      CallMuMap.emplace(key(U.Inst, U.Obj), Id);
+      CallMusOfSite[U.Inst].push_back(Id);
+    } else if (U.Kind == MemSSA::MuKind::ExitMu) {
+      Node N;
+      N.Kind = NodeKind::ExitMu;
+      N.Inst = U.Inst;
+      N.Obj = U.Obj;
+      N.Fun = M.inst(U.Inst).Parent;
+      NodeID Id = makeNode(std::move(N));
+      ExitMuMap.emplace(key(M.inst(U.Inst).Parent, U.Obj), Id);
+      ExitMusOfFun[M.inst(U.Inst).Parent].push_back(Id);
+    }
+  }
+}
+
+void SVFG::addDirectEdge(NodeID From, NodeID To) {
+  DirectSuccs[From].push_back(To);
+  ++DirectEdgeCount;
+}
+
+bool SVFG::addIndirectEdge(NodeID From, NodeID To, ObjID Obj) {
+  if (!IndEdgeSet[From].insert(key(To, Obj)).second)
+    return false;
+  IndSuccs[From].push_back(IndEdge{To, Obj});
+  ++IndirectEdgeCount;
+  return true;
+}
+
+void SVFG::buildDirectEdges() {
+  // Single definition site per top-level variable (partial SSA).
+  std::vector<NodeID> DefOfVar(M.symbols().numVars(), InvalidNode);
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.definesVar())
+      DefOfVar[Inst.Dst] = instNode(I);
+    if (Inst.Kind == InstKind::FunEntry)
+      for (VarID P : Inst.entryParams())
+        DefOfVar[P] = instNode(I);
+  }
+
+  std::vector<VarID> Uses;
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    Uses.clear();
+    collectUsedVars(M.inst(I), Uses);
+    for (VarID V : Uses)
+      if (DefOfVar[V] != InvalidNode)
+        addDirectEdge(DefOfVar[V], instNode(I));
+  }
+}
+
+void SVFG::buildIndirectEdges() {
+  // χ operands: the old value of o flows into the redefining node
+  // (weak-update path), and MemPhi operands flow into the phi.
+  for (DefID D = 0; D < SSA.defs().size(); ++D) {
+    const MemSSA::Def &Def = SSA.defs()[D];
+    if (Def.Operand != InvalidDef)
+      addIndirectEdge(DefNode[Def.Operand], DefNode[D], Def.Obj);
+    for (DefID Op : Def.PhiOperands)
+      if (Op != InvalidDef)
+        addIndirectEdge(DefNode[Op], DefNode[D], Def.Obj);
+  }
+
+  // μ uses: the reaching definition flows into the reading node.
+  for (const MemSSA::Mu &U : SSA.mus()) {
+    if (U.Reaching == InvalidDef)
+      continue;
+    NodeID UseNode = InvalidNode;
+    switch (U.Kind) {
+    case MemSSA::MuKind::LoadMu:
+      UseNode = instNode(U.Inst);
+      break;
+    case MemSSA::MuKind::CallMu:
+      UseNode = callMuNode(U.Inst, U.Obj);
+      break;
+    case MemSSA::MuKind::ExitMu:
+      UseNode = exitMuNode(M.inst(U.Inst).Parent, U.Obj);
+      break;
+    }
+    assert(UseNode != InvalidNode && "mu node exists");
+    addIndirectEdge(DefNode[U.Reaching], UseNode, U.Obj);
+  }
+}
+
+void SVFG::connectKnownCalls(bool ConnectAuxIndirectCalls) {
+  std::vector<std::pair<NodeID, IndEdge>> Ignored;
+  for (InstID CS : Ander.callGraph().callSites()) {
+    const Instruction &Call = M.inst(CS);
+    if (Call.isIndirectCall() && !ConnectAuxIndirectCalls)
+      continue;
+    for (FunID Callee : Ander.callGraph().callees(CS))
+      connectCallEdge(CS, Callee, Ignored);
+  }
+}
+
+void SVFG::connectCallEdge(InstID CS, FunID Callee,
+                           std::vector<std::pair<NodeID, IndEdge>> &Added) {
+  if (!ConnectedCallEdges.insert(key(CS, Callee)).second)
+    return;
+  // Objects flowing in: callsite μ meets the callee's entry χ.
+  for (NodeID MuN : callMusOf(CS)) {
+    ObjID O = Nodes[MuN].Obj;
+    NodeID ChiN = entryChiNode(Callee, O);
+    if (ChiN != InvalidNode && addIndirectEdge(MuN, ChiN, O))
+      Added.emplace_back(MuN, IndEdge{ChiN, O});
+  }
+  // Objects flowing out: callee's exit μ meets the callsite χ.
+  for (NodeID MuN : exitMusOf(Callee)) {
+    ObjID O = Nodes[MuN].Obj;
+    NodeID ChiN = callChiNode(CS, O);
+    if (ChiN != InvalidNode && addIndirectEdge(MuN, ChiN, O))
+      Added.emplace_back(MuN, IndEdge{ChiN, O});
+  }
+}

@@ -1,0 +1,183 @@
+//===- SVFG.h - Sparse value-flow graph -------------------------*- C++ -*-===//
+///
+/// \file
+/// The sparse value-flow graph (SVFG) of §II-B: one node per instruction
+/// plus dedicated nodes for the memory-SSA artefacts (MemPhi, entry-χ,
+/// exit-μ, call-μ, call-χ), connected by
+///
+///  - \b direct edges: def-use chains of top-level variables (trivially
+///    known from partial SSA), and
+///  - \b indirect edges, labelled with an object: possible def-use chains of
+///    address-taken objects, derived from the memory SSA form.
+///
+/// Interprocedural indirect edges (call-μ → entry-χ, exit-μ → call-χ) are
+/// added eagerly for call edges known at construction; the flow-sensitive
+/// solvers add the remaining ones when they resolve indirect calls on the
+/// fly (the paper's δ nodes anticipate exactly these late edges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SVFG_SVFG_H
+#define VSFS_SVFG_SVFG_H
+
+#include "memssa/MemSSA.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace vsfs {
+namespace svfg {
+
+using NodeID = uint32_t;
+constexpr NodeID InvalidNode = UINT32_MAX;
+
+enum class NodeKind : uint8_t {
+  Inst,     ///< an IR instruction (NodeID == InstID for these)
+  EntryChi, ///< per (function, object): o's value on function entry
+  ExitMu,   ///< per (function, object): o's value on function exit
+  CallMu,   ///< per (callsite, object): o's value flowing into callees
+  CallChi,  ///< per (callsite, object): o's value after the call
+  MemPhi    ///< per (function, block, object): control-flow merge of o
+};
+
+struct Node {
+  NodeKind Kind;
+  /// Inst nodes: the instruction. EntryChi/ExitMu: the FunEntry/FunExit
+  /// instruction. CallMu/CallChi: the call instruction. MemPhi: InvalidInst.
+  ir::InstID Inst = ir::InvalidInst;
+  /// The object for chi/mu/phi nodes.
+  ir::ObjID Obj = ir::InvalidObj;
+  ir::FunID Fun = ir::InvalidFun;
+  ir::BlockID Block = ir::InvalidBlock;
+};
+
+/// One indirect edge: destination node + the object whose value flows.
+struct IndEdge {
+  NodeID Dst;
+  ir::ObjID Obj;
+};
+
+/// The SVFG. Construction wires all intraprocedural edges and the
+/// interprocedural edges of calls resolved by the auxiliary analysis
+/// (optionally only direct calls, for on-the-fly call-graph solving).
+class SVFG {
+public:
+  /// \p ConnectAuxIndirectCalls: when true, indirect-call value flows
+  /// resolved by Andersen are wired eagerly (the solvers then need no
+  /// on-the-fly resolution); when false, only direct calls are wired and
+  /// solvers call \c connectCallEdge as they discover targets.
+  SVFG(ir::Module &M, const andersen::Andersen &Ander,
+       const memssa::MemSSA &SSA, bool ConnectAuxIndirectCalls);
+
+  const ir::Module &module() const { return M; }
+  ir::Module &module() { return M; }
+  const memssa::MemSSA &memSSA() const { return SSA; }
+  const andersen::Andersen &auxAnalysis() const { return Ander; }
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+  const Node &node(NodeID N) const { return Nodes[N]; }
+
+  const std::vector<NodeID> &directSuccs(NodeID N) const {
+    return DirectSuccs[N];
+  }
+  const std::vector<IndEdge> &indirectSuccs(NodeID N) const {
+    return IndSuccs[N];
+  }
+
+  uint64_t numDirectEdges() const { return DirectEdgeCount; }
+  uint64_t numIndirectEdges() const { return IndirectEdgeCount; }
+
+  // --- Node lookups -------------------------------------------------------
+
+  NodeID instNode(ir::InstID I) const { return I; } // By construction.
+  NodeID entryChiNode(ir::FunID F, ir::ObjID O) const {
+    return lookup(EntryChiMap, key(F, O));
+  }
+  NodeID exitMuNode(ir::FunID F, ir::ObjID O) const {
+    return lookup(ExitMuMap, key(F, O));
+  }
+  NodeID callMuNode(ir::InstID CS, ir::ObjID O) const {
+    return lookup(CallMuMap, key(CS, O));
+  }
+  NodeID callChiNode(ir::InstID CS, ir::ObjID O) const {
+    return lookup(CallChiMap, key(CS, O));
+  }
+
+  /// All chi/mu nodes of a callsite / function, for call-edge wiring.
+  const std::vector<NodeID> &callMusOf(ir::InstID CS) const {
+    return lookupList(CallMusOfSite, CS);
+  }
+  const std::vector<NodeID> &callChisOf(ir::InstID CS) const {
+    return lookupList(CallChisOfSite, CS);
+  }
+  const std::vector<NodeID> &entryChisOf(ir::FunID F) const {
+    return lookupList(EntryChisOfFun, F);
+  }
+  const std::vector<NodeID> &exitMusOf(ir::FunID F) const {
+    return lookupList(ExitMusOfFun, F);
+  }
+
+  // --- Edge mutation (on-the-fly call graph) -------------------------------
+
+  /// Adds the object value-flow edges for a newly discovered call edge:
+  /// CallMu(cs,o) -> EntryChi(callee,o) and ExitMu(callee,o) -> CallChi(cs,o)
+  /// for every object annotated on both ends. Appends each added edge to
+  /// \p Added. Idempotent per (callsite, callee).
+  void connectCallEdge(ir::InstID CS, ir::FunID Callee,
+                       std::vector<std::pair<NodeID, IndEdge>> &Added);
+
+  /// Adds one indirect edge if not already present; returns true if added.
+  bool addIndirectEdge(NodeID From, NodeID To, ir::ObjID Obj);
+
+private:
+  static uint64_t key(uint32_t A, uint32_t B) {
+    return (uint64_t(A) << 32) | B;
+  }
+  static NodeID lookup(const std::unordered_map<uint64_t, NodeID> &Map,
+                       uint64_t K) {
+    auto It = Map.find(K);
+    return It == Map.end() ? InvalidNode : It->second;
+  }
+  template <typename MapT, typename KeyT>
+  static const std::vector<NodeID> &lookupList(const MapT &Map, KeyT K) {
+    static const std::vector<NodeID> Empty;
+    auto It = Map.find(K);
+    return It == Map.end() ? Empty : It->second;
+  }
+
+  NodeID makeNode(Node N);
+  void addDirectEdge(NodeID From, NodeID To);
+  void buildNodes();
+  void buildDirectEdges();
+  void buildIndirectEdges();
+  void connectKnownCalls(bool ConnectAuxIndirectCalls);
+  NodeID defNode(memssa::DefID D) const;
+
+  ir::Module &M;
+  const andersen::Andersen &Ander;
+  const memssa::MemSSA &SSA;
+
+  std::vector<Node> Nodes;
+  std::vector<std::vector<NodeID>> DirectSuccs;
+  std::vector<std::vector<IndEdge>> IndSuccs;
+  /// Membership for indirect-edge dedup: (dst << 32 | obj) per source node.
+  std::vector<std::unordered_set<uint64_t>> IndEdgeSet;
+  uint64_t DirectEdgeCount = 0;
+  uint64_t IndirectEdgeCount = 0;
+
+  std::unordered_map<uint64_t, NodeID> EntryChiMap, ExitMuMap, CallMuMap,
+      CallChiMap;
+  std::unordered_map<ir::InstID, std::vector<NodeID>> CallMusOfSite,
+      CallChisOfSite;
+  std::unordered_map<ir::FunID, std::vector<NodeID>> EntryChisOfFun,
+      ExitMusOfFun;
+  /// MemSSA DefID -> defining SVFG node.
+  std::vector<NodeID> DefNode;
+  std::unordered_set<uint64_t> ConnectedCallEdges;
+};
+
+} // namespace svfg
+} // namespace vsfs
+
+#endif // VSFS_SVFG_SVFG_H

@@ -1,0 +1,91 @@
+//===- BenchmarkSuite.cpp - The 15 synthetic benchmark presets --*- C++ -*-===//
+
+#include "workload/BenchmarkSuite.h"
+
+using namespace vsfs;
+using namespace vsfs::workload;
+
+namespace {
+
+/// Builds one preset. \p Funs/\p Blocks/\p Insts control scale; \p Heap,
+/// \p Indirect and \p GlobalAccess control how heap-intensive, how
+/// function-pointer-heavy, and how cross-function-shared the program is.
+BenchSpec preset(const char *Name, const char *Desc, uint64_t Seed,
+                 uint32_t Funs, uint32_t Blocks, uint32_t Insts,
+                 uint32_t Globals, double Heap, double Indirect,
+                 double GlobalAccess) {
+  BenchSpec S;
+  S.Name = Name;
+  S.Description = Desc;
+  GenConfig &C = S.Config;
+  C.Seed = Seed;
+  C.NumFunctions = Funs;
+  C.BlocksPerFunction = Blocks;
+  C.InstsPerBlock = Insts;
+  C.NumGlobals = Globals;
+  C.HeapFraction = Heap;
+  C.IndirectCallFraction = Indirect;
+  C.GlobalAccessFraction = GlobalAccess;
+  return S;
+}
+
+} // namespace
+
+std::vector<BenchSpec> vsfs::workload::benchmarkSuite() {
+  // Ordered as in Table II (by bitcode size in the paper). Seeds are fixed
+  // so every run analyses identical programs.
+  return {
+      preset("du", "disk usage utility: small, light heap", 101, //
+             26, 4, 6, 10, 0.45, 0.10, 0.40),
+      preset("ninja", "build system: mid-size, heap-heavy graph structures",
+             102, 34, 4, 6, 10, 0.60, 0.15, 0.40),
+      preset("bake", "build system: few nodes, extremely dense value flows",
+             103, 30, 5, 7, 14, 0.75, 0.20, 0.60),
+      preset("dpkg", "package manager: larger but analysis-friendly", 104, //
+             40, 4, 5, 8, 0.25, 0.05, 0.25),
+      preset("nano", "text editor: buffer-heavy, many shared globals", 105, //
+             44, 5, 6, 14, 0.55, 0.10, 0.50),
+      preset("i3", "window manager: wide call graph, light heap", 106, //
+             52, 4, 5, 10, 0.30, 0.15, 0.30),
+      preset("psql", "database frontend: moderate, string-buffer heavy", 107,
+             48, 5, 5, 10, 0.40, 0.10, 0.35),
+      preset("janet", "language implementation: heap-intensive interpreter",
+             108, 56, 5, 7, 16, 0.70, 0.20, 0.50),
+      preset("astyle", "code formatter: C++-like, very dense object flows",
+             109, 60, 6, 7, 18, 0.75, 0.15, 0.55),
+      preset("tmux", "terminal multiplexer: large, many sessions/objects",
+             110, 68, 5, 6, 16, 0.55, 0.15, 0.45),
+      preset("mruby", "ruby interpreter: big VM objects, moderate sharing",
+             111, 72, 5, 6, 12, 0.55, 0.15, 0.35),
+      preset("mutt", "mail client: very dense indirect value flows", 112, //
+             80, 6, 6, 20, 0.65, 0.20, 0.55),
+      preset("bash", "shell: huge def-use chains over shared state", 113, //
+             96, 6, 7, 24, 0.65, 0.20, 0.60),
+      preset("lynx", "web browser: the largest, most store/load dense", 114,
+             112, 6, 7, 28, 0.70, 0.25, 0.60),
+      preset("hyriseConsole", "database console: C++-like, widest program",
+             115, 128, 6, 7, 24, 0.60, 0.20, 0.45),
+  };
+}
+
+std::vector<BenchSpec> vsfs::workload::quickSuite() {
+  std::vector<BenchSpec> All = benchmarkSuite();
+  // The paper's 8 GB tier: the eight least demanding benchmarks.
+  const char *Names[] = {"du",   "ninja", "bake", "dpkg",
+                         "nano", "i3",    "psql", "mruby"};
+  std::vector<BenchSpec> Out;
+  for (const char *N : Names)
+    for (const BenchSpec &S : All)
+      if (S.Name == N)
+        Out.push_back(S);
+  return Out;
+}
+
+bool vsfs::workload::findBenchmark(const std::string &Name, BenchSpec &Out) {
+  for (const BenchSpec &S : benchmarkSuite())
+    if (S.Name == Name) {
+      Out = S;
+      return true;
+    }
+  return false;
+}

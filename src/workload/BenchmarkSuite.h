@@ -1,0 +1,47 @@
+//===- BenchmarkSuite.h - The 15 synthetic benchmark presets ----*- C++ -*-===//
+///
+/// \file
+/// Named generator presets standing in for the paper's 15 open-source
+/// benchmarks (Table II). Each preset scales and shapes the synthetic
+/// generator to echo its namesake's character — small utilities (du, dpkg),
+/// heap-intensive build tools (bake, ninja), mid-size interpreters
+/// (janet, mruby), and the large, store/load-dense programs where SFS's
+/// redundancy explodes (bash, lynx, hyriseConsole).
+///
+/// Absolute sizes are laptop-scale (seconds, not hours); the paper's
+/// *relative* ordering and the heap-intensity gradient are what matter for
+/// reproducing the shape of Tables II and III.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_WORKLOAD_BENCHMARKSUITE_H
+#define VSFS_WORKLOAD_BENCHMARKSUITE_H
+
+#include "workload/ProgramGenerator.h"
+
+#include <string>
+#include <vector>
+
+namespace vsfs {
+namespace workload {
+
+/// One benchmark preset.
+struct BenchSpec {
+  std::string Name;
+  std::string Description;
+  GenConfig Config;
+};
+
+/// The full 15-preset suite, ordered as in Table II.
+std::vector<BenchSpec> benchmarkSuite();
+
+/// A reduced suite for quick runs (the paper's 8 GB tier analogue).
+std::vector<BenchSpec> quickSuite();
+
+/// Looks up a preset by name; returns false if unknown.
+bool findBenchmark(const std::string &Name, BenchSpec &Out);
+
+} // namespace workload
+} // namespace vsfs
+
+#endif // VSFS_WORKLOAD_BENCHMARKSUITE_H

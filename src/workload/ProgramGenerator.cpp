@@ -1,0 +1,239 @@
+//===- ProgramGenerator.cpp - Synthetic partial-SSA programs ----*- C++ -*-===//
+
+#include "workload/ProgramGenerator.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+#include <random>
+
+using namespace vsfs;
+using namespace vsfs::workload;
+using namespace vsfs::ir;
+
+namespace {
+
+/// All the state threaded through generation of one module.
+class Generator {
+public:
+  Generator(const GenConfig &Config)
+      : Config(Config), M(std::make_unique<Module>()), B(*M),
+        Rng(Config.Seed) {}
+
+  std::unique_ptr<Module> run() {
+    declareFunctions();
+    makeGlobals();
+    buildFunction(M->main());
+    for (FunID F : Funs)
+      buildFunction(F);
+    linkProgramEntry(*M);
+    return std::move(M);
+  }
+
+private:
+  // --- Random helpers (modulo bias is irrelevant here; explicit arithmetic
+  // keeps results identical across standard libraries) ------------------
+
+  uint64_t next() { return Rng(); }
+  uint32_t below(uint32_t N) {
+    assert(N > 0);
+    return static_cast<uint32_t>(next() % N);
+  }
+  bool chance(double P) {
+    return static_cast<double>(next() % 1000000) < P * 1000000.0;
+  }
+
+  template <typename T> T &pick(std::vector<T> &V) { return V[below(V.size())]; }
+
+  // --- Module-level pieces ------------------------------------------------
+
+  void declareFunctions() {
+    FunID Main = M->makeFunction("main");
+    M->setMain(Main);
+    for (uint32_t I = 0; I < Config.NumFunctions; ++I)
+      Funs.push_back(M->makeFunction("f" + std::to_string(I)));
+    // Call targets: the generated functions, or main itself (recursion) in
+    // the degenerate zero-function configuration.
+    CallTargets = Funs;
+    if (CallTargets.empty())
+      CallTargets.push_back(Main);
+  }
+
+  void makeGlobals() {
+    for (uint32_t I = 0; I < Config.NumGlobals; ++I) {
+      uint32_t Fields = 1 + below(Config.MaxFields);
+      VarID G = B.addGlobal("g" + std::to_string(I), Fields);
+      Globals.push_back(G);
+      // Roughly a third of globals become function-pointer slots feeding
+      // indirect calls; the rest may point at each other.
+      if (I % 3 == 0) {
+        B.addGlobalInit(G, B.functionAddress(pick(CallTargets)));
+        if (chance(0.5))
+          B.addGlobalInit(G, B.functionAddress(pick(CallTargets)));
+        FunPtrGlobals.push_back(G);
+      } else if (!Globals.empty() && chance(0.5)) {
+        B.addGlobalInit(G, pick(Globals));
+      }
+    }
+  }
+
+  // --- Function bodies -----------------------------------------------------
+
+  std::string freshName() { return "v" + std::to_string(NameCounter++); }
+
+  VarID pickValue() { return pick(Pool); }
+
+  /// Pointer operands are biased toward objects shared across functions
+  /// (globals) and locally allocated objects, so loads and stores hit real
+  /// abstract objects often.
+  VarID pickPointer() {
+    if (!Globals.empty() && chance(Config.GlobalAccessFraction))
+      return pick(Globals);
+    if (!PtrPool.empty() && chance(0.8))
+      return pick(PtrPool);
+    return pickValue();
+  }
+
+  void emitRandomInst() {
+    double Total = Config.AllocWeight + Config.CopyWeight + Config.PhiWeight +
+                   Config.FieldWeight + Config.LoadWeight +
+                   Config.StoreWeight + Config.CallWeight;
+    double Roll = (next() % 1000000) / 1000000.0 * Total;
+
+    auto Takes = [&Roll](double W) {
+      if (Roll < W)
+        return true;
+      Roll -= W;
+      return false;
+    };
+
+    if (Takes(Config.AllocWeight)) {
+      bool Heap = chance(Config.HeapFraction);
+      uint32_t Fields = 1 + below(Config.MaxFields);
+      VarID V = B.alloc(freshName(), "o" + std::to_string(NameCounter),
+                        Heap ? ObjKind::Heap : ObjKind::Stack,
+                        /*Singleton=*/true, Fields);
+      Pool.push_back(V);
+      PtrPool.push_back(V);
+      return;
+    }
+    if (Takes(Config.CopyWeight)) {
+      Pool.push_back(B.copy(freshName(), pickValue()));
+      return;
+    }
+    if (Takes(Config.PhiWeight)) {
+      Pool.push_back(B.phi(freshName(), {pickValue(), pickValue()}));
+      return;
+    }
+    if (Takes(Config.FieldWeight)) {
+      VarID V = B.fieldAddr(freshName(), pickPointer(),
+                            below(Config.MaxFields + 1));
+      Pool.push_back(V);
+      PtrPool.push_back(V);
+      return;
+    }
+    if (Takes(Config.LoadWeight)) {
+      VarID V = B.load(freshName(), pickPointer());
+      Pool.push_back(V);
+      if (chance(0.5))
+        PtrPool.push_back(V); // Loaded pointers get dereferenced too.
+      return;
+    }
+    if (Takes(Config.StoreWeight)) {
+      B.store(pickValue(), pickPointer());
+      return;
+    }
+
+    // Call.
+    FunID Callee = pick(CallTargets);
+    std::vector<VarID> Args;
+    for (uint32_t I = 0; I < Config.ParamsPerFunction; ++I)
+      Args.push_back(pickValue());
+    bool WantIndirect =
+        !FunPtrGlobals.empty() && chance(Config.IndirectCallFraction);
+    VarID Dst;
+    if (WantIndirect) {
+      VarID FP = B.load(freshName(), pick(FunPtrGlobals));
+      Dst = B.callIndirect(freshName(), FP, Args);
+    } else {
+      Dst = B.callDirect(freshName(), Callee, Args);
+    }
+    Pool.push_back(Dst);
+  }
+
+  void buildFunction(FunID F) {
+    std::vector<std::string> ParamNames;
+    for (uint32_t I = 0; I < Config.ParamsPerFunction; ++I)
+      ParamNames.push_back("p" + std::to_string(I));
+    B.startFunction(M->function(F).Name, ParamNames);
+
+    Pool.clear();
+    PtrPool.clear();
+    for (VarID P : M->function(F).Params)
+      Pool.push_back(P);
+    for (VarID G : Globals)
+      Pool.push_back(G);
+
+    const uint32_t NumBlocks = std::max<uint32_t>(1, Config.BlocksPerFunction);
+    std::vector<BlockID> Blocks;
+    Blocks.push_back(0); // Implicit entry block.
+    for (uint32_t I = 1; I < NumBlocks; ++I)
+      Blocks.push_back(B.block("b" + std::to_string(I)));
+    // An optional early-return block exercises multi-ret unification.
+    BlockID EarlyRet = InvalidBlock;
+    if (NumBlocks >= 3 && chance(0.5))
+      EarlyRet = B.block("early");
+
+    for (uint32_t I = 0; I < NumBlocks; ++I) {
+      B.setInsertPoint(Blocks[I]);
+      uint32_t Count = 1 + below(std::max<uint32_t>(1, 2 * Config.InstsPerBlock));
+      for (uint32_t K = 0; K < Count; ++K)
+        emitRandomInst();
+
+      if (I + 1 == NumBlocks) {
+        B.ret(pickValue());
+        continue;
+      }
+      if (chance(Config.BranchProbability)) {
+        BlockID Extra;
+        if (EarlyRet != InvalidBlock && chance(0.3)) {
+          Extra = EarlyRet;
+        } else if (I > 0 && chance(Config.LoopProbability)) {
+          Extra = Blocks[1 + below(I)]; // Back edge (loop), never to entry.
+        } else {
+          Extra = Blocks[I + 1 + below(NumBlocks - I - 1)]; // Forward jump.
+        }
+        B.br(Blocks[I + 1], Extra);
+      } else {
+        B.br(Blocks[I + 1]);
+      }
+    }
+
+    if (EarlyRet != InvalidBlock) {
+      B.setInsertPoint(EarlyRet);
+      B.ret(pickValue());
+    }
+    B.finishFunction();
+  }
+
+  const GenConfig &Config;
+  std::unique_ptr<Module> M;
+  IRBuilder B;
+  std::mt19937_64 Rng;
+
+  std::vector<FunID> Funs;
+  std::vector<FunID> CallTargets;
+  std::vector<VarID> Globals;
+  std::vector<VarID> FunPtrGlobals;
+  std::vector<VarID> Pool;    ///< All usable values in the current function.
+  std::vector<VarID> PtrPool; ///< Values likely to point at objects.
+  uint32_t NameCounter = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+vsfs::workload::generateProgram(const GenConfig &Config) {
+  Generator G(Config);
+  return G.run();
+}

@@ -1,0 +1,79 @@
+//===- ProgramGenerator.h - Synthetic partial-SSA programs ------*- C++ -*-===//
+///
+/// \file
+/// Deterministic, seeded generator of synthetic programs in the Table I
+/// instruction set. Substitutes for the paper's 15 open-source LLVM-bitcode
+/// benchmarks (see DESIGN.md): the generated programs exercise the
+/// structural features that drive SFS's redundancy —
+///
+///  - heap-intensive allocation with objects stored/loaded at many sites,
+///  - long def-use chains over shared (global) objects across functions,
+///  - control-flow joins producing MemPhis,
+///  - aggregate objects accessed through field addresses,
+///  - function-pointer tables driving indirect calls (δ nodes).
+///
+/// Generation is reproducible: the same \c GenConfig (including seed)
+/// produces the same module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_WORKLOAD_PROGRAMGENERATOR_H
+#define VSFS_WORKLOAD_PROGRAMGENERATOR_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vsfs {
+namespace workload {
+
+/// Knobs controlling the synthetic program's shape.
+struct GenConfig {
+  uint64_t Seed = 1;
+
+  /// Number of functions besides main (and __global_init__).
+  uint32_t NumFunctions = 8;
+  /// Blocks per function (before the unified exit).
+  uint32_t BlocksPerFunction = 4;
+  /// Instructions per block, on average.
+  uint32_t InstsPerBlock = 6;
+  /// Global variables; a fraction become function-pointer slots.
+  uint32_t NumGlobals = 6;
+  /// Max flattened fields for aggregate allocations.
+  uint32_t MaxFields = 4;
+  /// Parameters per function.
+  uint32_t ParamsPerFunction = 2;
+
+  // Instruction mix (relative weights; normalised internally).
+  double AllocWeight = 1.0;
+  double CopyWeight = 1.0;
+  double PhiWeight = 0.6;
+  double FieldWeight = 0.6;
+  double LoadWeight = 2.0;
+  double StoreWeight = 2.0;
+  double CallWeight = 0.7;
+
+  /// Fraction of allocs on the heap (never singletons).
+  double HeapFraction = 0.5;
+  /// Fraction of calls made through a function pointer.
+  double IndirectCallFraction = 0.2;
+  /// Fraction of load/store pointer operands drawn from globals (drives
+  /// cross-function sharing of the same objects' points-to sets).
+  double GlobalAccessFraction = 0.4;
+  /// Probability a block gets a second (conditional) successor.
+  double BranchProbability = 0.45;
+  /// Probability an extra edge becomes a back edge (loop).
+  double LoopProbability = 0.2;
+};
+
+/// Generates a verified module. The module is entry-linked and ready for
+/// AnalysisContext::build().
+std::unique_ptr<ir::Module> generateProgram(const GenConfig &Config);
+
+} // namespace workload
+} // namespace vsfs
+
+#endif // VSFS_WORKLOAD_PROGRAMGENERATOR_H

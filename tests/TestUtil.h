@@ -1,0 +1,92 @@
+//===- TestUtil.h - Shared test helpers -------------------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared across the test suite: building the full analysis
+/// pipeline from textual IR or a generator config, pretty-printing
+/// points-to sets for failure messages, and resolving names to IDs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_TESTS_TESTUTIL_H
+#define VSFS_TESTS_TESTUTIL_H
+
+#include "core/AnalysisContext.h"
+#include "core/FlowSensitive.h"
+#include "core/IterativeFlowSensitive.h"
+#include "core/VersionedFlowSensitive.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/ProgramGenerator.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace vsfs {
+namespace test {
+
+/// Parses and builds the full pipeline; fails the test on any error.
+inline std::unique_ptr<core::AnalysisContext>
+buildFromText(const char *Text, bool ConnectAuxIndirectCalls = false) {
+  auto Ctx = std::make_unique<core::AnalysisContext>();
+  std::string Error;
+  if (!Ctx->loadText(Text, Error)) {
+    ADD_FAILURE() << "IR error: " << Error;
+    return nullptr;
+  }
+  Ctx->build(ConnectAuxIndirectCalls);
+  return Ctx;
+}
+
+/// Builds the pipeline for a generated program.
+inline std::unique_ptr<core::AnalysisContext>
+buildFromConfig(const workload::GenConfig &Config,
+                bool ConnectAuxIndirectCalls = false) {
+  auto Module = workload::generateProgram(Config);
+  auto Violations = ir::verifyModule(*Module);
+  if (!Violations.empty()) {
+    ADD_FAILURE() << "generated module invalid: " << Violations.front();
+    return nullptr;
+  }
+  auto Ctx = std::make_unique<core::AnalysisContext>();
+  Ctx->module() = std::move(*Module);
+  Ctx->build(ConnectAuxIndirectCalls);
+  return Ctx;
+}
+
+/// Looks up a local variable by function and name (globals via "@name").
+inline ir::VarID findVar(const ir::Module &M, const std::string &Name) {
+  if (!Name.empty() && Name[0] == '@') {
+    ir::VarID V = M.lookupGlobalVar(Name.substr(1));
+    EXPECT_NE(V, ir::InvalidVar) << "unknown global " << Name;
+    return V;
+  }
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+    if (M.symbols().var(V).Name == Name)
+      return V;
+  ADD_FAILURE() << "unknown variable " << Name;
+  return ir::InvalidVar;
+}
+
+/// The names of the objects a variable points to, for readable assertions.
+inline std::set<std::string> pointeeNames(const ir::Module &M,
+                                          const PointsTo &Pts) {
+  std::set<std::string> Names;
+  for (uint32_t O : Pts)
+    Names.insert(M.symbols().object(O).Name);
+  return Names;
+}
+
+/// Convenience: run an analysis and return {names} for a variable.
+template <typename Analysis>
+std::set<std::string> pointees(const ir::Module &M, const Analysis &A,
+                               const std::string &VarName) {
+  return pointeeNames(M, A.ptsOfVar(findVar(M, VarName)));
+}
+
+} // namespace test
+} // namespace vsfs
+
+#endif // VSFS_TESTS_TESTUTIL_H

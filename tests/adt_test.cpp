@@ -1,0 +1,130 @@
+//===- adt_test.cpp - WorkList and UnionFind tests --------------*- C++ -*-===//
+
+#include "adt/UnionFind.h"
+#include "adt/WorkList.h"
+
+#include "gtest/gtest.h"
+
+#include <random>
+
+using namespace vsfs::adt;
+
+TEST(FIFOWorkList, FifoOrder) {
+  FIFOWorkList WL;
+  EXPECT_TRUE(WL.empty());
+  WL.push(3);
+  WL.push(1);
+  WL.push(2);
+  EXPECT_EQ(WL.size(), 3u);
+  EXPECT_EQ(WL.pop(), 3u);
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_EQ(WL.pop(), 2u);
+  EXPECT_TRUE(WL.empty());
+}
+
+TEST(FIFOWorkList, DeduplicatesWhileQueued) {
+  FIFOWorkList WL;
+  EXPECT_TRUE(WL.push(7));
+  EXPECT_FALSE(WL.push(7));
+  EXPECT_EQ(WL.size(), 1u);
+  EXPECT_EQ(WL.pop(), 7u);
+  // After popping, the item may be queued again.
+  EXPECT_TRUE(WL.push(7));
+}
+
+TEST(FIFOWorkList, ClearResets) {
+  FIFOWorkList WL;
+  WL.push(1);
+  WL.push(2);
+  WL.clear();
+  EXPECT_TRUE(WL.empty());
+  EXPECT_TRUE(WL.push(1));
+}
+
+TEST(LIFOWorkList, LifoOrder) {
+  LIFOWorkList WL;
+  WL.push(1);
+  WL.push(2);
+  WL.push(3);
+  EXPECT_EQ(WL.pop(), 3u);
+  EXPECT_EQ(WL.pop(), 2u);
+  EXPECT_EQ(WL.pop(), 1u);
+}
+
+TEST(LIFOWorkList, Deduplicates) {
+  LIFOWorkList WL;
+  EXPECT_TRUE(WL.push(5));
+  EXPECT_FALSE(WL.push(5));
+  WL.pop();
+  EXPECT_TRUE(WL.push(5));
+}
+
+TEST(WorkLists, LargeSparseIds) {
+  FIFOWorkList WL;
+  WL.push(1000000);
+  WL.push(0);
+  EXPECT_EQ(WL.pop(), 1000000u);
+  EXPECT_EQ(WL.pop(), 0u);
+}
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind UF(5);
+  for (uint32_t I = 0; I < 5; ++I)
+    EXPECT_EQ(UF.find(I), I);
+  EXPECT_FALSE(UF.connected(0, 1));
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind UF(6);
+  UF.unite(0, 1);
+  UF.unite(2, 3);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(1, 2));
+  UF.unite(1, 3);
+  EXPECT_TRUE(UF.connected(0, 2));
+  EXPECT_TRUE(UF.connected(0, 3));
+  EXPECT_FALSE(UF.connected(0, 4));
+}
+
+TEST(UnionFind, UniteIntoKeepsLeaderRoot) {
+  UnionFind UF(4);
+  EXPECT_EQ(UF.uniteInto(2, 0), 2u);
+  EXPECT_EQ(UF.uniteInto(2, 1), 2u);
+  EXPECT_EQ(UF.find(0), 2u);
+  EXPECT_EQ(UF.find(1), 2u);
+  EXPECT_EQ(UF.find(2), 2u);
+}
+
+TEST(UnionFind, GrowPreservesExistingSets) {
+  UnionFind UF(2);
+  UF.unite(0, 1);
+  UF.grow(5);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_EQ(UF.find(4), 4u);
+  EXPECT_EQ(UF.size(), 5u);
+}
+
+TEST(UnionFind, RandomizedAgainstNaive) {
+  std::mt19937 Rng(99);
+  const uint32_t N = 200;
+  UnionFind UF(N);
+  // Naive: component label array with full relabelling.
+  std::vector<uint32_t> Label(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Label[I] = I;
+  for (int Step = 0; Step < 500; ++Step) {
+    uint32_t A = Rng() % N, B = Rng() % N;
+    if (Rng() % 2) {
+      UF.unite(A, B);
+      uint32_t From = Label[B], To = Label[A];
+      for (uint32_t I = 0; I < N; ++I)
+        if (Label[I] == From)
+          Label[I] = To;
+    } else {
+      EXPECT_EQ(UF.connected(A, B), Label[A] == Label[B]);
+    }
+  }
+  for (uint32_t I = 0; I < N; ++I)
+    for (uint32_t J = 0; J < N; J += 17)
+      EXPECT_EQ(UF.connected(I, J), Label[I] == Label[J]);
+}

@@ -1,0 +1,90 @@
+//===- dot_test.cpp - GraphViz export tests ---------------------*- C++ -*-===//
+
+#include "TestUtil.h"
+
+#include "core/DotExport.h"
+
+#include <algorithm>
+
+using namespace vsfs;
+using namespace vsfs::test;
+
+namespace {
+
+const char *Program = R"(
+  global @g
+  func @callee(%x) {
+  entry:
+    store %x -> @g
+    ret
+  }
+  func @main() {
+  entry:
+    %a = alloc
+    %fp = funcaddr @callee
+    call %fp(%a)
+    call @callee(%a)
+    %v = load @g
+    br next, done
+  next:
+    ret %v
+  done:
+    ret %a
+  }
+)";
+
+} // namespace
+
+TEST(DotExport, CFGListsBlocksAndEdges) {
+  auto Ctx = buildFromText(Program);
+  std::string Dot = core::dotCFG(Ctx->module(), Ctx->module().main());
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("entry:"), std::string::npos);
+  EXPECT_NE(Dot.find("next:"), std::string::npos);
+  EXPECT_NE(Dot.find("%v = load @g"), std::string::npos);
+  // entry (b0) branches to next and done.
+  EXPECT_NE(Dot.find("b0 -> b1"), std::string::npos);
+  EXPECT_NE(Dot.find("b0 -> b2"), std::string::npos);
+}
+
+TEST(DotExport, CallGraphMarksIndirectEdges) {
+  auto Ctx = buildFromText(Program);
+  std::string Dot =
+      core::dotCallGraph(Ctx->module(), Ctx->andersen().callGraph());
+  EXPECT_NE(Dot.find("\"main\""), std::string::npos);
+  EXPECT_NE(Dot.find("\"callee\""), std::string::npos);
+  // The indirect call edge is dashed; the direct one is not.
+  EXPECT_NE(Dot.find("[style=dashed]"), std::string::npos);
+}
+
+TEST(DotExport, SVFGShowsNodeKindsAndLabelledEdges) {
+  auto Ctx = buildFromText(Program, /*ConnectAuxIndirectCalls=*/true);
+  std::string Dot = core::dotSVFG(Ctx->svfg());
+  EXPECT_NE(Dot.find("entrychi(g)@callee"), std::string::npos);
+  EXPECT_NE(Dot.find("exitmu(g)@callee"), std::string::npos);
+  EXPECT_NE(Dot.find("callmu(g)"), std::string::npos);
+  EXPECT_NE(Dot.find("callchi(g)"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed, label=\"g\""), std::string::npos);
+  EXPECT_NE(Dot.find("store %x -> @g"), std::string::npos);
+}
+
+TEST(DotExport, SVFGNodeCapElides) {
+  workload::GenConfig C;
+  C.Seed = 4;
+  C.NumFunctions = 8;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  ASSERT_GT(Ctx->svfg().numNodes(), 50u);
+  std::string Dot = core::dotSVFG(Ctx->svfg(), /*MaxNodes=*/50);
+  EXPECT_NE(Dot.find("more nodes elided"), std::string::npos);
+  // No references to elided nodes appear in edges.
+  EXPECT_EQ(Dot.find("n51 ->"), std::string::npos);
+}
+
+TEST(DotExport, EscapesQuotes) {
+  // Labels go through escaping; quotes in output must stay balanced.
+  auto Ctx = buildFromText(Program);
+  std::string Dot = core::dotCFG(Ctx->module(), Ctx->module().main());
+  // Balanced quotes: even count.
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '"') % 2, 0);
+}

@@ -1,0 +1,328 @@
+//===- flowsensitive_test.cpp - SFS baseline tests --------------*- C++ -*-===//
+
+#include "TestUtil.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+using core::FlowSensitive;
+
+TEST(FlowSensitive, StrongUpdateSeparatesStores) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      %b = alloc
+      %p = alloc
+      store %a -> %p
+      %x = load %p
+      store %b -> %p
+      %y = load %p
+      ret %y
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  auto &M = Ctx->module();
+  // Flow-sensitivity with strong updates: x sees only a, y only b.
+  EXPECT_EQ(pointees(M, SFS, "x"), (std::set<std::string>{"a.obj"}));
+  EXPECT_EQ(pointees(M, SFS, "y"), (std::set<std::string>{"b.obj"}));
+}
+
+TEST(FlowSensitive, WeakUpdateOnNonSingleton) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      %b = alloc
+      %p = alloc [weak]     ; not a singleton: no strong updates
+      store %a -> %p
+      %x = load %p
+      store %b -> %p
+      %y = load %p
+      ret %y
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  auto &M = Ctx->module();
+  EXPECT_EQ(pointees(M, SFS, "x"), (std::set<std::string>{"a.obj"}));
+  // Weak update: the second store accumulates.
+  EXPECT_EQ(pointees(M, SFS, "y"),
+            (std::set<std::string>{"a.obj", "b.obj"}));
+}
+
+TEST(FlowSensitive, WeakUpdateWhenPointerAmbiguous) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      %b = alloc
+      %o1 = alloc
+      %o2 = alloc
+      br l, r
+    l:
+      br join
+    r:
+      br join
+    join:
+      %p = phi %o1, %o2   ; pt(p) = {o1, o2}: no strong update possible
+      store %a -> %o1
+      store %b -> %p
+      %x = load %o1
+      ret %x
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  auto &M = Ctx->module();
+  // The ambiguous store may or may not write o1: both values remain.
+  EXPECT_EQ(pointees(M, SFS, "x"),
+            (std::set<std::string>{"a.obj", "b.obj"}));
+}
+
+TEST(FlowSensitive, ControlFlowMergeUnionsValues) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      %b = alloc
+      %p = alloc
+      br l, r
+    l:
+      store %a -> %p
+      br join
+    r:
+      store %b -> %p
+      br join
+    join:
+      %x = load %p
+      ret %x
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  EXPECT_EQ(pointees(Ctx->module(), SFS, "x"),
+            (std::set<std::string>{"a.obj", "b.obj"}));
+}
+
+TEST(FlowSensitive, MorePreciseThanAndersen) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      %b = alloc
+      %p = alloc
+      store %a -> %p
+      %x = load %p
+      store %b -> %p
+      ret %x
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  auto &M = Ctx->module();
+  ir::VarID X = findVar(M, "x");
+  // Andersen merges both stores; SFS orders them.
+  EXPECT_EQ(pointeeNames(M, Ctx->andersen().ptsOfVar(X)),
+            (std::set<std::string>{"a.obj", "b.obj"}));
+  EXPECT_EQ(pointeeNames(M, SFS.ptsOfVar(X)),
+            (std::set<std::string>{"a.obj"}));
+}
+
+TEST(FlowSensitive, InterproceduralFlow) {
+  auto Ctx = buildFromText(R"(
+    global @g
+    func @writer(%v) {
+    entry:
+      store %v -> @g
+      ret
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      call @writer(%a)
+      %x = load @g
+      ret %x
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  EXPECT_EQ(pointees(Ctx->module(), SFS, "x"),
+            (std::set<std::string>{"a.obj"}));
+}
+
+TEST(FlowSensitive, GlobalInitializationReachesMain) {
+  auto Ctx = buildFromText(R"(
+    global @g = @x
+    global @x
+    func @main() {
+    entry:
+      %p = load @g
+      ret %p
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  EXPECT_EQ(pointees(Ctx->module(), SFS, "p"),
+            (std::set<std::string>{"x"}));
+}
+
+TEST(FlowSensitive, OnTheFlyCallGraphIsMorePrecise) {
+  // A function-pointer slot is overwritten before the call: flow-sensitive
+  // resolution sees only the final target; Andersen sees both.
+  auto Ctx = buildFromText(R"(
+    global @fp
+    func @f(%x) {
+    entry:
+      %fo = alloc
+      ret %fo
+    }
+    func @g(%y) {
+    entry:
+      %go = alloc
+      ret %go
+    }
+    func @main() {
+    entry:
+      %pf = funcaddr @f
+      %pg = funcaddr @g
+      store %pf -> @fp
+      store %pg -> @fp
+      %callee = load @fp
+      %r = call %callee()
+      ret %r
+    }
+  )");
+  auto &M = Ctx->module();
+  // Andersen resolves the call to both targets.
+  ir::InstID CallI = ir::InvalidInst;
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == ir::InstKind::Call &&
+        M.inst(I).Parent == M.main() && M.inst(I).isIndirectCall())
+      CallI = I;
+  ASSERT_NE(CallI, ir::InvalidInst);
+  EXPECT_EQ(Ctx->andersen().callGraph().callees(CallI).size(), 2u);
+
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  // Strong updates on the singleton global slot leave only @g.
+  EXPECT_EQ(SFS.callGraph().callees(CallI).size(), 1u);
+  EXPECT_EQ(SFS.callGraph().callees(CallI)[0], M.lookupFunction("g"));
+  EXPECT_EQ(pointees(M, SFS, "r"), (std::set<std::string>{"go.obj"}));
+}
+
+TEST(FlowSensitive, AuxCallGraphModeMatchesAndersenResolution) {
+  const char *Prog = R"(
+    global @fp = @f
+    func @f(%x) {
+    entry:
+      %fo = alloc
+      ret %fo
+    }
+    func @main() {
+    entry:
+      %callee = load @fp
+      %r = call %callee()
+      ret %r
+    }
+  )";
+  auto Ctx = buildFromText(Prog, /*ConnectAuxIndirectCalls=*/true);
+  FlowSensitive::Options Opts;
+  Opts.OnTheFlyCallGraph = false;
+  FlowSensitive SFS(Ctx->svfg(), Opts);
+  SFS.solve();
+  EXPECT_EQ(pointees(Ctx->module(), SFS, "r"),
+            (std::set<std::string>{"fo.obj"}));
+}
+
+TEST(FlowSensitive, RecursiveFunctions) {
+  auto Ctx = buildFromText(R"(
+    global @acc
+    func @rec(%n) {
+    entry:
+      store %n -> @acc
+      br stop, go
+    go:
+      %l = alloc
+      %r = call @rec(%l)
+      ret %r
+    stop:
+      ret %n
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      %v = call @rec(%a)
+      %w = load @acc
+      ret %v
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  auto &M = Ctx->module();
+  EXPECT_EQ(pointees(M, SFS, "v"),
+            (std::set<std::string>{"a.obj", "l.obj"}));
+  EXPECT_EQ(pointees(M, SFS, "w"),
+            (std::set<std::string>{"a.obj", "l.obj"}));
+}
+
+TEST(FlowSensitive, FieldsTrackedSeparately) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %s = alloc [fields=2]
+      %a = alloc
+      %b = alloc
+      %f1 = field %s, 1
+      store %a -> %s        ; writes field 0
+      store %b -> %f1       ; writes field 1
+      %x = load %s
+      %y = load %f1
+      ret %x
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  auto &M = Ctx->module();
+  EXPECT_EQ(pointees(M, SFS, "x"), (std::set<std::string>{"a.obj"}));
+  EXPECT_EQ(pointees(M, SFS, "y"), (std::set<std::string>{"b.obj"}));
+}
+
+TEST(FlowSensitive, LoopAccumulatesWeakly) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %p = alloc [weak]
+      %seed = alloc
+      store %seed -> %p
+      br loop
+    loop:
+      %v = load %p
+      %n = alloc [heap]
+      store %n -> %p
+      br loop, out
+    out:
+      %final = load %p
+      ret %final
+    }
+  )");
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  auto &M = Ctx->module();
+  EXPECT_EQ(pointees(M, SFS, "final"),
+            (std::set<std::string>{"n.obj", "seed.obj"}));
+  EXPECT_EQ(pointees(M, SFS, "v"),
+            (std::set<std::string>{"n.obj", "seed.obj"}));
+}
+
+TEST(FlowSensitive, StatsAndStorageCounters) {
+  workload::GenConfig C;
+  C.Seed = 3;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  FlowSensitive SFS(Ctx->svfg());
+  SFS.solve();
+  EXPECT_GT(SFS.numPtsSetsStored(), 0u);
+  EXPECT_GT(SFS.stats().lookup("node-visits"), 0u);
+  EXPECT_GT(SFS.stats().lookup("propagations"), 0u);
+}

@@ -1,0 +1,323 @@
+//===- graph_test.cpp - Graph algorithm tests -------------------*- C++ -*-===//
+///
+/// SCC against brute-force reachability, dominators against the naive
+/// O(V·E) "remove the node and test reachability" definition, and frontier
+/// sanity — on hand-made and random graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Dominators.h"
+#include "graph/Graph.h"
+#include "graph/SCC.h"
+
+#include "gtest/gtest.h"
+
+#include <random>
+
+using namespace vsfs::graph;
+
+namespace {
+
+/// Reachability matrix by BFS from every node.
+std::vector<std::vector<bool>> reachability(const AdjacencyGraph &G) {
+  uint32_t N = G.numNodes();
+  std::vector<std::vector<bool>> R(N, std::vector<bool>(N, false));
+  for (uint32_t S = 0; S < N; ++S) {
+    std::vector<uint32_t> Stack{S};
+    R[S][S] = true;
+    while (!Stack.empty()) {
+      uint32_t Cur = Stack.back();
+      Stack.pop_back();
+      for (uint32_t Next : G.successors(Cur))
+        if (!R[S][Next]) {
+          R[S][Next] = true;
+          Stack.push_back(Next);
+        }
+    }
+  }
+  return R;
+}
+
+AdjacencyGraph randomGraph(std::mt19937 &Rng, uint32_t N, uint32_t Edges) {
+  AdjacencyGraph G(N);
+  for (uint32_t I = 0; I < Edges; ++I)
+    G.addEdge(Rng() % N, Rng() % N);
+  return G;
+}
+
+/// Random graph where every node is reachable from node 0 and node 0 has no
+/// predecessors (a CFG shape; the verifier enforces the same for IR).
+AdjacencyGraph randomFlowGraph(std::mt19937 &Rng, uint32_t N,
+                               uint32_t ExtraEdges) {
+  AdjacencyGraph G(N);
+  for (uint32_t I = 1; I < N; ++I)
+    G.addEdge(Rng() % I, I); // Spanning tree from 0.
+  for (uint32_t I = 0; I < ExtraEdges; ++I)
+    G.addEdge(Rng() % N, 1 + Rng() % (N - 1));
+  return G;
+}
+
+} // namespace
+
+TEST(AdjacencyGraph, Basics) {
+  AdjacencyGraph G;
+  EXPECT_EQ(G.numNodes(), 0u);
+  uint32_t A = G.addNode(), B = G.addNode();
+  G.addEdge(A, B);
+  EXPECT_EQ(G.numNodes(), 2u);
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_EQ(G.successors(A).size(), 1u);
+  EXPECT_TRUE(G.successors(B).empty());
+}
+
+TEST(AdjacencyGraph, UniqueEdges) {
+  AdjacencyGraph G(2);
+  EXPECT_TRUE(G.addUniqueEdge(0, 1));
+  EXPECT_FALSE(G.addUniqueEdge(0, 1));
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(AdjacencyGraph, Predecessors) {
+  AdjacencyGraph G(3);
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  auto Preds = G.buildPredecessors();
+  EXPECT_EQ(Preds[2], (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(Preds[0].empty());
+}
+
+TEST(ReversePostOrder, LinearChain) {
+  AdjacencyGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  EXPECT_EQ(reversePostOrder(G, 0), (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(ReversePostOrder, DiamondKeepsTopologicalOrder) {
+  AdjacencyGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  auto RPO = reversePostOrder(G, 0);
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), 0u);
+  EXPECT_EQ(RPO.back(), 3u);
+}
+
+TEST(ReversePostOrder, SkipsUnreachable) {
+  AdjacencyGraph G(3);
+  G.addEdge(0, 1);
+  EXPECT_EQ(reversePostOrder(G, 0).size(), 2u);
+}
+
+TEST(SCC, SelfLoopAndChain) {
+  AdjacencyGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(1, 1);
+  SCCResult R = computeSCCs(G);
+  EXPECT_EQ(R.NumComponents, 3u);
+  EXPECT_FALSE(R.inCycle(0));
+  EXPECT_FALSE(R.inCycle(1)); // Self loop but single member.
+  EXPECT_FALSE(R.inCycle(2));
+}
+
+TEST(SCC, SimpleCycle) {
+  AdjacencyGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 0);
+  G.addEdge(2, 3);
+  SCCResult R = computeSCCs(G);
+  EXPECT_EQ(R.NumComponents, 2u);
+  EXPECT_EQ(R.ComponentOf[0], R.ComponentOf[1]);
+  EXPECT_EQ(R.ComponentOf[1], R.ComponentOf[2]);
+  EXPECT_NE(R.ComponentOf[3], R.ComponentOf[0]);
+  EXPECT_TRUE(R.inCycle(0));
+  EXPECT_FALSE(R.inCycle(3));
+}
+
+TEST(SCC, ComponentIDsReverseTopological) {
+  AdjacencyGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  SCCResult R = computeSCCs(G);
+  // Every edge goes from a higher component id to a lower one.
+  for (uint32_t N = 0; N < 4; ++N)
+    for (uint32_t S : G.successors(N))
+      EXPECT_GT(R.ComponentOf[N], R.ComponentOf[S]);
+}
+
+class SCCProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SCCProperty, MatchesMutualReachability) {
+  std::mt19937 Rng(GetParam());
+  AdjacencyGraph G = randomGraph(Rng, 30 + GetParam() % 20, 80);
+  SCCResult R = computeSCCs(G);
+  auto Reach = reachability(G);
+  for (uint32_t A = 0; A < G.numNodes(); ++A)
+    for (uint32_t B = 0; B < G.numNodes(); ++B) {
+      bool SameComp = R.ComponentOf[A] == R.ComponentOf[B];
+      bool Mutual = Reach[A][B] && Reach[B][A];
+      EXPECT_EQ(SameComp, Mutual) << "nodes " << A << "," << B;
+    }
+  // Edges never go topologically forward in component numbering.
+  for (uint32_t N = 0; N < G.numNodes(); ++N)
+    for (uint32_t S : G.successors(N))
+      EXPECT_GE(R.ComponentOf[N], R.ComponentOf[S]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SCCProperty, ::testing::Range(1u, 11u));
+
+TEST(DominatorTree, DiamondIDoms) {
+  AdjacencyGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  DominatorTree DT(G, 0);
+  EXPECT_EQ(DT.immediateDominator(0), 0u);
+  EXPECT_EQ(DT.immediateDominator(1), 0u);
+  EXPECT_EQ(DT.immediateDominator(2), 0u);
+  EXPECT_EQ(DT.immediateDominator(3), 0u); // Join dominated by the fork.
+  EXPECT_TRUE(DT.dominates(0, 3));
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_TRUE(DT.dominates(1, 1));
+}
+
+TEST(DominatorTree, LoopBody) {
+  // 0 -> 1 -> 2 -> 1, 2 -> 3
+  AdjacencyGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 1);
+  G.addEdge(2, 3);
+  DominatorTree DT(G, 0);
+  EXPECT_EQ(DT.immediateDominator(1), 0u);
+  EXPECT_EQ(DT.immediateDominator(2), 1u);
+  EXPECT_EQ(DT.immediateDominator(3), 2u);
+}
+
+TEST(DominatorTree, UnreachableNodes) {
+  AdjacencyGraph G(3);
+  G.addEdge(0, 1);
+  DominatorTree DT(G, 0);
+  EXPECT_FALSE(DT.isReachable(2));
+  EXPECT_FALSE(DT.dominates(0, 2));
+  EXPECT_FALSE(DT.dominates(2, 0));
+}
+
+class DominatorProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DominatorProperty, MatchesRemovalDefinition) {
+  std::mt19937 Rng(GetParam() * 31 + 5);
+  uint32_t N = 12 + GetParam() % 8;
+  AdjacencyGraph G = randomFlowGraph(Rng, N, N);
+  DominatorTree DT(G, 0);
+
+  // Naive: A dominates B iff removing A makes B unreachable from 0.
+  auto ReachableWithout = [&](uint32_t Removed) {
+    std::vector<bool> Seen(N, false);
+    if (Removed == 0)
+      return Seen;
+    std::vector<uint32_t> Stack{0};
+    Seen[0] = true;
+    while (!Stack.empty()) {
+      uint32_t Cur = Stack.back();
+      Stack.pop_back();
+      for (uint32_t S : G.successors(Cur))
+        if (S != Removed && !Seen[S]) {
+          Seen[S] = true;
+          Stack.push_back(S);
+        }
+    }
+    return Seen;
+  };
+
+  for (uint32_t A = 0; A < N; ++A) {
+    auto Reach = ReachableWithout(A);
+    for (uint32_t B = 0; B < N; ++B) {
+      if (B == A)
+        continue;
+      bool Naive = DT.isReachable(B) && !Reach[B];
+      EXPECT_EQ(DT.dominates(A, B), Naive) << "A=" << A << " B=" << B;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatorProperty, ::testing::Range(1u, 11u));
+
+TEST(DominanceFrontier, DiamondFrontier) {
+  AdjacencyGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  DominatorTree DT(G, 0);
+  DominanceFrontier DF(G, DT);
+  EXPECT_EQ(DF.frontier(1), (std::vector<uint32_t>{3}));
+  EXPECT_EQ(DF.frontier(2), (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(DF.frontier(0).empty()); // 0 dominates the join.
+  EXPECT_TRUE(DF.frontier(3).empty());
+}
+
+TEST(DominanceFrontier, LoopHeaderInOwnFrontier) {
+  AdjacencyGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 1);
+  G.addEdge(2, 3);
+  DominatorTree DT(G, 0);
+  DominanceFrontier DF(G, DT);
+  // The loop header (1) is a join of {0, 2}; 1 and 2 both have it in DF.
+  EXPECT_EQ(DF.frontier(2), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(DF.frontier(1), (std::vector<uint32_t>{1}));
+}
+
+TEST(DominanceFrontier, IteratedFrontierClosure) {
+  // Two nested diamonds: IDF of a def in the inner arm includes both joins.
+  AdjacencyGraph G(7);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(1, 4);
+  G.addEdge(3, 5);
+  G.addEdge(4, 5);
+  G.addEdge(5, 6);
+  G.addEdge(2, 6);
+  DominatorTree DT(G, 0);
+  DominanceFrontier DF(G, DT);
+  auto IDF = DF.iteratedFrontier({3});
+  EXPECT_EQ(IDF, (std::vector<uint32_t>{5, 6}));
+}
+
+class FrontierProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FrontierProperty, FrontierDefinition) {
+  // DF(n) = { m | n dominates some pred of m, n does not strictly dom m }.
+  std::mt19937 Rng(GetParam() * 101 + 7);
+  uint32_t N = 10 + GetParam() % 10;
+  AdjacencyGraph G = randomFlowGraph(Rng, N, N + 4);
+  DominatorTree DT(G, 0);
+  DominanceFrontier DF(G, DT);
+  auto Preds = G.buildPredecessors();
+  for (uint32_t Node = 0; Node < N; ++Node) {
+    std::vector<uint32_t> Expected;
+    for (uint32_t M = 0; M < N; ++M) {
+      if (!DT.isReachable(M))
+        continue;
+      bool DomsPred = false;
+      for (uint32_t P : Preds[M])
+        if (DT.isReachable(P) && DT.dominates(Node, P))
+          DomsPred = true;
+      bool StrictlyDoms = Node != M && DT.dominates(Node, M);
+      if (DomsPred && !StrictlyDoms)
+        Expected.push_back(M);
+    }
+    EXPECT_EQ(DF.frontier(Node), Expected) << "node " << Node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontierProperty, ::testing::Range(1u, 11u));

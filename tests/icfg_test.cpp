@@ -1,0 +1,200 @@
+//===- icfg_test.cpp - Interprocedural CFG tests ----------------*- C++ -*-===//
+
+#include "TestUtil.h"
+
+#include "ir/ICFG.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+
+namespace {
+
+ir::InstID findInst(const ir::Module &M, ir::InstKind Kind,
+                    const std::string &FunName) {
+  ir::FunID F = M.lookupFunction(FunName);
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == Kind && M.inst(I).Parent == F)
+      return I;
+  ADD_FAILURE() << "no such instruction in " << FunName;
+  return ir::InvalidInst;
+}
+
+bool hasEdge(const ir::ICFG &G, ir::InstID From, ir::InstID To) {
+  for (ir::InstID S : G.successors(From))
+    if (S == To)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ICFG, StraightLineChain) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      %b = copy %a
+      ret %b
+    }
+  )");
+  ir::ICFG G(Ctx->module(), nullptr);
+  const ir::Module &M = Ctx->module();
+  const ir::Function &Main = M.function(M.main());
+  // FunEntry -> alloc -> copy -> FunExit, one edge each.
+  ir::InstID Alloc = findInst(M, ir::InstKind::Alloc, "main");
+  ir::InstID Copy = findInst(M, ir::InstKind::Copy, "main");
+  EXPECT_TRUE(hasEdge(G, Main.Entry, Alloc));
+  EXPECT_TRUE(hasEdge(G, Alloc, Copy));
+  EXPECT_TRUE(hasEdge(G, Copy, Main.Exit));
+  EXPECT_TRUE(G.successors(Main.Exit).empty());
+}
+
+TEST(ICFG, BranchesFanOutAndLookThroughEmptyBlocks) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      br l, r
+    l:
+      br join      ; empty block: looked through
+    r:
+      %b = copy %a
+      br join
+    join:
+      %c = phi %a, %b
+      ret %c
+    }
+  )");
+  ir::ICFG G(Ctx->module(), nullptr);
+  const ir::Module &M = Ctx->module();
+  ir::InstID Alloc = findInst(M, ir::InstKind::Alloc, "main");
+  ir::InstID Copy = findInst(M, ir::InstKind::Copy, "main");
+  ir::InstID Phi = findInst(M, ir::InstKind::Phi, "main");
+  // The branch reaches both the copy (block r) and, through empty block l,
+  // the phi directly.
+  EXPECT_TRUE(hasEdge(G, Alloc, Copy));
+  EXPECT_TRUE(hasEdge(G, Alloc, Phi));
+  EXPECT_TRUE(hasEdge(G, Copy, Phi));
+}
+
+TEST(ICFG, CallsRouteThroughResolvedCallees) {
+  auto Ctx = buildFromText(R"(
+    func @callee(%x) {
+    entry:
+      ret %x
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      %r = call @callee(%a)
+      %c = copy %r
+      ret %c
+    }
+  )");
+  const ir::Module &M = Ctx->module();
+  ir::ICFG G(M, [&](ir::InstID CS) {
+    return Ctx->andersen().callGraph().callees(CS);
+  });
+  ir::InstID Call = findInst(M, ir::InstKind::Call, "main");
+  ir::InstID Copy = findInst(M, ir::InstKind::Copy, "main");
+  const ir::Function &Callee = M.function(M.lookupFunction("callee"));
+  // call -> callee entry; callee exit -> return site (the copy);
+  // and no fall-through around the callee.
+  EXPECT_TRUE(hasEdge(G, Call, Callee.Entry));
+  EXPECT_TRUE(hasEdge(G, Callee.Exit, Copy));
+  EXPECT_FALSE(hasEdge(G, Call, Copy));
+}
+
+TEST(ICFG, UnresolvedCallsFallThrough) {
+  auto Ctx = buildFromText(R"(
+    func @callee(%x) {
+    entry:
+      ret %x
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      %r = call @callee(%a)
+      %c = copy %r
+      ret %c
+    }
+  )");
+  const ir::Module &M = Ctx->module();
+  ir::ICFG G(M, nullptr); // No resolver: every call falls through.
+  ir::InstID Call = findInst(M, ir::InstKind::Call, "main");
+  ir::InstID Copy = findInst(M, ir::InstKind::Copy, "main");
+  EXPECT_TRUE(hasEdge(G, Call, Copy));
+}
+
+TEST(ICFG, UnreachableBlocksExcluded) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      br done
+    orphan:
+      %b = copy %a
+      ret %b
+    done:
+      ret %a
+    }
+  )");
+  const ir::Module &M = Ctx->module();
+  ir::ICFG G(M, nullptr);
+  ir::InstID Copy = findInst(M, ir::InstKind::Copy, "main");
+  EXPECT_FALSE(G.isReachableInFunction(Copy));
+  EXPECT_TRUE(G.successors(Copy).empty());
+  ir::InstID Alloc = findInst(M, ir::InstKind::Alloc, "main");
+  EXPECT_TRUE(G.isReachableInFunction(Alloc));
+}
+
+TEST(ICFG, PredecessorsInvertSuccessors) {
+  workload::GenConfig C;
+  C.Seed = 17;
+  C.NumFunctions = 5;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  const ir::Module &M = Ctx->module();
+  ir::ICFG G(M, [&](ir::InstID CS) {
+    return Ctx->andersen().callGraph().callees(CS);
+  });
+  uint64_t Forward = 0, Backward = 0;
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    Forward += G.successors(I).size();
+    Backward += G.predecessors(I).size();
+    for (ir::InstID S : G.successors(I)) {
+      bool Found = false;
+      for (ir::InstID P : G.predecessors(S))
+        Found |= P == I;
+      EXPECT_TRUE(Found);
+    }
+  }
+  EXPECT_EQ(Forward, Backward);
+  EXPECT_EQ(Forward, G.numEdges());
+}
+
+TEST(ICFG, ReachableFromProgramEntry) {
+  auto Ctx = buildFromText(R"(
+    global @g = @x
+    global @x
+    func @unused() {
+    entry:
+      ret
+    }
+    func @main() {
+    entry:
+      %v = load @g
+      ret %v
+    }
+  )");
+  const ir::Module &M = Ctx->module();
+  ir::ICFG G(M, [&](ir::InstID CS) {
+    return Ctx->andersen().callGraph().callees(CS);
+  });
+  ir::FunID Entry = ir::programEntry(M);
+  auto Reach = G.reachableFrom(M.function(Entry).Entry);
+  std::set<ir::InstID> Set(Reach.begin(), Reach.end());
+  // main is reached via the init call; @unused is not.
+  EXPECT_TRUE(Set.count(M.function(M.main()).Entry));
+  EXPECT_FALSE(Set.count(M.function(M.lookupFunction("unused")).Entry));
+}

@@ -1,0 +1,265 @@
+//===- ir_test.cpp - IRBuilder / SymbolTable / Verifier tests ---*- C++ -*-===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace vsfs;
+using namespace vsfs::ir;
+
+TEST(SymbolTable, VarsAndObjects) {
+  SymbolTable S;
+  VarID V = S.makeVar("p", 3);
+  EXPECT_EQ(S.var(V).Name, "p");
+  EXPECT_EQ(S.var(V).Parent, 3u);
+
+  ObjID O = S.makeObject("o", ObjKind::Stack, true, 2);
+  EXPECT_EQ(S.object(O).NumFields, 2u);
+  EXPECT_TRUE(S.object(O).Singleton);
+  EXPECT_EQ(S.object(O).Base, O);
+  EXPECT_EQ(S.numVars(), 1u);
+  EXPECT_EQ(S.numObjects(), 1u);
+}
+
+TEST(SymbolTable, FunctionObjects) {
+  SymbolTable S;
+  ObjID F = S.makeFunctionObject("f", 7);
+  EXPECT_TRUE(S.isFunctionObject(F));
+  EXPECT_EQ(S.object(F).Func, 7u);
+  EXPECT_TRUE(S.object(F).Singleton);
+}
+
+TEST(SymbolTable, FieldObjectsAreMemoized) {
+  SymbolTable S;
+  ObjID Base = S.makeObject("agg", ObjKind::Heap, false, 4);
+  ObjID F1 = S.getFieldObject(Base, 1);
+  EXPECT_EQ(S.getFieldObject(Base, 1), F1);
+  EXPECT_NE(S.getFieldObject(Base, 2), F1);
+  EXPECT_EQ(S.object(F1).Base, Base);
+  EXPECT_EQ(S.object(F1).Offset, 1u);
+  EXPECT_EQ(S.object(F1).Kind, ObjKind::Field);
+  // Fields inherit the base's singleton-ness (a field of one runtime
+  // object is one runtime location).
+  EXPECT_FALSE(S.object(F1).Singleton);
+}
+
+TEST(SymbolTable, FieldOffsetZeroIsTheBase) {
+  SymbolTable S;
+  ObjID Base = S.makeObject("agg", ObjKind::Stack, true, 4);
+  EXPECT_EQ(S.getFieldObject(Base, 0), Base);
+}
+
+TEST(SymbolTable, FieldsFlattenAndClamp) {
+  SymbolTable S;
+  ObjID Base = S.makeObject("agg", ObjKind::Stack, true, 4);
+  ObjID F1 = S.getFieldObject(Base, 1);
+  // Field of a field flattens: (base.f1).f2 == base.f3.
+  EXPECT_EQ(S.getFieldObject(F1, 2), S.getFieldObject(Base, 3));
+  // Out-of-bounds clamps to the last field.
+  EXPECT_EQ(S.getFieldObject(Base, 99), S.getFieldObject(Base, 3));
+  // Single-field objects are their own only field.
+  ObjID Scalar = S.makeObject("s", ObjKind::Stack, true, 1);
+  EXPECT_EQ(S.getFieldObject(Scalar, 5), Scalar);
+}
+
+TEST(IRBuilder, BuildsAWellFormedFunction) {
+  Module M;
+  IRBuilder B(M);
+  FunID F = B.startFunction("main", {"a"});
+  M.setMain(F);
+  VarID P = B.alloc("p", "obj");
+  VarID Q = B.copy("q", P);
+  B.store(Q, P);
+  VarID L = B.load("l", P);
+  B.ret(L);
+  B.finishFunction();
+
+  EXPECT_TRUE(verifyModule(M).empty()) << verifyModule(M).front();
+  const Function &Fun = M.function(F);
+  EXPECT_EQ(M.inst(Fun.Entry).Kind, InstKind::FunEntry);
+  EXPECT_EQ(M.inst(Fun.Exit).Kind, InstKind::FunExit);
+  EXPECT_EQ(M.inst(Fun.Exit).exitRet(), L);
+  EXPECT_EQ(Fun.Params.size(), 1u);
+}
+
+TEST(IRBuilder, MultipleReturnsUnified) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("f", {});
+  VarID A = B.alloc("a", "ao");
+  VarID C = B.alloc("c", "co");
+  BlockID B1 = B.block("one"), B2 = B.block("two");
+  B.br(B1, B2);
+  B.setInsertPoint(B1);
+  B.ret(A);
+  B.setInsertPoint(B2);
+  B.ret(C);
+  FunID F = B.finishFunction();
+
+  EXPECT_TRUE(verifyModule(M).empty()) << verifyModule(M).front();
+  // The unified exit returns a phi of both values.
+  const Function &Fun = M.function(F);
+  VarID Ret = M.inst(Fun.Exit).exitRet();
+  ASSERT_NE(Ret, InvalidVar);
+  // Find the phi defining it.
+  bool FoundPhi = false;
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind == InstKind::Phi && Inst.Dst == Ret) {
+      FoundPhi = true;
+      EXPECT_EQ(Inst.phiSrcs().size(), 2u);
+    }
+  }
+  EXPECT_TRUE(FoundPhi);
+}
+
+TEST(IRBuilder, GlobalsLiveInGlobalInit) {
+  Module M;
+  IRBuilder B(M);
+  VarID G = B.addGlobal("g", 2);
+  VarID H = B.addGlobal("h");
+  B.addGlobalInit(G, H);
+  ASSERT_NE(M.globalInit(), InvalidFun);
+  EXPECT_EQ(M.lookupGlobalVar("g"), G);
+  EXPECT_EQ(M.lookupGlobalVar("missing"), InvalidVar);
+  EXPECT_TRUE(verifyModule(M).empty()) << verifyModule(M).front();
+
+  // The init function holds two allocs and one store.
+  const Function &GI = M.function(M.globalInit());
+  uint32_t Allocs = 0, Stores = 0;
+  for (InstID I : GI.Blocks[0].Insts) {
+    if (M.inst(I).Kind == InstKind::Alloc)
+      ++Allocs;
+    if (M.inst(I).Kind == InstKind::Store)
+      ++Stores;
+  }
+  EXPECT_EQ(Allocs, 2u);
+  EXPECT_EQ(Stores, 1u);
+}
+
+TEST(IRBuilder, FunctionAddressIsMemoized) {
+  Module M;
+  IRBuilder B(M);
+  FunID F = M.makeFunction("callee");
+  VarID A1 = B.functionAddress(F);
+  VarID A2 = B.functionAddress(F);
+  EXPECT_EQ(A1, A2);
+  EXPECT_EQ(M.funAddrVarTarget(A1), F);
+  EXPECT_TRUE(M.function(F).hasAddressTaken());
+}
+
+TEST(IRBuilder, LinkProgramEntryIsIdempotent) {
+  Module M;
+  IRBuilder B(M);
+  B.addGlobal("g");
+  FunID Main = B.startFunction("main", {});
+  M.setMain(Main);
+  B.ret();
+  B.finishFunction();
+
+  linkProgramEntry(M);
+  uint32_t CallsBefore = 0;
+  for (InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == InstKind::Call)
+      ++CallsBefore;
+  linkProgramEntry(M);
+  uint32_t CallsAfter = 0;
+  for (InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == InstKind::Call)
+      ++CallsAfter;
+  EXPECT_EQ(CallsBefore, 1u);
+  EXPECT_EQ(CallsAfter, 1u);
+  EXPECT_EQ(programEntry(M), M.globalInit());
+}
+
+TEST(IRBuilder, ProgramEntryWithoutGlobalsIsMain) {
+  Module M;
+  IRBuilder B(M);
+  FunID Main = B.startFunction("main", {});
+  M.setMain(Main);
+  B.ret();
+  B.finishFunction();
+  linkProgramEntry(M);
+  EXPECT_EQ(programEntry(M), Main);
+}
+
+TEST(Verifier, CatchesDoubleDefinition) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("f", {});
+  VarID A = B.alloc("a", "ao");
+  B.copyTo(A, A); // Second definition of %a.
+  B.ret();
+  B.finishFunction();
+  auto Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("definitions"), std::string::npos);
+}
+
+TEST(Verifier, CatchesUseWithoutDef) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("f", {});
+  VarID Ghost = B.makeVar("ghost");
+  B.copy("c", Ghost);
+  B.ret();
+  B.finishFunction();
+  auto Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("never defined"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBranchToEntry) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("f", {});
+  B.alloc("a", "ao");
+  B.br(0); // Branch back to the entry block.
+  auto Errors = verifyModule(M);
+  bool Found = false;
+  for (const auto &E : Errors)
+    if (E.find("entry block") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Verifier, CatchesCrossFunctionVarUse) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("f", {});
+  VarID A = B.alloc("a", "ao");
+  B.ret();
+  B.finishFunction();
+  B.startFunction("g", {});
+  B.copy("c", A); // Uses f's local.
+  B.ret();
+  B.finishFunction();
+  auto Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("another function"), std::string::npos);
+}
+
+TEST(Printer, InstructionsRenderReadably) {
+  Module M;
+  IRBuilder B(M);
+  FunID Callee = M.makeFunction("callee");
+  B.startFunction("main", {"arg"});
+  VarID P = B.alloc("p", "obj", ObjKind::Heap, false, 3);
+  VarID Q = B.fieldAddr("q", P, 2);
+  B.store(Q, P);
+  VarID L = B.load("l", P);
+  VarID FP = B.funcAddr("fp", Callee);
+  B.callIndirect("r", FP, {L});
+  B.ret(L);
+  B.finishFunction();
+
+  std::string Text = printModule(M);
+  EXPECT_NE(Text.find("%p = alloc [heap] [fields=3]"), std::string::npos);
+  EXPECT_NE(Text.find("%q = field %p, 2"), std::string::npos);
+  EXPECT_NE(Text.find("store %q -> %p"), std::string::npos);
+  EXPECT_NE(Text.find("%l = load %p"), std::string::npos);
+  EXPECT_NE(Text.find("%fp = funcaddr @callee"), std::string::npos);
+  EXPECT_NE(Text.find("%r = call %fp(%l)"), std::string::npos);
+}

@@ -1,0 +1,99 @@
+//===- labelstore_test.cpp - Hash-consed label tests ------------*- C++ -*-===//
+
+#include "adt/LabelStore.h"
+
+#include "gtest/gtest.h"
+
+#include <random>
+#include <set>
+
+using namespace vsfs;
+using adt::EpsilonLabel;
+using adt::LabelID;
+using adt::LabelStore;
+
+TEST(LabelStore, EpsilonIsIdentity) {
+  LabelStore S;
+  LabelID A = S.singleton(3);
+  EXPECT_EQ(S.meld(A, EpsilonLabel), A);
+  EXPECT_EQ(S.meld(EpsilonLabel, A), A);
+  EXPECT_EQ(S.meld(EpsilonLabel, EpsilonLabel), EpsilonLabel);
+  EXPECT_TRUE(S.bits(EpsilonLabel).empty());
+}
+
+TEST(LabelStore, SingletonsAreInterned) {
+  LabelStore S;
+  EXPECT_EQ(S.singleton(5), S.singleton(5));
+  EXPECT_NE(S.singleton(5), S.singleton(6));
+  EXPECT_TRUE(S.bits(S.singleton(5)).test(5));
+  EXPECT_EQ(S.bits(S.singleton(5)).count(), 1u);
+}
+
+TEST(LabelStore, MeldIsIdempotent) {
+  LabelStore S;
+  LabelID A = S.singleton(1);
+  EXPECT_EQ(S.meld(A, A), A);
+}
+
+TEST(LabelStore, MeldIsCommutative) {
+  LabelStore S;
+  LabelID A = S.singleton(1), B = S.singleton(2);
+  EXPECT_EQ(S.meld(A, B), S.meld(B, A));
+}
+
+TEST(LabelStore, MeldIsAssociative) {
+  LabelStore S;
+  LabelID A = S.singleton(1), B = S.singleton(2), C = S.singleton(3);
+  EXPECT_EQ(S.meld(S.meld(A, B), C), S.meld(A, S.meld(B, C)));
+}
+
+TEST(LabelStore, MeldComputesUnions) {
+  LabelStore S;
+  LabelID AB = S.meld(S.singleton(1), S.singleton(2));
+  EXPECT_TRUE(S.bits(AB).test(1));
+  EXPECT_TRUE(S.bits(AB).test(2));
+  EXPECT_EQ(S.bits(AB).count(), 2u);
+}
+
+TEST(LabelStore, EqualSetsShareOneID) {
+  LabelStore S;
+  LabelID X = S.meld(S.singleton(1), S.singleton(2));
+  vsfs::adt::SparseBitVector Bits;
+  Bits.set(2);
+  Bits.set(1);
+  EXPECT_EQ(S.fromBits(Bits), X);
+  EXPECT_EQ(S.fromBits(vsfs::adt::SparseBitVector()), EpsilonLabel);
+}
+
+TEST(LabelStore, MemoisationCounts) {
+  LabelStore S;
+  LabelID A = S.singleton(1), B = S.singleton(2);
+  S.meld(A, B); // Miss.
+  uint64_t Misses = S.memoMisses();
+  S.meld(A, B); // Hit.
+  S.meld(B, A); // Hit (commutative normalisation).
+  EXPECT_EQ(S.memoMisses(), Misses);
+  EXPECT_GE(S.memoHits(), 2u);
+}
+
+TEST(LabelStore, RandomizedAgainstSetSemantics) {
+  std::mt19937 Rng(31);
+  LabelStore S;
+  // Pairs of (id, oracle set); repeatedly meld random pairs and compare.
+  std::vector<std::pair<LabelID, std::set<uint32_t>>> Pool;
+  for (uint32_t I = 0; I < 8; ++I)
+    Pool.push_back({S.singleton(I), {I}});
+  for (int Step = 0; Step < 500; ++Step) {
+    auto &[IdA, SetA] = Pool[Rng() % Pool.size()];
+    auto &[IdB, SetB] = Pool[Rng() % Pool.size()];
+    LabelID M = S.meld(IdA, IdB);
+    std::set<uint32_t> Expect = SetA;
+    Expect.insert(SetB.begin(), SetB.end());
+    std::set<uint32_t> Got;
+    for (uint32_t V : S.bits(M))
+      Got.insert(V);
+    ASSERT_EQ(Got, Expect);
+    if (Pool.size() < 64)
+      Pool.push_back({M, Expect});
+  }
+}

@@ -1,0 +1,323 @@
+//===- memssa_test.cpp - Memory SSA tests -----------------------*- C++ -*-===//
+
+#include "TestUtil.h"
+
+#include "memssa/MemSSA.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+using memssa::MemSSA;
+
+namespace {
+
+ir::ObjID findObj(const ir::Module &M, const std::string &Name) {
+  for (ir::ObjID O = 0; O < M.symbols().numObjects(); ++O)
+    if (M.symbols().object(O).Name == Name)
+      return O;
+  ADD_FAILURE() << "unknown object " << Name;
+  return ir::InvalidObj;
+}
+
+/// Finds the unique instruction of a kind in a function.
+ir::InstID findInst(const ir::Module &M, ir::InstKind Kind,
+                    const std::string &FunName, uint32_t Skip = 0) {
+  ir::FunID F = M.lookupFunction(FunName);
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == Kind && M.inst(I).Parent == F) {
+      if (Skip == 0)
+        return I;
+      --Skip;
+    }
+  ADD_FAILURE() << "no such instruction in " << FunName;
+  return ir::InvalidInst;
+}
+
+} // namespace
+
+TEST(MemSSA, StoreChiAndLoadMuSets) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %p = alloc
+      store %x -> %p
+      %y = load %p
+      ret %y
+    }
+  )");
+  auto &M = Ctx->module();
+  auto &SSA = Ctx->memSSA();
+  ir::InstID Store = findInst(M, ir::InstKind::Store, "main");
+  ir::InstID Load = findInst(M, ir::InstKind::Load, "main");
+  ir::ObjID PObj = findObj(M, "p.obj");
+  EXPECT_TRUE(SSA.chiObjs(Store).test(PObj));
+  EXPECT_EQ(SSA.chiObjs(Store).count(), 1u);
+  EXPECT_TRUE(SSA.muObjs(Load).test(PObj));
+}
+
+TEST(MemSSA, LoadReachesItsStoreDef) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %p = alloc
+      store %x -> %p
+      %y = load %p
+      ret %y
+    }
+  )");
+  auto &M = Ctx->module();
+  auto &SSA = Ctx->memSSA();
+  ir::InstID Store = findInst(M, ir::InstKind::Store, "main");
+  ir::InstID Load = findInst(M, ir::InstKind::Load, "main");
+  ir::ObjID PObj = findObj(M, "p.obj");
+
+  bool Found = false;
+  for (const MemSSA::Mu &U : SSA.mus()) {
+    if (U.Kind != MemSSA::MuKind::LoadMu || U.Inst != Load || U.Obj != PObj)
+      continue;
+    Found = true;
+    ASSERT_NE(U.Reaching, memssa::InvalidDef);
+    const MemSSA::Def &D = SSA.defs()[U.Reaching];
+    EXPECT_EQ(D.Kind, MemSSA::DefKind::StoreChi);
+    EXPECT_EQ(D.Inst, Store);
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(MemSSA, MemPhiAtJoin) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %z = alloc
+      %p = alloc
+      br l, r
+    l:
+      store %x -> %p
+      br join
+    r:
+      store %z -> %p
+      br join
+    join:
+      %y = load %p
+      ret %y
+    }
+  )");
+  auto &SSA = Ctx->memSSA();
+  auto &M = Ctx->module();
+  ir::ObjID PObj = findObj(M, "p.obj");
+  // One MemPhi for p.obj at the join, merging the two store chis.
+  uint32_t Phis = 0;
+  for (const MemSSA::Def &D : SSA.defs()) {
+    if (D.Kind != MemSSA::DefKind::MemPhi || D.Obj != PObj)
+      continue;
+    ++Phis;
+    EXPECT_EQ(D.PhiOperands.size(), 2u);
+    for (memssa::DefID Op : D.PhiOperands) {
+      ASSERT_NE(Op, memssa::InvalidDef);
+      EXPECT_EQ(SSA.defs()[Op].Kind, MemSSA::DefKind::StoreChi);
+    }
+  }
+  EXPECT_EQ(Phis, 1u);
+  // The load reaches the phi.
+  ir::InstID Load = findInst(M, ir::InstKind::Load, "main");
+  for (const MemSSA::Mu &U : SSA.mus())
+    if (U.Kind == MemSSA::MuKind::LoadMu && U.Inst == Load &&
+        U.Obj == PObj) {
+      EXPECT_EQ(SSA.defs()[U.Reaching].Kind, MemSSA::DefKind::MemPhi);
+    }
+}
+
+TEST(MemSSA, NoPhiWithoutJoinOfDefs) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %p = alloc
+      store %x -> %p
+      br l, r
+    l:
+      br join
+    r:
+      br join
+    join:
+      %y = load %p
+      ret %y
+    }
+  )");
+  // A single def before the branch needs no MemPhi (pruned SSA).
+  uint32_t Phis = 0;
+  for (const MemSSA::Def &D : Ctx->memSSA().defs())
+    if (D.Kind == MemSSA::DefKind::MemPhi)
+      ++Phis;
+  EXPECT_EQ(Phis, 0u);
+}
+
+TEST(MemSSA, ChiOperandChainsStores) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %z = alloc
+      %p = alloc [weak]
+      store %x -> %p
+      store %z -> %p
+      %y = load %p
+      ret %y
+    }
+  )");
+  auto &M = Ctx->module();
+  auto &SSA = Ctx->memSSA();
+  ir::InstID Store1 = findInst(M, ir::InstKind::Store, "main", 0);
+  ir::InstID Store2 = findInst(M, ir::InstKind::Store, "main", 1);
+  ir::ObjID PObj = findObj(M, "p.obj");
+  // The second store's chi operand is the first store's def.
+  for (const MemSSA::Def &D : SSA.defs()) {
+    if (D.Kind != MemSSA::DefKind::StoreChi || D.Inst != Store2 ||
+        D.Obj != PObj)
+      continue;
+    ASSERT_NE(D.Operand, memssa::InvalidDef);
+    EXPECT_EQ(SSA.defs()[D.Operand].Inst, Store1);
+  }
+}
+
+TEST(MemSSA, ModRefTransitiveOverCalls) {
+  auto Ctx = buildFromText(R"(
+    global @g
+    func @writer(%v) {
+    entry:
+      store %v -> @g
+      ret
+    }
+    func @outer(%v) {
+    entry:
+      call @writer(%v)
+      ret
+    }
+    func @reader() {
+    entry:
+      %r = load @g
+      ret %r
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      call @outer(%a)
+      %x = call @reader()
+      ret %x
+    }
+  )");
+  auto &M = Ctx->module();
+  auto &SSA = Ctx->memSSA();
+  ir::ObjID GObj = findObj(M, "g");
+  // Mod propagates writer -> outer -> main; Ref propagates reader -> main.
+  EXPECT_TRUE(SSA.modOf(M.lookupFunction("writer")).test(GObj));
+  EXPECT_TRUE(SSA.modOf(M.lookupFunction("outer")).test(GObj));
+  EXPECT_TRUE(SSA.modOf(M.lookupFunction("main")).test(GObj));
+  EXPECT_FALSE(SSA.modOf(M.lookupFunction("reader")).test(GObj));
+  EXPECT_TRUE(SSA.refOf(M.lookupFunction("reader")).test(GObj));
+  EXPECT_FALSE(SSA.refOf(M.lookupFunction("writer")).test(GObj));
+
+  // The call to @outer carries a chi for g; the call to @reader a mu.
+  ir::InstID CallOuter = findInst(M, ir::InstKind::Call, "main", 0);
+  ir::InstID CallReader = findInst(M, ir::InstKind::Call, "main", 1);
+  EXPECT_TRUE(SSA.chiObjs(CallOuter).test(GObj));
+  EXPECT_TRUE(SSA.muObjs(CallReader).test(GObj));
+  EXPECT_FALSE(SSA.chiObjs(CallReader).test(GObj));
+}
+
+TEST(MemSSA, EntryChiAndExitMu) {
+  auto Ctx = buildFromText(R"(
+    global @g
+    func @writer(%v) {
+    entry:
+      store %v -> @g
+      ret
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      call @writer(%a)
+      ret
+    }
+  )");
+  auto &M = Ctx->module();
+  auto &SSA = Ctx->memSSA();
+  ir::ObjID GObj = findObj(M, "g");
+  ir::FunID Writer = M.lookupFunction("writer");
+  // writer has an entry chi (g flows in: mod => mod∪ref) and an exit mu.
+  bool HasEntryChi = false, HasExitMu = false;
+  for (const MemSSA::Def &D : SSA.defs())
+    if (D.Kind == MemSSA::DefKind::EntryChi && D.Fun == Writer &&
+        D.Obj == GObj)
+      HasEntryChi = true;
+  for (const MemSSA::Mu &U : SSA.mus())
+    if (U.Kind == MemSSA::MuKind::ExitMu && U.Obj == GObj &&
+        M.inst(U.Inst).Parent == Writer)
+      HasExitMu = true;
+  EXPECT_TRUE(HasEntryChi);
+  EXPECT_TRUE(HasExitMu);
+}
+
+TEST(MemSSA, FunctionObjectsExcluded) {
+  auto Ctx = buildFromText(R"(
+    func @f() {
+    entry:
+      ret
+    }
+    func @main() {
+    entry:
+      %fp = funcaddr @f
+      %p = alloc
+      store %fp -> %p
+      %x = load %p
+      call @f()
+      ret %x
+    }
+  )");
+  auto &M = Ctx->module();
+  auto &SSA = Ctx->memSSA();
+  // No chi/mu ever names a function object.
+  for (const MemSSA::Def &D : SSA.defs())
+    EXPECT_FALSE(M.symbols().isFunctionObject(D.Obj));
+  for (const MemSSA::Mu &U : SSA.mus())
+    EXPECT_FALSE(M.symbols().isFunctionObject(U.Obj));
+}
+
+TEST(MemSSA, LoopStoreGetsPhiAtHeader) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %p = alloc [weak]
+      br loop
+    loop:
+      %v = load %p
+      store %x -> %p
+      br loop, out
+    out:
+      ret %v
+    }
+  )");
+  auto &M = Ctx->module();
+  auto &SSA = Ctx->memSSA();
+  ir::ObjID PObj = findObj(M, "p.obj");
+  // The loop header joins entry and back edge: one MemPhi for p.obj there,
+  // and the load in the loop reads that phi.
+  ir::InstID Load = findInst(M, ir::InstKind::Load, "main");
+  bool LoadReadsPhi = false;
+  for (const MemSSA::Mu &U : SSA.mus())
+    if (U.Kind == MemSSA::MuKind::LoadMu && U.Inst == Load && U.Obj == PObj)
+      LoadReadsPhi = SSA.defs()[U.Reaching].Kind == MemSSA::DefKind::MemPhi;
+  EXPECT_TRUE(LoadReadsPhi);
+}
+
+TEST(MemSSA, StatsArePopulated) {
+  workload::GenConfig C;
+  C.Seed = 11;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  EXPECT_GT(Ctx->memSSA().stats().lookup("defs"), 0u);
+  EXPECT_GT(Ctx->memSSA().stats().lookup("mus"), 0u);
+}

@@ -1,0 +1,124 @@
+//===- parser_robustness_test.cpp - Parser failure injection ----*- C++ -*-===//
+///
+/// Failure-injection property tests: valid programs are mutilated —
+/// truncated at arbitrary offsets, bytes flipped, tokens deleted — and the
+/// front end must degrade gracefully: the parser either succeeds or
+/// returns a diagnostic (never crashes or hangs); mutations that parse but
+/// break semantic rules (double definitions, missing labels, unterminated
+/// blocks) are caught by the verifier; and anything passing both stages
+/// must run through the whole analysis pipeline without incident.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <random>
+
+using namespace vsfs;
+using namespace vsfs::test;
+
+namespace {
+
+std::string validProgramText(uint64_t Seed) {
+  workload::GenConfig C;
+  C.Seed = Seed;
+  C.NumFunctions = 3;
+  C.NumGlobals = 3;
+  C.BlocksPerFunction = 3;
+  return ir::printModule(*workload::generateProgram(C));
+}
+
+/// Parses; failures must carry a diagnostic, and inputs passing both the
+/// parser and the verifier must survive the full pipeline.
+void expectGraceful(const std::string &Text) {
+  ir::Module M;
+  std::string Error;
+  if (!ir::parseModule(Text, M, Error)) {
+    EXPECT_FALSE(Error.empty()) << "failure must carry a diagnostic";
+    return;
+  }
+  if (!ir::verifyModule(M).empty())
+    return; // Semantically broken mutations stop at the verifier.
+  // Fully valid after mutation: the analyses must handle it.
+  core::AnalysisContext Ctx;
+  Ctx.module() = std::move(M);
+  Ctx.build();
+  core::VersionedFlowSensitive VSFS(Ctx.svfg());
+  VSFS.solve();
+}
+
+} // namespace
+
+TEST(ParserRobustness, EmptyAndTrivialInputs) {
+  expectGraceful("");
+  expectGraceful("\n\n\n");
+  expectGraceful("; only a comment\n");
+  expectGraceful("func");
+  expectGraceful("global");
+  expectGraceful("}{");
+  expectGraceful("func @f(");
+  expectGraceful("func @f() {");
+  expectGraceful("func @f() {\nentry:");
+  expectGraceful(std::string(1000, '%'));
+}
+
+TEST(ParserRobustness, BinaryGarbage) {
+  std::string Garbage;
+  std::mt19937 Rng(5);
+  for (int I = 0; I < 2048; ++I)
+    Garbage += static_cast<char>(Rng() % 255 + 1); // Avoid embedded NUL.
+  expectGraceful(Garbage);
+}
+
+class TruncationProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TruncationProperty, EveryPrefixParsesGracefully) {
+  std::string Text = validProgramText(GetParam());
+  // Sample prefixes densely near token boundaries, sparsely elsewhere.
+  for (size_t Cut = 0; Cut < Text.size(); Cut += 1 + Cut / 16)
+    expectGraceful(Text.substr(0, Cut));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruncationProperty, ::testing::Range(1u, 5u));
+
+class MutationProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MutationProperty, ByteFlipsParseGracefully) {
+  std::string Original = validProgramText(GetParam() + 100);
+  std::mt19937 Rng(GetParam() * 911);
+  const char Alphabet[] = "%@{}[]=,->0123456789abz_ \n";
+  for (int Round = 0; Round < 200; ++Round) {
+    std::string Text = Original;
+    // 1-3 random byte substitutions.
+    int Flips = 1 + Rng() % 3;
+    for (int F = 0; F < Flips; ++F)
+      Text[Rng() % Text.size()] =
+          Alphabet[Rng() % (sizeof(Alphabet) - 1)];
+    expectGraceful(Text);
+  }
+}
+
+TEST_P(MutationProperty, LineDeletionsParseGracefully) {
+  std::string Original = validProgramText(GetParam() + 200);
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Original) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  std::mt19937 Rng(GetParam() * 977);
+  for (int Round = 0; Round < 50; ++Round) {
+    size_t Drop = Rng() % Lines.size();
+    std::string Text;
+    for (size_t I = 0; I < Lines.size(); ++I)
+      if (I != Drop)
+        Text += Lines[I] + "\n";
+    expectGraceful(Text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationProperty, ::testing::Range(1u, 5u));

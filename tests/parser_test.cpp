@@ -1,0 +1,315 @@
+//===- parser_test.cpp - Textual IR parser tests ----------------*- C++ -*-===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace vsfs;
+using namespace vsfs::ir;
+
+namespace {
+
+/// Parses or fails the test with the parser's message.
+Module parseOK(const char *Text) {
+  Module M;
+  std::string Error;
+  EXPECT_TRUE(parseModule(Text, M, Error)) << Error;
+  auto Violations = verifyModule(M);
+  EXPECT_TRUE(Violations.empty()) << Violations.front();
+  return M;
+}
+
+std::string parseErr(const char *Text) {
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(parseModule(Text, M, Error));
+  return Error;
+}
+
+const Instruction *findInst(const Module &M, InstKind Kind, FunID F) {
+  for (InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == Kind && M.inst(I).Parent == F)
+      return &M.inst(I);
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Parser, MinimalFunction) {
+  Module M = parseOK(R"(
+    func @main() {
+    entry:
+      %p = alloc
+      ret %p
+    }
+  )");
+  EXPECT_EQ(M.numFunctions(), 1u);
+  EXPECT_EQ(M.main(), M.lookupFunction("main"));
+  const Function &Main = M.function(M.main());
+  EXPECT_EQ(M.inst(Main.Entry).Kind, InstKind::FunEntry);
+}
+
+TEST(Parser, AllInstructionKinds) {
+  Module M = parseOK(R"(
+    global @g [fields=2]
+    func @helper(%x) {
+    entry:
+      ret %x
+    }
+    func @main(%a, %b) {
+    entry:
+      %p = alloc [heap] [fields=4]
+      %c = copy %a
+      %f = field %p, 3
+      %l = load @g
+      store %c -> %p
+      %d = call @helper(%a)
+      %fp = funcaddr @helper
+      %e = call %fp(%b)
+      br next, done
+    next:
+      %m = phi %c, %d
+      ret %m
+    done:
+      ret %e
+    }
+  )");
+  FunID Main = M.lookupFunction("main");
+  EXPECT_NE(findInst(M, InstKind::Alloc, Main), nullptr);
+  EXPECT_NE(findInst(M, InstKind::Copy, Main), nullptr);
+  EXPECT_NE(findInst(M, InstKind::FieldAddr, Main), nullptr);
+  EXPECT_NE(findInst(M, InstKind::Load, Main), nullptr);
+  EXPECT_NE(findInst(M, InstKind::Store, Main), nullptr);
+  EXPECT_NE(findInst(M, InstKind::Phi, Main), nullptr);
+  const Instruction *Field = findInst(M, InstKind::FieldAddr, Main);
+  EXPECT_EQ(Field->fieldOffset(), 3u);
+}
+
+TEST(Parser, AllocAttributes) {
+  Module M = parseOK(R"(
+    func @main() {
+    entry:
+      %h = alloc [heap]
+      %w = alloc [weak]
+      %s = alloc
+      ret %s
+    }
+  )");
+  uint32_t Heap = 0, WeakStack = 0, SingletonStack = 0;
+  for (ObjID O = 0; O < M.symbols().numObjects(); ++O) {
+    const ObjInfo &Info = M.symbols().object(O);
+    if (Info.Kind == ObjKind::Heap) {
+      ++Heap;
+      EXPECT_FALSE(Info.Singleton) << "heap objects are never singletons";
+    } else if (Info.Kind == ObjKind::Stack) {
+      Info.Singleton ? ++SingletonStack : ++WeakStack;
+    }
+  }
+  EXPECT_EQ(Heap, 1u);
+  EXPECT_EQ(WeakStack, 1u);
+  EXPECT_EQ(SingletonStack, 1u);
+}
+
+TEST(Parser, GlobalInitializers) {
+  Module M = parseOK(R"(
+    global @table = @f, @g2
+    global @g2 [fields=3] [weak]
+    func @f(%x) {
+    entry:
+      ret %x
+    }
+    func @main() {
+    entry:
+      %p = load @table
+      ret %p
+    }
+  )");
+  // @table initialised with a function address and a later-declared global.
+  const Function &GI = M.function(M.globalInit());
+  uint32_t Stores = 0;
+  for (InstID I : GI.Blocks[0].Insts)
+    if (M.inst(I).Kind == InstKind::Store)
+      ++Stores;
+  EXPECT_EQ(Stores, 2u);
+}
+
+TEST(Parser, ForwardLocalReferencesInLoops) {
+  // %y is referenced by the phi before its definition (loop-carried).
+  Module M = parseOK(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      br loop
+    loop:
+      %x = phi %a, %y
+      %y = copy %x
+      br loop2
+    loop2:
+      br loop, done
+    done:
+      ret %x
+    }
+  )");
+  FunID Main = M.lookupFunction("main");
+  const Instruction *Phi = findInst(M, InstKind::Phi, Main);
+  ASSERT_NE(Phi, nullptr);
+  // Both phi operands resolve to defined variables.
+  for (VarID V : Phi->phiSrcs())
+    EXPECT_LT(V, M.symbols().numVars());
+}
+
+TEST(Parser, CallToMainGetsLinked) {
+  Module M = parseOK(R"(
+    global @g = @x
+    global @x
+    func @main() {
+    entry:
+      %v = load @g
+      ret %v
+    }
+  )");
+  // __global_init__ must call main so initialisation reaches it.
+  const Function &GI = M.function(M.globalInit());
+  bool CallsMain = false;
+  for (InstID I : GI.Blocks[0].Insts) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind == InstKind::Call && !Inst.isIndirectCall() &&
+        Inst.directCallee() == M.main())
+      CallsMain = true;
+  }
+  EXPECT_TRUE(CallsMain);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char *Text = R"(
+    global @g [fields=2] = @x
+    global @x
+    func @callee(%a) {
+    entry:
+      %r = load %a
+      ret %r
+    }
+    func @main(%argc) {
+    entry:
+      %p = alloc [heap]
+      store @x -> %p
+      %q = call @callee(%p)
+      br more, done
+    more:
+      %s = load %p
+      ret %s
+    done:
+      ret %q
+    }
+  )";
+  Module M1 = parseOK(Text);
+  std::string Printed = printModule(M1);
+  Module M2;
+  std::string Error;
+  ASSERT_TRUE(parseModule(Printed, M2, Error)) << Error << "\n" << Printed;
+  EXPECT_TRUE(verifyModule(M2).empty());
+  // Same shape: function count and instruction-kind histogram match.
+  EXPECT_EQ(M1.numFunctions(), M2.numFunctions());
+  auto Histogram = [](const Module &M) {
+    std::map<InstKind, uint32_t> H;
+    for (InstID I = 0; I < M.numInstructions(); ++I)
+      if (M.inst(I).Kind != InstKind::Phi) // Exit unification may add phis.
+        ++H[M.inst(I).Kind];
+    return H;
+  };
+  EXPECT_EQ(Histogram(M1), Histogram(M2));
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  std::string E = parseErr("func @f() {\nentry:\n  %p = bogus\n}");
+  EXPECT_NE(E.find("line 3"), std::string::npos);
+  EXPECT_NE(E.find("bogus"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnknownCallee) {
+  std::string E = parseErr(R"(
+    func @main() {
+    entry:
+      %r = call @nosuch()
+      ret %r
+    }
+  )");
+  EXPECT_NE(E.find("nosuch"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnknownGlobalOperand) {
+  std::string E = parseErr(R"(
+    func @main() {
+    entry:
+      %c = copy @missing
+      ret %c
+    }
+  )");
+  EXPECT_NE(E.find("missing"), std::string::npos);
+}
+
+TEST(Parser, ErrorDuplicateFunction) {
+  std::string E = parseErr("func @f() {\nentry:\n ret\n}\nfunc @f() {\nentry:\n ret\n}");
+  EXPECT_NE(E.find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, ErrorDuplicateGlobal) {
+  std::string E = parseErr("global @g\nglobal @g");
+  EXPECT_NE(E.find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, ErrorMissingTerminator) {
+  std::string E = parseErr(R"(
+    func @main() {
+    entry:
+      %p = alloc
+    }
+  )");
+  EXPECT_FALSE(E.empty());
+}
+
+TEST(Parser, ErrorZeroFields) {
+  std::string E = parseErr(R"(
+    func @main() {
+    entry:
+      %p = alloc [fields=0]
+      ret %p
+    }
+  )");
+  EXPECT_NE(E.find("field count"), std::string::npos);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  parseOK(R"(
+    ; leading comment
+    func @main() { ; trailing comment
+    entry:
+      ; a full-line comment
+      %p = alloc ; another
+      ret %p
+    }
+  )");
+}
+
+TEST(Parser, VoidReturnAndNoDstCall) {
+  Module M = parseOK(R"(
+    func @sub() {
+    entry:
+      ret
+    }
+    func @main() {
+    entry:
+      call @sub()
+      ret
+    }
+  )");
+  FunID Main = M.lookupFunction("main");
+  const Instruction *Call = findInst(M, InstKind::Call, Main);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->Dst, InvalidVar);
+  EXPECT_EQ(M.inst(M.function(Main).Exit).exitRet(), InvalidVar);
+}

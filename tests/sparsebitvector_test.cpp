@@ -1,0 +1,290 @@
+//===- sparsebitvector_test.cpp - SparseBitVector tests ---------*- C++ -*-===//
+///
+/// Unit tests plus parameterized property sweeps checking every operation
+/// against a std::set<uint32_t> oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/SparseBitVector.h"
+
+#include "gtest/gtest.h"
+
+#include <random>
+#include <set>
+
+using vsfs::adt::SparseBitVector;
+
+namespace {
+
+SparseBitVector fromList(std::initializer_list<uint32_t> Values) {
+  SparseBitVector S;
+  for (uint32_t V : Values)
+    S.set(V);
+  return S;
+}
+
+std::set<uint32_t> toSet(const SparseBitVector &S) {
+  std::set<uint32_t> Out;
+  for (uint32_t V : S)
+    Out.insert(V);
+  return Out;
+}
+
+} // namespace
+
+TEST(SparseBitVector, EmptyBasics) {
+  SparseBitVector S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_FALSE(S.test(0));
+  EXPECT_FALSE(S.test(12345));
+  EXPECT_EQ(S.begin(), S.end());
+}
+
+TEST(SparseBitVector, SetAndTest) {
+  SparseBitVector S;
+  EXPECT_TRUE(S.set(5));
+  EXPECT_FALSE(S.set(5)); // Already set.
+  EXPECT_TRUE(S.test(5));
+  EXPECT_FALSE(S.test(4));
+  EXPECT_EQ(S.count(), 1u);
+}
+
+TEST(SparseBitVector, SetAcrossElementBoundaries) {
+  SparseBitVector S;
+  // 128-bit elements: exercise word 0, word 1, and separate elements.
+  for (uint32_t V : {0u, 63u, 64u, 127u, 128u, 1000000u})
+    EXPECT_TRUE(S.set(V));
+  for (uint32_t V : {0u, 63u, 64u, 127u, 128u, 1000000u})
+    EXPECT_TRUE(S.test(V));
+  EXPECT_FALSE(S.test(1));
+  EXPECT_FALSE(S.test(129));
+  EXPECT_EQ(S.count(), 6u);
+}
+
+TEST(SparseBitVector, ResetRemovesAndPrunesElements) {
+  SparseBitVector S = fromList({7, 300});
+  EXPECT_TRUE(S.reset(7));
+  EXPECT_FALSE(S.reset(7));
+  EXPECT_FALSE(S.test(7));
+  EXPECT_TRUE(S.test(300));
+  EXPECT_TRUE(S.reset(300));
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.reset(9999)); // Never present.
+}
+
+TEST(SparseBitVector, ClearEmptiesEverything) {
+  SparseBitVector S = fromList({1, 2, 3, 500});
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+}
+
+TEST(SparseBitVector, IterationIsSortedAscending) {
+  SparseBitVector S = fromList({900, 5, 64, 63, 128, 0});
+  std::vector<uint32_t> Values;
+  for (uint32_t V : S)
+    Values.push_back(V);
+  EXPECT_EQ(Values, (std::vector<uint32_t>{0, 5, 63, 64, 128, 900}));
+}
+
+TEST(SparseBitVector, FindFirst) {
+  EXPECT_EQ(fromList({42}).findFirst(), 42u);
+  EXPECT_EQ(fromList({100, 7}).findFirst(), 7u);
+  EXPECT_EQ(fromList({64}).findFirst(), 64u); // Word-1 only element.
+  EXPECT_EQ(fromList({70, 65}).findFirst(), 65u);
+}
+
+TEST(SparseBitVector, UnionWith) {
+  SparseBitVector A = fromList({1, 200});
+  SparseBitVector B = fromList({2, 200, 4000});
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_EQ(toSet(A), (std::set<uint32_t>{1, 2, 200, 4000}));
+  // Union with a subset changes nothing.
+  EXPECT_FALSE(A.unionWith(B));
+  EXPECT_FALSE(A.unionWith(A));
+}
+
+TEST(SparseBitVector, UnionWithEmpty) {
+  SparseBitVector A = fromList({3});
+  SparseBitVector Empty;
+  EXPECT_FALSE(A.unionWith(Empty));
+  EXPECT_TRUE(Empty.unionWith(A));
+  EXPECT_EQ(toSet(Empty), (std::set<uint32_t>{3}));
+}
+
+TEST(SparseBitVector, IntersectWith) {
+  SparseBitVector A = fromList({1, 2, 3, 300});
+  SparseBitVector B = fromList({2, 300, 400});
+  EXPECT_TRUE(A.intersectWith(B));
+  EXPECT_EQ(toSet(A), (std::set<uint32_t>{2, 300}));
+  EXPECT_FALSE(A.intersectWith(B)); // Already the intersection.
+}
+
+TEST(SparseBitVector, IntersectToEmpty) {
+  SparseBitVector A = fromList({1});
+  SparseBitVector B = fromList({2});
+  EXPECT_TRUE(A.intersectWith(B));
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(SparseBitVector, IntersectWithComplement) {
+  SparseBitVector A = fromList({1, 2, 3, 130});
+  SparseBitVector Kill = fromList({2, 130, 999});
+  EXPECT_TRUE(A.intersectWithComplement(Kill));
+  EXPECT_EQ(toSet(A), (std::set<uint32_t>{1, 3}));
+  EXPECT_FALSE(A.intersectWithComplement(Kill));
+}
+
+TEST(SparseBitVector, Contains) {
+  SparseBitVector A = fromList({1, 2, 3, 500});
+  EXPECT_TRUE(A.contains(fromList({1, 500})));
+  EXPECT_TRUE(A.contains(SparseBitVector()));
+  EXPECT_FALSE(A.contains(fromList({1, 4})));
+  EXPECT_FALSE(fromList({1}).contains(A));
+}
+
+TEST(SparseBitVector, Intersects) {
+  EXPECT_TRUE(fromList({1, 2}).intersects(fromList({2, 3})));
+  EXPECT_FALSE(fromList({1, 2}).intersects(fromList({3, 4})));
+  EXPECT_FALSE(fromList({1}).intersects(SparseBitVector()));
+  EXPECT_TRUE(fromList({1000}).intersects(fromList({1000})));
+}
+
+TEST(SparseBitVector, EqualityAndHash) {
+  SparseBitVector A = fromList({1, 64, 129});
+  SparseBitVector B = fromList({129, 1, 64});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.set(2);
+  EXPECT_NE(A, B);
+}
+
+TEST(SparseBitVector, CopyAndMoveSemantics) {
+  SparseBitVector A = fromList({5, 600});
+  SparseBitVector Copy(A);
+  EXPECT_EQ(Copy, A);
+  Copy.set(7);
+  EXPECT_FALSE(A.test(7)); // Deep copy.
+
+  SparseBitVector Moved(std::move(Copy));
+  EXPECT_TRUE(Moved.test(7));
+  EXPECT_TRUE(Moved.test(600));
+
+  SparseBitVector Assigned;
+  Assigned = A;
+  EXPECT_EQ(Assigned, A);
+  Assigned = std::move(Moved);
+  EXPECT_TRUE(Assigned.test(7));
+}
+
+TEST(SparseBitVector, MemoryAccounting) {
+  uint64_t Before = vsfs::PointsToBytes::live();
+  {
+    SparseBitVector S;
+    for (uint32_t I = 0; I < 1000; ++I)
+      S.set(I * 256); // One element per bit: forces real storage.
+    EXPECT_GT(vsfs::PointsToBytes::live(), Before);
+  }
+  // Destruction releases every accounted byte.
+  EXPECT_EQ(vsfs::PointsToBytes::live(), Before);
+}
+
+// --- Property sweeps against a std::set oracle ---------------------------
+
+class SparseBitVectorProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SparseBitVectorProperty, MatchesSetOracle) {
+  std::mt19937 Rng(GetParam());
+  SparseBitVector S;
+  std::set<uint32_t> Oracle;
+  // Mixed universe: clustered small values and sparse large ones.
+  auto Draw = [&Rng]() {
+    uint32_t Roll = Rng() % 3;
+    if (Roll == 0)
+      return Rng() % 64;
+    if (Roll == 1)
+      return Rng() % 4096;
+    return Rng() % 1000000;
+  };
+  for (int Step = 0; Step < 2000; ++Step) {
+    uint32_t V = Draw();
+    switch (Rng() % 3) {
+    case 0:
+      EXPECT_EQ(S.set(V), Oracle.insert(V).second);
+      break;
+    case 1:
+      EXPECT_EQ(S.reset(V), Oracle.erase(V) > 0);
+      break;
+    case 2:
+      EXPECT_EQ(S.test(V), Oracle.count(V) > 0);
+      break;
+    }
+  }
+  EXPECT_EQ(toSet(S), Oracle);
+  EXPECT_EQ(S.count(), Oracle.size());
+  if (!Oracle.empty()) {
+    EXPECT_EQ(S.findFirst(), *Oracle.begin());
+  }
+}
+
+TEST_P(SparseBitVectorProperty, BinaryOpsMatchSetOracle) {
+  std::mt19937 Rng(GetParam() * 7919 + 13);
+  auto Random = [&Rng]() {
+    SparseBitVector S;
+    std::set<uint32_t> O;
+    uint32_t N = Rng() % 200;
+    for (uint32_t I = 0; I < N; ++I) {
+      uint32_t V = Rng() % 2048;
+      S.set(V);
+      O.insert(V);
+    }
+    return std::make_pair(S, O);
+  };
+
+  for (int Round = 0; Round < 20; ++Round) {
+    auto [A, OA] = Random();
+    auto [B, OB] = Random();
+
+    SparseBitVector U = A;
+    U.unionWith(B);
+    std::set<uint32_t> OU = OA;
+    OU.insert(OB.begin(), OB.end());
+    EXPECT_EQ(toSet(U), OU);
+
+    SparseBitVector I = A;
+    I.intersectWith(B);
+    std::set<uint32_t> OI;
+    for (uint32_t V : OA)
+      if (OB.count(V))
+        OI.insert(V);
+    EXPECT_EQ(toSet(I), OI);
+
+    SparseBitVector D = A;
+    D.intersectWithComplement(B);
+    std::set<uint32_t> OD;
+    for (uint32_t V : OA)
+      if (!OB.count(V))
+        OD.insert(V);
+    EXPECT_EQ(toSet(D), OD);
+
+    EXPECT_EQ(A.contains(B), std::includes(OA.begin(), OA.end(), OB.begin(),
+                                           OB.end()));
+    EXPECT_EQ(A.intersects(B), !OI.empty());
+
+    // Algebra required of the meld operator (§IV-B): union is commutative,
+    // associative, idempotent with the empty set as identity.
+    SparseBitVector BA = B;
+    BA.unionWith(A);
+    EXPECT_EQ(U, BA);
+    SparseBitVector Idem = A;
+    Idem.unionWith(A);
+    EXPECT_EQ(Idem, A);
+    SparseBitVector Ident = A;
+    Ident.unionWith(SparseBitVector());
+    EXPECT_EQ(Ident, A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseBitVectorProperty,
+                         ::testing::Range(1u, 13u));

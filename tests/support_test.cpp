@@ -1,0 +1,123 @@
+//===- support_test.cpp - support library tests -----------------*- C++ -*-===//
+
+#include "support/Format.h"
+#include "support/MemUsage.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include "gtest/gtest.h"
+
+using namespace vsfs;
+
+TEST(StatGroup, StartsEmpty) {
+  StatGroup S("g");
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.lookup("missing"), 0u);
+}
+
+TEST(StatGroup, GetCreatesAndMutates) {
+  StatGroup S;
+  S.get("a") = 3;
+  ++S.get("a");
+  EXPECT_EQ(S.lookup("a"), 4u);
+  S.add("a", 6);
+  EXPECT_EQ(S.lookup("a"), 10u);
+}
+
+TEST(StatGroup, MaxKeepsLargest) {
+  StatGroup S;
+  S.max("peak", 5);
+  S.max("peak", 3);
+  EXPECT_EQ(S.lookup("peak"), 5u);
+  S.max("peak", 9);
+  EXPECT_EQ(S.lookup("peak"), 9u);
+}
+
+TEST(StatGroup, IteratesInNameOrder) {
+  StatGroup S;
+  S.get("zz") = 1;
+  S.get("aa") = 2;
+  S.get("mm") = 3;
+  std::vector<std::string> Keys;
+  for (const auto &[K, V] : S)
+    Keys.push_back(K);
+  EXPECT_EQ(Keys, (std::vector<std::string>{"aa", "mm", "zz"}));
+}
+
+TEST(StatGroup, ToStringContainsEntries) {
+  StatGroup S("solver");
+  S.get("visits") = 42;
+  std::string Text = S.toString();
+  EXPECT_NE(Text.find("solver"), std::string::npos);
+  EXPECT_NE(Text.find("visits"), std::string::npos);
+  EXPECT_NE(Text.find("42"), std::string::npos);
+}
+
+TEST(Format, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(1.0, 0), "1");
+  EXPECT_EQ(formatDouble(0.5, 3), "0.500");
+}
+
+TEST(Format, FormatBytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(formatBytes(uint64_t(3) * 1024 * 1024 * 1024), "3.00 GiB");
+}
+
+TEST(Format, FormatRatio) {
+  EXPECT_EQ(formatRatio(5.309), "5.31x");
+  EXPECT_EQ(formatRatio(std::numeric_limits<double>::infinity()), "-");
+}
+
+TEST(Format, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(geometricMean({2.0, 2.0, 2.0}), 2.0);
+  // Non-positive entries are ignored (the paper ignores missing rows).
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0, 0.0, -3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(Format, TableWriterAlignment) {
+  TableWriter T({-6, 4});
+  std::string Row = T.row({"abc", "9"});
+  EXPECT_EQ(Row, "abc        9\n"); // 6-wide left, 2 sep, 4-wide right
+  EXPECT_EQ(T.separator().size(), 13u); // 6 + 2 + 4 columns + newline.
+}
+
+TEST(Timer, MeasuresSomethingNonNegative) {
+  Timer T;
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + I;
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+TEST(ScopedTimer, Accumulates) {
+  double Acc = 0;
+  {
+    ScopedTimer S(Acc);
+  }
+  {
+    ScopedTimer S(Acc);
+  }
+  EXPECT_GE(Acc, 0.0);
+}
+
+TEST(MemUsage, PeakRSSIsPositive) { EXPECT_GT(peakRSSBytes(), 0u); }
+
+TEST(MemUsage, PointsToBytesTracksRetainRelease) {
+  uint64_t Before = PointsToBytes::live();
+  PointsToBytes::retain(1000);
+  EXPECT_EQ(PointsToBytes::live(), Before + 1000);
+  EXPECT_GE(PointsToBytes::peak(), Before + 1000);
+  PointsToBytes::release(1000);
+  EXPECT_EQ(PointsToBytes::live(), Before);
+}
+
+TEST(MemUsage, ResetPeakDropsToLive) {
+  PointsToBytes::retain(500);
+  PointsToBytes::resetPeak();
+  EXPECT_EQ(PointsToBytes::peak(), PointsToBytes::live());
+  PointsToBytes::release(500);
+}

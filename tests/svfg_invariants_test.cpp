@@ -1,0 +1,155 @@
+//===- svfg_invariants_test.cpp - SVFG well-formedness ----------*- C++ -*-===//
+///
+/// Structural invariants of the built SVFG, checked over generated
+/// programs in both call-graph wiring modes:
+///
+///  - every indirect edge's object is annotated on both endpoints in the
+///    roles the edge implies (the source defines/forwards it, the
+///    destination uses/receives it);
+///  - chi/mu/phi nodes carry exactly one object and all of their edges are
+///    for it;
+///  - loads have no outgoing indirect edges (they define nothing);
+///  - direct edges respect def-use: the source defines a variable the
+///    destination uses;
+///  - no duplicate indirect edges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <set>
+
+using namespace vsfs;
+using namespace vsfs::test;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+namespace {
+
+/// The objects node \p N may forward along outgoing indirect edges.
+bool mayForwardObject(core::AnalysisContext &Ctx, NodeID N,
+                      ir::ObjID Obj) {
+  const auto &G = Ctx.svfg();
+  const auto &M = Ctx.module();
+  const svfg::Node &Node = G.node(N);
+  switch (Node.Kind) {
+  case NodeKind::Inst: {
+    const ir::Instruction &Inst = M.inst(Node.Inst);
+    // Only stores define objects among plain instructions.
+    return Inst.Kind == ir::InstKind::Store &&
+           Ctx.memSSA().chiObjs(Node.Inst).test(Obj);
+  }
+  case NodeKind::EntryChi:
+  case NodeKind::ExitMu:
+  case NodeKind::CallMu:
+  case NodeKind::CallChi:
+  case NodeKind::MemPhi:
+    return Node.Obj == Obj;
+  }
+  return false;
+}
+
+/// The objects node \p N may receive along incoming indirect edges.
+bool mayReceiveObject(core::AnalysisContext &Ctx, NodeID N,
+                      ir::ObjID Obj) {
+  const auto &G = Ctx.svfg();
+  const auto &M = Ctx.module();
+  const svfg::Node &Node = G.node(N);
+  switch (Node.Kind) {
+  case NodeKind::Inst: {
+    const ir::Instruction &Inst = M.inst(Node.Inst);
+    if (Inst.Kind == ir::InstKind::Load)
+      return Ctx.memSSA().muObjs(Node.Inst).test(Obj);
+    if (Inst.Kind == ir::InstKind::Store)
+      return Ctx.memSSA().chiObjs(Node.Inst).test(Obj); // Weak-update path.
+    return false;
+  }
+  case NodeKind::EntryChi:
+  case NodeKind::ExitMu:
+  case NodeKind::CallMu:
+  case NodeKind::CallChi:
+  case NodeKind::MemPhi:
+    return Node.Obj == Obj;
+  }
+  return false;
+}
+
+} // namespace
+
+class SVFGInvariants : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SVFGInvariants, IndirectEdgesAreRoleConsistent) {
+  workload::GenConfig C;
+  C.Seed = GetParam() * 97 + 13;
+  C.NumFunctions = 3 + GetParam() % 8;
+  C.NumGlobals = GetParam() % 7;
+  C.IndirectCallFraction = (GetParam() % 3) * 0.3;
+  bool AuxWiring = GetParam() % 2 == 0;
+  auto Ctx = buildFromConfig(C, AuxWiring);
+  ASSERT_NE(Ctx, nullptr);
+  const auto &G = Ctx->svfg();
+
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    std::set<std::pair<NodeID, ir::ObjID>> SeenEdges;
+    for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+      EXPECT_TRUE(mayForwardObject(*Ctx, N, E.Obj))
+          << "node " << N << " forwards an object it never defines";
+      EXPECT_TRUE(mayReceiveObject(*Ctx, E.Dst, E.Obj))
+          << "node " << E.Dst << " receives an object it never uses";
+      EXPECT_TRUE(SeenEdges.emplace(E.Dst, E.Obj).second)
+          << "duplicate indirect edge";
+    }
+  }
+}
+
+TEST_P(SVFGInvariants, LoadsDefineNothing) {
+  workload::GenConfig C;
+  C.Seed = GetParam() * 89 + 7;
+  C.NumFunctions = 4;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  const auto &G = Ctx->svfg();
+  const auto &M = Ctx->module();
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    if (G.node(N).Kind != NodeKind::Inst)
+      continue;
+    if (M.inst(G.node(N).Inst).Kind == ir::InstKind::Load) {
+      EXPECT_TRUE(G.indirectSuccs(N).empty())
+          << "load nodes must not source indirect edges";
+    }
+  }
+}
+
+TEST_P(SVFGInvariants, DirectEdgesRespectDefUse) {
+  workload::GenConfig C;
+  C.Seed = GetParam() * 83 + 3;
+  C.NumFunctions = 4;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  const auto &G = Ctx->svfg();
+  const auto &M = Ctx->module();
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    if (G.node(N).Kind != NodeKind::Inst)
+      continue;
+    const ir::Instruction &Def = M.inst(G.node(N).Inst);
+    // Variables this node defines.
+    std::set<ir::VarID> Defined;
+    if (Def.definesVar())
+      Defined.insert(Def.Dst);
+    if (Def.Kind == ir::InstKind::FunEntry)
+      for (ir::VarID P : Def.entryParams())
+        Defined.insert(P);
+    for (NodeID S : G.directSuccs(N)) {
+      ASSERT_EQ(G.node(S).Kind, NodeKind::Inst);
+      std::vector<ir::VarID> Uses;
+      ir::collectUsedVars(M.inst(G.node(S).Inst), Uses);
+      bool UsesDefined = false;
+      for (ir::VarID U : Uses)
+        UsesDefined |= Defined.count(U) > 0;
+      EXPECT_TRUE(UsesDefined)
+          << "direct edge to a node that uses none of the defined vars";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SVFGInvariants, ::testing::Range(1u, 13u));

@@ -1,0 +1,299 @@
+//===- svfg_test.cpp - Sparse value-flow graph tests ------------*- C++ -*-===//
+
+#include "TestUtil.h"
+
+#include "svfg/SVFG.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+using svfg::NodeID;
+using svfg::NodeKind;
+using svfg::SVFG;
+
+namespace {
+
+ir::ObjID findObj(const ir::Module &M, const std::string &Name) {
+  for (ir::ObjID O = 0; O < M.symbols().numObjects(); ++O)
+    if (M.symbols().object(O).Name == Name)
+      return O;
+  ADD_FAILURE() << "unknown object " << Name;
+  return ir::InvalidObj;
+}
+
+ir::InstID findInst(const ir::Module &M, ir::InstKind Kind,
+                    const std::string &FunName) {
+  ir::FunID F = M.lookupFunction(FunName);
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == Kind && M.inst(I).Parent == F)
+      return I;
+  ADD_FAILURE() << "no such instruction in " << FunName;
+  return ir::InvalidInst;
+}
+
+bool hasIndirectEdge(const SVFG &G, NodeID From, NodeID To, ir::ObjID Obj) {
+  for (const svfg::IndEdge &E : G.indirectSuccs(From))
+    if (E.Dst == To && E.Obj == Obj)
+      return true;
+  return false;
+}
+
+bool hasDirectEdge(const SVFG &G, NodeID From, NodeID To) {
+  for (NodeID S : G.directSuccs(From))
+    if (S == To)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(SVFG, InstructionNodesShareInstIDs) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      ret %a
+    }
+  )");
+  auto &G = Ctx->svfg();
+  auto &M = Ctx->module();
+  ASSERT_GE(G.numNodes(), M.numInstructions());
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    EXPECT_EQ(G.node(I).Kind, NodeKind::Inst);
+    EXPECT_EQ(G.node(I).Inst, I);
+  }
+}
+
+TEST(SVFG, DirectDefUseEdges) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %a = alloc
+      %b = copy %a
+      %c = copy %b
+      ret %c
+    }
+  )");
+  auto &G = Ctx->svfg();
+  auto &M = Ctx->module();
+  ir::InstID AllocI = findInst(M, ir::InstKind::Alloc, "main");
+  // alloc defines %a; the copy using %a is its direct successor.
+  bool Found = false;
+  for (NodeID S : G.directSuccs(G.instNode(AllocI))) {
+    const ir::Instruction &Use = M.inst(G.node(S).Inst);
+    if (Use.Kind == ir::InstKind::Copy && Use.copySrc() == M.inst(AllocI).Dst)
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(SVFG, StoreToLoadIndirectEdge) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %p = alloc
+      store %x -> %p
+      %y = load %p
+      ret %y
+    }
+  )");
+  auto &G = Ctx->svfg();
+  auto &M = Ctx->module();
+  ir::InstID Store = findInst(M, ir::InstKind::Store, "main");
+  ir::InstID Load = findInst(M, ir::InstKind::Load, "main");
+  EXPECT_TRUE(hasIndirectEdge(G, G.instNode(Store), G.instNode(Load),
+                              findObj(M, "p.obj")));
+}
+
+TEST(SVFG, ParamReturnDirectFlow) {
+  auto Ctx = buildFromText(R"(
+    func @id(%x) {
+    entry:
+      ret %x
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      %r = call @id(%a)
+      ret %r
+    }
+  )");
+  auto &G = Ctx->svfg();
+  auto &M = Ctx->module();
+  // The callee's FunEntry defines %x; FunExit uses it: a direct edge.
+  const ir::Function &Id = M.function(M.lookupFunction("id"));
+  EXPECT_TRUE(hasDirectEdge(G, G.instNode(Id.Entry), G.instNode(Id.Exit)));
+  // The alloc defining %a feeds the call node (its argument use).
+  ir::InstID AllocI = findInst(M, ir::InstKind::Alloc, "main");
+  ir::InstID Call = findInst(M, ir::InstKind::Call, "main");
+  EXPECT_TRUE(hasDirectEdge(G, G.instNode(AllocI), G.instNode(Call)));
+}
+
+TEST(SVFG, InterproceduralObjectFlow) {
+  auto Ctx = buildFromText(R"(
+    global @g
+    func @writer(%v) {
+    entry:
+      store %v -> @g
+      ret
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      call @writer(%a)
+      %x = load @g
+      ret %x
+    }
+  )");
+  auto &G = Ctx->svfg();
+  auto &M = Ctx->module();
+  ir::ObjID GObj = findObj(M, "g");
+  ir::FunID Writer = M.lookupFunction("writer");
+  ir::InstID Call = findInst(M, ir::InstKind::Call, "main");
+
+  // CallMu(call, g) -> EntryChi(writer, g); ExitMu(writer, g) -> CallChi.
+  NodeID CallMu = G.callMuNode(Call, GObj);
+  NodeID CallChi = G.callChiNode(Call, GObj);
+  NodeID EntryChi = G.entryChiNode(Writer, GObj);
+  NodeID ExitMu = G.exitMuNode(Writer, GObj);
+  ASSERT_NE(CallMu, svfg::InvalidNode);
+  ASSERT_NE(CallChi, svfg::InvalidNode);
+  ASSERT_NE(EntryChi, svfg::InvalidNode);
+  ASSERT_NE(ExitMu, svfg::InvalidNode);
+  EXPECT_TRUE(hasIndirectEdge(G, CallMu, EntryChi, GObj));
+  EXPECT_TRUE(hasIndirectEdge(G, ExitMu, CallChi, GObj));
+  // Inside the callee: entry chi -> store, store -> exit mu.
+  ir::InstID Store = findInst(M, ir::InstKind::Store, "writer");
+  EXPECT_TRUE(hasIndirectEdge(G, EntryChi, G.instNode(Store), GObj));
+  EXPECT_TRUE(hasIndirectEdge(G, G.instNode(Store), ExitMu, GObj));
+  // After the call, the load reads the call chi.
+  ir::InstID Load = findInst(M, ir::InstKind::Load, "main");
+  EXPECT_TRUE(hasIndirectEdge(G, CallChi, G.instNode(Load), GObj));
+}
+
+TEST(SVFG, IndirectCallsNotWiredInOTFMode) {
+  const char *Prog = R"(
+    global @g
+    func @writer(%v) {
+    entry:
+      store %v -> @g
+      ret
+    }
+    func @main() {
+    entry:
+      %a = alloc
+      %fp = funcaddr @writer
+      call %fp(%a)
+      %x = load @g
+      ret %x
+    }
+  )";
+  // OTF mode: the call-mu/entry-chi edge is absent until a solver adds it.
+  auto CtxOTF = buildFromText(Prog, /*ConnectAuxIndirectCalls=*/false);
+  {
+    auto &G = CtxOTF->svfg();
+    auto &M = CtxOTF->module();
+    ir::ObjID GObj = findObj(M, "g");
+    ir::InstID Call = findInst(M, ir::InstKind::Call, "main");
+    NodeID CallMu = G.callMuNode(Call, GObj);
+    NodeID EntryChi = G.entryChiNode(M.lookupFunction("writer"), GObj);
+    ASSERT_NE(CallMu, svfg::InvalidNode);
+    ASSERT_NE(EntryChi, svfg::InvalidNode);
+    EXPECT_FALSE(hasIndirectEdge(G, CallMu, EntryChi, GObj));
+
+    // connectCallEdge adds it exactly once.
+    std::vector<std::pair<NodeID, svfg::IndEdge>> Added;
+    G.connectCallEdge(Call, M.lookupFunction("writer"), Added);
+    EXPECT_FALSE(Added.empty());
+    EXPECT_TRUE(hasIndirectEdge(G, CallMu, EntryChi, GObj));
+    Added.clear();
+    G.connectCallEdge(Call, M.lookupFunction("writer"), Added);
+    EXPECT_TRUE(Added.empty());
+  }
+  // Aux mode: wired eagerly.
+  auto CtxAux = buildFromText(Prog, /*ConnectAuxIndirectCalls=*/true);
+  {
+    auto &G = CtxAux->svfg();
+    auto &M = CtxAux->module();
+    ir::ObjID GObj = findObj(M, "g");
+    ir::InstID Call = findInst(M, ir::InstKind::Call, "main");
+    EXPECT_TRUE(hasIndirectEdge(G, G.callMuNode(Call, GObj),
+                                G.entryChiNode(M.lookupFunction("writer"),
+                                               GObj),
+                                GObj));
+  }
+}
+
+TEST(SVFG, MemPhiNodeAtJoin) {
+  auto Ctx = buildFromText(R"(
+    func @main() {
+    entry:
+      %x = alloc
+      %z = alloc
+      %p = alloc
+      br l, r
+    l:
+      store %x -> %p
+      br join
+    r:
+      store %z -> %p
+      br join
+    join:
+      %y = load %p
+      ret %y
+    }
+  )");
+  auto &G = Ctx->svfg();
+  auto &M = Ctx->module();
+  ir::ObjID PObj = findObj(M, "p.obj");
+  // Find the MemPhi node; both stores feed it; it feeds the load.
+  NodeID Phi = svfg::InvalidNode;
+  for (NodeID N = 0; N < G.numNodes(); ++N)
+    if (G.node(N).Kind == NodeKind::MemPhi && G.node(N).Obj == PObj)
+      Phi = N;
+  ASSERT_NE(Phi, svfg::InvalidNode);
+  ir::InstID Load = findInst(M, ir::InstKind::Load, "main");
+  EXPECT_TRUE(hasIndirectEdge(G, Phi, G.instNode(Load), PObj));
+  uint32_t StoreFeeds = 0;
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == ir::InstKind::Store &&
+        hasIndirectEdge(G, G.instNode(I), Phi, PObj))
+      ++StoreFeeds;
+  EXPECT_EQ(StoreFeeds, 2u);
+}
+
+TEST(SVFG, EdgeCountsAreConsistent) {
+  workload::GenConfig C;
+  C.Seed = 21;
+  C.NumFunctions = 8;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  auto &G = Ctx->svfg();
+  uint64_t Direct = 0, Indirect = 0;
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    Direct += G.directSuccs(N).size();
+    Indirect += G.indirectSuccs(N).size();
+  }
+  EXPECT_EQ(Direct, G.numDirectEdges());
+  EXPECT_EQ(Indirect, G.numIndirectEdges());
+  EXPECT_GT(Direct, 0u);
+  EXPECT_GT(Indirect, 0u);
+}
+
+TEST(SVFG, ChiMuNodesCarryTheirObject) {
+  workload::GenConfig C;
+  C.Seed = 33;
+  C.NumFunctions = 6;
+  auto Ctx = buildFromConfig(C, /*ConnectAuxIndirectCalls=*/true);
+  ASSERT_NE(Ctx, nullptr);
+  auto &G = Ctx->svfg();
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    const svfg::Node &Node = G.node(N);
+    if (Node.Kind == NodeKind::Inst)
+      continue;
+    EXPECT_NE(Node.Obj, ir::InvalidObj);
+    // Every edge out of a chi/mu/phi node carries that node's object.
+    for (const svfg::IndEdge &E : G.indirectSuccs(N))
+      EXPECT_EQ(E.Obj, Node.Obj);
+  }
+}

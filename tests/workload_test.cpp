@@ -1,0 +1,165 @@
+//===- workload_test.cpp - Generator and suite tests ------------*- C++ -*-===//
+
+#include "TestUtil.h"
+
+#include "ir/Printer.h"
+#include "workload/BenchmarkSuite.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+using namespace vsfs::workload;
+
+TEST(ProgramGenerator, ProducesVerifiedModules) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    C.NumFunctions = Seed % 7;
+    C.NumGlobals = Seed % 5;
+    auto M = generateProgram(C);
+    auto Violations = ir::verifyModule(*M);
+    EXPECT_TRUE(Violations.empty())
+        << "seed " << Seed << ": " << Violations.front();
+  }
+}
+
+TEST(ProgramGenerator, IsDeterministic) {
+  GenConfig C;
+  C.Seed = 123;
+  C.NumFunctions = 6;
+  auto M1 = generateProgram(C);
+  auto M2 = generateProgram(C);
+  EXPECT_EQ(ir::printModule(*M1), ir::printModule(*M2));
+}
+
+TEST(ProgramGenerator, SeedChangesProgram) {
+  GenConfig A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  EXPECT_NE(ir::printModule(*generateProgram(A)),
+            ir::printModule(*generateProgram(B)));
+}
+
+TEST(ProgramGenerator, ScalesWithConfig) {
+  GenConfig Small, Large;
+  Small.NumFunctions = 2;
+  Small.BlocksPerFunction = 2;
+  Small.InstsPerBlock = 3;
+  Large.NumFunctions = 30;
+  Large.BlocksPerFunction = 6;
+  Large.InstsPerBlock = 8;
+  EXPECT_LT(generateProgram(Small)->numInstructions(),
+            generateProgram(Large)->numInstructions());
+}
+
+TEST(ProgramGenerator, EmitsRequestedFeatures) {
+  GenConfig C;
+  C.Seed = 5;
+  C.NumFunctions = 10;
+  C.NumGlobals = 9;
+  C.IndirectCallFraction = 0.8;
+  C.HeapFraction = 0.9;
+  auto M = generateProgram(C);
+  uint32_t Heap = 0, Indirect = 0, Stores = 0, Loads = 0, Phis = 0,
+           Fields = 0;
+  for (ir::InstID I = 0; I < M->numInstructions(); ++I) {
+    const ir::Instruction &Inst = M->inst(I);
+    switch (Inst.Kind) {
+    case ir::InstKind::Alloc:
+      if (M->symbols().object(Inst.allocObject()).Kind == ir::ObjKind::Heap)
+        ++Heap;
+      break;
+    case ir::InstKind::Call:
+      if (Inst.isIndirectCall())
+        ++Indirect;
+      break;
+    case ir::InstKind::Store:
+      ++Stores;
+      break;
+    case ir::InstKind::Load:
+      ++Loads;
+      break;
+    case ir::InstKind::Phi:
+      ++Phis;
+      break;
+    case ir::InstKind::FieldAddr:
+      ++Fields;
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_GT(Heap, 0u);
+  EXPECT_GT(Indirect, 0u);
+  EXPECT_GT(Stores, 0u);
+  EXPECT_GT(Loads, 0u);
+  EXPECT_GT(Phis, 0u);
+  EXPECT_GT(Fields, 0u);
+}
+
+TEST(ProgramGenerator, LinksEntry) {
+  GenConfig C;
+  C.NumGlobals = 3;
+  auto M = generateProgram(C);
+  EXPECT_NE(M->main(), ir::InvalidFun);
+  EXPECT_EQ(ir::programEntry(*M), M->globalInit());
+}
+
+TEST(ProgramGenerator, WholePipelineRunsOnAllSeeds) {
+  for (uint64_t Seed = 100; Seed < 105; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    auto Ctx = buildFromConfig(C);
+    ASSERT_NE(Ctx, nullptr) << "seed " << Seed;
+    EXPECT_GT(Ctx->svfg().numNodes(), 0u);
+  }
+}
+
+TEST(BenchmarkSuite, HasFifteenNamedPresets) {
+  auto Suite = benchmarkSuite();
+  ASSERT_EQ(Suite.size(), 15u);
+  EXPECT_EQ(Suite.front().Name, "du");
+  EXPECT_EQ(Suite.back().Name, "hyriseConsole");
+  std::set<std::string> Names;
+  for (const BenchSpec &S : Suite) {
+    Names.insert(S.Name);
+    EXPECT_FALSE(S.Description.empty());
+  }
+  EXPECT_EQ(Names.size(), 15u) << "names are unique";
+}
+
+TEST(BenchmarkSuite, QuickSuiteIsSubset) {
+  auto Quick = quickSuite();
+  EXPECT_EQ(Quick.size(), 8u);
+  for (const BenchSpec &S : Quick) {
+    BenchSpec Found;
+    EXPECT_TRUE(findBenchmark(S.Name, Found));
+    EXPECT_EQ(Found.Config.Seed, S.Config.Seed);
+  }
+}
+
+TEST(BenchmarkSuite, FindBenchmark) {
+  BenchSpec S;
+  EXPECT_TRUE(findBenchmark("bash", S));
+  EXPECT_EQ(S.Name, "bash");
+  EXPECT_FALSE(findBenchmark("nonexistent", S));
+}
+
+TEST(BenchmarkSuite, PresetsGenerateValidPrograms) {
+  for (const BenchSpec &S : quickSuite()) {
+    auto M = generateProgram(S.Config);
+    auto Violations = ir::verifyModule(*M);
+    EXPECT_TRUE(Violations.empty())
+        << S.Name << ": " << Violations.front();
+    EXPECT_GT(M->numInstructions(), 100u) << S.Name;
+  }
+}
+
+TEST(BenchmarkSuite, SizesGrowAcrossTheSuite) {
+  // Later presets (bash/lynx/hyrise) are substantially larger than early
+  // ones (du), mirroring Table II's ordering.
+  BenchSpec Du, Lynx;
+  ASSERT_TRUE(findBenchmark("du", Du));
+  ASSERT_TRUE(findBenchmark("lynx", Lynx));
+  EXPECT_LT(generateProgram(Du.Config)->numInstructions(),
+            generateProgram(Lynx.Config)->numInstructions());
+}

@@ -1,0 +1,344 @@
+//===- vsfs-wpa.cpp - Whole-program analysis driver -------------*- C++ -*-===//
+///
+/// The command-line driver, mirroring SVF's `wpa` tool that the paper's
+/// artifact benchmarks with (`wpa -ander / -fspta / -vfspta prog.bc`):
+///
+///   vsfs-wpa [options] program.ir
+///   vsfs-wpa --bench lynx --analysis=vsfs --stats
+///   vsfs-wpa --gen 42 --analysis=all --print-pts
+///
+/// Inputs: a textual-IR file, a named benchmark preset (--bench), or a
+/// generated program (--gen SEED). Analyses: ander, dense, sfs, vsfs, all.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalysisContext.h"
+#include "core/DotExport.h"
+#include "core/FlowSensitive.h"
+#include "core/IterativeFlowSensitive.h"
+#include "core/VersionedFlowSensitive.h"
+#include "ir/Printer.h"
+#include "support/Format.h"
+#include "support/MemUsage.h"
+#include "support/Timer.h"
+#include "workload/BenchmarkSuite.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <unordered_map>
+#include <sstream>
+#include <string>
+
+using namespace vsfs;
+
+namespace {
+
+struct Options {
+  std::string InputFile;
+  std::string BenchName;
+  uint64_t GenSeed = 0;
+  bool UseGen = false;
+  std::string Analysis = "vsfs";
+  bool AuxCallGraph = false;
+  bool OVS = false;
+  bool PrintPts = false;
+  bool PrintVersions = false;
+  bool PrintModule = false;
+  bool Stats = false;
+  std::string DumpCallGraph; // "-" = stdout
+  std::string DumpSVFG;
+  std::string DumpCFG; // Function name; printed to stdout.
+};
+
+void usage(const char *Prog) {
+  std::printf(
+      "usage: %s [options] [program.ir]\n"
+      "\n"
+      "input (exactly one):\n"
+      "  program.ir            textual IR file\n"
+      "  --bench NAME          a named benchmark preset (see bench_table2)\n"
+      "  --gen SEED            a generated workload\n"
+      "\n"
+      "options:\n"
+      "  --analysis=KIND       ander | dense | sfs | vsfs | all  "
+      "(default vsfs)\n"
+      "  --aux-call-graph      reuse Andersen's call graph instead of\n"
+      "                        resolving indirect calls on the fly\n"
+      "  --ovs                 offline variable substitution for the\n"
+      "                        auxiliary analysis (precision-neutral)\n"
+      "  --print-pts           print each top-level variable's points-to "
+      "set\n"
+      "  --print-versions      print the version each load consumes and "
+      "the\n"
+      "                        version-sharing summary (vsfs only)\n"
+      "  --print-module        print the parsed module\n"
+      "  --stats               print analysis statistics\n"
+      "  --dump-callgraph[=F]  write the resolved call graph as dot\n"
+      "  --dump-svfg[=F]       write the SVFG as dot (capped at 500 nodes)\n"
+      "  --dump-cfg=FUNC       write FUNC's CFG as dot to stdout\n",
+      Prog);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&Arg](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      if (Arg.compare(0, Len, Prefix) == 0)
+        return Arg.c_str() + Len;
+      return nullptr;
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return false;
+    } else if (Arg == "--bench" && I + 1 < Argc) {
+      Opts.BenchName = Argv[++I];
+    } else if (Arg == "--gen" && I + 1 < Argc) {
+      Opts.UseGen = true;
+      Opts.GenSeed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (const char *V = Value("--analysis=")) {
+      Opts.Analysis = V;
+    } else if (Arg == "--aux-call-graph") {
+      Opts.AuxCallGraph = true;
+    } else if (Arg == "--ovs") {
+      Opts.OVS = true;
+    } else if (Arg == "--print-pts") {
+      Opts.PrintPts = true;
+    } else if (Arg == "--print-versions") {
+      Opts.PrintVersions = true;
+    } else if (Arg == "--print-module") {
+      Opts.PrintModule = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--dump-callgraph") {
+      Opts.DumpCallGraph = "-";
+    } else if (const char *V2 = Value("--dump-callgraph=")) {
+      Opts.DumpCallGraph = V2;
+    } else if (Arg == "--dump-svfg") {
+      Opts.DumpSVFG = "-";
+    } else if (const char *V3 = Value("--dump-svfg=")) {
+      Opts.DumpSVFG = V3;
+    } else if (const char *V4 = Value("--dump-cfg=")) {
+      Opts.DumpCFG = V4;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Opts.InputFile = Arg;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  int Inputs = !Opts.InputFile.empty();
+  Inputs += !Opts.BenchName.empty();
+  Inputs += Opts.UseGen;
+  if (Inputs != 1) {
+    usage(Argv[0]);
+    return false;
+  }
+  return true;
+}
+
+void writeOut(const std::string &Target, const std::string &Content) {
+  if (Target == "-") {
+    std::fputs(Content.c_str(), stdout);
+    return;
+  }
+  std::ofstream Out(Target);
+  Out << Content;
+  std::printf("wrote %s (%zu bytes)\n", Target.c_str(), Content.size());
+}
+
+void printPts(const ir::Module &M, const core::PointerAnalysisResult &A,
+              const char *Banner) {
+  std::printf("--- points-to sets (%s) ---\n", Banner);
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V) {
+    const PointsTo &Pts = A.ptsOfVar(V);
+    if (Pts.empty())
+      continue;
+    std::string Line = ir::printVar(M, V) + " -> {";
+    bool First = true;
+    for (uint32_t O : Pts) {
+      Line += (First ? " " : ", ") + M.symbols().object(O).Name;
+      First = false;
+    }
+    std::printf("%s }\n", Line.c_str());
+  }
+}
+
+/// Adapts Andersen to the common result interface.
+struct AndersenResult : core::PointerAnalysisResult {
+  andersen::Andersen &A;
+  explicit AndersenResult(andersen::Andersen &A) : A(A) {}
+  const PointsTo &ptsOfVar(ir::VarID V) const override {
+    return A.ptsOfVar(V);
+  }
+  const andersen::CallGraph &callGraph() const override {
+    return A.callGraph();
+  }
+  const StatGroup &stats() const override { return A.stats(); }
+};
+
+int run(const Options &Opts) {
+  core::AnalysisContext Ctx;
+  if (!Opts.InputFile.empty()) {
+    std::ifstream In(Opts.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   Opts.InputFile.c_str());
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    std::string Error;
+    if (!Ctx.loadText(Buffer.str(), Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", Opts.InputFile.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+  } else if (!Opts.BenchName.empty()) {
+    workload::BenchSpec Spec;
+    if (!workload::findBenchmark(Opts.BenchName, Spec)) {
+      std::fprintf(stderr, "error: unknown benchmark '%s'\n",
+                   Opts.BenchName.c_str());
+      return 1;
+    }
+    Ctx.module() = std::move(*workload::generateProgram(Spec.Config));
+  } else {
+    workload::GenConfig C;
+    C.Seed = Opts.GenSeed;
+    Ctx.module() = std::move(*workload::generateProgram(C));
+  }
+
+  if (Opts.PrintModule)
+    std::printf("%s\n", ir::printModule(Ctx.module()).c_str());
+  if (!Opts.DumpCFG.empty()) {
+    ir::FunID F = Ctx.module().lookupFunction(Opts.DumpCFG);
+    if (F == ir::InvalidFun) {
+      std::fprintf(stderr, "error: no function '%s'\n", Opts.DumpCFG.c_str());
+      return 1;
+    }
+    std::fputs(core::dotCFG(Ctx.module(), F).c_str(), stdout);
+  }
+
+  Timer BuildTimer;
+  andersen::Andersen::Options AuxOpts;
+  AuxOpts.OfflineSubstitution = Opts.OVS;
+  Ctx.build(/*ConnectAuxIndirectCalls=*/Opts.AuxCallGraph, AuxOpts);
+  std::printf("pipeline: andersen %.3fs, memssa %.3fs, svfg %.3fs "
+              "(%u nodes, %llu direct, %llu indirect edges)\n",
+              Ctx.andersenSeconds(), Ctx.memSSASeconds(), Ctx.svfgSeconds(),
+              Ctx.svfg().numNodes(),
+              (unsigned long long)Ctx.svfg().numDirectEdges(),
+              (unsigned long long)Ctx.svfg().numIndirectEdges());
+
+  const andersen::CallGraph *FinalCG = &Ctx.andersen().callGraph();
+  auto Wants = [&Opts](const char *Kind) {
+    return Opts.Analysis == Kind || Opts.Analysis == "all";
+  };
+
+  if (Wants("ander")) {
+    AndersenResult AR(Ctx.andersen());
+    std::printf("ander: solved in %.3fs\n", Ctx.andersenSeconds());
+    if (Opts.PrintPts)
+      printPts(Ctx.module(), AR, "ander");
+    if (Opts.Stats)
+      std::printf("%s", Ctx.andersen().stats().toString().c_str());
+  }
+  if (Wants("dense")) {
+    core::IterativeFlowSensitive Dense(Ctx.module(), Ctx.andersen());
+    Timer T;
+    Dense.solve();
+    std::printf("dense: solved in %.3fs\n", T.seconds());
+    if (Opts.PrintPts)
+      printPts(Ctx.module(), Dense, "dense");
+    if (Opts.Stats)
+      std::printf("%s", Dense.stats().toString().c_str());
+  }
+  if (Wants("sfs")) {
+    core::FlowSensitive::Options O;
+    O.OnTheFlyCallGraph = !Opts.AuxCallGraph;
+    core::FlowSensitive SFS(Ctx.svfg(), O);
+    Timer T;
+    SFS.solve();
+    std::printf("sfs: solved in %.3fs, %s of analysis state\n", T.seconds(),
+                formatBytes(SFS.footprintBytes()).c_str());
+    FinalCG = &SFS.callGraph();
+    if (Opts.PrintPts)
+      printPts(Ctx.module(), SFS, "sfs");
+    if (Opts.Stats)
+      std::printf("%s", SFS.stats().toString().c_str());
+    if (!Opts.DumpCallGraph.empty())
+      writeOut(Opts.DumpCallGraph,
+               core::dotCallGraph(Ctx.module(), *FinalCG));
+  }
+  if (Wants("vsfs")) {
+    core::VersionedFlowSensitive::Options O;
+    O.OnTheFlyCallGraph = !Opts.AuxCallGraph;
+    core::VersionedFlowSensitive VSFS(Ctx.svfg(), O);
+    Timer T;
+    VSFS.solve();
+    std::printf("vsfs: solved in %.3fs (versioning %.3fs), %s of analysis "
+                "state\n",
+                T.seconds(), VSFS.versioningSeconds(),
+                formatBytes(VSFS.footprintBytes()).c_str());
+    FinalCG = &VSFS.callGraph();
+    if (Opts.PrintPts)
+      printPts(Ctx.module(), VSFS, "vsfs");
+    if (Opts.Stats) {
+      std::printf("%s", VSFS.versioning().stats().toString().c_str());
+      std::printf("%s", VSFS.stats().toString().c_str());
+    }
+    if (Opts.PrintVersions) {
+      // Which version each load consumes, and how often versions are
+      // shared — the sharing is exactly what VSFS saves storage with.
+      const ir::Module &M = Ctx.module();
+      std::printf("--- consumed versions at loads ---\n");
+      std::unordered_map<core::Version, uint32_t> Consumers;
+      for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+        if (M.inst(I).Kind != ir::InstKind::Load)
+          continue;
+        for (uint32_t O : VSFS.ptsOfVar(M.inst(I).loadPtr())) {
+          if (M.symbols().isFunctionObject(O))
+            continue;
+          core::Version V = VSFS.versioning().consume(I, O);
+          ++Consumers[V];
+          std::printf("  %-28s %s: v%u%s\n", ir::printInst(M, I).c_str(),
+                      M.symbols().object(O).Name.c_str(), V,
+                      VSFS.versioning().isEpsilon(V) ? " (eps)" : "");
+        }
+      }
+      uint32_t Shared = 0;
+      for (const auto &[V, N] : Consumers)
+        if (N > 1)
+          ++Shared;
+      std::printf("  %zu distinct versions consumed; %u shared by more "
+                  "than one load\n",
+                  Consumers.size(), Shared);
+    }
+    if (!Opts.DumpCallGraph.empty())
+      writeOut(Opts.DumpCallGraph,
+               core::dotCallGraph(Ctx.module(), *FinalCG));
+  }
+  if (!Opts.DumpSVFG.empty())
+    writeOut(Opts.DumpSVFG, core::dotSVFG(Ctx.svfg(), /*MaxNodes=*/500));
+
+  std::printf("peak RSS: %s\n", formatBytes(peakRSSBytes()).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+  if (Opts.Analysis != "ander" && Opts.Analysis != "dense" &&
+      Opts.Analysis != "sfs" && Opts.Analysis != "vsfs" &&
+      Opts.Analysis != "all") {
+    std::fprintf(stderr, "error: unknown analysis '%s'\n",
+                 Opts.Analysis.c_str());
+    return 2;
+  }
+  return run(Opts);
+}
