@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dense_baseline.dir/bench_dense_baseline.cpp.o"
+  "CMakeFiles/bench_dense_baseline.dir/bench_dense_baseline.cpp.o.d"
+  "bench_dense_baseline"
+  "bench_dense_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dense_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_meld_repr.dir/bench_meld_repr.cpp.o"
+  "CMakeFiles/bench_meld_repr.dir/bench_meld_repr.cpp.o.d"
+  "bench_meld_repr"
+  "bench_meld_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meld_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ovs.dir/bench_ovs.cpp.o"
+  "CMakeFiles/bench_ovs.dir/bench_ovs.cpp.o.d"
+  "bench_ovs"
+  "bench_ovs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ovs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_versioning_cost.dir/bench_versioning_cost.cpp.o"
+  "CMakeFiles/bench_versioning_cost.dir/bench_versioning_cost.cpp.o.d"
+  "bench_versioning_cost"
+  "bench_versioning_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_versioning_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

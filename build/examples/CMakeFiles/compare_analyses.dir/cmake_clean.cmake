@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_analyses.dir/compare_analyses.cpp.o"
+  "CMakeFiles/compare_analyses.dir/compare_analyses.cpp.o.d"
+  "compare_analyses"
+  "compare_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meld_labelling.dir/meld_labelling.cpp.o"
+  "CMakeFiles/meld_labelling.dir/meld_labelling.cpp.o.d"
+  "meld_labelling"
+  "meld_labelling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meld_labelling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for meld_labelling.
+# This may be replaced when dependencies are built.

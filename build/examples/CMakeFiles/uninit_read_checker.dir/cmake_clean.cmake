@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uninit_read_checker.dir/uninit_read_checker.cpp.o"
+  "CMakeFiles/uninit_read_checker.dir/uninit_read_checker.cpp.o.d"
+  "uninit_read_checker"
+  "uninit_read_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uninit_read_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_andersen.dir/Andersen.cpp.o"
+  "CMakeFiles/vsfs_andersen.dir/Andersen.cpp.o.d"
+  "CMakeFiles/vsfs_andersen.dir/OVS.cpp.o"
+  "CMakeFiles/vsfs_andersen.dir/OVS.cpp.o.d"
+  "CMakeFiles/vsfs_andersen.dir/Validate.cpp.o"
+  "CMakeFiles/vsfs_andersen.dir/Validate.cpp.o.d"
+  "libvsfs_andersen.a"
+  "libvsfs_andersen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_andersen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_core.dir/DotExport.cpp.o"
+  "CMakeFiles/vsfs_core.dir/DotExport.cpp.o.d"
+  "CMakeFiles/vsfs_core.dir/FlowSensitive.cpp.o"
+  "CMakeFiles/vsfs_core.dir/FlowSensitive.cpp.o.d"
+  "CMakeFiles/vsfs_core.dir/IterativeFlowSensitive.cpp.o"
+  "CMakeFiles/vsfs_core.dir/IterativeFlowSensitive.cpp.o.d"
+  "CMakeFiles/vsfs_core.dir/ObjectVersioning.cpp.o"
+  "CMakeFiles/vsfs_core.dir/ObjectVersioning.cpp.o.d"
+  "CMakeFiles/vsfs_core.dir/VersionedFlowSensitive.cpp.o"
+  "CMakeFiles/vsfs_core.dir/VersionedFlowSensitive.cpp.o.d"
+  "libvsfs_core.a"
+  "libvsfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_graph.dir/Dominators.cpp.o"
+  "CMakeFiles/vsfs_graph.dir/Dominators.cpp.o.d"
+  "CMakeFiles/vsfs_graph.dir/Graph.cpp.o"
+  "CMakeFiles/vsfs_graph.dir/Graph.cpp.o.d"
+  "CMakeFiles/vsfs_graph.dir/SCC.cpp.o"
+  "CMakeFiles/vsfs_graph.dir/SCC.cpp.o.d"
+  "libvsfs_graph.a"
+  "libvsfs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ICFG.cpp" "src/ir/CMakeFiles/vsfs_ir.dir/ICFG.cpp.o" "gcc" "src/ir/CMakeFiles/vsfs_ir.dir/ICFG.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/vsfs_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/vsfs_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/vsfs_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/vsfs_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/vsfs_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/vsfs_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/vsfs_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/vsfs_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/vsfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vsfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_ir.dir/ICFG.cpp.o"
+  "CMakeFiles/vsfs_ir.dir/ICFG.cpp.o.d"
+  "CMakeFiles/vsfs_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/vsfs_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/vsfs_ir.dir/Parser.cpp.o"
+  "CMakeFiles/vsfs_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/vsfs_ir.dir/Printer.cpp.o"
+  "CMakeFiles/vsfs_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/vsfs_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/vsfs_ir.dir/Verifier.cpp.o.d"
+  "libvsfs_ir.a"
+  "libvsfs_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

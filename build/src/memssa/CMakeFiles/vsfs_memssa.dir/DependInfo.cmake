@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memssa/MemSSA.cpp" "src/memssa/CMakeFiles/vsfs_memssa.dir/MemSSA.cpp.o" "gcc" "src/memssa/CMakeFiles/vsfs_memssa.dir/MemSSA.cpp.o.d"
+  "/root/repo/src/memssa/Validate.cpp" "src/memssa/CMakeFiles/vsfs_memssa.dir/Validate.cpp.o" "gcc" "src/memssa/CMakeFiles/vsfs_memssa.dir/Validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/andersen/CMakeFiles/vsfs_andersen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/vsfs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vsfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vsfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_memssa.dir/MemSSA.cpp.o"
+  "CMakeFiles/vsfs_memssa.dir/MemSSA.cpp.o.d"
+  "CMakeFiles/vsfs_memssa.dir/Validate.cpp.o"
+  "CMakeFiles/vsfs_memssa.dir/Validate.cpp.o.d"
+  "libvsfs_memssa.a"
+  "libvsfs_memssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_memssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vsfs_memssa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_support.dir/Format.cpp.o"
+  "CMakeFiles/vsfs_support.dir/Format.cpp.o.d"
+  "CMakeFiles/vsfs_support.dir/MemUsage.cpp.o"
+  "CMakeFiles/vsfs_support.dir/MemUsage.cpp.o.d"
+  "CMakeFiles/vsfs_support.dir/Statistics.cpp.o"
+  "CMakeFiles/vsfs_support.dir/Statistics.cpp.o.d"
+  "libvsfs_support.a"
+  "libvsfs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

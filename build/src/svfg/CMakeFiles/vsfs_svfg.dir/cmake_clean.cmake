@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_svfg.dir/SVFG.cpp.o"
+  "CMakeFiles/vsfs_svfg.dir/SVFG.cpp.o.d"
+  "libvsfs_svfg.a"
+  "libvsfs_svfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_svfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_workload.dir/BenchmarkSuite.cpp.o"
+  "CMakeFiles/vsfs_workload.dir/BenchmarkSuite.cpp.o.d"
+  "CMakeFiles/vsfs_workload.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/vsfs_workload.dir/ProgramGenerator.cpp.o.d"
+  "libvsfs_workload.a"
+  "libvsfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

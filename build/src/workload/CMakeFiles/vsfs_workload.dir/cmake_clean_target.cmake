@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsfs_workload.a"
+)

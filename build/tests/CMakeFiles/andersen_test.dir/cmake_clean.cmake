@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/andersen_test.dir/andersen_test.cpp.o"
+  "CMakeFiles/andersen_test.dir/andersen_test.cpp.o.d"
+  "andersen_test"
+  "andersen_test.pdb"
+  "andersen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/andersen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowsensitive_test.dir/flowsensitive_test.cpp.o"
+  "CMakeFiles/flowsensitive_test.dir/flowsensitive_test.cpp.o.d"
+  "flowsensitive_test"
+  "flowsensitive_test.pdb"
+  "flowsensitive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowsensitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

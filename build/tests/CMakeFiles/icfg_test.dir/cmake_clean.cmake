@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icfg_test.dir/icfg_test.cpp.o"
+  "CMakeFiles/icfg_test.dir/icfg_test.cpp.o.d"
+  "icfg_test"
+  "icfg_test.pdb"
+  "icfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

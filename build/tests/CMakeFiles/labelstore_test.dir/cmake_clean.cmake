@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labelstore_test.dir/labelstore_test.cpp.o"
+  "CMakeFiles/labelstore_test.dir/labelstore_test.cpp.o.d"
+  "labelstore_test"
+  "labelstore_test.pdb"
+  "labelstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labelstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meld_test.dir/meld_test.cpp.o"
+  "CMakeFiles/meld_test.dir/meld_test.cpp.o.d"
+  "meld_test"
+  "meld_test.pdb"
+  "meld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

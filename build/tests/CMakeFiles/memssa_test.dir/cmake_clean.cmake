@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memssa_test.dir/memssa_test.cpp.o"
+  "CMakeFiles/memssa_test.dir/memssa_test.cpp.o.d"
+  "memssa_test"
+  "memssa_test.pdb"
+  "memssa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memssa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

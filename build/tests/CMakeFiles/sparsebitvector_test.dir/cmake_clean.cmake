@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsebitvector_test.dir/sparsebitvector_test.cpp.o"
+  "CMakeFiles/sparsebitvector_test.dir/sparsebitvector_test.cpp.o.d"
+  "sparsebitvector_test"
+  "sparsebitvector_test.pdb"
+  "sparsebitvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsebitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svfg_invariants_test.dir/svfg_invariants_test.cpp.o"
+  "CMakeFiles/svfg_invariants_test.dir/svfg_invariants_test.cpp.o.d"
+  "svfg_invariants_test"
+  "svfg_invariants_test.pdb"
+  "svfg_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svfg_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/svfg_test.cpp" "tests/CMakeFiles/svfg_test.dir/svfg_test.cpp.o" "gcc" "tests/CMakeFiles/svfg_test.dir/svfg_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vsfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vsfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svfg/CMakeFiles/vsfs_svfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/memssa/CMakeFiles/vsfs_memssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/andersen/CMakeFiles/vsfs_andersen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/vsfs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vsfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vsfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioning_test.dir/versioning_test.cpp.o"
+  "CMakeFiles/versioning_test.dir/versioning_test.cpp.o.d"
+  "versioning_test"
+  "versioning_test.pdb"
+  "versioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs_test.dir/vsfs_test.cpp.o"
+  "CMakeFiles/vsfs_test.dir/vsfs_test.cpp.o.d"
+  "vsfs_test"
+  "vsfs_test.pdb"
+  "vsfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

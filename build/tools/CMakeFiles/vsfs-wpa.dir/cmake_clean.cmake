@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsfs-wpa.dir/vsfs-wpa.cpp.o"
+  "CMakeFiles/vsfs-wpa.dir/vsfs-wpa.cpp.o.d"
+  "vsfs-wpa"
+  "vsfs-wpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsfs-wpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
