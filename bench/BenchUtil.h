@@ -11,6 +11,7 @@
 #define VSFS_BENCH_BENCHUTIL_H
 
 #include "core/AnalysisContext.h"
+#include "core/AnalysisRunner.h"
 #include "core/FlowSensitive.h"
 #include "core/IterativeFlowSensitive.h"
 #include "core/VersionedFlowSensitive.h"
@@ -20,6 +21,7 @@
 #include "workload/BenchmarkSuite.h"
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -61,9 +63,12 @@ template <typename PhaseFn> PhaseResult measurePhase(PhaseFn Phase) {
 }
 
 /// Parses the common flags: --quick (8-benchmark tier), --runs N,
-/// --bench NAME (single benchmark). Returns the selected suite.
+/// --bench NAME (single benchmark), and — when \p JsonPath is non-null —
+/// --json FILE (machine-readable results alongside the table). Returns the
+/// selected suite.
 inline std::vector<workload::BenchSpec>
-parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs) {
+parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs,
+               std::string *JsonPath = nullptr) {
   std::vector<workload::BenchSpec> Suite = workload::benchmarkSuite();
   Runs = 1;
   for (int I = 1; I < Argc; ++I) {
@@ -82,12 +87,26 @@ parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs) {
         std::fprintf(stderr, "unknown benchmark '%s'\n", Argv[I]);
         Suite.clear();
       }
+    } else if (JsonPath && Arg == "--json" && I + 1 < Argc) {
+      *JsonPath = Argv[++I];
     } else if (Arg == "--help") {
-      std::printf("usage: %s [--quick] [--runs N] [--bench NAME]\n", Argv[0]);
+      std::printf("usage: %s [--quick] [--runs N] [--bench NAME]%s\n",
+                  Argv[0], JsonPath ? " [--json FILE]" : "");
       Suite.clear();
     }
   }
   return Suite;
+}
+
+/// Writes \p Json to \p Path ("-" = stdout) and reports it.
+inline void writeJson(const std::string &Path, const std::string &Json) {
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return;
+  }
+  std::ofstream Out(Path);
+  Out << Json;
+  std::printf("\nwrote %s (%zu bytes)\n", Path.c_str(), Json.size());
 }
 
 } // namespace bench

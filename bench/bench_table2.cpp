@@ -15,12 +15,15 @@
 
 #include "BenchUtil.h"
 
+#include <sstream>
+
 using namespace vsfs;
 using namespace vsfs::bench;
 
 int main(int Argc, char **Argv) {
   uint32_t Runs = 1;
-  auto Suite = parseSuiteArgs(Argc, Argv, Runs);
+  std::string JsonPath;
+  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath);
   if (Suite.empty())
     return 0;
 
@@ -32,6 +35,9 @@ int main(int Argc, char **Argv) {
                         .c_str());
   std::printf("%s", T.separator().c_str());
 
+  std::ostringstream Json;
+  Json << "{\n  \"schema\": \"vsfs-table2-v1\",\n  \"benchmarks\": [";
+  bool FirstJson = true;
   for (const auto &Spec : Suite) {
     auto Ctx = buildPipeline(Spec);
     const auto &M = Ctx->module();
@@ -52,12 +58,25 @@ int main(int Argc, char **Argv) {
                std::to_string(M.symbols().numVars()),
                std::to_string(AddrTaken), Spec.Description})
             .c_str());
+
+    Json << (FirstJson ? "\n" : ",\n") << "    {\"name\": \"" << Spec.Name
+         << "\", \"instructions\": " << M.numInstructions()
+         << ", \"functions\": " << M.numFunctions()
+         << ", \"svfg_nodes\": " << G.numNodes()
+         << ", \"svfg_direct_edges\": " << G.numDirectEdges()
+         << ", \"svfg_indirect_edges\": " << G.numIndirectEdges()
+         << ", \"top_level_vars\": " << M.symbols().numVars()
+         << ", \"address_taken\": " << AddrTaken << "}";
+    FirstJson = false;
   }
+  Json << "\n  ]\n}\n";
   std::printf("\nShape checks vs. the paper's Table II:\n"
               "  - indirect edges exceed direct edges throughout;\n"
               "  - node/edge counts grow roughly monotonically down the "
               "table;\n"
               "  - the C++-like presets (astyle, hyriseConsole) have the "
               "densest graphs.\n");
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Json.str());
   return 0;
 }

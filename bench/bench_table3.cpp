@@ -12,8 +12,10 @@
 /// (points-to sets plus the index structures holding them — an exact,
 /// per-phase analogue of the paper's max-resident-size measurement, which
 /// cannot separate phases inside one process; RSS is also printed).
-/// Each analysis runs on its own freshly built pipeline; with --runs N the
-/// times are averaged over N runs.
+/// Each analysis runs on its own freshly built pipeline — dispatched
+/// through the core::AnalysisRunner registry, the same path the CLI driver
+/// takes; with --runs N the times are averaged over N runs, and --json F
+/// writes the rows machine-readably for trajectory collection.
 ///
 /// Expected shape (paper: 5.31x mean speedup, up to 26.22x; >= 2.11x mean
 /// memory reduction, up to 5.46x): VSFS is never slower, the smallest
@@ -22,6 +24,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+
+#include <sstream>
 
 using namespace vsfs;
 using namespace vsfs::bench;
@@ -44,11 +48,34 @@ struct Row {
   }
 };
 
+std::string rowsJson(const std::vector<Row> &Rows, uint32_t Runs) {
+  std::ostringstream OS;
+  OS << "{\n  \"schema\": \"vsfs-table3-v1\",\n  \"runs\": " << Runs
+     << ",\n  \"benchmarks\": [";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s    {\"name\": \"%s\", \"andersen_seconds\": %.6f, "
+                  "\"sfs_seconds\": %.6f, \"sfs_bytes\": %llu, "
+                  "\"versioning_seconds\": %.6f, \"vsfs_main_seconds\": "
+                  "%.6f, \"vsfs_bytes\": %llu, \"time_diff\": %.4f, "
+                  "\"mem_diff\": %.4f}",
+                  I == 0 ? "\n" : ",\n", R.Name.c_str(), R.AndersenT, R.SfsT,
+                  (unsigned long long)R.SfsMem, R.VersT, R.VsfsMainT,
+                  (unsigned long long)R.VsfsMem, R.timeDiff(), R.memDiff());
+    OS << Buf;
+  }
+  OS << "\n  ]\n}\n";
+  return OS.str();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   uint32_t Runs = 1;
-  auto Suite = parseSuiteArgs(Argc, Argv, Runs);
+  std::string JsonPath;
+  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath);
   if (Suite.empty())
     return 0;
 
@@ -62,30 +89,31 @@ int main(int Argc, char **Argv) {
                         .c_str());
   std::printf("%s", T.separator().c_str());
 
+  const core::AnalysisRunner &Runner = core::AnalysisRunner::registry();
+  std::vector<Row> Rows;
   std::vector<double> TimeDiffs, MemDiffs;
   for (const auto &Spec : Suite) {
     Row R;
     R.Name = Spec.Name;
     for (uint32_t Run = 0; Run < Runs; ++Run) {
-      // Andersen: timed inside the pipeline build.
+      // Andersen: timed inside the pipeline build. SFS on that pipeline.
       {
         auto Ctx = buildPipeline(Spec);
         R.AndersenT += Ctx->andersenSeconds() / Runs;
-
-        // SFS on this pipeline.
-        core::FlowSensitive SFS(Ctx->svfg());
-        PhaseResult P = measurePhase([&SFS] { SFS.solve(); });
-        R.SfsT += P.Seconds / Runs;
-        R.SfsMem = std::max(R.SfsMem, SFS.footprintBytes());
+        auto SFS = Runner.run(*Ctx, "sfs");
+        R.SfsT += SFS.SolveSeconds / Runs;
+        R.SfsMem = std::max(R.SfsMem, SFS.Analysis->footprintBytes());
       }
       // VSFS on a fresh pipeline (no shared SVFG mutations).
       {
         auto Ctx = buildPipeline(Spec);
-        core::VersionedFlowSensitive VSFS(Ctx->svfg());
-        PhaseResult P = measurePhase([&VSFS] { VSFS.solve(); });
-        R.VersT += VSFS.versioningSeconds() / Runs;
-        R.VsfsMainT += (P.Seconds - VSFS.versioningSeconds()) / Runs;
-        R.VsfsMem = std::max(R.VsfsMem, VSFS.footprintBytes());
+        auto VSFS = Runner.run(*Ctx, "vsfs");
+        double VersSecs =
+            static_cast<const core::VersionedFlowSensitive &>(*VSFS.Analysis)
+                .versioningSeconds();
+        R.VersT += VersSecs / Runs;
+        R.VsfsMainT += (VSFS.SolveSeconds - VersSecs) / Runs;
+        R.VsfsMem = std::max(R.VsfsMem, VSFS.Analysis->footprintBytes());
       }
     }
 
@@ -99,6 +127,7 @@ int main(int Argc, char **Argv) {
                formatBytes(R.VsfsMem), formatRatio(R.timeDiff()),
                formatRatio(R.memDiff())})
             .c_str());
+    Rows.push_back(std::move(R));
   }
 
   std::printf("%s", T.separator().c_str());
@@ -116,5 +145,8 @@ int main(int Argc, char **Argv) {
       "Reproduction targets shape, not absolute values: VSFS never slower,\n"
       "smallest presets benefit least, heap-intensive presets most, and\n"
       "versioning time is a shrinking fraction as programs grow.\n");
+
+  if (!JsonPath.empty())
+    writeJson(JsonPath, rowsJson(Rows, Runs));
   return 0;
 }

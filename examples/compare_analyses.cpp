@@ -1,22 +1,20 @@
 //===- compare_analyses.cpp - All four analyses, side by side ---*- C++ -*-===//
 ///
-/// Runs Andersen, the dense ICFG analysis, SFS and VSFS on one generated
-/// workload and prints a precision/performance scorecard: average
-/// points-to set size (lower = more precise), resolved call-graph edges,
-/// time, and the storage each keeps. A compact demonstration of the
-/// paper's landscape: flow-sensitivity buys precision, staging buys speed,
-/// versioning buys more speed and memory at identical precision.
+/// Runs every solver in the core::AnalysisRunner registry (Andersen, the
+/// dense ICFG analysis, SFS and VSFS) on one generated workload and prints
+/// a precision/performance scorecard: average points-to set size (lower =
+/// more precise), resolved call-graph edges, time, and the storage each
+/// keeps. A compact demonstration of the paper's landscape:
+/// flow-sensitivity buys precision, staging buys speed, versioning buys
+/// more speed and memory at identical precision.
 ///
 /// Build & run:  ./build/examples/compare_analyses [seed]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/AnalysisContext.h"
-#include "core/FlowSensitive.h"
-#include "core/IterativeFlowSensitive.h"
-#include "core/VersionedFlowSensitive.h"
+#include "core/AnalysisRunner.h"
 #include "support/Format.h"
-#include "support/Timer.h"
 #include "workload/ProgramGenerator.h"
 
 #include <cstdio>
@@ -37,19 +35,6 @@ double averagePtsSize(const ir::Module &M,
   }
   return Nonempty == 0 ? 0.0 : double(Total) / double(Nonempty);
 }
-
-/// Adapts Andersen's results to the common interface for averagePtsSize.
-struct AndersenResult : core::PointerAnalysisResult {
-  andersen::Andersen &A;
-  explicit AndersenResult(andersen::Andersen &A) : A(A) {}
-  const PointsTo &ptsOfVar(ir::VarID V) const override {
-    return A.ptsOfVar(V);
-  }
-  const andersen::CallGraph &callGraph() const override {
-    return A.callGraph();
-  }
-  const StatGroup &stats() const override { return A.stats(); }
-};
 
 std::unique_ptr<core::AnalysisContext> pipeline(uint64_t Seed) {
   workload::GenConfig C;
@@ -76,53 +61,31 @@ int main(int Argc, char **Argv) {
                         .c_str());
   std::printf("%s", T.separator().c_str());
 
-  auto Row = [&T](const char *Name, double Secs, double AvgPts,
-                  uint64_t CgEdges, uint64_t Sets) {
-    std::printf("%s", T.row({Name, formatDouble(Secs, 3) + "s",
-                             formatDouble(AvgPts, 2),
-                             std::to_string(CgEdges), std::to_string(Sets)})
-                          .c_str());
+  struct Labeled {
+    const char *Name;  // registry name
+    const char *Label; // table label
   };
+  const Labeled Analyses[] = {{"ander", "andersen"},
+                              {"dense", "dense flow-sensitive"},
+                              {"sfs", "SFS (staged)"},
+                              {"vsfs", "VSFS (versioned)"}};
 
-  // Andersen (flow-insensitive auxiliary).
-  {
+  for (const Labeled &L : Analyses) {
+    // Fresh pipeline per analysis so nothing shares mutable state.
     auto Ctx = pipeline(Seed);
-    AndersenResult AR(Ctx->andersen());
-    Row("andersen", Ctx->andersenSeconds(),
-        averagePtsSize(Ctx->module(), AR),
-        Ctx->andersen().callGraph().numEdges(), 0);
-  }
-
-  // Dense ICFG data-flow (traditional flow-sensitive, §IV-A).
-  {
-    auto Ctx = pipeline(Seed);
-    core::IterativeFlowSensitive Dense(Ctx->module(), Ctx->andersen());
-    Timer Tm;
-    Dense.solve();
-    Row("dense flow-sensitive", Tm.seconds(),
-        averagePtsSize(Ctx->module(), Dense), Dense.callGraph().numEdges(),
-        Dense.numPtsSetsStored());
-  }
-
-  // SFS (staged, CGO'11 baseline).
-  {
-    auto Ctx = pipeline(Seed);
-    core::FlowSensitive SFS(Ctx->svfg());
-    Timer Tm;
-    SFS.solve();
-    Row("SFS (staged)", Tm.seconds(), averagePtsSize(Ctx->module(), SFS),
-        SFS.callGraph().numEdges(), SFS.numPtsSetsStored());
-  }
-
-  // VSFS (this paper).
-  {
-    auto Ctx = pipeline(Seed);
-    core::VersionedFlowSensitive VSFS(Ctx->svfg());
-    Timer Tm;
-    VSFS.solve();
-    Row("VSFS (versioned)", Tm.seconds(),
-        averagePtsSize(Ctx->module(), VSFS), VSFS.callGraph().numEdges(),
-        VSFS.numPtsSetsStored());
+    core::AnalysisRunner::RunResult R =
+        core::AnalysisRunner::registry().run(*Ctx, L.Name);
+    // Andersen solves during the pipeline build; report that time.
+    double Secs =
+        R.Name == "ander" ? Ctx->andersenSeconds() : R.SolveSeconds;
+    std::printf("%s",
+                T.row({L.Label, formatDouble(Secs, 3) + "s",
+                       formatDouble(averagePtsSize(Ctx->module(),
+                                                   *R.Analysis),
+                                    2),
+                       std::to_string(R.Analysis->callGraph().numEdges()),
+                       std::to_string(R.Analysis->numPtsSetsStored())})
+                    .c_str());
   }
 
   std::printf(

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure with warnings-as-errors, build everything, run the
+# full test suite. This is what CI (and a reviewer) runs:
+#
+#   ./scripts/check.sh [build-dir]
+#
+# Uses a separate build tree (default build-check/) so it never disturbs an
+# existing development build/.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-check}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure

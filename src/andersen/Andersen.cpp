@@ -40,7 +40,7 @@ void Andersen::addCopyEdge(uint32_t From, uint32_t To) {
     return;
   if (!Succs[From].insert(To).second)
     return;
-  ++Stats.get("copy-edges");
+  ++CopyEdges;
   // A new edge must carry everything already known at its source, including
   // bits marked Done (those were only pushed through the old edges).
   if (Pts[To].unionWith(Pts[From]))
@@ -155,7 +155,7 @@ void Andersen::processNode(uint32_t N) {
       uint32_t SR = rep(S);
       if (SR == N)
         continue;
-      ++Stats.get("propagations");
+      ++Propagations;
       if (Pts[SR].unionWith(Delta))
         WorkList.push(SR);
     }

@@ -125,6 +125,10 @@ private:
   adt::FIFOWorkList WorkList;
   CallGraph CG;
   StatGroup Stats{"andersen"};
+  /// Interned hot-loop counters (see StatCounter): bumped per copy edge /
+  /// per propagated delta, where a map lookup each time is measurable.
+  StatCounter CopyEdges = Stats.counter("copy-edges");
+  StatCounter Propagations = Stats.counter("propagations");
 
   uint64_t ProcessedSinceCollapse = 0;
   bool Solved = false;

@@ -59,10 +59,21 @@ public:
   /// \p ConnectAuxIndirectCalls: wire Andersen-resolved indirect calls into
   /// the SVFG eagerly (required when solving with OnTheFlyCallGraph=false).
   /// \p AndersenOpts configures the auxiliary solver.
-  void build(bool ConnectAuxIndirectCalls = false,
+  ///
+  /// Building is one-shot: the first call fixes the pipeline. A repeated
+  /// call with the same options is a no-op returning true; a repeated call
+  /// with *different* options returns false and leaves the existing
+  /// pipeline untouched — callers must check, or they would silently run
+  /// against an SVFG built under other assumptions (e.g. missing the
+  /// eagerly connected indirect calls that OnTheFlyCallGraph=false needs).
+  bool build(bool ConnectAuxIndirectCalls = false,
              andersen::Andersen::Options AndersenOpts = {}) {
     if (Graph)
-      return;
+      return ConnectAuxIndirectCalls == BuiltConnectAux &&
+             AndersenOpts.OfflineSubstitution ==
+                 BuiltAndersenOpts.OfflineSubstitution;
+    BuiltConnectAux = ConnectAuxIndirectCalls;
+    BuiltAndersenOpts = AndersenOpts;
     Timer T;
     Aux = std::make_unique<andersen::Andersen>(M, AndersenOpts);
     Aux->solve();
@@ -76,11 +87,21 @@ public:
     Graph = std::make_unique<svfg::SVFG>(M, *Aux, *SSA,
                                          ConnectAuxIndirectCalls);
     SVFGSecs = T.seconds();
+    return true;
   }
+
+  /// True once build() has run; accessors below are only valid then.
+  bool isBuilt() const { return Graph != nullptr; }
+  /// Whether the SVFG was built with Andersen-resolved indirect calls
+  /// connected eagerly (what OnTheFlyCallGraph=false solving requires).
+  bool builtWithAuxIndirectCalls() const { return BuiltConnectAux; }
 
   andersen::Andersen &andersen() { return *Aux; }
   memssa::MemSSA &memSSA() { return *SSA; }
   svfg::SVFG &svfg() { return *Graph; }
+  const andersen::Andersen &andersen() const { return *Aux; }
+  const memssa::MemSSA &memSSA() const { return *SSA; }
+  const svfg::SVFG &svfg() const { return *Graph; }
 
   double andersenSeconds() const { return AndersenSecs; }
   double memSSASeconds() const { return MemSSASecs; }
@@ -91,6 +112,8 @@ private:
   std::unique_ptr<andersen::Andersen> Aux;
   std::unique_ptr<memssa::MemSSA> SSA;
   std::unique_ptr<svfg::SVFG> Graph;
+  bool BuiltConnectAux = false;
+  andersen::Andersen::Options BuiltAndersenOpts;
   double AndersenSecs = 0, MemSSASecs = 0, SVFGSecs = 0;
 };
 

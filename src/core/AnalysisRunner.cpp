@@ -1,0 +1,231 @@
+//===- AnalysisRunner.cpp - Name → solver registry and runner ---*- C++ -*-===//
+
+#include "core/AnalysisRunner.h"
+
+#include "core/FlowSensitive.h"
+#include "core/IterativeFlowSensitive.h"
+#include "core/VersionedFlowSensitive.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace vsfs;
+using namespace vsfs::core;
+
+uint64_t AndersenResult::numPtsSetsStored() const {
+  // Andersen keeps one set per abstract object (what the object's memory
+  // points to), position-insensitively.
+  const ir::Module &M = A.module();
+  uint64_t Total = 0;
+  for (ir::ObjID O = 0; O < M.symbols().numObjects(); ++O)
+    Total += A.ptsOfObj(O).empty() ? 0 : 1;
+  return Total;
+}
+
+uint64_t AndersenResult::footprintBytes() const {
+  const ir::Module &M = A.module();
+  uint64_t Total = 0;
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+    Total += A.ptsOfVar(V).capacityBytes();
+  for (ir::ObjID O = 0; O < M.symbols().numObjects(); ++O)
+    Total += A.ptsOfObj(O).capacityBytes();
+  return Total;
+}
+
+AnalysisRunner &AnalysisRunner::registry() {
+  static AnalysisRunner R = [] {
+    AnalysisRunner Reg;
+    Reg.add({"ander",
+             {},
+             "flow-insensitive inclusion-based analysis (the auxiliary "
+             "stage)",
+             [](AnalysisContext &Ctx, const SolverOptions &) {
+               return std::make_unique<AndersenResult>(Ctx.andersen());
+             }});
+    Reg.add({"iter",
+             {"dense"},
+             "dense iterative ICFG data-flow analysis (SIV-A baseline)",
+             [](AnalysisContext &Ctx, const SolverOptions &) {
+               return std::make_unique<IterativeFlowSensitive>(
+                   Ctx.module(), Ctx.andersen());
+             }});
+    Reg.add({"sfs",
+             {},
+             "staged flow-sensitive analysis (Hardekopf & Lin)",
+             [](AnalysisContext &Ctx, const SolverOptions &Opts) {
+               FlowSensitive::Options O;
+               O.OnTheFlyCallGraph = Opts.OnTheFlyCallGraph;
+               return std::make_unique<FlowSensitive>(Ctx.svfg(), O);
+             }});
+    Reg.add({"vsfs",
+             {},
+             "versioned staged flow-sensitive analysis (the paper)",
+             [](AnalysisContext &Ctx, const SolverOptions &Opts) {
+               VersionedFlowSensitive::Options O;
+               O.OnTheFlyCallGraph = Opts.OnTheFlyCallGraph;
+               O.LabelRep = Opts.LabelRep;
+               return std::make_unique<VersionedFlowSensitive>(Ctx.svfg(),
+                                                               O);
+             }});
+    return Reg;
+  }();
+  return R;
+}
+
+void AnalysisRunner::add(Entry E) {
+  for (Entry &Existing : Entries) {
+    if (Existing.Name == E.Name) {
+      Existing = std::move(E);
+      return;
+    }
+  }
+  Entries.push_back(std::move(E));
+}
+
+const AnalysisRunner::Entry *
+AnalysisRunner::find(std::string_view Name) const {
+  for (const Entry &E : Entries) {
+    if (E.Name == Name)
+      return &E;
+    for (const std::string &A : E.Aliases)
+      if (A == Name)
+        return &E;
+  }
+  return nullptr;
+}
+
+std::string AnalysisRunner::namesString() const {
+  std::string Out;
+  for (const Entry &E : Entries) {
+    if (!Out.empty())
+      Out += " | ";
+    Out += E.Name;
+  }
+  return Out;
+}
+
+AnalysisRunner::RunResult
+AnalysisRunner::run(AnalysisContext &Ctx, std::string_view Name,
+                    const SolverOptions &Opts) const {
+  RunResult R;
+  const Entry *E = find(Name);
+  if (!E)
+    return R;
+  assert(Ctx.isBuilt() && "run() needs a built AnalysisContext");
+  assert((Opts.OnTheFlyCallGraph || Ctx.builtWithAuxIndirectCalls()) &&
+         "aux-call-graph solving needs ConnectAuxIndirectCalls at build");
+  R.Name = E->Name;
+  R.Analysis = E->Make(Ctx, Opts);
+  Timer T;
+  R.Analysis->solve();
+  R.SolveSeconds = T.seconds();
+  return R;
+}
+
+std::string vsfs::core::statsText(const AnalysisRunner::RunResult &R) {
+  std::string Out;
+  // VSFS's versioning pre-analysis reports its own group, like the tool
+  // always printed it.
+  if (const auto *V =
+          dynamic_cast<const VersionedFlowSensitive *>(R.Analysis.get()))
+    Out += V->versioning().stats().toString();
+  Out += R.Analysis->stats().toString();
+  return Out;
+}
+
+namespace {
+
+void jsonKey(std::ostringstream &OS, int Indent, const char *Key) {
+  for (int I = 0; I < Indent; ++I)
+    OS << ' ';
+  OS << '"' << Key << "\": ";
+}
+
+std::string jsonDouble(double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", D);
+  return Buf;
+}
+
+void jsonCounters(std::ostringstream &OS, int Indent, const StatGroup &G) {
+  OS << "{";
+  bool First = true;
+  for (const auto &[Key, Value] : G) {
+    OS << (First ? "\n" : ",\n");
+    jsonKey(OS, Indent + 2, Key.c_str());
+    OS << Value;
+    First = false;
+  }
+  OS << '\n';
+  for (int I = 0; I < Indent; ++I)
+    OS << ' ';
+  OS << '}';
+}
+
+} // namespace
+
+std::string vsfs::core::statsJson(
+    const AnalysisContext &Ctx,
+    const std::vector<AnalysisRunner::RunResult> &Results) {
+  const ir::Module &M = Ctx.module();
+  std::ostringstream OS;
+  OS << "{\n";
+  jsonKey(OS, 2, "schema");
+  OS << "\"vsfs-stats-v1\",\n";
+
+  jsonKey(OS, 2, "module");
+  OS << "{\n";
+  jsonKey(OS, 4, "instructions");
+  OS << M.numInstructions() << ",\n";
+  jsonKey(OS, 4, "functions");
+  OS << M.numFunctions() << ",\n";
+  jsonKey(OS, 4, "variables");
+  OS << M.symbols().numVars() << ",\n";
+  jsonKey(OS, 4, "objects");
+  OS << M.symbols().numObjects() << "\n  },\n";
+
+  jsonKey(OS, 2, "pipeline");
+  OS << "{\n";
+  jsonKey(OS, 4, "andersen_seconds");
+  OS << jsonDouble(Ctx.andersenSeconds()) << ",\n";
+  jsonKey(OS, 4, "memssa_seconds");
+  OS << jsonDouble(Ctx.memSSASeconds()) << ",\n";
+  jsonKey(OS, 4, "svfg_seconds");
+  OS << jsonDouble(Ctx.svfgSeconds()) << ",\n";
+  jsonKey(OS, 4, "svfg_nodes");
+  OS << Ctx.svfg().numNodes() << ",\n";
+  jsonKey(OS, 4, "svfg_direct_edges");
+  OS << Ctx.svfg().numDirectEdges() << ",\n";
+  jsonKey(OS, 4, "svfg_indirect_edges");
+  OS << Ctx.svfg().numIndirectEdges() << "\n  },\n";
+
+  jsonKey(OS, 2, "analyses");
+  OS << "[";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const AnalysisRunner::RunResult &R = Results[I];
+    OS << (I == 0 ? "\n" : ",\n") << "    {\n";
+    jsonKey(OS, 6, "name");
+    OS << '"' << R.Name << "\",\n";
+    jsonKey(OS, 6, "solve_seconds");
+    OS << jsonDouble(R.SolveSeconds) << ",\n";
+    jsonKey(OS, 6, "pts_sets_stored");
+    OS << R.Analysis->numPtsSetsStored() << ",\n";
+    jsonKey(OS, 6, "footprint_bytes");
+    OS << R.Analysis->footprintBytes() << ",\n";
+    if (const auto *V = dynamic_cast<const VersionedFlowSensitive *>(
+            R.Analysis.get())) {
+      jsonKey(OS, 6, "versioning_seconds");
+      OS << jsonDouble(V->versioningSeconds()) << ",\n";
+      jsonKey(OS, 6, "versioning_counters");
+      jsonCounters(OS, 6, V->versioning().stats());
+      OS << ",\n";
+    }
+    jsonKey(OS, 6, "counters");
+    jsonCounters(OS, 6, R.Analysis->stats());
+    OS << "\n    }";
+  }
+  OS << "\n  ]\n}\n";
+  return OS.str();
+}

@@ -1,0 +1,130 @@
+//===- AnalysisRunner.h - Name → solver registry and runner -----*- C++ -*-===//
+///
+/// \file
+/// One place that knows how to go from a built \c AnalysisContext to a
+/// solved \c PointerAnalysisResult, for every solver in the library. The
+/// CLI driver, the table benches and the tests all dispatch through this
+/// registry instead of each hand-rolling the build→solve→report sequence,
+/// so adding a solver is one \c add() call and every client picks it up.
+///
+/// \code
+///   const auto *E = core::AnalysisRunner::registry().find("vsfs");
+///   core::AnalysisRunner::RunResult R =
+///       core::AnalysisRunner::registry().run(Ctx, "vsfs");
+///   R.Analysis->ptsOfVar(...);  // solved
+///   std::string Json = core::statsJson(Ctx, Results);
+/// \endcode
+///
+/// Builtins: "ander" (flow-insensitive auxiliary), "iter" (dense ICFG
+/// data-flow, alias "dense"), "sfs", "vsfs".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_ANALYSISRUNNER_H
+#define VSFS_CORE_ANALYSISRUNNER_H
+
+#include "core/AnalysisContext.h"
+#include "core/ObjectVersioning.h"
+#include "core/PointerAnalysis.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsfs {
+namespace core {
+
+/// Adapts the auxiliary Andersen analysis to the common result interface.
+class AndersenResult : public PointerAnalysisResult {
+public:
+  explicit AndersenResult(andersen::Andersen &A) : A(A) {}
+
+  void solve() override { A.solve(); }
+  const PointsTo &ptsOfVar(ir::VarID V) const override {
+    return A.ptsOfVar(V);
+  }
+  const andersen::CallGraph &callGraph() const override {
+    return A.callGraph();
+  }
+  const StatGroup &stats() const override { return A.stats(); }
+  uint64_t numPtsSetsStored() const override;
+  uint64_t footprintBytes() const override;
+
+private:
+  andersen::Andersen &A;
+};
+
+/// Options every factory understands; solver-specific knobs (the meld
+/// representation) are simply ignored by solvers without them.
+struct SolverOptions {
+  /// Resolve indirect calls during solving. When false the SVFG must have
+  /// been built with ConnectAuxIndirectCalls=true (AnalysisRunner::run
+  /// asserts this).
+  bool OnTheFlyCallGraph = true;
+  /// Meld-label representation for VSFS's pre-analysis (§V-B ablation).
+  MeldRep LabelRep = MeldRep::SparseBits;
+};
+
+/// The registry: analysis name → factory over a built AnalysisContext.
+class AnalysisRunner {
+public:
+  using Factory = std::function<std::unique_ptr<PointerAnalysisResult>(
+      AnalysisContext &, const SolverOptions &)>;
+
+  struct Entry {
+    std::string Name;
+    std::vector<std::string> Aliases;
+    std::string Description;
+    Factory Make;
+  };
+
+  /// The process-wide registry, pre-seeded with the builtin solvers.
+  static AnalysisRunner &registry();
+
+  /// Registers a solver. Later registrations win on name collision, so
+  /// clients can override a builtin.
+  void add(Entry E);
+
+  /// Resolves a name or alias; nullptr when unknown.
+  const Entry *find(std::string_view Name) const;
+
+  /// Registered entries, in registration order.
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  /// Comma-separated canonical names, for usage strings.
+  std::string namesString() const;
+
+  /// A constructed-and-solved analysis plus how long the solve took.
+  struct RunResult {
+    std::string Name; ///< Canonical (registered) name.
+    std::unique_ptr<PointerAnalysisResult> Analysis;
+    double SolveSeconds = 0;
+  };
+
+  /// Builds the named solver over \p Ctx (which must already be built) and
+  /// solves it, timing the solve. Returns a null Analysis for unknown
+  /// names.
+  RunResult run(AnalysisContext &Ctx, std::string_view Name,
+                const SolverOptions &Opts = {}) const;
+
+private:
+  std::vector<Entry> Entries;
+};
+
+/// Renders one run's statistics as aligned text (the solver's StatGroup
+/// plus the runner-level solve time and storage accounting).
+std::string statsText(const AnalysisRunner::RunResult &R);
+
+/// Renders the whole session — pipeline timings/sizes and every run's
+/// statistics — as machine-readable JSON (schema "vsfs-stats-v1"), so
+/// benchmark trajectories can be collected mechanically (--stats-json).
+std::string
+statsJson(const AnalysisContext &Ctx,
+          const std::vector<AnalysisRunner::RunResult> &Results);
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_ANALYSISRUNNER_H

@@ -2,8 +2,6 @@
 
 #include "core/FlowSensitive.h"
 
-#include "core/StrongUpdate.h"
-
 #include <cassert>
 
 using namespace vsfs;
@@ -13,32 +11,20 @@ using svfg::NodeID;
 using svfg::NodeKind;
 
 FlowSensitive::FlowSensitive(svfg::SVFG &G, Options Opts)
-    : G(G), M(G.module()), Opts(Opts) {
-  VarPts.assign(M.symbols().numVars(), {});
+    : SparseSolverBase(G.module(), G.auxAnalysis(), "sfs",
+                       Opts.OnTheFlyCallGraph),
+      G(G) {
   In.assign(G.numNodes(), {});
   Out.assign(G.numNodes(), {});
-  SUStore = computeStrongUpdateStores(M, G.auxAnalysis());
-
-  // Seed the flow-sensitive call graph. Direct calls are always known; with
-  // the auxiliary call graph option, indirect targets are adopted from
-  // Andersen (the SVFG already wired their value flows).
-  const andersen::CallGraph &AuxCG = G.auxAnalysis().callGraph();
-  for (InstID CS : AuxCG.callSites()) {
-    if (M.inst(CS).isIndirectCall() && Opts.OnTheFlyCallGraph)
-      continue;
-    for (FunID Callee : AuxCG.callees(CS))
-      FSCG.addEdge(CS, Callee);
-  }
 }
 
 void FlowSensitive::solve() {
-  if (Solved)
+  if (!beginSolve())
     return;
-  Solved = true;
   for (NodeID N = 0; N < G.numNodes(); ++N)
     WL.push(N);
   while (!WL.empty()) {
-    ++Stats.get("node-visits");
+    ++NodeVisits;
     processNode(WL.pop());
   }
   Stats.get("pts-sets-stored") = numPtsSetsStored();
@@ -56,45 +42,6 @@ void FlowSensitive::processNode(NodeID N) {
   if (TopChanged)
     for (NodeID S : G.directSuccs(N))
       WL.push(S);
-}
-
-bool FlowSensitive::processInst(InstID I) {
-  const Instruction &Inst = M.inst(I);
-  switch (Inst.Kind) {
-  case InstKind::Alloc:
-    return VarPts[Inst.Dst].set(Inst.allocObject());
-  case InstKind::Copy:
-    return VarPts[Inst.Dst].unionWith(VarPts[Inst.copySrc()]);
-  case InstKind::Phi: {
-    bool Changed = false;
-    for (VarID Src : Inst.phiSrcs())
-      Changed |= VarPts[Inst.Dst].unionWith(VarPts[Src]);
-    return Changed;
-  }
-  case InstKind::FieldAddr: {
-    bool Changed = false;
-    for (uint32_t O : VarPts[Inst.fieldBase()])
-      Changed |= VarPts[Inst.Dst].set(
-          M.symbols().getFieldObject(O, Inst.fieldOffset()));
-    return Changed;
-  }
-  case InstKind::Load:
-    return processLoad(Inst, I);
-  case InstKind::Store:
-    processStore(Inst, I);
-    return false;
-  case InstKind::Call:
-    processCall(Inst, I);
-    return false;
-  case InstKind::FunEntry:
-    // Parameters are (re)defined here by callers; always forward so their
-    // uses observe updates (this node is only pushed on parameter change).
-    return true;
-  case InstKind::FunExit:
-    processFunExit(Inst);
-    return false;
-  }
-  return false;
 }
 
 bool FlowSensitive::processLoad(const Instruction &Inst, InstID I) {
@@ -138,7 +85,7 @@ void FlowSensitive::processStore(const Instruction &Inst, InstID I) {
   }
 }
 
-void FlowSensitive::connectDiscoveredCallee(InstID CS, FunID Callee) {
+void FlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
   // Wire the SVFG value flows for the new call edge and make sure both the
   // freshly connected sources and the callee boundary nodes run again.
   std::vector<std::pair<NodeID, svfg::IndEdge>> Added;
@@ -150,64 +97,38 @@ void FlowSensitive::connectDiscoveredCallee(InstID CS, FunID Callee) {
   const Function &F = M.function(Callee);
   WL.push(G.instNode(F.Entry));
   WL.push(G.instNode(F.Exit));
-  ++Stats.get("otf-call-edges");
 }
 
-void FlowSensitive::processCall(const Instruction &Inst, InstID I) {
-  // [CALL]: on-the-fly resolution discovers callees from the current
-  // flow-sensitive points-to set of the callee pointer.
-  if (Inst.isIndirectCall() && Opts.OnTheFlyCallGraph) {
-    for (uint32_t O : VarPts[Inst.indirectCalleeVar()]) {
-      if (!M.symbols().isFunctionObject(O))
-        continue;
-      FunID Callee = M.symbols().object(O).Func;
-      if (FSCG.addEdge(I, Callee))
-        connectDiscoveredCallee(I, Callee);
-    }
-  }
-
-  // Actual -> formal argument bindings.
-  const auto &Args = Inst.callArgs();
-  for (FunID Callee : FSCG.callees(I)) {
-    const Function &F = M.function(Callee);
-    size_t N = std::min(Args.size(), F.Params.size());
-    bool ParamChanged = false;
-    for (size_t K = 0; K < N; ++K)
-      ParamChanged |= VarPts[F.Params[K]].unionWith(VarPts[Args[K]]);
-    if (ParamChanged)
-      WL.push(G.instNode(F.Entry));
-  }
+void FlowSensitive::onFormalBound(FunID Callee, VarID Param) {
+  // Re-run the callee from its entry so the parameter's uses observe the
+  // update (the worklist deduplicates repeated pushes per call).
+  (void)Param;
+  WL.push(G.instNode(M.function(Callee).Entry));
 }
 
-void FlowSensitive::processFunExit(const Instruction &Inst) {
-  // [RET]: flow the returned pointer into every caller's destination, and
-  // wake the uses of those destinations (the call nodes' direct succs).
-  VarID Ret = Inst.exitRet();
-  if (Ret == InvalidVar)
-    return;
-  for (InstID CS : FSCG.callers(Inst.Parent)) {
-    const Instruction &Call = M.inst(CS);
-    if (Call.Dst == InvalidVar)
-      continue;
-    if (VarPts[Call.Dst].unionWith(VarPts[Ret]))
-      for (NodeID S : G.directSuccs(G.instNode(CS)))
-        WL.push(S);
-  }
+void FlowSensitive::onReturnBound(InstID CS, VarID Dst) {
+  // Wake the uses of the call's destination (the call node's direct succs).
+  (void)Dst;
+  for (NodeID S : G.directSuccs(G.instNode(CS)))
+    WL.push(S);
 }
 
 void FlowSensitive::propagateIndirect(NodeID N) {
   // [A-PROP]: forward this node's view of each object along its outgoing
   // object-labelled edges. Stores forward OUT; everything else forwards IN.
+  const auto &IndSuccs = G.indirectSuccs(N);
+  if (IndSuccs.empty())
+    return;
   const bool IsStore = G.node(N).Kind == NodeKind::Inst &&
                        M.inst(G.node(N).Inst).Kind == InstKind::Store;
   const ObjMap &Src = IsStore ? Out[N] : In[N];
-  if (Src.empty() && G.indirectSuccs(N).empty())
+  if (Src.empty())
     return;
-  for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+  for (const svfg::IndEdge &E : IndSuccs) {
     auto It = Src.find(E.Obj);
     if (It == Src.end() || It->second.empty())
       continue;
-    ++Stats.get("propagations");
+    ++Propagations;
     if (In[E.Dst][E.Obj].unionWith(It->second))
       WL.push(E.Dst);
   }
@@ -220,33 +141,10 @@ const PointsTo &FlowSensitive::inOf(NodeID N, ObjID O) const {
 }
 
 uint64_t FlowSensitive::footprintBytes() const {
-  auto MapBytes = [](const ObjMap &Map) {
-    // Hash buckets + per-entry node overhead + the PointsTo headers.
-    uint64_t B = Map.bucket_count() * sizeof(void *);
-    B += Map.size() * (sizeof(std::pair<const ir::ObjID, PointsTo>) +
-                       2 * sizeof(void *));
-    for (const auto &[O, Set] : Map) {
-      (void)O;
-      B += Set.capacityBytes();
-    }
-    return B;
-  };
-  uint64_t Total = 0;
-  for (const ObjMap &Map : In)
-    Total += MapBytes(Map);
-  for (const ObjMap &Map : Out)
-    Total += MapBytes(Map);
-  Total += VarPts.capacity() * sizeof(PointsTo);
-  for (const PointsTo &P : VarPts)
-    Total += P.capacityBytes();
-  return Total;
+  return objPtsMapTableBytes(In) + objPtsMapTableBytes(Out) +
+         topLevelFootprintBytes();
 }
 
 uint64_t FlowSensitive::numPtsSetsStored() const {
-  uint64_t Total = 0;
-  for (const ObjMap &Map : In)
-    Total += Map.size();
-  for (const ObjMap &Map : Out)
-    Total += Map.size();
-  return Total;
+  return objPtsMapTableEntries(In) + objPtsMapTableEntries(Out);
 }

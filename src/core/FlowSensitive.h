@@ -14,6 +14,10 @@
 /// This is exactly the redundancy VSFS removes: many of these IN/OUT sets
 /// are equal and are nonetheless stored and re-propagated separately.
 ///
+/// Only the memory representation above lives here; the top-level transfer
+/// functions, call-graph discovery and return flow are shared with the
+/// other solvers in \c SparseSolverBase.
+///
 /// The call graph is resolved on the fly from flow-sensitive points-to sets
 /// by default; pass OnTheFlyCallGraph=false to reuse the auxiliary
 /// (Andersen) call graph instead (the SVFG must then have been built with
@@ -25,17 +29,18 @@
 #define VSFS_CORE_FLOWSENSITIVE_H
 
 #include "adt/WorkList.h"
-#include "core/PointerAnalysis.h"
+#include "core/SparseSolverBase.h"
 #include "svfg/SVFG.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace vsfs {
 namespace core {
 
 /// Staged flow-sensitive points-to analysis on the SVFG.
-class FlowSensitive : public PointerAnalysisResult {
+class FlowSensitive : public SparseSolverBase<FlowSensitive> {
+  friend class SparseSolverBase<FlowSensitive>;
+
 public:
   struct Options {
     /// Resolve indirect calls with flow-sensitive points-to sets as the
@@ -47,53 +52,37 @@ public:
   explicit FlowSensitive(svfg::SVFG &G) : FlowSensitive(G, Options()) {}
 
   /// Runs to a fixed point. Idempotent.
-  void solve();
-
-  const PointsTo &ptsOfVar(ir::VarID V) const override {
-    return VarPts[V];
-  }
-  const andersen::CallGraph &callGraph() const override { return FSCG; }
-  const StatGroup &stats() const override { return Stats; }
+  void solve() override;
 
   /// IN set of object \p O at node \p N (empty if never propagated).
   const PointsTo &inOf(svfg::NodeID N, ir::ObjID O) const;
 
   /// Total number of distinct (node, object) points-to sets stored in
   /// IN/OUT tables — the quantity Figure 2b column 2 counts.
-  uint64_t numPtsSetsStored() const;
+  uint64_t numPtsSetsStored() const override;
 
   /// Approximate bytes of analysis state: IN/OUT hash-map entries, their
   /// points-to sets, and the top-level sets. The per-analysis analogue of
   /// the paper's maximum-resident-size column.
-  uint64_t footprintBytes() const;
+  uint64_t footprintBytes() const override;
 
 private:
-  using ObjMap = std::unordered_map<ir::ObjID, PointsTo>;
+  using ObjMap = ObjPtsMap;
 
   void processNode(svfg::NodeID N);
-  bool processInst(ir::InstID I);
+  // Memory transfer functions and scheduling hooks for SparseSolverBase.
   bool processLoad(const ir::Instruction &Inst, ir::InstID I);
   void processStore(const ir::Instruction &Inst, ir::InstID I);
-  void processCall(const ir::Instruction &Inst, ir::InstID I);
-  void processFunExit(const ir::Instruction &Inst);
-  void connectDiscoveredCallee(ir::InstID CS, ir::FunID Callee);
+  void onCalleeDiscovered(ir::InstID CS, ir::FunID Callee);
+  void onFormalBound(ir::FunID Callee, ir::VarID Param);
+  void onReturnBound(ir::InstID CS, ir::VarID Dst);
   void propagateIndirect(svfg::NodeID N);
 
-  PointsTo &inRef(svfg::NodeID N, ir::ObjID O) { return In[N][O]; }
-
   svfg::SVFG &G;
-  ir::Module &M;
-  Options Opts;
 
-  std::vector<PointsTo> VarPts;
   std::vector<ObjMap> In;
   std::vector<ObjMap> Out; ///< Populated at stores only.
-  /// Stores eligible for strong updates (see core/StrongUpdate.h).
-  std::vector<bool> SUStore;
-  andersen::CallGraph FSCG;
   adt::FIFOWorkList WL;
-  StatGroup Stats{"sfs"};
-  bool Solved = false;
 };
 
 } // namespace core

@@ -2,22 +2,19 @@
 
 #include "core/IterativeFlowSensitive.h"
 
-#include "core/StrongUpdate.h"
-
 #include <cassert>
 
 using namespace vsfs;
 using namespace vsfs::core;
 using namespace vsfs::ir;
 
-IterativeFlowSensitive::IterativeFlowSensitive(
-    Module &M, const andersen::Andersen &Ander)
-    : M(M), Ander(Ander),
-      Graph(M, [&Ander](InstID CS) {
+IterativeFlowSensitive::IterativeFlowSensitive(Module &M,
+                                               const andersen::Andersen &Ander)
+    : SparseSolverBase(M, Ander, "iterative-fs",
+                       /*OnTheFlyCallGraph=*/false),
+      Ander(Ander), Graph(M, [&Ander](InstID CS) {
         return Ander.callGraph().callees(CS);
       }) {
-  VarPts.assign(M.symbols().numVars(), {});
-  SUStore = computeStrongUpdateStores(M, Ander);
   In.assign(M.numInstructions(), {});
   Out.assign(M.numInstructions(), {});
   UsesOfVar.assign(M.symbols().numVars(), {});
@@ -33,13 +30,12 @@ IterativeFlowSensitive::IterativeFlowSensitive(
 }
 
 void IterativeFlowSensitive::solve() {
-  if (Solved)
+  if (!beginSolve())
     return;
-  Solved = true;
   for (InstID I = 0; I < M.numInstructions(); ++I)
     WL.push(I);
   while (!WL.empty()) {
-    ++Stats.get("node-visits");
+    ++NodeVisits;
     process(WL.pop());
   }
   Stats.get("pts-sets-stored") = numPtsSetsStored();
@@ -47,105 +43,18 @@ void IterativeFlowSensitive::solve() {
 
 void IterativeFlowSensitive::process(InstID I) {
   const Instruction &Inst = M.inst(I);
-  const andersen::CallGraph &CG = Ander.callGraph();
 
-  auto TopChanged = [&](VarID V, bool Changed) {
-    if (!Changed)
-      return;
-    for (InstID U : UsesOfVar[V])
-      WL.push(U);
-  };
-
-  bool IsStore = Inst.Kind == InstKind::Store;
-  switch (Inst.Kind) {
-  case InstKind::Alloc:
-    TopChanged(Inst.Dst, VarPts[Inst.Dst].set(Inst.allocObject()));
-    break;
-  case InstKind::Copy:
-    TopChanged(Inst.Dst, VarPts[Inst.Dst].unionWith(VarPts[Inst.copySrc()]));
-    break;
-  case InstKind::Phi: {
-    bool Changed = false;
-    for (VarID Src : Inst.phiSrcs())
-      Changed |= VarPts[Inst.Dst].unionWith(VarPts[Src]);
-    TopChanged(Inst.Dst, Changed);
-    break;
-  }
-  case InstKind::FieldAddr: {
-    bool Changed = false;
-    for (uint32_t O : VarPts[Inst.fieldBase()])
-      Changed |= VarPts[Inst.Dst].set(
-          M.symbols().getFieldObject(O, Inst.fieldOffset()));
-    TopChanged(Inst.Dst, Changed);
-    break;
-  }
-  case InstKind::Load: {
-    bool Changed = false;
-    ObjMap &NodeIn = In[I];
-    for (uint32_t O : VarPts[Inst.loadPtr()]) {
-      auto It = NodeIn.find(O);
-      if (It != NodeIn.end())
-        Changed |= VarPts[Inst.Dst].unionWith(It->second);
-    }
-    TopChanged(Inst.Dst, Changed);
-    break;
-  }
-  case InstKind::Store: {
-    // OUT = GEN ∪ (IN − KILL), accumulated monotonically; the kill set is
-    // static (core/StrongUpdate.h), matching SFS/VSFS exactly.
-    const PointsTo &PtrPts = VarPts[Inst.storePtr()];
-    const PointsTo &ValPts = VarPts[Inst.storeVal()];
-    const bool StrongUpdate = SUStore[I];
-    ObjMap &NodeIn = In[I];
-    ObjMap &NodeOut = Out[I];
-    for (uint32_t O : PtrPts) {
-      if (M.symbols().isFunctionObject(O))
-        continue;
-      NodeOut[O].unionWith(ValPts);
-    }
-    // The killed object is the store's (auxiliary) singleton pointee.
-    const uint32_t KillObj =
-        StrongUpdate ? Ander.ptsOfVar(Inst.storePtr()).findFirst()
-                     : UINT32_MAX;
-    for (auto &[O, Set] : NodeIn) {
-      if (StrongUpdate && O == KillObj)
-        continue; // Killed.
-      NodeOut[O].unionWith(Set);
-    }
-    break;
-  }
-  case InstKind::Call: {
-    const auto &Args = Inst.callArgs();
-    for (FunID Callee : CG.callees(I)) {
-      const Function &F = M.function(Callee);
-      size_t N = std::min(Args.size(), F.Params.size());
-      for (size_t K = 0; K < N; ++K)
-        TopChanged(F.Params[K],
-                   VarPts[F.Params[K]].unionWith(VarPts[Args[K]]));
-    }
-    break;
-  }
-  case InstKind::FunEntry:
-    break;
-  case InstKind::FunExit: {
-    VarID Ret = Inst.exitRet();
-    if (Ret == InvalidVar)
-      break;
-    for (InstID CS : CG.callers(Inst.Parent)) {
-      const Instruction &Call = M.inst(CS);
-      if (Call.Dst != InvalidVar)
-        TopChanged(Call.Dst, VarPts[Call.Dst].unionWith(VarPts[Ret]));
-    }
-    break;
-  }
-  }
+  // Shared top-level transfer functions; a changed destination re-runs its
+  // uses (this solver is instruction-granular, not SVFG-node-granular).
+  if (processInst(I) && Inst.definesVar())
+    pushUses(Inst.Dst);
 
   // Flow the memory state to ICFG successors.
-  const ObjMap &Source = IsStore ? Out[I] : In[I];
+  const ObjMap &Source = Inst.Kind == InstKind::Store ? Out[I] : In[I];
   for (InstID S : Graph.successors(I)) {
     bool Changed = false;
     for (const auto &[O, Set] : Source) {
-      ++Stats.get("propagations");
+      ++Propagations;
       Changed |= In[S][O].unionWith(Set);
     }
     if (Changed)
@@ -153,11 +62,64 @@ void IterativeFlowSensitive::process(InstID I) {
   }
 }
 
+bool IterativeFlowSensitive::processLoad(const Instruction &Inst, InstID I) {
+  bool Changed = false;
+  ObjMap &NodeIn = In[I];
+  for (uint32_t O : VarPts[Inst.loadPtr()]) {
+    auto It = NodeIn.find(O);
+    if (It != NodeIn.end())
+      Changed |= VarPts[Inst.Dst].unionWith(It->second);
+  }
+  return Changed;
+}
+
+void IterativeFlowSensitive::processStore(const Instruction &Inst, InstID I) {
+  // OUT = GEN ∪ (IN − KILL), accumulated monotonically; the kill set is
+  // static (core/StrongUpdate.h), matching SFS/VSFS exactly.
+  const PointsTo &PtrPts = VarPts[Inst.storePtr()];
+  const PointsTo &ValPts = VarPts[Inst.storeVal()];
+  const bool StrongUpdate = SUStore[I];
+  ObjMap &NodeIn = In[I];
+  ObjMap &NodeOut = Out[I];
+  for (uint32_t O : PtrPts) {
+    if (M.symbols().isFunctionObject(O))
+      continue;
+    NodeOut[O].unionWith(ValPts);
+  }
+  // The killed object is the store's (auxiliary) singleton pointee.
+  const uint32_t KillObj = StrongUpdate
+                               ? Ander.ptsOfVar(Inst.storePtr()).findFirst()
+                               : UINT32_MAX;
+  for (auto &[O, Set] : NodeIn) {
+    if (StrongUpdate && O == KillObj)
+      continue; // Killed.
+    NodeOut[O].unionWith(Set);
+  }
+}
+
+void IterativeFlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
+  // Unreachable: this solver always runs on the full auxiliary call graph
+  // (OnTheFlyCallGraph=false), so the base never discovers callees.
+  (void)CS;
+  (void)Callee;
+  assert(false && "dense solver never resolves callees on the fly");
+}
+
+void IterativeFlowSensitive::onFormalBound(FunID Callee, VarID Param) {
+  (void)Callee;
+  pushUses(Param);
+}
+
+void IterativeFlowSensitive::onReturnBound(InstID CS, VarID Dst) {
+  (void)CS;
+  pushUses(Dst);
+}
+
+uint64_t IterativeFlowSensitive::footprintBytes() const {
+  return objPtsMapTableBytes(In) + objPtsMapTableBytes(Out) +
+         topLevelFootprintBytes();
+}
+
 uint64_t IterativeFlowSensitive::numPtsSetsStored() const {
-  uint64_t Total = 0;
-  for (const ObjMap &Map : In)
-    Total += Map.size();
-  for (const ObjMap &Map : Out)
-    Total += Map.size();
-  return Total;
+  return objPtsMapTableEntries(In) + objPtsMapTableEntries(Out);
 }

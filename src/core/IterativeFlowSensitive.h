@@ -20,6 +20,9 @@
 ///      memory-SSA form keeps separate), and
 ///  (b) the "traditional" baseline for the sparsity ablation bench.
 ///
+/// The top-level transfer functions are shared with SFS/VSFS through
+/// \c SparseSolverBase; only the dense memory propagation lives here.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VSFS_CORE_ITERATIVEFLOWSENSITIVE_H
@@ -27,42 +30,48 @@
 
 #include "adt/WorkList.h"
 #include "andersen/Andersen.h"
-#include "core/PointerAnalysis.h"
+#include "core/SparseSolverBase.h"
 #include "ir/ICFG.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace vsfs {
 namespace core {
 
 /// Dense flow-sensitive points-to analysis over the ICFG.
-class IterativeFlowSensitive : public PointerAnalysisResult {
+class IterativeFlowSensitive
+    : public SparseSolverBase<IterativeFlowSensitive> {
+  friend class SparseSolverBase<IterativeFlowSensitive>;
+
 public:
   IterativeFlowSensitive(ir::Module &M, const andersen::Andersen &Ander);
 
-  void solve();
-
-  const PointsTo &ptsOfVar(ir::VarID V) const override { return VarPts[V]; }
-  const andersen::CallGraph &callGraph() const override {
-    return Ander.callGraph();
-  }
-  const StatGroup &stats() const override { return Stats; }
+  void solve() override;
 
   /// Total (node, object) points-to sets stored — the dense cost.
-  uint64_t numPtsSetsStored() const;
+  uint64_t numPtsSetsStored() const override;
+
+  /// Approximate bytes of the dense IN/OUT tables plus the top-level sets.
+  uint64_t footprintBytes() const override;
 
 private:
-  using ObjMap = std::unordered_map<ir::ObjID, PointsTo>;
+  using ObjMap = ObjPtsMap;
 
   void process(ir::InstID I);
+  // Memory transfer functions and scheduling hooks for SparseSolverBase.
+  bool processLoad(const ir::Instruction &Inst, ir::InstID I);
+  void processStore(const ir::Instruction &Inst, ir::InstID I);
+  void onCalleeDiscovered(ir::InstID CS, ir::FunID Callee);
+  void onFormalBound(ir::FunID Callee, ir::VarID Param);
+  void onReturnBound(ir::InstID CS, ir::VarID Dst);
 
-  ir::Module &M;
+  void pushUses(ir::VarID V) {
+    for (ir::InstID U : UsesOfVar[V])
+      WL.push(U);
+  }
+
   const andersen::Andersen &Ander;
 
-  std::vector<PointsTo> VarPts;
-  /// Stores eligible for strong updates (see core/StrongUpdate.h).
-  std::vector<bool> SUStore;
   std::vector<ObjMap> In;
   std::vector<ObjMap> Out; ///< Stores only; others forward IN.
   /// The interprocedural CFG, with calls routed through their (auxiliary)
@@ -72,8 +81,6 @@ private:
   std::vector<std::vector<ir::InstID>> UsesOfVar;
 
   adt::FIFOWorkList WL;
-  StatGroup Stats{"iterative-fs"};
-  bool Solved = false;
 };
 
 } // namespace core

@@ -184,7 +184,7 @@ void ObjectVersioning::meld() {
         CompLabel[SCCs.ComponentOf[L]].unionWith(Init[L]);
       for (uint32_t C = SCCs.NumComponents; C-- > 0;) {
         for (uint32_t S : CompSuccs[C]) {
-          ++Stats.get("meld-ops");
+          ++MeldOps;
           CompLabel[S].unionWith(CompLabel[C]);
         }
       }
@@ -199,7 +199,7 @@ void ObjectVersioning::meld() {
       }
       for (uint32_t C = SCCs.NumComponents; C-- > 0;) {
         for (uint32_t S : CompSuccs[C]) {
-          ++Stats.get("meld-ops");
+          ++MeldOps;
           CompId[S] = Store.meld(CompId[S], CompId[C]);
         }
       }

@@ -133,6 +133,9 @@ private:
 
   double Seconds = 0;
   StatGroup Stats{"versioning"};
+  /// Interned hot-loop counter (see StatCounter): one bump per meld in the
+  /// per-object label propagation sweeps.
+  StatCounter MeldOps = Stats.counter("meld-ops");
   bool Ran = false;
 };
 

@@ -20,9 +20,18 @@ namespace vsfs {
 namespace core {
 
 /// Abstract results of a pointer analysis.
+///
+/// Every solver in the library (Andersen via \c AndersenResult, the dense
+/// iterative baseline, SFS and VSFS) implements this interface, so clients,
+/// the \c AnalysisRunner registry and the equivalence tests can build,
+/// solve and compare any pair of analyses uniformly.
 class PointerAnalysisResult {
 public:
   virtual ~PointerAnalysisResult() = default;
+
+  /// Runs the analysis to its fixed point. Idempotent: repeated calls
+  /// return immediately.
+  virtual void solve() = 0;
 
   /// The final points-to set of a top-level variable.
   virtual const PointsTo &ptsOfVar(ir::VarID V) const = 0;
@@ -32,6 +41,16 @@ public:
 
   /// Work/size statistics.
   virtual const StatGroup &stats() const = 0;
+
+  /// Number of distinct points-to sets the analysis stores for address-taken
+  /// memory (the quantity Figure 2b compares across analyses). Zero for
+  /// analyses without per-position memory state (Andersen).
+  virtual uint64_t numPtsSetsStored() const { return 0; }
+
+  /// Approximate bytes of final analysis state — points-to sets plus the
+  /// index structures holding them. The per-analysis analogue of the
+  /// paper's maximum-resident-size column.
+  virtual uint64_t footprintBytes() const { return 0; }
 
   /// True if \p V may point to \p O.
   bool mayPointTo(ir::VarID V, ir::ObjID O) const {

@@ -1,0 +1,235 @@
+//===- SparseSolverBase.h - Shared flow-sensitive solver core ---*- C++ -*-===//
+///
+/// \file
+/// The solver core shared by every flow-sensitive analysis in the library.
+/// The paper's analyses (dense iterative §IV-A, SFS §IV-B, VSFS §IV-D)
+/// differ *only* in how address-taken memory is represented and propagated:
+/// per-node IN/OUT maps for the first two, per-version global points-to
+/// sets for VSFS. Everything top-level is identical across them —
+/// [ALLOC]/[COPY]/[PHI]/[FIELD-ADDR], on-the-fly call-graph discovery,
+/// actual→formal argument binding, and [RET] return flow — and lives here
+/// exactly once.
+///
+/// The base is a CRTP template rather than a virtual interface so the hot
+/// instruction switch stays devirtualized: the derived memory transfer
+/// functions are resolved statically and inline into the solve loop.
+///
+/// A derived solver provides its memory semantics and scheduling:
+///
+///   bool processLoad(const ir::Instruction &, ir::InstID);
+///       [LOAD]: read the memory state into the destination's top-level
+///       set; returns whether the destination changed.
+///   void processStore(const ir::Instruction &, ir::InstID);
+///       [STORE]/[SU/WU]: write the memory state, scheduling whatever the
+///       representation requires.
+///   void onCalleeDiscovered(ir::InstID CS, ir::FunID Callee);
+///       A new call edge was resolved on the fly; wire the callee's value
+///       flows and reschedule affected work. Never called when the solver
+///       runs on the auxiliary call graph.
+///   void onFormalBound(ir::FunID Callee, ir::VarID Param);
+///       A formal parameter's points-to set grew during [CALL] binding.
+///   void onReturnBound(ir::InstID CS, ir::VarID Dst);
+///       A call destination's points-to set grew during [RET] binding.
+///
+/// and the accounting pair \c numPtsSetsStored() / \c footprintBytes()
+/// (how much memory state the representation keeps — the quantities
+/// Figure 2b and Table III compare).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_CORE_SPARSESOLVERBASE_H
+#define VSFS_CORE_SPARSESOLVERBASE_H
+
+#include "core/PointerAnalysis.h"
+#include "core/StrongUpdate.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace core {
+
+/// Per-(node, object) points-to tables, as kept by the dense and SFS
+/// solvers. Exposed here so footprint accounting is shared too.
+using ObjPtsMap = std::unordered_map<ir::ObjID, PointsTo>;
+
+/// Approximate bytes held by a vector of per-node object→points-to maps:
+/// hash buckets, per-entry node overhead, and the points-to payloads.
+inline uint64_t objPtsMapTableBytes(const std::vector<ObjPtsMap> &Maps) {
+  uint64_t Total = 0;
+  for (const ObjPtsMap &Map : Maps) {
+    Total += Map.bucket_count() * sizeof(void *);
+    Total += Map.size() * (sizeof(std::pair<const ir::ObjID, PointsTo>) +
+                           2 * sizeof(void *));
+    for (const auto &[O, Set] : Map) {
+      (void)O;
+      Total += Set.capacityBytes();
+    }
+  }
+  return Total;
+}
+
+/// Total number of (node, object) entries across a table — what
+/// Figure 2b counts for the map-based representations.
+inline uint64_t objPtsMapTableEntries(const std::vector<ObjPtsMap> &Maps) {
+  uint64_t Total = 0;
+  for (const ObjPtsMap &Map : Maps)
+    Total += Map.size();
+  return Total;
+}
+
+/// CRTP base of the flow-sensitive solvers. Owns the top-level points-to
+/// sets, the flow-sensitively resolved call graph, strong-update
+/// eligibility, work statistics, and the shared transfer functions.
+template <typename Derived>
+class SparseSolverBase : public PointerAnalysisResult {
+public:
+  const PointsTo &ptsOfVar(ir::VarID V) const override { return VarPts[V]; }
+  const andersen::CallGraph &callGraph() const override { return FSCG; }
+  const StatGroup &stats() const override { return Stats; }
+
+protected:
+  /// Seeds the shared state. Direct call edges are always adopted from the
+  /// auxiliary call graph; indirect ones only when \p OnTheFlyCallGraph is
+  /// false (the derived solver then never discovers callees itself).
+  SparseSolverBase(ir::Module &M, const andersen::Andersen &Aux,
+                   std::string StatName, bool OnTheFlyCallGraph)
+      : M(M), OnTheFlyCG(OnTheFlyCallGraph), Stats(std::move(StatName)),
+        NodeVisits(Stats.counter("node-visits")),
+        Propagations(Stats.counter("propagations")) {
+    VarPts.assign(M.symbols().numVars(), {});
+    SUStore = computeStrongUpdateStores(M, Aux);
+    const andersen::CallGraph &AuxCG = Aux.callGraph();
+    for (ir::InstID CS : AuxCG.callSites()) {
+      if (M.inst(CS).isIndirectCall() && OnTheFlyCG)
+        continue;
+      for (ir::FunID Callee : AuxCG.callees(CS))
+        FSCG.addEdge(CS, Callee);
+    }
+  }
+
+  Derived &derived() { return static_cast<Derived &>(*this); }
+
+  /// Marks the solver solved; returns false when it already was (solve()
+  /// implementations use this for idempotence).
+  bool beginSolve() {
+    if (Solved)
+      return false;
+    Solved = true;
+    return true;
+  }
+
+  /// The shared instruction switch. Returns whether the instruction's
+  /// top-level destination changed and its direct uses must re-run
+  /// (FunEntry always forwards: parameters are (re)defined by callers and
+  /// the node is only rescheduled when a parameter changed).
+  bool processInst(ir::InstID I) {
+    const ir::Instruction &Inst = M.inst(I);
+    switch (Inst.Kind) {
+    case ir::InstKind::Alloc:
+      return VarPts[Inst.Dst].set(Inst.allocObject());
+    case ir::InstKind::Copy:
+      return VarPts[Inst.Dst].unionWith(VarPts[Inst.copySrc()]);
+    case ir::InstKind::Phi: {
+      bool Changed = false;
+      for (ir::VarID Src : Inst.phiSrcs())
+        Changed |= VarPts[Inst.Dst].unionWith(VarPts[Src]);
+      return Changed;
+    }
+    case ir::InstKind::FieldAddr: {
+      bool Changed = false;
+      for (uint32_t O : VarPts[Inst.fieldBase()])
+        Changed |= VarPts[Inst.Dst].set(
+            M.symbols().getFieldObject(O, Inst.fieldOffset()));
+      return Changed;
+    }
+    case ir::InstKind::Load:
+      return derived().processLoad(Inst, I);
+    case ir::InstKind::Store:
+      derived().processStore(Inst, I);
+      return false;
+    case ir::InstKind::Call:
+      processCall(Inst, I);
+      return false;
+    case ir::InstKind::FunEntry:
+      return true;
+    case ir::InstKind::FunExit:
+      processFunExit(Inst);
+      return false;
+    }
+    return false;
+  }
+
+  /// [CALL]: on-the-fly callee discovery from the current flow-sensitive
+  /// points-to set of the callee pointer, then actual→formal binding over
+  /// every known callee.
+  void processCall(const ir::Instruction &Inst, ir::InstID I) {
+    if (Inst.isIndirectCall() && OnTheFlyCG) {
+      for (uint32_t O : VarPts[Inst.indirectCalleeVar()]) {
+        if (!M.symbols().isFunctionObject(O))
+          continue;
+        ir::FunID Callee = M.symbols().object(O).Func;
+        if (FSCG.addEdge(I, Callee)) {
+          derived().onCalleeDiscovered(I, Callee);
+          ++Stats.get("otf-call-edges");
+        }
+      }
+    }
+
+    const auto &Args = Inst.callArgs();
+    for (ir::FunID Callee : FSCG.callees(I)) {
+      const ir::Function &F = M.function(Callee);
+      size_t N = std::min(Args.size(), F.Params.size());
+      for (size_t K = 0; K < N; ++K)
+        if (VarPts[F.Params[K]].unionWith(VarPts[Args[K]]))
+          derived().onFormalBound(Callee, F.Params[K]);
+    }
+  }
+
+  /// [RET]: flow the returned pointer into every caller's destination.
+  void processFunExit(const ir::Instruction &Inst) {
+    ir::VarID Ret = Inst.exitRet();
+    if (Ret == ir::InvalidVar)
+      return;
+    for (ir::InstID CS : FSCG.callers(Inst.Parent)) {
+      const ir::Instruction &Call = M.inst(CS);
+      if (Call.Dst == ir::InvalidVar)
+        continue;
+      if (VarPts[Call.Dst].unionWith(VarPts[Ret]))
+        derived().onReturnBound(CS, Call.Dst);
+    }
+  }
+
+  /// Bytes held by the top-level variable points-to sets.
+  uint64_t topLevelFootprintBytes() const {
+    uint64_t Total = VarPts.capacity() * sizeof(PointsTo);
+    for (const PointsTo &P : VarPts)
+      Total += P.capacityBytes();
+    return Total;
+  }
+
+  ir::Module &M;
+  const bool OnTheFlyCG;
+
+  /// pt(v) for every top-level variable (global: partial SSA single-def).
+  std::vector<PointsTo> VarPts;
+  /// Stores eligible for strong updates (see core/StrongUpdate.h).
+  std::vector<bool> SUStore;
+  /// The call graph as resolved by this solver.
+  andersen::CallGraph FSCG;
+  StatGroup Stats;
+  /// Interned hot-loop counters (a map lookup per worklist pop is real
+  /// money at millions of pops; see StatCounter).
+  StatCounter NodeVisits;
+  StatCounter Propagations;
+
+private:
+  bool Solved = false;
+};
+
+} // namespace core
+} // namespace vsfs
+
+#endif // VSFS_CORE_SPARSESOLVERBASE_H

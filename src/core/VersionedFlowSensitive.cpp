@@ -2,8 +2,6 @@
 
 #include "core/VersionedFlowSensitive.h"
 
-#include "core/StrongUpdate.h"
-
 #include <cassert>
 
 using namespace vsfs;
@@ -13,24 +11,14 @@ using svfg::NodeID;
 using svfg::NodeKind;
 
 VersionedFlowSensitive::VersionedFlowSensitive(svfg::SVFG &G, Options Opts)
-    : G(G), M(G.module()), Opts(Opts),
-      OV(G, Opts.OnTheFlyCallGraph, Opts.LabelRep) {
-  VarPts.assign(M.symbols().numVars(), {});
-  SUStore = computeStrongUpdateStores(M, G.auxAnalysis());
-
-  const andersen::CallGraph &AuxCG = G.auxAnalysis().callGraph();
-  for (InstID CS : AuxCG.callSites()) {
-    if (M.inst(CS).isIndirectCall() && Opts.OnTheFlyCallGraph)
-      continue;
-    for (FunID Callee : AuxCG.callees(CS))
-      FSCG.addEdge(CS, Callee);
-  }
-}
+    : SparseSolverBase(G.module(), G.auxAnalysis(), "vsfs",
+                       Opts.OnTheFlyCallGraph),
+      G(G), OV(G, Opts.OnTheFlyCallGraph, Opts.LabelRep),
+      VersionVisits(Stats.counter("version-visits")) {}
 
 void VersionedFlowSensitive::solve() {
-  if (Solved)
+  if (!beginSolve())
     return;
-  Solved = true;
 
   OV.run();
   VersionPts.assign(OV.numVersions(), {});
@@ -45,11 +33,11 @@ void VersionedFlowSensitive::solve() {
 
   while (!NodeWL.empty() || !VersionWL.empty()) {
     while (!NodeWL.empty()) {
-      ++Stats.get("node-visits");
+      ++NodeVisits;
       processNode(NodeWL.pop());
     }
     while (!VersionWL.empty()) {
-      ++Stats.get("version-visits");
+      ++VersionVisits;
       processVersion(VersionWL.pop());
     }
   }
@@ -110,43 +98,6 @@ void VersionedFlowSensitive::processNode(NodeID N) {
       NodeWL.push(S);
 }
 
-bool VersionedFlowSensitive::processInst(InstID I) {
-  const Instruction &Inst = M.inst(I);
-  switch (Inst.Kind) {
-  case InstKind::Alloc:
-    return VarPts[Inst.Dst].set(Inst.allocObject());
-  case InstKind::Copy:
-    return VarPts[Inst.Dst].unionWith(VarPts[Inst.copySrc()]);
-  case InstKind::Phi: {
-    bool Changed = false;
-    for (VarID Src : Inst.phiSrcs())
-      Changed |= VarPts[Inst.Dst].unionWith(VarPts[Src]);
-    return Changed;
-  }
-  case InstKind::FieldAddr: {
-    bool Changed = false;
-    for (uint32_t O : VarPts[Inst.fieldBase()])
-      Changed |= VarPts[Inst.Dst].set(
-          M.symbols().getFieldObject(O, Inst.fieldOffset()));
-    return Changed;
-  }
-  case InstKind::Load:
-    return processLoad(Inst, I);
-  case InstKind::Store:
-    processStore(Inst, I);
-    return false;
-  case InstKind::Call:
-    processCall(Inst, I);
-    return false;
-  case InstKind::FunEntry:
-    return true; // Forward parameter updates to their uses.
-  case InstKind::FunExit:
-    processFunExit(Inst);
-    return false;
-  }
-  return false;
-}
-
 bool VersionedFlowSensitive::processLoad(const Instruction &Inst, InstID I) {
   // [LOAD]ᵛ: pt(p) ⊇ pt_{C_ℓ(o)}(o) for every o ∈ pt(q).
   bool Changed = false;
@@ -183,7 +134,7 @@ void VersionedFlowSensitive::processStore(const Instruction &Inst, InstID I) {
   }
 }
 
-void VersionedFlowSensitive::connectDiscoveredCallee(InstID CS, FunID Callee) {
+void VersionedFlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
   // New call edge: wire the SVFG flows and translate each added edge into a
   // version-propagation edge into the δ node's prelabelled version.
   std::vector<std::pair<NodeID, svfg::IndEdge>> Added;
@@ -199,44 +150,17 @@ void VersionedFlowSensitive::connectDiscoveredCallee(InstID CS, FunID Callee) {
   const Function &F = M.function(Callee);
   NodeWL.push(G.instNode(F.Entry));
   NodeWL.push(G.instNode(F.Exit));
-  ++Stats.get("otf-call-edges");
 }
 
-void VersionedFlowSensitive::processCall(const Instruction &Inst, InstID I) {
-  if (Inst.isIndirectCall() && Opts.OnTheFlyCallGraph) {
-    for (uint32_t O : VarPts[Inst.indirectCalleeVar()]) {
-      if (!M.symbols().isFunctionObject(O))
-        continue;
-      FunID Callee = M.symbols().object(O).Func;
-      if (FSCG.addEdge(I, Callee))
-        connectDiscoveredCallee(I, Callee);
-    }
-  }
-
-  const auto &Args = Inst.callArgs();
-  for (FunID Callee : FSCG.callees(I)) {
-    const Function &F = M.function(Callee);
-    size_t N = std::min(Args.size(), F.Params.size());
-    bool ParamChanged = false;
-    for (size_t K = 0; K < N; ++K)
-      ParamChanged |= VarPts[F.Params[K]].unionWith(VarPts[Args[K]]);
-    if (ParamChanged)
-      NodeWL.push(G.instNode(F.Entry));
-  }
+void VersionedFlowSensitive::onFormalBound(FunID Callee, VarID Param) {
+  (void)Param;
+  NodeWL.push(G.instNode(M.function(Callee).Entry));
 }
 
-void VersionedFlowSensitive::processFunExit(const Instruction &Inst) {
-  VarID Ret = Inst.exitRet();
-  if (Ret == InvalidVar)
-    return;
-  for (InstID CS : FSCG.callers(Inst.Parent)) {
-    const Instruction &Call = M.inst(CS);
-    if (Call.Dst == InvalidVar)
-      continue;
-    if (VarPts[Call.Dst].unionWith(VarPts[Ret]))
-      for (NodeID S : G.directSuccs(G.instNode(CS)))
-        NodeWL.push(S);
-  }
+void VersionedFlowSensitive::onReturnBound(InstID CS, VarID Dst) {
+  (void)Dst;
+  for (NodeID S : G.directSuccs(G.instNode(CS)))
+    NodeWL.push(S);
 }
 
 void VersionedFlowSensitive::processVersion(Version V) {
@@ -244,7 +168,7 @@ void VersionedFlowSensitive::processVersion(Version V) {
   // re-run the instructions whose transfer functions read it.
   const PointsTo &Pts = VersionPts[V];
   for (Version S : VGSuccs[V]) {
-    ++Stats.get("propagations");
+    ++Propagations;
     if (VersionPts[S].unionWith(Pts))
       VersionWL.push(S);
   }
@@ -256,9 +180,7 @@ uint64_t VersionedFlowSensitive::footprintBytes() const {
   uint64_t Total = VersionPts.capacity() * sizeof(PointsTo);
   for (const PointsTo &P : VersionPts)
     Total += P.capacityBytes();
-  Total += VarPts.capacity() * sizeof(PointsTo);
-  for (const PointsTo &P : VarPts)
-    Total += P.capacityBytes();
+  Total += topLevelFootprintBytes();
   for (const auto &S : VGSuccs)
     Total += S.capacity() * sizeof(Version);
   for (const auto &S : VGEdgeSet)

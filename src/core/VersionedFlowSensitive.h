@@ -19,6 +19,10 @@
 /// On-the-fly call-graph resolution adds version-propagation edges into the
 /// fresh versions δ nodes were prelabelled with.
 ///
+/// Only this versioned memory representation lives here; the top-level
+/// transfer functions, call-graph discovery and return flow are shared
+/// with the other solvers in \c SparseSolverBase.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VSFS_CORE_VERSIONEDFLOWSENSITIVE_H
@@ -26,7 +30,7 @@
 
 #include "adt/WorkList.h"
 #include "core/ObjectVersioning.h"
-#include "core/PointerAnalysis.h"
+#include "core/SparseSolverBase.h"
 #include "svfg/SVFG.h"
 
 #include <unordered_set>
@@ -36,7 +40,9 @@ namespace vsfs {
 namespace core {
 
 /// The paper's analysis: versioned staged flow-sensitive points-to.
-class VersionedFlowSensitive : public PointerAnalysisResult {
+class VersionedFlowSensitive : public SparseSolverBase<VersionedFlowSensitive> {
+  friend class SparseSolverBase<VersionedFlowSensitive>;
+
 public:
   struct Options {
     /// Resolve indirect calls flow-sensitively during solving (δ-node
@@ -48,14 +54,11 @@ public:
   };
 
   VersionedFlowSensitive(svfg::SVFG &G, Options Opts);
-  explicit VersionedFlowSensitive(svfg::SVFG &G) : VersionedFlowSensitive(G, Options()) {}
+  explicit VersionedFlowSensitive(svfg::SVFG &G)
+      : VersionedFlowSensitive(G, Options()) {}
 
   /// Runs versioning (if needed) and the main phase to a fixed point.
-  void solve();
-
-  const PointsTo &ptsOfVar(ir::VarID V) const override { return VarPts[V]; }
-  const andersen::CallGraph &callGraph() const override { return FSCG; }
-  const StatGroup &stats() const override { return Stats; }
+  void solve() override;
 
   /// The pre-analysis, for inspection (versions, timing).
   const ObjectVersioning &versioning() const { return OV; }
@@ -65,7 +68,7 @@ public:
 
   /// Number of non-empty version points-to sets (Figure 2b column 3's
   /// storage count).
-  uint64_t numPtsSetsStored() const;
+  uint64_t numPtsSetsStored() const override;
 
   /// Seconds spent in the versioning pre-analysis.
   double versioningSeconds() const { return OV.seconds(); }
@@ -74,30 +77,25 @@ public:
   /// table, the version propagation graph, consumer lists, the
   /// consume/yield tables, and the top-level sets. Analogue of SFS's
   /// footprintBytes() for the paper's memory comparison.
-  uint64_t footprintBytes() const;
+  uint64_t footprintBytes() const override;
 
 private:
   void buildVersionGraph();
   bool addVGEdge(Version From, Version To);
   void processNode(svfg::NodeID N);
-  bool processInst(ir::InstID I);
+  // Memory transfer functions and scheduling hooks for SparseSolverBase.
   bool processLoad(const ir::Instruction &Inst, ir::InstID I);
   void processStore(const ir::Instruction &Inst, ir::InstID I);
-  void processCall(const ir::Instruction &Inst, ir::InstID I);
-  void processFunExit(const ir::Instruction &Inst);
-  void connectDiscoveredCallee(ir::InstID CS, ir::FunID Callee);
+  void onCalleeDiscovered(ir::InstID CS, ir::FunID Callee);
+  void onFormalBound(ir::FunID Callee, ir::VarID Param);
+  void onReturnBound(ir::InstID CS, ir::VarID Dst);
   void processVersion(Version V);
 
   svfg::SVFG &G;
-  ir::Module &M;
-  Options Opts;
   ObjectVersioning OV;
 
-  std::vector<PointsTo> VarPts;
   /// pt_κ(o), indexed by version (ε versions stay empty).
   std::vector<PointsTo> VersionPts;
-  /// Stores eligible for strong updates (see core/StrongUpdate.h).
-  std::vector<bool> SUStore;
 
   /// Version propagation graph ([A-PROP]ᵛ edges with distinct endpoints).
   std::vector<std::vector<Version>> VGSuccs;
@@ -107,11 +105,9 @@ private:
   /// flow into their yielded version).
   std::vector<std::vector<svfg::NodeID>> Consumers;
 
-  andersen::CallGraph FSCG;
   adt::FIFOWorkList NodeWL;
   adt::FIFOWorkList VersionWL;
-  StatGroup Stats{"vsfs"};
-  bool Solved = false;
+  StatCounter VersionVisits;
 };
 
 } // namespace core

@@ -17,6 +17,37 @@
 
 namespace vsfs {
 
+/// An interned handle to one counter of a \c StatGroup.
+///
+/// Resolving a counter by name costs a \c std::map lookup; the solvers'
+/// hot loops (worklist pops, propagations) bump counters millions of times,
+/// so they intern the handle once (\c StatGroup::counter) and use it
+/// thereafter. Handles stay valid for the group's lifetime: map nodes are
+/// pointer-stable under insertion.
+class StatCounter {
+public:
+  StatCounter() = default;
+
+  StatCounter &operator++() {
+    ++*Slot;
+    return *this;
+  }
+  StatCounter &operator+=(uint64_t Delta) {
+    *Slot += Delta;
+    return *this;
+  }
+  StatCounter &operator=(uint64_t Value) {
+    *Slot = Value;
+    return *this;
+  }
+  uint64_t value() const { return *Slot; }
+
+private:
+  friend class StatGroup;
+  explicit StatCounter(uint64_t *Slot) : Slot(Slot) {}
+  uint64_t *Slot = nullptr;
+};
+
 /// An ordered collection of named 64-bit counters.
 ///
 /// Counters are created on first access and iterate in name order, so output
@@ -29,6 +60,12 @@ public:
 
   /// Returns a mutable reference to the counter \p Key, creating it at zero.
   uint64_t &get(const std::string &Key) { return Counters[Key]; }
+
+  /// Interns \p Key and returns a stable handle, creating the counter at
+  /// zero. Use for counters bumped in hot loops; see \c StatCounter.
+  StatCounter counter(const std::string &Key) {
+    return StatCounter(&Counters[Key]);
+  }
 
   /// Returns the value of \p Key, or 0 when the counter was never touched.
   uint64_t lookup(const std::string &Key) const {

@@ -5,6 +5,7 @@
 #include "ir/IRBuilder.h"
 
 #include <cassert>
+#include <cstdio>
 #include <random>
 
 using namespace vsfs;
@@ -51,7 +52,7 @@ private:
     FunID Main = M->makeFunction("main");
     M->setMain(Main);
     for (uint32_t I = 0; I < Config.NumFunctions; ++I)
-      Funs.push_back(M->makeFunction("f" + std::to_string(I)));
+      Funs.push_back(M->makeFunction(numberedName('f', I)));
     // Call targets: the generated functions, or main itself (recursion) in
     // the degenerate zero-function configuration.
     CallTargets = Funs;
@@ -62,7 +63,7 @@ private:
   void makeGlobals() {
     for (uint32_t I = 0; I < Config.NumGlobals; ++I) {
       uint32_t Fields = 1 + below(Config.MaxFields);
-      VarID G = B.addGlobal("g" + std::to_string(I), Fields);
+      VarID G = B.addGlobal(numberedName('g', I), Fields);
       Globals.push_back(G);
       // Roughly a third of globals become function-pointer slots feeding
       // indirect calls; the rest may point at each other.
@@ -79,7 +80,16 @@ private:
 
   // --- Function bodies -----------------------------------------------------
 
-  std::string freshName() { return "v" + std::to_string(NameCounter++); }
+  // snprintf instead of "v" + to_string: the latter trips GCC 12's
+  // false-positive -Wrestrict (PR 105329) under -O2, and check.sh builds
+  // with -Werror.
+  std::string freshName() { return numberedName('v', NameCounter++); }
+
+  static std::string numberedName(char Prefix, uint32_t N) {
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "%c%u", Prefix, N);
+    return Buf;
+  }
 
   VarID pickValue() { return pick(Pool); }
 
@@ -110,7 +120,7 @@ private:
     if (Takes(Config.AllocWeight)) {
       bool Heap = chance(Config.HeapFraction);
       uint32_t Fields = 1 + below(Config.MaxFields);
-      VarID V = B.alloc(freshName(), "o" + std::to_string(NameCounter),
+      VarID V = B.alloc(freshName(), numberedName('o', NameCounter),
                         Heap ? ObjKind::Heap : ObjKind::Stack,
                         /*Singleton=*/true, Fields);
       Pool.push_back(V);
@@ -164,7 +174,7 @@ private:
   void buildFunction(FunID F) {
     std::vector<std::string> ParamNames;
     for (uint32_t I = 0; I < Config.ParamsPerFunction; ++I)
-      ParamNames.push_back("p" + std::to_string(I));
+      ParamNames.push_back(numberedName('p', I));
     B.startFunction(M->function(F).Name, ParamNames);
 
     Pool.clear();
@@ -178,7 +188,7 @@ private:
     std::vector<BlockID> Blocks;
     Blocks.push_back(0); // Implicit entry block.
     for (uint32_t I = 1; I < NumBlocks; ++I)
-      Blocks.push_back(B.block("b" + std::to_string(I)));
+      Blocks.push_back(B.block(numberedName('b', I)));
     // An optional early-return block exercises multi-ret unification.
     BlockID EarlyRet = InvalidBlock;
     if (NumBlocks >= 3 && chance(0.5))

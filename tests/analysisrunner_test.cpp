@@ -1,0 +1,315 @@
+//===- analysisrunner_test.cpp - Registry and runner tests ------*- C++ -*-===//
+///
+/// The unified dispatch layer: registry lookup (names, aliases,
+/// later-registration-wins), AnalysisContext build idempotence, the
+/// solver-equivalence property driven through the registry on every
+/// workload preset (the same path the CLI and benches take), and the
+/// golden shape of the machine-readable statistics JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/AnalysisRunner.h"
+#include "workload/BenchmarkSuite.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+using core::AnalysisRunner;
+using core::SolverOptions;
+
+namespace {
+
+/// Compares every variable's points-to set; reports the first mismatch.
+void expectSamePointsTo(const ir::Module &M,
+                        const core::PointerAnalysisResult &A,
+                        const core::PointerAnalysisResult &B,
+                        const char *What) {
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V) {
+    if (A.ptsOfVar(V) == B.ptsOfVar(V))
+      continue;
+    ADD_FAILURE() << What << ": mismatch at " << ir::printVar(M, V)
+                  << "\n  first:  "
+                  << ::testing::PrintToString(pointeeNames(M, A.ptsOfVar(V)))
+                  << "\n  second: "
+                  << ::testing::PrintToString(pointeeNames(M, B.ptsOfVar(V)));
+    return;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry semantics
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisRunnerRegistry, BuiltinsAreRegistered) {
+  const AnalysisRunner &R = AnalysisRunner::registry();
+  for (const char *Name : {"ander", "iter", "sfs", "vsfs"}) {
+    const AnalysisRunner::Entry *E = R.find(Name);
+    ASSERT_NE(E, nullptr) << Name;
+    EXPECT_EQ(E->Name, Name);
+    EXPECT_FALSE(E->Description.empty());
+  }
+  EXPECT_EQ(R.find("bogus"), nullptr);
+  EXPECT_EQ(R.find(""), nullptr);
+}
+
+TEST(AnalysisRunnerRegistry, AliasResolvesToCanonicalName) {
+  // "dense" is the historical CLI spelling of the iterative baseline.
+  const AnalysisRunner::Entry *E = AnalysisRunner::registry().find("dense");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Name, "iter");
+}
+
+TEST(AnalysisRunnerRegistry, NamesStringListsCanonicalNamesInOrder) {
+  EXPECT_EQ(AnalysisRunner::registry().namesString(),
+            "ander | iter | sfs | vsfs");
+}
+
+TEST(AnalysisRunnerRegistry, LaterRegistrationWinsOnNameCollision) {
+  // On a private runner so the process-wide registry stays untouched.
+  AnalysisRunner R;
+  R.add({"x", {"alias1"}, "first", nullptr});
+  R.add({"y", {}, "other", nullptr});
+  R.add({"x", {}, "second", nullptr});
+  ASSERT_EQ(R.entries().size(), 2u);
+  const AnalysisRunner::Entry *E = R.find("x");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Description, "second");
+  // The override replaced the whole entry, aliases included.
+  EXPECT_EQ(R.find("alias1"), nullptr);
+}
+
+TEST(AnalysisRunnerRegistry, RunWithUnknownNameReturnsNullAnalysis) {
+  workload::GenConfig C;
+  C.Seed = 3;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+  AnalysisRunner::RunResult R =
+      AnalysisRunner::registry().run(*Ctx, "bogus");
+  EXPECT_EQ(R.Analysis, nullptr);
+  EXPECT_TRUE(R.Name.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisContext build idempotence
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisContextBuild, RepeatedBuildSameOptionsIsOkDifferentIsNot) {
+  workload::GenConfig C;
+  C.Seed = 5;
+  auto Module = workload::generateProgram(C);
+  core::AnalysisContext Ctx;
+  Ctx.module() = std::move(*Module);
+
+  EXPECT_FALSE(Ctx.isBuilt());
+  EXPECT_TRUE(Ctx.build(/*ConnectAuxIndirectCalls=*/false));
+  EXPECT_TRUE(Ctx.isBuilt());
+  EXPECT_FALSE(Ctx.builtWithAuxIndirectCalls());
+  const svfg::SVFG *Before = &Ctx.svfg();
+
+  // Same options again: fine, nothing rebuilt.
+  EXPECT_TRUE(Ctx.build(/*ConnectAuxIndirectCalls=*/false));
+  EXPECT_EQ(&Ctx.svfg(), Before);
+
+  // Different options: refused, pipeline untouched.
+  EXPECT_FALSE(Ctx.build(/*ConnectAuxIndirectCalls=*/true));
+  andersen::Andersen::Options OVS;
+  OVS.OfflineSubstitution = true;
+  EXPECT_FALSE(Ctx.build(/*ConnectAuxIndirectCalls=*/false, OVS));
+  EXPECT_EQ(&Ctx.svfg(), Before);
+  EXPECT_FALSE(Ctx.builtWithAuxIndirectCalls());
+}
+
+//===----------------------------------------------------------------------===//
+// Registered-solver equivalence on every workload preset
+//===----------------------------------------------------------------------===//
+
+/// One instance per benchmark preset (all 15 of Table II/III).
+class RunnerPresetEquivalence
+    : public ::testing::TestWithParam<workload::BenchSpec> {};
+
+TEST_P(RunnerPresetEquivalence, SfsAndVsfsAgreeAndRefineAndersen) {
+  const workload::BenchSpec &Spec = GetParam();
+  auto Ctx = std::make_unique<core::AnalysisContext>();
+  Ctx->module() = std::move(*workload::generateProgram(Spec.Config));
+  ASSERT_TRUE(Ctx->build());
+
+  const AnalysisRunner &Runner = AnalysisRunner::registry();
+  auto Ander = Runner.run(*Ctx, "ander");
+  auto SFS = Runner.run(*Ctx, "sfs");
+  auto VSFS = Runner.run(*Ctx, "vsfs");
+  ASSERT_NE(Ander.Analysis, nullptr);
+  ASSERT_NE(SFS.Analysis, nullptr);
+  ASSERT_NE(VSFS.Analysis, nullptr);
+
+  const ir::Module &M = Ctx->module();
+  // §IV-E: identical precision, preset for preset.
+  expectSamePointsTo(M, *SFS.Analysis, *VSFS.Analysis, Spec.Name.c_str());
+
+  // Staging soundness: the flow-sensitive result refines the auxiliary
+  // one, and resolves no more call edges.
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+    ASSERT_TRUE(
+        Ander.Analysis->ptsOfVar(V).contains(SFS.Analysis->ptsOfVar(V)))
+        << Spec.Name << ": SFS exceeds Andersen at " << ir::printVar(M, V);
+  EXPECT_LE(SFS.Analysis->callGraph().numEdges(),
+            Ander.Analysis->callGraph().numEdges());
+
+  // The versioned solver stores no more sets than the staged one.
+  EXPECT_LE(VSFS.Analysis->numPtsSetsStored(),
+            SFS.Analysis->numPtsSetsStored())
+      << Spec.Name;
+}
+
+namespace {
+
+std::string presetName(
+    const ::testing::TestParamInfo<workload::BenchSpec> &Info) {
+  return Info.param.Name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, RunnerPresetEquivalence,
+                         ::testing::ValuesIn(workload::benchmarkSuite()),
+                         presetName);
+
+/// The dense baseline through the registry (alias included) against SFS on
+/// call-free programs — the oracle property, now exercised via dispatch.
+class RunnerDenseOracle : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RunnerDenseOracle, IterMatchesSfsIntraprocedurally) {
+  workload::GenConfig C;
+  C.Seed = GetParam();
+  C.NumFunctions = 0;
+  C.CallWeight = 0.0;
+  C.BlocksPerFunction = 3 + GetParam() % 6;
+  C.InstsPerBlock = 4 + GetParam() % 5;
+  C.NumGlobals = GetParam() % 8;
+  C.HeapFraction = (GetParam() % 4) * 0.25;
+  auto Ctx = buildFromConfig(C, /*ConnectAuxIndirectCalls=*/true);
+  ASSERT_NE(Ctx, nullptr);
+
+  const AnalysisRunner &Runner = AnalysisRunner::registry();
+  auto SFS = Runner.run(*Ctx, "sfs");
+  auto Dense = Runner.run(*Ctx, "dense"); // alias for "iter"
+  ASSERT_NE(Dense.Analysis, nullptr);
+  EXPECT_EQ(Dense.Name, "iter");
+  expectSamePointsTo(Ctx->module(), *SFS.Analysis, *Dense.Analysis,
+                     "SFS vs dense via runner");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunnerDenseOracle, ::testing::Range(1u, 9u));
+
+//===----------------------------------------------------------------------===//
+// Statistics output shape
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A structural walk over the JSON text: brace/bracket balance and string
+/// integrity — enough to catch emission bugs without a JSON library.
+void expectWellFormedJson(const std::string &J) {
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < J.size(); ++I) {
+    char C = J[I];
+    if (InString) {
+      ASSERT_NE(C, '\n') << "newline inside a JSON string at offset " << I;
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      ++Depth;
+      break;
+    case '}':
+    case ']':
+      ASSERT_GT(Depth, 0) << "unbalanced close at offset " << I;
+      --Depth;
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_FALSE(InString);
+  EXPECT_EQ(Depth, 0);
+}
+
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t P = Hay.find(Needle); P != std::string::npos;
+       P = Hay.find(Needle, P + Needle.size()))
+    ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(StatsJson, GoldenShapeForAllAnalyses) {
+  workload::GenConfig C;
+  C.Seed = 11;
+  C.NumFunctions = 8;
+  C.IndirectCallFraction = 0.3;
+  auto Ctx = buildFromConfig(C, /*ConnectAuxIndirectCalls=*/true);
+  ASSERT_NE(Ctx, nullptr);
+
+  const AnalysisRunner &Runner = AnalysisRunner::registry();
+  SolverOptions Opts;
+  Opts.OnTheFlyCallGraph = false;
+  std::vector<AnalysisRunner::RunResult> Results;
+  for (const auto &E : Runner.entries())
+    Results.push_back(Runner.run(*Ctx, E.Name, Opts));
+
+  std::string J = core::statsJson(*Ctx, Results);
+  expectWellFormedJson(J);
+
+  // Top-level shape.
+  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v1\""), std::string::npos);
+  for (const char *Key :
+       {"\"module\"", "\"pipeline\"", "\"analyses\"", "\"instructions\"",
+        "\"functions\"", "\"variables\"", "\"objects\"",
+        "\"andersen_seconds\"", "\"memssa_seconds\"", "\"svfg_seconds\"",
+        "\"svfg_nodes\"", "\"svfg_direct_edges\"", "\"svfg_indirect_edges\""})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key;
+
+  // One analysis object per run, each with the per-run fields.
+  EXPECT_EQ(countOccurrences(J, "\"name\": "), Results.size());
+  EXPECT_EQ(countOccurrences(J, "\"solve_seconds\": "), Results.size());
+  EXPECT_EQ(countOccurrences(J, "\"pts_sets_stored\": "), Results.size());
+  EXPECT_EQ(countOccurrences(J, "\"footprint_bytes\": "), Results.size());
+  EXPECT_EQ(countOccurrences(J, "\"counters\": "), Results.size());
+  for (const auto &E : Runner.entries())
+    EXPECT_NE(J.find("\"name\": \"" + E.Name + "\""), std::string::npos);
+
+  // The versioned solver additionally reports its pre-analysis.
+  EXPECT_EQ(countOccurrences(J, "\"versioning_seconds\": "), 1u);
+  EXPECT_EQ(countOccurrences(J, "\"versioning_counters\": "), 1u);
+}
+
+TEST(StatsText, IncludesSolverCountersAndVersioningGroup) {
+  workload::GenConfig C;
+  C.Seed = 13;
+  auto Ctx = buildFromConfig(C);
+  ASSERT_NE(Ctx, nullptr);
+
+  auto SFS = AnalysisRunner::registry().run(*Ctx, "sfs");
+  std::string SfsText = core::statsText(SFS);
+  EXPECT_NE(SfsText.find("node-visits"), std::string::npos);
+  EXPECT_NE(SfsText.find("propagations"), std::string::npos);
+
+  auto VSFS = AnalysisRunner::registry().run(*Ctx, "vsfs");
+  std::string VsfsText = core::statsText(VSFS);
+  // Versioning group first, then the solver's own counters.
+  EXPECT_NE(VsfsText.find("versioning"), std::string::npos);
+  EXPECT_NE(VsfsText.find("version-visits"), std::string::npos);
+}

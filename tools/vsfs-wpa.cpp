@@ -6,16 +6,19 @@
 ///   vsfs-wpa [options] program.ir
 ///   vsfs-wpa --bench lynx --analysis=vsfs --stats
 ///   vsfs-wpa --gen 42 --analysis=all --print-pts
+///   vsfs-wpa --bench du --analysis=sfs --stats-json=du.json
 ///
 /// Inputs: a textual-IR file, a named benchmark preset (--bench), or a
-/// generated program (--gen SEED). Analyses: ander, dense, sfs, vsfs, all.
+/// generated program (--gen SEED). Analyses come from the
+/// core::AnalysisRunner registry (ander | iter | sfs | vsfs | all); the
+/// driver itself only parses flags and formats output — the build→solve
+/// sequence lives in the registry, shared with the benches and tests.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/AnalysisContext.h"
+#include "core/AnalysisRunner.h"
 #include "core/DotExport.h"
-#include "core/FlowSensitive.h"
-#include "core/IterativeFlowSensitive.h"
 #include "core/VersionedFlowSensitive.h"
 #include "ir/Printer.h"
 #include "support/Format.h"
@@ -27,9 +30,10 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <unordered_map>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 using namespace vsfs;
 
@@ -47,6 +51,7 @@ struct Options {
   bool PrintVersions = false;
   bool PrintModule = false;
   bool Stats = false;
+  std::string StatsJson; // "-" = stdout
   std::string DumpCallGraph; // "-" = stdout
   std::string DumpSVFG;
   std::string DumpCFG; // Function name; printed to stdout.
@@ -62,8 +67,7 @@ void usage(const char *Prog) {
       "  --gen SEED            a generated workload\n"
       "\n"
       "options:\n"
-      "  --analysis=KIND       ander | dense | sfs | vsfs | all  "
-      "(default vsfs)\n"
+      "  --analysis=KIND       %s | all  (default vsfs)\n"
       "  --aux-call-graph      reuse Andersen's call graph instead of\n"
       "                        resolving indirect calls on the fly\n"
       "  --ovs                 offline variable substitution for the\n"
@@ -74,11 +78,13 @@ void usage(const char *Prog) {
       "the\n"
       "                        version-sharing summary (vsfs only)\n"
       "  --print-module        print the parsed module\n"
-      "  --stats               print analysis statistics\n"
+      "  --stats               print analysis statistics (aligned text)\n"
+      "  --stats-json[=F]      write pipeline + analysis statistics as "
+      "JSON\n"
       "  --dump-callgraph[=F]  write the resolved call graph as dot\n"
       "  --dump-svfg[=F]       write the SVFG as dot (capped at 500 nodes)\n"
       "  --dump-cfg=FUNC       write FUNC's CFG as dot to stdout\n",
-      Prog);
+      Prog, core::AnalysisRunner::registry().namesString().c_str());
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -112,6 +118,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.PrintModule = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
+    } else if (Arg == "--stats-json") {
+      Opts.StatsJson = "-";
+    } else if (const char *VJ = Value("--stats-json=")) {
+      Opts.StatsJson = VJ;
     } else if (Arg == "--dump-callgraph") {
       Opts.DumpCallGraph = "-";
     } else if (const char *V2 = Value("--dump-callgraph=")) {
@@ -139,14 +149,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   return true;
 }
 
-void writeOut(const std::string &Target, const std::string &Content) {
+bool writeOut(const std::string &Target, const std::string &Content) {
   if (Target == "-") {
     std::fputs(Content.c_str(), stdout);
-    return;
+    return true;
   }
   std::ofstream Out(Target);
-  Out << Content;
+  if (!(Out << Content)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Target.c_str());
+    return false;
+  }
   std::printf("wrote %s (%zu bytes)\n", Target.c_str(), Content.size());
+  return true;
 }
 
 void printPts(const ir::Module &M, const core::PointerAnalysisResult &A,
@@ -166,18 +180,33 @@ void printPts(const ir::Module &M, const core::PointerAnalysisResult &A,
   }
 }
 
-/// Adapts Andersen to the common result interface.
-struct AndersenResult : core::PointerAnalysisResult {
-  andersen::Andersen &A;
-  explicit AndersenResult(andersen::Andersen &A) : A(A) {}
-  const PointsTo &ptsOfVar(ir::VarID V) const override {
-    return A.ptsOfVar(V);
+void printVersions(const ir::Module &M,
+                   const core::VersionedFlowSensitive &VSFS) {
+  // Which version each load consumes, and how often versions are shared —
+  // the sharing is exactly what VSFS saves storage with.
+  std::printf("--- consumed versions at loads ---\n");
+  std::unordered_map<core::Version, uint32_t> Consumers;
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    if (M.inst(I).Kind != ir::InstKind::Load)
+      continue;
+    for (uint32_t O : VSFS.ptsOfVar(M.inst(I).loadPtr())) {
+      if (M.symbols().isFunctionObject(O))
+        continue;
+      core::Version V = VSFS.versioning().consume(I, O);
+      ++Consumers[V];
+      std::printf("  %-28s %s: v%u%s\n", ir::printInst(M, I).c_str(),
+                  M.symbols().object(O).Name.c_str(), V,
+                  VSFS.versioning().isEpsilon(V) ? " (eps)" : "");
+    }
   }
-  const andersen::CallGraph &callGraph() const override {
-    return A.callGraph();
-  }
-  const StatGroup &stats() const override { return A.stats(); }
-};
+  uint32_t Shared = 0;
+  for (const auto &[V, N] : Consumers)
+    if (N > 1)
+      ++Shared;
+  std::printf("  %zu distinct versions consumed; %u shared by more "
+              "than one load\n",
+              Consumers.size(), Shared);
+}
 
 int run(const Options &Opts) {
   core::AnalysisContext Ctx;
@@ -221,7 +250,6 @@ int run(const Options &Opts) {
     std::fputs(core::dotCFG(Ctx.module(), F).c_str(), stdout);
   }
 
-  Timer BuildTimer;
   andersen::Andersen::Options AuxOpts;
   AuxOpts.OfflineSubstitution = Opts.OVS;
   Ctx.build(/*ConnectAuxIndirectCalls=*/Opts.AuxCallGraph, AuxOpts);
@@ -232,99 +260,65 @@ int run(const Options &Opts) {
               (unsigned long long)Ctx.svfg().numDirectEdges(),
               (unsigned long long)Ctx.svfg().numIndirectEdges());
 
-  const andersen::CallGraph *FinalCG = &Ctx.andersen().callGraph();
-  auto Wants = [&Opts](const char *Kind) {
-    return Opts.Analysis == Kind || Opts.Analysis == "all";
-  };
+  const core::AnalysisRunner &Runner = core::AnalysisRunner::registry();
+  std::vector<std::string> Names;
+  if (Opts.Analysis == "all") {
+    for (const auto &E : Runner.entries())
+      Names.push_back(E.Name);
+  } else {
+    Names.push_back(Runner.find(Opts.Analysis)->Name);
+  }
 
-  if (Wants("ander")) {
-    AndersenResult AR(Ctx.andersen());
-    std::printf("ander: solved in %.3fs\n", Ctx.andersenSeconds());
+  core::SolverOptions SolverOpts;
+  SolverOpts.OnTheFlyCallGraph = !Opts.AuxCallGraph;
+
+  const andersen::CallGraph *FinalCG = &Ctx.andersen().callGraph();
+  std::vector<core::AnalysisRunner::RunResult> Results;
+  for (const std::string &Name : Names) {
+    core::AnalysisRunner::RunResult R = Runner.run(Ctx, Name, SolverOpts);
+    const core::PointerAnalysisResult &A = *R.Analysis;
+
+    if (const auto *VSFS =
+            dynamic_cast<const core::VersionedFlowSensitive *>(&A))
+      std::printf("%s: solved in %.3fs (versioning %.3fs), %s of analysis "
+                  "state\n",
+                  R.Name.c_str(), R.SolveSeconds, VSFS->versioningSeconds(),
+                  formatBytes(A.footprintBytes()).c_str());
+    else if (R.Name == "ander")
+      std::printf("%s: solved in %.3fs\n", R.Name.c_str(),
+                  Ctx.andersenSeconds());
+    else
+      std::printf("%s: solved in %.3fs, %s of analysis state\n",
+                  R.Name.c_str(), R.SolveSeconds,
+                  formatBytes(A.footprintBytes()).c_str());
+
     if (Opts.PrintPts)
-      printPts(Ctx.module(), AR, "ander");
+      printPts(Ctx.module(), A, R.Name.c_str());
     if (Opts.Stats)
-      std::printf("%s", Ctx.andersen().stats().toString().c_str());
+      std::printf("%s", core::statsText(R).c_str());
+    if (Opts.PrintVersions)
+      if (const auto *VSFS =
+              dynamic_cast<const core::VersionedFlowSensitive *>(&A))
+        printVersions(Ctx.module(), *VSFS);
+    // The most precise call graph wins the dump: the flow-sensitive
+    // solvers refine the auxiliary one.
+    if (R.Name == "sfs" || R.Name == "vsfs")
+      FinalCG = &A.callGraph();
+    Results.push_back(std::move(R));
   }
-  if (Wants("dense")) {
-    core::IterativeFlowSensitive Dense(Ctx.module(), Ctx.andersen());
-    Timer T;
-    Dense.solve();
-    std::printf("dense: solved in %.3fs\n", T.seconds());
-    if (Opts.PrintPts)
-      printPts(Ctx.module(), Dense, "dense");
-    if (Opts.Stats)
-      std::printf("%s", Dense.stats().toString().c_str());
-  }
-  if (Wants("sfs")) {
-    core::FlowSensitive::Options O;
-    O.OnTheFlyCallGraph = !Opts.AuxCallGraph;
-    core::FlowSensitive SFS(Ctx.svfg(), O);
-    Timer T;
-    SFS.solve();
-    std::printf("sfs: solved in %.3fs, %s of analysis state\n", T.seconds(),
-                formatBytes(SFS.footprintBytes()).c_str());
-    FinalCG = &SFS.callGraph();
-    if (Opts.PrintPts)
-      printPts(Ctx.module(), SFS, "sfs");
-    if (Opts.Stats)
-      std::printf("%s", SFS.stats().toString().c_str());
-    if (!Opts.DumpCallGraph.empty())
-      writeOut(Opts.DumpCallGraph,
-               core::dotCallGraph(Ctx.module(), *FinalCG));
-  }
-  if (Wants("vsfs")) {
-    core::VersionedFlowSensitive::Options O;
-    O.OnTheFlyCallGraph = !Opts.AuxCallGraph;
-    core::VersionedFlowSensitive VSFS(Ctx.svfg(), O);
-    Timer T;
-    VSFS.solve();
-    std::printf("vsfs: solved in %.3fs (versioning %.3fs), %s of analysis "
-                "state\n",
-                T.seconds(), VSFS.versioningSeconds(),
-                formatBytes(VSFS.footprintBytes()).c_str());
-    FinalCG = &VSFS.callGraph();
-    if (Opts.PrintPts)
-      printPts(Ctx.module(), VSFS, "vsfs");
-    if (Opts.Stats) {
-      std::printf("%s", VSFS.versioning().stats().toString().c_str());
-      std::printf("%s", VSFS.stats().toString().c_str());
-    }
-    if (Opts.PrintVersions) {
-      // Which version each load consumes, and how often versions are
-      // shared — the sharing is exactly what VSFS saves storage with.
-      const ir::Module &M = Ctx.module();
-      std::printf("--- consumed versions at loads ---\n");
-      std::unordered_map<core::Version, uint32_t> Consumers;
-      for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
-        if (M.inst(I).Kind != ir::InstKind::Load)
-          continue;
-        for (uint32_t O : VSFS.ptsOfVar(M.inst(I).loadPtr())) {
-          if (M.symbols().isFunctionObject(O))
-            continue;
-          core::Version V = VSFS.versioning().consume(I, O);
-          ++Consumers[V];
-          std::printf("  %-28s %s: v%u%s\n", ir::printInst(M, I).c_str(),
-                      M.symbols().object(O).Name.c_str(), V,
-                      VSFS.versioning().isEpsilon(V) ? " (eps)" : "");
-        }
-      }
-      uint32_t Shared = 0;
-      for (const auto &[V, N] : Consumers)
-        if (N > 1)
-          ++Shared;
-      std::printf("  %zu distinct versions consumed; %u shared by more "
-                  "than one load\n",
-                  Consumers.size(), Shared);
-    }
-    if (!Opts.DumpCallGraph.empty())
-      writeOut(Opts.DumpCallGraph,
-               core::dotCallGraph(Ctx.module(), *FinalCG));
-  }
+
+  bool WritesOk = true;
+  if (!Opts.DumpCallGraph.empty())
+    WritesOk &= writeOut(Opts.DumpCallGraph,
+                         core::dotCallGraph(Ctx.module(), *FinalCG));
   if (!Opts.DumpSVFG.empty())
-    writeOut(Opts.DumpSVFG, core::dotSVFG(Ctx.svfg(), /*MaxNodes=*/500));
+    WritesOk &= writeOut(Opts.DumpSVFG,
+                         core::dotSVFG(Ctx.svfg(), /*MaxNodes=*/500));
+  if (!Opts.StatsJson.empty())
+    WritesOk &= writeOut(Opts.StatsJson, core::statsJson(Ctx, Results));
 
   std::printf("peak RSS: %s\n", formatBytes(peakRSSBytes()).c_str());
-  return 0;
+  return WritesOk ? 0 : 1;
 }
 
 } // namespace
@@ -333,11 +327,11 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
-  if (Opts.Analysis != "ander" && Opts.Analysis != "dense" &&
-      Opts.Analysis != "sfs" && Opts.Analysis != "vsfs" &&
-      Opts.Analysis != "all") {
-    std::fprintf(stderr, "error: unknown analysis '%s'\n",
-                 Opts.Analysis.c_str());
+  if (Opts.Analysis != "all" &&
+      !core::AnalysisRunner::registry().find(Opts.Analysis)) {
+    std::fprintf(stderr, "error: unknown analysis '%s' (known: %s | all)\n",
+                 Opts.Analysis.c_str(),
+                 core::AnalysisRunner::registry().namesString().c_str());
     return 2;
   }
   return run(Opts);
