@@ -2,17 +2,61 @@
 # Tier-1 gate: configure with warnings-as-errors, build everything, run the
 # full test suite. This is what CI (and a reviewer) runs:
 #
-#   ./scripts/check.sh [build-dir]
+#   ./scripts/check.sh [--asan] [build-dir]
 #
-# Uses a separate build tree (default build-check/) so it never disturbs an
-# existing development build/.
+# --asan builds a second tree with AddressSanitizer + UBSan and runs the
+# full suite under it (slower; catches memory errors the Release build
+# can't). Each ctest label (unit | equivalence | checker | bench) is run
+# and timed separately, so slow tiers are visible at a glance.
+#
+# Uses separate build trees (default build-check/, build-asan/) so it never
+# disturbs an existing development build/.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$ROOT/build-check}"
 
-cmake -B "$BUILD_DIR" -S "$ROOT" \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
+ASAN=0
+BUILD_DIR=""
+for Arg in "$@"; do
+  case "$Arg" in
+    --asan) ASAN=1 ;;
+    -*) echo "unknown option: $Arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$Arg" ;;
+  esac
+done
+
+if [ "$ASAN" -eq 1 ]; then
+  BUILD_DIR="${BUILD_DIR:-$ROOT/build-asan}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror -fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+else
+  BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
+fi
+
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
+
+# Run per label so each tier's wall-clock is reported; finish with a safety
+# net for anything unlabeled (-LE matches tests carrying none of the
+# labels). The summary table prints at the end.
+LABELS=(unit checker equivalence bench)
+SUMMARY=""
+for Label in "${LABELS[@]}"; do
+  Start=$(date +%s)
+  ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure -L "$Label"
+  End=$(date +%s)
+  SUMMARY+=$(printf '  %-12s %4ds' "$Label" "$((End - Start))")$'\n'
+done
+Start=$(date +%s)
+ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure \
+  -LE "$(IFS='|'; echo "${LABELS[*]}")"
+End=$(date +%s)
+SUMMARY+=$(printf '  %-12s %4ds' "(unlabeled)" "$((End - Start))")$'\n'
+
+echo
+echo "label timing summary ($([ "$ASAN" -eq 1 ] && echo asan || echo release)):"
+printf '%s' "$SUMMARY"

@@ -92,6 +92,9 @@ void Andersen::buildConstraints() {
           {varNode(Inst.storeVal())});
       WorkList.push(rep(varNode(Inst.storePtr())));
       break;
+    case InstKind::Free:
+      // Flow-insensitive: deallocation does not constrain points-to sets.
+      break;
     case InstKind::Call:
       if (Inst.isIndirectCall()) {
         IndCalls[rep(varNode(Inst.indirectCalleeVar()))].push_back(I);

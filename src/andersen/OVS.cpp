@@ -66,6 +66,7 @@ OfflineSubstitution::OfflineSubstitution(const Module &M) {
       Rule[Inst.Dst] = DefRule::Fresh;
       break;
     case InstKind::Store:
+    case InstKind::Free:
       break;
     case InstKind::Call: {
       if (Inst.Dst != InvalidVar) {

@@ -69,6 +69,8 @@ vsfs::andersen::validateSolution(const Module &MConst, const Andersen &A) {
         if (!Contains(A.ptsOfObj(O), A.ptsOfVar(Inst.storeVal())))
           Fail(I, "pt(value) not within pt(pointee of p)");
       break;
+    case InstKind::Free:
+      break; // No points-to constraint.
     case InstKind::Call: {
       // [CALL]/[RET], plus call-graph completeness for indirect calls:
       // every function object in the callee pointer's set is an edge.

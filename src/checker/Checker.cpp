@@ -1,0 +1,339 @@
+//===- Checker.cpp - Source–sink value-flow bug checkers --------*- C++ -*-===//
+
+#include "checker/Checker.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace vsfs;
+using namespace vsfs::checker;
+using namespace vsfs::ir;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+const char *vsfs::checker::checkKindName(CheckKind K) {
+  switch (K) {
+  case CheckKind::UseAfterFree:
+    return "use-after-free";
+  case CheckKind::DoubleFree:
+    return "double-free";
+  case CheckKind::NullDeref:
+    return "null-deref";
+  case CheckKind::Leak:
+    return "leak";
+  }
+  return "<invalid>";
+}
+
+const char *vsfs::checker::checkKindFlag(CheckKind K) {
+  switch (K) {
+  case CheckKind::UseAfterFree:
+    return "uaf";
+  case CheckKind::DoubleFree:
+    return "dfree";
+  case CheckKind::NullDeref:
+    return "null";
+  case CheckKind::Leak:
+    return "leak";
+  }
+  return "<invalid>";
+}
+
+bool vsfs::checker::parseCheckKinds(std::string_view Spec, uint32_t &Mask) {
+  uint32_t Out = 0;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Part = Spec.substr(
+        Pos, Comma == std::string_view::npos ? Spec.size() - Pos : Comma - Pos);
+    if (Part == "all") {
+      Out |= AllChecks;
+    } else {
+      bool Known = false;
+      for (uint32_t K = 0; K < NumCheckKinds; ++K)
+        if (Part == checkKindFlag(static_cast<CheckKind>(K))) {
+          Out |= 1u << K;
+          Known = true;
+        }
+      if (!Known)
+        return false;
+    }
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Out == 0)
+    return false;
+  Mask = Out;
+  return true;
+}
+
+namespace {
+
+std::string instRef(InstID I) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "#%u", I);
+  return Buf;
+}
+
+/// Field objects alias storage inside their base allocation; bug state
+/// (freed-ness, leaked-ness) lives on the root allocation.
+ObjID rootObject(const SymbolTable &Syms, ObjID O) {
+  while (Syms.object(O).Kind == ObjKind::Field)
+    O = Syms.object(O).Base;
+  return O;
+}
+
+/// The pointer operand when \p Inst dereferences memory, else InvalidVar.
+VarID derefPtr(const Instruction &Inst) {
+  switch (Inst.Kind) {
+  case InstKind::Load:
+    return Inst.loadPtr();
+  case InstKind::Store:
+    return Inst.storePtr();
+  case InstKind::Free:
+    return Inst.freePtr();
+  default:
+    return InvalidVar;
+  }
+}
+
+} // namespace
+
+std::string vsfs::checker::printFinding(const Module &M, const Finding &F) {
+  const Instruction &Sink = M.inst(F.Sink);
+  std::string S = checkKindName(F.Kind);
+  S += " at ";
+  S += instRef(F.Sink);
+  S += " (";
+  S += instKindName(Sink.Kind);
+  VarID P = derefPtr(Sink);
+  if (P != InvalidVar) {
+    S += " ";
+    S += printVar(M, P);
+  }
+  S += ")";
+  if (F.Obj != InvalidObj) {
+    S += ": object '";
+    S += M.symbols().object(F.Obj).Name;
+    S += "'";
+  }
+  switch (F.Kind) {
+  case CheckKind::UseAfterFree:
+  case CheckKind::DoubleFree:
+    S += " freed at " + instRef(F.Source);
+    break;
+  case CheckKind::NullDeref:
+    S += " read uninitialised at " + instRef(F.Source);
+    break;
+  case CheckKind::Leak:
+    S += " never freed";
+    break;
+  }
+  return S;
+}
+
+std::array<CheckScore, NumCheckKinds>
+vsfs::checker::scoreFindings(const std::vector<Finding> &Findings,
+                             const GroundTruth &GT) {
+  std::array<CheckScore, NumCheckKinds> Scores{};
+  // Site-granular comparison: (kind, sink) pairs.
+  auto Key = [](CheckKind K, InstID Sink) {
+    return (uint64_t(static_cast<uint32_t>(K)) << 32) | Sink;
+  };
+  std::vector<uint64_t> Reported, Expected;
+  for (const Finding &F : Findings)
+    Reported.push_back(Key(F.Kind, F.Sink));
+  for (const BugSite &S : GT.Sites)
+    Expected.push_back(Key(S.Kind, S.Sink));
+  std::sort(Reported.begin(), Reported.end());
+  Reported.erase(std::unique(Reported.begin(), Reported.end()),
+                 Reported.end());
+  std::sort(Expected.begin(), Expected.end());
+  Expected.erase(std::unique(Expected.begin(), Expected.end()),
+                 Expected.end());
+
+  for (uint64_t R : Reported) {
+    CheckScore &Sc = Scores[R >> 32];
+    if (std::binary_search(Expected.begin(), Expected.end(), R))
+      ++Sc.TP;
+    else
+      ++Sc.FP;
+  }
+  for (uint64_t E : Expected)
+    if (!std::binary_search(Reported.begin(), Reported.end(), E))
+      ++Scores[E >> 32].FN;
+  return Scores;
+}
+
+PointsTo ValueFlowChecker::freedObjects(const Instruction &Inst) const {
+  PointsTo Roots;
+  for (uint32_t O : A.ptsOfVar(Inst.freePtr()))
+    if (!M.symbols().isFunctionObject(O))
+      Roots.set(rootObject(M.symbols(), O));
+  return Roots;
+}
+
+void ValueFlowChecker::checkFreeSites(uint32_t KindMask,
+                                      std::vector<Finding> &Out) {
+  // Sources: every free site. For each object the backend says the free
+  // deallocates, walk forward along that object's value-flow edges; any
+  // dereference the walk reaches whose pointer (per the backend) may still
+  // refer to the object is a use-after-free — or a double-free when the
+  // reached instruction is another free.
+  std::vector<char> Visited(G.numNodes(), 0);
+  std::vector<NodeID> Stack;
+  for (InstID F = 0; F < M.numInstructions(); ++F) {
+    const Instruction &FreeInst = M.inst(F);
+    if (FreeInst.Kind != InstKind::Free)
+      continue;
+    for (uint32_t O : freedObjects(FreeInst)) {
+      std::fill(Visited.begin(), Visited.end(), 0);
+      Stack.clear();
+      NodeID Start = G.instNode(F);
+      Visited[Start] = 1;
+      Stack.push_back(Start);
+      while (!Stack.empty()) {
+        NodeID N = Stack.back();
+        Stack.pop_back();
+        for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+          if (rootObject(M.symbols(), E.Obj) != O || Visited[E.Dst])
+            continue;
+          Visited[E.Dst] = 1;
+          Stack.push_back(E.Dst);
+          const svfg::Node &Node = G.node(E.Dst);
+          if (Node.Kind != NodeKind::Inst)
+            continue;
+          const Instruction &Sink = M.inst(Node.Inst);
+          VarID Ptr = derefPtr(Sink);
+          if (Ptr == InvalidVar)
+            continue;
+          // Backend-sensitive sink test: may the dereferenced pointer still
+          // refer to the freed allocation here?
+          bool PointsAtFreed = false;
+          for (uint32_t P : A.ptsOfVar(Ptr))
+            if (!M.symbols().isFunctionObject(P) &&
+                rootObject(M.symbols(), P) == O) {
+              PointsAtFreed = true;
+              break;
+            }
+          if (!PointsAtFreed)
+            continue;
+          CheckKind Kind = Sink.Kind == InstKind::Free
+                               ? CheckKind::DoubleFree
+                               : CheckKind::UseAfterFree;
+          if (KindMask & checkBit(Kind))
+            Out.push_back({Kind, Node.Inst, O, F});
+        }
+      }
+    }
+  }
+}
+
+void ValueFlowChecker::checkNullDerefs(std::vector<Finding> &Out) {
+  // Sources: loads that may read a cell no store ever initialises — in this
+  // IR (no null constant) an uninitialised cell models the null pointer.
+  // The cell must be empty both at the load (backend state) and under the
+  // auxiliary analysis: requiring aux-emptiness keeps the source set
+  // monotone in the backend's precision (sfs sources ⊆ ander sources), so
+  // a more precise backend can only remove findings. Null-ness then flows
+  // through copies and phis to every dereference.
+  const andersen::Andersen &Aux = G.auxAnalysis();
+  const uint32_t NumVars = M.symbols().numVars();
+  std::vector<char> MayNull(NumVars, 0);
+  std::vector<InstID> NullSrc(NumVars, InvalidInst);
+  std::vector<ObjID> NullObj(NumVars, InvalidObj);
+
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind != InstKind::Load)
+      continue;
+    for (uint32_t O : A.ptsOfVar(Inst.loadPtr())) {
+      if (M.symbols().isFunctionObject(O))
+        continue;
+      if (!Aux.ptsOfObj(O).empty() || !A.ptsOfObjAt(I, O).empty())
+        continue;
+      MayNull[Inst.Dst] = 1;
+      NullSrc[Inst.Dst] = I;
+      NullObj[Inst.Dst] = O;
+      break;
+    }
+  }
+
+  // Fixed point over the (acyclic-per-assignment, but phis may form loops)
+  // copy/phi flows.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (InstID I = 0; I < M.numInstructions(); ++I) {
+      const Instruction &Inst = M.inst(I);
+      VarID Src = InvalidVar;
+      if (Inst.Kind == InstKind::Copy) {
+        if (MayNull[Inst.copySrc()])
+          Src = Inst.copySrc();
+      } else if (Inst.Kind == InstKind::Phi) {
+        for (VarID S : Inst.phiSrcs())
+          if (MayNull[S]) {
+            Src = S;
+            break;
+          }
+      }
+      if (Src == InvalidVar || MayNull[Inst.Dst])
+        continue;
+      MayNull[Inst.Dst] = 1;
+      NullSrc[Inst.Dst] = NullSrc[Src];
+      NullObj[Inst.Dst] = NullObj[Src];
+      Changed = true;
+    }
+  }
+
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    VarID Ptr = derefPtr(M.inst(I));
+    if (Ptr != InvalidVar && MayNull[Ptr])
+      Out.push_back({CheckKind::NullDeref, I, NullObj[Ptr], NullSrc[Ptr]});
+  }
+}
+
+void ValueFlowChecker::checkLeaks(std::vector<Finding> &Out) {
+  // A heap allocation leaks when no free site's (backend) pointee set
+  // covers it.
+  const SymbolTable &Syms = M.symbols();
+  PointsTo Covered;
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind == InstKind::Free)
+      Covered.unionWith(freedObjects(Inst));
+  }
+  for (ObjID O = 0; O < Syms.numObjects(); ++O) {
+    const ObjInfo &Obj = Syms.object(O);
+    if (Obj.Kind != ObjKind::Heap || Covered.test(O))
+      continue;
+    if (Obj.AllocSite == InvalidInst)
+      continue;
+    Out.push_back({CheckKind::Leak, Obj.AllocSite, O, Obj.AllocSite});
+  }
+}
+
+std::vector<Finding> ValueFlowChecker::run(uint32_t KindMask) {
+  std::vector<Finding> Out;
+  if (KindMask & (checkBit(CheckKind::UseAfterFree) |
+                  checkBit(CheckKind::DoubleFree)))
+    checkFreeSites(KindMask, Out);
+  if (KindMask & checkBit(CheckKind::NullDeref))
+    checkNullDerefs(Out);
+  if (KindMask & checkBit(CheckKind::Leak))
+    checkLeaks(Out);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::vector<Finding>
+vsfs::checker::runCheckers(const svfg::SVFG &G,
+                           const core::PointerAnalysisResult &A,
+                           uint32_t KindMask) {
+  ValueFlowChecker C(G, A);
+  return C.run(KindMask);
+}

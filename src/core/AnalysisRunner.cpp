@@ -168,7 +168,8 @@ void jsonCounters(std::ostringstream &OS, int Indent, const StatGroup &G) {
 
 std::string vsfs::core::statsJson(
     const AnalysisContext &Ctx,
-    const std::vector<AnalysisRunner::RunResult> &Results) {
+    const std::vector<AnalysisRunner::RunResult> &Results,
+    const std::vector<StatGroup> *ClientGroups) {
   const ir::Module &M = Ctx.module();
   std::ostringstream OS;
   OS << "{\n";
@@ -220,6 +221,13 @@ std::string vsfs::core::statsJson(
       OS << jsonDouble(V->versioningSeconds()) << ",\n";
       jsonKey(OS, 6, "versioning_counters");
       jsonCounters(OS, 6, V->versioning().stats());
+      OS << ",\n";
+    }
+    if (ClientGroups && I < ClientGroups->size() &&
+        !(*ClientGroups)[I].empty()) {
+      const StatGroup &G = (*ClientGroups)[I];
+      jsonKey(OS, 6, G.name().empty() ? "client_counters" : G.name().c_str());
+      jsonCounters(OS, 6, G);
       OS << ",\n";
     }
     jsonKey(OS, 6, "counters");

@@ -45,6 +45,10 @@ public:
   const PointsTo &ptsOfVar(ir::VarID V) const override {
     return A.ptsOfVar(V);
   }
+  const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const override {
+    (void)I; // Flow-insensitive: one set per object, everywhere.
+    return A.ptsOfObj(O);
+  }
   const andersen::CallGraph &callGraph() const override {
     return A.callGraph();
   }
@@ -120,9 +124,16 @@ std::string statsText(const AnalysisRunner::RunResult &R);
 /// Renders the whole session — pipeline timings/sizes and every run's
 /// statistics — as machine-readable JSON (schema "vsfs-stats-v1"), so
 /// benchmark trajectories can be collected mechanically (--stats-json).
+///
+/// \p ClientGroups, when non-null, carries one extra counter group per run
+/// (parallel to \p Results) contributed by an analysis client — e.g. the
+/// bug checkers' per-kind TP/FP/FN counts. Non-empty groups are emitted
+/// under their group name ("client_counters" when unnamed); the core stays
+/// ignorant of what the counters mean.
 std::string
 statsJson(const AnalysisContext &Ctx,
-          const std::vector<AnalysisRunner::RunResult> &Results);
+          const std::vector<AnalysisRunner::RunResult> &Results,
+          const std::vector<StatGroup> *ClientGroups = nullptr);
 
 } // namespace core
 } // namespace vsfs

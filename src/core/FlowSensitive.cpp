@@ -85,6 +85,23 @@ void FlowSensitive::processStore(const Instruction &Inst, InstID I) {
   }
 }
 
+void FlowSensitive::processFree(const Instruction &Inst, InstID I) {
+  // [FREE]: a store with no stored value — nothing is generated. At a
+  // strong-update free the sole pointee's incoming value is killed (OUT
+  // stays empty); a weak free passes IN through untouched.
+  (void)Inst;
+  NodeID N = G.instNode(I);
+  if (SUStore[I])
+    return;
+  ObjMap &NodeIn = In[N];
+  ObjMap &NodeOut = Out[N];
+  for (uint32_t O : G.memSSA().chiObjs(I)) {
+    auto It = NodeIn.find(O);
+    if (It != NodeIn.end())
+      NodeOut[O].unionWith(It->second);
+  }
+}
+
 void FlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
   // Wire the SVFG value flows for the new call edge and make sure both the
   // freshly connected sources and the callee boundary nodes run again.
@@ -115,13 +132,16 @@ void FlowSensitive::onReturnBound(InstID CS, VarID Dst) {
 
 void FlowSensitive::propagateIndirect(NodeID N) {
   // [A-PROP]: forward this node's view of each object along its outgoing
-  // object-labelled edges. Stores forward OUT; everything else forwards IN.
+  // object-labelled edges. Memory defs (stores, frees) forward OUT;
+  // everything else forwards IN.
   const auto &IndSuccs = G.indirectSuccs(N);
   if (IndSuccs.empty())
     return;
-  const bool IsStore = G.node(N).Kind == NodeKind::Inst &&
-                       M.inst(G.node(N).Inst).Kind == InstKind::Store;
-  const ObjMap &Src = IsStore ? Out[N] : In[N];
+  const bool IsMemDef =
+      G.node(N).Kind == NodeKind::Inst &&
+      (M.inst(G.node(N).Inst).Kind == InstKind::Store ||
+       M.inst(G.node(N).Inst).Kind == InstKind::Free);
+  const ObjMap &Src = IsMemDef ? Out[N] : In[N];
   if (Src.empty())
     return;
   for (const svfg::IndEdge &E : IndSuccs) {

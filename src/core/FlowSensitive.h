@@ -57,6 +57,10 @@ public:
   /// IN set of object \p O at node \p N (empty if never propagated).
   const PointsTo &inOf(svfg::NodeID N, ir::ObjID O) const;
 
+  const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const override {
+    return inOf(G.instNode(I), O);
+  }
+
   /// Total number of distinct (node, object) points-to sets stored in
   /// IN/OUT tables — the quantity Figure 2b column 2 counts.
   uint64_t numPtsSetsStored() const override;
@@ -73,6 +77,7 @@ private:
   // Memory transfer functions and scheduling hooks for SparseSolverBase.
   bool processLoad(const ir::Instruction &Inst, ir::InstID I);
   void processStore(const ir::Instruction &Inst, ir::InstID I);
+  void processFree(const ir::Instruction &Inst, ir::InstID I);
   void onCalleeDiscovered(ir::InstID CS, ir::FunID Callee);
   void onFormalBound(ir::FunID Callee, ir::VarID Param);
   void onReturnBound(ir::InstID CS, ir::VarID Dst);

@@ -49,8 +49,10 @@ void IterativeFlowSensitive::process(InstID I) {
   if (processInst(I) && Inst.definesVar())
     pushUses(Inst.Dst);
 
-  // Flow the memory state to ICFG successors.
-  const ObjMap &Source = Inst.Kind == InstKind::Store ? Out[I] : In[I];
+  // Flow the memory state to ICFG successors (memory defs flow their OUT).
+  const ObjMap &Source =
+      Inst.Kind == InstKind::Store || Inst.Kind == InstKind::Free ? Out[I]
+                                                                  : In[I];
   for (InstID S : Graph.successors(I)) {
     bool Changed = false;
     for (const auto &[O, Set] : Source) {
@@ -97,6 +99,21 @@ void IterativeFlowSensitive::processStore(const Instruction &Inst, InstID I) {
   }
 }
 
+void IterativeFlowSensitive::processFree(const Instruction &Inst, InstID I) {
+  // OUT = IN − KILL: a free generates nothing; a strong-update free kills
+  // its singleton pointee, a weak free passes everything through.
+  const bool StrongUpdate = SUStore[I];
+  const uint32_t KillObj =
+      StrongUpdate ? Ander.ptsOfVar(Inst.freePtr()).findFirst() : UINT32_MAX;
+  ObjMap &NodeIn = In[I];
+  ObjMap &NodeOut = Out[I];
+  for (auto &[O, Set] : NodeIn) {
+    if (StrongUpdate && O == KillObj)
+      continue; // Killed.
+    NodeOut[O].unionWith(Set);
+  }
+}
+
 void IterativeFlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
   // Unreachable: this solver always runs on the full auxiliary call graph
   // (OnTheFlyCallGraph=false), so the base never discovers callees.
@@ -113,6 +130,12 @@ void IterativeFlowSensitive::onFormalBound(FunID Callee, VarID Param) {
 void IterativeFlowSensitive::onReturnBound(InstID CS, VarID Dst) {
   (void)CS;
   pushUses(Dst);
+}
+
+const PointsTo &IterativeFlowSensitive::ptsOfObjAt(InstID I, ObjID O) const {
+  static const PointsTo Empty;
+  auto It = In[I].find(O);
+  return It == In[I].end() ? Empty : It->second;
 }
 
 uint64_t IterativeFlowSensitive::footprintBytes() const {

@@ -48,6 +48,8 @@ public:
 
   void solve() override;
 
+  const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const override;
+
   /// Total (node, object) points-to sets stored — the dense cost.
   uint64_t numPtsSetsStored() const override;
 
@@ -61,6 +63,7 @@ private:
   // Memory transfer functions and scheduling hooks for SparseSolverBase.
   bool processLoad(const ir::Instruction &Inst, ir::InstID I);
   void processStore(const ir::Instruction &Inst, ir::InstID I);
+  void processFree(const ir::Instruction &Inst, ir::InstID I);
   void onCalleeDiscovered(ir::InstID CS, ir::FunID Callee);
   void onFormalBound(ir::FunID Callee, ir::VarID Param);
   void onReturnBound(ir::InstID CS, ir::VarID Dst);

@@ -58,9 +58,11 @@ void ObjectVersioning::prelabel() {
     case NodeKind::Inst: {
       // [STORE]ᴾ: a store yields a fresh version for each object it may
       // define, because it may propagate forward a different points-to set
-      // than the one propagated to it.
+      // than the one propagated to it. Free is a memory def too (its χ may
+      // kill the freed object's contents), so it yields fresh versions for
+      // the same reason.
       const Instruction &Inst = M.inst(Node.Inst);
-      if (Inst.Kind != InstKind::Store)
+      if (Inst.Kind != InstKind::Store && Inst.Kind != InstKind::Free)
         break;
       for (uint32_t O : G.memSSA().chiObjs(Node.Inst))
         StoreYieldPre.emplace(key(N, O), NewPrelabel(O));

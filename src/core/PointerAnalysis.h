@@ -36,6 +36,13 @@ public:
   /// The final points-to set of a top-level variable.
   virtual const PointsTo &ptsOfVar(ir::VarID V) const = 0;
 
+  /// The contents of memory object \p O as observed by instruction \p I —
+  /// the flow-sensitive IN state for SFS/ITER, the consumed version's set
+  /// for VSFS, and the single flow-insensitive set for Andersen. An empty
+  /// set means no store into \p O reaches \p I (the cell is still in its
+  /// null/uninitialised state there); checkers build on this.
+  virtual const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const = 0;
+
   /// The call graph as resolved by this analysis.
   virtual const andersen::CallGraph &callGraph() const = 0;
 

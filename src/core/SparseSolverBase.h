@@ -150,6 +150,9 @@ protected:
     case ir::InstKind::Store:
       derived().processStore(Inst, I);
       return false;
+    case ir::InstKind::Free:
+      derived().processFree(Inst, I);
+      return false;
     case ir::InstKind::Call:
       processCall(Inst, I);
       return false;

@@ -35,16 +35,18 @@
 namespace vsfs {
 namespace core {
 
-/// Returns a per-instruction flag: true iff the instruction is a store
-/// whose auxiliary pointee set is exactly one singleton object.
+/// Returns a per-instruction flag: true iff the instruction is a store (or
+/// free — a deallocation kills its object's contents the same way) whose
+/// auxiliary pointee set is exactly one singleton object.
 inline std::vector<bool>
 computeStrongUpdateStores(const ir::Module &M, const andersen::Andersen &A) {
   std::vector<bool> SU(M.numInstructions(), false);
   for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
     const ir::Instruction &Inst = M.inst(I);
-    if (Inst.Kind != ir::InstKind::Store)
+    if (Inst.Kind != ir::InstKind::Store && Inst.Kind != ir::InstKind::Free)
       continue;
-    const PointsTo &Pts = A.ptsOfVar(Inst.storePtr());
+    const PointsTo &Pts = A.ptsOfVar(
+        Inst.Kind == ir::InstKind::Store ? Inst.storePtr() : Inst.freePtr());
     if (Pts.count() != 1)
       continue;
     const ir::ObjInfo &Obj = M.symbols().object(Pts.findFirst());

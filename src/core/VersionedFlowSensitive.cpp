@@ -80,7 +80,7 @@ void VersionedFlowSensitive::buildVersionGraph() {
     if (Inst.Kind == InstKind::Load) {
       for (uint32_t O : G.memSSA().muObjs(I))
         Consumers[OV.consume(G.instNode(I), O)].push_back(G.instNode(I));
-    } else if (Inst.Kind == InstKind::Store) {
+    } else if (Inst.Kind == InstKind::Store || Inst.Kind == InstKind::Free) {
       for (uint32_t O : G.memSSA().chiObjs(I))
         Consumers[OV.consume(G.instNode(I), O)].push_back(G.instNode(I));
     }
@@ -130,6 +130,21 @@ void VersionedFlowSensitive::processStore(const Instruction &Inst, InstID I) {
       Changed |= VersionPts[Y].unionWith(VersionPts[OV.consume(N, O)]);
     }
     if (Changed)
+      VersionWL.push(Y);
+  }
+}
+
+void VersionedFlowSensitive::processFree(const Instruction &Inst, InstID I) {
+  // [FREE]ᵛ: a memory def with no generated value. A strong-update free
+  // leaves its yielded version empty (the kill); a weak free passes the
+  // consumed version's set through to the yielded one.
+  (void)Inst;
+  NodeID N = G.instNode(I);
+  if (SUStore[I])
+    return;
+  for (uint32_t O : G.memSSA().chiObjs(I)) {
+    Version Y = OV.yield(N, O);
+    if (VersionPts[Y].unionWith(VersionPts[OV.consume(N, O)]))
       VersionWL.push(Y);
   }
 }

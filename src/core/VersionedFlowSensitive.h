@@ -66,6 +66,10 @@ public:
   /// pt_κ(o): the global points-to set of a version.
   const PointsTo &ptsOfVersion(Version V) const { return VersionPts[V]; }
 
+  const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const override {
+    return VersionPts[OV.consume(G.instNode(I), O)];
+  }
+
   /// Number of non-empty version points-to sets (Figure 2b column 3's
   /// storage count).
   uint64_t numPtsSetsStored() const override;
@@ -86,6 +90,7 @@ private:
   // Memory transfer functions and scheduling hooks for SparseSolverBase.
   bool processLoad(const ir::Instruction &Inst, ir::InstID I);
   void processStore(const ir::Instruction &Inst, ir::InstID I);
+  void processFree(const ir::Instruction &Inst, ir::InstID I);
   void onCalleeDiscovered(ir::InstID CS, ir::FunID Callee);
   void onFormalBound(ir::FunID Callee, ir::VarID Param);
   void onReturnBound(ir::InstID CS, ir::VarID Dst);

@@ -21,6 +21,8 @@ const char *vsfs::ir::instKindName(InstKind Kind) {
     return "load";
   case InstKind::Store:
     return "store";
+  case InstKind::Free:
+    return "free";
   case InstKind::Call:
     return "call";
   case InstKind::FunEntry:
@@ -39,6 +41,7 @@ void vsfs::ir::collectUsedVars(const Instruction &Inst,
   case InstKind::Copy:
   case InstKind::FieldAddr:
   case InstKind::Load:
+  case InstKind::Free:
     Uses.push_back(Inst.Op0);
     break;
   case InstKind::Store:
@@ -433,6 +436,13 @@ void IRBuilder::store(VarID Value, VarID Ptr) {
   Inst.Kind = InstKind::Store;
   Inst.Op0 = Ptr;
   Inst.Op1 = Value;
+  emit(std::move(Inst));
+}
+
+void IRBuilder::free(VarID Ptr) {
+  Instruction Inst;
+  Inst.Kind = InstKind::Free;
+  Inst.Op0 = Ptr;
   emit(std::move(Inst));
 }
 

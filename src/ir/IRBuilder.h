@@ -103,6 +103,8 @@ public:
   VarID fieldAddr(const std::string &VarName, VarID Base, uint32_t Offset);
   VarID load(const std::string &VarName, VarID Ptr);
   void store(VarID Value, VarID Ptr);
+  /// free p: deallocates whatever \p Ptr points to (a memory kill).
+  void free(VarID Ptr);
 
   /// Direct call; \p DstName empty means no return value is used.
   VarID callDirect(const std::string &DstName, FunID Callee,

@@ -32,6 +32,7 @@ enum class InstKind : uint8_t {
   FieldAddr, ///< p = &q->f_k
   Load,      ///< p = *q
   Store,     ///< *p = q
+  Free,      ///< free p  (deallocates the object p points to; a memory kill)
   Call,      ///< p = q(r1, ..., rn)  (direct or indirect)
   FunEntry,  ///< fun(r1, ..., rn)
   FunExit    ///< ret_fun p
@@ -57,7 +58,7 @@ struct Instruction {
   /// Defined top-level variable (Alloc/Copy/Phi/FieldAddr/Load, optional for
   /// Call), otherwise InvalidVar.
   VarID Dst = InvalidVar;
-  /// First operand: Copy source, Load/Store pointer, FieldAddr base,
+  /// First operand: Copy source, Load/Store/Free pointer, FieldAddr base,
   /// indirect Call callee, FunExit return value.
   VarID Op0 = InvalidVar;
   /// Second operand: Store value.
@@ -103,6 +104,11 @@ struct Instruction {
   VarID storeVal() const {
     assert(Kind == InstKind::Store && "not a Store");
     return Op1;
+  }
+
+  VarID freePtr() const {
+    assert(Kind == InstKind::Free && "not a Free");
+    return Op0;
   }
 
   bool isIndirectCall() const {

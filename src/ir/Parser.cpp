@@ -451,6 +451,11 @@ private:
           return false;
         continue;
       }
+      if (T.Kind == TokKind::Ident && T.Text == "free") {
+        if (!parseFree())
+          return false;
+        continue;
+      }
       if (T.Kind == TokKind::Ident && T.Text == "call") {
         if (!parseCall(/*DstName=*/""))
           return false;
@@ -507,6 +512,15 @@ private:
     if (!parseOperand(Ptr))
       return false;
     B.store(Value, Ptr);
+    return true;
+  }
+
+  bool parseFree() {
+    ++Cursor; // 'free'
+    VarID Ptr;
+    if (!parseOperand(Ptr))
+      return false;
+    B.free(Ptr);
     return true;
   }
 

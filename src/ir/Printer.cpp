@@ -78,6 +78,9 @@ std::string vsfs::ir::printInst(const Module &M, InstID I) {
     OS << "store " << printVar(M, Inst.storeVal()) << " -> "
        << printVar(M, Inst.storePtr());
     break;
+  case InstKind::Free:
+    OS << "free " << printVar(M, Inst.freePtr());
+    break;
   case InstKind::Call:
     if (Inst.Dst != InvalidVar)
       OS << printVar(M, Inst.Dst) << " = ";

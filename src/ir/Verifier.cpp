@@ -140,3 +140,70 @@ std::vector<std::string> vsfs::ir::verifyModule(const Module &M) {
 
   return Errors;
 }
+
+std::vector<std::string> vsfs::ir::lintModule(const Module &M) {
+  std::vector<std::string> Warnings;
+  auto Warn = [&Warnings](std::string Msg) {
+    Warnings.push_back(std::move(Msg));
+  };
+
+  const uint32_t NumVars = M.symbols().numVars();
+  std::vector<uint8_t> Defined(NumVars, 0), Used(NumVars, 0);
+
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.definesVar() && Inst.Dst < NumVars)
+      Defined[Inst.Dst] = 1;
+    if (Inst.Kind == InstKind::FunEntry)
+      for (VarID P : Inst.Operands)
+        if (P < NumVars)
+          Defined[P] = 1; // Parameters are defined by the entry.
+    std::vector<VarID> Uses;
+    collectUses(Inst, Uses);
+    for (VarID V : Uses)
+      if (V < NumVars)
+        Used[V] = 1;
+  }
+
+  // Unreachable blocks: forward walk over successors from each entry.
+  for (FunID F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fun = M.function(F);
+    if (Fun.Blocks.empty())
+      continue;
+    std::vector<uint8_t> Seen(Fun.Blocks.size(), 0);
+    std::vector<BlockID> Stack{Fun.entryBlock()};
+    Seen[Fun.entryBlock()] = 1;
+    while (!Stack.empty()) {
+      BlockID BB = Stack.back();
+      Stack.pop_back();
+      for (BlockID S : Fun.Blocks[BB].Succs)
+        if (S < Fun.Blocks.size() && !Seen[S]) {
+          Seen[S] = 1;
+          Stack.push_back(S);
+        }
+    }
+    for (BlockID BB = 0; BB < Fun.Blocks.size(); ++BB)
+      if (!Seen[BB])
+        Warn("@" + Fun.Name + ": block '" + Fun.Blocks[BB].Name +
+             "' is unreachable from the entry");
+  }
+
+  // Defined-but-never-used top-level variables (dead definitions).
+  for (VarID V = 0; V < NumVars; ++V)
+    if (Defined[V] && !Used[V])
+      Warn("variable " + printVar(M, V) + " is defined but never used");
+
+  // Loads through pointers with no definition anywhere: such a load can
+  // only ever read the null/uninitialised state.
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind != InstKind::Load)
+      continue;
+    VarID P = Inst.loadPtr();
+    if (P < NumVars && !Defined[P])
+      Warn("load '" + printInst(M, I) + "' reads through never-defined "
+           "pointer " + printVar(M, P));
+  }
+
+  return Warnings;
+}

@@ -24,6 +24,15 @@ namespace ir {
 /// Returns all violations found (empty means the module is well formed).
 std::vector<std::string> verifyModule(const Module &M);
 
+/// Non-fatal lint pass: structural oddities that are legal IR but usually
+/// indicate generator or hand-writing mistakes. Reported as warnings by
+/// `vsfs-wpa --lint`; never affects analysis results. Currently:
+///  - blocks unreachable from their function's entry block;
+///  - top-level variables that are defined but never used;
+///  - loads whose pointer operand has no definition anywhere (no defining
+///    instruction, not a parameter, not a global).
+std::vector<std::string> lintModule(const Module &M);
+
 } // namespace ir
 } // namespace vsfs
 

@@ -48,6 +48,10 @@ void MemSSA::computeModRef() {
     if (Inst.Kind == InstKind::Store)
       Mod[Inst.Parent].unionWith(
           filterStorageObjects(Ander.ptsOfVar(Inst.storePtr()), M.symbols()));
+    else if (Inst.Kind == InstKind::Free)
+      // A free redefines (kills) the objects its pointer may reference.
+      Mod[Inst.Parent].unionWith(
+          filterStorageObjects(Ander.ptsOfVar(Inst.freePtr()), M.symbols()));
     else if (Inst.Kind == InstKind::Load)
       Ref[Inst.Parent].unionWith(
           filterStorageObjects(Ander.ptsOfVar(Inst.loadPtr()), M.symbols()));
@@ -83,6 +87,15 @@ void MemSSA::annotate() {
     case InstKind::Store: {
       PointsTo Objs =
           filterStorageObjects(Ander.ptsOfVar(Inst.storePtr()), M.symbols());
+      if (!Objs.empty())
+        ChiSets.emplace(I, std::move(Objs));
+      break;
+    }
+    case InstKind::Free: {
+      // Table I's DELETE: a memory def with no incoming value — the χ kills
+      // the freed object's contents (strong update) or merges (weak).
+      PointsTo Objs =
+          filterStorageObjects(Ander.ptsOfVar(Inst.freePtr()), M.symbols());
       if (!Objs.empty())
         ChiSets.emplace(I, std::move(Objs));
       break;
@@ -211,9 +224,11 @@ void MemSSA::buildFunctionSSA(FunID F) {
       }
       auto ChiIt = ChiSets.find(I);
       if (ChiIt != ChiSets.end()) {
-        DefKind DK = Inst.Kind == InstKind::Store      ? DefKind::StoreChi
-                     : Inst.Kind == InstKind::Call    ? DefKind::CallChi
-                                                      : DefKind::EntryChi;
+        DefKind DK = Inst.Kind == InstKind::Store ||
+                             Inst.Kind == InstKind::Free
+                         ? DefKind::StoreChi
+                     : Inst.Kind == InstKind::Call ? DefKind::CallChi
+                                                   : DefKind::EntryChi;
         for (uint32_t O : ChiIt->second) {
           Def D;
           D.Kind = DK;

@@ -17,8 +17,8 @@ namespace {
 /// All the state threaded through generation of one module.
 class Generator {
 public:
-  Generator(const GenConfig &Config)
-      : Config(Config), M(std::make_unique<Module>()), B(*M),
+  Generator(const GenConfig &Config, checker::GroundTruth *GT)
+      : Config(Config), GT(GT), M(std::make_unique<Module>()), B(*M),
         Rng(Config.Seed) {}
 
   std::unique_ptr<Module> run() {
@@ -120,6 +120,10 @@ private:
     if (Takes(Config.AllocWeight)) {
       bool Heap = chance(Config.HeapFraction);
       uint32_t Fields = 1 + below(Config.MaxFields);
+      // Random code never frees, so every random heap allocation is a
+      // genuine leak and belongs in the ground truth.
+      if (Heap)
+        recordBug(checker::CheckKind::Leak, nextInst());
       VarID V = B.alloc(freshName(), numberedName('o', NameCounter),
                         Heap ? ObjKind::Heap : ObjKind::Stack,
                         /*Singleton=*/true, Fields);
@@ -171,6 +175,106 @@ private:
     Pool.push_back(Dst);
   }
 
+  // --- Bug injection -------------------------------------------------------
+
+  /// Next instruction ID the builder will emit; recorded *before* emitting a
+  /// sink so ground-truth sites are exact.
+  InstID nextInst() const { return M->numInstructions(); }
+
+  void recordBug(checker::CheckKind K, InstID Sink) {
+    if (GT)
+      GT->Sites.push_back({K, Sink});
+  }
+
+  /// Emits the deterministic bug patterns (and their clean variants) at the
+  /// head of main's entry block. Every variable and object here is hermetic:
+  /// none enters Pool/PtrPool, so random code can never alias into them and
+  /// the recorded ground truth is exact. The clean variants are built around
+  /// a strongly-updated singleton slot, which flow-sensitive backends resolve
+  /// precisely while a flow-insensitive auxiliary (Andersen) conflates both
+  /// stores — producing ander-only false positives for uaf and null.
+  void injectBugPatterns() {
+    using checker::CheckKind;
+
+    // (1) Use-after-free: free then load through the same pointer.
+    VarID HU = B.alloc("bug.uaf.p", "bug.uaf.obj", ObjKind::Heap,
+                       /*Singleton=*/false, 1);
+    VarID VU = B.alloc("bug.uaf.v", "bug.uaf.val", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    B.store(VU, HU); // Initialise so the later load is not a null source.
+    B.free(HU);
+    recordBug(CheckKind::UseAfterFree, nextInst());
+    B.load("bug.uaf.use", HU);
+
+    // (2) Clean use-after-free (ander-only FP): a singleton slot holds A,
+    // A is freed, the slot is strongly updated to B, and the reloaded
+    // pointer is used. Flow-sensitive backends see pt(pb) = {B} and stay
+    // silent; Andersen sees {A, B} and reports. B is never freed at
+    // runtime, so its allocation is part of the leak ground truth.
+    VarID Slot = B.alloc("ok.uaf.slot", "ok.uaf.slot_obj", ObjKind::Stack,
+                         /*Singleton=*/true, 1);
+    VarID H1 = B.alloc("ok.uaf.a", "ok.uaf.obj_a", ObjKind::Heap,
+                       /*Singleton=*/false, 1);
+    recordBug(CheckKind::Leak, nextInst());
+    VarID H2 = B.alloc("ok.uaf.b", "ok.uaf.obj_b", ObjKind::Heap,
+                       /*Singleton=*/false, 1);
+    VarID VA = B.alloc("ok.uaf.v", "ok.uaf.val", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    B.store(VA, H1); // Initialise both heap cells (avoid null cross-talk).
+    B.store(VA, H2);
+    B.store(H1, Slot);
+    VarID PA = B.load("ok.uaf.pa", Slot);
+    B.free(PA);
+    B.store(H2, Slot); // Strong update: kills A in the slot.
+    VarID PB = B.load("ok.uaf.pb", Slot);
+    B.load("ok.uaf.use", PB);
+
+    // (3) Double-free: two frees of the same allocation.
+    VarID HD = B.alloc("bug.dfree.p", "bug.dfree.obj", ObjKind::Heap,
+                       /*Singleton=*/false, 1);
+    B.free(HD);
+    recordBug(CheckKind::DoubleFree, nextInst());
+    B.free(HD);
+
+    // (4) Null deref: load from a never-initialised cell (the IR's model of
+    // null), then dereference the result.
+    VarID CZ = B.alloc("bug.null.cell", "bug.null.cell_obj", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    VarID NZ = B.load("bug.null.p", CZ);
+    recordBug(CheckKind::NullDeref, nextInst());
+    B.load("bug.null.use", NZ);
+
+    // (5) Clean null deref (ander-only FP): the slot first holds a pointer
+    // to never-initialised cell E, then is strongly updated to point at
+    // initialised cell F. Flow-sensitive backends load only from F;
+    // Andersen's pt(pf) = {E, F} with E empty everywhere makes the final
+    // dereference look null.
+    VarID S2 = B.alloc("ok.null.slot", "ok.null.slot_obj", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    VarID CE = B.alloc("ok.null.e", "ok.null.cell_e", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    VarID CF = B.alloc("ok.null.f", "ok.null.cell_f", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    VarID VF = B.alloc("ok.null.v", "ok.null.val", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    B.store(VF, CF); // F initialised; E deliberately never is.
+    B.store(CE, S2);
+    B.store(CF, S2); // Strong update: kills E in the slot.
+    VarID PF = B.load("ok.null.pf", S2);
+    VarID Val = B.load("ok.null.pv", PF);
+    B.store(VF, Val);
+
+    // (6) Leak: heap allocation that is never freed.
+    recordBug(CheckKind::Leak, nextInst());
+    B.alloc("bug.leak.p", "bug.leak.obj", ObjKind::Heap,
+            /*Singleton=*/false, 1);
+
+    // (7) Clean leak: allocated and freed.
+    VarID LC = B.alloc("ok.leak.p", "ok.leak.obj", ObjKind::Heap,
+                       /*Singleton=*/false, 1);
+    B.free(LC);
+  }
+
   void buildFunction(FunID F) {
     std::vector<std::string> ParamNames;
     for (uint32_t I = 0; I < Config.ParamsPerFunction; ++I)
@@ -183,6 +287,12 @@ private:
       Pool.push_back(P);
     for (VarID G : Globals)
       Pool.push_back(G);
+
+    // Bug patterns live at the head of main's entry block: it executes
+    // exactly once (the verifier forbids branches back to entry, and main
+    // is never a call target when other functions exist).
+    if (F == M->main() && Config.InjectBugs)
+      injectBugPatterns();
 
     const uint32_t NumBlocks = std::max<uint32_t>(1, Config.BlocksPerFunction);
     std::vector<BlockID> Blocks;
@@ -227,6 +337,7 @@ private:
   }
 
   const GenConfig &Config;
+  checker::GroundTruth *GT; ///< Receives injected bug sites; may be null.
   std::unique_ptr<Module> M;
   IRBuilder B;
   std::mt19937_64 Rng;
@@ -244,6 +355,15 @@ private:
 
 std::unique_ptr<Module>
 vsfs::workload::generateProgram(const GenConfig &Config) {
-  Generator G(Config);
+  Generator G(Config, /*GT=*/nullptr);
+  return G.run();
+}
+
+std::unique_ptr<Module>
+vsfs::workload::generateProgram(const GenConfig &Config,
+                                checker::GroundTruth *GT) {
+  if (GT)
+    GT->Sites.clear();
+  Generator G(Config, GT);
   return G.run();
 }

@@ -20,6 +20,7 @@
 #ifndef VSFS_WORKLOAD_PROGRAMGENERATOR_H
 #define VSFS_WORKLOAD_PROGRAMGENERATOR_H
 
+#include "checker/Checker.h"
 #include "ir/Module.h"
 
 #include <cstdint>
@@ -67,11 +68,23 @@ struct GenConfig {
   double BranchProbability = 0.45;
   /// Probability an extra edge becomes a back edge (loop).
   double LoopProbability = 0.2;
+
+  /// Inject the deterministic bug patterns (and their clean variants) into
+  /// main's entry block; see docs/CHECKERS.md. The injected code is
+  /// hermetic — its variables and objects never enter the random pools —
+  /// so ground truth is exact by construction.
+  bool InjectBugs = false;
 };
 
 /// Generates a verified module. The module is entry-linked and ready for
 /// AnalysisContext::build().
 std::unique_ptr<ir::Module> generateProgram(const GenConfig &Config);
+
+/// As above; when \p GT is non-null and Config.InjectBugs is set, fills it
+/// with every injected bug site plus every heap allocation the program
+/// never frees (the full leak ground truth).
+std::unique_ptr<ir::Module> generateProgram(const GenConfig &Config,
+                                            checker::GroundTruth *GT);
 
 } // namespace workload
 } // namespace vsfs

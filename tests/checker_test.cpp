@@ -1,0 +1,371 @@
+//===- checker_test.cpp - Golden value-flow checker tests -------*- C++ -*-===//
+///
+/// \file
+/// Hand-written programs with known bugs (and their clean twins). The
+/// golden rules:
+///  - every known bug site is reported by every backend (no false
+///    negatives);
+///  - the clean variants are silent under the flow-sensitive backends
+///    (sfs, vsfs), while Andersen — conflating all stores to a slot —
+///    reports them, which is exactly the precision gap the paper's
+///    analyses close;
+///  - the `free` instruction round-trips through the printer/parser and
+///    strong-update frees kill like stores do.
+/// Also unit-tests the non-fatal IR lint pass surfaced by --lint.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "checker/Checker.h"
+#include "core/AnalysisRunner.h"
+#include "ir/IRBuilder.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+using checker::CheckKind;
+using checker::Finding;
+
+namespace {
+
+std::vector<Finding> findingsFor(core::AnalysisContext &Ctx,
+                                 const char *Analysis,
+                                 uint32_t Mask = checker::AllChecks) {
+  core::AnalysisRunner::RunResult R =
+      core::AnalysisRunner::registry().run(Ctx, Analysis);
+  EXPECT_NE(R.Analysis, nullptr) << "unknown analysis " << Analysis;
+  return checker::runCheckers(Ctx.svfg(), *R.Analysis, Mask);
+}
+
+uint32_t countKind(const std::vector<Finding> &Findings, CheckKind K) {
+  uint32_t N = 0;
+  for (const Finding &F : Findings)
+    if (F.Kind == K)
+      ++N;
+  return N;
+}
+
+/// The instruction that defines the variable named \p Name.
+ir::InstID defSite(const ir::Module &M, const std::string &Name) {
+  ir::VarID V = findVar(M, Name);
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).definesVar() && M.inst(I).Dst == V)
+      return I;
+  ADD_FAILURE() << "no definition of " << Name;
+  return ir::InvalidInst;
+}
+
+} // namespace
+
+// --- Use-after-free ------------------------------------------------------
+
+static const char *UafBug = R"(
+func @main() {
+entry:
+  %h = alloc [heap]
+  %v = alloc
+  store %v -> %h
+  free %h
+  %u = load %h
+  ret %u
+}
+)";
+
+TEST(CheckerUaf, BugReportedByEveryBackend) {
+  auto Ctx = buildFromText(UafBug);
+  ASSERT_TRUE(Ctx);
+  ir::InstID Sink = defSite(Ctx->module(), "u");
+  for (const char *A : {"ander", "iter", "sfs", "vsfs"}) {
+    auto Findings = findingsFor(*Ctx, A);
+    ASSERT_EQ(countKind(Findings, CheckKind::UseAfterFree), 1u) << A;
+    for (const Finding &F : Findings)
+      if (F.Kind == CheckKind::UseAfterFree) {
+        EXPECT_EQ(F.Sink, Sink) << A;
+      }
+  }
+}
+
+// The slot pattern: a singleton cell holds A, A is freed, the cell is
+// strongly updated to B, and the reloaded pointer is dereferenced. Safe at
+// runtime; only a flow-sensitive backend proves it.
+static const char *UafClean = R"(
+func @main() {
+entry:
+  %slot = alloc
+  %a = alloc [heap]
+  %b = alloc [heap]
+  %v = alloc
+  store %v -> %a
+  store %v -> %b
+  store %a -> %slot
+  %pa = load %slot
+  free %pa
+  store %b -> %slot
+  %pb = load %slot
+  %u = load %pb
+  ret %u
+}
+)";
+
+TEST(CheckerUaf, CleanVariantSilentFlowSensitiveOnly) {
+  auto Ctx = buildFromText(UafClean);
+  ASSERT_TRUE(Ctx);
+  for (const char *A : {"sfs", "vsfs"})
+    EXPECT_EQ(countKind(findingsFor(*Ctx, A), CheckKind::UseAfterFree), 0u)
+        << A;
+  // Andersen conflates both stores into the slot and reports.
+  EXPECT_GE(countKind(findingsFor(*Ctx, "ander"), CheckKind::UseAfterFree),
+            1u);
+}
+
+// --- Double free ---------------------------------------------------------
+
+static const char *DoubleFreeBug = R"(
+func @main() {
+entry:
+  %h = alloc [heap]
+  %v = alloc
+  store %v -> %h
+  free %h
+  free %h
+  ret %v
+}
+)";
+
+TEST(CheckerDoubleFree, BugReportedByEveryBackend) {
+  auto Ctx = buildFromText(DoubleFreeBug);
+  ASSERT_TRUE(Ctx);
+  for (const char *A : {"ander", "iter", "sfs", "vsfs"})
+    EXPECT_EQ(countKind(findingsFor(*Ctx, A), CheckKind::DoubleFree), 1u)
+        << A;
+}
+
+static const char *SingleFreeClean = R"(
+func @main() {
+entry:
+  %h = alloc [heap]
+  %v = alloc
+  store %v -> %h
+  free %h
+  ret %v
+}
+)";
+
+TEST(CheckerDoubleFree, SingleFreeIsSilent) {
+  auto Ctx = buildFromText(SingleFreeClean);
+  ASSERT_TRUE(Ctx);
+  for (const char *A : {"ander", "sfs", "vsfs"}) {
+    auto Findings = findingsFor(*Ctx, A);
+    EXPECT_EQ(countKind(Findings, CheckKind::DoubleFree), 0u) << A;
+    EXPECT_EQ(countKind(Findings, CheckKind::Leak), 0u) << A;
+  }
+}
+
+// --- Null dereference ----------------------------------------------------
+
+static const char *NullBug = R"(
+func @main() {
+entry:
+  %c = alloc
+  %p = load %c
+  %x = load %p
+  ret %x
+}
+)";
+
+TEST(CheckerNull, UninitialisedCellReportedByEveryBackend) {
+  auto Ctx = buildFromText(NullBug);
+  ASSERT_TRUE(Ctx);
+  ir::InstID Sink = defSite(Ctx->module(), "x");
+  for (const char *A : {"ander", "iter", "sfs", "vsfs"}) {
+    auto Findings = findingsFor(*Ctx, A, checker::checkBit(CheckKind::NullDeref));
+    ASSERT_EQ(Findings.size(), 1u) << A;
+    EXPECT_EQ(Findings[0].Sink, Sink) << A;
+  }
+}
+
+// The slot pattern again: the slot first points at never-initialised E,
+// then is strongly updated to initialised F before the dereference.
+static const char *NullClean = R"(
+func @main() {
+entry:
+  %slot = alloc
+  %e = alloc
+  %f = alloc
+  %v = alloc
+  store %v -> %f
+  store %e -> %slot
+  store %f -> %slot
+  %pf = load %slot
+  %val = load %pf
+  store %v -> %val
+  ret %val
+}
+)";
+
+TEST(CheckerNull, CleanVariantSilentFlowSensitiveOnly) {
+  auto Ctx = buildFromText(NullClean);
+  ASSERT_TRUE(Ctx);
+  for (const char *A : {"sfs", "vsfs"})
+    EXPECT_EQ(countKind(findingsFor(*Ctx, A), CheckKind::NullDeref), 0u)
+        << A;
+  EXPECT_GE(countKind(findingsFor(*Ctx, "ander"), CheckKind::NullDeref), 1u);
+}
+
+// --- Leak ----------------------------------------------------------------
+
+static const char *LeakBug = R"(
+func @main() {
+entry:
+  %h = alloc [heap]
+  %k = alloc [heap]
+  %v = alloc
+  store %v -> %h
+  store %v -> %k
+  free %k
+  ret %v
+}
+)";
+
+TEST(CheckerLeak, UnfreedHeapAllocationReported) {
+  auto Ctx = buildFromText(LeakBug);
+  ASSERT_TRUE(Ctx);
+  ir::InstID Sink = defSite(Ctx->module(), "h");
+  for (const char *A : {"ander", "sfs", "vsfs"}) {
+    auto Findings = findingsFor(*Ctx, A, checker::checkBit(CheckKind::Leak));
+    ASSERT_EQ(Findings.size(), 1u) << A;
+    EXPECT_EQ(Findings[0].Sink, Sink) << A;
+  }
+}
+
+// --- The free instruction itself -----------------------------------------
+
+TEST(FreeInst, RoundTripsThroughPrinterAndParser) {
+  auto Ctx = buildFromText(UafBug);
+  ASSERT_TRUE(Ctx);
+  std::string Printed = ir::printModule(Ctx->module());
+  EXPECT_NE(Printed.find("free %h"), std::string::npos) << Printed;
+  // Reparsing re-synthesises the exit-unification block, so textual
+  // identity is out of reach (same for every printed module); compare
+  // semantics instead, like roundtrip_test: the free must survive and the
+  // analysis results must match.
+  auto Ctx2 = buildFromText(Printed.c_str());
+  ASSERT_TRUE(Ctx2);
+  EXPECT_NE(ir::printModule(Ctx2->module()).find("free %h"),
+            std::string::npos);
+  for (const char *A : {"sfs", "vsfs"}) {
+    core::AnalysisRunner::RunResult R1 =
+        core::AnalysisRunner::registry().run(*Ctx, A);
+    core::AnalysisRunner::RunResult R2 =
+        core::AnalysisRunner::registry().run(*Ctx2, A);
+    EXPECT_EQ(pointeeNames(Ctx->module(),
+                           R1.Analysis->ptsOfVar(findVar(Ctx->module(), "u"))),
+              pointeeNames(Ctx2->module(), R2.Analysis->ptsOfVar(
+                                               findVar(Ctx2->module(), "u"))))
+        << A;
+  }
+}
+
+TEST(FreeInst, StrongUpdateFreeKillsSingletonCell) {
+  // free of a singleton stack slot kills its contents, exactly like a
+  // strong-update store with nothing stored.
+  auto Ctx = buildFromText(R"(
+func @main() {
+entry:
+  %s = alloc
+  %p = alloc
+  store %p -> %s
+  free %s
+  %x = load %s
+  ret %x
+}
+)");
+  ASSERT_TRUE(Ctx);
+  for (const char *A : {"iter", "sfs", "vsfs"}) {
+    core::AnalysisRunner::RunResult R =
+        core::AnalysisRunner::registry().run(*Ctx, A);
+    EXPECT_TRUE(R.Analysis->ptsOfVar(findVar(Ctx->module(), "x")).empty())
+        << A << ": strong-update free must kill the cell";
+  }
+  // Andersen has no kill: the load still sees the stored pointer.
+  core::AnalysisRunner::RunResult R =
+      core::AnalysisRunner::registry().run(*Ctx, "ander");
+  EXPECT_EQ(pointeeNames(Ctx->module(),
+                         R.Analysis->ptsOfVar(findVar(Ctx->module(), "x"))),
+            (std::set<std::string>{"p.obj"}));
+}
+
+// --- Check-kind spec parsing --------------------------------------------
+
+TEST(CheckSpec, ParsesNamesAndRejectsJunk) {
+  uint32_t Mask = 0;
+  EXPECT_TRUE(checker::parseCheckKinds("uaf", Mask));
+  EXPECT_EQ(Mask, checker::checkBit(CheckKind::UseAfterFree));
+  EXPECT_TRUE(checker::parseCheckKinds("uaf,leak", Mask));
+  EXPECT_EQ(Mask, checker::checkBit(CheckKind::UseAfterFree) |
+                      checker::checkBit(CheckKind::Leak));
+  EXPECT_TRUE(checker::parseCheckKinds("all", Mask));
+  EXPECT_EQ(Mask, checker::AllChecks);
+  EXPECT_FALSE(checker::parseCheckKinds("bogus", Mask));
+  EXPECT_FALSE(checker::parseCheckKinds("", Mask));
+}
+
+// --- Lint ---------------------------------------------------------------
+
+TEST(Lint, FlagsUnreachableBlockAndDeadDefinition) {
+  auto Ctx = buildFromText(R"(
+func @main(%p) {
+entry:
+  %dead = alloc
+  ret %p
+island:
+  ret %p
+}
+)");
+  ASSERT_TRUE(Ctx);
+  auto Warnings = ir::lintModule(Ctx->module());
+  bool SawUnreachable = false, SawDead = false;
+  for (const std::string &W : Warnings) {
+    if (W.find("island") != std::string::npos &&
+        W.find("unreachable") != std::string::npos)
+      SawUnreachable = true;
+    if (W.find("%dead") != std::string::npos &&
+        W.find("never used") != std::string::npos)
+      SawDead = true;
+  }
+  EXPECT_TRUE(SawUnreachable) << "missing unreachable-block warning";
+  EXPECT_TRUE(SawDead) << "missing dead-definition warning";
+}
+
+TEST(Lint, FlagsLoadThroughNeverDefinedPointer) {
+  // Built by hand: the verifier rejects uses of never-defined variables,
+  // but lint must still diagnose them on unverified modules.
+  ir::Module M;
+  ir::IRBuilder B(M);
+  ir::FunID F = B.startFunction("main", {});
+  ir::VarID Ghost = M.symbols().makeVar("ghost", F);
+  ir::VarID X = B.load("x", Ghost);
+  B.ret(X);
+  B.finishFunction();
+
+  auto Warnings = ir::lintModule(M);
+  bool Saw = false;
+  for (const std::string &W : Warnings)
+    if (W.find("never-defined") != std::string::npos &&
+        W.find("%ghost") != std::string::npos)
+      Saw = true;
+  EXPECT_TRUE(Saw) << "missing never-defined-pointer warning";
+}
+
+TEST(Lint, CleanProgramHasNoWarnings) {
+  auto Ctx = buildFromText(R"(
+func @main() {
+entry:
+  %a = alloc
+  %b = load %a
+  ret %b
+}
+)");
+  ASSERT_TRUE(Ctx);
+  EXPECT_TRUE(ir::lintModule(Ctx->module()).empty());
+}

@@ -16,11 +16,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "checker/Checker.h"
 #include "core/AnalysisContext.h"
 #include "core/AnalysisRunner.h"
 #include "core/DotExport.h"
 #include "core/VersionedFlowSensitive.h"
 #include "ir/Printer.h"
+#include "ir/Verifier.h"
 #include "support/Format.h"
 #include "support/MemUsage.h"
 #include "support/Timer.h"
@@ -45,6 +47,10 @@ struct Options {
   uint64_t GenSeed = 0;
   bool UseGen = false;
   std::string Analysis = "vsfs";
+  uint32_t CheckMask = 0; ///< Checkers to run; 0 = none.
+  bool InjectBugs = false;
+  bool Lint = false;
+  bool ListAnalyses = false;
   bool AuxCallGraph = false;
   bool OVS = false;
   bool PrintPts = false;
@@ -68,6 +74,16 @@ void usage(const char *Prog) {
       "\n"
       "options:\n"
       "  --analysis=KIND       %s | all  (default vsfs)\n"
+      "  --check=KINDS         run bug checkers on each analysis's result:\n"
+      "                        comma list of uaf | dfree | null | leak | "
+      "all\n"
+      "  --inject-bugs         seed the generated program (--gen/--bench)\n"
+      "                        with known bug patterns; checker findings "
+      "are\n"
+      "                        then scored as TP/FP/FN against ground "
+      "truth\n"
+      "  --lint                print non-fatal IR lint warnings\n"
+      "  --list-analyses       print the analysis registry and exit\n"
       "  --aux-call-graph      reuse Andersen's call graph instead of\n"
       "                        resolving indirect calls on the fly\n"
       "  --ovs                 offline variable substitution for the\n"
@@ -106,6 +122,22 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.GenSeed = std::strtoull(Argv[++I], nullptr, 10);
     } else if (const char *V = Value("--analysis=")) {
       Opts.Analysis = V;
+    } else if (const char *VC = Value("--check=")) {
+      if (!checker::parseCheckKinds(VC, Opts.CheckMask)) {
+        std::fprintf(stderr,
+                     "error: bad --check spec '%s' (want a comma list of "
+                     "uaf | dfree | null | leak | all)\n",
+                     VC);
+        return false;
+      }
+    } else if (Arg == "--check") {
+      Opts.CheckMask = checker::AllChecks;
+    } else if (Arg == "--inject-bugs") {
+      Opts.InjectBugs = true;
+    } else if (Arg == "--lint") {
+      Opts.Lint = true;
+    } else if (Arg == "--list-analyses") {
+      Opts.ListAnalyses = true;
     } else if (Arg == "--aux-call-graph") {
       Opts.AuxCallGraph = true;
     } else if (Arg == "--ovs") {
@@ -139,11 +171,17 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       return false;
     }
   }
+  if (Opts.ListAnalyses)
+    return true; // Needs no input.
   int Inputs = !Opts.InputFile.empty();
   Inputs += !Opts.BenchName.empty();
   Inputs += Opts.UseGen;
   if (Inputs != 1) {
     usage(Argv[0]);
+    return false;
+  }
+  if (Opts.InjectBugs && !Opts.UseGen && Opts.BenchName.empty()) {
+    std::fprintf(stderr, "error: --inject-bugs needs --gen or --bench\n");
     return false;
   }
   return true;
@@ -208,8 +246,60 @@ void printVersions(const ir::Module &M,
               Consumers.size(), Shared);
 }
 
+void listAnalyses() {
+  std::printf("registered analyses:\n");
+  for (const auto &E : core::AnalysisRunner::registry().entries()) {
+    std::string Names = E.Name;
+    for (const std::string &A : E.Aliases)
+      Names += " | " + A;
+    std::printf("  %-14s %s\n", Names.c_str(), E.Description.c_str());
+  }
+}
+
+/// Runs the checkers over one solved analysis: prints the findings, scores
+/// them against \p GT when available, and fills \p CG with the counters
+/// that end up in --stats-json.
+void runCheckersFor(const core::AnalysisContext &Ctx, const std::string &Name,
+                    const core::PointerAnalysisResult &A, uint32_t KindMask,
+                    const checker::GroundTruth *GT, StatGroup &CG) {
+  std::vector<checker::Finding> Findings =
+      checker::runCheckers(Ctx.svfg(), A, KindMask);
+  std::printf("--- %s: %zu checker finding(s) ---\n", Name.c_str(),
+              Findings.size());
+  for (const checker::Finding &F : Findings)
+    std::printf("  %s\n", checker::printFinding(Ctx.module(), F).c_str());
+
+  uint32_t PerKind[checker::NumCheckKinds] = {};
+  for (const checker::Finding &F : Findings)
+    ++PerKind[static_cast<uint32_t>(F.Kind)];
+  for (uint32_t K = 0; K < checker::NumCheckKinds; ++K) {
+    if (!(KindMask & (1u << K)))
+      continue;
+    const char *Flag = checker::checkKindFlag(static_cast<checker::CheckKind>(K));
+    CG.get(std::string(Flag) + "_findings") = PerKind[K];
+  }
+
+  if (!GT)
+    return;
+  auto Scores = checker::scoreFindings(Findings, *GT);
+  std::printf("  vs ground truth:");
+  for (uint32_t K = 0; K < checker::NumCheckKinds; ++K) {
+    if (!(KindMask & (1u << K)))
+      continue;
+    const checker::CheckScore &S = Scores[K];
+    const char *Flag = checker::checkKindFlag(static_cast<checker::CheckKind>(K));
+    std::printf(" %s TP=%u FP=%u FN=%u", Flag, S.TP, S.FP, S.FN);
+    CG.get(std::string(Flag) + "_tp") = S.TP;
+    CG.get(std::string(Flag) + "_fp") = S.FP;
+    CG.get(std::string(Flag) + "_fn") = S.FN;
+  }
+  std::printf("\n");
+}
+
 int run(const Options &Opts) {
   core::AnalysisContext Ctx;
+  checker::GroundTruth GT;
+  bool HaveGT = false;
   if (!Opts.InputFile.empty()) {
     std::ifstream In(Opts.InputFile);
     if (!In) {
@@ -232,11 +322,25 @@ int run(const Options &Opts) {
                    Opts.BenchName.c_str());
       return 1;
     }
-    Ctx.module() = std::move(*workload::generateProgram(Spec.Config));
+    workload::GenConfig C = Spec.Config;
+    C.InjectBugs = Opts.InjectBugs;
+    Ctx.module() = std::move(
+        *workload::generateProgram(C, Opts.InjectBugs ? &GT : nullptr));
+    HaveGT = Opts.InjectBugs;
   } else {
     workload::GenConfig C;
     C.Seed = Opts.GenSeed;
-    Ctx.module() = std::move(*workload::generateProgram(C));
+    C.InjectBugs = Opts.InjectBugs;
+    Ctx.module() = std::move(
+        *workload::generateProgram(C, Opts.InjectBugs ? &GT : nullptr));
+    HaveGT = Opts.InjectBugs;
+  }
+
+  if (Opts.Lint) {
+    std::vector<std::string> Warnings = ir::lintModule(Ctx.module());
+    std::printf("--- lint: %zu warning(s) ---\n", Warnings.size());
+    for (const std::string &W : Warnings)
+      std::printf("  warning: %s\n", W.c_str());
   }
 
   if (Opts.PrintModule)
@@ -274,6 +378,7 @@ int run(const Options &Opts) {
 
   const andersen::CallGraph *FinalCG = &Ctx.andersen().callGraph();
   std::vector<core::AnalysisRunner::RunResult> Results;
+  std::vector<StatGroup> CheckerGroups;
   for (const std::string &Name : Names) {
     core::AnalysisRunner::RunResult R = Runner.run(Ctx, Name, SolverOpts);
     const core::PointerAnalysisResult &A = *R.Analysis;
@@ -300,6 +405,11 @@ int run(const Options &Opts) {
       if (const auto *VSFS =
               dynamic_cast<const core::VersionedFlowSensitive *>(&A))
         printVersions(Ctx.module(), *VSFS);
+    StatGroup CG("checkers");
+    if (Opts.CheckMask)
+      runCheckersFor(Ctx, R.Name, A, Opts.CheckMask, HaveGT ? &GT : nullptr,
+                     CG);
+    CheckerGroups.push_back(std::move(CG));
     // The most precise call graph wins the dump: the flow-sensitive
     // solvers refine the auxiliary one.
     if (R.Name == "sfs" || R.Name == "vsfs")
@@ -315,7 +425,10 @@ int run(const Options &Opts) {
     WritesOk &= writeOut(Opts.DumpSVFG,
                          core::dotSVFG(Ctx.svfg(), /*MaxNodes=*/500));
   if (!Opts.StatsJson.empty())
-    WritesOk &= writeOut(Opts.StatsJson, core::statsJson(Ctx, Results));
+    WritesOk &= writeOut(
+        Opts.StatsJson,
+        core::statsJson(Ctx, Results,
+                        Opts.CheckMask ? &CheckerGroups : nullptr));
 
   std::printf("peak RSS: %s\n", formatBytes(peakRSSBytes()).c_str());
   return WritesOk ? 0 : 1;
@@ -327,6 +440,10 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
+  if (Opts.ListAnalyses) {
+    listAnalyses();
+    return 0;
+  }
   if (Opts.Analysis != "all" &&
       !core::AnalysisRunner::registry().find(Opts.Analysis)) {
     std::fprintf(stderr, "error: unknown analysis '%s' (known: %s | all)\n",
