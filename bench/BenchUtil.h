@@ -10,6 +10,7 @@
 #ifndef VSFS_BENCH_BENCHUTIL_H
 #define VSFS_BENCH_BENCHUTIL_H
 
+#include "adt/PointsToCache.h"
 #include "core/AnalysisContext.h"
 #include "core/AnalysisRunner.h"
 #include "core/FlowSensitive.h"
@@ -21,8 +22,10 @@
 #include "workload/BenchmarkSuite.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 namespace vsfs {
@@ -63,9 +66,10 @@ template <typename PhaseFn> PhaseResult measurePhase(PhaseFn Phase) {
 }
 
 /// Parses the common flags: --quick (8-benchmark tier), --runs N,
-/// --bench NAME (single benchmark), and — when \p JsonPath is non-null —
-/// --json FILE (machine-readable results alongside the table). Returns the
-/// selected suite.
+/// --bench NAME (single benchmark), --pts-repr=REPR (points-to set
+/// representation, applied process-wide), and — when \p JsonPath is
+/// non-null — --json FILE (machine-readable results alongside the table).
+/// Returns the selected suite.
 inline std::vector<workload::BenchSpec>
 parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs,
                std::string *JsonPath = nullptr) {
@@ -87,15 +91,41 @@ parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs,
         std::fprintf(stderr, "unknown benchmark '%s'\n", Argv[I]);
         Suite.clear();
       }
+    } else if (Arg.rfind("--pts-repr=", 0) == 0) {
+      adt::PtsRepr Repr;
+      if (!adt::parsePtsRepr(Arg.c_str() + std::strlen("--pts-repr="),
+                             Repr)) {
+        std::fprintf(stderr, "bad --pts-repr '%s' (want sbv | persistent)\n",
+                     Arg.c_str());
+        Suite.clear();
+        return Suite;
+      }
+      adt::setPointsToRepr(Repr);
     } else if (JsonPath && Arg == "--json" && I + 1 < Argc) {
       *JsonPath = Argv[++I];
     } else if (Arg == "--help") {
-      std::printf("usage: %s [--quick] [--runs N] [--bench NAME]%s\n",
+      std::printf("usage: %s [--quick] [--runs N] [--bench NAME] "
+                  "[--pts-repr=sbv|persistent]%s\n",
                   Argv[0], JsonPath ? " [--json FILE]" : "");
       Suite.clear();
     }
   }
   return Suite;
+}
+
+/// The interning cache's counters as one inline JSON object, for the table
+/// benches' --json output. Meaningful under --pts-repr=persistent; in sbv
+/// mode the counters are simply zero/empty.
+inline std::string ptsCacheJsonObject() {
+  std::ostringstream OS;
+  OS << '{';
+  bool First = true;
+  for (const auto &[Key, Value] : adt::PointsToCache::get().statGroup()) {
+    OS << (First ? "" : ", ") << '"' << Key << "\": " << Value;
+    First = false;
+  }
+  OS << '}';
+  return OS.str();
 }
 
 /// Writes \p Json to \p Path ("-" = stdout) and reports it.

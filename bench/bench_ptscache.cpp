@@ -1,0 +1,147 @@
+//===- bench_ptscache.cpp - Points-to representation ablation ---*- C++ -*-===//
+///
+/// The union-heavy solver kernels (SFS's IN/OUT propagation and VSFS's
+/// version propagation re-union the same few sets enormously often) under
+/// both points-to representations:
+///
+///   sbv        — every set owns its SparseBitVector (the historical
+///                layout); a union is always a word-parallel merge;
+///   persistent — sets are interned PointsToIDs in the process-global
+///                PointsToCache; structurally equal sets share one node and
+///                repeated unions of the same operands are memo hits.
+///
+/// Both representations produce identical points-to results (asserted by
+/// tests/differential_fuzz_test.cpp); what differs is solve time and the
+/// peak points-to storage the solve allocates. "mem x" > 1 means the
+/// persistent representation stored fewer bytes — the deduplication the
+/// interning buys; "hit%" is the fraction of set operations answered from
+/// the memo tables without touching a bit vector.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <sstream>
+
+using namespace vsfs;
+using namespace vsfs::bench;
+
+namespace {
+
+struct ReprMeasure {
+  double Seconds = 0;
+  uint64_t PtsBytes = 0; ///< Peak growth of live points-to storage.
+};
+
+/// Solves \p Solver on fresh pipelines for \p Spec under \p Repr, averaging
+/// over \p Runs. Under the persistent representation the cache counters are
+/// snapshotted into \p CacheStats and the cache is cleared afterwards, so
+/// presets are measured in isolation.
+ReprMeasure runOne(const workload::BenchSpec &Spec, const char *Solver,
+                   adt::PtsRepr Repr, uint32_t Runs, StatGroup *CacheStats) {
+  adt::PtsReprScope Scope(Repr);
+  if (Repr == adt::PtsRepr::Persistent)
+    adt::PointsToCache::get().resetStats();
+  ReprMeasure M;
+  for (uint32_t Run = 0; Run < Runs; ++Run) {
+    auto Ctx = buildPipeline(Spec);
+    PhaseResult P = measurePhase(
+        [&] { core::AnalysisRunner::registry().run(*Ctx, Solver); });
+    M.Seconds += P.Seconds / Runs;
+    M.PtsBytes = std::max(M.PtsBytes, P.PtsBytes);
+  }
+  if (Repr == adt::PtsRepr::Persistent) {
+    if (CacheStats)
+      *CacheStats = adt::PointsToCache::get().statGroup();
+    // All persistent sets died with the pipelines above; drop the interned
+    // nodes so the next preset starts from an empty cache.
+    adt::PointsToCache::get().clear();
+  }
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint32_t Runs = 1;
+  std::string JsonPath;
+  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath);
+  if (Suite.empty())
+    return 0;
+
+  std::printf("Points-to representation ablation: sbv vs persistent\n"
+              "(%u run%s per cell; times are the solver's main phase)\n\n",
+              Runs, Runs == 1 ? "" : "s");
+  TableWriter T({-14, 6, 9, 9, 8, 10, 10, 8, 7, 10});
+  std::printf("%s", T.row({"Bench.", "Solver", "sbv t", "pers t", "time x",
+                           "sbv mem", "pers mem", "mem x", "hit%",
+                           "uniq sets"})
+                        .c_str());
+  std::printf("%s", T.separator().c_str());
+
+  const char *Solvers[] = {"sfs", "vsfs"};
+  std::vector<double> TimeRatios, MemRatios;
+  std::ostringstream Json;
+  Json << "{\n  \"schema\": \"vsfs-ptscache-v1\",\n  \"runs\": " << Runs
+       << ",\n  \"rows\": [";
+  bool FirstJson = true;
+  for (const auto &Spec : Suite) {
+    for (const char *Solver : Solvers) {
+      ReprMeasure Sbv = runOne(Spec, Solver, adt::PtsRepr::SBV, Runs,
+                               nullptr);
+      StatGroup Cache;
+      ReprMeasure Pers = runOne(Spec, Solver, adt::PtsRepr::Persistent, Runs,
+                                &Cache);
+
+      double TimeX = Sbv.Seconds / std::max(Pers.Seconds, 1e-9);
+      double MemX = double(Sbv.PtsBytes) /
+                    double(std::max<uint64_t>(Pers.PtsBytes, 1));
+      uint64_t Hits = Cache.lookup("op-cache-hits");
+      uint64_t Misses = Cache.lookup("op-cache-misses");
+      double HitPct = Hits + Misses
+                          ? 100.0 * double(Hits) / double(Hits + Misses)
+                          : 0;
+      TimeRatios.push_back(TimeX);
+      MemRatios.push_back(MemX);
+
+      std::printf(
+          "%s", T.row({Spec.Name, Solver, formatDouble(Sbv.Seconds, 3),
+                       formatDouble(Pers.Seconds, 3), formatRatio(TimeX),
+                       formatBytes(Sbv.PtsBytes), formatBytes(Pers.PtsBytes),
+                       formatRatio(MemX), formatDouble(HitPct, 1),
+                       std::to_string(Cache.lookup("unique-sets"))})
+                    .c_str());
+
+      char Buf[512];
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "%s    {\"name\": \"%s\", \"solver\": \"%s\", "
+          "\"sbv_seconds\": %.6f, \"persistent_seconds\": %.6f, "
+          "\"sbv_bytes\": %llu, \"persistent_bytes\": %llu, "
+          "\"mem_ratio\": %.4f, \"op_hit_rate\": %.4f, "
+          "\"unique_sets\": %llu}",
+          FirstJson ? "\n" : ",\n", Spec.Name.c_str(), Solver, Sbv.Seconds,
+          Pers.Seconds, (unsigned long long)Sbv.PtsBytes,
+          (unsigned long long)Pers.PtsBytes, MemX, HitPct / 100.0,
+          (unsigned long long)Cache.lookup("unique-sets"));
+      Json << Buf;
+      FirstJson = false;
+    }
+  }
+  Json << "\n  ]\n}\n";
+
+  std::printf("%s", T.separator().c_str());
+  std::printf("%s", T.row({"Average", "", "", "", formatRatio(
+                               geometricMean(TimeRatios)),
+                           "", "", formatRatio(geometricMean(MemRatios)), "",
+                           ""})
+                        .c_str());
+  std::printf(
+      "\n\"mem x\" > 1: the persistent representation stored fewer bytes\n"
+      "(each distinct set once) than one bit vector per slot. \"hit%%\" is\n"
+      "the share of unions/intersections/tests answered from the memo.\n");
+
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Json.str());
+  return 0;
+}

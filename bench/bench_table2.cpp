@@ -36,7 +36,8 @@ int main(int Argc, char **Argv) {
   std::printf("%s", T.separator().c_str());
 
   std::ostringstream Json;
-  Json << "{\n  \"schema\": \"vsfs-table2-v1\",\n  \"benchmarks\": [";
+  Json << "{\n  \"schema\": \"vsfs-table2-v1\",\n  \"pts_repr\": \""
+       << adt::ptsReprName(adt::pointsToRepr()) << "\",\n  \"benchmarks\": [";
   bool FirstJson = true;
   for (const auto &Spec : Suite) {
     auto Ctx = buildPipeline(Spec);
@@ -69,7 +70,10 @@ int main(int Argc, char **Argv) {
          << ", \"address_taken\": " << AddrTaken << "}";
     FirstJson = false;
   }
-  Json << "\n  ]\n}\n";
+  Json << "\n  ]";
+  if (adt::pointsToRepr() == adt::PtsRepr::Persistent)
+    Json << ",\n  \"ptscache\": " << ptsCacheJsonObject();
+  Json << "\n}\n";
   std::printf("\nShape checks vs. the paper's Table II:\n"
               "  - indirect edges exceed direct edges throughout;\n"
               "  - node/edge counts grow roughly monotonically down the "

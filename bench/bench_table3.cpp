@@ -51,7 +51,8 @@ struct Row {
 std::string rowsJson(const std::vector<Row> &Rows, uint32_t Runs) {
   std::ostringstream OS;
   OS << "{\n  \"schema\": \"vsfs-table3-v1\",\n  \"runs\": " << Runs
-     << ",\n  \"benchmarks\": [";
+     << ",\n  \"pts_repr\": \"" << adt::ptsReprName(adt::pointsToRepr())
+     << "\",\n  \"benchmarks\": [";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const Row &R = Rows[I];
     char Buf[512];
@@ -66,7 +67,10 @@ std::string rowsJson(const std::vector<Row> &Rows, uint32_t Runs) {
                   (unsigned long long)R.VsfsMem, R.timeDiff(), R.memDiff());
     OS << Buf;
   }
-  OS << "\n  ]\n}\n";
+  OS << "\n  ]";
+  if (adt::pointsToRepr() == adt::PtsRepr::Persistent)
+    OS << ",\n  \"ptscache\": " << ptsCacheJsonObject();
+  OS << "\n}\n";
   return OS.str();
 }
 

@@ -2,12 +2,15 @@
 # Tier-1 gate: configure with warnings-as-errors, build everything, run the
 # full test suite. This is what CI (and a reviewer) runs:
 #
-#   ./scripts/check.sh [--asan] [build-dir]
+#   ./scripts/check.sh [--asan] [--fuzz] [build-dir]
 #
 # --asan builds a second tree with AddressSanitizer + UBSan and runs the
 # full suite under it (slower; catches memory errors the Release build
-# can't). Each ctest label (unit | equivalence | checker | bench) is run
-# and timed separately, so slow tiers are visible at a glance.
+# can't). --fuzz additionally runs the differential fuzzing suite (the
+# "fuzz" ctest label: every preset and 50+ random seeds solved under both
+# --pts-repr modes). Each ctest label (unit | equivalence | checker |
+# bench, plus fuzz when requested) is run and timed separately, so slow
+# tiers are visible at a glance.
 #
 # Uses separate build trees (default build-check/, build-asan/) so it never
 # disturbs an existing development build/.
@@ -16,10 +19,12 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 ASAN=0
+FUZZ=0
 BUILD_DIR=""
 for Arg in "$@"; do
   case "$Arg" in
     --asan) ASAN=1 ;;
+    --fuzz) FUZZ=1 ;;
     -*) echo "unknown option: $Arg" >&2; exit 2 ;;
     *) BUILD_DIR="$Arg" ;;
   esac
@@ -42,8 +47,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # Run per label so each tier's wall-clock is reported; finish with a safety
 # net for anything unlabeled (-LE matches tests carrying none of the
-# labels). The summary table prints at the end.
+# labels). The fuzz tier is opt-in (--fuzz) but always excluded from the
+# safety net, so it never runs by accident. The summary table prints at
+# the end.
+ALL_LABELS=(unit checker equivalence bench fuzz)
 LABELS=(unit checker equivalence bench)
+if [ "$FUZZ" -eq 1 ]; then
+  LABELS+=(fuzz)
+fi
 SUMMARY=""
 for Label in "${LABELS[@]}"; do
   Start=$(date +%s)
@@ -53,7 +64,7 @@ for Label in "${LABELS[@]}"; do
 done
 Start=$(date +%s)
 ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure \
-  -LE "$(IFS='|'; echo "${LABELS[*]}")"
+  -LE "$(IFS='|'; echo "${ALL_LABELS[*]}")"
 End=$(date +%s)
 SUMMARY+=$(printf '  %-12s %4ds' "(unlabeled)" "$((End - Start))")$'\n'
 

@@ -10,6 +10,13 @@
 /// prelabel sets meet again and again) cost one hash lookup instead of a
 /// bit-vector union.
 ///
+/// Label *content* lives in the process-wide \c PointsToCache — the same
+/// hash-consing store the persistent points-to representation uses — so
+/// meld labels and points-to sets share interned storage and the cache's
+/// memoised union. The store keeps its own dense LabelID space (versioning
+/// wants small, per-store-contiguous IDs) and its own meld memo over those
+/// IDs, layered on the cache's global one.
+///
 /// The store upholds the meld algebra by construction:
 ///   meld(a, a) == a                (idempotence; checked before the memo)
 ///   meld(a, b) == meld(b, a)       (pairs are memoised order-normalised)
@@ -25,6 +32,7 @@
 #ifndef VSFS_ADT_LABELSTORE_H
 #define VSFS_ADT_LABELSTORE_H
 
+#include "adt/PointsToCache.h"
 #include "adt/SparseBitVector.h"
 
 #include <cassert>
@@ -42,21 +50,20 @@ constexpr LabelID EpsilonLabel = 0;
 class LabelStore {
 public:
   LabelStore() {
-    Labels.emplace_back(); // ID 0: ε.
+    Labels.push_back(EmptyPointsToID); // ID 0: ε.
+    DenseOf.emplace(EmptyPointsToID, EpsilonLabel);
   }
 
   /// The label {Bit}.
   LabelID singleton(uint32_t Bit) {
-    SparseBitVector L;
-    L.set(Bit);
-    return intern(std::move(L));
+    return densify(PointsToCache::get().withBit(EmptyPointsToID, Bit));
   }
 
   /// Interns an arbitrary bit set.
   LabelID fromBits(const SparseBitVector &Bits) {
     if (Bits.empty())
       return EpsilonLabel;
-    return intern(SparseBitVector(Bits));
+    return densify(PointsToCache::get().intern(Bits));
   }
 
   /// meld(A, B): the union of the two labels, memoised.
@@ -75,9 +82,7 @@ public:
       return It->second;
     }
     ++MemoMisses;
-    SparseBitVector Union = Labels[A];
-    Union.unionWith(Labels[B]);
-    LabelID R = intern(std::move(Union));
+    LabelID R = densify(PointsToCache::get().unionIDs(Labels[A], Labels[B]));
     Memo.emplace(Key, R);
     return R;
   }
@@ -85,7 +90,7 @@ public:
   /// The bit set an ID stands for.
   const SparseBitVector &bits(LabelID Id) const {
     assert(Id < Labels.size() && "unknown label");
-    return Labels[Id];
+    return PointsToCache::get().bits(Labels[Id]);
   }
 
   uint32_t numLabels() const { return static_cast<uint32_t>(Labels.size()); }
@@ -93,20 +98,20 @@ public:
   uint64_t memoMisses() const { return MemoMisses; }
 
 private:
-  LabelID intern(SparseBitVector Bits) {
-    uint64_t H = Bits.hash();
-    auto &Chain = InternTable[H];
-    for (LabelID Id : Chain)
-      if (Labels[Id] == Bits)
-        return Id;
-    LabelID Id = static_cast<LabelID>(Labels.size());
-    Labels.push_back(std::move(Bits));
-    Chain.push_back(Id);
-    return Id;
+  /// Maps a cache ID to this store's dense label space, allocating on first
+  /// sight. The cache already deduplicated structurally equal sets, so this
+  /// is a plain integer map — no hashing of set contents here.
+  LabelID densify(PointsToID Pts) {
+    auto [It, New] = DenseOf.emplace(Pts, LabelID(Labels.size()));
+    if (New)
+      Labels.push_back(Pts);
+    return It->second;
   }
 
-  std::vector<SparseBitVector> Labels;
-  std::unordered_map<uint64_t, std::vector<LabelID>> InternTable;
+  /// Dense LabelID -> interned cache ID.
+  std::vector<PointsToID> Labels;
+  /// Interned cache ID -> dense LabelID.
+  std::unordered_map<PointsToID, LabelID> DenseOf;
   std::unordered_map<uint64_t, LabelID> Memo;
   uint64_t MemoHits = 0;
   uint64_t MemoMisses = 0;

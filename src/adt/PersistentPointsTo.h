@@ -1,0 +1,108 @@
+//===- PersistentPointsTo.h - Immutable interned points-to set --*- C++ -*-===//
+///
+/// \file
+/// An immutable points-to set: a 4-byte handle (\c PointsToID) into the
+/// process-wide \c PointsToCache. Copying is free, equality is an integer
+/// compare, and the set algebra returns new handles through the cache's
+/// memoised operations — two \c PersistentPointsTo values built from the
+/// same bits are *the same* set, however they were computed.
+///
+/// This is the value type the hybrid \c vsfs::PointsTo wraps in persistent
+/// mode; it is also usable directly wherever functional (non-mutating) set
+/// semantics are wanted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ADT_PERSISTENTPOINTSTO_H
+#define VSFS_ADT_PERSISTENTPOINTSTO_H
+
+#include "adt/PointsToCache.h"
+
+namespace vsfs {
+namespace adt {
+
+/// An immutable, hash-consed set of uint32_t values.
+class PersistentPointsTo {
+public:
+  using const_iterator = SparseBitVector::const_iterator;
+
+  /// The empty set.
+  PersistentPointsTo() = default;
+
+  /// Wraps an existing interned ID.
+  static PersistentPointsTo fromID(PointsToID Id) {
+    PersistentPointsTo P;
+    P.Id = Id;
+    return P;
+  }
+
+  /// Interns \p Bits.
+  static PersistentPointsTo fromBits(const SparseBitVector &Bits) {
+    return fromID(PointsToCache::get().intern(Bits));
+  }
+
+  /// The set {Bit}.
+  static PersistentPointsTo singleton(uint32_t Bit) {
+    return fromID(PointsToCache::get().withBit(EmptyPointsToID, Bit));
+  }
+
+  PointsToID id() const { return Id; }
+
+  /// The interned bits (valid until the cache is cleared).
+  const SparseBitVector &bits() const { return PointsToCache::get().bits(Id); }
+
+  bool empty() const { return Id == EmptyPointsToID; }
+  uint32_t count() const { return bits().count(); }
+  bool test(uint32_t Bit) const { return bits().test(Bit); }
+  uint32_t findFirst() const { return bits().findFirst(); }
+  uint64_t hash() const { return bits().hash(); }
+
+  /// this ∪ {Bit}.
+  PersistentPointsTo with(uint32_t Bit) const {
+    return fromID(PointsToCache::get().withBit(Id, Bit));
+  }
+  /// this − {Bit}.
+  PersistentPointsTo without(uint32_t Bit) const {
+    return fromID(PointsToCache::get().withoutBit(Id, Bit));
+  }
+  /// this ∪ RHS.
+  PersistentPointsTo unionedWith(PersistentPointsTo RHS) const {
+    return fromID(PointsToCache::get().unionIDs(Id, RHS.Id));
+  }
+  /// this ∩ RHS.
+  PersistentPointsTo intersectedWith(PersistentPointsTo RHS) const {
+    return fromID(PointsToCache::get().intersectIDs(Id, RHS.Id));
+  }
+  /// this − RHS.
+  PersistentPointsTo subtracted(PersistentPointsTo RHS) const {
+    return fromID(PointsToCache::get().subtractIDs(Id, RHS.Id));
+  }
+
+  /// this ⊇ RHS, memoised.
+  bool contains(PersistentPointsTo RHS) const {
+    return PointsToCache::get().containsIDs(Id, RHS.Id);
+  }
+  /// this ∩ RHS ≠ ∅, memoised.
+  bool intersects(PersistentPointsTo RHS) const {
+    return PointsToCache::get().intersectsIDs(Id, RHS.Id);
+  }
+
+  /// Interning invariant: structural equality ⇔ ID equality.
+  friend bool operator==(PersistentPointsTo L, PersistentPointsTo R) {
+    return L.Id == R.Id;
+  }
+  friend bool operator!=(PersistentPointsTo L, PersistentPointsTo R) {
+    return L.Id != R.Id;
+  }
+
+  const_iterator begin() const { return bits().begin(); }
+  const_iterator end() const { return bits().end(); }
+
+private:
+  PointsToID Id = EmptyPointsToID;
+};
+
+} // namespace adt
+} // namespace vsfs
+
+#endif // VSFS_ADT_PERSISTENTPOINTSTO_H

@@ -1,20 +1,191 @@
-//===- PointsTo.h - Points-to set alias -------------------------*- C++ -*-===//
+//===- PointsTo.h - Dual-representation points-to set -----------*- C++ -*-===//
 ///
 /// \file
-/// The canonical points-to set representation used by every analysis in this
-/// library: a sparse bit vector of abstract object IDs.
+/// The canonical points-to set used by every analysis in this library.
+/// Historically a bare \c adt::SparseBitVector; now a thin facade over two
+/// runtime-selectable representations (--pts-repr):
+///
+///  - \b sbv: the set owns its SparseBitVector — mutation in place, one
+///    heap payload per set (the historical layout, and the default);
+///  - \b persistent: the set is a 4-byte \c PointsToID into the global
+///    \c PointsToCache — structurally equal sets share one interned node,
+///    and union/intersect/subtract/superset are memoised on ID pairs, so
+///    the repeated re-unions the flow-sensitive solvers perform degrade to
+///    hash lookups.
+///
+/// Each instance latches the process-wide representation (\c pointsToRepr)
+/// at construction and keeps it for life; instances of different
+/// representations interoperate (mixed operands fall back on structural
+/// bits), so a pipeline built under one mode can be queried under another.
+///
+/// The mutating API is preserved exactly — \c unionWith and friends return
+/// "changed" as before — so the solvers are representation-oblivious. In
+/// persistent mode a "mutation" rebinds the instance to the interned result
+/// ID; the interning invariant (structural equality ⇔ ID equality) makes
+/// the changed-bit an integer compare. Iteration in persistent mode walks
+/// the immutable interned node, giving snapshot semantics even if the set
+/// is reassigned mid-walk.
+///
+/// \c capacityBytes() deliberately reports the bytes of a *private* copy in
+/// both modes: summing it over an analysis's slots yields the non-shared
+/// baseline the footprint accounting always measured, while the actual
+/// shared storage is the cache's interned-bytes counter (and the global
+/// \c PointsToBytes accounting, which counts each interned node once).
+/// The gap between the two is the deduplication win.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VSFS_ADT_POINTSTO_H
 #define VSFS_ADT_POINTSTO_H
 
+#include "adt/PersistentPointsTo.h"
+#include "adt/PointsToCache.h"
 #include "adt/SparseBitVector.h"
 
 namespace vsfs {
 
-/// A set of abstract-object IDs.
-using PointsTo = adt::SparseBitVector;
+/// A set of abstract-object IDs, in the representation selected at
+/// construction time.
+class PointsTo {
+public:
+  using const_iterator = adt::SparseBitVector::const_iterator;
+
+  PointsTo()
+      : IsPersistent(adt::pointsToRepr() == adt::PtsRepr::Persistent) {}
+
+  PointsTo(const PointsTo &) = default;
+  PointsTo(PointsTo &&) noexcept = default;
+  PointsTo &operator=(const PointsTo &) = default;
+  PointsTo &operator=(PointsTo &&) noexcept = default;
+
+  /// Which representation this instance latched.
+  bool isPersistent() const { return IsPersistent; }
+  /// The interned ID (EmptyPointsToID for sbv-mode sets' sake, only
+  /// meaningful when \c isPersistent()).
+  adt::PointsToID id() const { return Pers.id(); }
+
+  /// A structural view of the set, valid in both representations (for the
+  /// persistent one: until the cache is cleared).
+  const adt::SparseBitVector &bits() const {
+    return IsPersistent ? Pers.bits() : SBV;
+  }
+
+  bool empty() const { return IsPersistent ? Pers.empty() : SBV.empty(); }
+  uint32_t count() const { return bits().count(); }
+  bool test(uint32_t Idx) const { return bits().test(Idx); }
+  uint32_t findFirst() const { return bits().findFirst(); }
+  uint64_t hash() const { return bits().hash(); }
+
+  /// Sets bit \p Idx; returns true if the bit was newly set.
+  bool set(uint32_t Idx) {
+    if (!IsPersistent)
+      return SBV.set(Idx);
+    adt::PersistentPointsTo New = Pers.with(Idx);
+    bool Changed = New != Pers;
+    Pers = New;
+    return Changed;
+  }
+
+  /// Clears bit \p Idx; returns true if the bit was previously set.
+  bool reset(uint32_t Idx) {
+    if (!IsPersistent)
+      return SBV.reset(Idx);
+    adt::PersistentPointsTo New = Pers.without(Idx);
+    bool Changed = New != Pers;
+    Pers = New;
+    return Changed;
+  }
+
+  /// Removes all bits.
+  void clear() {
+    if (!IsPersistent)
+      return SBV.clear();
+    Pers = adt::PersistentPointsTo();
+  }
+
+  /// Unions \p RHS into this set; returns true if any bit was added.
+  bool unionWith(const PointsTo &RHS) {
+    if (!IsPersistent)
+      return SBV.unionWith(RHS.bits());
+    adt::PersistentPointsTo New = Pers.unionedWith(RHS.persistentView());
+    bool Changed = New != Pers;
+    Pers = New;
+    return Changed;
+  }
+
+  PointsTo &operator|=(const PointsTo &RHS) {
+    unionWith(RHS);
+    return *this;
+  }
+
+  /// Intersects this set with \p RHS; returns true if any bit was removed.
+  bool intersectWith(const PointsTo &RHS) {
+    if (!IsPersistent)
+      return SBV.intersectWith(RHS.bits());
+    adt::PersistentPointsTo New = Pers.intersectedWith(RHS.persistentView());
+    bool Changed = New != Pers;
+    Pers = New;
+    return Changed;
+  }
+
+  PointsTo &operator&=(const PointsTo &RHS) {
+    intersectWith(RHS);
+    return *this;
+  }
+
+  /// Removes every bit set in \p RHS (this −= RHS); returns true if any
+  /// bit was removed. Used for Kill sets in strong updates.
+  bool intersectWithComplement(const PointsTo &RHS) {
+    if (!IsPersistent)
+      return SBV.intersectWithComplement(RHS.bits());
+    adt::PersistentPointsTo New = Pers.subtracted(RHS.persistentView());
+    bool Changed = New != Pers;
+    Pers = New;
+    return Changed;
+  }
+
+  /// Returns true if every bit of \p RHS is set in this set.
+  bool contains(const PointsTo &RHS) const {
+    if (IsPersistent && RHS.IsPersistent)
+      return Pers.contains(RHS.Pers); // Memoised.
+    return bits().contains(RHS.bits());
+  }
+
+  /// Returns true if this set and \p RHS share any bit.
+  bool intersects(const PointsTo &RHS) const {
+    if (IsPersistent && RHS.IsPersistent)
+      return Pers.intersects(RHS.Pers); // Memoised.
+    return bits().intersects(RHS.bits());
+  }
+
+  friend bool operator==(const PointsTo &L, const PointsTo &R) {
+    if (L.IsPersistent && R.IsPersistent)
+      return L.Pers == R.Pers; // Interning invariant: one integer compare.
+    return L.bits() == R.bits();
+  }
+  friend bool operator!=(const PointsTo &L, const PointsTo &R) {
+    return !(L == R);
+  }
+
+  const_iterator begin() const { return bits().begin(); }
+  const_iterator end() const { return bits().end(); }
+
+  /// Bytes a private copy of this set's payload occupies. Per-slot
+  /// accounting (the non-shared baseline) in both modes; see the file
+  /// comment for how shared storage is measured instead.
+  size_t capacityBytes() const { return bits().capacityBytes(); }
+
+private:
+  /// \p RHS as a persistent set: its ID when it has one, an on-the-fly
+  /// interning of its bits otherwise (the mixed-representation path).
+  adt::PersistentPointsTo persistentView() const {
+    return IsPersistent ? Pers : adt::PersistentPointsTo::fromBits(SBV);
+  }
+
+  adt::SparseBitVector SBV;      ///< Owned payload (sbv mode; else empty).
+  adt::PersistentPointsTo Pers;  ///< Interned handle (persistent mode).
+  bool IsPersistent;
+};
 
 } // namespace vsfs
 

@@ -1,0 +1,378 @@
+//===- PointsToCache.h - Hash-consed points-to set store --------*- C++ -*-===//
+///
+/// \file
+/// The persistent points-to representation's backing store: every distinct
+/// points-to set exists exactly once as an immutable, interned
+/// \c SparseBitVector node identified by a dense 32-bit \c PointsToID, and
+/// the binary set algebra (union, intersection, subtraction, superset and
+/// overlap tests) is memoised on operand-ID pairs, so repeating an
+/// operation on the same two sets costs one hash lookup instead of a
+/// word-parallel merge.
+///
+/// This is MDE's observation applied to our whole SFS/ITER/VSFS/Andersen
+/// stack: flow-sensitive analyses store and re-union the *same few* sets
+/// enormously often — VSFS removes the duplication across program points by
+/// versioning, and the cache removes what remains (identical sets reached
+/// at different versions, objects, or variables) by construction.
+///
+/// Identities the store maintains, by construction:
+///
+///   structural equality  ⇔  same PointsToID        (interning invariant)
+///   ID 0                 =   the empty set
+///   union/intersect memo is order-normalised        (commutativity)
+///   op(a, a), op(a, ∅) short-circuit before the memo
+///
+/// ID lifetime rules: an ID is valid until \c clear() is called on the
+/// cache that issued it. The cache is process-global (like the
+/// \c PointsToBytes accounting) and grows monotonically; \c clear() exists
+/// for long-running harnesses (the differential fuzzer, benches) and may
+/// only run when no persistent-mode set other than the empty set is live —
+/// node 0 survives a clear, everything else is invalidated.
+///
+/// Interned nodes are plain \c SparseBitVector values, so the global
+/// \c PointsToBytes live/peak accounting automatically reflects the shared
+/// storage: under the persistent representation it counts each distinct
+/// set once, which is exactly the memory the paper's Table III would
+/// measure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_ADT_POINTSTOCACHE_H
+#define VSFS_ADT_POINTSTOCACHE_H
+
+#include "adt/SparseBitVector.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vsfs {
+namespace adt {
+
+/// Identifies one interned points-to set. 0 is always the empty set.
+using PointsToID = uint32_t;
+constexpr PointsToID EmptyPointsToID = 0;
+
+/// Which representation \c vsfs::PointsTo uses for sets constructed from
+/// now on (see PointsTo.h). Selected once per run via --pts-repr; sets of
+/// different representations interoperate, so switching mid-process (tests,
+/// the differential fuzzer) is safe.
+enum class PtsRepr : uint8_t {
+  SBV,       ///< each set owns a SparseBitVector (the historical layout)
+  Persistent ///< sets are interned PointsToIDs into the global cache
+};
+
+/// Process-wide representation switch. Plain globals, single-threaded like
+/// the rest of the library.
+inline PtsRepr &pointsToReprSlot() {
+  static PtsRepr Repr = PtsRepr::SBV;
+  return Repr;
+}
+inline PtsRepr pointsToRepr() { return pointsToReprSlot(); }
+inline void setPointsToRepr(PtsRepr Repr) { pointsToReprSlot() = Repr; }
+
+/// The --pts-repr spelling of a representation.
+inline const char *ptsReprName(PtsRepr Repr) {
+  return Repr == PtsRepr::Persistent ? "persistent" : "sbv";
+}
+
+/// Parses a --pts-repr value; returns false (leaving \p Out untouched) for
+/// anything other than "sbv" or "persistent".
+inline bool parsePtsRepr(std::string_view Value, PtsRepr &Out) {
+  if (Value == "sbv") {
+    Out = PtsRepr::SBV;
+    return true;
+  }
+  if (Value == "persistent") {
+    Out = PtsRepr::Persistent;
+    return true;
+  }
+  return false;
+}
+
+/// RAII representation switch for tests and benches: selects \p Repr for
+/// the scope, restores the previous selection on exit.
+class PtsReprScope {
+public:
+  explicit PtsReprScope(PtsRepr Repr) : Saved(pointsToRepr()) {
+    setPointsToRepr(Repr);
+  }
+  ~PtsReprScope() { setPointsToRepr(Saved); }
+  PtsReprScope(const PtsReprScope &) = delete;
+  PtsReprScope &operator=(const PtsReprScope &) = delete;
+
+private:
+  PtsRepr Saved;
+};
+
+/// Interns points-to sets into dense IDs and memoises their set algebra.
+class PointsToCache {
+public:
+  /// The process-wide cache every persistent set shares.
+  static PointsToCache &get() {
+    static PointsToCache Cache;
+    return Cache;
+  }
+
+  PointsToCache() { Nodes.emplace_back(); /* ID 0: the empty set. */ }
+
+  //===--------------------------------------------------------------------===//
+  // Interning
+  //===--------------------------------------------------------------------===//
+
+  /// Interns \p Bits; structural equality implies ID equality.
+  PointsToID intern(const SparseBitVector &Bits) {
+    if (Bits.empty())
+      return EmptyPointsToID;
+    return internNonEmpty(SparseBitVector(Bits));
+  }
+
+  /// As \c intern, consuming \p Bits (no copy when the set is new).
+  PointsToID intern(SparseBitVector &&Bits) {
+    if (Bits.empty())
+      return EmptyPointsToID;
+    return internNonEmpty(std::move(Bits));
+  }
+
+  /// The immutable set an ID stands for. Valid until \c clear().
+  const SparseBitVector &bits(PointsToID Id) const {
+    assert(Id < Nodes.size() && "stale or foreign PointsToID");
+    return Nodes[Id];
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memoised set algebra. Every operation is pure: operands are immutable
+  // and the result is an interned ID.
+  //===--------------------------------------------------------------------===//
+
+  /// A ∪ B.
+  PointsToID unionIDs(PointsToID A, PointsToID B) {
+    if (A == B || B == EmptyPointsToID)
+      return A;
+    if (A == EmptyPointsToID)
+      return B;
+    if (A > B) // Commutative: memoise order-normalised.
+      std::swap(A, B);
+    return memoised(UnionMemo, A, B, [this](PointsToID L, PointsToID R) {
+      SparseBitVector Result = Nodes[L];
+      Result.unionWith(Nodes[R]);
+      return intern(std::move(Result));
+    });
+  }
+
+  /// A ∩ B.
+  PointsToID intersectIDs(PointsToID A, PointsToID B) {
+    if (A == B)
+      return A;
+    if (A == EmptyPointsToID || B == EmptyPointsToID)
+      return EmptyPointsToID;
+    if (A > B) // Commutative.
+      std::swap(A, B);
+    return memoised(IntersectMemo, A, B, [this](PointsToID L, PointsToID R) {
+      SparseBitVector Result = Nodes[L];
+      Result.intersectWith(Nodes[R]);
+      return intern(std::move(Result));
+    });
+  }
+
+  /// A − B (not commutative).
+  PointsToID subtractIDs(PointsToID A, PointsToID B) {
+    if (A == EmptyPointsToID || A == B)
+      return EmptyPointsToID;
+    if (B == EmptyPointsToID)
+      return A;
+    return memoised(SubtractMemo, A, B, [this](PointsToID L, PointsToID R) {
+      SparseBitVector Result = Nodes[L];
+      Result.intersectWithComplement(Nodes[R]);
+      return intern(std::move(Result));
+    });
+  }
+
+  /// A ∪ {Bit}.
+  PointsToID withBit(PointsToID A, uint32_t Bit) {
+    if (Nodes[A].test(Bit))
+      return A;
+    return memoised(WithBitMemo, A, Bit, [this](PointsToID L, uint32_t B) {
+      SparseBitVector Result = Nodes[L];
+      Result.set(B);
+      return intern(std::move(Result));
+    });
+  }
+
+  /// A − {Bit}.
+  PointsToID withoutBit(PointsToID A, uint32_t Bit) {
+    if (!Nodes[A].test(Bit))
+      return A;
+    return memoised(WithoutBitMemo, A, Bit, [this](PointsToID L, uint32_t B) {
+      SparseBitVector Result = Nodes[L];
+      Result.reset(B);
+      return intern(std::move(Result));
+    });
+  }
+
+  /// A ⊇ B (superset test; not commutative).
+  bool containsIDs(PointsToID A, PointsToID B) {
+    if (A == B || B == EmptyPointsToID)
+      return true;
+    if (A == EmptyPointsToID)
+      return false;
+    uint64_t Key = pairKey(A, B);
+    auto It = ContainsMemo.find(Key);
+    if (It != ContainsMemo.end()) {
+      ++OpHits;
+      return It->second;
+    }
+    ++OpMisses;
+    bool R = Nodes[A].contains(Nodes[B]);
+    ContainsMemo.emplace(Key, R);
+    return R;
+  }
+
+  /// A ∩ B ≠ ∅ (overlap test; commutative).
+  bool intersectsIDs(PointsToID A, PointsToID B) {
+    if (A == EmptyPointsToID || B == EmptyPointsToID)
+      return false;
+    if (A == B)
+      return true;
+    if (A > B)
+      std::swap(A, B);
+    uint64_t Key = pairKey(A, B);
+    auto It = IntersectsMemo.find(Key);
+    if (It != IntersectsMemo.end()) {
+      ++OpHits;
+      return It->second;
+    }
+    ++OpMisses;
+    bool R = Nodes[A].intersects(Nodes[B]);
+    IntersectsMemo.emplace(Key, R);
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instrumentation
+  //===--------------------------------------------------------------------===//
+
+  /// Number of distinct sets interned (the empty set included).
+  uint32_t numUniqueSets() const { return static_cast<uint32_t>(Nodes.size()); }
+
+  /// Heap bytes the interned nodes actually hold — the shared storage every
+  /// persistent set references.
+  uint64_t internedBytes() const { return InternedBytes; }
+
+  /// Heap bytes intern requests *would* have allocated had every request
+  /// kept its own copy (the non-shared baseline the interning saves
+  /// against). Cumulative over the cache's lifetime.
+  uint64_t baselineBytes() const { return BaselineBytes; }
+
+  uint64_t opHits() const { return OpHits; }
+  uint64_t opMisses() const { return OpMisses; }
+  uint64_t internHits() const { return InternHits; }
+  uint64_t internMisses() const { return InternMisses; }
+
+  /// The cache counters as a named group ("ptscache"), for --stats-json and
+  /// the benches. StatGroup iterates in key order, so emission through it
+  /// is deterministic.
+  StatGroup statGroup() const {
+    StatGroup G("ptscache");
+    G.get("unique-sets") = numUniqueSets();
+    G.get("interned-bytes") = internedBytes();
+    G.get("baseline-bytes") = baselineBytes();
+    G.get("op-cache-hits") = OpHits;
+    G.get("op-cache-misses") = OpMisses;
+    G.get("intern-hits") = InternHits;
+    G.get("intern-misses") = InternMisses;
+    return G;
+  }
+
+  /// Zeroes the hit/miss/baseline counters; interned nodes stay.
+  void resetStats() {
+    OpHits = OpMisses = InternHits = InternMisses = 0;
+    BaselineBytes = InternedBytes;
+  }
+
+  /// Drops every interned node except the empty set and all memo tables.
+  /// Invalidates every outstanding non-empty PointsToID — callers must
+  /// ensure no such set is live (see the ID lifetime rules above).
+  void clear() {
+    Nodes.resize(1);
+    InternTable.clear();
+    UnionMemo.clear();
+    IntersectMemo.clear();
+    SubtractMemo.clear();
+    WithBitMemo.clear();
+    WithoutBitMemo.clear();
+    ContainsMemo.clear();
+    IntersectsMemo.clear();
+    InternedBytes = 0;
+    resetStats();
+  }
+
+private:
+  static uint64_t pairKey(uint32_t A, uint32_t B) {
+    return (uint64_t(A) << 32) | B;
+  }
+
+  template <typename ComputeFn>
+  PointsToID memoised(std::unordered_map<uint64_t, PointsToID> &Memo,
+                      uint32_t A, uint32_t B, ComputeFn Compute) {
+    uint64_t Key = pairKey(A, B);
+    auto It = Memo.find(Key);
+    if (It != Memo.end()) {
+      ++OpHits;
+      return It->second;
+    }
+    ++OpMisses;
+    PointsToID R = Compute(A, B);
+    Memo.emplace(Key, R);
+    return R;
+  }
+
+  PointsToID internNonEmpty(SparseBitVector Bits) {
+    BaselineBytes += Bits.capacityBytes();
+    uint64_t H = Bits.hash();
+    auto &Chain = InternTable[H];
+    for (PointsToID Id : Chain)
+      if (Nodes[Id] == Bits) {
+        ++InternHits;
+        return Id;
+      }
+    ++InternMisses;
+    assert(Nodes.size() < UINT32_MAX && "PointsToID space exhausted");
+    PointsToID Id = static_cast<PointsToID>(Nodes.size());
+    InternedBytes += Bits.capacityBytes();
+    Nodes.push_back(std::move(Bits));
+    Chain.push_back(Id);
+    return Id;
+  }
+
+  /// Interned nodes; a deque so \c bits() references stay stable while the
+  /// cache grows (iteration over a set must survive other sets interning).
+  std::deque<SparseBitVector> Nodes;
+  /// hash(set) -> candidate IDs (collision chain).
+  std::unordered_map<uint64_t, std::vector<PointsToID>> InternTable;
+
+  // Operation memo tables, keyed on packed operand pairs.
+  std::unordered_map<uint64_t, PointsToID> UnionMemo;
+  std::unordered_map<uint64_t, PointsToID> IntersectMemo;
+  std::unordered_map<uint64_t, PointsToID> SubtractMemo;
+  std::unordered_map<uint64_t, PointsToID> WithBitMemo;
+  std::unordered_map<uint64_t, PointsToID> WithoutBitMemo;
+  std::unordered_map<uint64_t, bool> ContainsMemo;
+  std::unordered_map<uint64_t, bool> IntersectsMemo;
+
+  uint64_t OpHits = 0;
+  uint64_t OpMisses = 0;
+  uint64_t InternHits = 0;
+  uint64_t InternMisses = 0;
+  uint64_t InternedBytes = 0;
+  uint64_t BaselineBytes = 0;
+};
+
+} // namespace adt
+} // namespace vsfs
+
+#endif // VSFS_ADT_POINTSTOCACHE_H

@@ -2,6 +2,7 @@
 
 #include "core/AnalysisRunner.h"
 
+#include "adt/PointsToCache.h"
 #include "core/FlowSensitive.h"
 #include "core/IterativeFlowSensitive.h"
 #include "core/VersionedFlowSensitive.h"
@@ -132,6 +133,10 @@ std::string vsfs::core::statsText(const AnalysisRunner::RunResult &R) {
           dynamic_cast<const VersionedFlowSensitive *>(R.Analysis.get()))
     Out += V->versioning().stats().toString();
   Out += R.Analysis->stats().toString();
+  // The interning cache is process-global, not per-run, so it reports once
+  // per invocation and only when the persistent representation is active.
+  if (adt::pointsToRepr() == adt::PtsRepr::Persistent)
+    Out += adt::PointsToCache::get().statGroup().toString();
   return Out;
 }
 
@@ -175,6 +180,8 @@ std::string vsfs::core::statsJson(
   OS << "{\n";
   jsonKey(OS, 2, "schema");
   OS << "\"vsfs-stats-v1\",\n";
+  jsonKey(OS, 2, "pts_repr");
+  OS << '"' << adt::ptsReprName(adt::pointsToRepr()) << "\",\n";
 
   jsonKey(OS, 2, "module");
   OS << "{\n";
@@ -201,6 +208,15 @@ std::string vsfs::core::statsJson(
   OS << Ctx.svfg().numDirectEdges() << ",\n";
   jsonKey(OS, 4, "svfg_indirect_edges");
   OS << Ctx.svfg().numIndirectEdges() << "\n  },\n";
+
+  // The interning cache's counters, present exactly when the persistent
+  // representation produced them (the group is process-global, so it sits
+  // at the session level, not under any one analysis).
+  if (adt::pointsToRepr() == adt::PtsRepr::Persistent) {
+    jsonKey(OS, 2, "ptscache");
+    jsonCounters(OS, 2, adt::PointsToCache::get().statGroup());
+    OS << ",\n";
+  }
 
   jsonKey(OS, 2, "analyses");
   OS << "[";

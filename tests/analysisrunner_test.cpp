@@ -10,8 +10,11 @@
 
 #include "TestUtil.h"
 
+#include "adt/PointsToCache.h"
 #include "core/AnalysisRunner.h"
 #include "workload/BenchmarkSuite.h"
+
+#include <algorithm>
 
 using namespace vsfs;
 using namespace vsfs::test;
@@ -294,6 +297,124 @@ TEST(StatsJson, GoldenShapeForAllAnalyses) {
   // The versioned solver additionally reports its pre-analysis.
   EXPECT_EQ(countOccurrences(J, "\"versioning_seconds\": "), 1u);
   EXPECT_EQ(countOccurrences(J, "\"versioning_counters\": "), 1u);
+}
+
+TEST(PtsReprFlag, ParseAcceptsKnownValuesAndRejectsUnknown) {
+  adt::PtsRepr Repr = adt::PtsRepr::SBV;
+  EXPECT_TRUE(adt::parsePtsRepr("persistent", Repr));
+  EXPECT_EQ(Repr, adt::PtsRepr::Persistent);
+  EXPECT_TRUE(adt::parsePtsRepr("sbv", Repr));
+  EXPECT_EQ(Repr, adt::PtsRepr::SBV);
+
+  Repr = adt::PtsRepr::Persistent;
+  for (const char *Bad : {"bogus", "", "SBV", "Persistent", "sbv "}) {
+    EXPECT_FALSE(adt::parsePtsRepr(Bad, Repr)) << Bad;
+    EXPECT_EQ(Repr, adt::PtsRepr::Persistent) << "output clobbered on "
+                                              << Bad;
+  }
+  EXPECT_STREQ(adt::ptsReprName(adt::PtsRepr::SBV), "sbv");
+  EXPECT_STREQ(adt::ptsReprName(adt::PtsRepr::Persistent), "persistent");
+}
+
+namespace {
+
+/// Runs sfs on a small workload under \p Repr and returns the stats JSON,
+/// emitted while that representation is still selected.
+std::string statsJsonUnder(adt::PtsRepr Repr) {
+  adt::PtsReprScope Scope(Repr);
+  workload::GenConfig C;
+  C.Seed = 17;
+  auto Ctx = buildFromConfig(C);
+  if (!Ctx)
+    return {};
+  std::vector<AnalysisRunner::RunResult> Results;
+  Results.push_back(AnalysisRunner::registry().run(*Ctx, "sfs"));
+  std::string J = core::statsJson(*Ctx, Results);
+  Results.clear(); // Persistent sets die before the scope (and cache) do.
+  Ctx.reset();
+  if (Repr == adt::PtsRepr::Persistent)
+    adt::PointsToCache::get().clear();
+  return J;
+}
+
+} // namespace
+
+TEST(StatsJson, PtsCacheGroupPresentExactlyInPersistentMode) {
+  std::string Sbv = statsJsonUnder(adt::PtsRepr::SBV);
+  expectWellFormedJson(Sbv);
+  EXPECT_NE(Sbv.find("\"pts_repr\": \"sbv\""), std::string::npos);
+  EXPECT_EQ(Sbv.find("\"ptscache\""), std::string::npos);
+
+  std::string Pers = statsJsonUnder(adt::PtsRepr::Persistent);
+  expectWellFormedJson(Pers);
+  EXPECT_NE(Pers.find("\"pts_repr\": \"persistent\""), std::string::npos);
+  EXPECT_NE(Pers.find("\"ptscache\""), std::string::npos);
+  // The cache group carries the op-cache hit rate's ingredients.
+  for (const char *Key :
+       {"\"unique-sets\"", "\"interned-bytes\"", "\"baseline-bytes\"",
+        "\"op-cache-hits\"", "\"op-cache-misses\"", "\"intern-hits\"",
+        "\"intern-misses\""})
+    EXPECT_NE(Pers.find(Key), std::string::npos) << Key;
+}
+
+namespace {
+
+/// Collects the keys of every JSON object nested under a `"Name": {` group
+/// emitted by jsonCounters and asserts they appear in sorted order — the
+/// deterministic-key-order contract golden comparisons rely on.
+void expectSortedCounterKeys(const std::string &J, const std::string &Group) {
+  size_t P = 0;
+  size_t Seen = 0;
+  std::string Marker = "\"" + Group + "\": {";
+  while ((P = J.find(Marker, P)) != std::string::npos) {
+    size_t End = J.find('}', P);
+    ASSERT_NE(End, std::string::npos);
+    std::vector<std::string> Keys;
+    size_t Q = P + Marker.size();
+    while (true) {
+      size_t KeyStart = J.find('"', Q);
+      if (KeyStart == std::string::npos || KeyStart > End)
+        break;
+      size_t KeyEnd = J.find('"', KeyStart + 1);
+      ASSERT_NE(KeyEnd, std::string::npos);
+      Keys.push_back(J.substr(KeyStart + 1, KeyEnd - KeyStart - 1));
+      Q = KeyEnd + 1;
+    }
+    ASSERT_FALSE(Keys.empty()) << Group;
+    EXPECT_TRUE(std::is_sorted(Keys.begin(), Keys.end()))
+        << Group << " keys not in sorted order: "
+        << ::testing::PrintToString(Keys);
+    ++Seen;
+    P = End;
+  }
+  EXPECT_GT(Seen, 0u) << "no \"" << Group << "\" object found";
+}
+
+} // namespace
+
+TEST(StatsJson, CounterObjectsEmitKeysInDeterministicSortedOrder) {
+  std::string Pers = statsJsonUnder(adt::PtsRepr::Persistent);
+  expectSortedCounterKeys(Pers, "counters");
+  expectSortedCounterKeys(Pers, "ptscache");
+
+  // Same module, same mode: byte-identical except the timing floats — the
+  // key sequence itself is reproducible.
+  auto KeySequence = [](const std::string &J) {
+    std::vector<std::string> Keys;
+    for (size_t P = J.find('"'); P != std::string::npos;
+         P = J.find('"', P + 1)) {
+      size_t End = J.find('"', P + 1);
+      if (End == std::string::npos)
+        break;
+      std::string Tok = J.substr(P + 1, End - P - 1);
+      if (J.compare(End + 1, 2, ": ") == 0)
+        Keys.push_back(Tok); // A key, not a value.
+      P = End + 1;
+    }
+    return Keys;
+  };
+  std::string Again = statsJsonUnder(adt::PtsRepr::Persistent);
+  EXPECT_EQ(KeySequence(Pers), KeySequence(Again));
 }
 
 TEST(StatsText, IncludesSolverCountersAndVersioningGroup) {

@@ -1,0 +1,190 @@
+//===- differential_fuzz_test.cpp - Cross-representation fuzzing -*- C++ -*-===//
+///
+/// The proof that the persistent (hash-consed, memoised) points-to
+/// representation changes no analysis result: every benchmark preset and a
+/// swarm of seeded random workloads are solved under --pts-repr=sbv and
+/// --pts-repr=persistent, and the complete per-variable points-to relation
+/// plus the bug checkers' findings must be bit-identical across the two.
+///
+/// Within each representation the usual precision laws are asserted too:
+/// vsfs ≡ sfs (§IV-E), iter ≡ sfs on call-free programs (the dense oracle),
+/// and every flow-sensitive result refines Andersen's (⊆ ander).
+///
+/// The process-global PointsToCache is cleared between persistent-mode runs
+/// (after their pipelines die, per the ID lifetime rules) so the fuzzer's
+/// memory stays bounded no matter how many seeds run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "adt/PointsToCache.h"
+#include "checker/Checker.h"
+#include "core/AnalysisRunner.h"
+#include "workload/BenchmarkSuite.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace vsfs;
+using namespace vsfs::test;
+using core::AnalysisRunner;
+
+namespace {
+
+/// Everything one (config, representation) run produced, snapshotted into
+/// plain containers so comparisons never dangle into a cleared cache.
+struct Snapshot {
+  std::vector<std::vector<uint32_t>> Ander, Sfs, Vsfs, Iter;
+  std::vector<std::string> SfsFindings, VsfsFindings;
+};
+
+std::vector<std::vector<uint32_t>>
+snapshotVarPts(const ir::Module &M, const core::PointerAnalysisResult &A) {
+  std::vector<std::vector<uint32_t>> Out(M.symbols().numVars());
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+    for (uint32_t O : A.ptsOfVar(V))
+      Out[V].push_back(O);
+  return Out;
+}
+
+std::vector<std::string> findingStrings(const core::AnalysisContext &Ctx,
+                                        const core::PointerAnalysisResult &A) {
+  std::vector<std::string> Out;
+  for (const checker::Finding &F :
+       checker::runCheckers(Ctx.svfg(), A, checker::AllChecks))
+    Out.push_back(checker::printFinding(Ctx.module(), F));
+  return Out;
+}
+
+/// Solves ander/sfs/vsfs (and iter when \p RunIter) on \p C under \p Repr,
+/// asserting the intra-representation precision laws, and returns the full
+/// result snapshot. Clears the cache afterwards in persistent mode.
+Snapshot solveAndCheck(const workload::GenConfig &C, adt::PtsRepr Repr,
+                       bool RunIter, const char *What) {
+  Snapshot Snap;
+  {
+    adt::PtsReprScope Scope(Repr);
+    auto Ctx = buildFromConfig(C, /*ConnectAuxIndirectCalls=*/true);
+    if (!Ctx)
+      return Snap;
+    const AnalysisRunner &Runner = AnalysisRunner::registry();
+    auto Ander = Runner.run(*Ctx, "ander");
+    auto Sfs = Runner.run(*Ctx, "sfs");
+    auto Vsfs = Runner.run(*Ctx, "vsfs");
+
+    const ir::Module &M = Ctx->module();
+    for (ir::VarID V = 0; V < M.symbols().numVars(); ++V) {
+      // vsfs ≡ sfs, both refine ander — inside this representation.
+      // First mismatch only: one detailed failure beats thousands.
+      if (Sfs.Analysis->ptsOfVar(V) != Vsfs.Analysis->ptsOfVar(V)) {
+        ADD_FAILURE() << What << " [" << adt::ptsReprName(Repr)
+                      << "]: sfs/vsfs disagree at " << ir::printVar(M, V);
+        break;
+      }
+      if (!Ander.Analysis->ptsOfVar(V).contains(Sfs.Analysis->ptsOfVar(V))) {
+        ADD_FAILURE() << What << " [" << adt::ptsReprName(Repr)
+                      << "]: sfs exceeds ander at " << ir::printVar(M, V);
+        break;
+      }
+    }
+    if (RunIter) {
+      auto Iter = Runner.run(*Ctx, "iter");
+      for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+        if (Iter.Analysis->ptsOfVar(V) != Sfs.Analysis->ptsOfVar(V)) {
+          ADD_FAILURE() << What << " [" << adt::ptsReprName(Repr)
+                        << "]: iter/sfs disagree at " << ir::printVar(M, V);
+          break;
+        }
+      Snap.Iter = snapshotVarPts(M, *Iter.Analysis);
+    }
+
+    Snap.Ander = snapshotVarPts(M, *Ander.Analysis);
+    Snap.Sfs = snapshotVarPts(M, *Sfs.Analysis);
+    Snap.Vsfs = snapshotVarPts(M, *Vsfs.Analysis);
+    Snap.SfsFindings = findingStrings(*Ctx, *Sfs.Analysis);
+    Snap.VsfsFindings = findingStrings(*Ctx, *Vsfs.Analysis);
+  }
+  // All persistent sets died with the scope above; reclaim the interned
+  // nodes so a long fuzz run's memory stays bounded.
+  if (Repr == adt::PtsRepr::Persistent)
+    adt::PointsToCache::get().clear();
+  return Snap;
+}
+
+void expectSameSnapshots(const Snapshot &Sbv, const Snapshot &Pers,
+                         const char *What) {
+  EXPECT_EQ(Sbv.Ander, Pers.Ander) << What << ": ander differs across reprs";
+  EXPECT_EQ(Sbv.Sfs, Pers.Sfs) << What << ": sfs differs across reprs";
+  EXPECT_EQ(Sbv.Vsfs, Pers.Vsfs) << What << ": vsfs differs across reprs";
+  EXPECT_EQ(Sbv.Iter, Pers.Iter) << What << ": iter differs across reprs";
+  EXPECT_EQ(Sbv.SfsFindings, Pers.SfsFindings)
+      << What << ": sfs checker findings differ across reprs";
+  EXPECT_EQ(Sbv.VsfsFindings, Pers.VsfsFindings)
+      << What << ": vsfs checker findings differ across reprs";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// All 15 benchmark presets, bugs injected so the checkers have findings
+//===----------------------------------------------------------------------===//
+
+class PresetDifferential
+    : public ::testing::TestWithParam<workload::BenchSpec> {};
+
+TEST_P(PresetDifferential, PersistentMatchesSbv) {
+  workload::GenConfig C = GetParam().Config;
+  C.InjectBugs = true; // Non-trivial checker findings to compare.
+  const char *What = GetParam().Name.c_str();
+  // Presets are interprocedural, so iter is only an over-approximation —
+  // the dense oracle is asserted on the call-free seeds below instead.
+  Snapshot Sbv = solveAndCheck(C, adt::PtsRepr::SBV, /*RunIter=*/false, What);
+  Snapshot Pers =
+      solveAndCheck(C, adt::PtsRepr::Persistent, /*RunIter=*/false, What);
+  expectSameSnapshots(Sbv, Pers, What);
+}
+
+namespace {
+
+std::string presetName(
+    const ::testing::TestParamInfo<workload::BenchSpec> &Info) {
+  return Info.param.Name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetDifferential,
+                         ::testing::ValuesIn(workload::benchmarkSuite()),
+                         presetName);
+
+//===----------------------------------------------------------------------===//
+// Seeded random workloads beyond the presets (call-free: the full chain
+// vsfs ≡ sfs ≡ iter ⊆ ander holds exactly, under both representations)
+//===----------------------------------------------------------------------===//
+
+class SeedDifferential : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SeedDifferential, FullChainHoldsUnderBothRepresentations) {
+  uint32_t Seed = GetParam();
+  workload::GenConfig C;
+  C.Seed = Seed;
+  C.NumFunctions = 0; // Intraprocedural: iter is exact, not approximate.
+  C.CallWeight = 0.0;
+  C.BlocksPerFunction = 3 + Seed % 7;
+  C.InstsPerBlock = 4 + Seed % 6;
+  C.NumGlobals = Seed % 10;
+  C.HeapFraction = (Seed % 5) * 0.2;
+
+  char What[32];
+  std::snprintf(What, sizeof(What), "seed %u", Seed);
+  Snapshot Sbv = solveAndCheck(C, adt::PtsRepr::SBV, /*RunIter=*/true, What);
+  Snapshot Pers =
+      solveAndCheck(C, adt::PtsRepr::Persistent, /*RunIter=*/true, What);
+  expectSameSnapshots(Sbv, Pers, What);
+}
+
+// 56 seeds, disjoint from every seed used elsewhere in the suite.
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedDifferential,
+                         ::testing::Range(100u, 156u));

@@ -1,0 +1,393 @@
+//===- ptscache_test.cpp - Hash-consed points-to store tests ----*- C++ -*-===//
+///
+/// The interning invariants of adt::PointsToCache (structural equality ⇔
+/// same PointsToID), the correctness of its memoised set algebra against
+/// plain SparseBitVector oracles, the empty/singleton/self-operand edge
+/// cases, and the behaviour of the PersistentPointsTo / hybrid PointsTo
+/// wrappers built on top of it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/PersistentPointsTo.h"
+#include "adt/PointsTo.h"
+#include "adt/PointsToCache.h"
+#include "adt/SparseBitVector.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace vsfs;
+using namespace vsfs::adt;
+
+namespace {
+
+/// Deterministic pseudo-random bit sets (no global RNG state between tests).
+class Lcg {
+public:
+  explicit Lcg(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint32_t next(uint32_t Bound) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>((State >> 33) % Bound);
+  }
+
+private:
+  uint64_t State;
+};
+
+SparseBitVector randomSet(Lcg &Rng, uint32_t MaxBit, uint32_t MaxBits) {
+  SparseBitVector S;
+  uint32_t N = Rng.next(MaxBits + 1);
+  for (uint32_t I = 0; I < N; ++I)
+    S.set(Rng.next(MaxBit));
+  return S;
+}
+
+PointsToCache &cache() { return PointsToCache::get(); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Interning invariants
+//===----------------------------------------------------------------------===//
+
+TEST(PointsToCacheIntern, EmptySetIsAlwaysIDZero) {
+  EXPECT_EQ(cache().intern(SparseBitVector()), EmptyPointsToID);
+  EXPECT_TRUE(cache().bits(EmptyPointsToID).empty());
+}
+
+TEST(PointsToCacheIntern, StructuralEqualityImpliesSameID) {
+  Lcg Rng(42);
+  for (int Round = 0; Round < 100; ++Round) {
+    SparseBitVector A = randomSet(Rng, 400, 30);
+    SparseBitVector B = A; // Structurally equal, distinct object.
+    PointsToID IdA = cache().intern(A);
+    PointsToID IdB = cache().intern(B);
+    EXPECT_EQ(IdA, IdB);
+    EXPECT_EQ(cache().bits(IdA), A);
+  }
+}
+
+TEST(PointsToCacheIntern, DistinctSetsGetDistinctIDs) {
+  SparseBitVector A, B;
+  A.set(1);
+  B.set(2);
+  PointsToID IdA = cache().intern(A);
+  PointsToID IdB = cache().intern(B);
+  EXPECT_NE(IdA, IdB);
+  EXPECT_NE(IdA, EmptyPointsToID);
+  EXPECT_NE(IdB, EmptyPointsToID);
+  EXPECT_EQ(cache().bits(IdA), A);
+  EXPECT_EQ(cache().bits(IdB), B);
+}
+
+TEST(PointsToCacheIntern, ReinterningIsAHit) {
+  SparseBitVector S;
+  S.set(77);
+  S.set(301);
+  PointsToID First = cache().intern(S);
+  uint64_t HitsBefore = cache().internHits();
+  PointsToID Second = cache().intern(S);
+  EXPECT_EQ(First, Second);
+  EXPECT_GT(cache().internHits(), HitsBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// Memoised algebra vs SparseBitVector oracles
+//===----------------------------------------------------------------------===//
+
+TEST(PointsToCacheAlgebra, UnionMatchesOracle) {
+  Lcg Rng(7);
+  for (int Round = 0; Round < 200; ++Round) {
+    SparseBitVector A = randomSet(Rng, 500, 40);
+    SparseBitVector B = randomSet(Rng, 500, 40);
+    SparseBitVector Oracle = A;
+    Oracle.unionWith(B);
+    PointsToID R = cache().unionIDs(cache().intern(A), cache().intern(B));
+    EXPECT_EQ(cache().bits(R), Oracle);
+    // Interning invariant on the result too.
+    EXPECT_EQ(R, cache().intern(Oracle));
+  }
+}
+
+TEST(PointsToCacheAlgebra, IntersectMatchesOracle) {
+  Lcg Rng(8);
+  for (int Round = 0; Round < 200; ++Round) {
+    SparseBitVector A = randomSet(Rng, 300, 40); // Denser: overlaps happen.
+    SparseBitVector B = randomSet(Rng, 300, 40);
+    SparseBitVector Oracle = A;
+    Oracle.intersectWith(B);
+    PointsToID R = cache().intersectIDs(cache().intern(A), cache().intern(B));
+    EXPECT_EQ(cache().bits(R), Oracle);
+  }
+}
+
+TEST(PointsToCacheAlgebra, SubtractMatchesOracle) {
+  Lcg Rng(9);
+  for (int Round = 0; Round < 200; ++Round) {
+    SparseBitVector A = randomSet(Rng, 300, 40);
+    SparseBitVector B = randomSet(Rng, 300, 40);
+    SparseBitVector Oracle = A;
+    Oracle.intersectWithComplement(B);
+    PointsToID R = cache().subtractIDs(cache().intern(A), cache().intern(B));
+    EXPECT_EQ(cache().bits(R), Oracle);
+  }
+}
+
+TEST(PointsToCacheAlgebra, ContainsAndIntersectsMatchOracle) {
+  Lcg Rng(10);
+  for (int Round = 0; Round < 200; ++Round) {
+    SparseBitVector A = randomSet(Rng, 200, 30);
+    SparseBitVector B = randomSet(Rng, 200, 10);
+    PointsToID IdA = cache().intern(A);
+    PointsToID IdB = cache().intern(B);
+    EXPECT_EQ(cache().containsIDs(IdA, IdB), A.contains(B));
+    EXPECT_EQ(cache().intersectsIDs(IdA, IdB), A.intersects(B));
+    // Memoised answers are stable.
+    EXPECT_EQ(cache().containsIDs(IdA, IdB), A.contains(B));
+    EXPECT_EQ(cache().intersectsIDs(IdA, IdB), A.intersects(B));
+  }
+}
+
+TEST(PointsToCacheAlgebra, RepeatedUnionIsAMemoHit) {
+  SparseBitVector A, B;
+  A.set(1000);
+  B.set(2000);
+  PointsToID IdA = cache().intern(A);
+  PointsToID IdB = cache().intern(B);
+  PointsToID First = cache().unionIDs(IdA, IdB);
+  uint64_t HitsBefore = cache().opHits();
+  PointsToID Second = cache().unionIDs(IdA, IdB);
+  PointsToID Swapped = cache().unionIDs(IdB, IdA); // Commutative memo.
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(First, Swapped);
+  EXPECT_GE(cache().opHits(), HitsBefore + 2);
+}
+
+TEST(PointsToCacheAlgebra, WithAndWithoutBitMatchOracle) {
+  Lcg Rng(11);
+  for (int Round = 0; Round < 100; ++Round) {
+    SparseBitVector A = randomSet(Rng, 300, 20);
+    uint32_t Bit = Rng.next(300);
+    PointsToID IdA = cache().intern(A);
+
+    SparseBitVector WithOracle = A;
+    WithOracle.set(Bit);
+    EXPECT_EQ(cache().bits(cache().withBit(IdA, Bit)), WithOracle);
+
+    SparseBitVector WithoutOracle = A;
+    WithoutOracle.reset(Bit);
+    EXPECT_EQ(cache().bits(cache().withoutBit(IdA, Bit)), WithoutOracle);
+
+    // A set that already has / lacks the bit is returned unchanged.
+    EXPECT_EQ(cache().withBit(cache().intern(WithOracle), Bit),
+              cache().intern(WithOracle));
+    EXPECT_EQ(cache().withoutBit(cache().intern(WithoutOracle), Bit),
+              cache().intern(WithoutOracle));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Edge cases: empty, singleton, self operands
+//===----------------------------------------------------------------------===//
+
+TEST(PointsToCacheEdges, SelfAndEmptyOperandsShortCircuit) {
+  SparseBitVector A;
+  A.set(5);
+  A.set(140);
+  PointsToID IdA = cache().intern(A);
+
+  EXPECT_EQ(cache().unionIDs(IdA, IdA), IdA);
+  EXPECT_EQ(cache().unionIDs(IdA, EmptyPointsToID), IdA);
+  EXPECT_EQ(cache().unionIDs(EmptyPointsToID, IdA), IdA);
+
+  EXPECT_EQ(cache().intersectIDs(IdA, IdA), IdA);
+  EXPECT_EQ(cache().intersectIDs(IdA, EmptyPointsToID), EmptyPointsToID);
+  EXPECT_EQ(cache().intersectIDs(EmptyPointsToID, IdA), EmptyPointsToID);
+
+  EXPECT_EQ(cache().subtractIDs(IdA, IdA), EmptyPointsToID);
+  EXPECT_EQ(cache().subtractIDs(IdA, EmptyPointsToID), IdA);
+  EXPECT_EQ(cache().subtractIDs(EmptyPointsToID, IdA), EmptyPointsToID);
+
+  EXPECT_TRUE(cache().containsIDs(IdA, IdA));
+  EXPECT_TRUE(cache().containsIDs(IdA, EmptyPointsToID));
+  EXPECT_FALSE(cache().containsIDs(EmptyPointsToID, IdA));
+  EXPECT_TRUE(cache().containsIDs(EmptyPointsToID, EmptyPointsToID));
+
+  EXPECT_TRUE(cache().intersectsIDs(IdA, IdA));
+  EXPECT_FALSE(cache().intersectsIDs(IdA, EmptyPointsToID));
+  EXPECT_FALSE(cache().intersectsIDs(EmptyPointsToID, EmptyPointsToID));
+}
+
+TEST(PointsToCacheEdges, SingletonRoundTrips) {
+  for (uint32_t Bit : {0u, 1u, 63u, 64u, 127u, 128u, 5000u}) {
+    PersistentPointsTo S = PersistentPointsTo::singleton(Bit);
+    EXPECT_EQ(S.count(), 1u);
+    EXPECT_TRUE(S.test(Bit));
+    EXPECT_EQ(S.findFirst(), Bit);
+    // Same singleton again: same ID.
+    EXPECT_EQ(S, PersistentPointsTo::singleton(Bit));
+    // Removing the bit yields the empty set (ID 0).
+    EXPECT_EQ(S.without(Bit).id(), EmptyPointsToID);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// PersistentPointsTo wrapper
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentPointsToTest, EqualityIsStructural) {
+  PersistentPointsTo A =
+      PersistentPointsTo::singleton(3).with(10).with(200);
+  PersistentPointsTo B =
+      PersistentPointsTo::singleton(200).with(3).with(10);
+  EXPECT_EQ(A, B); // Same bits, however computed.
+  EXPECT_EQ(A.id(), B.id());
+  EXPECT_NE(A, A.with(11));
+}
+
+TEST(PersistentPointsToTest, IterationYieldsSortedBits) {
+  PersistentPointsTo S = PersistentPointsTo::singleton(300)
+                             .with(2)
+                             .with(150)
+                             .with(64);
+  std::vector<uint32_t> Bits;
+  for (uint32_t Bit : S)
+    Bits.push_back(Bit);
+  EXPECT_EQ(Bits, (std::vector<uint32_t>{2, 64, 150, 300}));
+}
+
+//===----------------------------------------------------------------------===//
+// Hybrid PointsTo facade: persistent mode behaves exactly like sbv mode
+//===----------------------------------------------------------------------===//
+
+TEST(HybridPointsTo, MutationApiAgreesAcrossRepresentations) {
+  Lcg Rng(21);
+  for (int Round = 0; Round < 50; ++Round) {
+    PtsReprScope Scope(PtsRepr::Persistent);
+    PointsTo P; // Latched persistent.
+    EXPECT_TRUE(P.isPersistent());
+    SparseBitVector Oracle;
+    for (int Op = 0; Op < 40; ++Op) {
+      uint32_t Bit = Rng.next(200);
+      if (Rng.next(4) == 0)
+        EXPECT_EQ(P.reset(Bit), Oracle.reset(Bit));
+      else
+        EXPECT_EQ(P.set(Bit), Oracle.set(Bit));
+    }
+    EXPECT_EQ(P.bits(), Oracle);
+    EXPECT_EQ(P.count(), Oracle.count());
+    EXPECT_EQ(P.hash(), Oracle.hash());
+  }
+}
+
+TEST(HybridPointsTo, BinaryOpsAgreeAcrossRepresentations) {
+  Lcg Rng(22);
+  for (int Round = 0; Round < 50; ++Round) {
+    // Build the same two operand sets in both representations.
+    SparseBitVector RawA = randomSet(Rng, 300, 25);
+    SparseBitVector RawB = randomSet(Rng, 300, 25);
+    auto Build = [](const SparseBitVector &Bits, PtsRepr Repr) {
+      PtsReprScope Scope(Repr);
+      PointsTo P;
+      for (uint32_t Bit : Bits)
+        P.set(Bit);
+      return P;
+    };
+    PointsTo SbvA = Build(RawA, PtsRepr::SBV);
+    PointsTo SbvB = Build(RawB, PtsRepr::SBV);
+    PointsTo PerA = Build(RawA, PtsRepr::Persistent);
+    PointsTo PerB = Build(RawB, PtsRepr::Persistent);
+
+    // Mixed-representation equality and tests.
+    EXPECT_EQ(SbvA, PerA);
+    EXPECT_EQ(PerB, SbvB);
+    EXPECT_EQ(PerA.contains(PerB), SbvA.contains(SbvB));
+    EXPECT_EQ(PerA.contains(SbvB), SbvA.contains(SbvB));
+    EXPECT_EQ(PerA.intersects(PerB), SbvA.intersects(SbvB));
+
+    // The mutating algebra returns the same changed-bit and result.
+    PointsTo U1 = SbvA, U2 = PerA;
+    EXPECT_EQ(U1.unionWith(SbvB), U2.unionWith(PerB));
+    EXPECT_EQ(U1, U2);
+
+    PointsTo I1 = SbvA, I2 = PerA;
+    EXPECT_EQ(I1.intersectWith(SbvB), I2.intersectWith(PerB));
+    EXPECT_EQ(I1, I2);
+
+    PointsTo D1 = SbvA, D2 = PerA;
+    EXPECT_EQ(D1.intersectWithComplement(SbvB),
+              D2.intersectWithComplement(PerB));
+    EXPECT_EQ(D1, D2);
+  }
+}
+
+TEST(HybridPointsTo, SelfOperandsAreNoChange) {
+  PtsReprScope Scope(PtsRepr::Persistent);
+  PointsTo P;
+  P.set(9);
+  P.set(130);
+  PointsTo Copy = P;
+  EXPECT_FALSE(P.unionWith(Copy));
+  EXPECT_FALSE(P.intersectWith(Copy));
+  EXPECT_TRUE(P.intersectWithComplement(Copy));
+  EXPECT_TRUE(P.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation and ID lifetime
+//===----------------------------------------------------------------------===//
+
+TEST(PointsToCacheStats, GroupReportsAllCountersInKeyOrder) {
+  StatGroup G = cache().statGroup();
+  EXPECT_EQ(G.name(), "ptscache");
+  std::vector<std::string> Keys;
+  for (const auto &[Key, Value] : G) {
+    (void)Value;
+    Keys.push_back(Key);
+  }
+  EXPECT_EQ(Keys, (std::vector<std::string>{
+                      "baseline-bytes", "intern-hits", "intern-misses",
+                      "interned-bytes", "op-cache-hits", "op-cache-misses",
+                      "unique-sets"}));
+  EXPECT_EQ(G.lookup("unique-sets"), cache().numUniqueSets());
+}
+
+TEST(PointsToCacheStats, InterningDeduplicatesBaselineBytes) {
+  SparseBitVector S;
+  S.set(42);
+  S.set(314);
+  uint64_t BaselineBefore = cache().baselineBytes();
+  uint64_t InternedBefore = cache().internedBytes();
+  PointsToID First = cache().intern(S);
+  uint64_t InternedAfterFirst = cache().internedBytes();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(cache().intern(S), First);
+  // Eleven requests' worth of baseline, at most one node's worth interned.
+  EXPECT_GE(cache().baselineBytes() - BaselineBefore,
+            11 * S.capacityBytes());
+  EXPECT_EQ(cache().internedBytes(), InternedAfterFirst);
+  EXPECT_GE(InternedAfterFirst, InternedBefore);
+}
+
+// Runs last in this file by convention: clear() invalidates every ID the
+// tests above created.
+TEST(PointsToCacheStats, ZClearKeepsOnlyTheEmptySet) {
+  SparseBitVector S;
+  S.set(1);
+  PointsToID Id = cache().intern(S);
+  EXPECT_NE(Id, EmptyPointsToID);
+  EXPECT_GT(cache().numUniqueSets(), 1u);
+
+  cache().clear();
+  EXPECT_EQ(cache().numUniqueSets(), 1u); // Node 0 survives.
+  EXPECT_TRUE(cache().bits(EmptyPointsToID).empty());
+  EXPECT_EQ(cache().opHits(), 0u);
+  EXPECT_EQ(cache().opMisses(), 0u);
+  EXPECT_EQ(cache().internedBytes(), 0u);
+
+  // The store works normally after a clear.
+  PointsToID Fresh = cache().intern(S);
+  EXPECT_NE(Fresh, EmptyPointsToID);
+  EXPECT_EQ(cache().bits(Fresh), S);
+}

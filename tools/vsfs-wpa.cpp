@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "adt/PointsToCache.h"
 #include "checker/Checker.h"
 #include "core/AnalysisContext.h"
 #include "core/AnalysisRunner.h"
@@ -47,6 +48,7 @@ struct Options {
   uint64_t GenSeed = 0;
   bool UseGen = false;
   std::string Analysis = "vsfs";
+  adt::PtsRepr PtsRepr = adt::PtsRepr::SBV;
   uint32_t CheckMask = 0; ///< Checkers to run; 0 = none.
   bool InjectBugs = false;
   bool Lint = false;
@@ -74,6 +76,9 @@ void usage(const char *Prog) {
       "\n"
       "options:\n"
       "  --analysis=KIND       %s | all  (default vsfs)\n"
+      "  --pts-repr=REPR       points-to set representation:\n"
+      "                        sbv (one bit vector per set, the default) |\n"
+      "                        persistent (hash-consed, memoised algebra)\n"
       "  --check=KINDS         run bug checkers on each analysis's result:\n"
       "                        comma list of uaf | dfree | null | leak | "
       "all\n"
@@ -122,6 +127,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.GenSeed = std::strtoull(Argv[++I], nullptr, 10);
     } else if (const char *V = Value("--analysis=")) {
       Opts.Analysis = V;
+    } else if (const char *VR = Value("--pts-repr=")) {
+      if (!adt::parsePtsRepr(VR, Opts.PtsRepr)) {
+        std::fprintf(stderr,
+                     "error: bad --pts-repr '%s' (want sbv | persistent)\n",
+                     VR);
+        return false;
+      }
     } else if (const char *VC = Value("--check=")) {
       if (!checker::parseCheckKinds(VC, Opts.CheckMask)) {
         std::fprintf(stderr,
@@ -297,6 +309,7 @@ void runCheckersFor(const core::AnalysisContext &Ctx, const std::string &Name,
 }
 
 int run(const Options &Opts) {
+  adt::setPointsToRepr(Opts.PtsRepr);
   core::AnalysisContext Ctx;
   checker::GroundTruth GT;
   bool HaveGT = false;
