@@ -16,12 +16,14 @@
 #include "core/FlowSensitive.h"
 #include "core/IterativeFlowSensitive.h"
 #include "core/VersionedFlowSensitive.h"
+#include "support/Budget.h"
 #include "support/Format.h"
 #include "support/MemUsage.h"
 #include "support/Timer.h"
 #include "workload/BenchmarkSuite.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -32,14 +34,17 @@ namespace vsfs {
 namespace bench {
 
 /// Builds the full pipeline for a preset (fresh module each call so repeat
-/// runs and different analyses never share mutable state).
+/// runs and different analyses never share mutable state). \p Budget, when
+/// non-null, governs construction; check Ctx->isBuilt() before touching the
+/// SVFG in that case.
 inline std::unique_ptr<core::AnalysisContext>
 buildPipeline(const workload::BenchSpec &Spec,
-              bool ConnectAuxIndirectCalls = false) {
+              bool ConnectAuxIndirectCalls = false,
+              ResourceBudget *Budget = nullptr) {
   auto Module = workload::generateProgram(Spec.Config);
   auto Ctx = std::make_unique<core::AnalysisContext>();
   Ctx->module() = std::move(*Module);
-  Ctx->build(ConnectAuxIndirectCalls);
+  Ctx->build(ConnectAuxIndirectCalls, {}, Budget);
   return Ctx;
 }
 
@@ -67,12 +72,14 @@ template <typename PhaseFn> PhaseResult measurePhase(PhaseFn Phase) {
 
 /// Parses the common flags: --quick (8-benchmark tier), --runs N,
 /// --bench NAME (single benchmark), --pts-repr=REPR (points-to set
-/// representation, applied process-wide), and — when \p JsonPath is
-/// non-null — --json FILE (machine-readable results alongside the table).
-/// Returns the selected suite.
+/// representation, applied process-wide), budget limits (--time-budget,
+/// --mem-budget, --step-budget; collected into \p Limits when non-null),
+/// and — when \p JsonPath is non-null — --json FILE (machine-readable
+/// results alongside the table). Returns the selected suite.
 inline std::vector<workload::BenchSpec>
 parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs,
-               std::string *JsonPath = nullptr) {
+               std::string *JsonPath = nullptr,
+               ResourceBudget::Limits *Limits = nullptr) {
   std::vector<workload::BenchSpec> Suite = workload::benchmarkSuite();
   Runs = 1;
   for (int I = 1; I < Argc; ++I) {
@@ -101,12 +108,25 @@ parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs,
         return Suite;
       }
       adt::setPointsToRepr(Repr);
+    } else if (Limits && Arg.rfind("--time-budget=", 0) == 0) {
+      Limits->TimeBudgetSeconds =
+          std::atof(Arg.c_str() + std::strlen("--time-budget="));
+    } else if (Limits && Arg.rfind("--mem-budget=", 0) == 0) {
+      Limits->MemBudgetBytes =
+          std::strtoull(Arg.c_str() + std::strlen("--mem-budget="), nullptr,
+                        10);
+    } else if (Limits && Arg.rfind("--step-budget=", 0) == 0) {
+      Limits->StepBudget = std::strtoull(
+          Arg.c_str() + std::strlen("--step-budget="), nullptr, 10);
     } else if (JsonPath && Arg == "--json" && I + 1 < Argc) {
       *JsonPath = Argv[++I];
     } else if (Arg == "--help") {
       std::printf("usage: %s [--quick] [--runs N] [--bench NAME] "
-                  "[--pts-repr=sbv|persistent]%s\n",
-                  Argv[0], JsonPath ? " [--json FILE]" : "");
+                  "[--pts-repr=sbv|persistent]%s%s\n",
+                  Argv[0], JsonPath ? " [--json FILE]" : "",
+                  Limits ? " [--time-budget=S] [--mem-budget=B] "
+                           "[--step-budget=N]"
+                         : "");
       Suite.clear();
     }
   }
@@ -121,6 +141,20 @@ inline std::string ptsCacheJsonObject() {
   OS << '{';
   bool First = true;
   for (const auto &[Key, Value] : adt::PointsToCache::get().statGroup()) {
+    OS << (First ? "" : ", ") << '"' << Key << "\": " << Value;
+    First = false;
+  }
+  OS << '}';
+  return OS.str();
+}
+
+/// A ResourceBudget's statGroup() as one inline JSON object, for the table
+/// benches' --json output ("budget" key, mirroring --stats-json's group).
+inline std::string budgetJsonObject(const ResourceBudget &B) {
+  std::ostringstream OS;
+  OS << '{';
+  bool First = true;
+  for (const auto &[Key, Value] : B.statGroup()) {
     OS << (First ? "" : ", ") << '"' << Key << "\": " << Value;
     First = false;
   }

@@ -23,9 +23,16 @@ using namespace vsfs::bench;
 int main(int Argc, char **Argv) {
   uint32_t Runs = 1;
   std::string JsonPath;
-  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath);
+  ResourceBudget::Limits Limits;
+  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath, &Limits);
   if (Suite.empty())
     return 0;
+  // One budget across the whole suite: the typical deployment question is
+  // "what does this table cost within my limits", not per-preset limits.
+  std::unique_ptr<ResourceBudget> Budget;
+  if (Limits.TimeBudgetSeconds > 0 || Limits.MemBudgetBytes != 0 ||
+      Limits.StepBudget != 0)
+    Budget = std::make_unique<ResourceBudget>(Limits);
 
   std::printf("Table II: benchmark characteristics (synthetic presets; see "
               "DESIGN.md)\n\n");
@@ -36,12 +43,28 @@ int main(int Argc, char **Argv) {
   std::printf("%s", T.separator().c_str());
 
   std::ostringstream Json;
-  Json << "{\n  \"schema\": \"vsfs-table2-v1\",\n  \"pts_repr\": \""
+  Json << "{\n  \"schema\": \"vsfs-table2-v2\",\n  \"pts_repr\": \""
        << adt::ptsReprName(adt::pointsToRepr()) << "\",\n  \"benchmarks\": [";
   bool FirstJson = true;
   for (const auto &Spec : Suite) {
-    auto Ctx = buildPipeline(Spec);
+    auto Ctx = buildPipeline(Spec, /*ConnectAuxIndirectCalls=*/false,
+                             Budget.get());
     const auto &M = Ctx->module();
+    if (!Ctx->isBuilt()) {
+      // Budget ran out mid-suite: report the row as cancelled and keep
+      // going, so the table is an honest partial answer, not an abort.
+      std::printf("%s", T.row({Spec.Name, std::to_string(M.numInstructions()),
+                               "-", "-", "-", "-", "-", "-",
+                               std::string("cancelled (") +
+                                   terminationName(Ctx->buildTermination()) +
+                                   ")"})
+                            .c_str());
+      Json << (FirstJson ? "\n" : ",\n") << "    {\"name\": \"" << Spec.Name
+           << "\", \"termination\": \""
+           << terminationName(Ctx->buildTermination()) << "\"}";
+      FirstJson = false;
+      continue;
+    }
     const auto &G = Ctx->svfg();
 
     // Address-taken variables = abstract objects that are not functions.
@@ -67,10 +90,14 @@ int main(int Argc, char **Argv) {
          << ", \"svfg_direct_edges\": " << G.numDirectEdges()
          << ", \"svfg_indirect_edges\": " << G.numIndirectEdges()
          << ", \"top_level_vars\": " << M.symbols().numVars()
-         << ", \"address_taken\": " << AddrTaken << "}";
+         << ", \"address_taken\": " << AddrTaken
+         << ", \"termination\": \""
+         << terminationName(Ctx->buildTermination()) << "\"}";
     FirstJson = false;
   }
   Json << "\n  ]";
+  if (Budget)
+    Json << ",\n  \"budget\": " << budgetJsonObject(*Budget);
   if (adt::pointsToRepr() == adt::PtsRepr::Persistent)
     Json << ",\n  \"ptscache\": " << ptsCacheJsonObject();
   Json << "\n}\n";

@@ -40,6 +40,9 @@ struct Row {
   double VersT = 0;
   double VsfsMainT = 0;
   uint64_t VsfsMem = 0;
+  /// Completed, or the first exhaustion hit while producing this row (the
+  /// row's numbers are then partial and excluded from the ratio means).
+  Termination Status = Termination::Completed;
 
   double vsfsTotalT() const { return VersT + VsfsMainT; }
   double timeDiff() const { return SfsT / std::max(vsfsTotalT(), 1e-9); }
@@ -48,26 +51,39 @@ struct Row {
   }
 };
 
-std::string rowsJson(const std::vector<Row> &Rows, uint32_t Runs) {
+std::string rowsJson(const std::vector<Row> &Rows, uint32_t Runs,
+                     const ResourceBudget *Budget) {
   std::ostringstream OS;
-  OS << "{\n  \"schema\": \"vsfs-table3-v1\",\n  \"runs\": " << Runs
+  OS << "{\n  \"schema\": \"vsfs-table3-v2\",\n  \"runs\": " << Runs
      << ",\n  \"pts_repr\": \"" << adt::ptsReprName(adt::pointsToRepr())
      << "\",\n  \"benchmarks\": [";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const Row &R = Rows[I];
     char Buf[512];
-    std::snprintf(Buf, sizeof(Buf),
-                  "%s    {\"name\": \"%s\", \"andersen_seconds\": %.6f, "
-                  "\"sfs_seconds\": %.6f, \"sfs_bytes\": %llu, "
-                  "\"versioning_seconds\": %.6f, \"vsfs_main_seconds\": "
-                  "%.6f, \"vsfs_bytes\": %llu, \"time_diff\": %.4f, "
-                  "\"mem_diff\": %.4f}",
-                  I == 0 ? "\n" : ",\n", R.Name.c_str(), R.AndersenT, R.SfsT,
-                  (unsigned long long)R.SfsMem, R.VersT, R.VsfsMainT,
-                  (unsigned long long)R.VsfsMem, R.timeDiff(), R.memDiff());
+    if (R.Status == Termination::Completed) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s    {\"name\": \"%s\", \"andersen_seconds\": %.6f, "
+                    "\"sfs_seconds\": %.6f, \"sfs_bytes\": %llu, "
+                    "\"versioning_seconds\": %.6f, \"vsfs_main_seconds\": "
+                    "%.6f, \"vsfs_bytes\": %llu, \"time_diff\": %.4f, "
+                    "\"mem_diff\": %.4f, \"termination\": \"completed\"}",
+                    I == 0 ? "\n" : ",\n", R.Name.c_str(), R.AndersenT,
+                    R.SfsT, (unsigned long long)R.SfsMem, R.VersT,
+                    R.VsfsMainT, (unsigned long long)R.VsfsMem, R.timeDiff(),
+                    R.memDiff());
+    } else {
+      // Cancelled rows carry no ratios: their numbers are partial and a
+      // diff computed from them would be meaningless.
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s    {\"name\": \"%s\", \"termination\": \"%s\"}",
+                    I == 0 ? "\n" : ",\n", R.Name.c_str(),
+                    terminationName(R.Status));
+    }
     OS << Buf;
   }
   OS << "\n  ]";
+  if (Budget)
+    OS << ",\n  \"budget\": " << budgetJsonObject(*Budget);
   if (adt::pointsToRepr() == adt::PtsRepr::Persistent)
     OS << ",\n  \"ptscache\": " << ptsCacheJsonObject();
   OS << "\n}\n";
@@ -79,9 +95,16 @@ std::string rowsJson(const std::vector<Row> &Rows, uint32_t Runs) {
 int main(int Argc, char **Argv) {
   uint32_t Runs = 1;
   std::string JsonPath;
-  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath);
+  ResourceBudget::Limits Limits;
+  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath, &Limits);
   if (Suite.empty())
     return 0;
+  // One budget for the whole table; rows after exhaustion report their
+  // termination instead of silently publishing truncated numbers.
+  std::unique_ptr<ResourceBudget> Budget;
+  if (Limits.TimeBudgetSeconds > 0 || Limits.MemBudgetBytes != 0 ||
+      Limits.StepBudget != 0)
+    Budget = std::make_unique<ResourceBudget>(Limits);
 
   std::printf("Table III: analysis time (seconds) and points-to memory\n"
               "(%u run%s per analysis; times are main phase only)\n\n", Runs,
@@ -99,38 +122,66 @@ int main(int Argc, char **Argv) {
   for (const auto &Spec : Suite) {
     Row R;
     R.Name = Spec.Name;
+    core::SolverOptions SolverOpts;
+    SolverOpts.Budget = Budget.get();
     for (uint32_t Run = 0; Run < Runs; ++Run) {
       // Andersen: timed inside the pipeline build. SFS on that pipeline.
       {
-        auto Ctx = buildPipeline(Spec);
+        auto Ctx = buildPipeline(Spec, /*ConnectAuxIndirectCalls=*/false,
+                                 Budget.get());
         R.AndersenT += Ctx->andersenSeconds() / Runs;
-        auto SFS = Runner.run(*Ctx, "sfs");
+        if (!Ctx->isBuilt()) {
+          R.Status = Ctx->buildTermination();
+          break;
+        }
+        auto SFS = Runner.run(*Ctx, "sfs", SolverOpts);
         R.SfsT += SFS.SolveSeconds / Runs;
         R.SfsMem = std::max(R.SfsMem, SFS.Analysis->footprintBytes());
+        if (SFS.Status != Termination::Completed) {
+          R.Status = SFS.Status;
+          break;
+        }
       }
       // VSFS on a fresh pipeline (no shared SVFG mutations).
       {
-        auto Ctx = buildPipeline(Spec);
-        auto VSFS = Runner.run(*Ctx, "vsfs");
+        auto Ctx = buildPipeline(Spec, /*ConnectAuxIndirectCalls=*/false,
+                                 Budget.get());
+        if (!Ctx->isBuilt()) {
+          R.Status = Ctx->buildTermination();
+          break;
+        }
+        auto VSFS = Runner.run(*Ctx, "vsfs", SolverOpts);
         double VersSecs =
             static_cast<const core::VersionedFlowSensitive &>(*VSFS.Analysis)
                 .versioningSeconds();
         R.VersT += VersSecs / Runs;
         R.VsfsMainT += (VSFS.SolveSeconds - VersSecs) / Runs;
         R.VsfsMem = std::max(R.VsfsMem, VSFS.Analysis->footprintBytes());
+        if (VSFS.Status != Termination::Completed) {
+          R.Status = VSFS.Status;
+          break;
+        }
       }
     }
 
-    TimeDiffs.push_back(R.timeDiff());
-    MemDiffs.push_back(R.memDiff());
-    std::printf(
-        "%s",
-        T.row({R.Name, formatDouble(R.AndersenT, 3), formatDouble(R.SfsT, 3),
-               formatBytes(R.SfsMem), formatDouble(R.VersT, 3),
-               formatDouble(R.VsfsMainT, 3), formatDouble(R.vsfsTotalT(), 3),
-               formatBytes(R.VsfsMem), formatRatio(R.timeDiff()),
-               formatRatio(R.memDiff())})
-            .c_str());
+    if (R.Status == Termination::Completed) {
+      TimeDiffs.push_back(R.timeDiff());
+      MemDiffs.push_back(R.memDiff());
+      std::printf(
+          "%s",
+          T.row({R.Name, formatDouble(R.AndersenT, 3),
+                 formatDouble(R.SfsT, 3), formatBytes(R.SfsMem),
+                 formatDouble(R.VersT, 3), formatDouble(R.VsfsMainT, 3),
+                 formatDouble(R.vsfsTotalT(), 3), formatBytes(R.VsfsMem),
+                 formatRatio(R.timeDiff()), formatRatio(R.memDiff())})
+              .c_str());
+    } else {
+      std::printf("%s", T.row({R.Name,
+                               std::string("cancelled (") +
+                                   terminationName(R.Status) + ")",
+                               "-", "-", "-", "-", "-", "-", "-", "-"})
+                            .c_str());
+    }
     Rows.push_back(std::move(R));
   }
 
@@ -151,6 +202,6 @@ int main(int Argc, char **Argv) {
       "versioning time is a shrinking fraction as programs grow.\n");
 
   if (!JsonPath.empty())
-    writeJson(JsonPath, rowsJson(Rows, Runs));
+    writeJson(JsonPath, rowsJson(Rows, Runs, Budget.get()));
   return 0;
 }

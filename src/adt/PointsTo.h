@@ -53,10 +53,35 @@ public:
   PointsTo()
       : IsPersistent(adt::pointsToRepr() == adt::PtsRepr::Persistent) {}
 
-  PointsTo(const PointsTo &) = default;
-  PointsTo(PointsTo &&) noexcept = default;
-  PointsTo &operator=(const PointsTo &) = default;
-  PointsTo &operator=(PointsTo &&) noexcept = default;
+  // The special members maintain adt::livePersistentSets(), the count of
+  // instances pinning a non-empty interned ID (what blocks a cache drain).
+  // Empty instances carry ID 0, which survives a clear, so only non-empty
+  // handles are counted.
+  PointsTo(const PointsTo &O)
+      : SBV(O.SBV), Pers(O.Pers), IsPersistent(O.IsPersistent) {
+    retainHandle();
+  }
+  PointsTo(PointsTo &&O) noexcept
+      : SBV(std::move(O.SBV)), Pers(O.Pers), IsPersistent(O.IsPersistent) {
+    retainHandle(); // The moved-from set keeps (and stays counted for) its ID.
+  }
+  PointsTo &operator=(const PointsTo &O) {
+    releaseHandle();
+    SBV = O.SBV;
+    Pers = O.Pers;
+    IsPersistent = O.IsPersistent;
+    retainHandle();
+    return *this;
+  }
+  PointsTo &operator=(PointsTo &&O) noexcept {
+    releaseHandle();
+    SBV = std::move(O.SBV);
+    Pers = O.Pers;
+    IsPersistent = O.IsPersistent;
+    retainHandle();
+    return *this;
+  }
+  ~PointsTo() { releaseHandle(); }
 
   /// Which representation this instance latched.
   bool isPersistent() const { return IsPersistent; }
@@ -80,37 +105,28 @@ public:
   bool set(uint32_t Idx) {
     if (!IsPersistent)
       return SBV.set(Idx);
-    adt::PersistentPointsTo New = Pers.with(Idx);
-    bool Changed = New != Pers;
-    Pers = New;
-    return Changed;
+    return rebind(Pers.with(Idx));
   }
 
   /// Clears bit \p Idx; returns true if the bit was previously set.
   bool reset(uint32_t Idx) {
     if (!IsPersistent)
       return SBV.reset(Idx);
-    adt::PersistentPointsTo New = Pers.without(Idx);
-    bool Changed = New != Pers;
-    Pers = New;
-    return Changed;
+    return rebind(Pers.without(Idx));
   }
 
   /// Removes all bits.
   void clear() {
     if (!IsPersistent)
       return SBV.clear();
-    Pers = adt::PersistentPointsTo();
+    rebind(adt::PersistentPointsTo());
   }
 
   /// Unions \p RHS into this set; returns true if any bit was added.
   bool unionWith(const PointsTo &RHS) {
     if (!IsPersistent)
       return SBV.unionWith(RHS.bits());
-    adt::PersistentPointsTo New = Pers.unionedWith(RHS.persistentView());
-    bool Changed = New != Pers;
-    Pers = New;
-    return Changed;
+    return rebind(Pers.unionedWith(RHS.persistentView()));
   }
 
   PointsTo &operator|=(const PointsTo &RHS) {
@@ -122,10 +138,7 @@ public:
   bool intersectWith(const PointsTo &RHS) {
     if (!IsPersistent)
       return SBV.intersectWith(RHS.bits());
-    adt::PersistentPointsTo New = Pers.intersectedWith(RHS.persistentView());
-    bool Changed = New != Pers;
-    Pers = New;
-    return Changed;
+    return rebind(Pers.intersectedWith(RHS.persistentView()));
   }
 
   PointsTo &operator&=(const PointsTo &RHS) {
@@ -138,10 +151,7 @@ public:
   bool intersectWithComplement(const PointsTo &RHS) {
     if (!IsPersistent)
       return SBV.intersectWithComplement(RHS.bits());
-    adt::PersistentPointsTo New = Pers.subtracted(RHS.persistentView());
-    bool Changed = New != Pers;
-    Pers = New;
-    return Changed;
+    return rebind(Pers.subtracted(RHS.persistentView()));
   }
 
   /// Returns true if every bit of \p RHS is set in this set.
@@ -180,6 +190,26 @@ private:
   /// interning of its bits otherwise (the mixed-representation path).
   adt::PersistentPointsTo persistentView() const {
     return IsPersistent ? Pers : adt::PersistentPointsTo::fromBits(SBV);
+  }
+
+  void retainHandle() {
+    if (IsPersistent && Pers.id() != adt::EmptyPointsToID)
+      ++adt::livePersistentSets();
+  }
+  void releaseHandle() {
+    if (IsPersistent && Pers.id() != adt::EmptyPointsToID)
+      --adt::livePersistentSets();
+  }
+
+  /// Rebinds the interned handle, keeping the live-handle count in step
+  /// with empty↔non-empty transitions; returns whether the set changed.
+  bool rebind(adt::PersistentPointsTo New) {
+    if (New == Pers)
+      return false;
+    releaseHandle();
+    Pers = New;
+    retainHandle();
+    return true;
   }
 
   adt::SparseBitVector SBV;      ///< Owned payload (sbv mode; else empty).

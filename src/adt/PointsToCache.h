@@ -94,6 +94,18 @@ inline bool parsePtsRepr(std::string_view Value, PtsRepr &Out) {
   return false;
 }
 
+/// Number of live persistent-mode \c vsfs::PointsTo instances holding a
+/// non-empty ID. Maintained by the facade's constructors, mutators and
+/// destructor; \c PointsToCache::drainIfIdle() consults it to know when a
+/// \c clear() cannot invalidate anything (empty sets are ID 0, which
+/// survives a clear, so they don't pin the cache — in particular the
+/// function-local `static const PointsTo Empty` sentinels some accessors
+/// return never block a drain).
+inline uint64_t &livePersistentSets() {
+  static uint64_t Count = 0;
+  return Count;
+}
+
 /// RAII representation switch for tests and benches: selects \p Repr for
 /// the scope, restores the previous selection on exit.
 class PtsReprScope {
@@ -285,6 +297,7 @@ public:
     G.get("op-cache-misses") = OpMisses;
     G.get("intern-hits") = InternHits;
     G.get("intern-misses") = InternMisses;
+    G.get("drains") = Drains;
     return G;
   }
 
@@ -310,6 +323,25 @@ public:
     InternedBytes = 0;
     resetStats();
   }
+
+  /// Clears the cache iff no non-empty persistent set is live — the safe
+  /// point between independent runs where interned sets from a finished
+  /// analysis must not count against the next run's memory budget.
+  /// Returns whether it fired; the cumulative \c drains() counter (which
+  /// survives \c clear() and \c resetStats()) proves it did.
+  bool drainIfIdle() {
+    if (numUniqueSets() <= 1)
+      return false; // Nothing beyond the empty set: a drain would be a no-op.
+    if (livePersistentSets() != 0)
+      return false; // An outstanding ID would dangle.
+    clear();
+    ++Drains;
+    return true;
+  }
+
+  /// Times \c drainIfIdle() actually cleared the cache, over the process
+  /// lifetime.
+  uint64_t drains() const { return Drains; }
 
 private:
   static uint64_t pairKey(uint32_t A, uint32_t B) {
@@ -370,6 +402,7 @@ private:
   uint64_t InternMisses = 0;
   uint64_t InternedBytes = 0;
   uint64_t BaselineBytes = 0;
+  uint64_t Drains = 0;
 };
 
 } // namespace adt

@@ -255,6 +255,10 @@ void Andersen::solve() {
   const uint64_t CollapsePeriod =
       std::max<uint64_t>(50000, static_cast<uint64_t>(Pts.size()));
   while (!WorkList.empty()) {
+    if (Opts.Budget && !Opts.Budget->checkpoint()) {
+      Term = Opts.Budget->status();
+      break; // Cooperative cancellation: keep the monotone partial state.
+    }
     uint32_t N = rep(WorkList.pop());
     processNode(N);
     if (++ProcessedSinceCollapse >= CollapsePeriod) {

@@ -22,6 +22,7 @@
 #include "adt/WorkList.h"
 #include "andersen/CallGraph.h"
 #include "ir/Module.h"
+#include "support/Budget.h"
 #include "support/Statistics.h"
 
 #include <unordered_set>
@@ -41,13 +42,24 @@ public:
     /// Collapse pointer-equivalent variables before solving (offline
     /// variable substitution, see andersen/OVS.h). Precision-neutral.
     bool OfflineSubstitution = false;
+    /// Cooperative resource governor polled by the solve loop; null (the
+    /// default) disables polling entirely. Not owned; must outlive the
+    /// analysis. Never step-governed here — the auxiliary analysis is the
+    /// degradation anchor, bounded only by the deadline/memory ceilings.
+    ResourceBudget *Budget = nullptr;
   };
 
   Andersen(ir::Module &M, Options Opts);
   explicit Andersen(ir::Module &M) : Andersen(M, Options()) {}
 
-  /// Solves to a fixed point. Idempotent.
+  /// Solves to a fixed point — or until the configured budget cancels it.
+  /// Idempotent.
   void solve();
+
+  /// How solve() ended; anything but Completed means the points-to sets
+  /// are a partial (under-approximate) state, unusable as a sound
+  /// degradation target.
+  Termination termination() const { return Term; }
 
   /// Points-to set of a top-level variable.
   const PointsTo &ptsOfVar(ir::VarID V) const;
@@ -132,6 +144,7 @@ private:
 
   uint64_t ProcessedSinceCollapse = 0;
   bool Solved = false;
+  Termination Term = Termination::Completed;
 };
 
 } // namespace andersen

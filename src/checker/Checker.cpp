@@ -132,6 +132,8 @@ std::string vsfs::checker::printFinding(const Module &M, const Finding &F) {
     S += " never freed";
     break;
   }
+  if (F.AuxPrecision)
+    S += " [aux-precision]";
   return S;
 }
 

@@ -61,6 +61,12 @@ struct Finding {
   /// Where the badness began: the free (uaf/dfree), the load that produced
   /// the null pointer (null-deref), or the allocation itself (leak).
   ir::InstID Source;
+  /// The backend behind this finding was the auxiliary (flow-insensitive)
+  /// analysis substituted by budget degradation, not the flow-sensitive
+  /// analysis the user asked for: the finding is sound but reported at
+  /// aux precision (expect more false positives). Metadata only — findings
+  /// compare equal regardless, so degraded results stay comparable.
+  bool AuxPrecision = false;
 
   bool operator==(const Finding &O) const {
     return Kind == O.Kind && Sink == O.Sink && Obj == O.Obj &&

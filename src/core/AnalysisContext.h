@@ -19,11 +19,13 @@
 #ifndef VSFS_CORE_ANALYSISCONTEXT_H
 #define VSFS_CORE_ANALYSISCONTEXT_H
 
+#include "adt/PointsToCache.h"
 #include "andersen/Andersen.h"
 #include "ir/IRBuilder.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "memssa/MemSSA.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 #include "svfg/SVFG.h"
 
@@ -59,39 +61,85 @@ public:
   /// \p ConnectAuxIndirectCalls: wire Andersen-resolved indirect calls into
   /// the SVFG eagerly (required when solving with OnTheFlyCallGraph=false).
   /// \p AndersenOpts configures the auxiliary solver.
+  /// \p Budget, when non-null, governs construction (not owned): each stage
+  /// runs under its own phase ("andersen", "memssa", "svfg"; none of them
+  /// step-governed — the step budget is reserved for the flow-sensitive
+  /// solvers, and the auxiliary analysis is the degradation anchor a
+  /// step-exhausted run falls back to). On exhaustion the pipeline stops
+  /// after the offending stage: a partial Andersen is kept (its monotone
+  /// state is a sound under-approximation), while a partial memory SSA or
+  /// SVFG is discarded so no solver can run on it. Check buildTermination().
   ///
-  /// Building is one-shot: the first call fixes the pipeline. A repeated
-  /// call with the same options is a no-op returning true; a repeated call
-  /// with *different* options returns false and leaves the existing
-  /// pipeline untouched — callers must check, or they would silently run
-  /// against an SVFG built under other assumptions (e.g. missing the
-  /// eagerly connected indirect calls that OnTheFlyCallGraph=false needs).
+  /// Building is one-shot: the first call fixes the pipeline (even when it
+  /// was cancelled). A repeated call with the same options returns whether
+  /// a complete pipeline exists; a repeated call with *different* options
+  /// returns false and leaves the existing pipeline untouched — callers
+  /// must check, or they would silently run against an SVFG built under
+  /// other assumptions (e.g. missing the eagerly connected indirect calls
+  /// that OnTheFlyCallGraph=false needs).
   bool build(bool ConnectAuxIndirectCalls = false,
-             andersen::Andersen::Options AndersenOpts = {}) {
-    if (Graph)
-      return ConnectAuxIndirectCalls == BuiltConnectAux &&
+             andersen::Andersen::Options AndersenOpts = {},
+             ResourceBudget *Budget = nullptr) {
+    if (Attempted)
+      return isBuilt() && ConnectAuxIndirectCalls == BuiltConnectAux &&
              AndersenOpts.OfflineSubstitution ==
                  BuiltAndersenOpts.OfflineSubstitution;
+    Attempted = true;
     BuiltConnectAux = ConnectAuxIndirectCalls;
     BuiltAndersenOpts = AndersenOpts;
+
+    // A fresh pipeline build is the natural drain point for the
+    // process-global interning cache: sets from a torn-down previous
+    // context are dead by now, and nothing of this context is interned
+    // yet. No-op while any persistent set is still live.
+    if (adt::pointsToRepr() == adt::PtsRepr::Persistent)
+      adt::PointsToCache::get().drainIfIdle();
+
     Timer T;
+    if (Budget) {
+      Budget->beginPhase("andersen", /*StepGoverned=*/false);
+      AndersenOpts.Budget = Budget;
+    }
     Aux = std::make_unique<andersen::Andersen>(M, AndersenOpts);
     Aux->solve();
     AndersenSecs = T.seconds();
+    BuildStatus = Aux->termination();
+    if (BuildStatus != Termination::Completed)
+      return false; // Partial aux state kept; later stages never run.
 
     T.start();
-    SSA = std::make_unique<memssa::MemSSA>(M, *Aux);
+    if (Budget)
+      Budget->beginPhase("memssa", /*StepGoverned=*/false);
+    SSA = std::make_unique<memssa::MemSSA>(M, *Aux, Budget);
     MemSSASecs = T.seconds();
+    if (Budget && Budget->exhausted()) {
+      BuildStatus = Budget->status();
+      SSA.reset(); // Partial SSA form must never reach the SVFG builder.
+      return false;
+    }
 
     T.start();
+    if (Budget)
+      Budget->beginPhase("svfg", /*StepGoverned=*/false);
     Graph = std::make_unique<svfg::SVFG>(M, *Aux, *SSA,
-                                         ConnectAuxIndirectCalls);
+                                         ConnectAuxIndirectCalls, Budget);
     SVFGSecs = T.seconds();
+    if (Budget && Budget->exhausted()) {
+      BuildStatus = Budget->status();
+      Graph.reset(); // Partial graph: solvers must not run on it.
+      return false;
+    }
     return true;
   }
 
-  /// True once build() has run; accessors below are only valid then.
+  /// True once build() has produced a complete pipeline; svfg()/memSSA()
+  /// are only valid then (andersen() is valid whenever build() ran at all,
+  /// including cancelled builds — possibly holding partial monotone state).
   bool isBuilt() const { return Graph != nullptr; }
+  /// How construction ended: Completed, or the budget status of the stage
+  /// that exhausted it (the stage's partial output is discarded, except
+  /// Andersen's, whose monotone partial state is kept).
+  Termination buildTermination() const { return BuildStatus; }
   /// Whether the SVFG was built with Andersen-resolved indirect calls
   /// connected eagerly (what OnTheFlyCallGraph=false solving requires).
   bool builtWithAuxIndirectCalls() const { return BuiltConnectAux; }
@@ -112,8 +160,10 @@ private:
   std::unique_ptr<andersen::Andersen> Aux;
   std::unique_ptr<memssa::MemSSA> SSA;
   std::unique_ptr<svfg::SVFG> Graph;
+  bool Attempted = false;
   bool BuiltConnectAux = false;
   andersen::Andersen::Options BuiltAndersenOpts;
+  Termination BuildStatus = Termination::Completed;
   double AndersenSecs = 0, MemSSASecs = 0, SVFGSecs = 0;
 };
 

@@ -48,9 +48,9 @@ AnalysisRunner &AnalysisRunner::registry() {
     Reg.add({"iter",
              {"dense"},
              "dense iterative ICFG data-flow analysis (SIV-A baseline)",
-             [](AnalysisContext &Ctx, const SolverOptions &) {
+             [](AnalysisContext &Ctx, const SolverOptions &Opts) {
                return std::make_unique<IterativeFlowSensitive>(
-                   Ctx.module(), Ctx.andersen());
+                   Ctx.module(), Ctx.andersen(), Opts.Budget);
              }});
     Reg.add({"sfs",
              {},
@@ -58,6 +58,7 @@ AnalysisRunner &AnalysisRunner::registry() {
              [](AnalysisContext &Ctx, const SolverOptions &Opts) {
                FlowSensitive::Options O;
                O.OnTheFlyCallGraph = Opts.OnTheFlyCallGraph;
+               O.Budget = Opts.Budget;
                return std::make_unique<FlowSensitive>(Ctx.svfg(), O);
              }});
     Reg.add({"vsfs",
@@ -67,6 +68,7 @@ AnalysisRunner &AnalysisRunner::registry() {
                VersionedFlowSensitive::Options O;
                O.OnTheFlyCallGraph = Opts.OnTheFlyCallGraph;
                O.LabelRep = Opts.LabelRep;
+               O.Budget = Opts.Budget;
                return std::make_unique<VersionedFlowSensitive>(Ctx.svfg(),
                                                                O);
              }});
@@ -118,10 +120,41 @@ AnalysisRunner::run(AnalysisContext &Ctx, std::string_view Name,
   assert((Opts.OnTheFlyCallGraph || Ctx.builtWithAuxIndirectCalls()) &&
          "aux-call-graph solving needs ConnectAuxIndirectCalls at build");
   R.Name = E->Name;
+  if (Opts.Budget) {
+    // Drain the process-global interning cache if no live persistent set
+    // pins it: a previous degraded/failed run's sets are gone by now, and
+    // reclaiming them is what keeps the memory meter honest across the
+    // independent runs of an --analysis=all session.
+    if (adt::pointsToRepr() == adt::PtsRepr::Persistent)
+      adt::PointsToCache::get().drainIfIdle();
+    // One step-governed phase per flow-sensitive solver; the auxiliary
+    // analysis was governed (deadline/memory only) during the build.
+    Opts.Budget->beginPhase(E->Name.c_str(),
+                            /*StepGoverned=*/E->Name != "ander");
+  }
   R.Analysis = E->Make(Ctx, Opts);
   Timer T;
   R.Analysis->solve();
   R.SolveSeconds = T.seconds();
+  R.Status = R.Analysis->termination();
+  if (R.Status == Termination::Completed)
+    return R;
+  switch (Opts.Policy) {
+  case SolverOptions::OnExhaustion::Degrade:
+    // Sound degradation needs a *completed* over-approximation to stand
+    // in; a cancelled auxiliary analysis cannot provide one, so the run
+    // falls through to failure semantics (Degraded stays false).
+    if (Ctx.andersen().termination() == Termination::Completed) {
+      R.Analysis = std::make_unique<AndersenResult>(Ctx.andersen());
+      R.Degraded = true;
+    }
+    break;
+  case SolverOptions::OnExhaustion::Partial:
+    R.Partial = true;
+    break;
+  case SolverOptions::OnExhaustion::Fail:
+    break;
+  }
   return R;
 }
 
@@ -174,14 +207,19 @@ void jsonCounters(std::ostringstream &OS, int Indent, const StatGroup &G) {
 std::string vsfs::core::statsJson(
     const AnalysisContext &Ctx,
     const std::vector<AnalysisRunner::RunResult> &Results,
-    const std::vector<StatGroup> *ClientGroups) {
+    const std::vector<StatGroup> *ClientGroups,
+    const ResourceBudget *Budget) {
   const ir::Module &M = Ctx.module();
   std::ostringstream OS;
   OS << "{\n";
   jsonKey(OS, 2, "schema");
-  OS << "\"vsfs-stats-v1\",\n";
+  OS << "\"vsfs-stats-v2\",\n";
   jsonKey(OS, 2, "pts_repr");
   OS << '"' << adt::ptsReprName(adt::pointsToRepr()) << "\",\n";
+  // How the pipeline build itself ended; a cancelled build has no
+  // pipeline section below.
+  jsonKey(OS, 2, "termination");
+  OS << '"' << terminationName(Ctx.buildTermination()) << "\",\n";
 
   jsonKey(OS, 2, "module");
   OS << "{\n";
@@ -194,20 +232,28 @@ std::string vsfs::core::statsJson(
   jsonKey(OS, 4, "objects");
   OS << M.symbols().numObjects() << "\n  },\n";
 
-  jsonKey(OS, 2, "pipeline");
-  OS << "{\n";
-  jsonKey(OS, 4, "andersen_seconds");
-  OS << jsonDouble(Ctx.andersenSeconds()) << ",\n";
-  jsonKey(OS, 4, "memssa_seconds");
-  OS << jsonDouble(Ctx.memSSASeconds()) << ",\n";
-  jsonKey(OS, 4, "svfg_seconds");
-  OS << jsonDouble(Ctx.svfgSeconds()) << ",\n";
-  jsonKey(OS, 4, "svfg_nodes");
-  OS << Ctx.svfg().numNodes() << ",\n";
-  jsonKey(OS, 4, "svfg_direct_edges");
-  OS << Ctx.svfg().numDirectEdges() << ",\n";
-  jsonKey(OS, 4, "svfg_indirect_edges");
-  OS << Ctx.svfg().numIndirectEdges() << "\n  },\n";
+  if (Ctx.isBuilt()) {
+    jsonKey(OS, 2, "pipeline");
+    OS << "{\n";
+    jsonKey(OS, 4, "andersen_seconds");
+    OS << jsonDouble(Ctx.andersenSeconds()) << ",\n";
+    jsonKey(OS, 4, "memssa_seconds");
+    OS << jsonDouble(Ctx.memSSASeconds()) << ",\n";
+    jsonKey(OS, 4, "svfg_seconds");
+    OS << jsonDouble(Ctx.svfgSeconds()) << ",\n";
+    jsonKey(OS, 4, "svfg_nodes");
+    OS << Ctx.svfg().numNodes() << ",\n";
+    jsonKey(OS, 4, "svfg_direct_edges");
+    OS << Ctx.svfg().numDirectEdges() << ",\n";
+    jsonKey(OS, 4, "svfg_indirect_edges");
+    OS << Ctx.svfg().numIndirectEdges() << "\n  },\n";
+  }
+
+  if (Budget) {
+    jsonKey(OS, 2, "budget");
+    jsonCounters(OS, 2, Budget->statGroup());
+    OS << ",\n";
+  }
 
   // The interning cache's counters, present exactly when the persistent
   // representation produced them (the group is process-global, so it sits
@@ -227,6 +273,12 @@ std::string vsfs::core::statsJson(
     OS << '"' << R.Name << "\",\n";
     jsonKey(OS, 6, "solve_seconds");
     OS << jsonDouble(R.SolveSeconds) << ",\n";
+    jsonKey(OS, 6, "termination");
+    OS << '"' << terminationName(R.Status) << "\",\n";
+    jsonKey(OS, 6, "degraded");
+    OS << (R.Degraded ? "true" : "false") << ",\n";
+    jsonKey(OS, 6, "partial");
+    OS << (R.Partial ? "true" : "false") << ",\n";
     jsonKey(OS, 6, "pts_sets_stored");
     OS << R.Analysis->numPtsSetsStored() << ",\n";
     jsonKey(OS, 6, "footprint_bytes");

@@ -53,6 +53,7 @@ public:
     return A.callGraph();
   }
   const StatGroup &stats() const override { return A.stats(); }
+  Termination termination() const override { return A.termination(); }
   uint64_t numPtsSetsStored() const override;
   uint64_t footprintBytes() const override;
 
@@ -69,6 +70,21 @@ struct SolverOptions {
   bool OnTheFlyCallGraph = true;
   /// Meld-label representation for VSFS's pre-analysis (§V-B ablation).
   MeldRep LabelRep = MeldRep::SparseBits;
+  /// Resource governor polled by the solve (not owned); null = ungoverned.
+  /// AnalysisRunner::run opens one step-governed phase per flow-sensitive
+  /// solver ("iter"/"sfs"/"vsfs"; "ander" is never step-governed).
+  ResourceBudget *Budget = nullptr;
+  /// What run() does when the governed solve exhausts its budget:
+  ///  - Fail: return the exhausted result untouched; the caller treats the
+  ///    run as failed (the CLI exits 3/4 without printing points-to sets).
+  ///  - Degrade: substitute the solved auxiliary Andersen result — sound,
+  ///    flow-insensitively precise — and flag the run Degraded. Requires a
+  ///    completed auxiliary analysis; otherwise falls back to Fail.
+  ///  - Partial: keep the solver's monotone in-flight state and flag the
+  ///    run Partial (a sound under-approximation: sets may be missing
+  ///    targets; never use it to prove absence of aliasing).
+  enum class OnExhaustion : uint8_t { Fail, Degrade, Partial };
+  OnExhaustion Policy = OnExhaustion::Fail;
 };
 
 /// The registry: analysis name → factory over a built AnalysisContext.
@@ -105,6 +121,15 @@ public:
     std::string Name; ///< Canonical (registered) name.
     std::unique_ptr<PointerAnalysisResult> Analysis;
     double SolveSeconds = 0;
+    /// How the solve ended. Stays the exhaustion cause even when the
+    /// Degrade policy substituted the auxiliary result.
+    Termination Status = Termination::Completed;
+    /// Analysis was replaced by the auxiliary Andersen result (sound
+    /// over-approximation at flow-insensitive precision).
+    bool Degraded = false;
+    /// Analysis holds the solver's monotone in-flight state (sound
+    /// under-approximation; sets may be missing targets).
+    bool Partial = false;
   };
 
   /// Builds the named solver over \p Ctx (which must already be built) and
@@ -122,18 +147,27 @@ private:
 std::string statsText(const AnalysisRunner::RunResult &R);
 
 /// Renders the whole session — pipeline timings/sizes and every run's
-/// statistics — as machine-readable JSON (schema "vsfs-stats-v1"), so
+/// statistics — as machine-readable JSON (schema "vsfs-stats-v2"), so
 /// benchmark trajectories can be collected mechanically (--stats-json).
+/// v2 adds a per-analysis "termination"/"degraded"/"partial" triple, a
+/// session-level "termination" (the pipeline build's status), an optional
+/// "budget" group, and the interning cache's "drains" counter; see
+/// docs/ROBUSTNESS.md for the delta.
 ///
 /// \p ClientGroups, when non-null, carries one extra counter group per run
 /// (parallel to \p Results) contributed by an analysis client — e.g. the
 /// bug checkers' per-kind TP/FP/FN counts. Non-empty groups are emitted
 /// under their group name ("client_counters" when unnamed); the core stays
 /// ignorant of what the counters mean.
+///
+/// \p Budget, when non-null, adds its statGroup() under "budget". The
+/// pipeline section is emitted only for a completely built context, so a
+/// budget-cancelled build still renders valid JSON.
 std::string
 statsJson(const AnalysisContext &Ctx,
           const std::vector<AnalysisRunner::RunResult> &Results,
-          const std::vector<StatGroup> *ClientGroups = nullptr);
+          const std::vector<StatGroup> *ClientGroups = nullptr,
+          const ResourceBudget *Budget = nullptr);
 
 } // namespace core
 } // namespace vsfs

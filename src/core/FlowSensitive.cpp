@@ -12,7 +12,7 @@ using svfg::NodeKind;
 
 FlowSensitive::FlowSensitive(svfg::SVFG &G, Options Opts)
     : SparseSolverBase(G.module(), G.auxAnalysis(), "sfs",
-                       Opts.OnTheFlyCallGraph),
+                       Opts.OnTheFlyCallGraph, Opts.Budget),
       G(G) {
   In.assign(G.numNodes(), {});
   Out.assign(G.numNodes(), {});
@@ -24,6 +24,8 @@ void FlowSensitive::solve() {
   for (NodeID N = 0; N < G.numNodes(); ++N)
     WL.push(N);
   while (!WL.empty()) {
+    if (!pollBudget())
+      break; // Budget exhausted; IN/OUT state stays monotone and usable.
     ++NodeVisits;
     processNode(WL.pop());
   }

@@ -46,6 +46,9 @@ public:
     /// Resolve indirect calls with flow-sensitive points-to sets as the
     /// analysis runs. When false, the auxiliary call graph is used as-is.
     bool OnTheFlyCallGraph = true;
+    /// Cooperative resource governor polled by the solve loop; null
+    /// disables polling. Not owned; must outlive the solver.
+    ResourceBudget *Budget = nullptr;
   };
 
   FlowSensitive(svfg::SVFG &G, Options Opts);

@@ -9,9 +9,10 @@ using namespace vsfs::core;
 using namespace vsfs::ir;
 
 IterativeFlowSensitive::IterativeFlowSensitive(Module &M,
-                                               const andersen::Andersen &Ander)
+                                               const andersen::Andersen &Ander,
+                                               ResourceBudget *Budget)
     : SparseSolverBase(M, Ander, "iterative-fs",
-                       /*OnTheFlyCallGraph=*/false),
+                       /*OnTheFlyCallGraph=*/false, Budget),
       Ander(Ander), Graph(M, [&Ander](InstID CS) {
         return Ander.callGraph().callees(CS);
       }) {
@@ -35,6 +36,8 @@ void IterativeFlowSensitive::solve() {
   for (InstID I = 0; I < M.numInstructions(); ++I)
     WL.push(I);
   while (!WL.empty()) {
+    if (!pollBudget())
+      break; // Budget exhausted; IN/OUT state stays monotone and usable.
     ++NodeVisits;
     process(WL.pop());
   }

@@ -44,7 +44,10 @@ class IterativeFlowSensitive
   friend class SparseSolverBase<IterativeFlowSensitive>;
 
 public:
-  IterativeFlowSensitive(ir::Module &M, const andersen::Andersen &Ander);
+  /// \p Budget, when non-null, governs the solve loop cooperatively (not
+  /// owned; must outlive the solver).
+  IterativeFlowSensitive(ir::Module &M, const andersen::Andersen &Ander,
+                         ResourceBudget *Budget = nullptr);
 
   void solve() override;
 

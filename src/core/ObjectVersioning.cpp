@@ -17,8 +17,8 @@ using svfg::NodeID;
 using svfg::NodeKind;
 
 ObjectVersioning::ObjectVersioning(const svfg::SVFG &G, bool OnTheFlyCallGraph,
-                                   MeldRep Rep)
-    : G(G), OTF(OnTheFlyCallGraph), Rep(Rep) {}
+                                   MeldRep Rep, ResourceBudget *Budget)
+    : G(G), OTF(OnTheFlyCallGraph), Rep(Rep), Budget(Budget) {}
 
 void ObjectVersioning::run() {
   if (Ran)
@@ -117,6 +117,10 @@ void ObjectVersioning::meld() {
       EdgesByObj[E.Obj].emplace_back(N, E.Dst);
 
   for (auto &[Obj, Edges] : EdgesByObj) {
+    // Cooperative cancellation between per-object fixpoints: finished
+    // objects keep their melded labels, unreached ones fall back to ε.
+    if (Budget && !Budget->checkpoint())
+      return;
     // Local node numbering: consume side of every endpoint, plus a
     // dedicated source node per store's yield. Init is the ID allocator:
     // one label slot per local node.
@@ -185,6 +189,8 @@ void ObjectVersioning::meld() {
       for (uint32_t L = 0; L < Init.size(); ++L)
         CompLabel[SCCs.ComponentOf[L]].unionWith(Init[L]);
       for (uint32_t C = SCCs.NumComponents; C-- > 0;) {
+        if (Budget && !Budget->checkpoint())
+          return; // Abandon this object mid-sweep: its labels stay ε.
         for (uint32_t S : CompSuccs[C]) {
           ++MeldOps;
           CompLabel[S].unionWith(CompLabel[C]);
@@ -200,6 +206,8 @@ void ObjectVersioning::meld() {
         CompId[C] = Store.meld(CompId[C], Store.fromBits(Init[L]));
       }
       for (uint32_t C = SCCs.NumComponents; C-- > 0;) {
+        if (Budget && !Budget->checkpoint())
+          return; // Abandon this object mid-sweep: its labels stay ε.
         for (uint32_t S : CompSuccs[C]) {
           ++MeldOps;
           CompId[S] = Store.meld(CompId[S], CompId[C]);

@@ -29,6 +29,7 @@
 #define VSFS_CORE_OBJECTVERSIONING_H
 
 #include "adt/SparseBitVector.h"
+#include "support/Budget.h"
 #include "support/Statistics.h"
 #include "svfg/SVFG.h"
 
@@ -56,9 +57,14 @@ public:
   /// consumed versions so late call edges stay sound; when false, all call
   /// edges are static and no δ prelabels are needed. \p Rep selects the
   /// meld-label representation (a §V-B ablation; the final versions are
-  /// identical either way).
+  /// identical either way). \p Budget, when non-null, is polled during the
+  /// meld fixpoint (not owned; must outlive the pre-analysis): on
+  /// exhaustion melding stops early and unreached positions keep their ε
+  /// version — a consistent under-approximate labelling the caller must
+  /// not solve on (VSFS checks the budget after run()).
   ObjectVersioning(const svfg::SVFG &G, bool OnTheFlyCallGraph,
-                   MeldRep Rep = MeldRep::SparseBits);
+                   MeldRep Rep = MeldRep::SparseBits,
+                   ResourceBudget *Budget = nullptr);
 
   /// Runs prelabelling + meld labelling + version interning. Idempotent.
   void run();
@@ -107,6 +113,7 @@ private:
   const svfg::SVFG &G;
   bool OTF;
   MeldRep Rep;
+  ResourceBudget *Budget;
   uint32_t NumObjects = 0;
 
   /// (node << 32 | obj) -> melded consume-side label.

@@ -14,6 +14,7 @@
 #include "adt/PointsTo.h"
 #include "andersen/CallGraph.h"
 #include "ir/Module.h"
+#include "support/Budget.h"
 #include "support/Statistics.h"
 
 namespace vsfs {
@@ -29,9 +30,17 @@ class PointerAnalysisResult {
 public:
   virtual ~PointerAnalysisResult() = default;
 
-  /// Runs the analysis to its fixed point. Idempotent: repeated calls
+  /// Runs the analysis to its fixed point — or to resource exhaustion when
+  /// a ResourceBudget governs it, in which case \c termination() names the
+  /// exhausted resource and the stored state is a consistent monotone
+  /// under-approximation of the fixed point. Idempotent: repeated calls
   /// return immediately.
   virtual void solve() = 0;
+
+  /// How the last \c solve() ended. \c Termination::Completed means the
+  /// fixed point was reached; anything else means the solve was cancelled
+  /// cooperatively (docs/ROBUSTNESS.md) and the results are partial.
+  virtual Termination termination() const { return Termination::Completed; }
 
   /// The final points-to set of a top-level variable.
   virtual const PointsTo &ptsOfVar(ir::VarID V) const = 0;

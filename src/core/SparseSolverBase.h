@@ -89,14 +89,19 @@ public:
   const PointsTo &ptsOfVar(ir::VarID V) const override { return VarPts[V]; }
   const andersen::CallGraph &callGraph() const override { return FSCG; }
   const StatGroup &stats() const override { return Stats; }
+  Termination termination() const override { return Term; }
 
 protected:
   /// Seeds the shared state. Direct call edges are always adopted from the
   /// auxiliary call graph; indirect ones only when \p OnTheFlyCallGraph is
   /// false (the derived solver then never discovers callees itself).
+  /// \p Budget, when non-null, governs the solve loop cooperatively (not
+  /// owned; must outlive the solver).
   SparseSolverBase(ir::Module &M, const andersen::Andersen &Aux,
-                   std::string StatName, bool OnTheFlyCallGraph)
-      : M(M), OnTheFlyCG(OnTheFlyCallGraph), Stats(std::move(StatName)),
+                   std::string StatName, bool OnTheFlyCallGraph,
+                   ResourceBudget *Budget = nullptr)
+      : M(M), OnTheFlyCG(OnTheFlyCallGraph), Budget(Budget),
+        Stats(std::move(StatName)),
         NodeVisits(Stats.counter("node-visits")),
         Propagations(Stats.counter("propagations")) {
     VarPts.assign(M.symbols().numVars(), {});
@@ -119,6 +124,17 @@ protected:
       return false;
     Solved = true;
     return true;
+  }
+
+  /// Cooperative cancellation point for the derived solve loops: true
+  /// while solving may continue. On exhaustion records the termination
+  /// status; the loop must break, leaving the (monotone, consistent)
+  /// in-flight state in place. With no budget this is a null test.
+  bool pollBudget() {
+    if (!Budget || Budget->checkpoint())
+      return true;
+    Term = Budget->status();
+    return false;
   }
 
   /// The shared instruction switch. Returns whether the instruction's
@@ -215,6 +231,9 @@ protected:
 
   ir::Module &M;
   const bool OnTheFlyCG;
+  /// The governing budget (nullable, not owned) and how the solve ended.
+  ResourceBudget *Budget;
+  Termination Term = Termination::Completed;
 
   /// pt(v) for every top-level variable (global: partial SSA single-def).
   std::vector<PointsTo> VarPts;

@@ -12,8 +12,8 @@ using svfg::NodeKind;
 
 VersionedFlowSensitive::VersionedFlowSensitive(svfg::SVFG &G, Options Opts)
     : SparseSolverBase(G.module(), G.auxAnalysis(), "vsfs",
-                       Opts.OnTheFlyCallGraph),
-      G(G), OV(G, Opts.OnTheFlyCallGraph, Opts.LabelRep),
+                       Opts.OnTheFlyCallGraph, Opts.Budget),
+      G(G), OV(G, Opts.OnTheFlyCallGraph, Opts.LabelRep, Opts.Budget),
       VersionVisits(Stats.counter("version-visits")) {}
 
 void VersionedFlowSensitive::solve() {
@@ -25,18 +25,36 @@ void VersionedFlowSensitive::solve() {
   VGSuccs.assign(OV.numVersions(), {});
   VGEdgeSet.assign(OV.numVersions(), {});
   Consumers.assign(OV.numVersions(), {});
+  // A budget exhausted during the pre-analysis cancels the main phase too:
+  // the version tables above keep the accessors valid (everything reads as
+  // the empty, monotone bottom state), but building the version graph and
+  // solving on a partially melded labelling would be wasted effort.
+  if (!pollBudget()) {
+    Stats.get("versions") = OV.numVersions();
+    Stats.get("pts-sets-stored") = numPtsSetsStored();
+    return;
+  }
   buildVersionGraph();
 
   for (NodeID N = 0; N < G.numNodes(); ++N)
     if (G.node(N).Kind == NodeKind::Inst)
       NodeWL.push(N);
 
-  while (!NodeWL.empty() || !VersionWL.empty()) {
+  bool Live = true;
+  while (Live && (!NodeWL.empty() || !VersionWL.empty())) {
     while (!NodeWL.empty()) {
+      if (!pollBudget()) {
+        Live = false;
+        break; // Budget exhausted; version state stays monotone and usable.
+      }
       ++NodeVisits;
       processNode(NodeWL.pop());
     }
-    while (!VersionWL.empty()) {
+    while (Live && !VersionWL.empty()) {
+      if (!pollBudget()) {
+        Live = false;
+        break;
+      }
       ++VersionVisits;
       processVersion(VersionWL.pop());
     }

@@ -51,6 +51,11 @@ public:
     bool OnTheFlyCallGraph = true;
     /// Meld-label representation for the pre-analysis (§V-B ablation).
     MeldRep LabelRep = MeldRep::SparseBits;
+    /// Cooperative resource governor polled by the meld pre-analysis and
+    /// the main solve loop (one shared step meter — pre-analysis effort
+    /// counts against the solver's step budget); null disables polling.
+    /// Not owned; must outlive the solver.
+    ResourceBudget *Budget = nullptr;
   };
 
   VersionedFlowSensitive(svfg::SVFG &G, Options Opts);

@@ -27,12 +27,16 @@ PointsTo filterStorageObjects(const PointsTo &P, const SymbolTable &Syms) {
 
 } // namespace
 
-MemSSA::MemSSA(Module &M, const andersen::Andersen &Ander)
-    : M(M), Ander(Ander) {
+MemSSA::MemSSA(Module &M, const andersen::Andersen &Ander,
+               ResourceBudget *Budget)
+    : M(M), Ander(Ander), Budget(Budget) {
   computeModRef();
   annotate();
-  for (FunID F = 0; F < M.numFunctions(); ++F)
+  for (FunID F = 0; F < M.numFunctions(); ++F) {
+    if (Budget && !Budget->checkpoint())
+      break; // Cancelled: partial form; the pipeline stops after this phase.
     buildFunctionSSA(F);
+  }
   Stats.get("defs") = Defs.size();
   Stats.get("mus") = Mus.size();
 }
@@ -62,6 +66,8 @@ void MemSSA::computeModRef() {
   for (FunID F = 0; F < NumFuns; ++F)
     Work.push(F);
   while (!Work.empty()) {
+    if (Budget && !Budget->checkpoint())
+      return; // Cancelled mid-closure; construction stops at the next gate.
     FunID F = Work.pop();
     for (InstID CS : Ander.callGraph().callers(F)) {
       FunID Caller = M.inst(CS).Parent;
@@ -75,6 +81,8 @@ void MemSSA::computeModRef() {
 
 void MemSSA::annotate() {
   for (InstID I = 0; I < M.numInstructions(); ++I) {
+    if (Budget && !Budget->checkpoint())
+      return; // Cancelled mid-annotation; construction stops shortly after.
     const Instruction &Inst = M.inst(I);
     switch (Inst.Kind) {
     case InstKind::Load: {

@@ -28,6 +28,7 @@
 #include "adt/PointsTo.h"
 #include "andersen/Andersen.h"
 #include "ir/Module.h"
+#include "support/Budget.h"
 #include "support/Statistics.h"
 
 #include <unordered_map>
@@ -79,8 +80,13 @@ public:
     DefID Reaching = InvalidDef;
   };
 
-  /// Builds the SSA form. \p Ander must already be solved.
-  MemSSA(ir::Module &M, const andersen::Andersen &Ander);
+  /// Builds the SSA form. \p Ander must already be solved. \p Budget, when
+  /// non-null, is polled during construction (not owned): on exhaustion
+  /// the build stops early, leaving a partial form the pipeline must not
+  /// hand to the SVFG builder (AnalysisContext::build checks the budget
+  /// after this phase).
+  MemSSA(ir::Module &M, const andersen::Andersen &Ander,
+         ResourceBudget *Budget = nullptr);
 
   const std::vector<Def> &defs() const { return Defs; }
   const std::vector<Mu> &mus() const { return Mus; }
@@ -114,6 +120,7 @@ private:
 
   ir::Module &M;
   const andersen::Andersen &Ander;
+  ResourceBudget *Budget;
 
   std::vector<PointsTo> Mod, Ref;
   std::unordered_map<ir::InstID, PointsTo> ChiSets, MuSets;

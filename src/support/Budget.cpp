@@ -1,0 +1,175 @@
+//===- Budget.cpp - Resource governor slow path ---------------------------===//
+
+#include "support/Budget.h"
+
+#include "support/FaultInjection.h"
+#include "support/MemUsage.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace vsfs {
+
+const char *terminationName(Termination T) {
+  switch (T) {
+  case Termination::Completed:
+    return "completed";
+  case Termination::Deadline:
+    return "deadline";
+  case Termination::Memory:
+    return "memory";
+  case Termination::Steps:
+    return "steps";
+  case Termination::Fault:
+    return "fault";
+  }
+  return "completed";
+}
+
+bool parseTermination(std::string_view Name, Termination &Out) {
+  for (Termination T :
+       {Termination::Completed, Termination::Deadline, Termination::Memory,
+        Termination::Steps, Termination::Fault}) {
+    if (Name == terminationName(T)) {
+      Out = T;
+      return true;
+    }
+  }
+  return false;
+}
+
+ResourceBudget::ResourceBudget(Limits L) : Lim(L), BaseRSS(peakRSSBytes()) {}
+
+void ResourceBudget::beginPhase(const char *Name, bool Governed) {
+  // Materialise the partial stride of the phase we are leaving.
+  TotalSteps += stepsSinceLastPoll();
+  Phase = Name;
+  StepGoverned = Governed;
+  StepsUsed = 0;
+  // Steps exhaustion is phase-local; memory pressure may have receded
+  // (e.g. a degraded run dropped its state). Deadline and fault are
+  // terminal. The first checkpoint of the phase polls immediately, so a
+  // still-standing condition re-trips before any work is done.
+  if (Status == Termination::Steps)
+    Status = Termination::Completed;
+  if (Status == Termination::Memory &&
+      (Lim.MemBudgetBytes == 0 || PointsToBytes::live() <= Lim.MemBudgetBytes))
+    Status = Termination::Completed;
+  Countdown = Stride = 1;
+}
+
+bool ResourceBudget::poll() {
+  ++Polls;
+  StepsUsed += Stride;
+  TotalSteps += Stride;
+  if (Status != Termination::Completed) {
+    Countdown = Stride = 1;
+    return false;
+  }
+  if (FaultInjection::active()) {
+    Termination F = FaultInjection::get().fire(Phase);
+    if (F != Termination::Completed) {
+      Status = F;
+      Countdown = Stride = 1;
+      return false;
+    }
+  }
+  if (StepGoverned && Lim.StepBudget && StepsUsed >= Lim.StepBudget)
+    Status = Termination::Steps;
+  else if (Lim.TimeBudgetSeconds > 0 &&
+           Clock.seconds() >= Lim.TimeBudgetSeconds)
+    Status = Termination::Deadline;
+  else if (Lim.MemBudgetBytes &&
+           (PointsToBytes::live() > Lim.MemBudgetBytes ||
+            peakRSSBytes() - BaseRSS > Lim.MemBudgetBytes))
+    Status = Termination::Memory;
+  if (Status != Termination::Completed) {
+    Countdown = Stride = 1;
+    return false;
+  }
+  armCountdown();
+  return true;
+}
+
+void ResourceBudget::armCountdown() {
+  uint64_t S = DefaultStride;
+  if (StepGoverned && Lim.StepBudget) {
+    // Land a poll exactly on the budget boundary so exhaustion is
+    // detected with zero overshoot (deterministic step accounting).
+    uint64_t Remaining = Lim.StepBudget - StepsUsed;
+    S = std::min<uint64_t>(S, Remaining);
+  }
+  Stride = Countdown = static_cast<uint32_t>(std::max<uint64_t>(S, 1));
+}
+
+StatGroup ResourceBudget::statGroup() const {
+  StatGroup G("budget");
+  G.get("checkpoints") = totalSteps();
+  G.get("polls") = Polls;
+  G.get("phase-steps") = phaseSteps();
+  G.get("step-budget") = Lim.StepBudget;
+  if (Lim.StepBudget)
+    G.get("steps-remaining") =
+        Lim.StepBudget > phaseSteps() ? Lim.StepBudget - phaseSteps() : 0;
+  G.get("time-budget-ms") =
+      static_cast<uint64_t>(Lim.TimeBudgetSeconds * 1000.0);
+  if (Lim.TimeBudgetSeconds > 0) {
+    double Left = Lim.TimeBudgetSeconds - Clock.seconds();
+    G.get("time-remaining-ms") =
+        Left > 0 ? static_cast<uint64_t>(Left * 1000.0) : 0;
+  }
+  G.get("mem-budget-bytes") = Lim.MemBudgetBytes;
+  if (Lim.MemBudgetBytes) {
+    uint64_t Live = PointsToBytes::live();
+    G.get("mem-remaining-bytes") =
+        Live < Lim.MemBudgetBytes ? Lim.MemBudgetBytes - Live : 0;
+  }
+  return G;
+}
+
+bool FaultInjection::parseSpec(std::string_view Spec, Termination &K,
+                               uint64_t &AtPoll, std::string &PhaseFilter) {
+  size_t At = Spec.find('@');
+  if (At == std::string_view::npos)
+    return false;
+  Termination Kind;
+  if (!parseTermination(Spec.substr(0, At), Kind) ||
+      Kind == Termination::Completed)
+    return false;
+  std::string_view Rest = Spec.substr(At + 1);
+  std::string Phase;
+  size_t Colon = Rest.find(':');
+  if (Colon != std::string_view::npos) {
+    Phase = std::string(Rest.substr(Colon + 1));
+    Rest = Rest.substr(0, Colon);
+  }
+  if (Rest.empty())
+    return false;
+  uint64_t N = 0;
+  for (char C : Rest) {
+    if (C < '0' || C > '9')
+      return false;
+    N = N * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (N == 0)
+    return false;
+  K = Kind;
+  AtPoll = N;
+  PhaseFilter = std::move(Phase);
+  return true;
+}
+
+bool FaultInjection::armFromEnv() {
+  const char *Spec = std::getenv("VSFS_FAULT_INJECT");
+  if (!Spec || !*Spec)
+    return true;
+  Termination K;
+  uint64_t AtPoll;
+  std::string Phase;
+  if (!parseSpec(Spec, K, AtPoll, Phase))
+    return false;
+  arm(K, AtPoll, std::move(Phase));
+  return true;
+}
+
+} // namespace vsfs

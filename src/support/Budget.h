@@ -1,0 +1,140 @@
+//===- Budget.h - Resource governor for cooperative cancellation -*- C++ -*-===//
+///
+/// \file
+/// The resource governor behind graceful degradation (docs/ROBUSTNESS.md).
+///
+/// A \c ResourceBudget bundles the three limits a production deployment
+/// cares about — a wall-clock deadline, a points-to-memory ceiling and a
+/// solver-step budget — behind one cheap, amortised \c checkpoint() that
+/// every worklist loop polls cooperatively: Andersen's solve, the three
+/// flow-sensitive solvers (ITER/SFS/VSFS), VSFS's meld-labelling
+/// pre-analysis, and MemSSA/SVFG construction. Exhaustion never aborts the
+/// process: \c checkpoint() starts returning false, the loop breaks at a
+/// consistent (monotone) intermediate state, and the phase reports a
+/// structured \c Termination status. Policy — fail, expose the partial
+/// state, or degrade to the auxiliary Andersen result — is applied above,
+/// in \c AnalysisRunner and the CLI driver.
+///
+/// The fast path is a single counter decrement and branch; the limit
+/// checks (clock read, byte counters, deterministic fault injection) run
+/// only in the out-of-line \c poll() every \c DefaultStride checkpoints.
+/// Solvers hold a *nullable* budget pointer: with no budget configured the
+/// pointer is null, no checkpoint is ever taken, and results are
+/// bit-identical to an ungoverned run by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SUPPORT_BUDGET_H
+#define VSFS_SUPPORT_BUDGET_H
+
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace vsfs {
+
+/// How a governed phase ended. \c Completed means the fixed point (or full
+/// construction) was reached; every other value names the exhausted
+/// resource. \c Fault is an injected or detected internal failure
+/// (support/FaultInjection.h) — it shares the cancellation machinery so a
+/// simulated allocation failure unwinds exactly like a real limit.
+enum class Termination : uint8_t {
+  Completed = 0,
+  Deadline, ///< Wall-clock budget exceeded.
+  Memory,   ///< Points-to live bytes or RSS growth exceeded the ceiling.
+  Steps,    ///< Solver-step budget for the phase exhausted.
+  Fault,    ///< Injected/internal fault surfaced at a checkpoint.
+};
+
+/// Lower-case status name as emitted in --stats-json ("completed", ...).
+const char *terminationName(Termination T);
+
+/// Parses a \c terminationName() spelling; returns false when unknown.
+bool parseTermination(std::string_view Name, Termination &Out);
+
+/// Wall-clock + memory + step limits with a cooperative checkpoint.
+///
+/// Phases: the pipeline calls \c beginPhase() as it enters each stage
+/// ("andersen", "memssa", "svfg", then one per solver run). The step meter
+/// is per-phase and only armed for flow-sensitive solver phases
+/// (StepGoverned) — the step budget bounds flow-sensitive effort, while
+/// the deadline and the memory ceiling govern the entire pipeline
+/// including the auxiliary analysis (which must be allowed to finish for
+/// degradation to have a sound target). Deadline and fault exhaustion are
+/// terminal; steps (phase-local by definition) and memory (pressure may
+/// recede when a degraded run's state is dropped) are re-evaluated at the
+/// next \c beginPhase().
+class ResourceBudget {
+public:
+  struct Limits {
+    double TimeBudgetSeconds = 0; ///< 0 = no deadline.
+    uint64_t MemBudgetBytes = 0;  ///< 0 = no memory ceiling.
+    uint64_t StepBudget = 0;      ///< 0 = no step limit; per governed phase.
+  };
+
+  ResourceBudget() : ResourceBudget(Limits{}) {}
+  explicit ResourceBudget(Limits L);
+
+  /// Enters a new pipeline phase: names it (for fault-injection filters
+  /// and diagnostics), resets the per-phase step meter, and arms or
+  /// disarms step governance.
+  void beginPhase(const char *Name, bool StepGoverned);
+
+  /// The cooperative cancellation point. Returns true while the phase may
+  /// continue; once it returns false it keeps returning false until a
+  /// \c beginPhase() re-arms a recoverable condition. Each call counts as
+  /// one solver step; limits are only inspected every \c stride() calls.
+  bool checkpoint() {
+    if (--Countdown != 0)
+      return Status == Termination::Completed;
+    return poll();
+  }
+
+  Termination status() const { return Status; }
+  bool exhausted() const { return Status != Termination::Completed; }
+  const char *phase() const { return Phase; }
+  const Limits &limits() const { return Lim; }
+
+  uint64_t totalSteps() const { return TotalSteps + stepsSinceLastPoll(); }
+  uint64_t phaseSteps() const { return StepsUsed + stepsSinceLastPoll(); }
+  uint64_t polls() const { return Polls; }
+
+  /// Whether any limit is configured (an all-zero budget still polls, so
+  /// fault injection works, but can never exhaust on its own).
+  bool anyLimit() const {
+    return Lim.TimeBudgetSeconds > 0 || Lim.MemBudgetBytes != 0 ||
+           Lim.StepBudget != 0;
+  }
+
+  /// Snapshot for --stats-json's "budget" group: checkpoints polled and
+  /// budget remaining at finish (docs/ROBUSTNESS.md lists the keys).
+  StatGroup statGroup() const;
+
+private:
+  /// Slow path: materialise the steps taken since the last poll, run the
+  /// fault-injection hook and the limit checks, re-arm the countdown.
+  bool poll();
+  void armCountdown();
+  uint64_t stepsSinceLastPoll() const { return Stride - Countdown; }
+
+  static constexpr uint32_t DefaultStride = 64;
+
+  Limits Lim;
+  Termination Status = Termination::Completed;
+  const char *Phase = "";
+  bool StepGoverned = false;
+  uint64_t StepsUsed = 0;  ///< Steps in the current phase (poll-granular).
+  uint64_t TotalSteps = 0; ///< Steps across all phases (poll-granular).
+  uint64_t Polls = 0;
+  uint32_t Countdown = 1; ///< Checkpoints until the next poll.
+  uint32_t Stride = 1;    ///< What Countdown was last armed to.
+  Timer Clock;            ///< Deadline base: budget construction.
+  uint64_t BaseRSS;       ///< peakRSSBytes() at construction; the memory
+                          ///< ceiling bounds growth, not the absolute RSS.
+};
+
+} // namespace vsfs
+
+#endif // VSFS_SUPPORT_BUDGET_H

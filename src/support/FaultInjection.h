@@ -1,0 +1,98 @@
+//===- FaultInjection.h - Deterministic exhaustion injection ----*- C++ -*-===//
+///
+/// \file
+/// Deterministic fault injection for the resource governor, so every
+/// \c Termination kind and every degradation path is reachable in tests
+/// without sleeps or multi-GiB inputs (docs/ROBUSTNESS.md).
+///
+/// A plan is "simulate exhaustion kind K at the Nth budget poll whose
+/// phase matches F" — e.g. deadline at poll 3 of the vsfs phase, or a
+/// simulated allocation failure (\c Termination::Fault) at the first poll
+/// anywhere. Polls are the amortised slow path of
+/// \c ResourceBudget::checkpoint(), so firing there exercises exactly the
+/// cancellation route a real limit would take, and the poll ordinal is a
+/// deterministic function of the work done — no clocks involved.
+///
+/// Arming: tests call \c arm() directly; the CLI honours the environment
+/// variable \c VSFS_FAULT_INJECT ("kind@N" or "kind@N:phase", e.g.
+/// "fault@1:vsfs") via \c armFromEnv(). A plan fires once and disarms.
+/// When disarmed — the production state — the only cost is the inline
+/// \c active() flag test on the poll slow path; the solver fast path
+/// never sees it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SUPPORT_FAULTINJECTION_H
+#define VSFS_SUPPORT_FAULTINJECTION_H
+
+#include "support/Budget.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vsfs {
+
+/// Process-wide fault plan (the analyses are single-threaded).
+class FaultInjection {
+public:
+  static FaultInjection &get() {
+    static FaultInjection FI;
+    return FI;
+  }
+
+  /// True when a plan is armed; inlined so an unarmed check is one load.
+  static bool active() { return get().Kind != Termination::Completed; }
+
+  /// Arms: simulate \p K at the \p AtPoll-th (1-based) matching budget
+  /// poll. \p PhaseFilter restricts matching to polls taken in that phase
+  /// ("" matches every phase). Re-arming replaces any existing plan.
+  void arm(Termination K, uint64_t AtPoll, std::string PhaseFilter = "") {
+    Kind = K;
+    Target = AtPoll ? AtPoll : 1;
+    Seen = 0;
+    Filter = std::move(PhaseFilter);
+  }
+
+  void disarm() {
+    Kind = Termination::Completed;
+    Target = Seen = 0;
+    Filter.clear();
+  }
+
+  /// Called by ResourceBudget::poll() with the current phase. Counts
+  /// matching polls; on the Nth it disarms and returns the simulated
+  /// exhaustion kind, otherwise Termination::Completed.
+  Termination fire(const char *Phase) {
+    if (Kind == Termination::Completed)
+      return Termination::Completed;
+    if (!Filter.empty() && Filter != Phase)
+      return Termination::Completed;
+    if (++Seen < Target)
+      return Termination::Completed;
+    Termination K = Kind;
+    disarm();
+    return K;
+  }
+
+  /// Parses "kind@N[:phase]" where kind is a terminationName() spelling
+  /// other than "completed". Returns false (leaving outputs untouched) on
+  /// a malformed spec.
+  static bool parseSpec(std::string_view Spec, Termination &K,
+                        uint64_t &AtPoll, std::string &PhaseFilter);
+
+  /// Arms from $VSFS_FAULT_INJECT if set. Returns false when the variable
+  /// is set but malformed (callers should treat that as a usage error —
+  /// a typo must not silently disable an intended fault).
+  bool armFromEnv();
+
+private:
+  Termination Kind = Termination::Completed;
+  uint64_t Target = 0;
+  uint64_t Seen = 0;
+  std::string Filter;
+};
+
+} // namespace vsfs
+
+#endif // VSFS_SUPPORT_FAULTINJECTION_H

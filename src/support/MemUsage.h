@@ -17,6 +17,7 @@
 #ifndef VSFS_SUPPORT_MEMUSAGE_H
 #define VSFS_SUPPORT_MEMUSAGE_H
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 
@@ -38,7 +39,13 @@ public:
       Peak = Live;
   }
 
-  static void release(size_t Bytes) { Live -= Bytes; }
+  /// A release that outpaces retains (a double-release bug) must not wrap
+  /// the counter — the resource governor compares \c live() against the
+  /// memory budget, and a wrapped value reads as instant exhaustion.
+  static void release(size_t Bytes) {
+    assert(Bytes <= Live && "PointsToBytes release underflow");
+    Live -= Bytes <= Live ? Bytes : Live;
+  }
 
   static uint64_t live() { return Live; }
   static uint64_t peak() { return Peak; }

@@ -12,11 +12,21 @@ using memssa::InvalidDef;
 using memssa::MemSSA;
 
 SVFG::SVFG(Module &M, const andersen::Andersen &Ander, const MemSSA &SSA,
-           bool ConnectAuxIndirectCalls)
-    : M(M), Ander(Ander), SSA(SSA) {
+           bool ConnectAuxIndirectCalls, ResourceBudget *Budget)
+    : M(M), Ander(Ander), SSA(SSA), Budget(Budget) {
+  // Each build stage gates on the previous one having completed: a
+  // cancelled buildNodes leaves the node table short, so the edge builders
+  // (which index it) must never run on a partial table.
+  auto Exhausted = [this] { return this->Budget && this->Budget->exhausted(); };
   buildNodes();
+  if (Exhausted())
+    return;
   buildDirectEdges();
+  if (Exhausted())
+    return;
   buildIndirectEdges();
+  if (Exhausted())
+    return;
   connectKnownCalls(ConnectAuxIndirectCalls);
 }
 
@@ -31,6 +41,8 @@ NodeID SVFG::makeNode(Node N) {
 void SVFG::buildNodes() {
   // Instruction nodes first so NodeID == InstID for them.
   for (InstID I = 0; I < M.numInstructions(); ++I) {
+    if (Budget && !Budget->checkpoint())
+      return; // Cancelled: the ctor gates the later build stages.
     const Instruction &Inst = M.inst(I);
     Node N;
     N.Kind = NodeKind::Inst;
@@ -43,6 +55,8 @@ void SVFG::buildNodes() {
   DefNode.assign(SSA.defs().size(), InvalidNode);
 
   for (DefID D = 0; D < SSA.defs().size(); ++D) {
+    if (Budget && !Budget->checkpoint())
+      return;
     const MemSSA::Def &Def = SSA.defs()[D];
     switch (Def.Kind) {
     case MemSSA::DefKind::StoreChi:
@@ -87,6 +101,8 @@ void SVFG::buildNodes() {
 
   // Call-mu and exit-mu uses get their own nodes too.
   for (const MemSSA::Mu &U : SSA.mus()) {
+    if (Budget && !Budget->checkpoint())
+      return;
     if (U.Kind == MemSSA::MuKind::CallMu) {
       Node N;
       N.Kind = NodeKind::CallMu;
@@ -136,6 +152,8 @@ void SVFG::buildDirectEdges() {
 
   std::vector<VarID> Uses;
   for (InstID I = 0; I < M.numInstructions(); ++I) {
+    if (Budget && !Budget->checkpoint())
+      return;
     Uses.clear();
     collectUsedVars(M.inst(I), Uses);
     for (VarID V : Uses)
@@ -148,6 +166,8 @@ void SVFG::buildIndirectEdges() {
   // χ operands: the old value of o flows into the redefining node
   // (weak-update path), and MemPhi operands flow into the phi.
   for (DefID D = 0; D < SSA.defs().size(); ++D) {
+    if (Budget && !Budget->checkpoint())
+      return;
     const MemSSA::Def &Def = SSA.defs()[D];
     if (Def.Operand != InvalidDef)
       addIndirectEdge(DefNode[Def.Operand], DefNode[D], Def.Obj);
@@ -158,6 +178,8 @@ void SVFG::buildIndirectEdges() {
 
   // μ uses: the reaching definition flows into the reading node.
   for (const MemSSA::Mu &U : SSA.mus()) {
+    if (Budget && !Budget->checkpoint())
+      return;
     if (U.Reaching == InvalidDef)
       continue;
     NodeID UseNode = InvalidNode;
@@ -180,6 +202,8 @@ void SVFG::buildIndirectEdges() {
 void SVFG::connectKnownCalls(bool ConnectAuxIndirectCalls) {
   std::vector<std::pair<NodeID, IndEdge>> Ignored;
   for (InstID CS : Ander.callGraph().callSites()) {
+    if (Budget && !Budget->checkpoint())
+      return;
     const Instruction &Call = M.inst(CS);
     if (Call.isIndirectCall() && !ConnectAuxIndirectCalls)
       continue;

@@ -21,6 +21,7 @@
 #define VSFS_SVFG_SVFG_H
 
 #include "memssa/MemSSA.h"
+#include "support/Budget.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -66,9 +67,15 @@ public:
   /// \p ConnectAuxIndirectCalls: when true, indirect-call value flows
   /// resolved by Andersen are wired eagerly (the solvers then need no
   /// on-the-fly resolution); when false, only direct calls are wired and
-  /// solvers call \c connectCallEdge as they discover targets.
+  /// solvers call \c connectCallEdge as they discover targets. \p Budget,
+  /// when non-null, is polled during construction (not owned): on
+  /// exhaustion the build stops early — later build stages never run on a
+  /// partially built node table — and the pipeline must not hand the
+  /// partial graph to a solver (AnalysisContext::build checks the budget
+  /// after this phase).
   SVFG(ir::Module &M, const andersen::Andersen &Ander,
-       const memssa::MemSSA &SSA, bool ConnectAuxIndirectCalls);
+       const memssa::MemSSA &SSA, bool ConnectAuxIndirectCalls,
+       ResourceBudget *Budget = nullptr);
 
   const ir::Module &module() const { return M; }
   ir::Module &module() { return M; }
@@ -157,6 +164,7 @@ private:
   ir::Module &M;
   const andersen::Andersen &Ander;
   const memssa::MemSSA &SSA;
+  ResourceBudget *Budget;
 
   std::vector<Node> Nodes;
   std::vector<std::vector<NodeID>> DirectSuccs;

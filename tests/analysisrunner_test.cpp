@@ -277,13 +277,20 @@ TEST(StatsJson, GoldenShapeForAllAnalyses) {
   expectWellFormedJson(J);
 
   // Top-level shape.
-  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v1\""), std::string::npos);
+  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v2\""), std::string::npos);
   for (const char *Key :
        {"\"module\"", "\"pipeline\"", "\"analyses\"", "\"instructions\"",
         "\"functions\"", "\"variables\"", "\"objects\"",
         "\"andersen_seconds\"", "\"memssa_seconds\"", "\"svfg_seconds\"",
         "\"svfg_nodes\"", "\"svfg_direct_edges\"", "\"svfg_indirect_edges\""})
     EXPECT_NE(J.find(Key), std::string::npos) << Key;
+
+  // v2: the pipeline's own termination plus a per-run status triple. All
+  // these runs were ungoverned, so everything reads completed/false.
+  EXPECT_NE(J.find("\"termination\": \"completed\""), std::string::npos);
+  EXPECT_EQ(countOccurrences(J, "\"termination\": "), Results.size() + 1);
+  EXPECT_EQ(countOccurrences(J, "\"degraded\": false"), Results.size());
+  EXPECT_EQ(countOccurrences(J, "\"partial\": false"), Results.size());
 
   // One analysis object per run, each with the per-run fields.
   EXPECT_EQ(countOccurrences(J, "\"name\": "), Results.size());

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Asserts the documented vsfs-wpa exit-code contract (docs/ROBUSTNESS.md):
+#   0 ok | 1 usage | 2 input error | 3 budget exhausted under fail |
+#   4 internal fault.
+# Usage: cli_exit_codes.sh <path-to-vsfs-wpa>
+set -u
+
+WPA=${1:?usage: cli_exit_codes.sh <path-to-vsfs-wpa>}
+FAILURES=0
+
+# expect <code> <description> -- <args...>  (runs $WPA "${args[@]}")
+expect() {
+  local want=$1 desc=$2
+  shift 3 # <code> <desc> --
+  "$WPA" "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got ($WPA $*)" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+# 0: a normal run, and --help.
+expect 0 "normal run"            -- --gen 3 --analysis=vsfs
+expect 0 "--help"                -- --help
+
+# 1: usage errors — unknown flag, unknown analysis, malformed budget
+#    flags, malformed fault-injection spec.
+expect 1 "unknown flag"          -- --gen 3 --bogus-flag
+expect 1 "unknown analysis"      -- --gen 3 --analysis=bogus
+expect 1 "bad --step-budget"     -- --gen 3 --step-budget=abc
+expect 1 "bad --time-budget"     -- --gen 3 --time-budget=-1
+expect 1 "bad --on-exhaustion"   -- --gen 3 --on-exhaustion=bogus
+VSFS_FAULT_INJECT="not-a-spec" "$WPA" --gen 3 >/dev/null 2>&1
+if [ $? -ne 1 ]; then
+  echo "FAIL: malformed VSFS_FAULT_INJECT should be a usage error" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: malformed VSFS_FAULT_INJECT (exit 1)"
+fi
+
+# 2: input errors — unreadable file.
+expect 2 "missing input file"    -- /nonexistent.ir
+
+# 3: budget exhausted under --on-exhaustion=fail; no result printed.
+OUT=$("$WPA" --bench du --analysis=vsfs --step-budget=1 \
+      --on-exhaustion=fail --print-pts 2>/dev/null)
+CODE=$?
+if [ "$CODE" -ne 3 ]; then
+  echo "FAIL: step exhaustion under fail: expected exit 3, got $CODE" >&2
+  FAILURES=$((FAILURES + 1))
+elif echo "$OUT" | grep -q "points-to sets"; then
+  echo "FAIL: exhausted fail run must not print points-to sets" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: step exhaustion under fail (exit 3, no result)"
+fi
+
+# 0 again: the same exhaustion under degrade succeeds at aux precision,
+# reporting termination=steps and degraded=true in --stats-json.
+JSON=$("$WPA" --bench du --analysis=vsfs --step-budget=1 \
+       --on-exhaustion=degrade --stats-json=- 2>/dev/null)
+CODE=$?
+if [ "$CODE" -ne 0 ]; then
+  echo "FAIL: degrade policy: expected exit 0, got $CODE" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! echo "$JSON" | grep -q '"termination": "steps"'; then
+  echo "FAIL: degraded run must report termination=steps" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! echo "$JSON" | grep -q '"degraded": true'; then
+  echo "FAIL: degraded run must report degraded=true" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: degrade policy (exit 0, termination=steps, degraded=true)"
+fi
+
+# Checker findings from a degraded run are stamped [aux-precision].
+OUT=$("$WPA" --gen 7 --inject-bugs --analysis=vsfs --check=all \
+      --step-budget=1 --on-exhaustion=degrade 2>/dev/null)
+CODE=$?
+if [ "$CODE" -ne 0 ]; then
+  echo "FAIL: degraded checker run: expected exit 0, got $CODE" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! echo "$OUT" | grep -q "aux-precision"; then
+  echo "FAIL: degraded checker findings must carry [aux-precision]" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: degraded checker findings carry [aux-precision]"
+fi
+
+# 4: an injected internal fault under fail.
+VSFS_FAULT_INJECT="fault@1:vsfs" "$WPA" --bench du --analysis=vsfs \
+  --on-exhaustion=fail >/dev/null 2>&1
+CODE=$?
+if [ "$CODE" -ne 4 ]; then
+  echo "FAIL: injected fault: expected exit 4, got $CODE" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: injected fault (exit 4)"
+fi
+
+# 4 during construction: a fault while building the SVFG is internal too.
+VSFS_FAULT_INJECT="fault@1:svfg" "$WPA" --bench du --analysis=vsfs \
+  --on-exhaustion=fail >/dev/null 2>&1
+CODE=$?
+if [ "$CODE" -ne 4 ]; then
+  echo "FAIL: build-phase fault: expected exit 4, got $CODE" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: build-phase fault (exit 4)"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES exit-code assertion(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code assertions passed"

@@ -347,9 +347,9 @@ TEST(PointsToCacheStats, GroupReportsAllCountersInKeyOrder) {
     Keys.push_back(Key);
   }
   EXPECT_EQ(Keys, (std::vector<std::string>{
-                      "baseline-bytes", "intern-hits", "intern-misses",
-                      "interned-bytes", "op-cache-hits", "op-cache-misses",
-                      "unique-sets"}));
+                      "baseline-bytes", "drains", "intern-hits",
+                      "intern-misses", "interned-bytes", "op-cache-hits",
+                      "op-cache-misses", "unique-sets"}));
   EXPECT_EQ(G.lookup("unique-sets"), cache().numUniqueSets());
 }
 

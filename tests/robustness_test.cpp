@@ -1,0 +1,502 @@
+//===- robustness_test.cpp - Resource governor & degradation ----*- C++ -*-===//
+///
+/// \file
+/// The robustness suite (label: robust; docs/ROBUSTNESS.md): step-exact
+/// budget accounting, deterministic fault injection reaching every
+/// Termination kind in every governed phase, the degradation ladder
+/// (fail / partial / degrade-to-Andersen) across the full benchmark
+/// suite, and teardown hygiene — a budget-cancelled run must leak no
+/// points-to bytes and must not wedge the interning cache. Everything is
+/// deterministic: no sleeps, no oversized inputs; exhaustion is reached
+/// by counting polls, not by racing a clock.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "adt/PointsTo.h"
+#include "adt/PointsToCache.h"
+#include "checker/Checker.h"
+#include "core/AnalysisRunner.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
+#include "support/MemUsage.h"
+#include "workload/BenchmarkSuite.h"
+
+#include <cstdlib>
+
+using namespace vsfs;
+using namespace vsfs::test;
+
+namespace {
+
+/// A pipeline-sized generated program that every solver finishes in
+/// milliseconds ungoverned, yet takes well over one poll stride of work —
+/// so an injected fault at poll N always lands mid-phase.
+workload::GenConfig smallConfig() {
+  workload::GenConfig C;
+  C.Seed = 11;
+  C.NumFunctions = 6;
+  return C;
+}
+
+/// Builds the pipeline under \p Budget (TestUtil's builders are
+/// ungoverned); the caller checks isBuilt()/buildTermination().
+std::unique_ptr<core::AnalysisContext>
+buildGoverned(const workload::GenConfig &Config, ResourceBudget *Budget) {
+  auto Module = workload::generateProgram(Config);
+  auto Ctx = std::make_unique<core::AnalysisContext>();
+  Ctx->module() = std::move(*Module);
+  Ctx->build(/*ConnectAuxIndirectCalls=*/false, {}, Budget);
+  return Ctx;
+}
+
+/// Every injectable exhaustion kind (everything but Completed).
+const Termination AllKinds[] = {Termination::Deadline, Termination::Memory,
+                                Termination::Steps, Termination::Fault};
+
+/// RAII guard: no test may leave a fault plan armed for its neighbours.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjection::get().disarm(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ResourceBudget unit behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(ResourceBudget, NoLimitsNeverExhaust) {
+  ResourceBudget B;
+  EXPECT_FALSE(B.anyLimit());
+  B.beginPhase("vsfs", /*StepGoverned=*/true);
+  for (int I = 0; I < 10000; ++I)
+    ASSERT_TRUE(B.checkpoint());
+  EXPECT_EQ(B.status(), Termination::Completed);
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.phaseSteps(), 10000u);
+}
+
+TEST(ResourceBudget, StepBudgetIsExactWithZeroOvershoot) {
+  // The countdown is re-armed to land a poll exactly on the boundary, so
+  // the Nth checkpoint — not N+stride — is the first to fail.
+  ResourceBudget B({/*Time*/ 0, /*Mem*/ 0, /*Steps*/ 100});
+  B.beginPhase("sfs", /*StepGoverned=*/true);
+  for (uint64_t Step = 1; Step <= 100; ++Step)
+    ASSERT_EQ(B.checkpoint(), Step < 100) << "at step " << Step;
+  EXPECT_EQ(B.status(), Termination::Steps);
+  EXPECT_EQ(B.phaseSteps(), 100u);
+  EXPECT_EQ(B.totalSteps(), 100u);
+}
+
+TEST(ResourceBudget, StepBudgetIgnoredInUngovernedPhase) {
+  // The auxiliary analysis and the SSA/SVFG builders are never
+  // step-governed: the step budget bounds flow-sensitive effort only.
+  ResourceBudget B({0, 0, /*Steps*/ 10});
+  B.beginPhase("andersen", /*StepGoverned=*/false);
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_TRUE(B.checkpoint());
+  EXPECT_EQ(B.status(), Termination::Completed);
+}
+
+TEST(ResourceBudget, StepExhaustionIsPhaseLocal) {
+  ResourceBudget B({0, 0, /*Steps*/ 8});
+  B.beginPhase("sfs", true);
+  while (B.checkpoint())
+    ;
+  EXPECT_EQ(B.status(), Termination::Steps);
+  // A later phase gets a fresh meter.
+  B.beginPhase("vsfs", true);
+  EXPECT_EQ(B.status(), Termination::Completed);
+  EXPECT_TRUE(B.checkpoint());
+  EXPECT_EQ(B.phaseSteps(), 1u);
+}
+
+TEST(ResourceBudget, DeadlineIsTerminalAcrossPhases) {
+  // A 1ns deadline is exceeded by the time any bounded amount of work has
+  // polled a few times; no later beginPhase() may resurrect the run.
+  ResourceBudget B({/*Time*/ 1e-9, 0, 0});
+  B.beginPhase("iter", true);
+  bool Exhausted = false;
+  for (int I = 0; I < 1000000 && !Exhausted; ++I)
+    Exhausted = !B.checkpoint();
+  ASSERT_TRUE(Exhausted);
+  EXPECT_EQ(B.status(), Termination::Deadline);
+  B.beginPhase("vsfs", true);
+  EXPECT_EQ(B.status(), Termination::Deadline);
+  EXPECT_FALSE(B.checkpoint());
+}
+
+TEST(ResourceBudget, MemoryExhaustionRecedesWithThePressure) {
+  // Pressure is simulated through the exact byte ledger (no real
+  // allocation, so the RSS term stays flat and the test is deterministic).
+  uint64_t Baseline = PointsToBytes::live();
+  ResourceBudget B({0, /*Mem*/ Baseline + (1u << 20), 0});
+  PointsToBytes::retain(8u << 20);
+  B.beginPhase("sfs", true);
+  EXPECT_FALSE(B.checkpoint());
+  EXPECT_EQ(B.status(), Termination::Memory);
+  // While pressure stands, a new phase re-trips immediately.
+  B.beginPhase("vsfs", true);
+  EXPECT_EQ(B.status(), Termination::Memory);
+  // The offending state was dropped (as the Degrade policy does): the
+  // next phase may proceed.
+  PointsToBytes::release(8u << 20);
+  B.beginPhase("vsfs", true);
+  EXPECT_EQ(B.status(), Termination::Completed);
+  EXPECT_TRUE(B.checkpoint());
+}
+
+TEST(ResourceBudget, PostExhaustionCheckpointsFailImmediately) {
+  // Once exhausted, the stride collapses to 1: a misbehaving loop that
+  // keeps polling is told to stop on every single call, and the status
+  // stays pinned (checkpoint calls are still counted — they happened).
+  ResourceBudget B({0, 0, /*Steps*/ 4});
+  B.beginPhase("sfs", true);
+  while (B.checkpoint())
+    ;
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(B.checkpoint());
+  EXPECT_EQ(B.status(), Termination::Steps);
+}
+
+TEST(ResourceBudget, StatGroupReportsRemainingBudgets) {
+  ResourceBudget B({0, 0, /*Steps*/ 100});
+  B.beginPhase("vsfs", true);
+  for (int I = 0; I < 60; ++I)
+    ASSERT_TRUE(B.checkpoint());
+  StatGroup G = B.statGroup();
+  EXPECT_EQ(G.get("step-budget"), 100u);
+  EXPECT_EQ(G.get("phase-steps"), 60u);
+  EXPECT_EQ(G.get("steps-remaining"), 40u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectionSpec, ParsesWellFormedSpecs) {
+  Termination K;
+  uint64_t N;
+  std::string Phase;
+  ASSERT_TRUE(FaultInjection::parseSpec("fault@1", K, N, Phase));
+  EXPECT_EQ(K, Termination::Fault);
+  EXPECT_EQ(N, 1u);
+  EXPECT_TRUE(Phase.empty());
+  ASSERT_TRUE(FaultInjection::parseSpec("deadline@37:vsfs", K, N, Phase));
+  EXPECT_EQ(K, Termination::Deadline);
+  EXPECT_EQ(N, 37u);
+  EXPECT_EQ(Phase, "vsfs");
+  ASSERT_TRUE(FaultInjection::parseSpec("memory@2:memssa", K, N, Phase));
+  EXPECT_EQ(K, Termination::Memory);
+  ASSERT_TRUE(FaultInjection::parseSpec("steps@10", K, N, Phase));
+  EXPECT_EQ(K, Termination::Steps);
+}
+
+TEST(FaultInjectionSpec, RejectsMalformedSpecs) {
+  Termination K;
+  uint64_t N;
+  std::string Phase;
+  for (const char *Bad : {"", "fault", "fault@", "fault@0", "fault@x",
+                          "fault@1x", "@1", "bogus@1", "completed@1"})
+    EXPECT_FALSE(FaultInjection::parseSpec(Bad, K, N, Phase)) << Bad;
+}
+
+TEST(FaultInjection, FiresAtNthMatchingPollThenDisarms) {
+  FaultGuard Guard;
+  FaultInjection::get().arm(Termination::Fault, 2, "vsfs");
+  ResourceBudget B; // No limits: only the injected fault can end it.
+  B.beginPhase("sfs", true);
+  for (int I = 0; I < 300; ++I) // Several polls in a non-matching phase.
+    ASSERT_TRUE(B.checkpoint());
+  B.beginPhase("vsfs", true);
+  uint64_t Survived = 0;
+  while (B.checkpoint())
+    ++Survived;
+  EXPECT_EQ(B.status(), Termination::Fault);
+  // Poll 1 happens at the first checkpoint of the phase, poll 2 one
+  // default stride later: the plan fired on the second matching poll.
+  EXPECT_EQ(Survived, 64u);
+  EXPECT_FALSE(FaultInjection::active()); // One-shot.
+}
+
+TEST(FaultInjection, ArmFromEnvHonoursAndValidatesTheVariable) {
+  FaultGuard Guard;
+  ::unsetenv("VSFS_FAULT_INJECT");
+  EXPECT_TRUE(FaultInjection::get().armFromEnv()); // Unset: fine, inactive.
+  EXPECT_FALSE(FaultInjection::active());
+  ::setenv("VSFS_FAULT_INJECT", "deadline@3:sfs", 1);
+  EXPECT_TRUE(FaultInjection::get().armFromEnv());
+  EXPECT_TRUE(FaultInjection::active());
+  FaultInjection::get().disarm();
+  // A typo must be a hard error, not a silently disabled fault.
+  ::setenv("VSFS_FAULT_INJECT", "deadlin@3", 1);
+  EXPECT_FALSE(FaultInjection::get().armFromEnv());
+  ::unsetenv("VSFS_FAULT_INJECT");
+}
+
+//===----------------------------------------------------------------------===//
+// Every Termination kind in every pipeline-construction phase
+//===----------------------------------------------------------------------===//
+
+TEST(BuildCancellation, EveryKindInEveryConstructionPhase) {
+  FaultGuard Guard;
+  for (const char *Phase : {"andersen", "memssa", "svfg"}) {
+    for (Termination Kind : AllKinds) {
+      SCOPED_TRACE(std::string(Phase) + "/" + terminationName(Kind));
+      FaultInjection::get().arm(Kind, 1, Phase);
+      ResourceBudget B;
+      auto Ctx = buildGoverned(smallConfig(), &B);
+      EXPECT_FALSE(Ctx->isBuilt());
+      EXPECT_EQ(Ctx->buildTermination(), Kind);
+      EXPECT_FALSE(FaultInjection::active());
+      // The degradation anchor: once construction is past Andersen, the
+      // auxiliary result is complete and remains usable.
+      if (std::string(Phase) != "andersen") {
+        EXPECT_EQ(Ctx->andersen().termination(), Termination::Completed);
+      }
+    }
+  }
+}
+
+TEST(BuildCancellation, CancelledBuildRefusesToRunSolvers) {
+  FaultGuard Guard;
+  FaultInjection::get().arm(Termination::Fault, 1, "svfg");
+  ResourceBudget B;
+  auto Ctx = buildGoverned(smallConfig(), &B);
+  ASSERT_FALSE(Ctx->isBuilt());
+  // One-shot build: retrying without the fault does not resurrect it, and
+  // the partial SVFG was discarded rather than left half-initialised.
+  EXPECT_FALSE(Ctx->build());
+  EXPECT_FALSE(Ctx->isBuilt());
+}
+
+//===----------------------------------------------------------------------===//
+// Every Termination kind in every flow-sensitive solver
+//===----------------------------------------------------------------------===//
+
+TEST(SolverCancellation, EveryKindInEverySolverUnderFailPolicy) {
+  FaultGuard Guard;
+  const auto &Runner = core::AnalysisRunner::registry();
+  for (const char *Solver : {"iter", "sfs", "vsfs"}) {
+    for (Termination Kind : AllKinds) {
+      SCOPED_TRACE(std::string(Solver) + "/" + terminationName(Kind));
+      auto Ctx = buildFromConfig(smallConfig());
+      ASSERT_TRUE(Ctx && Ctx->isBuilt());
+      FaultInjection::get().arm(Kind, 1, Solver);
+      ResourceBudget B;
+      core::SolverOptions Opts;
+      Opts.Budget = &B;
+      Opts.Policy = core::SolverOptions::OnExhaustion::Fail;
+      auto R = Runner.run(*Ctx, Solver, Opts);
+      EXPECT_EQ(R.Status, Kind);
+      EXPECT_FALSE(R.Degraded);
+      EXPECT_FALSE(R.Partial);
+    }
+  }
+}
+
+TEST(SolverCancellation, VsfsMeldPreAnalysisIsGoverned) {
+  // Poll 1 of the vsfs phase lands inside meld-labelling (it runs before
+  // the main solve), so versioning itself is cancellable.
+  FaultGuard Guard;
+  auto Ctx = buildFromConfig(smallConfig());
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  FaultInjection::get().arm(Termination::Fault, 1, "vsfs");
+  ResourceBudget B;
+  core::SolverOptions Opts;
+  Opts.Budget = &B;
+  auto R = core::AnalysisRunner::registry().run(*Ctx, "vsfs", Opts);
+  EXPECT_EQ(R.Status, Termination::Fault);
+  EXPECT_EQ(B.status(), Termination::Fault);
+}
+
+TEST(SolverCancellation, PartialPolicyKeepsInFlightState) {
+  auto Ctx = buildFromConfig(smallConfig());
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  ResourceBudget B({0, 0, /*Steps*/ 10});
+  core::SolverOptions Opts;
+  Opts.Budget = &B;
+  Opts.Policy = core::SolverOptions::OnExhaustion::Partial;
+  auto R = core::AnalysisRunner::registry().run(*Ctx, "vsfs", Opts);
+  ASSERT_NE(R.Analysis, nullptr);
+  EXPECT_EQ(R.Status, Termination::Steps);
+  EXPECT_TRUE(R.Partial);
+  EXPECT_FALSE(R.Degraded);
+  // The partial state is a sound under-approximation: every target it
+  // reports is also in the (over-approximating) Andersen result.
+  const auto &M = Ctx->module();
+  for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+    for (uint32_t O : R.Analysis->ptsOfVar(V))
+      EXPECT_TRUE(Ctx->andersen().ptsOfVar(V).test(O))
+          << "var " << V << " obj " << O;
+}
+
+TEST(SolverCancellation, DegradedRunAlwaysCarriesACompletedAux) {
+  // Degrading is only sound when the auxiliary analysis finished (an
+  // incomplete aux is an under-approximation and no anchor). The one-shot
+  // build contract makes an exhausted solve over an incomplete aux
+  // unreachable — a cancelled-aux build never reaches run() — so the
+  // observable guarantee is: every degraded run's aux reads Completed,
+  // and the exhaustion cause is still reported truthfully.
+  auto Ctx = buildFromConfig(smallConfig());
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  ResourceBudget B({0, 0, /*Steps*/ 10});
+  core::SolverOptions Opts;
+  Opts.Budget = &B;
+  Opts.Policy = core::SolverOptions::OnExhaustion::Degrade;
+  auto R = core::AnalysisRunner::registry().run(*Ctx, "vsfs", Opts);
+  ASSERT_TRUE(R.Degraded);
+  EXPECT_EQ(R.Status, Termination::Steps);
+  EXPECT_EQ(Ctx->andersen().termination(), Termination::Completed);
+  EXPECT_EQ(R.Analysis->termination(), Termination::Completed);
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation across the full benchmark suite
+//===----------------------------------------------------------------------===//
+
+TEST(Degradation, DegradedVsfsEqualsAndersenOnEveryPreset) {
+  const auto &Runner = core::AnalysisRunner::registry();
+  for (const auto &Spec : workload::benchmarkSuite()) {
+    SCOPED_TRACE(Spec.Name);
+    auto Module = workload::generateProgram(Spec.Config);
+    auto Ctx = std::make_unique<core::AnalysisContext>();
+    Ctx->module() = std::move(*Module);
+    // Build phases are not step-governed, so a 1-step budget still lets
+    // the whole pipeline (and the degradation anchor) complete.
+    ResourceBudget B({0, 0, /*Steps*/ 1});
+    ASSERT_TRUE(Ctx->build(false, {}, &B));
+    core::SolverOptions Opts;
+    Opts.Budget = &B;
+    Opts.Policy = core::SolverOptions::OnExhaustion::Degrade;
+    auto R = Runner.run(*Ctx, "vsfs", Opts);
+    ASSERT_NE(R.Analysis, nullptr);
+    EXPECT_EQ(R.Status, Termination::Steps);
+    EXPECT_TRUE(R.Degraded);
+    // The substituted result IS the auxiliary analysis: identical
+    // points-to sets for every variable.
+    const auto &M = Ctx->module();
+    for (ir::VarID V = 0; V < M.symbols().numVars(); ++V)
+      ASSERT_EQ(R.Analysis->ptsOfVar(V), Ctx->andersen().ptsOfVar(V))
+          << "var " << V;
+  }
+}
+
+TEST(Degradation, AuxPrecisionFlagIsMetadataOnly) {
+  // The CLI stamps AuxPrecision on every finding of a degraded run; the
+  // flag must surface in the rendering yet never affect identity, so
+  // degraded finding sets stay comparable against full-precision ones.
+  auto Ctx = buildFromConfig(smallConfig());
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  checker::Finding F{checker::CheckKind::UseAfterFree, /*Sink=*/1,
+                     /*Obj=*/0, /*Source=*/0};
+  checker::Finding Flagged = F;
+  Flagged.AuxPrecision = true;
+  EXPECT_EQ(F, Flagged);
+  EXPECT_FALSE(F < Flagged);
+  EXPECT_FALSE(Flagged < F);
+  std::string Plain = checker::printFinding(Ctx->module(), F);
+  std::string Marked = checker::printFinding(Ctx->module(), Flagged);
+  EXPECT_EQ(Plain.find("[aux-precision]"), std::string::npos);
+  EXPECT_NE(Marked.find("[aux-precision]"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Teardown hygiene after cancellation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a governed, step-exhausted vsfs solve to mid-flight, then tears
+/// everything down; the caller brackets it with byte accounting.
+void exhaustAndTearDown() {
+  auto Module = workload::generateProgram(smallConfig());
+  auto Ctx = std::make_unique<core::AnalysisContext>();
+  Ctx->module() = std::move(*Module);
+  ResourceBudget B({0, 0, /*Steps*/ 50});
+  ASSERT_TRUE(Ctx->build(false, {}, &B));
+  core::SolverOptions Opts;
+  Opts.Budget = &B;
+  auto R = core::AnalysisRunner::registry().run(*Ctx, "vsfs", Opts);
+  ASSERT_EQ(R.Status, Termination::Steps);
+}
+
+} // namespace
+
+TEST(TeardownHygiene, NoLiveByteLeakAfterExhaustionSbv) {
+  ASSERT_EQ(adt::pointsToRepr(), adt::PtsRepr::SBV);
+  uint64_t Before = PointsToBytes::live();
+  exhaustAndTearDown();
+  EXPECT_EQ(PointsToBytes::live(), Before);
+}
+
+TEST(TeardownHygiene, NoLiveByteLeakAfterExhaustionPersistent) {
+  adt::PtsRepr Old = adt::pointsToRepr();
+  adt::setPointsToRepr(adt::PtsRepr::Persistent);
+  auto &Cache = adt::PointsToCache::get();
+  Cache.drainIfIdle(); // Start from a clean cache.
+  uint64_t Before = PointsToBytes::live();
+  exhaustAndTearDown();
+  // Handles are dead; the interned storage drains, restoring the
+  // baseline — a cancelled run must not wedge the process-global cache.
+  EXPECT_EQ(adt::livePersistentSets(), 0u);
+  EXPECT_TRUE(Cache.drainIfIdle());
+  EXPECT_EQ(PointsToBytes::live(), Before);
+  adt::setPointsToRepr(Old);
+}
+
+TEST(TeardownHygiene, DrainFiresOnlyWhenNoHandlesAreLive) {
+  adt::PtsRepr Old = adt::pointsToRepr();
+  adt::setPointsToRepr(adt::PtsRepr::Persistent);
+  auto &Cache = adt::PointsToCache::get();
+  Cache.drainIfIdle();
+  uint64_t Drains0 = Cache.drains();
+  {
+    PointsTo P;
+    P.set(3);
+    P.set(999);
+    ASSERT_GT(adt::livePersistentSets(), 0u);
+    // A drain while any handle is live would dangle its interned bits.
+    EXPECT_FALSE(Cache.drainIfIdle());
+    EXPECT_EQ(Cache.drains(), Drains0);
+  }
+  EXPECT_EQ(adt::livePersistentSets(), 0u);
+  EXPECT_TRUE(Cache.drainIfIdle());
+  EXPECT_EQ(Cache.drains(), Drains0 + 1);
+  // Idle AND empty (just the interned empty set): nothing to drain.
+  EXPECT_FALSE(Cache.drainIfIdle());
+  adt::setPointsToRepr(Old);
+}
+
+//===----------------------------------------------------------------------===//
+// PointsToBytes underflow clamp (satellite of the memory governor: a
+// wrapped counter would read as instant Memory exhaustion)
+//===----------------------------------------------------------------------===//
+
+TEST(PointsToBytesAccounting, RetainReleaseRoundTrips) {
+  uint64_t Before = PointsToBytes::live();
+  PointsToBytes::retain(4096);
+  EXPECT_EQ(PointsToBytes::live(), Before + 4096);
+  PointsToBytes::release(4096);
+  EXPECT_EQ(PointsToBytes::live(), Before);
+}
+
+#ifdef NDEBUG
+TEST(PointsToBytesAccounting, ReleaseUnderflowClampsInsteadOfWrapping) {
+  uint64_t Before = PointsToBytes::live();
+  PointsToBytes::retain(16);
+  PointsToBytes::release(PointsToBytes::live() + 1024);
+  EXPECT_EQ(PointsToBytes::live(), 0u); // Clamped, not ~0ull.
+  PointsToBytes::retain(Before); // Restore the global ledger for peers.
+}
+#else
+TEST(PointsToBytesAccountingDeathTest, ReleaseUnderflowAssertsInDebug) {
+  EXPECT_DEATH(
+      {
+        PointsToBytes::retain(16);
+        PointsToBytes::release(PointsToBytes::live() + 1024);
+      },
+      "underflow");
+}
+#endif

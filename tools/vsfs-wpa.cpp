@@ -24,23 +24,37 @@
 #include "core/VersionedFlowSensitive.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/MemUsage.h"
 #include "support/Timer.h"
 #include "workload/BenchmarkSuite.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 using namespace vsfs;
 
 namespace {
+
+/// Documented exit-code contract (docs/ROBUSTNESS.md, asserted by
+/// tests/cli_exit_codes.sh). Keep the values stable: scripts depend on them.
+enum ExitCode : int {
+  ExitOK = 0,        ///< analysis ran to the requested result
+  ExitUsage = 1,     ///< bad flags / bad invocation (--help exits 0)
+  ExitInput = 2,     ///< parse/verify failure, unreadable input, bad output
+  ExitExhausted = 3, ///< budget exhausted under --on-exhaustion=fail
+  ExitFault = 4,     ///< internal fault (injected or detected)
+};
 
 struct Options {
   std::string InputFile;
@@ -59,6 +73,11 @@ struct Options {
   bool PrintVersions = false;
   bool PrintModule = false;
   bool Stats = false;
+  double TimeBudget = 0;  ///< seconds; 0 = no deadline
+  uint64_t MemBudget = 0; ///< bytes; 0 = no ceiling
+  uint64_t StepBudget = 0;
+  core::SolverOptions::OnExhaustion Policy =
+      core::SolverOptions::OnExhaustion::Fail;
   std::string StatsJson; // "-" = stdout
   std::string DumpCallGraph; // "-" = stdout
   std::string DumpSVFG;
@@ -100,15 +119,28 @@ void usage(const char *Prog) {
       "                        version-sharing summary (vsfs only)\n"
       "  --print-module        print the parsed module\n"
       "  --stats               print analysis statistics (aligned text)\n"
+      "  --time-budget=SECS    wall-clock budget for the whole pipeline\n"
+      "  --mem-budget=BYTES    points-to memory / RSS-growth ceiling\n"
+      "  --step-budget=N       solver-step budget per flow-sensitive "
+      "phase\n"
+      "  --on-exhaustion=P     fail (exit 3) | degrade (fall back to the\n"
+      "                        auxiliary result) | partial (expose the\n"
+      "                        monotone in-flight state)  (default fail)\n"
       "  --stats-json[=F]      write pipeline + analysis statistics as "
       "JSON\n"
       "  --dump-callgraph[=F]  write the resolved call graph as dot\n"
       "  --dump-svfg[=F]       write the SVFG as dot (capped at 500 nodes)\n"
-      "  --dump-cfg=FUNC       write FUNC's CFG as dot to stdout\n",
+      "  --dump-cfg=FUNC       write FUNC's CFG as dot to stdout\n"
+      "\n"
+      "exit codes: 0 ok | 1 usage | 2 input error | 3 budget exhausted\n"
+      "            (--on-exhaustion=fail) | 4 internal fault\n",
       Prog, core::AnalysisRunner::registry().namesString().c_str());
 }
 
-bool parseArgs(int Argc, char **Argv, Options &Opts) {
+/// Three-way flag parse so --help can exit 0 while bad flags exit 1.
+enum class ParseResult { Run, Help, Error };
+
+ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Value = [&Arg](const char *Prefix) -> const char * {
@@ -119,7 +151,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     };
     if (Arg == "--help" || Arg == "-h") {
       usage(Argv[0]);
-      return false;
+      return ParseResult::Help;
     } else if (Arg == "--bench" && I + 1 < Argc) {
       Opts.BenchName = Argv[++I];
     } else if (Arg == "--gen" && I + 1 < Argc) {
@@ -132,7 +164,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         std::fprintf(stderr,
                      "error: bad --pts-repr '%s' (want sbv | persistent)\n",
                      VR);
-        return false;
+        return ParseResult::Error;
       }
     } else if (const char *VC = Value("--check=")) {
       if (!checker::parseCheckKinds(VC, Opts.CheckMask)) {
@@ -140,7 +172,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
                      "error: bad --check spec '%s' (want a comma list of "
                      "uaf | dfree | null | leak | all)\n",
                      VC);
-        return false;
+        return ParseResult::Error;
       }
     } else if (Arg == "--check") {
       Opts.CheckMask = checker::AllChecks;
@@ -162,6 +194,45 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.PrintModule = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
+    } else if (const char *VT = Value("--time-budget=")) {
+      char *End = nullptr;
+      Opts.TimeBudget = std::strtod(VT, &End);
+      if (End == VT || *End || Opts.TimeBudget <= 0) {
+        std::fprintf(stderr, "error: bad --time-budget '%s' (want seconds)\n",
+                     VT);
+        return ParseResult::Error;
+      }
+    } else if (const char *VM = Value("--mem-budget=")) {
+      char *End = nullptr;
+      Opts.MemBudget = std::strtoull(VM, &End, 10);
+      if (End == VM || *End || Opts.MemBudget == 0) {
+        std::fprintf(stderr, "error: bad --mem-budget '%s' (want bytes)\n",
+                     VM);
+        return ParseResult::Error;
+      }
+    } else if (const char *VS = Value("--step-budget=")) {
+      char *End = nullptr;
+      Opts.StepBudget = std::strtoull(VS, &End, 10);
+      if (End == VS || *End || Opts.StepBudget == 0) {
+        std::fprintf(stderr, "error: bad --step-budget '%s' (want steps)\n",
+                     VS);
+        return ParseResult::Error;
+      }
+    } else if (const char *VP = Value("--on-exhaustion=")) {
+      std::string_view P = VP;
+      if (P == "fail")
+        Opts.Policy = core::SolverOptions::OnExhaustion::Fail;
+      else if (P == "degrade")
+        Opts.Policy = core::SolverOptions::OnExhaustion::Degrade;
+      else if (P == "partial")
+        Opts.Policy = core::SolverOptions::OnExhaustion::Partial;
+      else {
+        std::fprintf(stderr,
+                     "error: bad --on-exhaustion '%s' (want fail | degrade "
+                     "| partial)\n",
+                     VP);
+        return ParseResult::Error;
+      }
     } else if (Arg == "--stats-json") {
       Opts.StatsJson = "-";
     } else if (const char *VJ = Value("--stats-json=")) {
@@ -180,23 +251,23 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.InputFile = Arg;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return false;
+      return ParseResult::Error;
     }
   }
   if (Opts.ListAnalyses)
-    return true; // Needs no input.
+    return ParseResult::Run; // Needs no input.
   int Inputs = !Opts.InputFile.empty();
   Inputs += !Opts.BenchName.empty();
   Inputs += Opts.UseGen;
   if (Inputs != 1) {
     usage(Argv[0]);
-    return false;
+    return ParseResult::Error;
   }
   if (Opts.InjectBugs && !Opts.UseGen && Opts.BenchName.empty()) {
     std::fprintf(stderr, "error: --inject-bugs needs --gen or --bench\n");
-    return false;
+    return ParseResult::Error;
   }
-  return true;
+  return ParseResult::Run;
 }
 
 bool writeOut(const std::string &Target, const std::string &Content) {
@@ -273,11 +344,17 @@ void listAnalyses() {
 /// that end up in --stats-json.
 void runCheckersFor(const core::AnalysisContext &Ctx, const std::string &Name,
                     const core::PointerAnalysisResult &A, uint32_t KindMask,
-                    const checker::GroundTruth *GT, StatGroup &CG) {
+                    const checker::GroundTruth *GT, StatGroup &CG,
+                    bool AuxPrecision = false) {
   std::vector<checker::Finding> Findings =
       checker::runCheckers(Ctx.svfg(), A, KindMask);
-  std::printf("--- %s: %zu checker finding(s) ---\n", Name.c_str(),
-              Findings.size());
+  // A degraded backend answers at the auxiliary analysis's precision;
+  // stamp every finding so consumers know to expect extra false positives.
+  if (AuxPrecision)
+    for (checker::Finding &F : Findings)
+      F.AuxPrecision = true;
+  std::printf("--- %s: %zu checker finding(s)%s ---\n", Name.c_str(),
+              Findings.size(), AuxPrecision ? " [aux-precision]" : "");
   for (const checker::Finding &F : Findings)
     std::printf("  %s\n", checker::printFinding(Ctx.module(), F).c_str());
 
@@ -318,7 +395,7 @@ int run(const Options &Opts) {
     if (!In) {
       std::fprintf(stderr, "error: cannot open %s\n",
                    Opts.InputFile.c_str());
-      return 1;
+      return ExitInput;
     }
     std::ostringstream Buffer;
     Buffer << In.rdbuf();
@@ -326,14 +403,14 @@ int run(const Options &Opts) {
     if (!Ctx.loadText(Buffer.str(), Error)) {
       std::fprintf(stderr, "error: %s: %s\n", Opts.InputFile.c_str(),
                    Error.c_str());
-      return 1;
+      return ExitInput;
     }
   } else if (!Opts.BenchName.empty()) {
     workload::BenchSpec Spec;
     if (!workload::findBenchmark(Opts.BenchName, Spec)) {
       std::fprintf(stderr, "error: unknown benchmark '%s'\n",
                    Opts.BenchName.c_str());
-      return 1;
+      return ExitInput;
     }
     workload::GenConfig C = Spec.Config;
     C.InjectBugs = Opts.InjectBugs;
@@ -362,20 +439,40 @@ int run(const Options &Opts) {
     ir::FunID F = Ctx.module().lookupFunction(Opts.DumpCFG);
     if (F == ir::InvalidFun) {
       std::fprintf(stderr, "error: no function '%s'\n", Opts.DumpCFG.c_str());
-      return 1;
+      return ExitInput;
     }
     std::fputs(core::dotCFG(Ctx.module(), F).c_str(), stdout);
   }
 
+  // The budget exists when any limit is set *or* fault injection is armed
+  // (an all-zero budget still polls, which is what lets an injected fault
+  // surface without also configuring a limit).
+  std::unique_ptr<ResourceBudget> Budget;
+  if (Opts.TimeBudget > 0 || Opts.MemBudget != 0 || Opts.StepBudget != 0 ||
+      FaultInjection::active()) {
+    ResourceBudget::Limits L;
+    L.TimeBudgetSeconds = Opts.TimeBudget;
+    L.MemBudgetBytes = Opts.MemBudget;
+    L.StepBudget = Opts.StepBudget;
+    Budget = std::make_unique<ResourceBudget>(L);
+  }
+
   andersen::Andersen::Options AuxOpts;
   AuxOpts.OfflineSubstitution = Opts.OVS;
-  Ctx.build(/*ConnectAuxIndirectCalls=*/Opts.AuxCallGraph, AuxOpts);
-  std::printf("pipeline: andersen %.3fs, memssa %.3fs, svfg %.3fs "
-              "(%u nodes, %llu direct, %llu indirect edges)\n",
-              Ctx.andersenSeconds(), Ctx.memSSASeconds(), Ctx.svfgSeconds(),
-              Ctx.svfg().numNodes(),
-              (unsigned long long)Ctx.svfg().numDirectEdges(),
-              (unsigned long long)Ctx.svfg().numIndirectEdges());
+  bool Built =
+      Ctx.build(/*ConnectAuxIndirectCalls=*/Opts.AuxCallGraph, AuxOpts,
+                Budget.get());
+  if (Built)
+    std::printf("pipeline: andersen %.3fs, memssa %.3fs, svfg %.3fs "
+                "(%u nodes, %llu direct, %llu indirect edges)\n",
+                Ctx.andersenSeconds(), Ctx.memSSASeconds(),
+                Ctx.svfgSeconds(), Ctx.svfg().numNodes(),
+                (unsigned long long)Ctx.svfg().numDirectEdges(),
+                (unsigned long long)Ctx.svfg().numIndirectEdges());
+  else
+    std::printf("pipeline: cancelled during %s (%s)\n",
+                Budget ? Budget->phase() : "build",
+                terminationName(Ctx.buildTermination()));
 
   const core::AnalysisRunner &Runner = core::AnalysisRunner::registry();
   std::vector<std::string> Names;
@@ -388,16 +485,82 @@ int run(const Options &Opts) {
 
   core::SolverOptions SolverOpts;
   SolverOpts.OnTheFlyCallGraph = !Opts.AuxCallGraph;
+  SolverOpts.Budget = Budget.get();
+  SolverOpts.Policy = Opts.Policy;
 
   const andersen::CallGraph *FinalCG = &Ctx.andersen().callGraph();
   std::vector<core::AnalysisRunner::RunResult> Results;
   std::vector<StatGroup> CheckerGroups;
+
+  if (!Built) {
+    // The pipeline itself ran out of budget. Apply the degradation ladder
+    // here, where the solvers can no longer run: degrade substitutes the
+    // auxiliary result (valid only when the auxiliary analysis finished —
+    // a cancelled aux has no sound stand-in, so degrade falls back to
+    // fail), partial exposes whatever monotone aux state exists, and fail
+    // reports the exhaustion without a result.
+    Termination BS = Ctx.buildTermination();
+    bool AuxDone =
+        Ctx.andersen().termination() == Termination::Completed;
+    bool Degrade =
+        Opts.Policy == core::SolverOptions::OnExhaustion::Degrade && AuxDone;
+    bool Partial =
+        Opts.Policy == core::SolverOptions::OnExhaustion::Partial;
+    if (!Degrade && !Partial) {
+      std::fprintf(stderr,
+                   "error: budget exhausted (%s) during pipeline build\n",
+                   terminationName(BS));
+      return BS == Termination::Fault ? ExitFault : ExitExhausted;
+    }
+    for (const std::string &Name : Names) {
+      core::AnalysisRunner::RunResult R;
+      R.Name = Runner.find(Name)->Name;
+      R.Status = BS;
+      R.Degraded = Degrade;
+      R.Partial = Partial;
+      R.Analysis = std::make_unique<core::AndersenResult>(Ctx.andersen());
+      std::printf("%s: pipeline budget exhausted (%s); %s\n", R.Name.c_str(),
+                  terminationName(BS),
+                  Degrade ? "degraded to the auxiliary (ander) result"
+                          : "exposing partial (under-approximate) auxiliary "
+                            "state");
+      if (Opts.PrintPts)
+        printPts(Ctx.module(), *R.Analysis, R.Name.c_str());
+      if (Opts.Stats)
+        std::printf("%s", core::statsText(R).c_str());
+      if (Opts.CheckMask)
+        std::printf("--- %s: checkers skipped (no SVFG: pipeline "
+                    "cancelled) ---\n",
+                    R.Name.c_str());
+      CheckerGroups.emplace_back("checkers");
+      Results.push_back(std::move(R));
+    }
+  }
+
   for (const std::string &Name : Names) {
+    if (!Built)
+      break; // Degraded/partial results were synthesised above.
     core::AnalysisRunner::RunResult R = Runner.run(Ctx, Name, SolverOpts);
+    if (R.Status != Termination::Completed && !R.Degraded && !R.Partial) {
+      // --on-exhaustion=fail (or degrade without a completed auxiliary
+      // target): report and exit without printing any result.
+      std::fprintf(stderr, "error: %s: budget exhausted (%s)\n",
+                   R.Name.c_str(), terminationName(R.Status));
+      return R.Status == Termination::Fault ? ExitFault : ExitExhausted;
+    }
     const core::PointerAnalysisResult &A = *R.Analysis;
 
-    if (const auto *VSFS =
-            dynamic_cast<const core::VersionedFlowSensitive *>(&A))
+    if (R.Degraded)
+      std::printf("%s: budget exhausted (%s) after %.3fs; degraded to the "
+                  "auxiliary (ander) result\n",
+                  R.Name.c_str(), terminationName(R.Status), R.SolveSeconds);
+    else if (R.Partial)
+      std::printf("%s: budget exhausted (%s) after %.3fs; exposing partial "
+                  "(under-approximate) state, %s of analysis state\n",
+                  R.Name.c_str(), terminationName(R.Status), R.SolveSeconds,
+                  formatBytes(A.footprintBytes()).c_str());
+    else if (const auto *VSFS =
+                 dynamic_cast<const core::VersionedFlowSensitive *>(&A))
       std::printf("%s: solved in %.3fs (versioning %.3fs), %s of analysis "
                   "state\n",
                   R.Name.c_str(), R.SolveSeconds, VSFS->versioningSeconds(),
@@ -421,11 +584,11 @@ int run(const Options &Opts) {
     StatGroup CG("checkers");
     if (Opts.CheckMask)
       runCheckersFor(Ctx, R.Name, A, Opts.CheckMask, HaveGT ? &GT : nullptr,
-                     CG);
+                     CG, /*AuxPrecision=*/R.Degraded);
     CheckerGroups.push_back(std::move(CG));
     // The most precise call graph wins the dump: the flow-sensitive
-    // solvers refine the auxiliary one.
-    if (R.Name == "sfs" || R.Name == "vsfs")
+    // solvers refine the auxiliary one (a degraded run refines nothing).
+    if (!R.Degraded && !R.Partial && (R.Name == "sfs" || R.Name == "vsfs"))
       FinalCG = &A.callGraph();
     Results.push_back(std::move(R));
   }
@@ -434,35 +597,55 @@ int run(const Options &Opts) {
   if (!Opts.DumpCallGraph.empty())
     WritesOk &= writeOut(Opts.DumpCallGraph,
                          core::dotCallGraph(Ctx.module(), *FinalCG));
-  if (!Opts.DumpSVFG.empty())
-    WritesOk &= writeOut(Opts.DumpSVFG,
-                         core::dotSVFG(Ctx.svfg(), /*MaxNodes=*/500));
+  if (!Opts.DumpSVFG.empty()) {
+    if (Ctx.isBuilt())
+      WritesOk &= writeOut(Opts.DumpSVFG,
+                           core::dotSVFG(Ctx.svfg(), /*MaxNodes=*/500));
+    else
+      std::printf("dump-svfg skipped (no SVFG: pipeline cancelled)\n");
+  }
   if (!Opts.StatsJson.empty())
     WritesOk &= writeOut(
         Opts.StatsJson,
         core::statsJson(Ctx, Results,
-                        Opts.CheckMask ? &CheckerGroups : nullptr));
+                        Opts.CheckMask ? &CheckerGroups : nullptr,
+                        Budget.get()));
 
   std::printf("peak RSS: %s\n", formatBytes(peakRSSBytes()).c_str());
-  return WritesOk ? 0 : 1;
+  return WritesOk ? ExitOK : ExitInput;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    return 2;
+  switch (parseArgs(Argc, Argv, Opts)) {
+  case ParseResult::Help:
+    return ExitOK;
+  case ParseResult::Error:
+    return ExitUsage;
+  case ParseResult::Run:
+    break;
+  }
   if (Opts.ListAnalyses) {
     listAnalyses();
-    return 0;
+    return ExitOK;
   }
   if (Opts.Analysis != "all" &&
       !core::AnalysisRunner::registry().find(Opts.Analysis)) {
     std::fprintf(stderr, "error: unknown analysis '%s' (known: %s | all)\n",
                  Opts.Analysis.c_str(),
                  core::AnalysisRunner::registry().namesString().c_str());
-    return 2;
+    return ExitUsage;
+  }
+  // Deterministic fault injection for the robustness tests: a malformed
+  // spec is a usage error, not something to silently ignore.
+  if (!FaultInjection::get().armFromEnv()) {
+    std::fprintf(stderr,
+                 "error: bad VSFS_FAULT_INJECT spec '%s' (want "
+                 "kind@N[:phase])\n",
+                 std::getenv("VSFS_FAULT_INJECT"));
+    return ExitUsage;
   }
   return run(Opts);
 }
