@@ -21,6 +21,8 @@
 
 #include "BenchUtil.h"
 
+#include "support/Schemas.h"
+
 #include <sstream>
 
 using namespace vsfs;
@@ -82,7 +84,8 @@ int main(int Argc, char **Argv) {
   const char *Solvers[] = {"sfs", "vsfs"};
   std::vector<double> TimeRatios, MemRatios;
   std::ostringstream Json;
-  Json << "{\n  \"schema\": \"vsfs-ptscache-v1\",\n  \"runs\": " << Runs
+  Json << "{\n  \"schema\": \"" << schemas::BenchPtsCache
+       << "\",\n  \"runs\": " << Runs
        << ",\n  \"rows\": [";
   bool FirstJson = true;
   for (const auto &Spec : Suite) {

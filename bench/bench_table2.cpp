@@ -15,6 +15,8 @@
 
 #include "BenchUtil.h"
 
+#include "support/Schemas.h"
+
 #include <sstream>
 
 using namespace vsfs;
@@ -43,7 +45,8 @@ int main(int Argc, char **Argv) {
   std::printf("%s", T.separator().c_str());
 
   std::ostringstream Json;
-  Json << "{\n  \"schema\": \"vsfs-table2-v2\",\n  \"pts_repr\": \""
+  Json << "{\n  \"schema\": \"" << schemas::BenchTable2
+       << "\",\n  \"pts_repr\": \""
        << adt::ptsReprName(adt::pointsToRepr()) << "\",\n  \"benchmarks\": [";
   bool FirstJson = true;
   for (const auto &Spec : Suite) {

@@ -25,6 +25,8 @@
 
 #include "BenchUtil.h"
 
+#include "support/Schemas.h"
+
 #include <sstream>
 
 using namespace vsfs;
@@ -54,7 +56,8 @@ struct Row {
 std::string rowsJson(const std::vector<Row> &Rows, uint32_t Runs,
                      const ResourceBudget *Budget) {
   std::ostringstream OS;
-  OS << "{\n  \"schema\": \"vsfs-table3-v2\",\n  \"runs\": " << Runs
+  OS << "{\n  \"schema\": \"" << schemas::BenchTable3
+     << "\",\n  \"runs\": " << Runs
      << ",\n  \"pts_repr\": \"" << adt::ptsReprName(adt::pointsToRepr())
      << "\",\n  \"benchmarks\": [";
   for (size_t I = 0; I < Rows.size(); ++I) {

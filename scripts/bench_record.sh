@@ -1,26 +1,30 @@
 #!/usr/bin/env bash
-# Records a reproducible perf baseline for the points-to representation
-# switch: bench_table2 --json under both --pts-repr modes (pipeline shape
-# plus, in persistent mode, the interning cache's dedup counters) and the
-# bench_ptscache solver-kernel ablation, merged into one committed JSON
-# trajectory file:
+# Records a reproducible perf baseline: bench_table2 --json under both
+# --pts-repr modes (pipeline shape plus, in persistent mode, the interning
+# cache's dedup counters), the bench_ptscache solver-kernel ablation, and
+# the bench_demand exhaustive-vs-demand ablation (docs/QUERIES.md), merged
+# into one committed JSON trajectory file:
 #
 #   ./scripts/bench_record.sh [out.json] [tier]
 #
-#   out.json: destination (default results/BENCH_pr4.json)
+#   out.json: destination (default results/BENCH_pr6.json)
 #   tier:     "quick" (8 presets) | "full" (all 15; default)
+#
+# The tier applies to the table2/ptscache sweeps; bench_demand always runs
+# its tracked three-preset set (astyle, mutt, bash — EXPERIMENTS.md).
 #
 # The file is committed so later PRs can diff the trajectory (did unique
 # sets, hit rates, or byte ratios regress?) without re-running anything.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${1:-$ROOT/results/BENCH_pr4.json}"
+OUT="${1:-$ROOT/results/BENCH_pr6.json}"
 TIER="${2:-full}"
 BUILD_DIR="$ROOT/build"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_table2" ||
-      ! -x "$BUILD_DIR/bench/bench_ptscache" ]]; then
+      ! -x "$BUILD_DIR/bench/bench_ptscache" ||
+      ! -x "$BUILD_DIR/bench/bench_demand" ]]; then
   echo "error: build first: cmake -B build -S . && cmake --build build -j" >&2
   exit 1
 fi
@@ -45,16 +49,19 @@ echo "== bench_table2 --pts-repr=persistent =="
   --json "$TMP/table2_persistent.json"
 echo "== bench_ptscache (solver kernels, both representations) =="
 "$BUILD_DIR/bench/bench_ptscache" $TIER_FLAG --json "$TMP/ptscache.json"
+echo "== bench_demand (exhaustive vs. sliced per-query solves) =="
+"$BUILD_DIR/bench/bench_demand" --json "$TMP/demand.json"
 
-# Merge the three documents into one object, indenting each a level.
+# Merge the four documents into one object, indenting each a level.
 indent() { sed 's/^/  /' "$1" | sed '1s/^  //'; }
 {
   echo "{"
-  echo "  \"schema\": \"vsfs-bench-pr4-v1\","
+  echo "  \"schema\": \"vsfs-bench-pr6-v1\","
   echo "  \"tier\": \"$TIER\","
   echo "  \"table2_sbv\": $(indent "$TMP/table2_sbv.json"),"
   echo "  \"table2_persistent\": $(indent "$TMP/table2_persistent.json"),"
-  echo "  \"ptscache\": $(indent "$TMP/ptscache.json")"
+  echo "  \"ptscache\": $(indent "$TMP/ptscache.json"),"
+  echo "  \"demand\": $(indent "$TMP/demand.json")"
   echo "}"
 } > "$OUT"
 

@@ -9,8 +9,8 @@
 # can't). --fuzz additionally runs the differential fuzzing suite (the
 # "fuzz" ctest label: every preset and 50+ random seeds solved under both
 # --pts-repr modes). Each ctest label (unit | equivalence | checker |
-# bench | robust, plus fuzz when requested) is run and timed separately,
-# so slow tiers are visible at a glance. The robust tier (budgets,
+# query | bench | robust, plus fuzz when requested) is run and timed
+# separately, so slow tiers are visible at a glance. The robust tier (budgets,
 # cancellation, degradation — docs/ROBUSTNESS.md) always runs; its tests
 # carry per-test timeouts so a wedged cancellation path fails fast.
 #
@@ -52,8 +52,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # labels). The fuzz tier is opt-in (--fuzz) but always excluded from the
 # safety net, so it never runs by accident. The summary table prints at
 # the end.
-ALL_LABELS=(unit checker equivalence bench fuzz robust)
-LABELS=(unit checker equivalence bench robust)
+ALL_LABELS=(unit checker equivalence query bench fuzz robust)
+LABELS=(unit checker equivalence query bench robust)
 if [ "$FUZZ" -eq 1 ]; then
   LABELS+=(fuzz)
 fi

@@ -334,7 +334,7 @@ std::vector<Finding> ValueFlowChecker::run(uint32_t KindMask) {
 
 std::vector<Finding>
 vsfs::checker::runCheckers(const svfg::SVFG &G,
-                           const core::PointerAnalysisResult &A,
+                           const core::PointsToOracle &A,
                            uint32_t KindMask) {
   ValueFlowChecker C(G, A);
   return C.run(KindMask);

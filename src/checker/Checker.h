@@ -1,8 +1,9 @@
 //===- Checker.h - Source–sink value-flow bug checkers ----------*- C++ -*-===//
 ///
 /// \file
-/// A source–sink value-flow engine over the SVFG, parameterised by a solved
-/// \c core::PointerAnalysisResult, plus four concrete checkers:
+/// A source–sink value-flow engine over the SVFG, parameterised by a
+/// \c core::PointsToOracle (a solved whole-program analysis or a demand
+/// query engine), plus four concrete checkers:
 /// use-after-free, double-free, null-pointer dereference and memory leak.
 /// The engine walks the same graph for every backend; all precision
 /// differences come from the backend's points-to sets, which is exactly what
@@ -116,7 +117,7 @@ scoreFindings(const std::vector<Finding> &Findings, const GroundTruth &GT);
 /// of requested checkers; findings come back sorted and deduplicated.
 class ValueFlowChecker {
 public:
-  ValueFlowChecker(const svfg::SVFG &G, const core::PointerAnalysisResult &A)
+  ValueFlowChecker(const svfg::SVFG &G, const core::PointsToOracle &A)
       : G(G), A(A), M(G.module()) {}
 
   std::vector<Finding> run(uint32_t KindMask = AllChecks);
@@ -131,13 +132,13 @@ private:
   PointsTo freedObjects(const ir::Instruction &Inst) const;
 
   const svfg::SVFG &G;
-  const core::PointerAnalysisResult &A;
+  const core::PointsToOracle &A;
   const ir::Module &M;
 };
 
 /// Convenience wrapper: build, run, return findings.
 std::vector<Finding> runCheckers(const svfg::SVFG &G,
-                                 const core::PointerAnalysisResult &A,
+                                 const core::PointsToOracle &A,
                                  uint32_t KindMask = AllChecks);
 
 } // namespace checker

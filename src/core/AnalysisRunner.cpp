@@ -6,6 +6,7 @@
 #include "core/FlowSensitive.h"
 #include "core/IterativeFlowSensitive.h"
 #include "core/VersionedFlowSensitive.h"
+#include "support/Schemas.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -59,6 +60,7 @@ AnalysisRunner &AnalysisRunner::registry() {
                FlowSensitive::Options O;
                O.OnTheFlyCallGraph = Opts.OnTheFlyCallGraph;
                O.Budget = Opts.Budget;
+               O.Scope = Opts.Scope;
                return std::make_unique<FlowSensitive>(Ctx.svfg(), O);
              }});
     Reg.add({"vsfs",
@@ -69,6 +71,7 @@ AnalysisRunner &AnalysisRunner::registry() {
                O.OnTheFlyCallGraph = Opts.OnTheFlyCallGraph;
                O.LabelRep = Opts.LabelRep;
                O.Budget = Opts.Budget;
+               O.Scope = Opts.Scope;
                return std::make_unique<VersionedFlowSensitive>(Ctx.svfg(),
                                                                O);
              }});
@@ -207,13 +210,15 @@ void jsonCounters(std::ostringstream &OS, int Indent, const StatGroup &G) {
 std::string vsfs::core::statsJson(
     const AnalysisContext &Ctx,
     const std::vector<AnalysisRunner::RunResult> &Results,
-    const std::vector<StatGroup> *ClientGroups,
-    const ResourceBudget *Budget) {
+    const std::vector<std::vector<StatGroup>> *ClientGroups,
+    const ResourceBudget *Budget, std::string_view Mode) {
   const ir::Module &M = Ctx.module();
   std::ostringstream OS;
   OS << "{\n";
   jsonKey(OS, 2, "schema");
-  OS << "\"vsfs-stats-v2\",\n";
+  OS << '"' << schemas::StatsJson << "\",\n";
+  jsonKey(OS, 2, "mode");
+  OS << '"' << Mode << "\",\n";
   jsonKey(OS, 2, "pts_repr");
   OS << '"' << adt::ptsReprName(adt::pointsToRepr()) << "\",\n";
   // How the pipeline build itself ended; a cancelled build has no
@@ -291,12 +296,15 @@ std::string vsfs::core::statsJson(
       jsonCounters(OS, 6, V->versioning().stats());
       OS << ",\n";
     }
-    if (ClientGroups && I < ClientGroups->size() &&
-        !(*ClientGroups)[I].empty()) {
-      const StatGroup &G = (*ClientGroups)[I];
-      jsonKey(OS, 6, G.name().empty() ? "client_counters" : G.name().c_str());
-      jsonCounters(OS, 6, G);
-      OS << ",\n";
+    if (ClientGroups && I < ClientGroups->size()) {
+      for (const StatGroup &G : (*ClientGroups)[I]) {
+        if (G.empty())
+          continue;
+        jsonKey(OS, 6,
+                G.name().empty() ? "client_counters" : G.name().c_str());
+        jsonCounters(OS, 6, G);
+        OS << ",\n";
+      }
     }
     jsonKey(OS, 6, "counters");
     jsonCounters(OS, 6, R.Analysis->stats());

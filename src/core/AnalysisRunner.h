@@ -85,6 +85,11 @@ struct SolverOptions {
   ///    targets; never use it to prove absence of aliasing).
   enum class OnExhaustion : uint8_t { Fail, Degrade, Partial };
   OnExhaustion Policy = OnExhaustion::Fail;
+  /// Node subset to solve (demand mode, svfg/Slice.h); null = whole graph.
+  /// Understood by "sfs" and "vsfs"; "iter" has no SVFG node space and
+  /// ignores it (the query engine rejects it up front), and "ander" is
+  /// whole-program by construction. Not owned; must outlive the solver.
+  const svfg::NodeScope *Scope = nullptr;
 };
 
 /// The registry: analysis name → factory over a built AnalysisContext.
@@ -147,18 +152,22 @@ private:
 std::string statsText(const AnalysisRunner::RunResult &R);
 
 /// Renders the whole session — pipeline timings/sizes and every run's
-/// statistics — as machine-readable JSON (schema "vsfs-stats-v2"), so
-/// benchmark trajectories can be collected mechanically (--stats-json).
-/// v2 adds a per-analysis "termination"/"degraded"/"partial" triple, a
-/// session-level "termination" (the pipeline build's status), an optional
-/// "budget" group, and the interning cache's "drains" counter; see
-/// docs/ROBUSTNESS.md for the delta.
+/// statistics — as machine-readable JSON (schema \c schemas::StatsJson,
+/// currently "vsfs-stats-v3"), so benchmark trajectories can be collected
+/// mechanically (--stats-json). v2 added a per-analysis
+/// "termination"/"degraded"/"partial" triple, a session-level
+/// "termination" (the pipeline build's status), an optional "budget"
+/// group, and the interning cache's "drains" counter (docs/ROBUSTNESS.md);
+/// v3 adds a session-level "mode" ("exhaustive" or "demand") and allows
+/// several client groups per run — demand runs emit both the checkers'
+/// counters and the query engine's "query" group (docs/QUERIES.md).
 ///
-/// \p ClientGroups, when non-null, carries one extra counter group per run
-/// (parallel to \p Results) contributed by an analysis client — e.g. the
-/// bug checkers' per-kind TP/FP/FN counts. Non-empty groups are emitted
-/// under their group name ("client_counters" when unnamed); the core stays
-/// ignorant of what the counters mean.
+/// \p ClientGroups, when non-null, carries extra counter groups per run
+/// (outer vector parallel to \p Results) contributed by analysis clients —
+/// e.g. the bug checkers' per-kind TP/FP/FN counts and the query engine's
+/// slice statistics. Non-empty groups are emitted under their group name
+/// ("client_counters" when unnamed); the core stays ignorant of what the
+/// counters mean.
 ///
 /// \p Budget, when non-null, adds its statGroup() under "budget". The
 /// pipeline section is emitted only for a completely built context, so a
@@ -166,8 +175,9 @@ std::string statsText(const AnalysisRunner::RunResult &R);
 std::string
 statsJson(const AnalysisContext &Ctx,
           const std::vector<AnalysisRunner::RunResult> &Results,
-          const std::vector<StatGroup> *ClientGroups = nullptr,
-          const ResourceBudget *Budget = nullptr);
+          const std::vector<std::vector<StatGroup>> *ClientGroups = nullptr,
+          const ResourceBudget *Budget = nullptr,
+          std::string_view Mode = "exhaustive");
 
 } // namespace core
 } // namespace vsfs

@@ -12,7 +12,7 @@ using svfg::NodeKind;
 
 FlowSensitive::FlowSensitive(svfg::SVFG &G, Options Opts)
     : SparseSolverBase(G.module(), G.auxAnalysis(), "sfs",
-                       Opts.OnTheFlyCallGraph, Opts.Budget),
+                       Opts.OnTheFlyCallGraph, Opts.Budget, Opts.Scope),
       G(G) {
   In.assign(G.numNodes(), {});
   Out.assign(G.numNodes(), {});
@@ -22,7 +22,8 @@ void FlowSensitive::solve() {
   if (!beginSolve())
     return;
   for (NodeID N = 0; N < G.numNodes(); ++N)
-    WL.push(N);
+    if (inScope(N))
+      WL.push(N);
   while (!WL.empty()) {
     if (!pollBudget())
       break; // Budget exhausted; IN/OUT state stays monotone and usable.
@@ -43,7 +44,8 @@ void FlowSensitive::processNode(NodeID N) {
   propagateIndirect(N);
   if (TopChanged)
     for (NodeID S : G.directSuccs(N))
-      WL.push(S);
+      if (inScope(S))
+        WL.push(S);
 }
 
 bool FlowSensitive::processLoad(const Instruction &Inst, InstID I) {
@@ -107,29 +109,38 @@ void FlowSensitive::processFree(const Instruction &Inst, InstID I) {
 void FlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
   // Wire the SVFG value flows for the new call edge and make sure both the
   // freshly connected sources and the callee boundary nodes run again.
+  // A scoped solve still materialises the edges (they are shared graph
+  // state any later, larger-scoped solve reuses) but only schedules the
+  // in-scope endpoints.
   std::vector<std::pair<NodeID, svfg::IndEdge>> Added;
   G.connectCallEdge(CS, Callee, Added);
   for (auto &[From, Edge] : Added) {
     (void)Edge;
-    WL.push(From);
+    if (inScope(From))
+      WL.push(From);
   }
   const Function &F = M.function(Callee);
-  WL.push(G.instNode(F.Entry));
-  WL.push(G.instNode(F.Exit));
+  if (inScope(G.instNode(F.Entry)))
+    WL.push(G.instNode(F.Entry));
+  if (inScope(G.instNode(F.Exit)))
+    WL.push(G.instNode(F.Exit));
 }
 
 void FlowSensitive::onFormalBound(FunID Callee, VarID Param) {
   // Re-run the callee from its entry so the parameter's uses observe the
   // update (the worklist deduplicates repeated pushes per call).
   (void)Param;
-  WL.push(G.instNode(M.function(Callee).Entry));
+  NodeID Entry = G.instNode(M.function(Callee).Entry);
+  if (inScope(Entry))
+    WL.push(Entry);
 }
 
 void FlowSensitive::onReturnBound(InstID CS, VarID Dst) {
   // Wake the uses of the call's destination (the call node's direct succs).
   (void)Dst;
   for (NodeID S : G.directSuccs(G.instNode(CS)))
-    WL.push(S);
+    if (inScope(S))
+      WL.push(S);
 }
 
 void FlowSensitive::propagateIndirect(NodeID N) {
@@ -147,6 +158,8 @@ void FlowSensitive::propagateIndirect(NodeID N) {
   if (Src.empty())
     return;
   for (const svfg::IndEdge &E : IndSuccs) {
+    if (!inScope(E.Dst))
+      continue; // Out-of-scope state is never stored or scheduled.
     auto It = Src.find(E.Obj);
     if (It == Src.end() || It->second.empty())
       continue;

@@ -49,6 +49,10 @@ public:
     /// Cooperative resource governor polled by the solve loop; null
     /// disables polling. Not owned; must outlive the solver.
     ResourceBudget *Budget = nullptr;
+    /// Node subset to solve (demand mode, svfg/Slice.h); null = full
+    /// graph. Must be backward-closed for in-scope results to equal the
+    /// whole-program fixpoint. Not owned; must outlive the solver.
+    const svfg::NodeScope *Scope = nullptr;
   };
 
   FlowSensitive(svfg::SVFG &G, Options Opts);

@@ -17,8 +17,9 @@ using svfg::NodeID;
 using svfg::NodeKind;
 
 ObjectVersioning::ObjectVersioning(const svfg::SVFG &G, bool OnTheFlyCallGraph,
-                                   MeldRep Rep, ResourceBudget *Budget)
-    : G(G), OTF(OnTheFlyCallGraph), Rep(Rep), Budget(Budget) {}
+                                   MeldRep Rep, ResourceBudget *Budget,
+                                   const svfg::NodeScope *Scope)
+    : G(G), OTF(OnTheFlyCallGraph), Rep(Rep), Budget(Budget), Scope(Scope) {}
 
 void ObjectVersioning::run() {
   if (Ran)
@@ -53,6 +54,8 @@ void ObjectVersioning::prelabel() {
     return NextPreOfObj[O]++;
   };
   for (NodeID N = 0; N < G.numNodes(); ++N) {
+    if (Scope && !Scope->contains(N))
+      continue; // Demand mode: only the sliced subgraph is versioned.
     const svfg::Node &Node = G.node(N);
     switch (Node.Kind) {
     case NodeKind::Inst: {
@@ -109,12 +112,19 @@ void ObjectVersioning::meld() {
   // prelabel ([INTERNAL]ᵛ does not apply to stores). δ consume positions
   // are sources too: prelabelled, with incoming edges cut (frozen).
 
-  // Bucket the SVFG's indirect edges by object.
+  // Bucket the SVFG's indirect edges by object. Scoped versioning melds
+  // only edges inside the scope: a backward-closed scope has no incoming
+  // edges from outside, and labels must never flow to positions the
+  // scoped solver will not process.
   std::unordered_map<ObjID, std::vector<std::pair<NodeID, NodeID>>>
       EdgesByObj;
-  for (NodeID N = 0; N < G.numNodes(); ++N)
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    if (Scope && !Scope->contains(N))
+      continue;
     for (const svfg::IndEdge &E : G.indirectSuccs(N))
-      EdgesByObj[E.Obj].emplace_back(N, E.Dst);
+      if (!Scope || Scope->contains(E.Dst))
+        EdgesByObj[E.Obj].emplace_back(N, E.Dst);
+  }
 
   for (auto &[Obj, Edges] : EdgesByObj) {
     // Cooperative cancellation between per-object fixpoints: finished

@@ -32,6 +32,7 @@
 #include "support/Budget.h"
 #include "support/Statistics.h"
 #include "svfg/SVFG.h"
+#include "svfg/Slice.h"
 
 #include <unordered_map>
 #include <vector>
@@ -61,10 +62,19 @@ public:
   /// meld fixpoint (not owned; must outlive the pre-analysis): on
   /// exhaustion melding stops early and unreached positions keep their ε
   /// version — a consistent under-approximate labelling the caller must
-  /// not solve on (VSFS checks the budget after run()).
+  /// not solve on (VSFS checks the budget after run()). \p Scope, when
+  /// non-null, restricts the versioning to a node subset (demand mode):
+  /// only in-scope nodes are prelabelled and only edges with both
+  /// endpoints in scope are melded. Over a backward-closed scope
+  /// (svfg/Slice.h) every store that can reach an in-scope position is
+  /// itself in scope, so the version equivalence classes at in-scope
+  /// positions are identical to the whole-graph versioning's (prelabel
+  /// numbering is injective per object — only the class structure
+  /// matters, not the IDs).
   ObjectVersioning(const svfg::SVFG &G, bool OnTheFlyCallGraph,
                    MeldRep Rep = MeldRep::SparseBits,
-                   ResourceBudget *Budget = nullptr);
+                   ResourceBudget *Budget = nullptr,
+                   const svfg::NodeScope *Scope = nullptr);
 
   /// Runs prelabelling + meld labelling + version interning. Idempotent.
   void run();
@@ -114,6 +124,8 @@ private:
   bool OTF;
   MeldRep Rep;
   ResourceBudget *Budget;
+  /// Node subset to version (nullable, not owned); null = whole graph.
+  const svfg::NodeScope *Scope;
   uint32_t NumObjects = 0;
 
   /// (node << 32 | obj) -> melded consume-side label.

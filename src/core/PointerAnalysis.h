@@ -20,15 +20,45 @@
 namespace vsfs {
 namespace core {
 
+/// The read-only points-to view clients consume: per-variable sets plus
+/// per-position object contents. Checkers and other clients program against
+/// this rather than \c PointerAnalysisResult so a demand-driven engine
+/// (query/QueryEngine.h) — which answers the same questions from memoised
+/// per-query solves instead of one whole-program fixpoint — can stand in
+/// for a solved analysis.
+class PointsToOracle {
+public:
+  virtual ~PointsToOracle() = default;
+
+  /// The points-to set of a top-level variable.
+  virtual const PointsTo &ptsOfVar(ir::VarID V) const = 0;
+
+  /// The contents of memory object \p O as observed by instruction \p I —
+  /// the flow-sensitive IN state for SFS/ITER, the consumed version's set
+  /// for VSFS, and the single flow-insensitive set for Andersen. An empty
+  /// set means no store into \p O reaches \p I (the cell is still in its
+  /// null/uninitialised state there); checkers build on this.
+  virtual const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const = 0;
+
+  /// True if \p V may point to \p O.
+  bool mayPointTo(ir::VarID V, ir::ObjID O) const {
+    return ptsOfVar(V).test(O);
+  }
+
+  /// True if \p A and \p B may alias (their points-to sets intersect).
+  bool mayAlias(ir::VarID A, ir::VarID B) const {
+    return ptsOfVar(A).intersects(ptsOfVar(B));
+  }
+};
+
 /// Abstract results of a pointer analysis.
 ///
 /// Every solver in the library (Andersen via \c AndersenResult, the dense
 /// iterative baseline, SFS and VSFS) implements this interface, so clients,
 /// the \c AnalysisRunner registry and the equivalence tests can build,
 /// solve and compare any pair of analyses uniformly.
-class PointerAnalysisResult {
+class PointerAnalysisResult : public PointsToOracle {
 public:
-  virtual ~PointerAnalysisResult() = default;
 
   /// Runs the analysis to its fixed point — or to resource exhaustion when
   /// a ResourceBudget governs it, in which case \c termination() names the
@@ -41,16 +71,6 @@ public:
   /// fixed point was reached; anything else means the solve was cancelled
   /// cooperatively (docs/ROBUSTNESS.md) and the results are partial.
   virtual Termination termination() const { return Termination::Completed; }
-
-  /// The final points-to set of a top-level variable.
-  virtual const PointsTo &ptsOfVar(ir::VarID V) const = 0;
-
-  /// The contents of memory object \p O as observed by instruction \p I —
-  /// the flow-sensitive IN state for SFS/ITER, the consumed version's set
-  /// for VSFS, and the single flow-insensitive set for Andersen. An empty
-  /// set means no store into \p O reaches \p I (the cell is still in its
-  /// null/uninitialised state there); checkers build on this.
-  virtual const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const = 0;
 
   /// The call graph as resolved by this analysis.
   virtual const andersen::CallGraph &callGraph() const = 0;
@@ -67,16 +87,6 @@ public:
   /// index structures holding them. The per-analysis analogue of the
   /// paper's maximum-resident-size column.
   virtual uint64_t footprintBytes() const { return 0; }
-
-  /// True if \p V may point to \p O.
-  bool mayPointTo(ir::VarID V, ir::ObjID O) const {
-    return ptsOfVar(V).test(O);
-  }
-
-  /// True if \p A and \p B may alias (their points-to sets intersect).
-  bool mayAlias(ir::VarID A, ir::VarID B) const {
-    return ptsOfVar(A).intersects(ptsOfVar(B));
-  }
 };
 
 } // namespace core

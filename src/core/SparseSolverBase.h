@@ -42,6 +42,7 @@
 
 #include "core/PointerAnalysis.h"
 #include "core/StrongUpdate.h"
+#include "svfg/Slice.h"
 
 #include <algorithm>
 #include <string>
@@ -97,10 +98,18 @@ protected:
   /// false (the derived solver then never discovers callees itself).
   /// \p Budget, when non-null, governs the solve loop cooperatively (not
   /// owned; must outlive the solver).
+  /// \p Scope, when non-null, restricts the solve to a subset of SVFG
+  /// nodes (not owned; must outlive the solver): the derived solver seeds
+  /// and schedules only in-scope nodes, so the fixpoint is the one of the
+  /// scope-induced subgraph. For a backward-closed scope (svfg/Slice.h)
+  /// that equals the whole-program fixpoint at every in-scope position —
+  /// the demand-mode contract. Out-of-scope positions read as empty
+  /// (a sound under-approximation).
   SparseSolverBase(ir::Module &M, const andersen::Andersen &Aux,
                    std::string StatName, bool OnTheFlyCallGraph,
-                   ResourceBudget *Budget = nullptr)
-      : M(M), OnTheFlyCG(OnTheFlyCallGraph), Budget(Budget),
+                   ResourceBudget *Budget = nullptr,
+                   const svfg::NodeScope *Scope = nullptr)
+      : M(M), OnTheFlyCG(OnTheFlyCallGraph), Budget(Budget), Scope(Scope),
         Stats(std::move(StatName)),
         NodeVisits(Stats.counter("node-visits")),
         Propagations(Stats.counter("propagations")) {
@@ -125,6 +134,11 @@ protected:
     Solved = true;
     return true;
   }
+
+  /// Whether \p N participates in this solve. Unscoped solvers see the
+  /// full graph; scoped ones only their subset. Derived solvers must test
+  /// this before seeding or scheduling any node.
+  bool inScope(svfg::NodeID N) const { return !Scope || Scope->contains(N); }
 
   /// Cooperative cancellation point for the derived solve loops: true
   /// while solving may continue. On exhaustion records the termination
@@ -233,6 +247,9 @@ protected:
   const bool OnTheFlyCG;
   /// The governing budget (nullable, not owned) and how the solve ended.
   ResourceBudget *Budget;
+  /// The node subset this solver is restricted to (nullable, not owned);
+  /// null means the full graph.
+  const svfg::NodeScope *Scope;
   Termination Term = Termination::Completed;
 
   /// pt(v) for every top-level variable (global: partial SSA single-def).

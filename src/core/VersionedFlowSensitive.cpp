@@ -12,8 +12,9 @@ using svfg::NodeKind;
 
 VersionedFlowSensitive::VersionedFlowSensitive(svfg::SVFG &G, Options Opts)
     : SparseSolverBase(G.module(), G.auxAnalysis(), "vsfs",
-                       Opts.OnTheFlyCallGraph, Opts.Budget),
-      G(G), OV(G, Opts.OnTheFlyCallGraph, Opts.LabelRep, Opts.Budget),
+                       Opts.OnTheFlyCallGraph, Opts.Budget, Opts.Scope),
+      G(G),
+      OV(G, Opts.OnTheFlyCallGraph, Opts.LabelRep, Opts.Budget, Opts.Scope),
       VersionVisits(Stats.counter("version-visits")) {}
 
 void VersionedFlowSensitive::solve() {
@@ -37,7 +38,7 @@ void VersionedFlowSensitive::solve() {
   buildVersionGraph();
 
   for (NodeID N = 0; N < G.numNodes(); ++N)
-    if (G.node(N).Kind == NodeKind::Inst)
+    if (G.node(N).Kind == NodeKind::Inst && inScope(N))
       NodeWL.push(N);
 
   bool Live = true;
@@ -81,8 +82,15 @@ bool VersionedFlowSensitive::addVGEdge(Version From, Version To) {
 void VersionedFlowSensitive::buildVersionGraph() {
   // [A-PROP]ᵛ: an SVFG indirect edge ℓ --o--> ℓ' demands propagation only
   // when Y_ℓ(o) differs from C_ℓ'(o); shared versions need none.
+  // Scoped solves add edges only between in-scope endpoints: consume() of
+  // an out-of-scope position returns the object's ε version (the scoped
+  // pre-analysis never labelled it), and ε sets must stay permanently empty.
   for (NodeID N = 0; N < G.numNodes(); ++N) {
+    if (!inScope(N))
+      continue;
     for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+      if (!inScope(E.Dst))
+        continue;
       Version Y = OV.yield(N, E.Obj);
       Version C = OV.consume(E.Dst, E.Obj);
       if (Y != C)
@@ -94,6 +102,8 @@ void VersionedFlowSensitive::buildVersionGraph() {
 
   // Register the solve-time consumers of each version.
   for (InstID I = 0; I < M.numInstructions(); ++I) {
+    if (!inScope(G.instNode(I)))
+      continue;
     const Instruction &Inst = M.inst(I);
     if (Inst.Kind == InstKind::Load) {
       for (uint32_t O : G.memSSA().muObjs(I))
@@ -113,7 +123,8 @@ void VersionedFlowSensitive::processNode(NodeID N) {
     return;
   if (processInst(Node.Inst))
     for (NodeID S : G.directSuccs(N))
-      NodeWL.push(S);
+      if (inScope(S))
+        NodeWL.push(S);
 }
 
 bool VersionedFlowSensitive::processLoad(const Instruction &Inst, InstID I) {
@@ -170,9 +181,15 @@ void VersionedFlowSensitive::processFree(const Instruction &Inst, InstID I) {
 void VersionedFlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
   // New call edge: wire the SVFG flows and translate each added edge into a
   // version-propagation edge into the δ node's prelabelled version.
+  // Scoped solves still materialise the edges (shared graph state any
+  // later, larger-scoped solve reuses) but translate only edges with both
+  // endpoints in scope: an out-of-scope endpoint has no scoped labelling,
+  // so consume()/yield() would alias the permanently-empty ε versions.
   std::vector<std::pair<NodeID, svfg::IndEdge>> Added;
   G.connectCallEdge(CS, Callee, Added);
   for (auto &[From, Edge] : Added) {
+    if (!inScope(From) || !inScope(Edge.Dst))
+      continue;
     Version Y = OV.yield(From, Edge.Obj);
     Version C = OV.consume(Edge.Dst, Edge.Obj);
     if (Y == C)
@@ -181,19 +198,24 @@ void VersionedFlowSensitive::onCalleeDiscovered(InstID CS, FunID Callee) {
       VersionWL.push(C);
   }
   const Function &F = M.function(Callee);
-  NodeWL.push(G.instNode(F.Entry));
-  NodeWL.push(G.instNode(F.Exit));
+  if (inScope(G.instNode(F.Entry)))
+    NodeWL.push(G.instNode(F.Entry));
+  if (inScope(G.instNode(F.Exit)))
+    NodeWL.push(G.instNode(F.Exit));
 }
 
 void VersionedFlowSensitive::onFormalBound(FunID Callee, VarID Param) {
   (void)Param;
-  NodeWL.push(G.instNode(M.function(Callee).Entry));
+  NodeID Entry = G.instNode(M.function(Callee).Entry);
+  if (inScope(Entry))
+    NodeWL.push(Entry);
 }
 
 void VersionedFlowSensitive::onReturnBound(InstID CS, VarID Dst) {
   (void)Dst;
   for (NodeID S : G.directSuccs(G.instNode(CS)))
-    NodeWL.push(S);
+    if (inScope(S))
+      NodeWL.push(S);
 }
 
 void VersionedFlowSensitive::processVersion(Version V) {

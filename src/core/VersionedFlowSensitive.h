@@ -56,6 +56,12 @@ public:
     /// counts against the solver's step budget); null disables polling.
     /// Not owned; must outlive the solver.
     ResourceBudget *Budget = nullptr;
+    /// Node subset to solve (demand mode, svfg/Slice.h); null = full
+    /// graph. The meld pre-analysis versions only this subset and the
+    /// main phase schedules only in-scope nodes. Must be backward-closed
+    /// for in-scope results to equal the whole-program fixpoint. Not
+    /// owned; must outlive the solver.
+    const svfg::NodeScope *Scope = nullptr;
   };
 
   VersionedFlowSensitive(svfg::SVFG &G, Options Opts);

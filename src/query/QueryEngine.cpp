@@ -1,0 +1,328 @@
+//===- QueryEngine.cpp - Demand-driven points-to queries --------*- C++ -*-===//
+
+#include "query/QueryEngine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vsfs;
+using namespace vsfs::query;
+using namespace vsfs::ir;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+bool QueryEngine::supportsSolver(std::string_view Name) {
+  const auto *E = core::AnalysisRunner::registry().find(Name);
+  if (!E)
+    return false;
+  // "iter" solves over the dense ICFG, which has no SVFG node space to
+  // slice; everything registered against the SVFG (plus the passthrough
+  // auxiliary) works.
+  return E->Name == "sfs" || E->Name == "vsfs" || E->Name == "ander";
+}
+
+QueryEngine::QueryEngine(core::AnalysisContext &Ctx, Options Opts)
+    : Ctx(Ctx), Opts(std::move(Opts)),
+      Passthrough(this->Opts.Solver == "ander"), Slicer(Ctx.svfg()),
+      Scope(Ctx.svfg().numNodes()) {
+  assert(Ctx.isBuilt() && "QueryEngine needs a built AnalysisContext");
+  assert(supportsSolver(this->Opts.Solver) && "unsliceable solver");
+  Stats.get("svfg-nodes") = Ctx.svfg().numNodes();
+}
+
+bool QueryEngine::grow(NodeID Root) {
+  svfg::BackwardSlicer::SliceResult R = Slicer.slice(Root, Scope);
+  Stats.max("slice-nodes-max", R.SliceNodes);
+  Stats.get("slice-nodes-total") += R.SliceNodes;
+  uint64_t Touches = Stats.get("queries") + Stats.get("prefetches");
+  Stats.get("slice-nodes-mean") =
+      Stats.get("slice-nodes-total") / std::max<uint64_t>(Touches, 1);
+  Stats.get("scope-nodes") = Scope.size();
+  if (R.NewNodes != 0)
+    ScopeDirty = true;
+  return R.NewNodes != 0;
+}
+
+void QueryEngine::prefetch(InstID I) {
+  if (Passthrough)
+    return;
+  ++Stats.get("prefetches");
+  grow(Ctx.svfg().instNode(I));
+}
+
+void QueryEngine::materialise(NodeID Root) {
+  ++Stats.get("queries");
+  grow(Root);
+  // Hit: the scope already covers the whole slice (no growth since the
+  // last solve, including prefetches) *and* the last solve completed. A
+  // degraded solver never serves hits — the next query re-solves fresh
+  // under a fresh budget (per-query degradation).
+  if (!ScopeDirty && Solver && SolverValid)
+    ++Stats.get("slice-cache-hits");
+  else
+    resolve();
+}
+
+void QueryEngine::resolve() {
+  ++Stats.get("solves");
+  auto NewBudget = std::make_unique<ResourceBudget>(Opts.QueryLimits);
+  core::SolverOptions SO;
+  SO.OnTheFlyCallGraph = Opts.OnTheFlyCallGraph;
+  SO.LabelRep = Opts.LabelRep;
+  SO.Budget = NewBudget->anyLimit() ? NewBudget.get() : nullptr;
+  SO.Scope = &Scope;
+  // Degradation policy is the engine's, per query, not the runner's.
+  SO.Policy = core::SolverOptions::OnExhaustion::Fail;
+  core::AnalysisRunner::RunResult R =
+      core::AnalysisRunner::registry().run(Ctx, Opts.Solver, SO);
+  // Replace solver before budget: the outgoing solver holds a pointer to
+  // the outgoing budget.
+  Solver = std::move(R.Analysis);
+  SolveBudget = std::move(NewBudget);
+  SolveSeconds += R.SolveSeconds;
+  LastStatus = R.Status;
+  SolverValid = R.Status == Termination::Completed;
+  ScopeDirty = false;
+  if (!SolverValid) {
+    ++DegradedQueries;
+    ++Stats.get("degraded-queries");
+  }
+}
+
+const PointsTo &QueryEngine::ptsAt(InstID I, VarID V) {
+  if (!Passthrough)
+    materialise(Ctx.svfg().instNode(I));
+  else
+    ++Stats.get("queries");
+  return ptsOfVar(V);
+}
+
+const PointsTo &QueryEngine::ptsOfObjAt(InstID I, ObjID O) {
+  if (!Passthrough)
+    materialise(Ctx.svfg().instNode(I));
+  else
+    ++Stats.get("queries");
+  return static_cast<const QueryEngine *>(this)->ptsOfObjAt(I, O);
+}
+
+bool QueryEngine::reachesSink(InstID Source, InstID Sink) {
+  const svfg::SVFG &G = Ctx.svfg();
+  NodeID SinkN = G.instNode(Sink);
+  NodeID SourceN = G.instNode(Source);
+  if (!Passthrough)
+    materialise(SinkN); // Materialises every discoverable edge on a path.
+  else
+    ++Stats.get("queries");
+  if (SourceN == SinkN)
+    return true;
+  // Exact forward BFS over the graph as materialised. Any Source→Sink path
+  // lies inside Sink's backward closure, which the scoped solve covered.
+  std::vector<char> Visited(G.numNodes(), 0);
+  std::vector<NodeID> Queue{SourceN};
+  Visited[SourceN] = 1;
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    NodeID N = Queue[Head];
+    auto Visit = [&](NodeID S) {
+      if (Visited[S])
+        return false;
+      Visited[S] = 1;
+      Queue.push_back(S);
+      return S == SinkN;
+    };
+    for (NodeID S : G.directSuccs(N))
+      if (Visit(S))
+        return true;
+    for (const svfg::IndEdge &E : G.indirectSuccs(N))
+      if (Visit(E.Dst))
+        return true;
+  }
+  return false;
+}
+
+const PointsTo &QueryEngine::ptsOfVar(VarID V) const {
+  if (Solver && SolverValid)
+    return Solver->ptsOfVar(V);
+  return Ctx.andersen().ptsOfVar(V);
+}
+
+const PointsTo &QueryEngine::ptsOfObjAt(InstID I, ObjID O) const {
+  if (Solver && SolverValid)
+    return Solver->ptsOfObjAt(I, O);
+  (void)I; // Aux fallback is flow-insensitive.
+  return Ctx.andersen().ptsOfObj(O);
+}
+
+core::AnalysisRunner::RunResult QueryEngine::takeRunResult() {
+  if (!Passthrough && (!Solver || ScopeDirty))
+    resolve(); // Query-less (or prefetch-only) session: cover the scope.
+  core::AnalysisRunner::RunResult R;
+  R.Name = core::AnalysisRunner::registry().find(Opts.Solver)->Name;
+  R.SolveSeconds = SolveSeconds;
+  R.Status = LastStatus;
+  if (Passthrough || (Solver && SolverValid)) {
+    R.Analysis = Passthrough ? std::make_unique<core::AndersenResult>(
+                                   Ctx.andersen())
+                             : std::move(Solver);
+  } else {
+    // Still degraded at the end: hand back the auxiliary result, exactly
+    // like the runner's Degrade policy (sound over-approximation).
+    R.Analysis = std::make_unique<core::AndersenResult>(Ctx.andersen());
+    R.Degraded = true;
+  }
+  return R;
+}
+
+namespace {
+
+/// Field objects alias storage inside their base allocation; bug state
+/// lives on the root allocation (mirrors the checker's notion).
+ObjID rootObject(const SymbolTable &Syms, ObjID O) {
+  while (Syms.object(O).Kind == ObjKind::Field)
+    O = Syms.object(O).Base;
+  return O;
+}
+
+/// The pointer operand when \p Inst dereferences memory, else InvalidVar.
+VarID derefPtr(const Instruction &Inst) {
+  switch (Inst.Kind) {
+  case InstKind::Load:
+    return Inst.loadPtr();
+  case InstKind::Store:
+    return Inst.storePtr();
+  case InstKind::Free:
+    return Inst.freePtr();
+  default:
+    return InvalidVar;
+  }
+}
+
+} // namespace
+
+std::vector<checker::Finding> vsfs::query::runCheckersDemand(QueryEngine &E,
+                                                             uint32_t KindMask) {
+  const svfg::SVFG &G = E.context().svfg();
+  const Module &M = G.module();
+  const SymbolTable &Syms = M.symbols();
+  const andersen::Andersen &Aux = G.auxAnalysis();
+  const svfg::BackwardSlicer &Slicer = E.slicer();
+
+  const bool WantFrees =
+      (KindMask & (checker::checkBit(checker::CheckKind::UseAfterFree) |
+                   checker::checkBit(checker::CheckKind::DoubleFree) |
+                   checker::checkBit(checker::CheckKind::Leak))) != 0;
+  const bool WantWalk =
+      (KindMask & (checker::checkBit(checker::CheckKind::UseAfterFree) |
+                   checker::checkBit(checker::CheckKind::DoubleFree))) != 0;
+  const bool WantNull =
+      (KindMask & checker::checkBit(checker::CheckKind::NullDeref)) != 0;
+
+  // From each freed object's flow, walk forward from free site \p F over
+  // the static *plus potential* indirect edges — a superset of any graph
+  // the solvers can materialise — and hand every candidate sink the
+  // auxiliary analysis cannot rule out to \p Touch. Aux over-approximates
+  // the backend, so every exhaustive-mode finding's sink is a candidate.
+  auto walkFreed = [&](InstID F, const PointsTo &FreedPts, auto &&Touch) {
+    PointsTo FreedRoots;
+    for (uint32_t O : FreedPts)
+      if (!Syms.isFunctionObject(O))
+        FreedRoots.set(rootObject(Syms, O));
+    for (uint32_t O : FreedRoots) {
+      std::vector<char> Visited(G.numNodes(), 0);
+      std::vector<NodeID> Stack{G.instNode(F)};
+      Visited[G.instNode(F)] = 1;
+      auto Consider = [&](const svfg::IndEdge &Edge) {
+        if (rootObject(Syms, Edge.Obj) != O || Visited[Edge.Dst])
+          return;
+        Visited[Edge.Dst] = 1;
+        Stack.push_back(Edge.Dst);
+        const svfg::Node &Node = G.node(Edge.Dst);
+        if (Node.Kind != NodeKind::Inst)
+          return;
+        VarID Ptr = derefPtr(M.inst(Node.Inst));
+        if (Ptr == InvalidVar)
+          return;
+        for (uint32_t P : Aux.ptsOfVar(Ptr))
+          if (!Syms.isFunctionObject(P) && rootObject(Syms, P) == O) {
+            Touch(Node.Inst, Ptr);
+            break;
+          }
+      };
+      while (!Stack.empty()) {
+        NodeID N = Stack.back();
+        Stack.pop_back();
+        for (const svfg::IndEdge &Edge : G.indirectSuccs(N))
+          Consider(Edge);
+        for (const svfg::IndEdge &Edge : Slicer.potentialIndirectSuccs(N))
+          Consider(Edge);
+      }
+    }
+  };
+
+  // The null-deref sources are loads whose pointer may (per the backend)
+  // target a cell the auxiliary analysis proves uninitialised; \p Touch
+  // receives every load with an aux-qualifying candidate.
+  auto eachNullCandidate = [&](auto &&Touch) {
+    for (InstID I = 0; I < M.numInstructions(); ++I) {
+      const Instruction &Inst = M.inst(I);
+      if (Inst.Kind != InstKind::Load)
+        continue;
+      for (uint32_t O : Aux.ptsOfVar(Inst.loadPtr()))
+        if (!Syms.isFunctionObject(O) && Aux.ptsOfObj(O).empty()) {
+          Touch(I, Inst.loadPtr());
+          break;
+        }
+    }
+  };
+
+  // Phase 0: prefetch. Union every slice the query phases below will need
+  // into the scope *before* the first answer, so the engine's lazy solve
+  // runs once over the final scope and the queries below answer as
+  // slice-cache hits. (Interleaving scope growth with answers re-solved
+  // the growing scope once per miss — quadratic on checker workloads.)
+  // The walk roots come from the auxiliary freed sets, a superset of the
+  // exact freed sets phase 2 walks, so phase 2 touches no new nodes.
+  for (InstID F = 0; WantFrees && F < M.numInstructions(); ++F) {
+    const Instruction &FreeInst = M.inst(F);
+    if (FreeInst.Kind != InstKind::Free)
+      continue;
+    E.prefetch(F);
+    if (WantWalk)
+      walkFreed(F, Aux.ptsOfVar(FreeInst.freePtr()),
+                [&](InstID I, VarID) { E.prefetch(I); });
+  }
+  if (WantNull)
+    eachNullCandidate([&](InstID I, VarID) { E.prefetch(I); });
+
+  // Phase 1: one query per free site — the checkers' freed-object sets
+  // (uaf/dfree sources, leak coverage) must be fixpoint-exact.
+  // Phase 2: query every candidate sink on the freed objects' flow, so the
+  // scoped answer there is exact and every edge on the free→sink paths is
+  // materialised for the final walk.
+  if (WantFrees) {
+    for (InstID F = 0; F < M.numInstructions(); ++F) {
+      const Instruction &FreeInst = M.inst(F);
+      if (FreeInst.Kind != InstKind::Free)
+        continue;
+      const PointsTo &FreedPts = E.ptsAt(F, FreeInst.freePtr());
+      if (WantWalk)
+        walkFreed(F, FreedPts,
+                  [&](InstID I, VarID Ptr) { E.ptsAt(I, Ptr); });
+    }
+  }
+
+  // Phase 3: query every load with an aux-qualifying candidate so the
+  // null-deref source set — which iterates the backend's pt(loadPtr) — is
+  // evaluated on exact sets.
+  if (WantNull)
+    eachNullCandidate([&](InstID I, VarID Ptr) { E.ptsAt(I, Ptr); });
+
+  // Final pass: the unchanged exhaustive engine, with the query engine as
+  // its oracle. Every points-to set the walk can consult is now exact (or
+  // the whole session is degraded to aux precision and flagged below).
+  std::vector<checker::Finding> Findings =
+      checker::runCheckers(G, E, KindMask);
+  if (E.degraded())
+    for (checker::Finding &F : Findings)
+      F.AuxPrecision = true;
+  return Findings;
+}

@@ -1,0 +1,179 @@
+//===- QueryEngine.h - Demand-driven points-to queries ----------*- C++ -*-===//
+///
+/// \file
+/// The demand-driven front half of `--mode=demand` (docs/QUERIES.md): a
+/// per-query solver over backward slices of the SVFG instead of one
+/// whole-program fixpoint.
+///
+/// Each query names a program position; the engine computes the backward
+/// slice of the corresponding SVFG node (svfg/Slice.h), grows a *cumulative*
+/// node scope with it, and — when the slice added new nodes — re-solves the
+/// configured flow-sensitive solver restricted to that scope. Because the
+/// scope is backward-closed, the scoped solve computes exactly the
+/// whole-program fixpoint at every in-scope position, so query answers are
+/// bit-identical to the exhaustive analysis. Overlapping queries memoise
+/// naturally: a query whose slice is already covered reuses the last solved
+/// fixpoint (a *slice-cache hit*), and with `--pts-repr=persistent` the
+/// hash-consed interning cache makes even the re-solves cheap (the sets a
+/// re-solve recomputes intern to the already-present nodes).
+///
+/// Per-query budgets: every re-solve runs under a fresh \c ResourceBudget
+/// built from the configured limits, so one pathological query degrades
+/// *that query* to auxiliary precision instead of taking the process down —
+/// the next query miss simply re-solves fresh. While degraded, the oracle
+/// view answers from the auxiliary analysis (sound, flow-insensitive).
+///
+/// The engine implements \c core::PointsToOracle, so checker clients run
+/// the unchanged exhaustive engine against it; \c runCheckersDemand issues
+/// exactly the queries the checkers' walk can touch first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_QUERY_QUERYENGINE_H
+#define VSFS_QUERY_QUERYENGINE_H
+
+#include "checker/Checker.h"
+#include "core/AnalysisRunner.h"
+#include "svfg/Slice.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace vsfs {
+namespace query {
+
+/// Demand-driven query engine over a built \c core::AnalysisContext.
+class QueryEngine : public core::PointsToOracle {
+public:
+  struct Options {
+    /// Registered solver backing the scoped solves: "sfs" or "vsfs" (the
+    /// flow-sensitive solvers that understand a node scope), or "ander"
+    /// (a trivial passthrough — every query answers from the already
+    /// solved auxiliary analysis; useful as a precision baseline). "iter"
+    /// has no SVFG node space to slice and is rejected.
+    std::string Solver = "vsfs";
+    /// Passed through to the scoped solver.
+    bool OnTheFlyCallGraph = true;
+    core::MeldRep LabelRep = core::MeldRep::SparseBits;
+    /// Per-query resource limits: each re-solve runs under a fresh
+    /// \c ResourceBudget with these limits. All-zero = ungoverned.
+    ResourceBudget::Limits QueryLimits{};
+  };
+
+  /// True for solver names the engine can slice for (plus "ander").
+  static bool supportsSolver(std::string_view Name);
+
+  /// \p Ctx must be built; the engine keeps references into it.
+  QueryEngine(core::AnalysisContext &Ctx, Options Opts);
+
+  // --- Queries (grow the scope, may re-solve) -----------------------------
+
+  /// pt(V) as observed at instruction \p I — the whole-program fixpoint
+  /// value, computed from \p I's backward slice. Top-level sets are
+  /// flow-insensitive per partial SSA, so the answer is \p I-independent;
+  /// the position tells the engine *what to slice* so the value is final.
+  const PointsTo &ptsAt(ir::InstID I, ir::VarID V);
+
+  /// The contents of object \p O as observed by instruction \p I (the
+  /// demand analogue of \c PointerAnalysisResult::ptsOfObjAt).
+  const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O);
+
+  /// May a value flow from \p Source's SVFG node to \p Sink's along the
+  /// value-flow graph? Slices (and solves) at the sink first, so every
+  /// interprocedural edge on a Source→Sink path the solver could discover
+  /// is materialised, then walks forward exactly.
+  bool reachesSink(ir::InstID Source, ir::InstID Sink);
+
+  /// Grows the scope with \p I's backward slice *without* solving: the next
+  /// query re-solves once over the accumulated scope. Batch-prefetching a
+  /// query set turns N scope-growing queries (N re-solves) into one solve
+  /// plus N slice-cache hits — \c runCheckersDemand does exactly this.
+  void prefetch(ir::InstID I);
+
+  // --- PointsToOracle (read-only view over everything queried so far) -----
+
+  /// Answers from the cumulative scoped solver — exact for any variable
+  /// whose uses were covered by a query; from the auxiliary analysis while
+  /// degraded. Does not grow the scope.
+  const PointsTo &ptsOfVar(ir::VarID V) const override;
+  const PointsTo &ptsOfObjAt(ir::InstID I, ir::ObjID O) const override;
+
+  // --- Introspection -------------------------------------------------------
+
+  /// "query" StatGroup: queries, slice-cache-hits, solves, degraded
+  /// queries, slice/scope sizes (docs/QUERIES.md lists the keys).
+  const StatGroup &stats() const { return Stats; }
+
+  /// Queries answered at auxiliary precision because their solve's budget
+  /// exhausted. Non-zero means findings derived from this engine should be
+  /// flagged \c AuxPrecision when \c degraded() is still true at the end.
+  uint64_t degradedQueries() const { return DegradedQueries; }
+  /// True while the last scoped solve exhausted its budget (the oracle is
+  /// answering from the auxiliary analysis until the next re-solve).
+  bool degraded() const { return Solver != nullptr && !SolverValid; }
+  /// How the last scoped solve ended.
+  Termination lastStatus() const { return LastStatus; }
+
+  const svfg::NodeScope &scope() const { return Scope; }
+  const svfg::BackwardSlicer &slicer() const { return Slicer; }
+  core::AnalysisContext &context() { return Ctx; }
+  const Options &options() const { return Opts; }
+
+  /// Packages the engine's cumulative solver as an \c AnalysisRunner
+  /// RunResult (solving the current scope first if no query ever ran), so
+  /// the CLI's reporting path treats a demand session like a run:
+  /// SolveSeconds is the total across re-solves, Degraded reflects a
+  /// still-degraded final state. The engine must not be queried afterwards.
+  core::AnalysisRunner::RunResult takeRunResult();
+
+private:
+  /// Slice at \p Root into the cumulative scope; returns true when the
+  /// slice added nodes (and marks the solver stale).
+  bool grow(svfg::NodeID Root);
+  /// Slice at \p Root, grow the scope, re-solve on miss; afterwards the
+  /// oracle accessors answer the query (from the scoped solver, or from
+  /// the auxiliary analysis while degraded).
+  void materialise(svfg::NodeID Root);
+  void resolve();
+
+  core::AnalysisContext &Ctx;
+  Options Opts;
+  bool Passthrough; ///< "ander": no slicing, answers from aux.
+
+  svfg::BackwardSlicer Slicer;
+  svfg::NodeScope Scope;
+
+  /// The cumulative scoped solver (null until the first miss) and the
+  /// budget its last solve ran under (owned here: the solver keeps a
+  /// pointer, so the budget must outlive it).
+  std::unique_ptr<core::PointerAnalysisResult> Solver;
+  std::unique_ptr<ResourceBudget> SolveBudget;
+  bool SolverValid = false;
+  /// The scope grew (query miss or prefetch) since the last solve.
+  bool ScopeDirty = false;
+  Termination LastStatus = Termination::Completed;
+  double SolveSeconds = 0;
+  uint64_t DegradedQueries = 0;
+
+  StatGroup Stats{"query"};
+};
+
+/// Runs the bug checkers in demand mode: issues one query per free site,
+/// walks forward from the frees over the static *and potential* indirect
+/// edges to find every candidate sink the auxiliary analysis cannot rule
+/// out, queries each candidate (and each aux-qualifying load, for
+/// null-deref sources), then runs the unchanged exhaustive
+/// \c checker::ValueFlowChecker against the engine's oracle view. The
+/// result is bit-identical to exhaustive-mode findings — the aux-superset
+/// candidate tests guarantee every exhaustive finding's sink was queried,
+/// and scoped answers at queried positions equal the whole-program
+/// fixpoint. Findings are flagged \c AuxPrecision when the engine ends
+/// degraded.
+std::vector<checker::Finding>
+runCheckersDemand(QueryEngine &E, uint32_t KindMask = checker::AllChecks);
+
+} // namespace query
+} // namespace vsfs
+
+#endif // VSFS_QUERY_QUERYENGINE_H

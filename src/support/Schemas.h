@@ -1,0 +1,42 @@
+//===- Schemas.h - Machine-readable output schema versions ------*- C++ -*-===//
+///
+/// \file
+/// The schema-version strings stamped into every machine-readable JSON
+/// document this repository emits (--stats-json, the table benches, the
+/// demand-mode ablation). They live in exactly one place so a schema bump
+/// is one edit here plus the documented delta (docs/ROBUSTNESS.md,
+/// docs/QUERIES.md) — not a grep across tools and benches.
+///
+/// History of the driver schema:
+///   vsfs-stats-v1  original pipeline + per-analysis counters
+///   vsfs-stats-v2  + termination/degraded/partial, budget group, drains
+///   vsfs-stats-v3  + session "mode" (exhaustive | demand) and the demand
+///                    engine's per-analysis "query" group (docs/QUERIES.md)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SUPPORT_SCHEMAS_H
+#define VSFS_SUPPORT_SCHEMAS_H
+
+namespace vsfs {
+namespace schemas {
+
+/// --stats-json (tools/vsfs-wpa.cpp via core::statsJson).
+inline constexpr const char *StatsJson = "vsfs-stats-v3";
+
+/// bench_table2 --json (Table II reproduction).
+inline constexpr const char *BenchTable2 = "vsfs-table2-v2";
+
+/// bench_table3 --json (Table III reproduction).
+inline constexpr const char *BenchTable3 = "vsfs-table3-v2";
+
+/// bench_ptscache --json (points-to representation ablation).
+inline constexpr const char *BenchPtsCache = "vsfs-ptscache-v1";
+
+/// bench_demand --json (exhaustive vs. demand-mode ablation).
+inline constexpr const char *BenchDemand = "vsfs-demand-v1";
+
+} // namespace schemas
+} // namespace vsfs
+
+#endif // VSFS_SUPPORT_SCHEMAS_H

@@ -1,0 +1,106 @@
+//===- Slice.cpp - Backward slicing over the SVFG ---------------*- C++ -*-===//
+
+#include "svfg/Slice.h"
+
+#include "andersen/Andersen.h"
+
+#include <algorithm>
+
+using namespace vsfs;
+using namespace vsfs::svfg;
+using namespace vsfs::ir;
+
+BackwardSlicer::BackwardSlicer(const SVFG &G)
+    : G(G), Preds(G.numNodes()), VisitEpoch(G.numNodes(), 0) {
+  buildStaticPreds();
+  buildPotentialPreds();
+  // Dedup the pred lists: potential edges overlap the static ones for
+  // direct calls (and entirely under ConnectAuxIndirectCalls), and BFS
+  // cost is proportional to list length.
+  for (std::vector<NodeID> &P : Preds) {
+    std::sort(P.begin(), P.end());
+    P.erase(std::unique(P.begin(), P.end()), P.end());
+  }
+}
+
+void BackwardSlicer::buildStaticPreds() {
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    for (NodeID S : G.directSuccs(N))
+      addPred(S, N);
+    for (const IndEdge &E : G.indirectSuccs(N))
+      addPred(E.Dst, N);
+  }
+}
+
+void BackwardSlicer::buildPotentialPreds() {
+  // Every interprocedural value flow the solvers can materialise, bounded
+  // by the auxiliary call graph (a superset of any flow-sensitively
+  // discovered callee set). For each potential call edge CS → f:
+  //
+  //  - call-μ(CS,o) → entry-χ(f,o) and exit-μ(f,o) → call-χ(CS,o), the
+  //    object flows connectCallEdge would add;
+  //  - the callsite node itself is a dependence of both callee-side
+  //    boundary nodes: the edge only materialises when the solver
+  //    processes CS (whose callee pointer's def is a direct pred of CS);
+  //  - f's formals are (re)bound when CS is processed, so f's entry
+  //    depends on CS; CS's destination is written when f's exit runs, so
+  //    CS depends on f's exit.
+  const Module &M = G.module();
+  const andersen::CallGraph &AuxCG = G.auxAnalysis().callGraph();
+  auto HasStaticEdge = [this](NodeID From, NodeID To, ObjID Obj) {
+    for (const IndEdge &E : G.indirectSuccs(From))
+      if (E.Dst == To && E.Obj == Obj)
+        return true;
+    return false;
+  };
+  for (InstID CS : AuxCG.callSites()) {
+    NodeID CallNode = G.instNode(CS);
+    for (FunID Callee : AuxCG.callees(CS)) {
+      for (NodeID MuN : G.callMusOf(CS)) {
+        ObjID O = G.node(MuN).Obj;
+        NodeID ChiN = G.entryChiNode(Callee, O);
+        if (ChiN == InvalidNode)
+          continue;
+        addPred(ChiN, MuN);
+        addPred(ChiN, CallNode);
+        if (!HasStaticEdge(MuN, ChiN, O))
+          PotentialSuccs[MuN].push_back(IndEdge{ChiN, O});
+      }
+      for (NodeID MuN : G.exitMusOf(Callee)) {
+        ObjID O = G.node(MuN).Obj;
+        NodeID ChiN = G.callChiNode(CS, O);
+        if (ChiN == InvalidNode)
+          continue;
+        addPred(ChiN, MuN);
+        addPred(ChiN, CallNode);
+        if (!HasStaticEdge(MuN, ChiN, O))
+          PotentialSuccs[MuN].push_back(IndEdge{ChiN, O});
+      }
+      const Function &F = M.function(Callee);
+      addPred(G.instNode(F.Entry), CallNode);
+      addPred(CallNode, G.instNode(F.Exit));
+    }
+  }
+}
+
+BackwardSlicer::SliceResult BackwardSlicer::slice(NodeID Root,
+                                                  NodeScope &Scope) {
+  ++Epoch;
+  SliceResult R;
+  Queue.clear();
+  VisitEpoch[Root] = Epoch;
+  Queue.push_back(Root);
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    NodeID N = Queue[Head];
+    ++R.SliceNodes;
+    if (Scope.insert(N))
+      ++R.NewNodes;
+    for (NodeID P : Preds[N]) {
+      if (VisitEpoch[P] == Epoch)
+        continue;
+      VisitEpoch[P] = Epoch;
+      Queue.push_back(P);
+    }
+  }
+  return R;
+}

@@ -1,0 +1,123 @@
+//===- Slice.h - Backward slicing over the SVFG -----------------*- C++ -*-===//
+///
+/// \file
+/// Reverse-reachability support for demand-driven solving (docs/QUERIES.md).
+///
+/// A query about a program position only depends on the SVFG nodes whose
+/// values can flow into it: the *backward slice* of the query node. A
+/// flow-sensitive solver restricted to a backward-closed node set computes
+/// exactly the whole-program fixpoint at every in-slice position, because
+/// no out-of-slice node can influence an in-slice one — that closure is the
+/// entire soundness argument of `--mode=demand`, so the slicer must
+/// over-approximate every dependence the solvers exercise:
+///
+///  - direct edges (top-level def-use) and indirect edges (object-labelled
+///    memory def-use) present in the graph;
+///  - *potential* interprocedural edges: with on-the-fly call-graph
+///    solving the SVFG initially lacks the call-μ → entry-χ and
+///    exit-μ → call-χ edges of indirect calls. The auxiliary Andersen call
+///    graph over-approximates every callee the flow-sensitive solvers can
+///    discover, so its edges bound all future materialisations;
+///  - discovery and binding dependences: a late call edge only appears
+///    when the solver processes the callsite (so the callsite — and
+///    transitively the callee pointer's def — is a dependence of the
+///    callee-side boundary nodes), formal parameters depend on every
+///    potential caller, and call destinations depend on the callee's exit.
+///
+/// \c NodeScope is the dense membership set the scoped solvers test against;
+/// \c BackwardSlicer owns the reverse adjacency (static + potential) and
+/// grows a cumulative scope per query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SVFG_SLICE_H
+#define VSFS_SVFG_SLICE_H
+
+#include "svfg/SVFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace svfg {
+
+/// A subset of the SVFG's nodes, with O(1) membership. Scoped solvers hold
+/// a nullable pointer to one: null means "the full graph".
+class NodeScope {
+public:
+  explicit NodeScope(uint32_t NumNodes) : Member(NumNodes, 0) {}
+
+  bool contains(NodeID N) const { return Member[N] != 0; }
+
+  /// Returns true when \p N was newly inserted.
+  bool insert(NodeID N) {
+    if (Member[N])
+      return false;
+    Member[N] = 1;
+    ++Count;
+    return true;
+  }
+
+  uint32_t size() const { return Count; }
+  uint32_t numNodes() const { return static_cast<uint32_t>(Member.size()); }
+
+private:
+  std::vector<char> Member;
+  uint32_t Count = 0;
+};
+
+/// Computes backward slices of SVFG nodes over the static graph plus every
+/// potential interprocedural dependence (see the file comment). Built once
+/// per graph; the reverse adjacency is immutable, so slices stay valid as
+/// solvers materialise call edges (materialised edges are always a subset
+/// of the potential ones).
+class BackwardSlicer {
+public:
+  explicit BackwardSlicer(const SVFG &G);
+
+  /// Result of one slice request.
+  struct SliceResult {
+    uint32_t SliceNodes = 0; ///< |backward slice of the root| (incl. root).
+    uint32_t NewNodes = 0;   ///< How many of those were not yet in scope.
+  };
+
+  /// Backward-reachability BFS from \p Root; every reached node (and the
+  /// root itself) is added to \p Scope. NewNodes == 0 means the scope
+  /// already covered the whole slice — the memoisation hit test.
+  SliceResult slice(NodeID Root, NodeScope &Scope);
+
+  /// The potential *forward* indirect edges of \p N that the static graph
+  /// lacks (interprocedural flows of aux-resolved indirect calls). Checker
+  /// clients union these with \c G.indirectSuccs(N) to walk the graph the
+  /// solvers could at most materialise. Empty when the SVFG was built with
+  /// ConnectAuxIndirectCalls (the edges then exist statically).
+  const std::vector<IndEdge> &potentialIndirectSuccs(NodeID N) const {
+    static const std::vector<IndEdge> Empty;
+    auto It = PotentialSuccs.find(N);
+    return It == PotentialSuccs.end() ? Empty : It->second;
+  }
+
+  const SVFG &graph() const { return G; }
+
+private:
+  void addPred(NodeID Of, NodeID Pred) { Preds[Of].push_back(Pred); }
+  void buildStaticPreds();
+  void buildPotentialPreds();
+
+  const SVFG &G;
+  /// Reverse adjacency: every node that may influence the key node.
+  std::vector<std::vector<NodeID>> Preds;
+  /// Potential forward indirect edges keyed by source (sparse: only
+  /// call-μ / exit-μ nodes of aux-resolved calls carry any).
+  std::unordered_map<NodeID, std::vector<IndEdge>> PotentialSuccs;
+  /// Scratch for slice() BFS, epoch-tagged so repeated slices need no
+  /// clearing sweep.
+  std::vector<uint32_t> VisitEpoch;
+  uint32_t Epoch = 0;
+  std::vector<NodeID> Queue;
+};
+
+} // namespace svfg
+} // namespace vsfs
+
+#endif // VSFS_SVFG_SLICE_H

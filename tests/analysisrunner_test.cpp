@@ -277,7 +277,8 @@ TEST(StatsJson, GoldenShapeForAllAnalyses) {
   expectWellFormedJson(J);
 
   // Top-level shape.
-  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v2\""), std::string::npos);
+  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v3\""), std::string::npos);
+  EXPECT_NE(J.find("\"mode\": \"exhaustive\""), std::string::npos);
   for (const char *Key :
        {"\"module\"", "\"pipeline\"", "\"analyses\"", "\"instructions\"",
         "\"functions\"", "\"variables\"", "\"objects\"",

@@ -21,6 +21,7 @@
 #include "adt/PointsToCache.h"
 #include "checker/Checker.h"
 #include "core/AnalysisRunner.h"
+#include "query/QueryEngine.h"
 #include "workload/BenchmarkSuite.h"
 
 #include <cstdio>
@@ -37,7 +38,7 @@ namespace {
 /// plain containers so comparisons never dangle into a cleared cache.
 struct Snapshot {
   std::vector<std::vector<uint32_t>> Ander, Sfs, Vsfs, Iter;
-  std::vector<std::string> SfsFindings, VsfsFindings;
+  std::vector<std::string> SfsFindings, VsfsFindings, DemandFindings;
 };
 
 std::vector<std::vector<uint32_t>>
@@ -105,6 +106,21 @@ Snapshot solveAndCheck(const workload::GenConfig &C, adt::PtsRepr Repr,
     Snap.Vsfs = snapshotVarPts(M, *Vsfs.Analysis);
     Snap.SfsFindings = findingStrings(*Ctx, *Sfs.Analysis);
     Snap.VsfsFindings = findingStrings(*Ctx, *Vsfs.Analysis);
+
+    // Demand mode under the same representation: the checker client over
+    // per-query scoped solves must reproduce the exhaustive findings
+    // exactly (docs/QUERIES.md).
+    {
+      query::QueryEngine::Options QO;
+      QO.Solver = "vsfs";
+      QO.OnTheFlyCallGraph = false; // Graph carries the aux call edges.
+      query::QueryEngine E(*Ctx, QO);
+      for (const checker::Finding &F : query::runCheckersDemand(E))
+        Snap.DemandFindings.push_back(checker::printFinding(M, F));
+      EXPECT_EQ(Snap.DemandFindings, Snap.VsfsFindings)
+          << What << " [" << adt::ptsReprName(Repr)
+          << "]: demand checker findings differ from exhaustive";
+    }
   }
   // All persistent sets died with the scope above; reclaim the interned
   // nodes so a long fuzz run's memory stays bounded.
@@ -123,6 +139,8 @@ void expectSameSnapshots(const Snapshot &Sbv, const Snapshot &Pers,
       << What << ": sfs checker findings differ across reprs";
   EXPECT_EQ(Sbv.VsfsFindings, Pers.VsfsFindings)
       << What << ": vsfs checker findings differ across reprs";
+  EXPECT_EQ(Sbv.DemandFindings, Pers.DemandFindings)
+      << What << ": demand checker findings differ across reprs";
 }
 
 } // namespace

@@ -1,0 +1,398 @@
+//===- query_test.cpp - Demand-driven query engine --------------*- C++ -*-===//
+///
+/// \file
+/// The `--mode=demand` contract (docs/QUERIES.md), pinned from four sides:
+///
+///  - *slice invariants*: a backward slice is backward-closed over every
+///    dependence the scoped solvers exercise — static direct + indirect
+///    preds and the potential interprocedural edges — and contains at
+///    least the brute-force transpose reachability of its root;
+///  - *answer exactness*: demand answers (top-level and per-position
+///    object contents) are bit-identical to the exhaustive fixpoint, for
+///    every supported backend and both points-to representations, while
+///    the solved scope stays a strict subset of the SVFG;
+///  - *finding equivalence*: the demand checker client reproduces the
+///    exhaustive checkers' findings exactly on every Table II preset with
+///    injected bugs (the acceptance bar of the demand refactor);
+///  - *memoisation and budgets*: covered re-queries are slice-cache hits
+///    (no re-solve), prefetch batches collapse to one solve, and a
+///    per-query budget degrades that query to auxiliary precision without
+///    poisoning later queries or the process.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "adt/PointsToCache.h"
+#include "checker/Checker.h"
+#include "core/AnalysisRunner.h"
+#include "query/QueryEngine.h"
+#include "svfg/Slice.h"
+#include "workload/BenchmarkSuite.h"
+
+using namespace vsfs;
+using namespace vsfs::test;
+using svfg::NodeID;
+
+namespace {
+
+/// A small-but-interprocedural generated program: indirect calls, heap
+/// objects, enough memory traffic that slices are non-trivial.
+workload::GenConfig smallConfig(uint64_t Seed) {
+  workload::GenConfig C;
+  C.Seed = Seed;
+  C.NumFunctions = 6;
+  C.BlocksPerFunction = 3;
+  C.InstsPerBlock = 5;
+  return C;
+}
+
+std::vector<ir::InstID> sitesOfKind(const ir::Module &M, ir::InstKind K) {
+  std::vector<ir::InstID> Sites;
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == K)
+      Sites.push_back(I);
+  return Sites;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Slice invariants
+//===----------------------------------------------------------------------===//
+
+TEST(Slice, BackwardClosedOverStaticAndPotentialEdges) {
+  auto Ctx = buildFromConfig(smallConfig(11));
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  const svfg::SVFG &G = Ctx->svfg();
+  svfg::BackwardSlicer Slicer(G);
+  svfg::NodeScope Scope(G.numNodes());
+
+  // Slice at a handful of spread-out roots into one cumulative scope.
+  for (NodeID Root = 0; Root < G.numNodes(); Root += G.numNodes() / 7 + 1)
+    Slicer.slice(Root, Scope);
+  ASSERT_GT(Scope.size(), 0u);
+
+  // Closure over the static graph: an in-scope node's static predecessors
+  // are in scope (no out-of-scope node may influence an in-scope one).
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    for (NodeID S : G.directSuccs(N))
+      if (Scope.contains(S)) {
+        EXPECT_TRUE(Scope.contains(N))
+            << "direct edge " << N << " -> " << S << " enters the scope";
+      }
+    for (const svfg::IndEdge &E : G.indirectSuccs(N))
+      if (Scope.contains(E.Dst)) {
+        EXPECT_TRUE(Scope.contains(N))
+            << "indirect edge " << N << " -> " << E.Dst
+            << " enters the scope";
+      }
+    // Closure over the *potential* interprocedural edges: the solvers may
+    // materialise any of them mid-solve, so their sources are dependences
+    // of their (in-scope) destinations.
+    for (const svfg::IndEdge &E : Slicer.potentialIndirectSuccs(N))
+      if (Scope.contains(E.Dst)) {
+        EXPECT_TRUE(Scope.contains(N))
+            << "potential edge " << N << " -> " << E.Dst
+            << " enters the scope";
+      }
+  }
+}
+
+TEST(Slice, ContainsBruteForceTransposeReachability) {
+  auto Ctx = buildFromConfig(smallConfig(23));
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  const svfg::SVFG &G = Ctx->svfg();
+  svfg::BackwardSlicer Slicer(G);
+
+  // Brute-force transpose adjacency over static + potential edges.
+  std::vector<std::vector<NodeID>> Preds(G.numNodes());
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    for (NodeID S : G.directSuccs(N))
+      Preds[S].push_back(N);
+    for (const svfg::IndEdge &E : G.indirectSuccs(N))
+      Preds[E.Dst].push_back(N);
+    for (const svfg::IndEdge &E : Slicer.potentialIndirectSuccs(N))
+      Preds[E.Dst].push_back(N);
+  }
+
+  for (NodeID Root = 0; Root < G.numNodes();
+       Root += G.numNodes() / 11 + 1) {
+    svfg::NodeScope Scope(G.numNodes());
+    svfg::BackwardSlicer::SliceResult R = Slicer.slice(Root, Scope);
+    EXPECT_TRUE(Scope.contains(Root));
+    EXPECT_EQ(R.SliceNodes, Scope.size());
+    EXPECT_EQ(R.NewNodes, Scope.size());
+    EXPECT_LE(Scope.size(), G.numNodes());
+
+    // BFS the transpose; the slicer must cover everything it reaches (it
+    // may cover more: discovery/binding dependences are slicer-internal).
+    std::vector<char> Reached(G.numNodes(), 0);
+    std::vector<NodeID> Queue{Root};
+    Reached[Root] = 1;
+    for (size_t Head = 0; Head < Queue.size(); ++Head)
+      for (NodeID P : Preds[Queue[Head]])
+        if (!Reached[P]) {
+          Reached[P] = 1;
+          Queue.push_back(P);
+        }
+    for (NodeID N = 0; N < G.numNodes(); ++N)
+      if (Reached[N]) {
+        EXPECT_TRUE(Scope.contains(N))
+            << "transpose-reachable node " << N << " missing from slice of "
+            << Root;
+      }
+
+    // Re-slicing the same root into the same scope is a no-op.
+    svfg::BackwardSlicer::SliceResult Again = Slicer.slice(Root, Scope);
+    EXPECT_EQ(Again.NewNodes, 0u);
+    EXPECT_EQ(Again.SliceNodes, R.SliceNodes);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Answer exactness: demand == exhaustive, scope a strict subset
+//===----------------------------------------------------------------------===//
+
+class QueryExactness
+    : public ::testing::TestWithParam<std::tuple<const char *, adt::PtsRepr>> {
+};
+
+TEST_P(QueryExactness, DemandAnswersEqualExhaustiveFixpoint) {
+  const char *Solver = std::get<0>(GetParam());
+  adt::PtsReprScope Repr(std::get<1>(GetParam()));
+
+  workload::GenConfig Config = smallConfig(42);
+  // Exhaustive reference and demand engine on separate pipelines: scoped
+  // solves materialise call edges, and the generator is deterministic, so
+  // the two graphs start identical.
+  auto Ref = buildFromConfig(Config);
+  auto Ctx = buildFromConfig(Config);
+  ASSERT_TRUE(Ref && Ref->isBuilt() && Ctx && Ctx->isBuilt());
+  core::AnalysisRunner::RunResult Exhaustive =
+      core::AnalysisRunner::registry().run(*Ref, Solver);
+  ASSERT_EQ(Exhaustive.Status, Termination::Completed);
+
+  query::QueryEngine::Options QO;
+  QO.Solver = Solver;
+  query::QueryEngine E(*Ctx, QO);
+
+  const ir::Module &M = Ctx->module();
+  std::vector<ir::InstID> Loads = sitesOfKind(M, ir::InstKind::Load);
+  ASSERT_FALSE(Loads.empty());
+  for (size_t K = 0; K < Loads.size(); K += 3) {
+    ir::InstID I = Loads[K];
+    ir::VarID P = M.inst(I).loadPtr();
+    const PointsTo &Demand = E.ptsAt(I, P);
+    const PointsTo &Full = Exhaustive.Analysis->ptsOfVar(P);
+    EXPECT_TRUE(Demand == Full)
+        << Solver << " load #" << I << ": demand {"
+        << pointeeNames(M, Demand).size() << "} != exhaustive {"
+        << pointeeNames(M, Full).size() << "}";
+    // Per-position object contents for everything the pointer targets.
+    for (uint32_t O : Full)
+      if (!M.symbols().isFunctionObject(O)) {
+        EXPECT_TRUE(E.ptsOfObjAt(I, O) ==
+                    Exhaustive.Analysis->ptsOfObjAt(I, O))
+            << Solver << " load #" << I << " object " << O;
+      }
+  }
+
+  if (std::string(Solver) != "ander") {
+    // The point of demand mode: the solved scope is a strict subset.
+    EXPECT_GT(E.scope().size(), 0u);
+    EXPECT_LT(E.scope().size(), Ctx->svfg().numNodes());
+    EXPECT_GE(E.stats().lookup("solves"), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, QueryExactness,
+    ::testing::Combine(::testing::Values("sfs", "vsfs", "ander"),
+                       ::testing::Values(adt::PtsRepr::SBV,
+                                         adt::PtsRepr::Persistent)),
+    [](const auto &Info) {
+      return std::string(std::get<0>(Info.param)) +
+             (std::get<1>(Info.param) == adt::PtsRepr::Persistent
+                  ? "_persistent"
+                  : "_sbv");
+    });
+
+TEST(QueryEngine, ReachesSinkFollowsValueFlow) {
+  auto Ctx = buildFromConfig(smallConfig(7));
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  query::QueryEngine::Options QO;
+  query::QueryEngine E(*Ctx, QO);
+
+  const svfg::SVFG &G = Ctx->svfg();
+  // Any indirect Inst->Inst edge is a one-hop value flow.
+  bool CheckedEdge = false;
+  for (NodeID N = 0; N < G.numNodes() && !CheckedEdge; ++N) {
+    if (G.node(N).Kind != svfg::NodeKind::Inst)
+      continue;
+    for (const svfg::IndEdge &Edge : G.indirectSuccs(N)) {
+      if (G.node(Edge.Dst).Kind != svfg::NodeKind::Inst)
+        continue;
+      EXPECT_TRUE(E.reachesSink(G.node(N).Inst, G.node(Edge.Dst).Inst));
+      CheckedEdge = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(CheckedEdge) << "no Inst->Inst indirect edge to exercise";
+
+  // Reflexive, and an alloc in main is never reached from a later,
+  // unrelated position... at minimum the query must not crash and must be
+  // consistent when asked twice (memoised scope).
+  ir::InstID Some = sitesOfKind(Ctx->module(), ir::InstKind::Load).front();
+  EXPECT_TRUE(E.reachesSink(Some, Some));
+}
+
+//===----------------------------------------------------------------------===//
+// Memoisation
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngine, CoveredQueriesHitWithoutResolving) {
+  auto Ctx = buildFromConfig(smallConfig(5));
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  query::QueryEngine::Options QO;
+  query::QueryEngine E(*Ctx, QO);
+
+  const ir::Module &M = Ctx->module();
+  std::vector<ir::InstID> Loads = sitesOfKind(M, ir::InstKind::Load);
+  ASSERT_GE(Loads.size(), 2u);
+
+  E.ptsAt(Loads[0], M.inst(Loads[0]).loadPtr());
+  uint64_t SolvesAfterFirst = E.stats().lookup("solves");
+  EXPECT_GE(SolvesAfterFirst, 1u);
+
+  // Same query again: the scope already covers the slice — a hit, no solve.
+  E.ptsAt(Loads[0], M.inst(Loads[0]).loadPtr());
+  EXPECT_EQ(E.stats().lookup("solves"), SolvesAfterFirst);
+  EXPECT_GE(E.stats().lookup("slice-cache-hits"), 1u);
+}
+
+TEST(QueryEngine, PrefetchBatchCollapsesToOneSolve) {
+  auto Ctx = buildFromConfig(smallConfig(5));
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  query::QueryEngine::Options QO;
+  query::QueryEngine E(*Ctx, QO);
+
+  const ir::Module &M = Ctx->module();
+  std::vector<ir::InstID> Loads = sitesOfKind(M, ir::InstKind::Load);
+  ASSERT_GE(Loads.size(), 4u);
+
+  // Grow the scope for every query first; no solve happens yet.
+  for (ir::InstID I : Loads)
+    E.prefetch(I);
+  EXPECT_EQ(E.stats().lookup("solves"), 0u);
+
+  // Then answer them all: one solve over the final scope, rest are hits.
+  for (ir::InstID I : Loads)
+    E.ptsAt(I, M.inst(I).loadPtr());
+  EXPECT_EQ(E.stats().lookup("solves"), 1u);
+  EXPECT_EQ(E.stats().lookup("slice-cache-hits"),
+            uint64_t(Loads.size()) - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-query budgets
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngine, ExhaustedQueryDegradesToAuxWithoutPoisoningProcess) {
+  workload::GenConfig Config = smallConfig(9);
+  auto Ctx = buildFromConfig(Config);
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+
+  query::QueryEngine::Options QO;
+  QO.Solver = "vsfs";
+  QO.QueryLimits.StepBudget = 1; // Any real solve exhausts immediately.
+  query::QueryEngine E(*Ctx, QO);
+
+  const ir::Module &M = Ctx->module();
+  ir::InstID I = sitesOfKind(M, ir::InstKind::Load).front();
+  ir::VarID P = M.inst(I).loadPtr();
+
+  const PointsTo &DegradedPts = E.ptsAt(I, P);
+  EXPECT_TRUE(E.degraded());
+  EXPECT_GE(E.degradedQueries(), 1u);
+  EXPECT_NE(E.lastStatus(), Termination::Completed);
+  // Degraded answers come from the (sound, completed) auxiliary analysis.
+  EXPECT_TRUE(DegradedPts == Ctx->andersen().ptsOfVar(P));
+
+  core::AnalysisRunner::RunResult R = E.takeRunResult();
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_NE(R.Status, Termination::Completed);
+
+  // The degradation was per-query, per-engine: a fresh engine without
+  // limits answers the same query exactly.
+  auto Ref = buildFromConfig(Config);
+  auto Ctx2 = buildFromConfig(Config);
+  ASSERT_TRUE(Ref && Ref->isBuilt() && Ctx2 && Ctx2->isBuilt());
+  core::AnalysisRunner::RunResult Exhaustive =
+      core::AnalysisRunner::registry().run(*Ref, "vsfs");
+  query::QueryEngine::Options Clean;
+  query::QueryEngine E2(*Ctx2, Clean);
+  EXPECT_FALSE(E2.degraded());
+  EXPECT_TRUE(E2.ptsAt(I, P) == Exhaustive.Analysis->ptsOfVar(P));
+}
+
+TEST(QueryEngine, DegradedSolverNeverServesHits) {
+  auto Ctx = buildFromConfig(smallConfig(9));
+  ASSERT_TRUE(Ctx && Ctx->isBuilt());
+  query::QueryEngine::Options QO;
+  QO.Solver = "vsfs";
+  QO.QueryLimits.StepBudget = 1;
+  query::QueryEngine E(*Ctx, QO);
+
+  const ir::Module &M = Ctx->module();
+  ir::InstID I = sitesOfKind(M, ir::InstKind::Load).front();
+  E.ptsAt(I, M.inst(I).loadPtr());
+  uint64_t Solves = E.stats().lookup("solves");
+  // The covered slice alone is not enough — a degraded solver re-solves
+  // (fresh budget) instead of serving the stale, partial fixpoint.
+  E.ptsAt(I, M.inst(I).loadPtr());
+  EXPECT_EQ(E.stats().lookup("solves"), Solves + 1);
+  EXPECT_EQ(E.stats().lookup("slice-cache-hits"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Finding equivalence on every Table II preset (the acceptance bar)
+//===----------------------------------------------------------------------===//
+
+class QueryCheckerEquivalence : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(QueryCheckerEquivalence, DemandFindingsEqualExhaustive) {
+  workload::BenchSpec Spec = workload::benchmarkSuite()[GetParam()];
+  workload::GenConfig Config = Spec.Config;
+  Config.InjectBugs = true;
+
+  auto Ref = buildFromConfig(Config);
+  auto Ctx = buildFromConfig(Config);
+  ASSERT_TRUE(Ref && Ref->isBuilt() && Ctx && Ctx->isBuilt());
+
+  core::AnalysisRunner::RunResult Exhaustive =
+      core::AnalysisRunner::registry().run(*Ref, "vsfs");
+  std::vector<checker::Finding> Want =
+      checker::runCheckers(Ref->svfg(), *Exhaustive.Analysis);
+
+  query::QueryEngine::Options QO;
+  QO.Solver = "vsfs";
+  query::QueryEngine E(*Ctx, QO);
+  std::vector<checker::Finding> Got = query::runCheckersDemand(E);
+
+  ASSERT_EQ(Got.size(), Want.size()) << Spec.Name;
+  for (size_t I = 0; I < Want.size(); ++I)
+    EXPECT_TRUE(Got[I] == Want[I])
+        << Spec.Name << ": finding " << I << " differs:\n  exhaustive: "
+        << checker::printFinding(Ref->module(), Want[I])
+        << "\n  demand:     " << checker::printFinding(Ctx->module(), Got[I]);
+  EXPECT_FALSE(E.degraded());
+  EXPECT_LT(E.scope().size(), Ctx->svfg().numNodes()) << Spec.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, QueryCheckerEquivalence,
+    ::testing::Range(0u, uint32_t(workload::benchmarkSuite().size())),
+    [](const ::testing::TestParamInfo<uint32_t> &Info) {
+      return workload::benchmarkSuite()[Info.param].Name;
+    });

@@ -24,6 +24,7 @@
 #include "core/VersionedFlowSensitive.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "query/QueryEngine.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
@@ -62,6 +63,9 @@ struct Options {
   uint64_t GenSeed = 0;
   bool UseGen = false;
   std::string Analysis = "vsfs";
+  std::string Mode = "exhaustive"; ///< "exhaustive" | "demand".
+  double QueryTimeBudget = 0;      ///< per-query deadline (demand mode)
+  uint64_t QueryStepBudget = 0;    ///< per-query step limit (demand mode)
   adt::PtsRepr PtsRepr = adt::PtsRepr::SBV;
   uint32_t CheckMask = 0; ///< Checkers to run; 0 = none.
   bool InjectBugs = false;
@@ -95,6 +99,14 @@ void usage(const char *Prog) {
       "\n"
       "options:\n"
       "  --analysis=KIND       %s | all  (default vsfs)\n"
+      "  --mode=MODE           exhaustive (one whole-program solve, the\n"
+      "                        default) | demand (per-query backward-slice\n"
+      "                        solves; needs --check, works with\n"
+      "                        --analysis=sfs | vsfs | ander)\n"
+      "  --query-time-budget=S per-query wall-clock budget (demand mode)\n"
+      "  --query-step-budget=N per-query solver-step budget (demand mode);\n"
+      "                        an exhausted query degrades to auxiliary\n"
+      "                        precision, later queries re-solve fresh\n"
       "  --pts-repr=REPR       points-to set representation:\n"
       "                        sbv (one bit vector per set, the default) |\n"
       "                        persistent (hash-consed, memoised algebra)\n"
@@ -159,6 +171,32 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.GenSeed = std::strtoull(Argv[++I], nullptr, 10);
     } else if (const char *V = Value("--analysis=")) {
       Opts.Analysis = V;
+    } else if (const char *VMo = Value("--mode=")) {
+      Opts.Mode = VMo;
+      if (Opts.Mode != "exhaustive" && Opts.Mode != "demand") {
+        std::fprintf(stderr,
+                     "error: bad --mode '%s' (want exhaustive | demand)\n",
+                     VMo);
+        return ParseResult::Error;
+      }
+    } else if (const char *VQt = Value("--query-time-budget=")) {
+      char *End = nullptr;
+      Opts.QueryTimeBudget = std::strtod(VQt, &End);
+      if (End == VQt || *End || Opts.QueryTimeBudget <= 0) {
+        std::fprintf(stderr,
+                     "error: bad --query-time-budget '%s' (want seconds)\n",
+                     VQt);
+        return ParseResult::Error;
+      }
+    } else if (const char *VQs = Value("--query-step-budget=")) {
+      char *End = nullptr;
+      Opts.QueryStepBudget = std::strtoull(VQs, &End, 10);
+      if (End == VQs || *End || Opts.QueryStepBudget == 0) {
+        std::fprintf(stderr,
+                     "error: bad --query-step-budget '%s' (want steps)\n",
+                     VQs);
+        return ParseResult::Error;
+      }
     } else if (const char *VR = Value("--pts-repr=")) {
       if (!adt::parsePtsRepr(VR, Opts.PtsRepr)) {
         std::fprintf(stderr,
@@ -267,6 +305,20 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
     std::fprintf(stderr, "error: --inject-bugs needs --gen or --bench\n");
     return ParseResult::Error;
   }
+  if (Opts.Mode == "demand") {
+    // Demand mode answers the checkers' questions from per-query slices;
+    // without a client there is nothing to query, and "all" would mix
+    // query scopes across backends.
+    if (!Opts.CheckMask) {
+      std::fprintf(stderr, "error: --mode=demand needs --check\n");
+      return ParseResult::Error;
+    }
+    if (Opts.Analysis == "all") {
+      std::fprintf(stderr,
+                   "error: --mode=demand needs one --analysis, not 'all'\n");
+      return ParseResult::Error;
+    }
+  }
   return ParseResult::Run;
 }
 
@@ -339,15 +391,14 @@ void listAnalyses() {
   }
 }
 
-/// Runs the checkers over one solved analysis: prints the findings, scores
-/// them against \p GT when available, and fills \p CG with the counters
-/// that end up in --stats-json.
-void runCheckersFor(const core::AnalysisContext &Ctx, const std::string &Name,
-                    const core::PointerAnalysisResult &A, uint32_t KindMask,
+/// Prints \p Findings, scores them against \p GT when available, and fills
+/// \p CG with the counters that end up in --stats-json. Shared between the
+/// exhaustive path (findings from \c checker::runCheckers) and the demand
+/// path (findings from \c query::runCheckersDemand).
+void reportFindings(const core::AnalysisContext &Ctx, const std::string &Name,
+                    std::vector<checker::Finding> Findings, uint32_t KindMask,
                     const checker::GroundTruth *GT, StatGroup &CG,
-                    bool AuxPrecision = false) {
-  std::vector<checker::Finding> Findings =
-      checker::runCheckers(Ctx.svfg(), A, KindMask);
+                    bool AuxPrecision) {
   // A degraded backend answers at the auxiliary analysis's precision;
   // stamp every finding so consumers know to expect extra false positives.
   if (AuxPrecision)
@@ -383,6 +434,15 @@ void runCheckersFor(const core::AnalysisContext &Ctx, const std::string &Name,
     CG.get(std::string(Flag) + "_fn") = S.FN;
   }
   std::printf("\n");
+}
+
+/// Runs the exhaustive checkers over one solved analysis and reports.
+void runCheckersFor(const core::AnalysisContext &Ctx, const std::string &Name,
+                    const core::PointerAnalysisResult &A, uint32_t KindMask,
+                    const checker::GroundTruth *GT, StatGroup &CG,
+                    bool AuxPrecision = false) {
+  reportFindings(Ctx, Name, checker::runCheckers(Ctx.svfg(), A, KindMask),
+                 KindMask, GT, CG, AuxPrecision);
 }
 
 int run(const Options &Opts) {
@@ -490,7 +550,7 @@ int run(const Options &Opts) {
 
   const andersen::CallGraph *FinalCG = &Ctx.andersen().callGraph();
   std::vector<core::AnalysisRunner::RunResult> Results;
-  std::vector<StatGroup> CheckerGroups;
+  std::vector<std::vector<StatGroup>> CheckerGroups;
 
   if (!Built) {
     // The pipeline itself ran out of budget. Apply the degradation ladder
@@ -532,14 +592,63 @@ int run(const Options &Opts) {
         std::printf("--- %s: checkers skipped (no SVFG: pipeline "
                     "cancelled) ---\n",
                     R.Name.c_str());
-      CheckerGroups.emplace_back("checkers");
+      CheckerGroups.push_back({StatGroup("checkers")});
       Results.push_back(std::move(R));
     }
   }
 
+  if (Built && Opts.Mode == "demand") {
+    // Demand mode: no whole-program solve. The checkers drive a query
+    // engine that solves a backward slice per candidate sink; answers are
+    // bit-identical to the exhaustive analysis (docs/QUERIES.md).
+    query::QueryEngine::Options QO;
+    QO.Solver = Names.front();
+    QO.OnTheFlyCallGraph = !Opts.AuxCallGraph;
+    QO.QueryLimits.TimeBudgetSeconds = Opts.QueryTimeBudget;
+    QO.QueryLimits.StepBudget = Opts.QueryStepBudget;
+    query::QueryEngine Engine(Ctx, QO);
+
+    std::vector<checker::Finding> Findings =
+        query::runCheckersDemand(Engine, Opts.CheckMask);
+    bool Degraded = Engine.degraded();
+    StatGroup QueryStats = Engine.stats();
+    core::AnalysisRunner::RunResult R = Engine.takeRunResult();
+
+    std::printf("%s (demand): %llu queries (%llu slice-cache hits, %llu "
+                "solves), scope %llu of %llu SVFG nodes, solved in %.3fs\n",
+                R.Name.c_str(),
+                (unsigned long long)QueryStats.lookup("queries"),
+                (unsigned long long)QueryStats.lookup("slice-cache-hits"),
+                (unsigned long long)QueryStats.lookup("solves"),
+                (unsigned long long)QueryStats.lookup("scope-nodes"),
+                (unsigned long long)QueryStats.lookup("svfg-nodes"),
+                R.SolveSeconds);
+    if (QueryStats.lookup("degraded-queries"))
+      std::printf("%s (demand): %llu query(ies) exhausted their budget "
+                  "(%s)%s\n",
+                  R.Name.c_str(),
+                  (unsigned long long)QueryStats.lookup("degraded-queries"),
+                  terminationName(R.Status),
+                  Degraded ? "; final answers at auxiliary precision" : "");
+
+    if (Opts.PrintPts)
+      printPts(Ctx.module(), *R.Analysis, R.Name.c_str());
+    if (Opts.Stats) {
+      std::printf("%s", QueryStats.toString().c_str());
+      std::printf("%s", core::statsText(R).c_str());
+    }
+    StatGroup CG("checkers");
+    reportFindings(Ctx, R.Name + " (demand)", std::move(Findings),
+                   Opts.CheckMask, HaveGT ? &GT : nullptr, CG, Degraded);
+    CheckerGroups.push_back({std::move(CG), std::move(QueryStats)});
+    // The scoped solver's call graph only covers in-scope discoveries, so
+    // the auxiliary graph stays the one worth dumping.
+    Results.push_back(std::move(R));
+  }
+
   for (const std::string &Name : Names) {
-    if (!Built)
-      break; // Degraded/partial results were synthesised above.
+    if (!Built || Opts.Mode == "demand")
+      break; // Degraded/partial or demand results were produced above.
     core::AnalysisRunner::RunResult R = Runner.run(Ctx, Name, SolverOpts);
     if (R.Status != Termination::Completed && !R.Degraded && !R.Partial) {
       // --on-exhaustion=fail (or degrade without a completed auxiliary
@@ -585,7 +694,7 @@ int run(const Options &Opts) {
     if (Opts.CheckMask)
       runCheckersFor(Ctx, R.Name, A, Opts.CheckMask, HaveGT ? &GT : nullptr,
                      CG, /*AuxPrecision=*/R.Degraded);
-    CheckerGroups.push_back(std::move(CG));
+    CheckerGroups.push_back({std::move(CG)});
     // The most precise call graph wins the dump: the flow-sensitive
     // solvers refine the auxiliary one (a degraded run refines nothing).
     if (!R.Degraded && !R.Partial && (R.Name == "sfs" || R.Name == "vsfs"))
@@ -609,7 +718,7 @@ int run(const Options &Opts) {
         Opts.StatsJson,
         core::statsJson(Ctx, Results,
                         Opts.CheckMask ? &CheckerGroups : nullptr,
-                        Budget.get()));
+                        Budget.get(), Opts.Mode));
 
   std::printf("peak RSS: %s\n", formatBytes(peakRSSBytes()).c_str());
   return WritesOk ? ExitOK : ExitInput;
@@ -636,6 +745,14 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: unknown analysis '%s' (known: %s | all)\n",
                  Opts.Analysis.c_str(),
                  core::AnalysisRunner::registry().namesString().c_str());
+    return ExitUsage;
+  }
+  if (Opts.Mode == "demand" &&
+      !query::QueryEngine::supportsSolver(Opts.Analysis)) {
+    std::fprintf(stderr,
+                 "error: --mode=demand cannot slice for '%s' (want sfs | "
+                 "vsfs | ander)\n",
+                 Opts.Analysis.c_str());
     return ExitUsage;
   }
   // Deterministic fault injection for the robustness tests: a malformed
