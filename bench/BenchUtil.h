@@ -33,10 +33,20 @@
 namespace vsfs {
 namespace bench {
 
+/// Process-wide coalescing toggle for the bench harness, set by
+/// parseSuiteArgs from --coalesce=on and applied by buildPipeline — the
+/// same pattern as adt::setPointsToRepr, so every bench exposes the flag
+/// without per-binary plumbing.
+inline bool &coalesceEnabled() {
+  static bool On = false;
+  return On;
+}
+
 /// Builds the full pipeline for a preset (fresh module each call so repeat
 /// runs and different analyses never share mutable state). \p Budget, when
 /// non-null, governs construction; check Ctx->isBuilt() before touching the
-/// SVFG in that case.
+/// SVFG in that case. Applies \c coalesceEnabled() after a successful
+/// build.
 inline std::unique_ptr<core::AnalysisContext>
 buildPipeline(const workload::BenchSpec &Spec,
               bool ConnectAuxIndirectCalls = false,
@@ -44,7 +54,8 @@ buildPipeline(const workload::BenchSpec &Spec,
   auto Module = workload::generateProgram(Spec.Config);
   auto Ctx = std::make_unique<core::AnalysisContext>();
   Ctx->module() = std::move(*Module);
-  Ctx->build(ConnectAuxIndirectCalls, {}, Budget);
+  if (Ctx->build(ConnectAuxIndirectCalls, {}, Budget) && coalesceEnabled())
+    Ctx->coalesce();
   return Ctx;
 }
 
@@ -72,7 +83,8 @@ template <typename PhaseFn> PhaseResult measurePhase(PhaseFn Phase) {
 
 /// Parses the common flags: --quick (8-benchmark tier), --runs N,
 /// --bench NAME (single benchmark), --pts-repr=REPR (points-to set
-/// representation, applied process-wide), budget limits (--time-budget,
+/// representation, applied process-wide), --coalesce=off|on (pre-solve
+/// SVFG coalescing, applied process-wide), budget limits (--time-budget,
 /// --mem-budget, --step-budget; collected into \p Limits when non-null),
 /// and — when \p JsonPath is non-null — --json FILE (machine-readable
 /// results alongside the table). Returns the selected suite.
@@ -108,6 +120,18 @@ parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs,
         return Suite;
       }
       adt::setPointsToRepr(Repr);
+    } else if (Arg.rfind("--coalesce=", 0) == 0) {
+      std::string V = Arg.substr(std::strlen("--coalesce="));
+      if (V == "on") {
+        coalesceEnabled() = true;
+      } else if (V == "off") {
+        coalesceEnabled() = false;
+      } else {
+        std::fprintf(stderr, "bad --coalesce '%s' (want off | on)\n",
+                     Arg.c_str());
+        Suite.clear();
+        return Suite;
+      }
     } else if (Limits && Arg.rfind("--time-budget=", 0) == 0) {
       Limits->TimeBudgetSeconds =
           std::atof(Arg.c_str() + std::strlen("--time-budget="));
@@ -122,7 +146,7 @@ parseSuiteArgs(int Argc, char **Argv, uint32_t &Runs,
       *JsonPath = Argv[++I];
     } else if (Arg == "--help") {
       std::printf("usage: %s [--quick] [--runs N] [--bench NAME] "
-                  "[--pts-repr=sbv|persistent]%s%s\n",
+                  "[--pts-repr=sbv|persistent] [--coalesce=off|on]%s%s\n",
                   Argv[0], JsonPath ? " [--json FILE]" : "",
                   Limits ? " [--time-budget=S] [--mem-budget=B] "
                            "[--step-budget=N]"

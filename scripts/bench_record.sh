@@ -1,30 +1,54 @@
 #!/usr/bin/env bash
 # Records a reproducible perf baseline: bench_table2 --json under both
 # --pts-repr modes (pipeline shape plus, in persistent mode, the interning
-# cache's dedup counters), the bench_ptscache solver-kernel ablation, and
-# the bench_demand exhaustive-vs-demand ablation (docs/QUERIES.md), merged
+# cache's dedup counters), the bench_ptscache solver-kernel ablation, the
+# bench_demand exhaustive-vs-demand ablation (docs/QUERIES.md), and the
+# bench_coalesce transfer-equivalence ablation (docs/COALESCING.md), merged
 # into one committed JSON trajectory file:
 #
-#   ./scripts/bench_record.sh [out.json] [tier]
+#   ./scripts/bench_record.sh [--force] [out.json] [tier]
 #
-#   out.json: destination (default results/BENCH_pr6.json)
+#   --force:  overwrite an existing out.json (refused otherwise — recorded
+#             baselines are append-only history; a new PR records a new
+#             BENCH_prN.json rather than silently rewriting an old one)
+#   out.json: destination (default results/BENCH_pr7.json)
 #   tier:     "quick" (8 presets) | "full" (all 15; default)
 #
-# The tier applies to the table2/ptscache sweeps; bench_demand always runs
-# its tracked three-preset set (astyle, mutt, bash — EXPERIMENTS.md).
+# The tier applies to the table2/ptscache sweeps; bench_demand and
+# bench_coalesce always run their tracked three-preset set (astyle, mutt,
+# bash — EXPERIMENTS.md).
 #
 # The file is committed so later PRs can diff the trajectory (did unique
-# sets, hit rates, or byte ratios regress?) without re-running anything.
+# sets, hit rates, byte ratios, or the coalescing reduction regress?)
+# without re-running anything; the recording commit is stamped into the
+# JSON so every baseline is traceable to the exact tree that produced it.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${1:-$ROOT/results/BENCH_pr6.json}"
-TIER="${2:-full}"
+
+FORCE=0
+POSITIONAL=()
+for Arg in "$@"; do
+  case "$Arg" in
+    --force) FORCE=1 ;;
+    -*) echo "unknown option: $Arg" >&2; exit 2 ;;
+    *) POSITIONAL+=("$Arg") ;;
+  esac
+done
+OUT="${POSITIONAL[0]:-$ROOT/results/BENCH_pr7.json}"
+TIER="${POSITIONAL[1]:-full}"
 BUILD_DIR="$ROOT/build"
+
+if [[ -e "$OUT" && "$FORCE" -ne 1 ]]; then
+  echo "error: $OUT exists; recorded baselines are history — pass --force" \
+       "to overwrite, or record into a new file" >&2
+  exit 1
+fi
 
 if [[ ! -x "$BUILD_DIR/bench/bench_table2" ||
       ! -x "$BUILD_DIR/bench/bench_ptscache" ||
-      ! -x "$BUILD_DIR/bench/bench_demand" ]]; then
+      ! -x "$BUILD_DIR/bench/bench_demand" ||
+      ! -x "$BUILD_DIR/bench/bench_coalesce" ]]; then
   echo "error: build first: cmake -B build -S . && cmake --build build -j" >&2
   exit 1
 fi
@@ -36,6 +60,8 @@ elif [[ "$TIER" != "full" ]]; then
   echo "error: tier must be 'quick' or 'full'" >&2
   exit 1
 fi
+
+COMMIT="$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
 
 mkdir -p "$(dirname "$OUT")"
 TMP="$(mktemp -d)"
@@ -51,18 +77,22 @@ echo "== bench_ptscache (solver kernels, both representations) =="
 "$BUILD_DIR/bench/bench_ptscache" $TIER_FLAG --json "$TMP/ptscache.json"
 echo "== bench_demand (exhaustive vs. sliced per-query solves) =="
 "$BUILD_DIR/bench/bench_demand" --json "$TMP/demand.json"
+echo "== bench_coalesce (transfer-equivalence coalescing on vs. off) =="
+"$BUILD_DIR/bench/bench_coalesce" --json "$TMP/coalesce.json"
 
-# Merge the four documents into one object, indenting each a level.
+# Merge the five documents into one object, indenting each a level.
 indent() { sed 's/^/  /' "$1" | sed '1s/^  //'; }
 {
   echo "{"
-  echo "  \"schema\": \"vsfs-bench-pr6-v1\","
+  echo "  \"schema\": \"vsfs-bench-pr7-v1\","
+  echo "  \"commit\": \"$COMMIT\","
   echo "  \"tier\": \"$TIER\","
   echo "  \"table2_sbv\": $(indent "$TMP/table2_sbv.json"),"
   echo "  \"table2_persistent\": $(indent "$TMP/table2_persistent.json"),"
   echo "  \"ptscache\": $(indent "$TMP/ptscache.json"),"
-  echo "  \"demand\": $(indent "$TMP/demand.json")"
+  echo "  \"demand\": $(indent "$TMP/demand.json"),"
+  echo "  \"coalesce\": $(indent "$TMP/coalesce.json")"
   echo "}"
 } > "$OUT"
 
-echo "wrote $OUT"
+echo "wrote $OUT (commit $COMMIT)"

@@ -2,14 +2,17 @@
 # Tier-1 gate: configure with warnings-as-errors, build everything, run the
 # full test suite. This is what CI (and a reviewer) runs:
 #
-#   ./scripts/check.sh [--asan] [--fuzz] [build-dir]
+#   ./scripts/check.sh [--asan] [--fuzz] [--tidy] [build-dir]
 #
 # --asan builds a second tree with AddressSanitizer + UBSan and runs the
 # full suite under it (slower; catches memory errors the Release build
 # can't). --fuzz additionally runs the differential fuzzing suite (the
-# "fuzz" ctest label: every preset and 50+ random seeds solved under both
-# --pts-repr modes). Each ctest label (unit | equivalence | checker |
-# query | bench | robust, plus fuzz when requested) is run and timed
+# "fuzz" ctest label: every preset and 50+ random seeds solved under the
+# full {--pts-repr} × {--coalesce} matrix). --tidy runs clang-tidy (the
+# checks in .clang-tidy) over src/ using the build tree's compilation
+# database instead of building and testing; it fails when clang-tidy is
+# not installed. Each ctest label (unit | checker | equivalence | query |
+# coalesce | bench | robust, plus fuzz when requested) is run and timed
 # separately, so slow tiers are visible at a glance. The robust tier (budgets,
 # cancellation, degradation — docs/ROBUSTNESS.md) always runs; its tests
 # carry per-test timeouts so a wedged cancellation path fails fast.
@@ -22,15 +25,42 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 ASAN=0
 FUZZ=0
+TIDY=0
 BUILD_DIR=""
 for Arg in "$@"; do
   case "$Arg" in
     --asan) ASAN=1 ;;
     --fuzz) FUZZ=1 ;;
+    --tidy) TIDY=1 ;;
     -*) echo "unknown option: $Arg" >&2; exit 2 ;;
     *) BUILD_DIR="$Arg" ;;
   esac
 done
+
+# Static-analysis tier: configure for the compilation database, then run
+# clang-tidy over every library/tool/bench source. Headers are covered via
+# the including .cpp files (.clang-tidy's HeaderFilterRegex).
+if [ "$TIDY" -eq 1 ]; then
+  TIDY_BIN="$(command -v clang-tidy || true)"
+  if [ -z "$TIDY_BIN" ]; then
+    echo "error: --tidy needs clang-tidy on PATH (apt-get install clang-tidy)" >&2
+    exit 2
+  fi
+  BUILD_DIR="${BUILD_DIR:-$ROOT/build-tidy}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  RUNNER="$(command -v run-clang-tidy || true)"
+  if [ -n "$RUNNER" ]; then
+    "$RUNNER" -p "$BUILD_DIR" -quiet "$ROOT/src/.*\.cpp" "$ROOT/tools/.*\.cpp" \
+      "$ROOT/bench/.*\.cpp"
+  else
+    find "$ROOT/src" "$ROOT/tools" "$ROOT/bench" -name '*.cpp' -print0 |
+      xargs -0 -P "$(nproc)" -n 8 "$TIDY_BIN" -p "$BUILD_DIR" --quiet
+  fi
+  echo "clang-tidy: clean"
+  exit 0
+fi
 
 if [ "$ASAN" -eq 1 ]; then
   BUILD_DIR="${BUILD_DIR:-$ROOT/build-asan}"
@@ -52,8 +82,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # labels). The fuzz tier is opt-in (--fuzz) but always excluded from the
 # safety net, so it never runs by accident. The summary table prints at
 # the end.
-ALL_LABELS=(unit checker equivalence query bench fuzz robust)
-LABELS=(unit checker equivalence query bench robust)
+ALL_LABELS=(unit checker equivalence query coalesce bench fuzz robust)
+LABELS=(unit checker equivalence query coalesce bench robust)
 if [ "$FUZZ" -eq 1 ]; then
   LABELS+=(fuzz)
 fi

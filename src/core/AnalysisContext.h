@@ -26,7 +26,9 @@
 #include "ir/Verifier.h"
 #include "memssa/MemSSA.h"
 #include "support/Budget.h"
+#include "support/Statistics.h"
 #include "support/Timer.h"
+#include "svfg/Coalesce.h"
 #include "svfg/SVFG.h"
 
 #include <memory>
@@ -132,6 +134,44 @@ public:
     return true;
   }
 
+  /// Runs the transfer-equivalence coalescing pass (svfg/Coalesce.h,
+  /// `--coalesce=on`) and rewrites the SVFG onto class representatives.
+  /// Must run after a successful build() and before any solver, slicer or
+  /// query engine touches the graph — the rewrite changes the edge lists
+  /// in place. Idempotent: repeated calls (and calls on an unbuilt
+  /// context) return false without touching anything.
+  bool coalesce() {
+    if (!isBuilt() || CMap != nullptr)
+      return false;
+    Timer T;
+    CMap = std::make_unique<svfg::CoalesceMap>(
+        svfg::computeTransferEquivalence(*Graph));
+    Graph->applyCoalescing(*CMap);
+    CoalesceSecs = T.seconds();
+    return true;
+  }
+
+  /// The applied coalesce map, or null when coalescing never ran.
+  const svfg::CoalesceMap *coalesceMap() const { return CMap.get(); }
+
+  /// The "coalesce" StatGroup for --stats-json (empty when coalescing
+  /// never ran): classes, nodes/edges removed, member flavours, refine
+  /// iterations — docs/COALESCING.md documents each key.
+  StatGroup coalesceStats() const {
+    StatGroup S("coalesce");
+    if (CMap == nullptr)
+      return S;
+    S.get("classes") = CMap->numClasses();
+    S.get("eligible-nodes") = CMap->EligibleNodes;
+    S.get("coalesced-nodes") = CMap->CoalescedNodes;
+    S.get("forward-members") = CMap->ForwardMembers;
+    S.get("samein-members") = CMap->SameInMembers;
+    S.get("edges-removed") = CMap->EdgesRemoved;
+    S.get("self-loops-dropped") = CMap->SelfLoopsDropped;
+    S.get("refine-iterations") = CMap->RefineIterations;
+    return S;
+  }
+
   /// True once build() has produced a complete pipeline; svfg()/memSSA()
   /// are only valid then (andersen() is valid whenever build() ran at all,
   /// including cancelled builds — possibly holding partial monotone state).
@@ -154,17 +194,19 @@ public:
   double andersenSeconds() const { return AndersenSecs; }
   double memSSASeconds() const { return MemSSASecs; }
   double svfgSeconds() const { return SVFGSecs; }
+  double coalesceSeconds() const { return CoalesceSecs; }
 
 private:
   ir::Module M;
   std::unique_ptr<andersen::Andersen> Aux;
   std::unique_ptr<memssa::MemSSA> SSA;
   std::unique_ptr<svfg::SVFG> Graph;
+  std::unique_ptr<svfg::CoalesceMap> CMap;
   bool Attempted = false;
   bool BuiltConnectAux = false;
   andersen::Andersen::Options BuiltAndersenOpts;
   Termination BuildStatus = Termination::Completed;
-  double AndersenSecs = 0, MemSSASecs = 0, SVFGSecs = 0;
+  double AndersenSecs = 0, MemSSASecs = 0, SVFGSecs = 0, CoalesceSecs = 0;
 };
 
 } // namespace core

@@ -251,7 +251,17 @@ std::string vsfs::core::statsJson(
     jsonKey(OS, 4, "svfg_direct_edges");
     OS << Ctx.svfg().numDirectEdges() << ",\n";
     jsonKey(OS, 4, "svfg_indirect_edges");
-    OS << Ctx.svfg().numIndirectEdges() << "\n  },\n";
+    OS << Ctx.svfg().numIndirectEdges() << ",\n";
+    jsonKey(OS, 4, "coalesce_seconds");
+    OS << jsonDouble(Ctx.coalesceSeconds()) << "\n  },\n";
+  }
+
+  // Transfer-equivalence coalescing counters (vsfs-stats-v4): present only
+  // when the pass ran (--coalesce=on), like the optional budget section.
+  if (Ctx.isBuilt() && Ctx.coalesceMap() != nullptr) {
+    jsonKey(OS, 2, "coalesce");
+    jsonCounters(OS, 2, Ctx.coalesceStats());
+    OS << ",\n";
   }
 
   if (Budget) {

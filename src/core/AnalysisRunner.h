@@ -153,7 +153,7 @@ std::string statsText(const AnalysisRunner::RunResult &R);
 
 /// Renders the whole session — pipeline timings/sizes and every run's
 /// statistics — as machine-readable JSON (schema \c schemas::StatsJson,
-/// currently "vsfs-stats-v3"), so benchmark trajectories can be collected
+/// currently "vsfs-stats-v4"), so benchmark trajectories can be collected
 /// mechanically (--stats-json). v2 added a per-analysis
 /// "termination"/"degraded"/"partial" triple, a session-level
 /// "termination" (the pipeline build's status), an optional "budget"

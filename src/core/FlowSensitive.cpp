@@ -2,6 +2,8 @@
 
 #include "core/FlowSensitive.h"
 
+#include "svfg/Coalesce.h"
+
 #include <cassert>
 
 using namespace vsfs;
@@ -21,9 +23,10 @@ FlowSensitive::FlowSensitive(svfg::SVFG &G, Options Opts)
 void FlowSensitive::solve() {
   if (!beginSolve())
     return;
+  const svfg::CoalesceMap *CM = G.coalesceMap();
   for (NodeID N = 0; N < G.numNodes(); ++N)
-    if (inScope(N))
-      WL.push(N);
+    if (inScope(N) && (CM == nullptr || !CM->isMember(N)))
+      WL.push(N); // Coalesced members are edge-less no-ops: never seeded.
   while (!WL.empty()) {
     if (!pollBudget())
       break; // Budget exhausted; IN/OUT state stays monotone and usable.
@@ -171,6 +174,21 @@ void FlowSensitive::propagateIndirect(NodeID N) {
 
 const PointsTo &FlowSensitive::inOf(NodeID N, ObjID O) const {
   static const PointsTo Empty;
+  // Fan a coalesced member's answer out from its class representative: the
+  // representative forwards exactly the value the member forwarded, which
+  // is the member's IN — the representative's OUT when it is a memory def
+  // (Forward contraction into a store/free), its IN otherwise.
+  if (const svfg::CoalesceMap *CM = G.coalesceMap();
+      CM != nullptr && CM->isMember(N)) {
+    N = CM->rep(N);
+    const svfg::Node &Rep = G.node(N);
+    if (Rep.Kind == NodeKind::Inst &&
+        (M.inst(Rep.Inst).Kind == InstKind::Store ||
+         M.inst(Rep.Inst).Kind == InstKind::Free)) {
+      auto It = Out[N].find(O);
+      return It == Out[N].end() ? Empty : It->second;
+    }
+  }
   auto It = In[N].find(O);
   return It == In[N].end() ? Empty : It->second;
 }

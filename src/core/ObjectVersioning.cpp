@@ -2,6 +2,8 @@
 
 #include "core/ObjectVersioning.h"
 
+#include "svfg/Coalesce.h"
+
 #include "adt/WorkList.h"
 #include "adt/LabelStore.h"
 #include "graph/Graph.h"
@@ -269,6 +271,13 @@ void ObjectVersioning::internVersions() {
 }
 
 Version ObjectVersioning::consume(NodeID N, ObjID O) const {
+  // A coalesced member is edge-less on the graph the labelling ran over;
+  // it consumed exactly what its class representative yields (the
+  // representative carries the member's forwarded value). Representatives
+  // are never members themselves, so this redirects at most once.
+  if (const svfg::CoalesceMap *CM = G.coalesceMap();
+      CM != nullptr && CM->isMember(N))
+    return yield(CM->rep(N), O);
   auto It = ConsumeVer.find(key(N, O));
   if (It != ConsumeVer.end())
     return It->second;
@@ -276,6 +285,9 @@ Version ObjectVersioning::consume(NodeID N, ObjID O) const {
 }
 
 Version ObjectVersioning::yield(NodeID N, ObjID O) const {
+  if (const svfg::CoalesceMap *CM = G.coalesceMap();
+      CM != nullptr && CM->isMember(N))
+    N = CM->rep(N);
   // Stores yield their prelabel; everyone else yields what they consume.
   auto It = YieldVer.find(key(N, O));
   if (It != YieldVer.end())

@@ -205,5 +205,77 @@ std::vector<std::string> vsfs::ir::lintModule(const Module &M) {
            "pointer " + printVar(M, P));
   }
 
+  // Cell-level lints over allocs whose address variable is only ever the
+  // pointer operand of direct load/store/free instructions. For those the
+  // complete access set of the cell is known syntactically (the address
+  // cannot have been copied, stored away, phi-merged or passed to a call),
+  // so two judgements are safe:
+  //  - dead-store cell: stored to at least once but never loaded — every
+  //    write through it is unobservable;
+  //  - single-block cell: every access sits in the alloc's own block — the
+  //    address never even escapes one basic block, so the cell expresses no
+  //    cross-block data flow (usually a generator artefact or leftover).
+  struct CellUse {
+    uint32_t Loads = 0, Stores = 0;
+    bool Escapes = false;     ///< Used as anything but a direct access.
+    bool LeavesBlock = false; ///< Accessed outside the alloc's block.
+    bool Accessed = false;    ///< Any load/store/free through it at all.
+  };
+  std::vector<InstID> AllocOf(NumVars, InvalidInst);
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind == InstKind::Alloc && Inst.Dst < NumVars)
+      AllocOf[Inst.Dst] = I;
+  }
+  std::vector<CellUse> Cells(NumVars);
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    auto Touch = [&](VarID A, bool IsLoad, bool IsStore, bool Direct) {
+      if (A >= NumVars || AllocOf[A] == InvalidInst)
+        return;
+      CellUse &C = Cells[A];
+      if (!Direct) {
+        C.Escapes = true;
+        return;
+      }
+      C.Accessed = true;
+      C.Loads += IsLoad;
+      C.Stores += IsStore;
+      const Instruction &Alloc = M.inst(AllocOf[A]);
+      if (Inst.Parent != Alloc.Parent || Inst.Block != Alloc.Block)
+        C.LeavesBlock = true;
+    };
+    switch (Inst.Kind) {
+    case InstKind::Load:
+      Touch(Inst.loadPtr(), /*IsLoad=*/true, /*IsStore=*/false, true);
+      break;
+    case InstKind::Store:
+      Touch(Inst.storePtr(), false, /*IsStore=*/true, true);
+      Touch(Inst.storeVal(), false, false, /*Direct=*/false); // Address escapes.
+      break;
+    case InstKind::Free:
+      Touch(Inst.freePtr(), false, false, true);
+      break;
+    default: {
+      std::vector<VarID> Uses;
+      collectUses(Inst, Uses);
+      for (VarID V : Uses)
+        Touch(V, false, false, /*Direct=*/false);
+      break;
+    }
+    }
+  }
+  for (VarID A = 0; A < NumVars; ++A) {
+    const CellUse &C = Cells[A];
+    if (AllocOf[A] == InvalidInst || C.Escapes)
+      continue;
+    if (C.Stores > 0 && C.Loads == 0)
+      Warn("cell of '" + printInst(M, AllocOf[A]) + "' is stored to " +
+           std::to_string(C.Stores) + " time(s) but never loaded");
+    if (C.Accessed && !C.LeavesBlock)
+      Warn("alloc '" + printInst(M, AllocOf[A]) + "' never escapes its own "
+           "block (address " + printVar(M, A) + " only used locally)");
+  }
+
   return Warnings;
 }

@@ -30,7 +30,12 @@ std::vector<std::string> verifyModule(const Module &M);
 ///  - blocks unreachable from their function's entry block;
 ///  - top-level variables that are defined but never used;
 ///  - loads whose pointer operand has no definition anywhere (no defining
-///    instruction, not a parameter, not a global).
+///    instruction, not a parameter, not a global);
+///  - dead-store cells: an alloc'd cell whose address is only ever the
+///    pointer operand of direct load/store/free, stored to but never
+///    loaded (every write through it is unobservable);
+///  - single-block allocs: such a cell whose every access sits in the
+///    alloc's own basic block (the address never escapes one block).
 std::vector<std::string> lintModule(const Module &M);
 
 } // namespace ir

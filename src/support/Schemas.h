@@ -12,6 +12,9 @@
 ///   vsfs-stats-v2  + termination/degraded/partial, budget group, drains
 ///   vsfs-stats-v3  + session "mode" (exhaustive | demand) and the demand
 ///                    engine's per-analysis "query" group (docs/QUERIES.md)
+///   vsfs-stats-v4  + pipeline "coalesce_seconds" and, under --coalesce=on,
+///                    the "coalesce" group (classes, nodes/edges removed,
+///                    refine iterations — docs/COALESCING.md)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +25,7 @@ namespace vsfs {
 namespace schemas {
 
 /// --stats-json (tools/vsfs-wpa.cpp via core::statsJson).
-inline constexpr const char *StatsJson = "vsfs-stats-v3";
+inline constexpr const char *StatsJson = "vsfs-stats-v4";
 
 /// bench_table2 --json (Table II reproduction).
 inline constexpr const char *BenchTable2 = "vsfs-table2-v2";
@@ -35,6 +38,9 @@ inline constexpr const char *BenchPtsCache = "vsfs-ptscache-v1";
 
 /// bench_demand --json (exhaustive vs. demand-mode ablation).
 inline constexpr const char *BenchDemand = "vsfs-demand-v1";
+
+/// bench_coalesce --json (transfer-equivalence coalescing ablation).
+inline constexpr const char *BenchCoalesce = "vsfs-coalesce-v1";
 
 } // namespace schemas
 } // namespace vsfs

@@ -1,0 +1,195 @@
+//===- Coalesce.cpp - Transfer-equivalence SVFG coalescing ----------------===//
+///
+/// Congruence partition refinement over the relay subgraph. The scheme is a
+/// value numbering: every node that can source an indirect edge carries a
+/// *value symbol* — itself for memory defs (store/free instructions) and δ
+/// relays, its class representative for coalesced relays — and a relay's
+/// signature is the deduplicated set of symbols flowing into it. One
+/// signature element means the relay forwards exactly that value (Forward
+/// contraction); equal multi-element signatures under equal (kind, object)
+/// mean equal IN sets at every fixpoint (SameIn merging).
+///
+/// Cycles are condensed first: in an SCC of identity-transfer relays every
+/// member's IN is the union of all values entering the SCC (each external
+/// input reaches every member), so the whole component shares one value and
+/// is classified by the component-level signature.
+///
+//===----------------------------------------------------------------------===//
+
+#include "svfg/Coalesce.h"
+
+#include "graph/SCC.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace vsfs;
+using namespace vsfs::svfg;
+
+namespace {
+
+/// True for relay nodes the pass may coalesce. Excludes instruction nodes
+/// (real transfer functions, observation points) and δ-eligible relays
+/// (their in-edge sets can grow during on-the-fly call-graph resolution;
+/// excluded regardless of how the current solver is configured, since one
+/// graph serves solvers with either setting).
+bool isEligible(const SVFG &G, NodeID N) {
+  const Node &Nd = G.node(N);
+  const ir::Module &M = G.module();
+  switch (Nd.Kind) {
+  case NodeKind::Inst:
+    return false;
+  case NodeKind::EntryChi:
+    return !M.function(Nd.Fun).hasAddressTaken();
+  case NodeKind::CallChi:
+    return !M.inst(Nd.Inst).isIndirectCall();
+  case NodeKind::ExitMu:
+  case NodeKind::CallMu:
+  case NodeKind::MemPhi:
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+CoalesceMap svfg::computeTransferEquivalence(const SVFG &G) {
+  const uint32_t NumNodes = G.numNodes();
+  CoalesceMap CM;
+  CM.RepOf.resize(NumNodes);
+  for (NodeID N = 0; N < NumNodes; ++N)
+    CM.RepOf[N] = N;
+  CM.RoleOf.assign(NumNodes, CoalesceRole::Self);
+  CM.ClassIndexOf.assign(NumNodes, CoalesceMap::NoClass);
+
+  std::vector<char> Eligible(NumNodes, 0);
+  for (NodeID N = 0; N < NumNodes; ++N)
+    if (isEligible(G, N))
+      Eligible[N] = 1;
+  CM.EligibleNodes =
+      static_cast<uint64_t>(std::count(Eligible.begin(), Eligible.end(), 1));
+
+  // In-edge sources per eligible relay. Every in-edge of a relay carries
+  // the relay's own object (svfg_invariants_test checks this role
+  // invariant), so sources alone determine the incoming value set.
+  std::vector<std::vector<NodeID>> InSrc(NumNodes);
+  for (NodeID S = 0; S < NumNodes; ++S)
+    for (const IndEdge &E : G.indirectSuccs(S))
+      if (Eligible[E.Dst])
+        InSrc[E.Dst].push_back(S);
+
+  // Condense the eligible-relay subgraph. The SCC structure (and hence the
+  // topological sweep order) is computed once on the original edges; merges
+  // only ever redirect a node to a topologically earlier carrier, so the
+  // order stays valid across refinement sweeps.
+  std::vector<uint32_t> LocalOf(NumNodes, UINT32_MAX);
+  std::vector<NodeID> NodeOfLocal;
+  for (NodeID N = 0; N < NumNodes; ++N)
+    if (Eligible[N]) {
+      LocalOf[N] = static_cast<uint32_t>(NodeOfLocal.size());
+      NodeOfLocal.push_back(N);
+    }
+  graph::AdjacencyGraph Sub(static_cast<uint32_t>(NodeOfLocal.size()));
+  for (NodeID D : NodeOfLocal)
+    for (NodeID S : InSrc[D])
+      if (Eligible[S])
+        Sub.addUniqueEdge(LocalOf[S], LocalOf[D]);
+  graph::SCCResult SCC = graph::computeSCCs(Sub);
+
+  // Value symbol of a source: chase representatives to a fixpoint (the
+  // chains are short and acyclic — members always point at a node that was
+  // classified Self in the same sweep).
+  auto Find = [&CM](NodeID N) {
+    while (CM.RepOf[N] != N)
+      N = CM.RepOf[N] = CM.RepOf[CM.RepOf[N]];
+    return N;
+  };
+
+  // Refinement sweeps: reclassify every component in topological order
+  // (descending component ID — Tarjan numbers reverse-topologically) until
+  // no node moves. The Gauss–Seidel sweep converges in one working pass
+  // for chains and DAG-shaped congruences; the extra pass confirms.
+  bool Changed = true;
+  std::vector<NodeID> Sig;
+  std::map<std::vector<uint64_t>, NodeID> SigTable;
+  while (Changed) {
+    Changed = false;
+    ++CM.RefineIterations;
+    SigTable.clear();
+    for (uint32_t C = SCC.NumComponents; C-- > 0;) {
+      const std::vector<uint32_t> &Members = SCC.Members[C];
+      // Deduplicated value symbols entering the component from outside.
+      Sig.clear();
+      for (uint32_t L : Members)
+        for (NodeID S : InSrc[NodeOfLocal[L]]) {
+          if (Eligible[S] && SCC.ComponentOf[LocalOf[S]] == C)
+            continue; // Intra-component identity hop.
+          Sig.push_back(Find(S));
+        }
+      std::sort(Sig.begin(), Sig.end());
+      Sig.erase(std::unique(Sig.begin(), Sig.end()), Sig.end());
+
+      auto Assign = [&](NodeID N, NodeID Rep, CoalesceRole Role) {
+        if (CM.RepOf[N] == Rep)
+          return;
+        CM.RepOf[N] = Rep;
+        CM.RoleOf[N] = Rep == N ? CoalesceRole::Self : Role;
+        Changed = true;
+      };
+
+      if (Sig.size() == 1) {
+        // One distinct incoming value: the whole component forwards it
+        // verbatim, so every member contracts into its carrier.
+        for (uint32_t L : Members)
+          Assign(NodeOfLocal[L], Sig[0], CoalesceRole::Forward);
+        continue;
+      }
+      // Zero or ≥2 incoming values: sibling-merge by (kind, object,
+      // signature) — per kind, since the ISSUE-level equivalence keeps
+      // classes kind-homogeneous (an SCC can mix kinds across calls).
+      for (uint32_t L : Members) {
+        NodeID N = NodeOfLocal[L];
+        const Node &Nd = G.node(N);
+        std::vector<uint64_t> Key;
+        Key.reserve(Sig.size() + 2);
+        Key.push_back(static_cast<uint64_t>(Nd.Kind));
+        Key.push_back(Nd.Obj);
+        for (NodeID V : Sig)
+          Key.push_back(V);
+        auto [It, Inserted] = SigTable.emplace(std::move(Key), N);
+        if (Inserted)
+          Assign(N, N, CoalesceRole::Self);
+        else
+          Assign(N, It->second, CoalesceRole::SameIn);
+      }
+    }
+    assert(CM.RefineIterations <= NumNodes + 2 && "refinement must converge");
+  }
+
+  // Finalise: path-compress, then build the dense non-trivial classes.
+  for (NodeID N = 0; N < NumNodes; ++N)
+    Find(N);
+  std::vector<uint32_t> ClassOfRep(NumNodes, CoalesceMap::NoClass);
+  for (NodeID N = 0; N < NumNodes; ++N) {
+    if (!CM.isMember(N))
+      continue;
+    ++CM.CoalescedNodes;
+    if (CM.RoleOf[N] == CoalesceRole::Forward)
+      ++CM.ForwardMembers;
+    else
+      ++CM.SameInMembers;
+    NodeID R = CM.RepOf[N];
+    uint32_t &C = ClassOfRep[R];
+    if (C == CoalesceMap::NoClass) {
+      C = CM.numClasses();
+      CM.Classes.emplace_back();
+      CM.Classes.back().push_back(R);
+      CM.ClassIndexOf[R] = C;
+    }
+    CM.Classes[C].push_back(N);
+    CM.ClassIndexOf[N] = C;
+  }
+  return CM;
+}

@@ -1,0 +1,109 @@
+//===- Coalesce.h - Transfer-equivalence SVFG coalescing --------*- C++ -*-===//
+///
+/// \file
+/// A pre-solve static analysis over the SVFG that detects
+/// *redundancy-equivalent* nodes — nodes whose transfer behaviour is
+/// provably identical at every fixpoint — and coalesces each equivalence
+/// class into a single representative, so the flow-sensitive solvers (and
+/// the meld-labelling / versioning machinery) pay for each class once
+/// (docs/COALESCING.md; ROADMAP item 5).
+///
+/// Only memory-SSA relay nodes (entry-χ, exit-μ, call-μ, call-χ, MemPhi)
+/// are ever coalesced: they have no transfer function of their own — they
+/// forward the union of their incoming values for their single object — so
+/// equality of incoming value sets implies equality of the forwarded value.
+/// Two member flavours arise:
+///
+///  - \b Forward: the node receives exactly one distinct incoming value;
+///    it forwards that value verbatim, so it contracts into the value's
+///    carrier node (chain contraction — e.g. every call-μ/exit-μ, which by
+///    construction has exactly one producing def).
+///  - \b SameIn: same node kind, same object, and the same deduplicated
+///    set of incoming value carriers as the class representative (sibling
+///    merging — e.g. parallel MemPhis fed by the same defs).
+///
+/// Instruction nodes are never coalesced (they carry real transfer
+/// functions and are the observation points: \c ptsOfObjAt, checker sinks,
+/// demand queries all address Inst nodes). The paper's δ nodes (entry-χ of
+/// address-taken functions, call-χ of indirect callsites) are excluded
+/// unconditionally: on-the-fly call-graph resolution may grow their
+/// *incoming* edge sets after this pass has frozen the classes — the same
+/// set [OTF-CG]ᴾ prelabels (ObjectVersioning.h).
+///
+/// The pass is a congruence partition refinement: SCCs of the eligible
+/// relay subgraph are condensed first (all relays of one SCC provably share
+/// one value — the same theorem meld labelling rests on), then a
+/// topological value-numbering sweep hash-buckets nodes by signature and
+/// repeats until the partition is stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SVFG_COALESCE_H
+#define VSFS_SVFG_COALESCE_H
+
+#include "svfg/SVFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vsfs {
+namespace svfg {
+
+/// How a node relates to its equivalence class.
+enum class CoalesceRole : uint8_t {
+  Self,    ///< Its own representative (possibly of a singleton class).
+  Forward, ///< Contracted into the carrier of its single incoming value.
+  SameIn,  ///< Merged with the representative sharing its incoming set.
+};
+
+/// NodeID → class representative + dense class index, plus the pass's
+/// counters. Produced by \c computeTransferEquivalence, consumed by
+/// \c SVFG::applyCoalescing and the solving layer's fan-out hooks.
+struct CoalesceMap {
+  static constexpr uint32_t NoClass = UINT32_MAX;
+
+  /// Final representative per node (identity for uncoalesced nodes). The
+  /// representative *forwards the same value* the member forwards: for
+  /// SameIn members it is a relay with the same IN set; for Forward
+  /// members it is the carrier (possibly a store/free instruction) whose
+  /// outgoing value the member relays.
+  std::vector<NodeID> RepOf;
+  std::vector<CoalesceRole> RoleOf;
+  /// Dense index of the node's non-trivial class, or \c NoClass.
+  std::vector<uint32_t> ClassIndexOf;
+  /// Members of each non-trivial class, representative first.
+  std::vector<std::vector<NodeID>> Classes;
+
+  // --- Pass counters (the "coalesce" StatGroup; docs/COALESCING.md) -------
+  uint64_t EligibleNodes = 0;    ///< Relay nodes considered (δ excluded).
+  uint64_t CoalescedNodes = 0;   ///< Members redirected to a representative.
+  uint64_t ForwardMembers = 0;   ///< Chain contractions.
+  uint64_t SameInMembers = 0;    ///< Sibling merges.
+  uint64_t RefineIterations = 0; ///< Sweeps until the partition was stable.
+  uint64_t EdgesRemoved = 0;     ///< Filled by \c SVFG::applyCoalescing.
+  uint64_t SelfLoopsDropped = 0; ///< Subset of EdgesRemoved (identity hops).
+
+  NodeID rep(NodeID N) const { return RepOf[N]; }
+  bool isMember(NodeID N) const { return RepOf[N] != N; }
+  CoalesceRole role(NodeID N) const { return RoleOf[N]; }
+  uint32_t classIndex(NodeID N) const { return ClassIndexOf[N]; }
+  uint32_t numClasses() const { return static_cast<uint32_t>(Classes.size()); }
+
+  /// All nodes of \p N's class (representative first), or just {N} when it
+  /// is in a trivial class. Used to close demand scopes under membership.
+  const std::vector<NodeID> &classOf(NodeID N) const {
+    static const std::vector<NodeID> Empty;
+    uint32_t C = ClassIndexOf[N];
+    return C == NoClass ? Empty : Classes[C];
+  }
+};
+
+/// Computes the transfer-equivalence classes of \p G. Pure analysis: the
+/// graph is not modified — pass the result to \c SVFG::applyCoalescing to
+/// rewrite the edge lists onto representatives.
+CoalesceMap computeTransferEquivalence(const SVFG &G);
+
+} // namespace svfg
+} // namespace vsfs
+
+#endif // VSFS_SVFG_COALESCE_H

@@ -2,6 +2,8 @@
 
 #include "svfg/SVFG.h"
 
+#include "svfg/Coalesce.h"
+
 #include <cassert>
 
 using namespace vsfs;
@@ -131,11 +133,50 @@ void SVFG::addDirectEdge(NodeID From, NodeID To) {
 }
 
 bool SVFG::addIndirectEdge(NodeID From, NodeID To, ObjID Obj) {
+  if (CMap) {
+    From = CMap->rep(From);
+    To = CMap->rep(To);
+    // A relay self-loop forwards a node's IN into itself — a no-op. (A
+    // store/free self-loop is kept: it feeds the def's OUT back into its
+    // IN, which is a real flow the original graph routed via a relay.)
+    if (From == To && Nodes[From].Kind != NodeKind::Inst)
+      return false;
+  }
   if (!IndEdgeSet[From].insert(key(To, Obj)).second)
     return false;
   IndSuccs[From].push_back(IndEdge{To, Obj});
   ++IndirectEdgeCount;
   return true;
+}
+
+NodeID SVFG::coalesceRep(NodeID N) const { return CMap ? CMap->rep(N) : N; }
+
+void SVFG::applyCoalescing(CoalesceMap &CM) {
+  assert(!CMap && "coalescing is applied at most once");
+  assert(CM.RepOf.size() == Nodes.size() && "map built for this graph");
+  const uint64_t Before = IndirectEdgeCount;
+  std::vector<std::vector<IndEdge>> NewSuccs(Nodes.size());
+  std::vector<std::unordered_set<uint64_t>> NewSet(Nodes.size());
+  uint64_t Count = 0;
+  for (NodeID S = 0; S < numNodes(); ++S) {
+    NodeID RS = CM.rep(S);
+    for (const IndEdge &E : IndSuccs[S]) {
+      NodeID RD = CM.rep(E.Dst);
+      if (RS == RD && Nodes[RS].Kind != NodeKind::Inst) {
+        ++CM.SelfLoopsDropped;
+        continue;
+      }
+      if (NewSet[RS].insert(key(RD, E.Obj)).second) {
+        NewSuccs[RS].push_back(IndEdge{RD, E.Obj});
+        ++Count;
+      }
+    }
+  }
+  IndSuccs = std::move(NewSuccs);
+  IndEdgeSet = std::move(NewSet);
+  IndirectEdgeCount = Count;
+  CM.EdgesRemoved = Before - Count;
+  CMap = &CM;
 }
 
 void SVFG::buildDirectEdges() {
@@ -216,18 +257,25 @@ void SVFG::connectCallEdge(InstID CS, FunID Callee,
                            std::vector<std::pair<NodeID, IndEdge>> &Added) {
   if (!ConnectedCallEdges.insert(key(CS, Callee)).second)
     return;
-  // Objects flowing in: callsite μ meets the callee's entry χ.
+  // Objects flowing in: callsite μ meets the callee's entry χ. Endpoints
+  // are reported (and wired) through their class representatives when the
+  // graph is coalesced — members are edge-less, so the solvers must see
+  // the node that actually carries the flow.
   for (NodeID MuN : callMusOf(CS)) {
     ObjID O = Nodes[MuN].Obj;
     NodeID ChiN = entryChiNode(Callee, O);
-    if (ChiN != InvalidNode && addIndirectEdge(MuN, ChiN, O))
-      Added.emplace_back(MuN, IndEdge{ChiN, O});
+    if (ChiN == InvalidNode)
+      continue;
+    if (addIndirectEdge(MuN, ChiN, O))
+      Added.emplace_back(coalesceRep(MuN), IndEdge{coalesceRep(ChiN), O});
   }
   // Objects flowing out: callee's exit μ meets the callsite χ.
   for (NodeID MuN : exitMusOf(Callee)) {
     ObjID O = Nodes[MuN].Obj;
     NodeID ChiN = callChiNode(CS, O);
-    if (ChiN != InvalidNode && addIndirectEdge(MuN, ChiN, O))
-      Added.emplace_back(MuN, IndEdge{ChiN, O});
+    if (ChiN == InvalidNode)
+      continue;
+    if (addIndirectEdge(MuN, ChiN, O))
+      Added.emplace_back(coalesceRep(MuN), IndEdge{coalesceRep(ChiN), O});
   }
 }

@@ -30,6 +30,8 @@
 namespace vsfs {
 namespace svfg {
 
+struct CoalesceMap;
+
 using NodeID = uint32_t;
 constexpr NodeID InvalidNode = UINT32_MAX;
 
@@ -135,7 +137,27 @@ public:
                        std::vector<std::pair<NodeID, IndEdge>> &Added);
 
   /// Adds one indirect edge if not already present; returns true if added.
+  /// After \c applyCoalescing the endpoints are remapped onto their class
+  /// representatives first (relay self-loops that remapping produces are
+  /// identity hops and dropped).
   bool addIndirectEdge(NodeID From, NodeID To, ir::ObjID Obj);
+
+  // --- Coalescing (svfg/Coalesce.h) ---------------------------------------
+
+  /// Rewrites the indirect edge lists onto class representatives: every
+  /// endpoint is redirected through \c CM.rep, duplicates collapse, and
+  /// relay self-loops (identity transfers) are dropped — member nodes end
+  /// up edge-less and the graph behaves as the coalesced view. Updates
+  /// \p CM's EdgesRemoved / SelfLoopsDropped counters and keeps a pointer
+  /// to \p CM (not owned; must outlive the graph's use). Call at most
+  /// once, before any solver or slicer touches the graph.
+  void applyCoalescing(CoalesceMap &CM);
+
+  /// The applied map, or null when the graph is uncoalesced.
+  const CoalesceMap *coalesceMap() const { return CMap; }
+
+  /// \c CM.rep(N) when coalesced, N otherwise.
+  NodeID coalesceRep(NodeID N) const;
 
 private:
   static uint64_t key(uint32_t A, uint32_t B) {
@@ -183,6 +205,7 @@ private:
   /// MemSSA DefID -> defining SVFG node.
   std::vector<NodeID> DefNode;
   std::unordered_set<uint64_t> ConnectedCallEdges;
+  const CoalesceMap *CMap = nullptr;
 };
 
 } // namespace svfg

@@ -3,6 +3,7 @@
 #include "svfg/Slice.h"
 
 #include "andersen/Andersen.h"
+#include "svfg/Coalesce.h"
 
 #include <algorithm>
 
@@ -53,6 +54,10 @@ void BackwardSlicer::buildPotentialPreds() {
         return true;
     return false;
   };
+  // The chi/mu lookup tables name the nodes the builder created; on a
+  // coalesced graph the flow (and any edge connectCallEdge later adds)
+  // lives on the class representatives, so remap through them. The static
+  // pred pass needs no such care — it walks the live adjacency lists.
   for (InstID CS : AuxCG.callSites()) {
     NodeID CallNode = G.instNode(CS);
     for (FunID Callee : AuxCG.callees(CS)) {
@@ -61,20 +66,22 @@ void BackwardSlicer::buildPotentialPreds() {
         NodeID ChiN = G.entryChiNode(Callee, O);
         if (ChiN == InvalidNode)
           continue;
-        addPred(ChiN, MuN);
-        addPred(ChiN, CallNode);
-        if (!HasStaticEdge(MuN, ChiN, O))
-          PotentialSuccs[MuN].push_back(IndEdge{ChiN, O});
+        NodeID RMu = G.coalesceRep(MuN), RChi = G.coalesceRep(ChiN);
+        addPred(RChi, RMu);
+        addPred(RChi, CallNode);
+        if (!HasStaticEdge(RMu, RChi, O))
+          PotentialSuccs[RMu].push_back(IndEdge{RChi, O});
       }
       for (NodeID MuN : G.exitMusOf(Callee)) {
         ObjID O = G.node(MuN).Obj;
         NodeID ChiN = G.callChiNode(CS, O);
         if (ChiN == InvalidNode)
           continue;
-        addPred(ChiN, MuN);
-        addPred(ChiN, CallNode);
-        if (!HasStaticEdge(MuN, ChiN, O))
-          PotentialSuccs[MuN].push_back(IndEdge{ChiN, O});
+        NodeID RMu = G.coalesceRep(MuN), RChi = G.coalesceRep(ChiN);
+        addPred(RChi, RMu);
+        addPred(RChi, CallNode);
+        if (!HasStaticEdge(RMu, RChi, O))
+          PotentialSuccs[RMu].push_back(IndEdge{RChi, O});
       }
       const Function &F = M.function(Callee);
       addPred(G.instNode(F.Entry), CallNode);
@@ -90,11 +97,20 @@ BackwardSlicer::SliceResult BackwardSlicer::slice(NodeID Root,
   Queue.clear();
   VisitEpoch[Root] = Epoch;
   Queue.push_back(Root);
+  const CoalesceMap *CM = G.coalesceMap();
   for (size_t Head = 0; Head < Queue.size(); ++Head) {
     NodeID N = Queue[Head];
     ++R.SliceNodes;
     if (Scope.insert(N))
       ++R.NewNodes;
+    // Keep the scope closed under class membership: an edge-less member
+    // contributes nothing to the scoped solve, but anything that fans a
+    // member's answer out (ObjectVersioning::consume, inOf) must find it
+    // in scope alongside its representative.
+    if (CM != nullptr)
+      for (NodeID Member : CM->classOf(N))
+        if (Scope.insert(Member))
+          ++R.NewNodes;
     for (NodeID P : Preds[N]) {
       if (VisitEpoch[P] == Epoch)
         continue;

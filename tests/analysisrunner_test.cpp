@@ -277,13 +277,14 @@ TEST(StatsJson, GoldenShapeForAllAnalyses) {
   expectWellFormedJson(J);
 
   // Top-level shape.
-  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v3\""), std::string::npos);
+  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v4\""), std::string::npos);
   EXPECT_NE(J.find("\"mode\": \"exhaustive\""), std::string::npos);
   for (const char *Key :
        {"\"module\"", "\"pipeline\"", "\"analyses\"", "\"instructions\"",
         "\"functions\"", "\"variables\"", "\"objects\"",
         "\"andersen_seconds\"", "\"memssa_seconds\"", "\"svfg_seconds\"",
-        "\"svfg_nodes\"", "\"svfg_direct_edges\"", "\"svfg_indirect_edges\""})
+        "\"svfg_nodes\"", "\"svfg_direct_edges\"", "\"svfg_indirect_edges\"",
+        "\"coalesce_seconds\""})
     EXPECT_NE(J.find(Key), std::string::npos) << Key;
 
   // v2: the pipeline's own termination plus a per-run status triple. All

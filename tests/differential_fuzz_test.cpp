@@ -1,10 +1,12 @@
 //===- differential_fuzz_test.cpp - Cross-representation fuzzing -*- C++ -*-===//
 ///
-/// The proof that the persistent (hash-consed, memoised) points-to
-/// representation changes no analysis result: every benchmark preset and a
-/// swarm of seeded random workloads are solved under --pts-repr=sbv and
-/// --pts-repr=persistent, and the complete per-variable points-to relation
-/// plus the bug checkers' findings must be bit-identical across the two.
+/// The proof that neither the persistent (hash-consed, memoised) points-to
+/// representation nor the pre-solve SVFG coalescing pass changes any
+/// analysis result: every benchmark preset and a swarm of seeded random
+/// workloads are solved under the full {sbv, persistent} × {--coalesce=off,
+/// --coalesce=on} matrix, and the complete per-variable points-to relation
+/// plus the bug checkers' findings (exhaustive and demand-mode) must be
+/// bit-identical across all four cells.
 ///
 /// Within each representation the usual precision laws are asserted too:
 /// vsfs ≡ sfs (§IV-E), iter ≡ sfs on call-free programs (the dense oracle),
@@ -60,16 +62,19 @@ std::vector<std::string> findingStrings(const core::AnalysisContext &Ctx,
 }
 
 /// Solves ander/sfs/vsfs (and iter when \p RunIter) on \p C under \p Repr,
+/// optionally with the SVFG coalesced first (--coalesce=on's path),
 /// asserting the intra-representation precision laws, and returns the full
 /// result snapshot. Clears the cache afterwards in persistent mode.
 Snapshot solveAndCheck(const workload::GenConfig &C, adt::PtsRepr Repr,
-                       bool RunIter, const char *What) {
+                       bool Coalesce, bool RunIter, const char *What) {
   Snapshot Snap;
   {
     adt::PtsReprScope Scope(Repr);
     auto Ctx = buildFromConfig(C, /*ConnectAuxIndirectCalls=*/true);
     if (!Ctx)
       return Snap;
+    if (Coalesce)
+      EXPECT_TRUE(Ctx->coalesce()) << What << ": coalesce pass refused";
     const AnalysisRunner &Runner = AnalysisRunner::registry();
     auto Ander = Runner.run(*Ctx, "ander");
     auto Sfs = Runner.run(*Ctx, "sfs");
@@ -129,18 +134,42 @@ Snapshot solveAndCheck(const workload::GenConfig &C, adt::PtsRepr Repr,
   return Snap;
 }
 
-void expectSameSnapshots(const Snapshot &Sbv, const Snapshot &Pers,
-                         const char *What) {
-  EXPECT_EQ(Sbv.Ander, Pers.Ander) << What << ": ander differs across reprs";
-  EXPECT_EQ(Sbv.Sfs, Pers.Sfs) << What << ": sfs differs across reprs";
-  EXPECT_EQ(Sbv.Vsfs, Pers.Vsfs) << What << ": vsfs differs across reprs";
-  EXPECT_EQ(Sbv.Iter, Pers.Iter) << What << ": iter differs across reprs";
-  EXPECT_EQ(Sbv.SfsFindings, Pers.SfsFindings)
-      << What << ": sfs checker findings differ across reprs";
-  EXPECT_EQ(Sbv.VsfsFindings, Pers.VsfsFindings)
-      << What << ": vsfs checker findings differ across reprs";
-  EXPECT_EQ(Sbv.DemandFindings, Pers.DemandFindings)
-      << What << ": demand checker findings differ across reprs";
+void expectSameSnapshots(const Snapshot &Base, const Snapshot &Other,
+                         const char *What, const char *Which) {
+  EXPECT_EQ(Base.Ander, Other.Ander)
+      << What << ": ander differs under " << Which;
+  EXPECT_EQ(Base.Sfs, Other.Sfs) << What << ": sfs differs under " << Which;
+  EXPECT_EQ(Base.Vsfs, Other.Vsfs)
+      << What << ": vsfs differs under " << Which;
+  EXPECT_EQ(Base.Iter, Other.Iter)
+      << What << ": iter differs under " << Which;
+  EXPECT_EQ(Base.SfsFindings, Other.SfsFindings)
+      << What << ": sfs checker findings differ under " << Which;
+  EXPECT_EQ(Base.VsfsFindings, Other.VsfsFindings)
+      << What << ": vsfs checker findings differ under " << Which;
+  EXPECT_EQ(Base.DemandFindings, Other.DemandFindings)
+      << What << ": demand checker findings differ under " << Which;
+}
+
+/// Runs the full 2×2 matrix — {sbv, persistent} × {--coalesce=off, on} —
+/// and compares every cell against the sbv/uncoalesced baseline. One
+/// baseline beats pairwise: any detected difference names the exact cell.
+void runMatrix(const workload::GenConfig &C, bool RunIter,
+               const char *What) {
+  Snapshot Base = solveAndCheck(C, adt::PtsRepr::SBV, /*Coalesce=*/false,
+                                RunIter, What);
+  struct Cell {
+    adt::PtsRepr Repr;
+    bool Coalesce;
+    const char *Which;
+  };
+  for (const Cell &X : {Cell{adt::PtsRepr::SBV, true, "sbv+coalesce"},
+                        Cell{adt::PtsRepr::Persistent, false, "persistent"},
+                        Cell{adt::PtsRepr::Persistent, true,
+                             "persistent+coalesce"}}) {
+    Snapshot S = solveAndCheck(C, X.Repr, X.Coalesce, RunIter, What);
+    expectSameSnapshots(Base, S, What, X.Which);
+  }
 }
 
 } // namespace
@@ -158,10 +187,7 @@ TEST_P(PresetDifferential, PersistentMatchesSbv) {
   const char *What = GetParam().Name.c_str();
   // Presets are interprocedural, so iter is only an over-approximation —
   // the dense oracle is asserted on the call-free seeds below instead.
-  Snapshot Sbv = solveAndCheck(C, adt::PtsRepr::SBV, /*RunIter=*/false, What);
-  Snapshot Pers =
-      solveAndCheck(C, adt::PtsRepr::Persistent, /*RunIter=*/false, What);
-  expectSameSnapshots(Sbv, Pers, What);
+  runMatrix(C, /*RunIter=*/false, What);
 }
 
 namespace {
@@ -197,10 +223,7 @@ TEST_P(SeedDifferential, FullChainHoldsUnderBothRepresentations) {
 
   char What[32];
   std::snprintf(What, sizeof(What), "seed %u", Seed);
-  Snapshot Sbv = solveAndCheck(C, adt::PtsRepr::SBV, /*RunIter=*/true, What);
-  Snapshot Pers =
-      solveAndCheck(C, adt::PtsRepr::Persistent, /*RunIter=*/true, What);
-  expectSameSnapshots(Sbv, Pers, What);
+  runMatrix(C, /*RunIter=*/true, What);
 }
 
 // 56 seeds, disjoint from every seed used elsewhere in the suite.

@@ -153,3 +153,193 @@ TEST_P(SVFGInvariants, DirectEdgesRespectDefUse) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SVFGInvariants, ::testing::Range(1u, 13u));
+
+// --- Transfer-equivalence coalescing (svfg/Coalesce.h) ------------------
+//
+// Brute-force re-derivations of the properties docs/COALESCING.md relies
+// on, checked against the real pass on small generated programs.
+
+namespace {
+
+/// True when the SVFG node is one of the δ nodes OTF call-graph
+/// resolution may still wire new in-edges into (docs/COALESCING.md).
+bool isDeltaNode(const core::AnalysisContext &Ctx, NodeID N) {
+  const auto &G = Ctx.svfg();
+  const auto &M = Ctx.module();
+  const svfg::Node &Node = G.node(N);
+  if (Node.Kind == NodeKind::EntryChi)
+    return M.function(Node.Fun).hasAddressTaken();
+  if (Node.Kind == NodeKind::CallChi)
+    return M.inst(Node.Inst).isIndirectCall();
+  return false;
+}
+
+/// Brute-force semantic ground truth for the congruence: for every node,
+/// the set of value sources — non-coalescible nodes (Inst mem-defs and δ
+/// relays) — whose output reaches it through chains of identity-forwarding
+/// relays. A relay's fixpoint value is exactly the join of its sources'
+/// values, so two relays with equal source sets compute equal values in
+/// every solver fixpoint.
+std::vector<std::set<NodeID>> valueSources(const core::AnalysisContext &Ctx) {
+  const auto &G = Ctx.svfg();
+  std::vector<std::set<NodeID>> Src(G.numNodes());
+  auto IsSource = [&](NodeID N) {
+    return G.node(N).Kind == NodeKind::Inst || isDeltaNode(Ctx, N);
+  };
+  for (NodeID N = 0; N < G.numNodes(); ++N)
+    if (IsSource(N))
+      Src[N].insert(N);
+  // Propagate through relays until stable (cycles converge by monotony).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeID N = 0; N < G.numNodes(); ++N)
+      for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+        if (IsSource(E.Dst))
+          continue;
+        size_t Before = Src[E.Dst].size();
+        Src[E.Dst].insert(Src[N].begin(), Src[N].end());
+        Changed |= Src[E.Dst].size() != Before;
+      }
+  }
+  return Src;
+}
+
+} // namespace
+
+class CoalesceInvariants : public ::testing::TestWithParam<uint32_t> {
+protected:
+  workload::GenConfig config() const {
+    workload::GenConfig C;
+    C.Seed = GetParam() * 101 + 31;
+    C.NumFunctions = 3 + GetParam() % 6;
+    C.NumGlobals = GetParam() % 5;
+    C.IndirectCallFraction = (GetParam() % 3) * 0.25;
+    return C;
+  }
+};
+
+TEST_P(CoalesceInvariants, PairwiseTransferCongruence) {
+  // Compute the partition WITHOUT applying it, then re-check every member
+  // against its representative by brute force on the original graph:
+  //  - Inst and δ nodes are never members;
+  //  - every member has exactly its representative's value-source set (the
+  //    semantic congruence — equal source sets force equal fixpoints);
+  //  - a SameIn member additionally shares its rep's kind and object.
+  auto Ctx = buildFromConfig(config(), GetParam() % 2 == 0);
+  ASSERT_NE(Ctx, nullptr);
+  const auto &G = Ctx->svfg();
+  svfg::CoalesceMap CM = svfg::computeTransferEquivalence(G);
+  std::vector<std::set<NodeID>> Src = valueSources(*Ctx);
+
+  uint64_t Members = 0;
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    NodeID R = CM.rep(N);
+    EXPECT_EQ(CM.rep(R), R) << "rep is not a fixpoint";
+    if (R == N) {
+      EXPECT_EQ(CM.role(N), svfg::CoalesceRole::Self);
+      continue;
+    }
+    ++Members;
+    EXPECT_NE(G.node(N).Kind, NodeKind::Inst) << "Inst node coalesced";
+    EXPECT_FALSE(isDeltaNode(*Ctx, N)) << "δ node " << N << " coalesced";
+    // The congruence itself. When the rep is a source, its "set" is {R}
+    // and the member must be fed by exactly that source.
+    EXPECT_EQ(Src[N], Src[R])
+        << "member " << N << " and rep " << R << " disagree on sources";
+    if (CM.role(N) == svfg::CoalesceRole::SameIn) {
+      EXPECT_EQ(G.node(N).Kind, G.node(R).Kind);
+      EXPECT_EQ(G.node(N).Obj, G.node(R).Obj);
+    } else {
+      ASSERT_EQ(CM.role(N), svfg::CoalesceRole::Forward);
+    }
+  }
+  EXPECT_EQ(CM.CoalescedNodes, Members);
+  EXPECT_EQ(CM.ForwardMembers + CM.SameInMembers, Members);
+}
+
+TEST_P(CoalesceInvariants, RewriteIsStructurallySound) {
+  auto Ctx = buildFromConfig(config(), GetParam() % 2 == 0);
+  ASSERT_NE(Ctx, nullptr);
+  ASSERT_TRUE(Ctx->coalesce());
+  const auto &G = Ctx->svfg();
+  const svfg::CoalesceMap &CM = *Ctx->coalesceMap();
+
+  uint64_t LiveEdges = 0;
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    std::set<std::pair<NodeID, ir::ObjID>> Seen;
+    for (const svfg::IndEdge &E : G.indirectSuccs(N)) {
+      ++LiveEdges;
+      EXPECT_FALSE(CM.isMember(N)) << "member still has out-edges";
+      EXPECT_FALSE(CM.isMember(E.Dst)) << "edge points at a member";
+      EXPECT_TRUE(Seen.emplace(E.Dst, E.Obj).second) << "duplicate edge";
+      if (N == E.Dst)
+        EXPECT_EQ(G.node(N).Kind, NodeKind::Inst)
+            << "self-loop survived on a relay node";
+    }
+    if (CM.isMember(N))
+      EXPECT_TRUE(G.indirectSuccs(N).empty() && G.directSuccs(N).empty());
+  }
+  EXPECT_EQ(LiveEdges, G.numIndirectEdges());
+
+  // Class bookkeeping: members grouped under their rep, rep listed first.
+  uint64_t Grouped = 0;
+  for (uint32_t C = 0; C < CM.numClasses(); ++C) {
+    const auto &Class = CM.Classes[C];
+    ASSERT_GE(Class.size(), 2u) << "singleton class materialised";
+    EXPECT_EQ(CM.rep(Class.front()), Class.front());
+    for (NodeID N : Class) {
+      EXPECT_EQ(CM.rep(N), Class.front());
+      EXPECT_EQ(CM.classIndex(N), C);
+    }
+    Grouped += Class.size() - 1;
+  }
+  EXPECT_EQ(Grouped, CM.CoalescedNodes);
+}
+
+TEST_P(CoalesceInvariants, FanOutRestoresPerNodeAnswers) {
+  // Build the same program twice, coalesce one copy, solve both with SFS
+  // and VSFS: the coalesced pipeline must answer identically at every
+  // observation point — member relays via the fan-out in inOf, and every
+  // load site via ptsOfObjAt.
+  auto Plain = buildFromConfig(config(), GetParam() % 2 == 0);
+  auto Coal = buildFromConfig(config(), GetParam() % 2 == 0);
+  ASSERT_NE(Plain, nullptr);
+  ASSERT_NE(Coal, nullptr);
+  ASSERT_TRUE(Coal->coalesce());
+  const svfg::CoalesceMap &CM = *Coal->coalesceMap();
+  ASSERT_EQ(Plain->svfg().numNodes(), Coal->svfg().numNodes());
+
+  core::FlowSensitive SfsPlain(Plain->svfg());
+  core::FlowSensitive SfsCoal(Coal->svfg());
+  SfsPlain.solve();
+  SfsCoal.solve();
+  const auto &G = Plain->svfg();
+  for (NodeID N = 0; N < G.numNodes(); ++N) {
+    if (!CM.isMember(N))
+      continue;
+    ir::ObjID O = G.node(N).Obj; // Members are always single-object relays.
+    EXPECT_TRUE(SfsPlain.inOf(N, O) == SfsCoal.inOf(N, O))
+        << "fan-out lost the IN set of member " << N;
+  }
+
+  core::VersionedFlowSensitive VsfsPlain(Plain->svfg());
+  core::VersionedFlowSensitive VsfsCoal(Coal->svfg());
+  VsfsPlain.solve();
+  VsfsCoal.solve();
+  const auto &M = Plain->module();
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I) {
+    if (M.inst(I).Kind != ir::InstKind::Load)
+      continue;
+    EXPECT_TRUE(SfsPlain.ptsOfVar(M.inst(I).loadPtr()) ==
+                SfsCoal.ptsOfVar(M.inst(I).loadPtr()));
+    for (uint32_t O : SfsPlain.ptsOfVar(M.inst(I).loadPtr())) {
+      EXPECT_TRUE(SfsPlain.ptsOfObjAt(I, O) == SfsCoal.ptsOfObjAt(I, O))
+          << "sfs ptsOfObjAt differs at load " << I;
+      EXPECT_TRUE(VsfsPlain.ptsOfObjAt(I, O) == VsfsCoal.ptsOfObjAt(I, O))
+          << "vsfs ptsOfObjAt differs at load " << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalesceInvariants, ::testing::Range(1u, 9u));

@@ -67,6 +67,7 @@ struct Options {
   double QueryTimeBudget = 0;      ///< per-query deadline (demand mode)
   uint64_t QueryStepBudget = 0;    ///< per-query step limit (demand mode)
   adt::PtsRepr PtsRepr = adt::PtsRepr::SBV;
+  bool Coalesce = false; ///< --coalesce=on: pre-solve SVFG coalescing.
   uint32_t CheckMask = 0; ///< Checkers to run; 0 = none.
   bool InjectBugs = false;
   bool Lint = false;
@@ -110,6 +111,11 @@ void usage(const char *Prog) {
       "  --pts-repr=REPR       points-to set representation:\n"
       "                        sbv (one bit vector per set, the default) |\n"
       "                        persistent (hash-consed, memoised algebra)\n"
+      "  --coalesce=MODE       off (default) | on: pre-solve transfer-\n"
+      "                        equivalence coalescing of the SVFG — merges\n"
+      "                        redundancy-equivalent relay nodes before\n"
+      "                        solving; results are bit-identical\n"
+      "                        (docs/COALESCING.md)\n"
       "  --check=KINDS         run bug checkers on each analysis's result:\n"
       "                        comma list of uaf | dfree | null | leak | "
       "all\n"
@@ -202,6 +208,17 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
         std::fprintf(stderr,
                      "error: bad --pts-repr '%s' (want sbv | persistent)\n",
                      VR);
+        return ParseResult::Error;
+      }
+    } else if (const char *VCo = Value("--coalesce=")) {
+      std::string_view S = VCo;
+      if (S == "on") {
+        Opts.Coalesce = true;
+      } else if (S == "off") {
+        Opts.Coalesce = false;
+      } else {
+        std::fprintf(stderr, "error: bad --coalesce '%s' (want off | on)\n",
+                     VCo);
         return ParseResult::Error;
       }
     } else if (const char *VC = Value("--check=")) {
@@ -533,6 +550,21 @@ int run(const Options &Opts) {
     std::printf("pipeline: cancelled during %s (%s)\n",
                 Budget ? Budget->phase() : "build",
                 terminationName(Ctx.buildTermination()));
+
+  // Pre-solve transfer-equivalence coalescing (docs/COALESCING.md): must
+  // run before any solver, slicer or query engine sees the graph.
+  if (Built && Opts.Coalesce) {
+    Ctx.coalesce();
+    const svfg::CoalesceMap &CM = *Ctx.coalesceMap();
+    std::printf("coalesce: %u classes, %llu nodes + %llu edges removed "
+                "(%llu forward, %llu same-in, %llu refine iters, %.3fs)\n",
+                CM.numClasses(), (unsigned long long)CM.CoalescedNodes,
+                (unsigned long long)CM.EdgesRemoved,
+                (unsigned long long)CM.ForwardMembers,
+                (unsigned long long)CM.SameInMembers,
+                (unsigned long long)CM.RefineIterations,
+                Ctx.coalesceSeconds());
+  }
 
   const core::AnalysisRunner &Runner = core::AnalysisRunner::registry();
   std::vector<std::string> Names;
