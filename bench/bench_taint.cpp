@@ -1,0 +1,187 @@
+//===- bench_taint.cpp - Spec engine vs legacy checker ablation -*- C++ -*-===//
+///
+/// The declarative taint engine against the hand-written checker walk
+/// (docs/CHECKERS.md): per preset, one vsfs solve, then (a) the legacy
+/// \c checker::runCheckers pass over the four original rules, (b) the spec
+/// engine running the full builtin set (the same four rules plus uread and
+/// ufree) including witness construction, and (c) an independent
+/// \c WitnessVerifier replay of every witness. A fourth cell runs the same
+/// specs demand-driven through a QueryEngine on a fresh pipeline.
+///
+/// Three correctness gates decide the exit code on every row, tracked trio
+/// or not: the spec findings projected onto the legacy kinds must equal the
+/// legacy walk bit-for-bit, every witness must replay Verified, and the
+/// demand-mode projection must match the exhaustive one. Wall-clock ratios
+/// are reported, never gated — the engine's generality is expected to cost
+/// a small constant factor over the fused legacy loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "checker/Checker.h"
+#include "query/QueryEngine.h"
+#include "support/Schemas.h"
+#include "taint/TaintEngine.h"
+#include "taint/WitnessVerifier.h"
+
+#include <sstream>
+
+using namespace vsfs;
+using namespace vsfs::bench;
+
+namespace {
+
+struct TaintCell {
+  double LegacySeconds = 0;  ///< runCheckers, legacy kinds only.
+  double SpecSeconds = 0;    ///< runTaint, full builtin set.
+  double VerifySeconds = 0;  ///< WitnessVerifier::verifyAll replay.
+  double DemandSeconds = 0;  ///< runTaintDemand on a fresh pipeline.
+  size_t LegacyFindings = 0;
+  size_t SpecFindings = 0;
+  uint32_t Verified = 0;
+  uint64_t WalkSteps = 0; ///< Engine's "object_walk_steps" work counter.
+  bool Identical = false; ///< Legacy projection == legacy walk.
+  bool DemandIdentical = false;
+};
+
+/// Runs all four cells for \p Spec, averaging times over \p Runs. The
+/// correctness flags come from the last run (they are deterministic).
+/// Bug patterns are injected so the free-based object-flow rules have
+/// sources to walk — the stock presets never emit frees.
+TaintCell runCell(workload::BenchSpec Spec,
+                  const std::vector<taint::TaintSpec> &Specs,
+                  uint32_t Runs) {
+  Spec.Config.InjectBugs = true;
+  TaintCell Cell;
+  std::vector<checker::Finding> Exhaustive;
+  for (uint32_t Run = 0; Run < Runs; ++Run) {
+    auto Ctx = buildPipeline(Spec);
+    auto R = core::AnalysisRunner::registry().run(*Ctx, "vsfs");
+    const svfg::SVFG &G = Ctx->svfg();
+    const core::PointerAnalysisResult &A = *R.Analysis;
+
+    Timer T;
+    std::vector<checker::Finding> Legacy =
+        checker::runCheckers(G, A, checker::LegacyChecks);
+    Cell.LegacySeconds += T.seconds() / Runs;
+
+    T.start();
+    taint::TaintEngine TE(G, A);
+    std::vector<taint::TaintFinding> TFs = TE.run(Specs);
+    Cell.SpecSeconds += T.seconds() / Runs;
+
+    T.start();
+    Cell.Verified = taint::WitnessVerifier(G, A).verifyAll(Specs, TFs);
+    Cell.VerifySeconds += T.seconds() / Runs;
+
+    Cell.LegacyFindings = Legacy.size();
+    Cell.SpecFindings = TFs.size();
+    Cell.WalkSteps = TE.stats().lookup("object_walk_steps");
+    Exhaustive = taint::toCheckerFindings(TFs);
+    std::vector<checker::Finding> LegacyOnly;
+    for (const checker::Finding &F : Exhaustive)
+      if (checker::checkBit(F.Kind) & checker::LegacyChecks)
+        LegacyOnly.push_back(F);
+    Cell.Identical = LegacyOnly == Legacy;
+  }
+  for (uint32_t Run = 0; Run < Runs; ++Run) {
+    auto Ctx = buildPipeline(Spec);
+    Timer T;
+    query::QueryEngine::Options QO;
+    QO.Solver = "vsfs";
+    query::QueryEngine E(*Ctx, QO);
+    std::vector<taint::TaintFinding> TFs = query::runTaintDemand(E, Specs);
+    Cell.DemandSeconds += T.seconds() / Runs;
+    Cell.DemandIdentical = taint::toCheckerFindings(TFs) == Exhaustive;
+  }
+  return Cell;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint32_t Runs = 1;
+  std::string JsonPath;
+  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath);
+  if (Suite.empty())
+    return 0;
+  // Default to the three tracked presets (EXPERIMENTS.md); --bench /
+  // --quick select explicitly. The correctness gates apply either way.
+  if (Suite.size() == workload::benchmarkSuite().size()) {
+    Suite.clear();
+    for (const char *Name : {"astyle", "mutt", "bash"}) {
+      workload::BenchSpec S;
+      if (workload::findBenchmark(Name, S))
+        Suite.push_back(S);
+    }
+  }
+
+  const std::vector<taint::TaintSpec> Specs = taint::builtinSpecs();
+  std::printf("Taint spec engine vs legacy checker walk (vsfs backend, "
+              "bugs injected)\n(%u run%s per cell; spec cell runs all %zu "
+              "builtin specs and builds witnesses,\nlegacy cell runs the "
+              "four original checkers; ver t replays every witness)\n\n",
+              Runs, Runs == 1 ? "" : "s", Specs.size());
+  TableWriter T({-14, 8, 8, 9, 9, 9, 9, 7, 6});
+  std::printf("%s", T.row({"Bench.", "Legacy", "Spec", "leg t", "spec t",
+                           "ver t", "dem t", "Verif", "Same"})
+                        .c_str());
+  std::printf("%s", T.separator().c_str());
+
+  std::ostringstream Json;
+  Json << "{\n  \"schema\": \"" << schemas::BenchTaint
+       << "\",\n  \"runs\": " << Runs << ",\n  \"specs\": " << Specs.size()
+       << ",\n  \"pts_repr\": \"" << adt::ptsReprName(adt::pointsToRepr())
+       << "\",\n  \"coalesce\": " << (coalesceEnabled() ? "true" : "false")
+       << ",\n  \"rows\": [";
+  bool FirstJson = true;
+  bool AllGatesHold = true;
+  for (const auto &Spec : Suite) {
+    TaintCell Cell = runCell(Spec, Specs, Runs);
+    bool AllVerified = Cell.Verified == Cell.SpecFindings;
+    bool Gates = Cell.Identical && AllVerified && Cell.DemandIdentical;
+    AllGatesHold = AllGatesHold && Gates;
+
+    char Verif[32];
+    std::snprintf(Verif, sizeof(Verif), "%u/%zu", Cell.Verified,
+                  Cell.SpecFindings);
+    std::printf(
+        "%s", T.row({Spec.Name, std::to_string(Cell.LegacyFindings),
+                     std::to_string(Cell.SpecFindings),
+                     formatDouble(Cell.LegacySeconds, 3),
+                     formatDouble(Cell.SpecSeconds, 3),
+                     formatDouble(Cell.VerifySeconds, 3),
+                     formatDouble(Cell.DemandSeconds, 3), Verif,
+                     Gates ? "yes" : "NO"})
+                  .c_str());
+
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "%s    {\"name\": \"%s\", \"legacy_findings\": %zu, "
+        "\"spec_findings\": %zu, \"verified\": %u, \"walk_steps\": %llu, "
+        "\"legacy_seconds\": %.6f, \"spec_seconds\": %.6f, "
+        "\"verify_seconds\": %.6f, \"demand_seconds\": %.6f, "
+        "\"identical\": %s, \"all_verified\": %s, \"demand_identical\": %s}",
+        FirstJson ? "\n" : ",\n", Spec.Name.c_str(), Cell.LegacyFindings,
+        Cell.SpecFindings, Cell.Verified,
+        (unsigned long long)Cell.WalkSteps, Cell.LegacySeconds,
+        Cell.SpecSeconds, Cell.VerifySeconds, Cell.DemandSeconds,
+        Cell.Identical ? "true" : "false", AllVerified ? "true" : "false",
+        Cell.DemandIdentical ? "true" : "false");
+    Json << Buf;
+    FirstJson = false;
+  }
+  Json << "\n  ]\n}\n";
+
+  std::printf("%s", T.separator().c_str());
+  std::printf("\nExpected shape: legacy projection identical, every witness "
+              "replays, demand\nmatches exhaustive — all rows%s. Spec/legacy "
+              "time ratio is reported, not gated.\n",
+              AllGatesHold ? " (holds)" : " (VIOLATED)");
+
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Json.str());
+  return AllGatesHold ? 0 : 1;
+}

@@ -11,8 +11,8 @@
 # full {--pts-repr} × {--coalesce} matrix). --tidy runs clang-tidy (the
 # checks in .clang-tidy) over src/ using the build tree's compilation
 # database instead of building and testing; it fails when clang-tidy is
-# not installed. Each ctest label (unit | checker | equivalence | query |
-# coalesce | bench | robust, plus fuzz when requested) is run and timed
+# not installed. Each ctest label (unit | checker | taint | equivalence |
+# query | coalesce | bench | robust, plus fuzz when requested) is run and timed
 # separately, so slow tiers are visible at a glance. The robust tier (budgets,
 # cancellation, degradation — docs/ROBUSTNESS.md) always runs; its tests
 # carry per-test timeouts so a wedged cancellation path fails fast.
@@ -82,8 +82,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # labels). The fuzz tier is opt-in (--fuzz) but always excluded from the
 # safety net, so it never runs by accident. The summary table prints at
 # the end.
-ALL_LABELS=(unit checker equivalence query coalesce bench fuzz robust)
-LABELS=(unit checker equivalence query coalesce bench robust)
+ALL_LABELS=(unit checker taint equivalence query coalesce bench fuzz robust)
+LABELS=(unit checker taint equivalence query coalesce bench robust)
 if [ "$FUZZ" -eq 1 ]; then
   LABELS+=(fuzz)
 fi

@@ -23,6 +23,10 @@ const char *vsfs::checker::checkKindName(CheckKind K) {
     return "null-deref";
   case CheckKind::Leak:
     return "leak";
+  case CheckKind::UninitRead:
+    return "uninit-read";
+  case CheckKind::UntrackedFree:
+    return "untracked-free";
   }
   return "<invalid>";
 }
@@ -37,6 +41,10 @@ const char *vsfs::checker::checkKindFlag(CheckKind K) {
     return "null";
   case CheckKind::Leak:
     return "leak";
+  case CheckKind::UninitRead:
+    return "uread";
+  case CheckKind::UntrackedFree:
+    return "ufree";
   }
   return "<invalid>";
 }
@@ -130,6 +138,12 @@ std::string vsfs::checker::printFinding(const Module &M, const Finding &F) {
     break;
   case CheckKind::Leak:
     S += " never freed";
+    break;
+  case CheckKind::UninitRead:
+    S += " read before any initialisation";
+    break;
+  case CheckKind::UntrackedFree:
+    S += " not heap-allocated";
     break;
   }
   if (F.AuxPrecision)
@@ -319,6 +333,9 @@ void ValueFlowChecker::checkLeaks(std::vector<Finding> &Out) {
 }
 
 std::vector<Finding> ValueFlowChecker::run(uint32_t KindMask) {
+  // The legacy engine implements the first four kinds only; uread/ufree
+  // bits are handled by the spec engine (src/taint/) and ignored here.
+  KindMask &= LegacyChecks;
   std::vector<Finding> Out;
   if (KindMask & (checkBit(CheckKind::UseAfterFree) |
                   checkBit(CheckKind::DoubleFree)))

@@ -33,19 +33,25 @@ enum class CheckKind : uint8_t {
   UseAfterFree, ///< load/store through a pointer to a freed object
   DoubleFree,   ///< free of an already-freed object
   NullDeref,    ///< deref of a pointer loaded from never-initialised memory
-  Leak          ///< heap allocation no free site may reach
+  Leak,         ///< heap allocation no free site may reach
+  UninitRead,   ///< load that reads a cell no store ever initialises
+  UntrackedFree ///< free whose pointee is not a heap allocation
 };
 
-constexpr uint32_t NumCheckKinds = 4;
+constexpr uint32_t NumCheckKinds = 6;
 
 /// Human-readable name ("use-after-free", ...).
 const char *checkKindName(CheckKind K);
-/// CLI flag spelling ("uaf", "dfree", "null", "leak").
+/// CLI flag spelling ("uaf", "dfree", "null", "leak", "uread", "ufree").
 const char *checkKindFlag(CheckKind K);
 
 /// Bit for \p K in a checker mask.
 inline uint32_t checkBit(CheckKind K) { return 1u << static_cast<uint32_t>(K); }
 constexpr uint32_t AllChecks = (1u << NumCheckKinds) - 1;
+/// The four kinds the legacy \c ValueFlowChecker implements; the two newer
+/// kinds (uread, ufree) exist only as taint specs (src/taint/), and
+/// \c ValueFlowChecker::run ignores their bits.
+constexpr uint32_t LegacyChecks = (1u << 4) - 1;
 
 /// Parses a comma-separated spec ("uaf,null" or "all") into a mask.
 /// Returns false (mask untouched) on an unknown kind.
@@ -115,6 +121,9 @@ scoreFindings(const std::vector<Finding> &Findings, const GroundTruth &GT);
 
 /// The engine. Construct once per (SVFG, backend) pair and run with a mask
 /// of requested checkers; findings come back sorted and deduplicated.
+/// Implements the four legacy kinds only (the mask is clipped to
+/// \c LegacyChecks); it stays as the differential oracle for the spec
+/// engine in src/taint/, which reproduces it bit-identically.
 class ValueFlowChecker {
 public:
   ValueFlowChecker(const svfg::SVFG &G, const core::PointsToOracle &A)

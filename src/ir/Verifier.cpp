@@ -279,3 +279,46 @@ std::vector<std::string> vsfs::ir::lintModule(const Module &M) {
 
   return Warnings;
 }
+
+std::vector<std::string> vsfs::ir::lintModule(const Module &M,
+                                              const AuxPtsFn &AuxPts) {
+  std::vector<std::string> Warnings = lintModule(M);
+  if (!AuxPts)
+    return Warnings;
+
+  const SymbolTable &Syms = M.symbols();
+  auto RootKind = [&Syms](ObjID O) {
+    while (Syms.object(O).Kind == ObjKind::Field)
+      O = Syms.object(O).Base;
+    return Syms.object(O).Kind;
+  };
+
+  // Free of a non-heap target. Sound to warn from a may analysis: when not
+  // even the over-approximate set contains a heap object, no execution can
+  // hand this free heap memory.
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind != InstKind::Free)
+      continue;
+    const PointsTo *Pts = AuxPts(Inst.freePtr());
+    if (!Pts)
+      continue;
+    bool AnyTarget = false, AnyHeap = false;
+    for (uint32_t O : *Pts) {
+      if (Syms.isFunctionObject(O))
+        continue;
+      AnyTarget = true;
+      if (RootKind(O) == ObjKind::Heap) {
+        AnyHeap = true;
+        break;
+      }
+    }
+    if (!AnyHeap)
+      Warnings.push_back("free '" + printInst(M, I) +
+                         "' cannot release a heap object (" +
+                         (AnyTarget ? "every target is stack or global memory"
+                                    : "the pointer points to nothing") +
+                         ")");
+  }
+  return Warnings;
+}

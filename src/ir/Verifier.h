@@ -13,8 +13,10 @@
 #ifndef VSFS_IR_VERIFIER_H
 #define VSFS_IR_VERIFIER_H
 
+#include "adt/PointsTo.h"
 #include "ir/Module.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,21 @@ std::vector<std::string> verifyModule(const Module &M);
 ///  - single-block allocs: such a cell whose every access sits in the
 ///    alloc's own basic block (the address never escapes one block).
 std::vector<std::string> lintModule(const Module &M);
+
+/// Resolves a top-level variable to its (typically flow-insensitive)
+/// points-to set, or null when the provider has no answer for that
+/// variable. Used to feed pointer-aware lints without making the IR layer
+/// depend on any analysis.
+using AuxPtsFn = std::function<const PointsTo *(VarID)>;
+
+/// \c lintModule plus pointer-aware lints that need a solved points-to
+/// view (the CLI passes Andersen's). On top of the structural warnings:
+///  - free of a non-heap target: a `free P` where nothing P may point to
+///    (function objects ignored, fields widened to their root object) is
+///    heap-allocated — the free either releases stack/global memory or
+///    releases nothing at all. A null \p AuxPts degenerates to the
+///    structural lint.
+std::vector<std::string> lintModule(const Module &M, const AuxPtsFn &AuxPts);
 
 } // namespace ir
 } // namespace vsfs

@@ -196,13 +196,81 @@ VarID derefPtr(const Instruction &Inst) {
   }
 }
 
+/// From each freed object's flow, walks forward from free site \p F over
+/// the static *plus potential* indirect edges — a superset of any graph
+/// the solvers can materialise — and hands every candidate sink the
+/// auxiliary analysis cannot rule out to \p Touch. Aux over-approximates
+/// the backend, so every exhaustive-mode finding's sink is a candidate.
+template <typename TouchFn>
+void walkFreedCandidates(const svfg::SVFG &G,
+                         const svfg::BackwardSlicer &Slicer, InstID F,
+                         const PointsTo &FreedPts, TouchFn Touch) {
+  const Module &M = G.module();
+  const SymbolTable &Syms = M.symbols();
+  const andersen::Andersen &Aux = G.auxAnalysis();
+  PointsTo FreedRoots;
+  for (uint32_t O : FreedPts)
+    if (!Syms.isFunctionObject(O))
+      FreedRoots.set(rootObject(Syms, O));
+  for (uint32_t O : FreedRoots) {
+    std::vector<char> Visited(G.numNodes(), 0);
+    std::vector<NodeID> Stack{G.instNode(F)};
+    Visited[G.instNode(F)] = 1;
+    auto Consider = [&](const svfg::IndEdge &Edge) {
+      if (rootObject(Syms, Edge.Obj) != O || Visited[Edge.Dst])
+        return;
+      Visited[Edge.Dst] = 1;
+      Stack.push_back(Edge.Dst);
+      const svfg::Node &Node = G.node(Edge.Dst);
+      if (Node.Kind != NodeKind::Inst)
+        return;
+      VarID Ptr = derefPtr(M.inst(Node.Inst));
+      if (Ptr == InvalidVar)
+        return;
+      for (uint32_t P : Aux.ptsOfVar(Ptr))
+        if (!Syms.isFunctionObject(P) && rootObject(Syms, P) == O) {
+          Touch(Node.Inst, Ptr);
+          break;
+        }
+    };
+    while (!Stack.empty()) {
+      NodeID N = Stack.back();
+      Stack.pop_back();
+      for (const svfg::IndEdge &Edge : G.indirectSuccs(N))
+        Consider(Edge);
+      for (const svfg::IndEdge &Edge : Slicer.potentialIndirectSuccs(N))
+        Consider(Edge);
+    }
+  }
+}
+
+/// Uninitialised-cell candidates: loads whose pointer may (per the aux
+/// analysis, a superset of any backend) target a cell no store ever
+/// initialises. Covers both the null-deref sources — which additionally
+/// require flow-sensitive emptiness at the load — and the uninit-read
+/// rule's site test.
+template <typename TouchFn>
+void eachUninitCandidate(const Module &M, const andersen::Andersen &Aux,
+                         TouchFn Touch) {
+  const SymbolTable &Syms = M.symbols();
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    const Instruction &Inst = M.inst(I);
+    if (Inst.Kind != InstKind::Load)
+      continue;
+    for (uint32_t O : Aux.ptsOfVar(Inst.loadPtr()))
+      if (!Syms.isFunctionObject(O) && Aux.ptsOfObj(O).empty()) {
+        Touch(I, Inst.loadPtr());
+        break;
+      }
+  }
+}
+
 } // namespace
 
 std::vector<checker::Finding> vsfs::query::runCheckersDemand(QueryEngine &E,
                                                              uint32_t KindMask) {
   const svfg::SVFG &G = E.context().svfg();
   const Module &M = G.module();
-  const SymbolTable &Syms = M.symbols();
   const andersen::Andersen &Aux = G.auxAnalysis();
   const svfg::BackwardSlicer &Slicer = E.slicer();
 
@@ -216,62 +284,11 @@ std::vector<checker::Finding> vsfs::query::runCheckersDemand(QueryEngine &E,
   const bool WantNull =
       (KindMask & checker::checkBit(checker::CheckKind::NullDeref)) != 0;
 
-  // From each freed object's flow, walk forward from free site \p F over
-  // the static *plus potential* indirect edges — a superset of any graph
-  // the solvers can materialise — and hand every candidate sink the
-  // auxiliary analysis cannot rule out to \p Touch. Aux over-approximates
-  // the backend, so every exhaustive-mode finding's sink is a candidate.
   auto walkFreed = [&](InstID F, const PointsTo &FreedPts, auto &&Touch) {
-    PointsTo FreedRoots;
-    for (uint32_t O : FreedPts)
-      if (!Syms.isFunctionObject(O))
-        FreedRoots.set(rootObject(Syms, O));
-    for (uint32_t O : FreedRoots) {
-      std::vector<char> Visited(G.numNodes(), 0);
-      std::vector<NodeID> Stack{G.instNode(F)};
-      Visited[G.instNode(F)] = 1;
-      auto Consider = [&](const svfg::IndEdge &Edge) {
-        if (rootObject(Syms, Edge.Obj) != O || Visited[Edge.Dst])
-          return;
-        Visited[Edge.Dst] = 1;
-        Stack.push_back(Edge.Dst);
-        const svfg::Node &Node = G.node(Edge.Dst);
-        if (Node.Kind != NodeKind::Inst)
-          return;
-        VarID Ptr = derefPtr(M.inst(Node.Inst));
-        if (Ptr == InvalidVar)
-          return;
-        for (uint32_t P : Aux.ptsOfVar(Ptr))
-          if (!Syms.isFunctionObject(P) && rootObject(Syms, P) == O) {
-            Touch(Node.Inst, Ptr);
-            break;
-          }
-      };
-      while (!Stack.empty()) {
-        NodeID N = Stack.back();
-        Stack.pop_back();
-        for (const svfg::IndEdge &Edge : G.indirectSuccs(N))
-          Consider(Edge);
-        for (const svfg::IndEdge &Edge : Slicer.potentialIndirectSuccs(N))
-          Consider(Edge);
-      }
-    }
+    walkFreedCandidates(G, Slicer, F, FreedPts, Touch);
   };
-
-  // The null-deref sources are loads whose pointer may (per the backend)
-  // target a cell the auxiliary analysis proves uninitialised; \p Touch
-  // receives every load with an aux-qualifying candidate.
   auto eachNullCandidate = [&](auto &&Touch) {
-    for (InstID I = 0; I < M.numInstructions(); ++I) {
-      const Instruction &Inst = M.inst(I);
-      if (Inst.Kind != InstKind::Load)
-        continue;
-      for (uint32_t O : Aux.ptsOfVar(Inst.loadPtr()))
-        if (!Syms.isFunctionObject(O) && Aux.ptsOfObj(O).empty()) {
-          Touch(I, Inst.loadPtr());
-          break;
-        }
-    }
+    eachUninitCandidate(M, Aux, Touch);
   };
 
   // Phase 0: prefetch. Union every slice the query phases below will need
@@ -324,5 +341,105 @@ std::vector<checker::Finding> vsfs::query::runCheckersDemand(QueryEngine &E,
   if (E.degraded())
     for (checker::Finding &F : Findings)
       F.AuxPrecision = true;
+  return Findings;
+}
+
+std::vector<taint::TaintFinding>
+vsfs::query::runTaintDemand(QueryEngine &E,
+                            const std::vector<taint::TaintSpec> &Specs,
+                            StatGroup *TaintStats) {
+  const svfg::SVFG &G = E.context().svfg();
+  const Module &M = G.module();
+  const andersen::Andersen &Aux = G.auxAnalysis();
+  const svfg::BackwardSlicer &Slicer = E.slicer();
+
+  // What the spec set needs exact answers for. Every free site's pointee
+  // set feeds uaf/dfree sources, leak coverage and the untracked-free site
+  // test; object-flow walks additionally query each candidate sink; any
+  // uninit-load source (null's var flow, uread's site test) queries the
+  // aux-qualifying loads.
+  bool WantAllFrees = false, WantWalkAllFrees = false, WantUninit = false;
+  std::vector<InstID> ListedFrees;
+  for (const taint::TaintSpec &S : Specs) {
+    switch (S.Source) {
+    case taint::SourceEvent::FreeSite:
+      WantAllFrees = true;
+      WantWalkAllFrees = true;
+      break;
+    case taint::SourceEvent::HeapAlloc:
+    case taint::SourceEvent::UntrackedFree:
+      WantAllFrees = true;
+      break;
+    case taint::SourceEvent::UninitLoad:
+      WantUninit = true;
+      break;
+    case taint::SourceEvent::InstList:
+      // Var-flow list sources taint unconditionally — no oracle involved;
+      // object-flow list sources are free sites to query and walk.
+      if (S.Flow == taint::FlowDomain::ObjectFlow)
+        for (InstID I : S.SourceInsts)
+          if (I < M.numInstructions() && M.inst(I).Kind == InstKind::Free)
+            ListedFrees.push_back(I);
+      break;
+    }
+  }
+  std::sort(ListedFrees.begin(), ListedFrees.end());
+  ListedFrees.erase(std::unique(ListedFrees.begin(), ListedFrees.end()),
+                    ListedFrees.end());
+
+  // The free sites to query, and the subset to walk candidates from.
+  auto eachFree = [&](auto &&Fn) {
+    if (WantAllFrees) {
+      for (InstID F = 0; F < M.numInstructions(); ++F)
+        if (M.inst(F).Kind == InstKind::Free)
+          Fn(F, WantWalkAllFrees);
+      if (WantWalkAllFrees)
+        return; // Listed frees were walked with everything else.
+      for (InstID F : ListedFrees)
+        Fn(F, true);
+    } else {
+      for (InstID F : ListedFrees)
+        Fn(F, true);
+    }
+  };
+
+  // Phase 0: prefetch every slice the query phases need (one solve over
+  // the final scope; see runCheckersDemand). Walk roots come from the
+  // auxiliary freed sets, a superset of the exact sets walked below.
+  eachFree([&](InstID F, bool Walk) {
+    E.prefetch(F);
+    if (Walk)
+      walkFreedCandidates(G, Slicer, F,
+                          Aux.ptsOfVar(M.inst(F).freePtr()),
+                          [&](InstID I, VarID) { E.prefetch(I); });
+  });
+  if (WantUninit)
+    eachUninitCandidate(M, Aux, [&](InstID I, VarID) { E.prefetch(I); });
+
+  // Phases 1+2: exact pointee sets at every free, and exact answers at
+  // every candidate sink on the freed objects' flow.
+  eachFree([&](InstID F, bool Walk) {
+    const PointsTo &FreedPts = E.ptsAt(F, M.inst(F).freePtr());
+    if (Walk)
+      walkFreedCandidates(G, Slicer, F, FreedPts,
+                          [&](InstID I, VarID Ptr) { E.ptsAt(I, Ptr); });
+  });
+
+  // Phase 3: exact pt(loadPtr) at every uninit-cell candidate load.
+  if (WantUninit)
+    eachUninitCandidate(M, Aux,
+                        [&](InstID I, VarID Ptr) { E.ptsAt(I, Ptr); });
+
+  // Final pass: the unchanged spec engine with the query engine as its
+  // oracle — bit-identical findings to exhaustive mode (witnesses may
+  // route differently through late-materialised edges; the taint tests
+  // assert every one still verifies).
+  taint::TaintEngine TE(G, E);
+  std::vector<taint::TaintFinding> Findings = TE.run(Specs);
+  if (TaintStats)
+    *TaintStats = TE.stats();
+  if (E.degraded())
+    for (taint::TaintFinding &F : Findings)
+      F.F.AuxPrecision = true;
   return Findings;
 }

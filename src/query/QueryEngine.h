@@ -35,6 +35,7 @@
 #include "checker/Checker.h"
 #include "core/AnalysisRunner.h"
 #include "svfg/Slice.h"
+#include "taint/TaintEngine.h"
 
 #include <memory>
 #include <string>
@@ -172,6 +173,20 @@ private:
 /// degraded.
 std::vector<checker::Finding>
 runCheckersDemand(QueryEngine &E, uint32_t KindMask = checker::AllChecks);
+
+/// The spec-engine analogue of \c runCheckersDemand: prefetches and
+/// queries exactly the positions the spec set's source, sink and coverage
+/// tests consult (free sites, object-flow candidate sinks, uninit-cell
+/// candidate loads), then runs the unchanged \c taint::runTaint against
+/// the engine's oracle view. Findings are bit-identical to exhaustive mode
+/// (witness routes may differ through late-materialised edges, but every
+/// finding still replays); flagged \c AuxPrecision when the engine ends
+/// degraded.
+/// \p TaintStats, when non-null, receives a copy of the spec engine's
+/// "taint" StatGroup (the CLI merges it into --stats-json).
+std::vector<taint::TaintFinding>
+runTaintDemand(QueryEngine &E, const std::vector<taint::TaintSpec> &Specs,
+               StatGroup *TaintStats = nullptr);
 
 } // namespace query
 } // namespace vsfs

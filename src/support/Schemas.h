@@ -15,6 +15,9 @@
 ///   vsfs-stats-v4  + pipeline "coalesce_seconds" and, under --coalesce=on,
 ///                    the "coalesce" group (classes, nodes/edges removed,
 ///                    refine iterations — docs/COALESCING.md)
+///   vsfs-stats-v5  + the spec engine's per-analysis "taint" group (specs,
+///                    sources, walk work, findings, verified/unverifiable —
+///                    docs/CHECKERS.md)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +28,10 @@ namespace vsfs {
 namespace schemas {
 
 /// --stats-json (tools/vsfs-wpa.cpp via core::statsJson).
-inline constexpr const char *StatsJson = "vsfs-stats-v4";
+inline constexpr const char *StatsJson = "vsfs-stats-v5";
+
+/// --findings-json (tools/vsfs-wpa.cpp via taint::findingsJson).
+inline constexpr const char *FindingsJson = "vsfs-findings-v1";
 
 /// bench_table2 --json (Table II reproduction).
 inline constexpr const char *BenchTable2 = "vsfs-table2-v2";
@@ -41,6 +47,9 @@ inline constexpr const char *BenchDemand = "vsfs-demand-v1";
 
 /// bench_coalesce --json (transfer-equivalence coalescing ablation).
 inline constexpr const char *BenchCoalesce = "vsfs-coalesce-v1";
+
+/// bench_taint --json (spec engine vs. legacy walk ablation).
+inline constexpr const char *BenchTaint = "vsfs-taint-v1";
 
 } // namespace schemas
 } // namespace vsfs

@@ -149,6 +149,15 @@ bool SVFG::addIndirectEdge(NodeID From, NodeID To, ObjID Obj) {
   return true;
 }
 
+bool SVFG::hasDirectEdge(NodeID From, NodeID To) const {
+  if (From >= DirectSuccs.size())
+    return false;
+  for (NodeID S : DirectSuccs[From])
+    if (S == To)
+      return true;
+  return false;
+}
+
 NodeID SVFG::coalesceRep(NodeID N) const { return CMap ? CMap->rep(N) : N; }
 
 void SVFG::applyCoalescing(CoalesceMap &CM) {

@@ -142,6 +142,19 @@ public:
   /// identity hops and dropped).
   bool addIndirectEdge(NodeID From, NodeID To, ir::ObjID Obj);
 
+  // --- Witness replay (taint/WitnessVerifier.h) ---------------------------
+
+  /// Does the graph, as materialised right now, contain the direct edge
+  /// From -> To? Linear in From's out-degree; witness chains are short.
+  bool hasDirectEdge(NodeID From, NodeID To) const;
+
+  /// Does the graph contain an indirect edge From -> To labelled exactly
+  /// \p Obj? O(1) via the dedup membership set.
+  bool hasIndirectEdge(NodeID From, NodeID To, ir::ObjID Obj) const {
+    return From < IndEdgeSet.size() &&
+           IndEdgeSet[From].count(key(To, Obj)) != 0;
+  }
+
   // --- Coalescing (svfg/Coalesce.h) ---------------------------------------
 
   /// Rewrites the indirect edge lists onto class representatives: every

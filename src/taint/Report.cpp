@@ -1,0 +1,115 @@
+//===- Report.cpp - Machine-readable findings output ------------*- C++ -*-===//
+
+#include "taint/Report.h"
+
+#include "support/Schemas.h"
+
+#include <cstdio>
+
+using namespace vsfs;
+using namespace vsfs::taint;
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+void appendField(std::string &Out, const char *Key, uint64_t V,
+                 bool Comma = true) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\": %llu%s", Key,
+                static_cast<unsigned long long>(V), Comma ? ", " : "");
+  Out += Buf;
+}
+
+} // namespace
+
+std::string vsfs::taint::findingsJson(const ir::Module &M,
+                                      const std::vector<TaintSpec> &Specs,
+                                      const std::vector<TaintFinding> &Findings,
+                                      const std::string &Analysis) {
+  uint64_t Verified = 0, Unverifiable = 0;
+  for (const TaintFinding &F : Findings) {
+    if (F.V == Verdict::Verified)
+      ++Verified;
+    else if (F.V == Verdict::Unverifiable)
+      ++Unverifiable;
+  }
+
+  std::string Out;
+  Out += "{\n  \"schema\": \"";
+  Out += schemas::FindingsJson;
+  Out += "\",\n  \"analysis\": \"";
+  appendEscaped(Out, Analysis);
+  Out += "\",\n  ";
+  appendField(Out, "num_specs", Specs.size());
+  appendField(Out, "num_findings", Findings.size());
+  appendField(Out, "verified", Verified);
+  appendField(Out, "unverifiable", Unverifiable, false);
+  Out += ",\n  \"findings\": [";
+
+  bool First = true;
+  for (const TaintFinding &F : Findings) {
+    Out += First ? "\n    {" : ",\n    {";
+    First = false;
+    Out += "\"kind\": \"";
+    Out += checker::checkKindName(F.F.Kind);
+    Out += "\", \"spec\": \"";
+    appendEscaped(Out, F.Spec < Specs.size() ? Specs[F.Spec].Name
+                                             : std::string("<unknown>"));
+    Out += "\", ";
+    appendField(Out, "sink", F.F.Sink);
+    if (F.F.Obj != ir::InvalidObj) {
+      appendField(Out, "obj", F.F.Obj);
+      Out += "\"obj_name\": \"";
+      appendEscaped(Out, M.symbols().object(F.F.Obj).Name);
+      Out += "\", ";
+    }
+    appendField(Out, "source", F.F.Source);
+    Out += "\"aux_precision\": ";
+    Out += F.F.AuxPrecision ? "true" : "false";
+    Out += ", \"verdict\": \"";
+    Out += verdictName(F.V);
+    Out += "\"";
+    if (!F.Note.empty()) {
+      Out += ", \"note\": \"";
+      appendEscaped(Out, F.Note);
+      Out += "\"";
+    }
+    Out += ", \"witness\": [";
+    for (size_t I = 0; I < F.Witness.size(); ++I) {
+      if (I)
+        Out += ", ";
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%u", F.Witness[I]);
+      Out += Buf;
+    }
+    Out += "]}";
+  }
+  Out += First ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}

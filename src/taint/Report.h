@@ -1,0 +1,31 @@
+//===- Report.h - Machine-readable findings output --------------*- C++ -*-===//
+///
+/// \file
+/// Renders spec-engine findings as a JSON document (--findings-json,
+/// schema \c schemas::FindingsJson): one record per finding with the
+/// producing spec, the classic (kind, sink, obj, source) tuple, the full
+/// witness node chain and the verifier's verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_TAINT_REPORT_H
+#define VSFS_TAINT_REPORT_H
+
+#include "taint/TaintEngine.h"
+
+#include <string>
+
+namespace vsfs {
+namespace taint {
+
+/// The full document, terminated with a newline. \p Analysis names the
+/// backend the findings came from ("vsfs", ...).
+std::string findingsJson(const ir::Module &M,
+                         const std::vector<TaintSpec> &Specs,
+                         const std::vector<TaintFinding> &Findings,
+                         const std::string &Analysis);
+
+} // namespace taint
+} // namespace vsfs
+
+#endif // VSFS_TAINT_REPORT_H

@@ -1,0 +1,491 @@
+//===- TaintEngine.cpp - Spec-driven value-flow propagation -----*- C++ -*-===//
+
+#include "taint/TaintEngine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace vsfs;
+using namespace vsfs::taint;
+using namespace vsfs::ir;
+using checker::CheckKind;
+using checker::Finding;
+using svfg::IndEdge;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+const char *vsfs::taint::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Unchecked:
+    return "unchecked";
+  case Verdict::Verified:
+    return "verified";
+  case Verdict::Unverifiable:
+    return "unverifiable";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+ObjID rootObject(const SymbolTable &Syms, ObjID O) {
+  while (Syms.object(O).Kind == ObjKind::Field)
+    O = Syms.object(O).Base;
+  return O;
+}
+
+VarID derefPtr(const Instruction &Inst) {
+  switch (Inst.Kind) {
+  case InstKind::Load:
+    return Inst.loadPtr();
+  case InstKind::Store:
+    return Inst.storePtr();
+  case InstKind::Free:
+    return Inst.freePtr();
+  default:
+    return InvalidVar;
+  }
+}
+
+/// The sink mask bit a dereference of kind \p K matches, or 0.
+uint32_t sinkBit(InstKind K) {
+  switch (K) {
+  case InstKind::Load:
+    return SinkLoad;
+  case InstKind::Store:
+    return SinkStore;
+  case InstKind::Free:
+    return SinkFree;
+  default:
+    return 0;
+  }
+}
+
+/// Two specs can share one object-flow walk when their taint labels are
+/// created and killed identically — only the reported sinks differ.
+bool sameObjectWalk(const TaintSpec &X, const TaintSpec &Y) {
+  return X.Source == Y.Source && X.SourceInsts == Y.SourceInsts &&
+         X.SanitizerInsts == Y.SanitizerInsts &&
+         X.SanitizerKinds == Y.SanitizerKinds;
+}
+
+} // namespace
+
+std::vector<Finding>
+vsfs::taint::toCheckerFindings(const std::vector<TaintFinding> &Findings) {
+  std::vector<Finding> Out;
+  Out.reserve(Findings.size());
+  for (const TaintFinding &TF : Findings)
+    Out.push_back(TF.F);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+TaintEngine::TaintEngine(const svfg::SVFG &G, const core::PointsToOracle &A)
+    : G(G), A(A), M(G.module()) {}
+
+PointsTo TaintEngine::freedObjects(const Instruction &Inst) const {
+  PointsTo Roots;
+  for (uint32_t O : A.ptsOfVar(Inst.freePtr()))
+    if (!M.symbols().isFunctionObject(O))
+      Roots.set(rootObject(M.symbols(), O));
+  return Roots;
+}
+
+bool TaintEngine::isSanitizerNode(const TaintSpec &Spec, NodeID N) const {
+  const svfg::Node &Node = G.node(N);
+  if (Node.Kind != NodeKind::Inst)
+    return false;
+  if (Spec.isSanitizerKind(M.inst(Node.Inst).Kind))
+    return true;
+  return std::binary_search(Spec.SanitizerInsts.begin(),
+                            Spec.SanitizerInsts.end(), Node.Inst);
+}
+
+void TaintEngine::runObjectFlowGroup(const std::vector<TaintSpec> &Specs,
+                                     const std::vector<uint32_t> &Group,
+                                     std::vector<TaintFinding> &Out) {
+  // One forward walk per (source free, freed root object), shared by every
+  // spec in the group; each spec only filters which reached dereferences it
+  // reports. With the builtin uaf+dfree pair this is exactly the legacy
+  // checkFreeSites traversal.
+  const TaintSpec &Shape = Specs[Group.front()];
+  StatCounter Steps = Stats.counter("object_walk_steps");
+  StatCounter Sources = Stats.counter("object_sources");
+
+  // Source free sites, in instruction order (SourceInsts are sorted).
+  std::vector<InstID> Frees;
+  if (Shape.Source == SourceEvent::FreeSite) {
+    for (InstID F = 0; F < M.numInstructions(); ++F)
+      if (M.inst(F).Kind == InstKind::Free)
+        Frees.push_back(F);
+  } else {
+    for (InstID F : Shape.SourceInsts)
+      if (F < M.numInstructions() && M.inst(F).Kind == InstKind::Free)
+        Frees.push_back(F);
+  }
+
+  std::vector<char> Visited(G.numNodes(), 0);
+  std::vector<NodeID> Parent(G.numNodes(), svfg::InvalidNode);
+  std::vector<NodeID> Stack;
+  std::vector<NodeID> Chain;
+
+  for (InstID F : Frees) {
+    for (uint32_t O : freedObjects(M.inst(F))) {
+      ++Sources;
+      std::fill(Visited.begin(), Visited.end(), 0);
+      Stack.clear();
+      NodeID Start = G.instNode(F);
+      Visited[Start] = 1;
+      Stack.push_back(Start);
+      while (!Stack.empty()) {
+        NodeID N = Stack.back();
+        Stack.pop_back();
+        for (const IndEdge &E : G.indirectSuccs(N)) {
+          if (rootObject(M.symbols(), E.Obj) != O || Visited[E.Dst])
+            continue;
+          ++Steps;
+          Visited[E.Dst] = 1;
+          Parent[E.Dst] = N;
+          // A sanitizer kills the label here: the node is neither a sink
+          // nor a relay for this group. (Builtins have none.)
+          if (Shape.hasSanitizers() && isSanitizerNode(Shape, E.Dst))
+            continue;
+          Stack.push_back(E.Dst);
+          const svfg::Node &Node = G.node(E.Dst);
+          if (Node.Kind != NodeKind::Inst)
+            continue;
+          const Instruction &Sink = M.inst(Node.Inst);
+          VarID Ptr = derefPtr(Sink);
+          if (Ptr == InvalidVar)
+            continue;
+          uint32_t Bit = sinkBit(Sink.Kind);
+          bool Wanted = false;
+          for (uint32_t SI : Group)
+            if (Specs[SI].Sinks & Bit) {
+              Wanted = true;
+              break;
+            }
+          if (!Wanted)
+            continue;
+          // Backend-sensitive sink test, as in the legacy checker: may the
+          // dereferenced pointer still refer to the freed allocation?
+          bool PointsAtFreed = false;
+          for (uint32_t P : A.ptsOfVar(Ptr))
+            if (!M.symbols().isFunctionObject(P) &&
+                rootObject(M.symbols(), P) == O) {
+              PointsAtFreed = true;
+              break;
+            }
+          if (!PointsAtFreed)
+            continue;
+          // The DFS-tree path source→sink; shared by the group's specs.
+          Chain.clear();
+          for (NodeID C = E.Dst; C != Start; C = Parent[C])
+            Chain.push_back(C);
+          Chain.push_back(Start);
+          std::reverse(Chain.begin(), Chain.end());
+          for (uint32_t SI : Group) {
+            if (!(Specs[SI].Sinks & Bit))
+              continue;
+            TaintFinding TF;
+            TF.F = {Specs[SI].Kind, Node.Inst, O, F, false};
+            TF.Spec = SI;
+            TF.Witness = Chain;
+            Out.push_back(std::move(TF));
+          }
+        }
+      }
+    }
+  }
+}
+
+void TaintEngine::runVarFlow(const std::vector<TaintSpec> &Specs,
+                             uint32_t SpecIdx, std::vector<TaintFinding> &Out) {
+  // The legacy null-deref algorithm parameterised by the source event and
+  // sanitizers: taint labels live on top-level variables and flow through
+  // copies and phis to every dereference. First-wins assignment makes the
+  // predecessor chains acyclic, which is what lets each finding carry an
+  // explicit witness.
+  const TaintSpec &Spec = Specs[SpecIdx];
+  const andersen::Andersen &Aux = G.auxAnalysis();
+  const uint32_t NumVars = M.symbols().numVars();
+  std::vector<char> Tainted(NumVars, 0);
+  std::vector<InstID> SrcInst(NumVars, InvalidInst);
+  std::vector<ObjID> SrcObj(NumVars, InvalidObj);
+  std::vector<VarID> PredVar(NumVars, InvalidVar);
+  std::vector<InstID> ViaInst(NumVars, InvalidInst);
+  StatCounter Sources = Stats.counter("var_sources");
+  StatCounter Props = Stats.counter("var_propagations");
+
+  auto Taint = [&](VarID V, InstID Origin, ObjID O, VarID Pred, InstID Via) {
+    Tainted[V] = 1;
+    SrcInst[V] = Origin;
+    SrcObj[V] = O;
+    PredVar[V] = Pred;
+    ViaInst[V] = Via;
+  };
+
+  if (Spec.Source == SourceEvent::UninitLoad) {
+    for (InstID I = 0; I < M.numInstructions(); ++I) {
+      const Instruction &Inst = M.inst(I);
+      if (Inst.Kind != InstKind::Load)
+        continue;
+      if (Spec.hasSanitizers() && isSanitizerNode(Spec, G.instNode(I)))
+        continue;
+      for (uint32_t O : A.ptsOfVar(Inst.loadPtr())) {
+        if (M.symbols().isFunctionObject(O))
+          continue;
+        if (!Aux.ptsOfObj(O).empty() || !A.ptsOfObjAt(I, O).empty())
+          continue;
+        Taint(Inst.Dst, I, O, InvalidVar, I);
+        ++Sources;
+        break;
+      }
+    }
+  } else { // SourceEvent::InstList
+    for (InstID I : Spec.SourceInsts) {
+      if (I >= M.numInstructions() || !M.inst(I).definesVar())
+        continue;
+      if (Spec.hasSanitizers() && isSanitizerNode(Spec, G.instNode(I)))
+        continue;
+      Taint(M.inst(I).Dst, I, InvalidObj, InvalidVar, I);
+      ++Sources;
+    }
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (InstID I = 0; I < M.numInstructions(); ++I) {
+      const Instruction &Inst = M.inst(I);
+      VarID Src = InvalidVar;
+      if (Inst.Kind == InstKind::Copy) {
+        if (Tainted[Inst.copySrc()])
+          Src = Inst.copySrc();
+      } else if (Inst.Kind == InstKind::Phi) {
+        for (VarID S : Inst.phiSrcs())
+          if (Tainted[S]) {
+            Src = S;
+            break;
+          }
+      }
+      if (Src == InvalidVar || Tainted[Inst.Dst])
+        continue;
+      if (Spec.hasSanitizers() && isSanitizerNode(Spec, G.instNode(I)))
+        continue;
+      Taint(Inst.Dst, SrcInst[Src], SrcObj[Src], Src, I);
+      ++Props;
+      Changed = true;
+    }
+  }
+
+  for (InstID I = 0; I < M.numInstructions(); ++I) {
+    VarID Ptr = derefPtr(M.inst(I));
+    if (Ptr == InvalidVar || !Tainted[Ptr])
+      continue;
+    if (!(Spec.Sinks & sinkBit(M.inst(I).Kind)))
+      continue;
+    if (Spec.hasSanitizers() && isSanitizerNode(Spec, G.instNode(I)))
+      continue;
+    TaintFinding TF;
+    TF.F = {Spec.Kind, I, SrcObj[Ptr], SrcInst[Ptr], false};
+    TF.Spec = SpecIdx;
+    // Chain of defining instructions source→last-copy, then the sink;
+    // consecutive nodes are direct (def-use) SVFG edges.
+    for (VarID V = Ptr; V != InvalidVar; V = PredVar[V])
+      TF.Witness.push_back(G.instNode(ViaInst[V]));
+    std::reverse(TF.Witness.begin(), TF.Witness.end());
+    TF.Witness.push_back(G.instNode(I));
+    Out.push_back(std::move(TF));
+  }
+}
+
+void TaintEngine::runSiteRule(const std::vector<TaintSpec> &Specs,
+                              uint32_t SpecIdx,
+                              std::vector<TaintFinding> &Out) {
+  const TaintSpec &Spec = Specs[SpecIdx];
+  const SymbolTable &Syms = M.symbols();
+  const andersen::Andersen &Aux = G.auxAnalysis();
+
+  if (Spec.Source == SourceEvent::HeapAlloc) {
+    // sink unfreed: heap allocations no free site's pointee set covers —
+    // the legacy leak checker.
+    PointsTo Covered;
+    for (InstID I = 0; I < M.numInstructions(); ++I)
+      if (M.inst(I).Kind == InstKind::Free)
+        Covered.unionWith(freedObjects(M.inst(I)));
+    for (ObjID O = 0; O < Syms.numObjects(); ++O) {
+      const ObjInfo &Obj = Syms.object(O);
+      if (Obj.Kind != ObjKind::Heap || Covered.test(O))
+        continue;
+      if (Obj.AllocSite == InvalidInst)
+        continue;
+      TaintFinding TF;
+      TF.F = {Spec.Kind, Obj.AllocSite, O, Obj.AllocSite, false};
+      TF.Spec = SpecIdx;
+      TF.Witness.push_back(G.instNode(Obj.AllocSite));
+      Out.push_back(std::move(TF));
+      Stats.add("unfreed_sources", 1);
+    }
+    return;
+  }
+
+  if (Spec.Source == SourceEvent::UninitLoad) {
+    // sink self: loads that read a cell no store in the whole program
+    // initialises. Flow-insensitive on the cell (the auxiliary analysis
+    // judges "never initialised"), backend-sensitive on which cells the
+    // load can read — sfs/vsfs report a subset of ander's findings.
+    for (InstID I = 0; I < M.numInstructions(); ++I) {
+      const Instruction &Inst = M.inst(I);
+      if (Inst.Kind != InstKind::Load)
+        continue;
+      for (uint32_t O : A.ptsOfVar(Inst.loadPtr())) {
+        if (Syms.isFunctionObject(O) || !Aux.ptsOfObj(O).empty())
+          continue;
+        ObjID Root = rootObject(Syms, O);
+        InstID Alloc = Syms.object(Root).AllocSite;
+        TaintFinding TF;
+        TF.F = {Spec.Kind, I, O, Alloc != InvalidInst ? Alloc : I, false};
+        TF.Spec = SpecIdx;
+        TF.Witness.push_back(G.instNode(I));
+        Out.push_back(std::move(TF));
+        Stats.add("uninit_sources", 1);
+      }
+    }
+    return;
+  }
+
+  // SourceEvent::UntrackedFree, sink self: frees whose pointee's root is a
+  // stack or global object — never legal to deallocate. The witness links
+  // the allocation to the free through the SVFG when a path exists.
+  for (InstID F = 0; F < M.numInstructions(); ++F) {
+    const Instruction &FreeInst = M.inst(F);
+    if (FreeInst.Kind != InstKind::Free)
+      continue;
+    PointsTo Roots;
+    for (uint32_t O : A.ptsOfVar(FreeInst.freePtr())) {
+      if (Syms.isFunctionObject(O))
+        continue;
+      ObjID Root = rootObject(Syms, O);
+      const ObjInfo &Obj = Syms.object(Root);
+      if (Obj.Kind != ObjKind::Stack && Obj.Kind != ObjKind::Global)
+        continue;
+      if (!Roots.set(Root))
+        continue;
+      TaintFinding TF;
+      InstID Alloc = Obj.AllocSite;
+      TF.F = {Spec.Kind, F, Root, Alloc != InvalidInst ? Alloc : F, false};
+      TF.Spec = SpecIdx;
+      TF.Witness = allocToFreePath(Alloc, F);
+      Out.push_back(std::move(TF));
+      Stats.add("untracked_sources", 1);
+    }
+  }
+}
+
+std::vector<NodeID> TaintEngine::allocToFreePath(InstID Alloc, InstID F) {
+  // Deterministic BFS from the allocation to the free over direct and
+  // indirect edges — how the freed pointer value travelled. Falls back to
+  // the free site alone when the allocation is unknown or unreachable
+  // (e.g. the pointer arrived through imprecision, not a real flow).
+  std::vector<NodeID> Path;
+  NodeID Goal = G.instNode(F);
+  if (Alloc == InvalidInst) {
+    Path.push_back(Goal);
+    return Path;
+  }
+  NodeID Start = G.instNode(Alloc);
+  std::vector<NodeID> Parent(G.numNodes(), svfg::InvalidNode);
+  std::vector<char> Visited(G.numNodes(), 0);
+  std::deque<NodeID> Queue;
+  Visited[Start] = 1;
+  Queue.push_back(Start);
+  bool Found = Start == Goal;
+  while (!Queue.empty() && !Found) {
+    NodeID N = Queue.front();
+    Queue.pop_front();
+    auto Visit = [&](NodeID S) {
+      if (Visited[S])
+        return;
+      Visited[S] = 1;
+      Parent[S] = N;
+      Queue.push_back(S);
+      if (S == Goal)
+        Found = true;
+    };
+    for (NodeID S : G.directSuccs(N))
+      Visit(S);
+    for (const IndEdge &E : G.indirectSuccs(N))
+      Visit(E.Dst);
+  }
+  if (!Found) {
+    Path.push_back(Goal);
+    return Path;
+  }
+  for (NodeID C = Goal; C != svfg::InvalidNode && C != Start; C = Parent[C])
+    Path.push_back(C);
+  Path.push_back(Start);
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+std::vector<TaintFinding>
+TaintEngine::run(const std::vector<TaintSpec> &Specs) {
+  Stats.get("specs") = Specs.size();
+  std::vector<TaintFinding> Out;
+
+  // Group object-flow specs that share a walk; run the rest one by one.
+  std::vector<char> Grouped(Specs.size(), 0);
+  for (uint32_t I = 0; I < Specs.size(); ++I) {
+    if (Grouped[I])
+      continue;
+    switch (Specs[I].Flow) {
+    case FlowDomain::ObjectFlow: {
+      std::vector<uint32_t> Group{I};
+      for (uint32_t J = I + 1; J < Specs.size(); ++J)
+        if (!Grouped[J] && Specs[J].Flow == FlowDomain::ObjectFlow &&
+            sameObjectWalk(Specs[I], Specs[J])) {
+          Group.push_back(J);
+          Grouped[J] = 1;
+        }
+      Stats.add("object_walk_groups", 1);
+      runObjectFlowGroup(Specs, Group, Out);
+      break;
+    }
+    case FlowDomain::VarFlow:
+      runVarFlow(Specs, I, Out);
+      break;
+    case FlowDomain::None:
+      runSiteRule(Specs, I, Out);
+      break;
+    }
+  }
+
+  // Deterministic order and dedup per (finding, spec); the witness is the
+  // final tiebreak so equal findings from different paths sort stably.
+  std::sort(Out.begin(), Out.end(),
+            [](const TaintFinding &X, const TaintFinding &Y) {
+              if (!(X.F == Y.F))
+                return X.F < Y.F;
+              if (X.Spec != Y.Spec)
+                return X.Spec < Y.Spec;
+              return X.Witness < Y.Witness;
+            });
+  Out.erase(std::unique(Out.begin(), Out.end(),
+                        [](const TaintFinding &X, const TaintFinding &Y) {
+                          return X.F == Y.F && X.Spec == Y.Spec;
+                        }),
+            Out.end());
+  Stats.get("findings") = Out.size();
+  return Out;
+}
+
+std::vector<TaintFinding> vsfs::taint::runTaint(
+    const svfg::SVFG &G, const core::PointsToOracle &A,
+    const std::vector<TaintSpec> &Specs) {
+  TaintEngine E(G, A);
+  return E.run(Specs);
+}

@@ -1,0 +1,112 @@
+//===- TaintEngine.h - Spec-driven value-flow propagation -------*- C++ -*-===//
+///
+/// \file
+/// The engine that runs a set of \c TaintSpec rules over one (SVFG,
+/// points-to backend) pair. Specs sharing a source/sanitizer configuration
+/// share a single propagation pass per flow domain, so adding rules does
+/// not multiply graph walks. Every finding carries a *path witness* — the
+/// SVFG node chain the taint label travelled from source to sink — which
+/// \c WitnessVerifier replays independently against the solved points-to
+/// results.
+///
+/// The built-in uaf/dfree/null/leak specs reproduce
+/// \c checker::ValueFlowChecker bit-identically (asserted by the
+/// differential tests); the legacy checker stays as the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_TAINT_TAINTENGINE_H
+#define VSFS_TAINT_TAINTENGINE_H
+
+#include "taint/TaintSpec.h"
+
+#include "core/PointerAnalysis.h"
+#include "support/Statistics.h"
+#include "svfg/SVFG.h"
+
+#include <vector>
+
+namespace vsfs {
+namespace taint {
+
+/// Witness verification state of a finding.
+enum class Verdict : uint8_t {
+  Unchecked,   ///< the verifier has not run
+  Verified,    ///< the witness replays against the solved results
+  Unverifiable ///< some replay step failed (see TaintFinding::Note)
+};
+
+const char *verdictName(Verdict V);
+
+/// One spec-engine finding: the plain checker finding (so legacy scoring
+/// and printing apply unchanged) plus provenance and its path witness.
+struct TaintFinding {
+  checker::Finding F;
+  /// Index of the producing spec in the spec vector passed to the engine.
+  uint32_t Spec = 0;
+  /// The source→sink SVFG node chain. Single-node for site-judged rules
+  /// (leak/uread), otherwise every consecutive pair is an edge of the
+  /// materialised graph (direct for var flow, object-labelled indirect for
+  /// object flow). Nodes are post-coalescing IDs when the graph is
+  /// coalesced.
+  std::vector<svfg::NodeID> Witness;
+  Verdict V = Verdict::Unchecked;
+  /// For Unverifiable: the first replay check that failed.
+  std::string Note;
+};
+
+/// Projects findings onto plain checker findings, sorted and deduplicated —
+/// the exact shape \c checker::runCheckers returns, for differential
+/// comparison and legacy scoring.
+std::vector<checker::Finding>
+toCheckerFindings(const std::vector<TaintFinding> &Findings);
+
+/// The engine. Construct once per (SVFG, backend) pair; \c run compiles the
+/// spec set into shared propagations and returns findings sorted by
+/// (finding, spec) and deduplicated.
+class TaintEngine {
+public:
+  TaintEngine(const svfg::SVFG &G, const core::PointsToOracle &A);
+
+  std::vector<TaintFinding> run(const std::vector<TaintSpec> &Specs);
+
+  /// Work counters ("taint" group): sources seen, walk steps, findings.
+  const StatGroup &stats() const { return Stats; }
+
+private:
+  void runObjectFlowGroup(const std::vector<TaintSpec> &Specs,
+                          const std::vector<uint32_t> &Group,
+                          std::vector<TaintFinding> &Out);
+  void runVarFlow(const std::vector<TaintSpec> &Specs, uint32_t SpecIdx,
+                  std::vector<TaintFinding> &Out);
+  void runSiteRule(const std::vector<TaintSpec> &Specs, uint32_t SpecIdx,
+                   std::vector<TaintFinding> &Out);
+
+  /// BFS witness for untracked frees: the allocation→free node chain over
+  /// direct and indirect edges, or the free site alone when no path exists.
+  std::vector<svfg::NodeID> allocToFreePath(ir::InstID Alloc, ir::InstID F);
+
+  /// Objects freed by free instruction \p Inst under the backend:
+  /// pt(freePtr) minus function objects, field objects widened to roots.
+  PointsTo freedObjects(const ir::Instruction &Inst) const;
+
+  /// True when SVFG node \p N is a sanitizer event of \p Spec. Only
+  /// instruction nodes can sanitize; relay nodes never do.
+  bool isSanitizerNode(const TaintSpec &Spec, svfg::NodeID N) const;
+
+  const svfg::SVFG &G;
+  const core::PointsToOracle &A;
+  const ir::Module &M;
+  StatGroup Stats{"taint"};
+};
+
+/// Convenience wrapper: build, run, return findings (unverified — pair with
+/// \c WitnessVerifier::verifyAll).
+std::vector<TaintFinding> runTaint(const svfg::SVFG &G,
+                                   const core::PointsToOracle &A,
+                                   const std::vector<TaintSpec> &Specs);
+
+} // namespace taint
+} // namespace vsfs
+
+#endif // VSFS_TAINT_TAINTENGINE_H

@@ -1,0 +1,336 @@
+//===- TaintSpec.cpp - Spec validation, builtins and parser -----*- C++ -*-===//
+
+#include "taint/TaintSpec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vsfs;
+using namespace vsfs::taint;
+using checker::CheckKind;
+
+bool vsfs::taint::validateSpec(TaintSpec &Spec, std::string &Error) {
+  auto Fail = [&](const char *Msg) {
+    Error = "spec '" + Spec.Name + "': " + Msg;
+    return false;
+  };
+  if (Spec.Name.empty())
+    return Fail("missing name");
+
+  std::sort(Spec.SourceInsts.begin(), Spec.SourceInsts.end());
+  Spec.SourceInsts.erase(
+      std::unique(Spec.SourceInsts.begin(), Spec.SourceInsts.end()),
+      Spec.SourceInsts.end());
+  std::sort(Spec.SanitizerInsts.begin(), Spec.SanitizerInsts.end());
+  Spec.SanitizerInsts.erase(
+      std::unique(Spec.SanitizerInsts.begin(), Spec.SanitizerInsts.end()),
+      Spec.SanitizerInsts.end());
+
+  if ((Spec.Source == SourceEvent::InstList) != !Spec.SourceInsts.empty())
+    return Fail("'source inst' and an instruction list go together");
+
+  constexpr uint32_t DerefSinks = SinkLoad | SinkStore | SinkFree;
+  switch (Spec.Flow) {
+  case FlowDomain::ObjectFlow:
+    if (Spec.Source != SourceEvent::FreeSite &&
+        Spec.Source != SourceEvent::InstList)
+      return Fail("object flow needs 'source free' or 'source inst'");
+    if (Spec.Sinks == 0 || (Spec.Sinks & ~DerefSinks))
+      return Fail("object flow sinks must be some of load, store, free");
+    break;
+  case FlowDomain::VarFlow:
+    if (Spec.Source != SourceEvent::UninitLoad &&
+        Spec.Source != SourceEvent::InstList)
+      return Fail("var flow needs 'source uninit-load' or 'source inst'");
+    if (Spec.Sinks == 0 || (Spec.Sinks & ~DerefSinks))
+      return Fail("var flow sinks must be some of load, store, free");
+    break;
+  case FlowDomain::None:
+    if (Spec.hasSanitizers())
+      return Fail("'flow none' rules have no paths to sanitize");
+    if (Spec.Source == SourceEvent::HeapAlloc) {
+      if (Spec.Sinks != SinkUnfreed)
+        return Fail("'source heap-alloc' needs 'sink unfreed'");
+    } else if (Spec.Source == SourceEvent::UninitLoad ||
+               Spec.Source == SourceEvent::UntrackedFree) {
+      if (Spec.Sinks != SinkSelf)
+        return Fail("a site-local source needs 'sink self'");
+    } else {
+      return Fail("'flow none' needs a site-judged source "
+                  "(uninit-load, heap-alloc, untracked-free)");
+    }
+    break;
+  }
+  return true;
+}
+
+std::vector<TaintSpec> vsfs::taint::builtinSpecs(uint32_t KindMask) {
+  auto Make = [](const char *Name, CheckKind Kind, SourceEvent Source,
+                 FlowDomain Flow, uint32_t Sinks) {
+    TaintSpec S;
+    S.Name = Name;
+    S.Kind = Kind;
+    S.Source = Source;
+    S.Flow = Flow;
+    S.Sinks = Sinks;
+    return S;
+  };
+  const TaintSpec All[] = {
+      Make("uaf", CheckKind::UseAfterFree, SourceEvent::FreeSite,
+           FlowDomain::ObjectFlow, SinkLoad | SinkStore),
+      Make("dfree", CheckKind::DoubleFree, SourceEvent::FreeSite,
+           FlowDomain::ObjectFlow, SinkFree),
+      Make("null", CheckKind::NullDeref, SourceEvent::UninitLoad,
+           FlowDomain::VarFlow, SinkLoad | SinkStore | SinkFree),
+      Make("leak", CheckKind::Leak, SourceEvent::HeapAlloc, FlowDomain::None,
+           SinkUnfreed),
+      Make("uread", CheckKind::UninitRead, SourceEvent::UninitLoad,
+           FlowDomain::None, SinkSelf),
+      Make("ufree", CheckKind::UntrackedFree, SourceEvent::UntrackedFree,
+           FlowDomain::None, SinkSelf),
+  };
+  std::vector<TaintSpec> Out;
+  for (const TaintSpec &S : All)
+    if (KindMask & checker::checkBit(S.Kind))
+      Out.push_back(S);
+  return Out;
+}
+
+namespace {
+
+/// Splits \p Line at unquoted whitespace into at most a keyword + rest.
+void splitKeyword(std::string_view Line, std::string_view &Keyword,
+                  std::string_view &Rest) {
+  size_t I = 0;
+  while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
+    ++I;
+  Keyword = Line.substr(0, I);
+  while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+    ++I;
+  Rest = Line.substr(I);
+}
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t' ||
+                        S.front() == '\r'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t' ||
+                        S.back() == '\r'))
+    S.remove_suffix(1);
+  return S;
+}
+
+/// Calls \p Fn for every comma-separated, trimmed, non-empty item.
+template <typename FnT> bool eachItem(std::string_view List, FnT Fn) {
+  size_t Pos = 0;
+  bool Any = false;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    size_t End = Comma == std::string_view::npos ? List.size() : Comma;
+    std::string_view Item = trim(List.substr(Pos, End - Pos));
+    if (!Item.empty()) {
+      Any = true;
+      if (!Fn(Item))
+        return false;
+    }
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Any;
+}
+
+bool parseInstList(std::string_view List, std::vector<ir::InstID> &Out) {
+  return eachItem(List, [&](std::string_view Item) {
+    uint64_t V = 0;
+    for (char C : Item) {
+      if (C < '0' || C > '9')
+        return false;
+      V = V * 10 + static_cast<uint64_t>(C - '0');
+      if (V > 0xFFFFFFFFull)
+        return false;
+    }
+    Out.push_back(static_cast<ir::InstID>(V));
+    return true;
+  });
+}
+
+bool parseReportKind(std::string_view Name, CheckKind &Out) {
+  for (uint32_t K = 0; K < checker::NumCheckKinds; ++K)
+    if (Name == checker::checkKindFlag(static_cast<CheckKind>(K))) {
+      Out = static_cast<CheckKind>(K);
+      return true;
+    }
+  return false;
+}
+
+bool parseSanitizerKind(std::string_view Name, ir::InstKind &Out) {
+  struct {
+    const char *Name;
+    ir::InstKind Kind;
+  } static const Table[] = {
+      {"alloc", ir::InstKind::Alloc}, {"copy", ir::InstKind::Copy},
+      {"phi", ir::InstKind::Phi},     {"field", ir::InstKind::FieldAddr},
+      {"load", ir::InstKind::Load},   {"store", ir::InstKind::Store},
+      {"free", ir::InstKind::Free},   {"call", ir::InstKind::Call},
+  };
+  for (const auto &E : Table)
+    if (Name == E.Name) {
+      Out = E.Kind;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+bool vsfs::taint::parseTaintSpecs(std::string_view Text,
+                                  std::vector<TaintSpec> &Out,
+                                  std::string &Error) {
+  std::vector<TaintSpec> Specs;
+  TaintSpec Cur;
+  bool InSpec = false;
+  bool SawFlow = false;
+  uint32_t LineNo = 0;
+
+  auto Fail = [&](const std::string &Msg) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "line %u: ", LineNo);
+    Error = Buf + Msg;
+    return false;
+  };
+
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    size_t End = Nl == std::string_view::npos ? Text.size() : Nl;
+    std::string_view Line = trim(Text.substr(Pos, End - Pos));
+    ++LineNo;
+    Pos = End + 1;
+    bool LastLine = Nl == std::string_view::npos;
+
+    if (!Line.empty() && Line[0] != '#') {
+      std::string_view Keyword, Rest;
+      splitKeyword(Line, Keyword, Rest);
+      Rest = trim(Rest);
+
+      if (Keyword == "spec") {
+        if (InSpec)
+          return Fail("'spec' inside an open spec (missing 'end'?)");
+        if (Rest.empty())
+          return Fail("'spec' needs a name");
+        Cur = TaintSpec();
+        Cur.Name = std::string(Rest);
+        InSpec = true;
+        SawFlow = false;
+      } else if (!InSpec) {
+        return Fail("'" + std::string(Keyword) + "' outside a spec block");
+      } else if (Keyword == "report") {
+        if (!parseReportKind(Rest, Cur.Kind))
+          return Fail("unknown report kind '" + std::string(Rest) + "'");
+      } else if (Keyword == "source") {
+        std::string_view What, Args;
+        splitKeyword(Rest, What, Args);
+        Args = trim(Args);
+        if (What == "free")
+          Cur.Source = SourceEvent::FreeSite;
+        else if (What == "uninit-load")
+          Cur.Source = SourceEvent::UninitLoad;
+        else if (What == "heap-alloc")
+          Cur.Source = SourceEvent::HeapAlloc;
+        else if (What == "untracked-free")
+          Cur.Source = SourceEvent::UntrackedFree;
+        else if (What == "inst") {
+          Cur.Source = SourceEvent::InstList;
+          Cur.SourceInsts.clear();
+          if (!parseInstList(Args, Cur.SourceInsts))
+            return Fail("'source inst' needs instruction IDs");
+          Args = {};
+        } else
+          return Fail("unknown source event '" + std::string(What) + "'");
+        if (!Args.empty())
+          return Fail("trailing junk after 'source'");
+      } else if (Keyword == "flow") {
+        if (Rest == "object")
+          Cur.Flow = FlowDomain::ObjectFlow;
+        else if (Rest == "var")
+          Cur.Flow = FlowDomain::VarFlow;
+        else if (Rest == "none")
+          Cur.Flow = FlowDomain::None;
+        else
+          return Fail("unknown flow domain '" + std::string(Rest) + "'");
+        SawFlow = true;
+      } else if (Keyword == "sink") {
+        uint32_t Mask = 0;
+        bool Ok = eachItem(Rest, [&](std::string_view Item) {
+          if (Item == "load")
+            Mask |= SinkLoad;
+          else if (Item == "store")
+            Mask |= SinkStore;
+          else if (Item == "free")
+            Mask |= SinkFree;
+          else if (Item == "self")
+            Mask |= SinkSelf;
+          else if (Item == "unfreed")
+            Mask |= SinkUnfreed;
+          else
+            return false;
+          return true;
+        });
+        if (!Ok)
+          return Fail("bad sink list '" + std::string(Rest) + "'");
+        Cur.Sinks = Mask;
+      } else if (Keyword == "sanitize") {
+        std::string_view What, Args;
+        splitKeyword(Rest, What, Args);
+        Args = trim(Args);
+        if (What == "inst") {
+          if (!parseInstList(Args, Cur.SanitizerInsts))
+            return Fail("'sanitize inst' needs instruction IDs");
+        } else if (What == "kind") {
+          bool Ok = eachItem(Args, [&](std::string_view Item) {
+            ir::InstKind K;
+            if (!parseSanitizerKind(Item, K))
+              return false;
+            Cur.SanitizerKinds |= 1u << static_cast<uint32_t>(K);
+            return true;
+          });
+          if (!Ok)
+            return Fail("bad 'sanitize kind' list '" + std::string(Args) +
+                        "'");
+        } else
+          return Fail("'sanitize' needs 'inst' or 'kind'");
+      } else if (Keyword == "end") {
+        if (!Rest.empty())
+          return Fail("trailing junk after 'end'");
+        if (!SawFlow)
+          return Fail("spec '" + Cur.Name + "' never set 'flow'");
+        std::string VErr;
+        if (!validateSpec(Cur, VErr))
+          return Fail(VErr);
+        for (const TaintSpec &S : Specs)
+          if (S.Name == Cur.Name)
+            return Fail("duplicate spec name '" + Cur.Name + "'");
+        Specs.push_back(std::move(Cur));
+        InSpec = false;
+      } else {
+        return Fail("unknown keyword '" + std::string(Keyword) + "'");
+      }
+    }
+
+    if (LastLine)
+      break;
+  }
+
+  if (InSpec) {
+    Error = "spec '" + Cur.Name + "' not closed with 'end'";
+    return false;
+  }
+  if (Specs.empty()) {
+    Error = "no specs in file";
+    return false;
+  }
+  Out = std::move(Specs);
+  return true;
+}

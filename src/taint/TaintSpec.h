@@ -1,0 +1,119 @@
+//===- TaintSpec.h - Declarative value-flow rule specs ----------*- C++ -*-===//
+///
+/// \file
+/// The declarative surface of the taint/value-flow rule engine
+/// (docs/CHECKERS.md): a \c TaintSpec names a *source event* that creates a
+/// taint label, a *flow domain* the label propagates through, the *sink
+/// events* that report it, and *sanitizer events* that kill the label along
+/// a path. The engine (TaintEngine.h) compiles a spec set into shared
+/// propagations over the SVFG parameterised by a \c core::PointsToOracle,
+/// so every backend (ander/iter/sfs/vsfs), both --pts-repr modes,
+/// --coalesce=on graphs and --mode=demand run the same rules unchanged.
+///
+/// The four legacy checkers are built-in specs (\c builtinSpecs) whose
+/// findings are bit-identical to \c checker::runCheckers; uread and ufree
+/// exist only as specs. User rules arrive as a line-oriented spec file
+/// (\c parseTaintSpecs) via `vsfs-wpa --check-specs=FILE`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_TAINT_TAINTSPEC_H
+#define VSFS_TAINT_TAINTSPEC_H
+
+#include "checker/Checker.h"
+#include "ir/Instruction.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsfs {
+namespace taint {
+
+/// What creates a taint label.
+enum class SourceEvent : uint8_t {
+  FreeSite,      ///< every free instruction; the label is each freed object
+  UninitLoad,    ///< loads the auxiliary analysis proves read a cell no
+                 ///< store ever initialises (the IR's model of null)
+  HeapAlloc,     ///< every heap allocation (leak-style global accounting)
+  UntrackedFree, ///< frees whose pointee's root is not a heap allocation
+  InstList       ///< user-designated instructions (TaintSpec::SourceInsts)
+};
+
+/// What the label propagates through.
+enum class FlowDomain : uint8_t {
+  ObjectFlow, ///< label = object; flows over object-labelled indirect edges
+  VarFlow,    ///< label = top-level variable; flows through copies and phis
+  None        ///< degenerate: the source condition is judged at the site
+};
+
+// Sink-event mask bits. load/store/free are dereference sinks for the two
+// flow domains; self reports the source site itself and unfreed reports
+// heap allocations no free site covers (both FlowDomain::None only).
+constexpr uint32_t SinkLoad = 1u << 0;
+constexpr uint32_t SinkStore = 1u << 1;
+constexpr uint32_t SinkFree = 1u << 2;
+constexpr uint32_t SinkSelf = 1u << 3;
+constexpr uint32_t SinkUnfreed = 1u << 4;
+
+/// One declarative rule.
+struct TaintSpec {
+  std::string Name;
+  /// The kind stamped on every finding this spec reports.
+  checker::CheckKind Kind = checker::CheckKind::UseAfterFree;
+  SourceEvent Source = SourceEvent::FreeSite;
+  FlowDomain Flow = FlowDomain::None;
+  uint32_t Sinks = 0; ///< SinkLoad | SinkStore | ... mask.
+  /// Source instructions for SourceEvent::InstList. With ObjectFlow the
+  /// instructions must be frees (others are skipped); with VarFlow any
+  /// var-defining instruction taints its destination unconditionally.
+  std::vector<ir::InstID> SourceInsts;
+  /// Sanitizers: a path through one of these instructions (by ID, or by
+  /// instruction kind) drops the taint label — the node neither reports
+  /// nor propagates. Sorted by the parser/validator for binary search.
+  std::vector<ir::InstID> SanitizerInsts;
+  /// Mask over ir::InstKind: bit (1 << kind) marks every instruction of
+  /// that kind a sanitizer.
+  uint32_t SanitizerKinds = 0;
+
+  bool isSanitizerKind(ir::InstKind K) const {
+    return (SanitizerKinds >> static_cast<uint32_t>(K)) & 1u;
+  }
+  bool hasSanitizers() const {
+    return !SanitizerInsts.empty() || SanitizerKinds != 0;
+  }
+};
+
+/// Checks the source/flow/sink combination is one the engine implements
+/// (see docs/CHECKERS.md for the grammar); returns false and fills
+/// \p Error otherwise. Sorts SourceInsts/SanitizerInsts as a side effect.
+bool validateSpec(TaintSpec &Spec, std::string &Error);
+
+/// The built-in rules: uaf, dfree, null and leak reproduce the legacy
+/// \c checker::ValueFlowChecker bit-identically; uread and ufree are the
+/// spec-only kinds. \p KindMask selects by reported kind
+/// (checker::checkBit); pass checker::AllChecks for all six.
+std::vector<TaintSpec> builtinSpecs(uint32_t KindMask = checker::AllChecks);
+
+/// Parses a spec file (see docs/CHECKERS.md):
+///
+///   # comment
+///   spec NAME
+///     report uaf | dfree | null | leak | uread | ufree
+///     source free | uninit-load | heap-alloc | untracked-free | inst N[,N]
+///     flow object | var | none
+///     sink load,store,free | self | unfreed
+///     sanitize inst N[,N]
+///     sanitize kind load,store,free,copy,phi
+///   end
+///
+/// Returns false with a line-numbered message in \p Error on any syntax or
+/// validation problem; \p Out is only filled on success (at least one
+/// spec; names unique).
+bool parseTaintSpecs(std::string_view Text, std::vector<TaintSpec> &Out,
+                     std::string &Error);
+
+} // namespace taint
+} // namespace vsfs
+
+#endif // VSFS_TAINT_TAINTSPEC_H

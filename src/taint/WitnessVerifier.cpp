@@ -1,0 +1,337 @@
+//===- WitnessVerifier.cpp - Independent path-witness replay ----*- C++ -*-===//
+
+#include "taint/WitnessVerifier.h"
+
+#include <algorithm>
+
+using namespace vsfs;
+using namespace vsfs::taint;
+using namespace vsfs::ir;
+using svfg::IndEdge;
+using svfg::NodeID;
+using svfg::NodeKind;
+
+namespace {
+
+ObjID rootObject(const SymbolTable &Syms, ObjID O) {
+  while (Syms.object(O).Kind == ObjKind::Field)
+    O = Syms.object(O).Base;
+  return O;
+}
+
+VarID derefPtr(const Instruction &Inst) {
+  switch (Inst.Kind) {
+  case InstKind::Load:
+    return Inst.loadPtr();
+  case InstKind::Store:
+    return Inst.storePtr();
+  case InstKind::Free:
+    return Inst.freePtr();
+  default:
+    return InvalidVar;
+  }
+}
+
+uint32_t sinkBit(InstKind K) {
+  switch (K) {
+  case InstKind::Load:
+    return SinkLoad;
+  case InstKind::Store:
+    return SinkStore;
+  case InstKind::Free:
+    return SinkFree;
+  default:
+    return 0;
+  }
+}
+
+/// Is \p N an instruction node for instruction \p I?
+bool isInstNode(const svfg::SVFG &G, NodeID N, InstID I) {
+  return N < G.numNodes() && G.node(N).Kind == NodeKind::Inst &&
+         G.node(N).Inst == I;
+}
+
+/// Does an indirect edge From→To exist whose object widens to root \p O?
+bool hasRootedIndirectEdge(const svfg::SVFG &G, const SymbolTable &Syms,
+                           NodeID From, NodeID To, ObjID O) {
+  for (const IndEdge &E : G.indirectSuccs(From))
+    if (E.Dst == To && rootObject(Syms, E.Obj) == O)
+      return true;
+  return false;
+}
+
+bool isSanitizerNode(const svfg::SVFG &G, const ir::Module &M,
+                     const TaintSpec &Spec, NodeID N) {
+  if (G.node(N).Kind != NodeKind::Inst)
+    return false;
+  InstID I = G.node(N).Inst;
+  if (Spec.isSanitizerKind(M.inst(I).Kind))
+    return true;
+  return std::binary_search(Spec.SanitizerInsts.begin(),
+                            Spec.SanitizerInsts.end(), I);
+}
+
+/// Re-derives the freed-roots set of a free instruction from the oracle.
+bool freesRoot(const core::PointsToOracle &A, const ir::Module &M,
+               const Instruction &FreeInst, ObjID Root) {
+  for (uint32_t P : A.ptsOfVar(FreeInst.freePtr()))
+    if (!M.symbols().isFunctionObject(P) &&
+        rootObject(M.symbols(), P) == Root)
+      return true;
+  return false;
+}
+
+} // namespace
+
+bool WitnessVerifier::fail(TaintFinding &F, const char *Why) const {
+  F.V = Verdict::Unverifiable;
+  F.Note = Why;
+  return false;
+}
+
+bool WitnessVerifier::replayObjectFlow(const TaintSpec &Spec,
+                                       TaintFinding &F) {
+  const std::vector<NodeID> &W = F.Witness;
+  if (W.size() < 2)
+    return fail(F, "object-flow witness needs a source and a sink");
+  for (NodeID N : W)
+    if (N >= G.numNodes())
+      return fail(F, "witness node out of range");
+
+  // Source: the free site the finding names, really a free of the object.
+  if (!isInstNode(G, W.front(), F.F.Source))
+    return fail(F, "witness does not start at the finding's source");
+  const Instruction &Src = M.inst(F.F.Source);
+  if (Spec.Source == SourceEvent::FreeSite) {
+    if (Src.Kind != InstKind::Free)
+      return fail(F, "source is not a free");
+  } else if (!std::binary_search(Spec.SourceInsts.begin(),
+                                 Spec.SourceInsts.end(), F.F.Source)) {
+    return fail(F, "source not in the spec's source list");
+  }
+  ObjID O = F.F.Obj;
+  if (O == InvalidObj || M.symbols().isFunctionObject(O) ||
+      rootObject(M.symbols(), O) != O)
+    return fail(F, "tracked object is not a root allocation");
+  if (Src.Kind != InstKind::Free || !freesRoot(A, M, Src, O))
+    return fail(F, "oracle says the source does not free the object");
+
+  // Every hop is an object-labelled indirect edge of the graph, and no
+  // node past the source is a sanitizer of the producing spec.
+  for (size_t I = 0; I + 1 < W.size(); ++I)
+    if (!hasRootedIndirectEdge(G, M.symbols(), W[I], W[I + 1], O))
+      return fail(F, "missing indirect edge on the witness path");
+  if (Spec.hasSanitizers())
+    for (size_t I = 1; I < W.size(); ++I)
+      if (isSanitizerNode(G, M, Spec, W[I]))
+        return fail(F, "sanitizer on the witness path");
+
+  // Sink: the named dereference, of a kind the spec reports, whose pointer
+  // the oracle still lets point at the freed allocation.
+  if (!isInstNode(G, W.back(), F.F.Sink))
+    return fail(F, "witness does not end at the finding's sink");
+  const Instruction &Sink = M.inst(F.F.Sink);
+  if (!(sinkBit(Sink.Kind) & Spec.Sinks))
+    return fail(F, "sink kind not reported by the spec");
+  VarID Ptr = derefPtr(Sink);
+  if (Ptr == InvalidVar)
+    return fail(F, "sink does not dereference memory");
+  bool PointsAtFreed = false;
+  for (uint32_t P : A.ptsOfVar(Ptr))
+    if (!M.symbols().isFunctionObject(P) &&
+        rootObject(M.symbols(), P) == O) {
+      PointsAtFreed = true;
+      break;
+    }
+  if (!PointsAtFreed)
+    return fail(F, "oracle says the sink pointer misses the object");
+  F.V = Verdict::Verified;
+  return true;
+}
+
+bool WitnessVerifier::replayVarFlow(const TaintSpec &Spec, TaintFinding &F) {
+  const std::vector<NodeID> &W = F.Witness;
+  if (W.size() < 2)
+    return fail(F, "var-flow witness needs a source and a sink");
+  for (NodeID N : W) {
+    if (N >= G.numNodes() || G.node(N).Kind != NodeKind::Inst)
+      return fail(F, "var-flow witness node is not an instruction");
+  }
+
+  // Source: re-derive the taint label's creation from the oracle.
+  if (!isInstNode(G, W.front(), F.F.Source))
+    return fail(F, "witness does not start at the finding's source");
+  const Instruction &Src = M.inst(F.F.Source);
+  if (Spec.Source == SourceEvent::UninitLoad) {
+    if (Src.Kind != InstKind::Load)
+      return fail(F, "source is not a load");
+    ObjID O = F.F.Obj;
+    if (O == InvalidObj || M.symbols().isFunctionObject(O))
+      return fail(F, "source object missing");
+    if (!A.ptsOfVar(Src.loadPtr()).test(O))
+      return fail(F, "oracle says the source load misses the object");
+    if (!G.auxAnalysis().ptsOfObj(O).empty() ||
+        !A.ptsOfObjAt(F.F.Source, O).empty())
+      return fail(F, "oracle says the source cell is initialised");
+  } else {
+    if (!std::binary_search(Spec.SourceInsts.begin(),
+                            Spec.SourceInsts.end(), F.F.Source))
+      return fail(F, "source not in the spec's source list");
+    if (!Src.definesVar())
+      return fail(F, "source defines no variable");
+  }
+
+  // Middle: a def-use chain of copies/phis — every hop a direct edge, and
+  // each node's destination feeding the next node's operands.
+  VarID Carried = Src.Dst;
+  for (size_t I = 1; I + 1 < W.size(); ++I) {
+    const Instruction &Via = M.inst(G.node(W[I]).Inst);
+    if (!G.hasDirectEdge(W[I - 1], W[I]))
+      return fail(F, "missing direct edge on the witness path");
+    bool Feeds = false;
+    if (Via.Kind == InstKind::Copy)
+      Feeds = Via.copySrc() == Carried;
+    else if (Via.Kind == InstKind::Phi)
+      Feeds = std::find(Via.phiSrcs().begin(), Via.phiSrcs().end(),
+                        Carried) != Via.phiSrcs().end();
+    if (!Feeds)
+      return fail(F, "witness hop does not read the tainted variable");
+    Carried = Via.Dst;
+  }
+  if (W.size() > 2 && !G.hasDirectEdge(W[W.size() - 2], W.back()))
+    return fail(F, "missing direct edge into the sink");
+  if (W.size() == 2 && !G.hasDirectEdge(W.front(), W.back()))
+    return fail(F, "missing direct edge into the sink");
+  if (Spec.hasSanitizers())
+    for (NodeID N : W)
+      if (isSanitizerNode(G, M, Spec, N))
+        return fail(F, "sanitizer on the witness path");
+
+  // Sink: the named dereference of the tainted variable.
+  if (!isInstNode(G, W.back(), F.F.Sink))
+    return fail(F, "witness does not end at the finding's sink");
+  const Instruction &Sink = M.inst(F.F.Sink);
+  if (!(sinkBit(Sink.Kind) & Spec.Sinks))
+    return fail(F, "sink kind not reported by the spec");
+  if (derefPtr(Sink) != Carried)
+    return fail(F, "sink does not dereference the tainted variable");
+  F.V = Verdict::Verified;
+  return true;
+}
+
+bool WitnessVerifier::replaySiteRule(const TaintSpec &Spec, TaintFinding &F) {
+  const std::vector<NodeID> &W = F.Witness;
+  const SymbolTable &Syms = M.symbols();
+  if (W.empty())
+    return fail(F, "empty witness");
+  for (NodeID N : W)
+    if (N >= G.numNodes())
+      return fail(F, "witness node out of range");
+
+  if (Spec.Source == SourceEvent::HeapAlloc) {
+    // Leak: the allocation site itself, with an independent rescan of
+    // every free site confirming nothing covers the object.
+    if (W.size() != 1 || !isInstNode(G, W.front(), F.F.Sink))
+      return fail(F, "leak witness must be the allocation site");
+    ObjID O = F.F.Obj;
+    if (O == InvalidObj || Syms.object(O).Kind != ObjKind::Heap)
+      return fail(F, "leaked object is not a heap allocation");
+    if (Syms.object(O).AllocSite != F.F.Sink || F.F.Source != F.F.Sink)
+      return fail(F, "finding does not name the allocation site");
+    for (InstID I = 0; I < M.numInstructions(); ++I) {
+      const Instruction &Inst = M.inst(I);
+      if (Inst.Kind != InstKind::Free)
+        continue;
+      for (uint32_t P : A.ptsOfVar(Inst.freePtr()))
+        if (!Syms.isFunctionObject(P) && rootObject(Syms, P) == O)
+          return fail(F, "a free site covers the object");
+    }
+    F.V = Verdict::Verified;
+    return true;
+  }
+
+  if (Spec.Source == SourceEvent::UninitLoad) {
+    // Uninitialised read: the load itself; the cell must be empty under
+    // the auxiliary analysis and readable per the oracle.
+    if (W.size() != 1 || !isInstNode(G, W.front(), F.F.Sink))
+      return fail(F, "uninit-read witness must be the load");
+    const Instruction &Sink = M.inst(F.F.Sink);
+    if (Sink.Kind != InstKind::Load)
+      return fail(F, "uninit-read sink is not a load");
+    ObjID O = F.F.Obj;
+    if (O == InvalidObj || Syms.isFunctionObject(O))
+      return fail(F, "read object missing");
+    if (!A.ptsOfVar(Sink.loadPtr()).test(O))
+      return fail(F, "oracle says the load misses the object");
+    if (!G.auxAnalysis().ptsOfObj(O).empty())
+      return fail(F, "a store initialises the cell");
+    ObjID Root = rootObject(Syms, O);
+    InstID Alloc = Syms.object(Root).AllocSite;
+    if (F.F.Source != (Alloc != InvalidInst ? Alloc : F.F.Sink))
+      return fail(F, "finding does not name the allocation site");
+    F.V = Verdict::Verified;
+    return true;
+  }
+
+  // Untracked free: the free endpoint must re-derive; when the witness
+  // carries an allocation→free path, every hop must be a real edge.
+  if (!isInstNode(G, W.back(), F.F.Sink))
+    return fail(F, "witness does not end at the free");
+  const Instruction &Sink = M.inst(F.F.Sink);
+  if (Sink.Kind != InstKind::Free)
+    return fail(F, "untracked-free sink is not a free");
+  ObjID O = F.F.Obj;
+  if (O == InvalidObj || Syms.isFunctionObject(O) ||
+      rootObject(Syms, O) != O)
+    return fail(F, "freed object is not a root");
+  const ObjInfo &Obj = Syms.object(O);
+  if (Obj.Kind != ObjKind::Stack && Obj.Kind != ObjKind::Global)
+    return fail(F, "freed object is heap-allocated after all");
+  if (!freesRoot(A, M, Sink, O))
+    return fail(F, "oracle says the free misses the object");
+  InstID Alloc = Obj.AllocSite;
+  if (F.F.Source != (Alloc != InvalidInst ? Alloc : F.F.Sink))
+    return fail(F, "finding does not name the allocation site");
+  if (W.size() > 1) {
+    if (!isInstNode(G, W.front(), Alloc))
+      return fail(F, "witness does not start at the allocation");
+    for (size_t I = 0; I + 1 < W.size(); ++I) {
+      bool HasEdge = G.hasDirectEdge(W[I], W[I + 1]);
+      for (const IndEdge &E : G.indirectSuccs(W[I])) {
+        if (HasEdge)
+          break;
+        HasEdge = E.Dst == W[I + 1];
+      }
+      if (!HasEdge)
+        return fail(F, "missing edge on the allocation→free path");
+    }
+  }
+  F.V = Verdict::Verified;
+  return true;
+}
+
+bool WitnessVerifier::verify(const TaintSpec &Spec, TaintFinding &F) {
+  switch (Spec.Flow) {
+  case FlowDomain::ObjectFlow:
+    return replayObjectFlow(Spec, F);
+  case FlowDomain::VarFlow:
+    return replayVarFlow(Spec, F);
+  case FlowDomain::None:
+    return replaySiteRule(Spec, F);
+  }
+  return fail(F, "unknown flow domain");
+}
+
+uint32_t WitnessVerifier::verifyAll(const std::vector<TaintSpec> &Specs,
+                                    std::vector<TaintFinding> &Findings) {
+  uint32_t Verified = 0;
+  for (TaintFinding &F : Findings) {
+    if (F.Spec >= Specs.size()) {
+      fail(F, "finding names an unknown spec");
+      continue;
+    }
+    if (verify(Specs[F.Spec], F))
+      ++Verified;
+  }
+  return Verified;
+}

@@ -1,0 +1,54 @@
+//===- WitnessVerifier.h - Independent path-witness replay ------*- C++ -*-===//
+///
+/// \file
+/// Replays each finding's witness chain against the materialised SVFG and
+/// the solved points-to results, independently of the engine that produced
+/// it: every hop must be a real edge of the right flavour, the source and
+/// sink conditions must re-derive from the oracle, and no sanitizer of the
+/// producing spec may sit on the path. Findings are stamped
+/// \c Verdict::Verified or \c Verdict::Unverifiable (with the first failing
+/// check in \c TaintFinding::Note). The taint ctest label asserts 100% of
+/// emitted findings verify on every preset × backend × pts-repr ×
+/// coalescing × mode combination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_TAINT_WITNESSVERIFIER_H
+#define VSFS_TAINT_WITNESSVERIFIER_H
+
+#include "taint/TaintEngine.h"
+
+namespace vsfs {
+namespace taint {
+
+class WitnessVerifier {
+public:
+  WitnessVerifier(const svfg::SVFG &G, const core::PointsToOracle &A)
+      : G(G), A(A), M(G.module()) {}
+
+  /// Replays \p F's witness for \p Spec (the spec that produced it) and
+  /// stamps the verdict. Returns true when Verified.
+  bool verify(const TaintSpec &Spec, TaintFinding &F);
+
+  /// Verifies every finding against its producing spec; returns the number
+  /// that verified.
+  uint32_t verifyAll(const std::vector<TaintSpec> &Specs,
+                     std::vector<TaintFinding> &Findings);
+
+private:
+  bool replayObjectFlow(const TaintSpec &Spec, TaintFinding &F);
+  bool replayVarFlow(const TaintSpec &Spec, TaintFinding &F);
+  bool replaySiteRule(const TaintSpec &Spec, TaintFinding &F);
+
+  /// Stamps Unverifiable with \p Why; always returns false.
+  bool fail(TaintFinding &F, const char *Why) const;
+
+  const svfg::SVFG &G;
+  const core::PointsToOracle &A;
+  const ir::Module &M;
+};
+
+} // namespace taint
+} // namespace vsfs
+
+#endif // VSFS_TAINT_WITNESSVERIFIER_H

@@ -240,6 +240,9 @@ private:
     // null), then dereference the result.
     VarID CZ = B.alloc("bug.null.cell", "bug.null.cell_obj", ObjKind::Stack,
                        /*Singleton=*/true, 1);
+    // The null-producing load reads the never-initialised cell, so it is
+    // itself an uninitialised read (the uread spec's sink).
+    recordBug(CheckKind::UninitRead, nextInst());
     VarID NZ = B.load("bug.null.p", CZ);
     recordBug(CheckKind::NullDeref, nextInst());
     B.load("bug.null.use", NZ);
@@ -273,6 +276,46 @@ private:
     VarID LC = B.alloc("ok.leak.p", "ok.leak.obj", ObjKind::Heap,
                        /*Singleton=*/false, 1);
     B.free(LC);
+
+    // (8) Uninitialised read: a load from a cell nothing ever stores to.
+    // The loaded value is deliberately never dereferenced, so the pattern
+    // stays out of the null-deref ground truth.
+    VarID CU = B.alloc("bug.uread.cell", "bug.uread.obj", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    recordBug(CheckKind::UninitRead, nextInst());
+    B.load("bug.uread.use", CU);
+
+    // (9) Clean uninitialised read: same shape, but the cell is written
+    // first — no backend reports it.
+    VarID CI = B.alloc("ok.uread.cell", "ok.uread.obj", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    VarID VI = B.alloc("ok.uread.v", "ok.uread.val", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    B.store(VI, CI);
+    B.load("ok.uread.use", CI);
+
+    // (10) Untracked free: releasing stack memory.
+    VarID SU = B.alloc("bug.ufree.p", "bug.ufree.obj", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    recordBug(CheckKind::UntrackedFree, nextInst());
+    B.free(SU);
+
+    // (11) Clean untracked free (ander-only FP): a singleton slot first
+    // holds a stack address, then is strongly updated to a heap address
+    // before the reload feeds a free. Flow-sensitive backends free exactly
+    // the heap object; Andersen's pt = {stack, heap} makes the free look
+    // like it may release stack memory. The heap object is freed, so it
+    // stays out of the leak ground truth.
+    VarID S3 = B.alloc("ok.ufree.slot", "ok.ufree.slot_obj", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    VarID SS = B.alloc("ok.ufree.s", "ok.ufree.stack", ObjKind::Stack,
+                       /*Singleton=*/true, 1);
+    VarID HH = B.alloc("ok.ufree.h", "ok.ufree.heap", ObjKind::Heap,
+                       /*Singleton=*/false, 1);
+    B.store(SS, S3);
+    B.store(HH, S3); // Strong update: kills the stack address in the slot.
+    VarID PF2 = B.load("ok.ufree.pf", S3);
+    B.free(PF2);
   }
 
   void buildFunction(FunID F) {

@@ -277,7 +277,7 @@ TEST(StatsJson, GoldenShapeForAllAnalyses) {
   expectWellFormedJson(J);
 
   // Top-level shape.
-  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v4\""), std::string::npos);
+  EXPECT_NE(J.find("\"schema\": \"vsfs-stats-v5\""), std::string::npos);
   EXPECT_NE(J.find("\"mode\": \"exhaustive\""), std::string::npos);
   for (const char *Key :
        {"\"module\"", "\"pipeline\"", "\"analyses\"", "\"instructions\"",

@@ -44,6 +44,20 @@ fi
 # 2: input errors — unreadable file.
 expect 2 "missing input file"    -- /nonexistent.ir
 
+# Taint spec engine (--check-specs): a malformed spec file is a usage
+# error (1), an unreadable one an input error (2); --findings-json needs
+# --check-specs and a single analysis.
+SPEC=$(mktemp)
+printf 'spec broken\n  bogus clause\nend\n' > "$SPEC"
+expect 1 "malformed spec file"   -- --gen 3 --check-specs="$SPEC"
+rm -f "$SPEC"
+expect 2 "missing spec file"     -- --gen 3 --check-specs=/nonexistent.spec
+expect 1 "empty --check-specs"   -- --gen 3 --check-specs=
+expect 1 "findings-json without specs" -- --gen 3 --findings-json
+expect 1 "findings-json with analysis=all" \
+  -- --gen 3 --analysis=all --check-specs=builtin --findings-json
+expect 0 "builtin spec run"      -- --gen 3 --check-specs=builtin
+
 # 3: budget exhausted under --on-exhaustion=fail; no result printed.
 OUT=$("$WPA" --bench du --analysis=vsfs --step-budget=1 \
       --on-exhaustion=fail --print-pts 2>/dev/null)

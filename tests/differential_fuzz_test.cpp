@@ -73,8 +73,9 @@ Snapshot solveAndCheck(const workload::GenConfig &C, adt::PtsRepr Repr,
     auto Ctx = buildFromConfig(C, /*ConnectAuxIndirectCalls=*/true);
     if (!Ctx)
       return Snap;
-    if (Coalesce)
+    if (Coalesce) {
       EXPECT_TRUE(Ctx->coalesce()) << What << ": coalesce pass refused";
+    }
     const AnalysisRunner &Runner = AnalysisRunner::registry();
     auto Ander = Runner.run(*Ctx, "ander");
     auto Sfs = Runner.run(*Ctx, "sfs");

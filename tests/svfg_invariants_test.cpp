@@ -273,12 +273,14 @@ TEST_P(CoalesceInvariants, RewriteIsStructurallySound) {
       EXPECT_FALSE(CM.isMember(N)) << "member still has out-edges";
       EXPECT_FALSE(CM.isMember(E.Dst)) << "edge points at a member";
       EXPECT_TRUE(Seen.emplace(E.Dst, E.Obj).second) << "duplicate edge";
-      if (N == E.Dst)
+      if (N == E.Dst) {
         EXPECT_EQ(G.node(N).Kind, NodeKind::Inst)
             << "self-loop survived on a relay node";
+      }
     }
-    if (CM.isMember(N))
+    if (CM.isMember(N)) {
       EXPECT_TRUE(G.indirectSuccs(N).empty() && G.directSuccs(N).empty());
+    }
   }
   EXPECT_EQ(LiveEdges, G.numIndirectEdges());
 

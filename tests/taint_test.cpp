@@ -1,0 +1,497 @@
+//===- taint_test.cpp - Declarative taint spec engine -----------*- C++ -*-===//
+///
+/// \file
+/// The spec engine's contract (docs/CHECKERS.md):
+///  - the spec-file grammar parses, and malformed input fails with
+///    line-numbered messages;
+///  - the built-in uaf/dfree/null/leak specs reproduce the legacy
+///    \c checker::runCheckers findings bit-identically on every backend
+///    (the legacy engine stays as the differential oracle);
+///  - every emitted finding carries a path witness that \c WitnessVerifier
+///    replays independently, and tampered witnesses are rejected;
+///  - sanitizers kill a label along the path;
+///  - the spec-only uread/ufree rules report crafted bugs, stay silent on
+///    their clean twins under flow-sensitive backends, and show the
+///    expected ander-only false positives;
+///  - demand mode produces the identical finding set and its witnesses
+///    also verify;
+///  - the pointer-aware free-of-non-heap IR lint fires exactly on frees
+///    that cannot release heap memory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/AnalysisRunner.h"
+#include "query/QueryEngine.h"
+#include "taint/TaintEngine.h"
+#include "taint/TaintSpec.h"
+#include "taint/WitnessVerifier.h"
+#include "workload/BenchmarkSuite.h"
+
+#include <algorithm>
+
+using namespace vsfs;
+using namespace vsfs::test;
+using checker::CheckKind;
+
+namespace {
+
+/// Runs one backend and the spec engine over it; keeps the analysis alive
+/// alongside the findings.
+struct SpecRun {
+  core::AnalysisRunner::RunResult R;
+  std::vector<taint::TaintFinding> Findings;
+};
+
+SpecRun runSpecs(core::AnalysisContext &Ctx, const char *Analysis,
+                 const std::vector<taint::TaintSpec> &Specs) {
+  SpecRun Out;
+  Out.R = core::AnalysisRunner::registry().run(Ctx, Analysis);
+  EXPECT_NE(Out.R.Analysis, nullptr) << "unknown analysis " << Analysis;
+  Out.Findings = taint::runTaint(Ctx.svfg(), *Out.R.Analysis, Specs);
+  return Out;
+}
+
+uint32_t countKind(const std::vector<taint::TaintFinding> &Findings,
+                   CheckKind K) {
+  uint32_t N = 0;
+  for (const taint::TaintFinding &F : Findings)
+    N += F.F.Kind == K;
+  return N;
+}
+
+/// The instruction that defines the variable named \p Name.
+ir::InstID defSite(const ir::Module &M, const std::string &Name) {
+  ir::VarID V = findVar(M, Name);
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).definesVar() && M.inst(I).Dst == V)
+      return I;
+  ADD_FAILURE() << "no definition of " << Name;
+  return ir::InvalidInst;
+}
+
+/// The free instruction whose pointer operand is named \p Name.
+ir::InstID freeSite(const ir::Module &M, const std::string &Name) {
+  ir::VarID V = findVar(M, Name);
+  for (ir::InstID I = 0; I < M.numInstructions(); ++I)
+    if (M.inst(I).Kind == ir::InstKind::Free && M.inst(I).freePtr() == V)
+      return I;
+  ADD_FAILURE() << "no free of " << Name;
+  return ir::InvalidInst;
+}
+
+constexpr const char *UafIR = R"(
+func @main() {
+entry:
+  %h = alloc [heap]
+  %v = alloc
+  store %v -> %h
+  free %h
+  %use = load %h
+  ret %use
+}
+)";
+
+} // namespace
+
+// --- Spec grammar --------------------------------------------------------
+
+TEST(TaintSpecParse, AcceptsFullGrammar) {
+  const char *Text = R"(
+# a user rule with every clause
+spec my-uaf
+  report uaf
+  source free
+  flow object
+  sink load,store
+  sanitize inst 3,1
+  sanitize kind copy,phi
+end
+
+spec my-leak
+  report leak
+  source heap-alloc
+  flow none
+  sink unfreed
+end
+)";
+  std::vector<taint::TaintSpec> Specs;
+  std::string Error;
+  ASSERT_TRUE(taint::parseTaintSpecs(Text, Specs, Error)) << Error;
+  ASSERT_EQ(Specs.size(), 2u);
+  EXPECT_EQ(Specs[0].Name, "my-uaf");
+  EXPECT_EQ(Specs[0].Kind, CheckKind::UseAfterFree);
+  EXPECT_EQ(Specs[0].Flow, taint::FlowDomain::ObjectFlow);
+  EXPECT_EQ(Specs[0].Sinks, taint::SinkLoad | taint::SinkStore);
+  EXPECT_EQ(Specs[0].SanitizerInsts, (std::vector<ir::InstID>{1, 3}));
+  EXPECT_TRUE(Specs[0].isSanitizerKind(ir::InstKind::Copy));
+  EXPECT_TRUE(Specs[0].isSanitizerKind(ir::InstKind::Phi));
+  EXPECT_FALSE(Specs[0].isSanitizerKind(ir::InstKind::Load));
+  EXPECT_EQ(Specs[1].Kind, CheckKind::Leak);
+  EXPECT_EQ(Specs[1].Sinks, taint::SinkUnfreed);
+}
+
+TEST(TaintSpecParse, RejectsMalformedWithLineNumbers) {
+  struct Case {
+    const char *Text;
+    const char *Hint;
+  };
+  const Case Cases[] = {
+      {"", "no specs"},
+      {"report uaf\n", "line 1"},                     // clause outside spec
+      {"spec a\n  report bogus\nend\n", "line 2"},    // unknown kind
+      {"spec a\n  report uaf\n", "not closed"},       // missing end
+      {"spec a\n  source free\n  flow object\n  sink load\nend\n"
+       "spec a\n  source free\n  flow object\n  sink load\nend\n",
+       "duplicate"},
+      {"spec a\n  report leak\n  source heap-alloc\n  flow none\n"
+       "  sink load\nend\n",
+       "line 6"}, // leak must sink unfreed; caught by end's validation
+      {"spec a\n  report uaf\n  source uninit-load\n  flow object\n"
+       "  sink load\nend\n",
+       "line 6"}, // object flow cannot source uninit-load
+  };
+  for (const Case &C : Cases) {
+    std::vector<taint::TaintSpec> Specs;
+    std::string Error;
+    EXPECT_FALSE(taint::parseTaintSpecs(C.Text, Specs, Error))
+        << "should reject: " << C.Text;
+    EXPECT_NE(Error.find(C.Hint), std::string::npos)
+        << "error for {" << C.Text << "} was: " << Error;
+  }
+}
+
+TEST(TaintSpecParse, BuiltinsFilterByKind) {
+  EXPECT_EQ(taint::builtinSpecs().size(), 6u);
+  std::vector<taint::TaintSpec> Uaf =
+      taint::builtinSpecs(checker::checkBit(CheckKind::UseAfterFree));
+  ASSERT_EQ(Uaf.size(), 1u);
+  EXPECT_EQ(Uaf[0].Name, "uaf");
+  std::vector<taint::TaintSpec> New =
+      taint::builtinSpecs(checker::checkBit(CheckKind::UninitRead) |
+                          checker::checkBit(CheckKind::UntrackedFree));
+  ASSERT_EQ(New.size(), 2u);
+  EXPECT_EQ(New[0].Name, "uread");
+  EXPECT_EQ(New[1].Name, "ufree");
+}
+
+// --- Differential: built-ins == legacy checkers --------------------------
+
+TEST(TaintEngineTest, BuiltinsMatchLegacyCheckersOnEveryBackend) {
+  workload::GenConfig Config;
+  Config.Seed = 7;
+  Config.InjectBugs = true;
+  checker::GroundTruth GT;
+  auto Module = workload::generateProgram(Config, &GT);
+  core::AnalysisContext Ctx;
+  Ctx.module() = std::move(*Module);
+  Ctx.build();
+
+  std::vector<taint::TaintSpec> Legacy =
+      taint::builtinSpecs(checker::LegacyChecks);
+  for (const char *Backend : {"ander", "iter", "sfs", "vsfs"}) {
+    SpecRun Run = runSpecs(Ctx, Backend, Legacy);
+    std::vector<checker::Finding> Projected =
+        taint::toCheckerFindings(Run.Findings);
+    std::vector<checker::Finding> Oracle =
+        checker::runCheckers(Ctx.svfg(), *Run.R.Analysis);
+    ASSERT_EQ(Projected.size(), Oracle.size()) << Backend;
+    for (size_t I = 0; I < Oracle.size(); ++I)
+      EXPECT_TRUE(Projected[I] == Oracle[I])
+          << Backend << ": finding " << I << " differs:\n  spec:   "
+          << checker::printFinding(Ctx.module(), Projected[I])
+          << "\n  legacy: "
+          << checker::printFinding(Ctx.module(), Oracle[I]);
+
+    // And with the full builtin set, every finding's witness verifies.
+    SpecRun Full = runSpecs(Ctx, Backend, taint::builtinSpecs());
+    taint::WitnessVerifier V(Ctx.svfg(), *Full.R.Analysis);
+    EXPECT_EQ(V.verifyAll(taint::builtinSpecs(), Full.Findings),
+              Full.Findings.size())
+        << Backend;
+    for (const taint::TaintFinding &F : Full.Findings)
+      EXPECT_EQ(F.V, taint::Verdict::Verified)
+          << Backend << ": " << checker::printFinding(Ctx.module(), F.F)
+          << " note: " << F.Note;
+  }
+}
+
+// --- Witnesses -----------------------------------------------------------
+
+TEST(TaintWitness, EndpointsAreSourceAndSink) {
+  auto Ctx = buildFromText(UafIR);
+  ASSERT_TRUE(Ctx);
+  std::vector<taint::TaintSpec> Specs =
+      taint::builtinSpecs(checker::checkBit(CheckKind::UseAfterFree));
+  SpecRun Run = runSpecs(*Ctx, "vsfs", Specs);
+  ASSERT_EQ(Run.Findings.size(), 1u);
+  const taint::TaintFinding &F = Run.Findings[0];
+  const ir::Module &M = Ctx->module();
+  ASSERT_GE(F.Witness.size(), 2u);
+  EXPECT_EQ(F.Witness.front(), Ctx->svfg().instNode(freeSite(M, "h")));
+  EXPECT_EQ(F.Witness.back(), Ctx->svfg().instNode(defSite(M, "use")));
+  EXPECT_EQ(F.F.Sink, defSite(M, "use"));
+  EXPECT_EQ(F.F.Source, freeSite(M, "h"));
+}
+
+TEST(TaintWitness, TamperedWitnessIsRejected) {
+  auto Ctx = buildFromText(UafIR);
+  ASSERT_TRUE(Ctx);
+  std::vector<taint::TaintSpec> Specs =
+      taint::builtinSpecs(checker::checkBit(CheckKind::UseAfterFree));
+  SpecRun Run = runSpecs(*Ctx, "vsfs", Specs);
+  ASSERT_EQ(Run.Findings.size(), 1u);
+  taint::WitnessVerifier V(Ctx->svfg(), *Run.R.Analysis);
+
+  // Pristine: verifies.
+  taint::TaintFinding Good = Run.Findings[0];
+  EXPECT_TRUE(V.verify(Specs[0], Good));
+
+  // Truncated chain: the remaining node is not a free site.
+  taint::TaintFinding Truncated = Run.Findings[0];
+  Truncated.Witness.erase(Truncated.Witness.begin());
+  EXPECT_FALSE(V.verify(Specs[0], Truncated));
+  EXPECT_EQ(Truncated.V, taint::Verdict::Unverifiable);
+  EXPECT_FALSE(Truncated.Note.empty());
+
+  // Wrong object: the hop is no longer an edge labelled with it.
+  taint::TaintFinding WrongObj = Run.Findings[0];
+  WrongObj.F.Obj = WrongObj.F.Obj + 1;
+  EXPECT_FALSE(V.verify(Specs[0], WrongObj));
+
+  // Fabricated hop: a node the graph has no edge to from the source.
+  taint::TaintFinding BadHop = Run.Findings[0];
+  BadHop.Witness.insert(BadHop.Witness.begin() + 1, BadHop.Witness.front());
+  EXPECT_FALSE(V.verify(Specs[0], BadHop));
+}
+
+TEST(TaintEngineTest, SanitizerKillsPath) {
+  auto Ctx = buildFromText(UafIR);
+  ASSERT_TRUE(Ctx);
+  const ir::Module &M = Ctx->module();
+
+  taint::TaintSpec S;
+  S.Name = "uaf-sanitized";
+  S.Kind = CheckKind::UseAfterFree;
+  S.Source = taint::SourceEvent::FreeSite;
+  S.Flow = taint::FlowDomain::ObjectFlow;
+  S.Sinks = taint::SinkLoad | taint::SinkStore;
+  S.SanitizerInsts = {defSite(M, "use")};
+  std::string Error;
+  ASSERT_TRUE(taint::validateSpec(S, Error)) << Error;
+
+  SpecRun Sanitized = runSpecs(*Ctx, "vsfs", {S});
+  EXPECT_EQ(Sanitized.Findings.size(), 0u)
+      << "sanitizer on the sink must kill the label";
+
+  // Sanitizing by an irrelevant kind changes nothing.
+  taint::TaintSpec S2 = S;
+  S2.SanitizerInsts.clear();
+  S2.SanitizerKinds = 1u << static_cast<uint32_t>(ir::InstKind::Phi);
+  ASSERT_TRUE(taint::validateSpec(S2, Error)) << Error;
+  SpecRun Unsanitized = runSpecs(*Ctx, "vsfs", {S2});
+  EXPECT_EQ(Unsanitized.Findings.size(), 1u);
+}
+
+// --- The spec-only rules -------------------------------------------------
+
+TEST(TaintNewRules, UninitReadReportsAndClearsOnInit) {
+  const char *IR = R"(
+func @main() {
+entry:
+  %bad = alloc
+  %v1 = load %bad
+  %good = alloc
+  %init = alloc
+  store %init -> %good
+  %v2 = load %good
+  ret %v2
+}
+)";
+  auto Ctx = buildFromText(IR);
+  ASSERT_TRUE(Ctx);
+  std::vector<taint::TaintSpec> Specs =
+      taint::builtinSpecs(checker::checkBit(CheckKind::UninitRead));
+  SpecRun Run = runSpecs(*Ctx, "sfs", Specs);
+  ASSERT_EQ(Run.Findings.size(), 1u);
+  EXPECT_EQ(Run.Findings[0].F.Kind, CheckKind::UninitRead);
+  EXPECT_EQ(Run.Findings[0].F.Sink, defSite(Ctx->module(), "v1"));
+  taint::WitnessVerifier V(Ctx->svfg(), *Run.R.Analysis);
+  EXPECT_EQ(V.verifyAll(Specs, Run.Findings), 1u);
+}
+
+TEST(TaintNewRules, UntrackedFreeReportsStackAndGlobalRoots) {
+  const char *IR = R"(
+global @g
+
+func @main() {
+entry:
+  %s = alloc
+  free %s
+  %h = alloc [heap]
+  free %h
+  %pg = copy @g
+  free %pg
+  ret %s
+}
+)";
+  auto Ctx = buildFromText(IR);
+  ASSERT_TRUE(Ctx);
+  std::vector<taint::TaintSpec> Specs =
+      taint::builtinSpecs(checker::checkBit(CheckKind::UntrackedFree));
+  SpecRun Run = runSpecs(*Ctx, "sfs", Specs);
+  // The stack free and the global free report; the heap free does not.
+  EXPECT_EQ(countKind(Run.Findings, CheckKind::UntrackedFree), 2u);
+  for (const taint::TaintFinding &F : Run.Findings)
+    EXPECT_NE(F.F.Sink, freeSite(Ctx->module(), "h"));
+  taint::WitnessVerifier V(Ctx->svfg(), *Run.R.Analysis);
+  EXPECT_EQ(V.verifyAll(Specs, Run.Findings), Run.Findings.size());
+}
+
+TEST(TaintNewRules, UntrackedFreeCleanTwinIsAnderOnly) {
+  // The slot is strongly updated from a stack address to a heap address
+  // before the reload feeds the free: flow-sensitive backends free exactly
+  // the heap object, Andersen conflates both stores.
+  const char *IR = R"(
+func @main() {
+entry:
+  %slot = alloc
+  %s = alloc
+  %h = alloc [heap]
+  store %s -> %slot
+  store %h -> %slot
+  %p = load %slot
+  free %p
+  ret %p
+}
+)";
+  auto Ctx = buildFromText(IR);
+  ASSERT_TRUE(Ctx);
+  std::vector<taint::TaintSpec> Specs =
+      taint::builtinSpecs(checker::checkBit(CheckKind::UntrackedFree));
+  SpecRun Sfs = runSpecs(*Ctx, "sfs", Specs);
+  EXPECT_EQ(countKind(Sfs.Findings, CheckKind::UntrackedFree), 0u);
+  SpecRun Ander = runSpecs(*Ctx, "ander", Specs);
+  EXPECT_EQ(countKind(Ander.Findings, CheckKind::UntrackedFree), 1u);
+  // The ander false positive still carries a replayable witness: it is a
+  // faithful report of what *that backend's* results imply.
+  taint::WitnessVerifier V(Ctx->svfg(), *Ander.R.Analysis);
+  EXPECT_EQ(V.verifyAll(Specs, Ander.Findings), Ander.Findings.size());
+}
+
+TEST(TaintNewRules, InjectedPatternsScoreExactly) {
+  workload::GenConfig Config;
+  Config.Seed = 7;
+  Config.InjectBugs = true;
+  checker::GroundTruth GT;
+  auto Module = workload::generateProgram(Config, &GT);
+  core::AnalysisContext Ctx;
+  Ctx.module() = std::move(*Module);
+  Ctx.build();
+
+  std::vector<taint::TaintSpec> Specs = taint::builtinSpecs();
+  SpecRun Sfs = runSpecs(Ctx, "sfs", Specs);
+  auto Scores =
+      checker::scoreFindings(taint::toCheckerFindings(Sfs.Findings), GT);
+  const auto &URead = Scores[static_cast<uint32_t>(CheckKind::UninitRead)];
+  const auto &UFree = Scores[static_cast<uint32_t>(CheckKind::UntrackedFree)];
+  // Both injected uread sites (the dedicated pattern and the null
+  // pattern's source load) and the injected ufree are found...
+  EXPECT_EQ(URead.TP, 2u);
+  EXPECT_EQ(URead.FN, 0u);
+  EXPECT_EQ(UFree.TP, 1u);
+  EXPECT_EQ(UFree.FN, 0u);
+  // ...and the clean ufree twin stays silent under sfs but not ander.
+  EXPECT_EQ(UFree.FP, 0u);
+  SpecRun Ander = runSpecs(Ctx, "ander", Specs);
+  auto AnderScores =
+      checker::scoreFindings(taint::toCheckerFindings(Ander.Findings), GT);
+  EXPECT_GE(AnderScores[static_cast<uint32_t>(CheckKind::UntrackedFree)].FP,
+            1u);
+  EXPECT_GT(AnderScores[static_cast<uint32_t>(CheckKind::UninitRead)].FP,
+            URead.FP);
+}
+
+// --- Demand mode ---------------------------------------------------------
+
+TEST(TaintDemand, MatchesExhaustiveAndVerifies) {
+  workload::GenConfig Config;
+  Config.Seed = 7;
+  Config.InjectBugs = true;
+  auto Module = workload::generateProgram(Config, nullptr);
+  core::AnalysisContext Ctx;
+  Ctx.module() = std::move(*Module);
+  Ctx.build();
+
+  std::vector<taint::TaintSpec> Specs = taint::builtinSpecs();
+  SpecRun Exhaustive = runSpecs(Ctx, "vsfs", Specs);
+
+  query::QueryEngine::Options QO;
+  QO.Solver = "vsfs";
+  query::QueryEngine Engine(Ctx, QO);
+  std::vector<taint::TaintFinding> Demand =
+      query::runTaintDemand(Engine, Specs);
+
+  // Identical findings (witness routes may differ; the projection is the
+  // finding identity the differential contract is about).
+  EXPECT_EQ(taint::toCheckerFindings(Demand),
+            taint::toCheckerFindings(Exhaustive.Findings));
+
+  // Every demand witness replays against the engine's oracle view.
+  taint::WitnessVerifier V(Ctx.svfg(), Engine);
+  EXPECT_EQ(V.verifyAll(Specs, Demand), Demand.size());
+  for (const taint::TaintFinding &F : Demand)
+    EXPECT_EQ(F.V, taint::Verdict::Verified)
+        << checker::printFinding(Ctx.module(), F.F) << " note: " << F.Note;
+}
+
+// --- The pointer-aware lint ----------------------------------------------
+
+TEST(LintTest, FlagsFreeOfNonHeapTarget) {
+  const char *IR = R"(
+func @main() {
+entry:
+  %s = alloc
+  free %s
+  %h = alloc [heap]
+  free %h
+  ret %h
+}
+)";
+  auto Ctx = buildFromText(IR);
+  ASSERT_TRUE(Ctx);
+  const ir::Module &M = Ctx->module();
+  auto AuxPts = [&Ctx](ir::VarID V) { return &Ctx->andersen().ptsOfVar(V); };
+
+  std::vector<std::string> Warnings = ir::lintModule(M, AuxPts);
+  uint32_t NonHeapFrees = 0;
+  for (const std::string &W : Warnings)
+    NonHeapFrees += W.find("cannot release a heap object") != std::string::npos;
+  EXPECT_EQ(NonHeapFrees, 1u) << "only the stack free should be flagged";
+
+  // Without a points-to view the pointer-aware lints stay off.
+  for (const std::string &W : ir::lintModule(M))
+    EXPECT_EQ(W.find("cannot release"), std::string::npos) << W;
+}
+
+TEST(LintTest, FlagsFreeOfNothing) {
+  // The freed pointer is loaded from a never-initialised cell: its
+  // points-to set is empty, so the free releases nothing on any path.
+  const char *IR = R"(
+func @main() {
+entry:
+  %cell = alloc
+  %p = load %cell
+  free %p
+  ret %p
+}
+)";
+  auto Ctx = buildFromText(IR);
+  ASSERT_TRUE(Ctx);
+  auto AuxPts = [&Ctx](ir::VarID V) { return &Ctx->andersen().ptsOfVar(V); };
+  bool Found = false;
+  for (const std::string &W : ir::lintModule(Ctx->module(), AuxPts))
+    Found |= W.find("points to nothing") != std::string::npos;
+  EXPECT_TRUE(Found);
+}

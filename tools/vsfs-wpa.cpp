@@ -30,6 +30,9 @@
 #include "support/Format.h"
 #include "support/MemUsage.h"
 #include "support/Timer.h"
+#include "taint/Report.h"
+#include "taint/TaintEngine.h"
+#include "taint/WitnessVerifier.h"
 #include "workload/BenchmarkSuite.h"
 
 #include <cstdio>
@@ -69,6 +72,12 @@ struct Options {
   adt::PtsRepr PtsRepr = adt::PtsRepr::SBV;
   bool Coalesce = false; ///< --coalesce=on: pre-solve SVFG coalescing.
   uint32_t CheckMask = 0; ///< Checkers to run; 0 = none.
+  /// --check-specs: "builtin" (the built-in rules, filtered by CheckMask)
+  /// or a spec-file path. Non-empty switches checking to the taint spec
+  /// engine (src/taint/) with witness verification; plain --check keeps
+  /// the legacy walk.
+  std::string CheckSpecs;
+  std::string FindingsJson; ///< --findings-json target; "-" = stdout.
   bool InjectBugs = false;
   bool Lint = false;
   bool ListAnalyses = false;
@@ -117,8 +126,18 @@ void usage(const char *Prog) {
       "                        solving; results are bit-identical\n"
       "                        (docs/COALESCING.md)\n"
       "  --check=KINDS         run bug checkers on each analysis's result:\n"
-      "                        comma list of uaf | dfree | null | leak | "
-      "all\n"
+      "                        comma list of uaf | dfree | null | leak |\n"
+      "                        uread | ufree | all (uread/ufree need the\n"
+      "                        spec engine: --check-specs)\n"
+      "  --check-specs=S       run the declarative taint spec engine\n"
+      "                        (docs/CHECKERS.md) instead of the legacy\n"
+      "                        walk: 'builtin' (the built-in rules,\n"
+      "                        filtered by --check) or a spec-file path.\n"
+      "                        Every finding carries an independently\n"
+      "                        verified source→sink path witness\n"
+      "  --findings-json[=F]   write spec-engine findings (witnesses,\n"
+      "                        verdicts) as JSON; needs --check-specs and\n"
+      "                        a single --analysis\n"
       "  --inject-bugs         seed the generated program (--gen/--bench)\n"
       "                        with known bug patterns; checker findings "
       "are\n"
@@ -225,12 +244,23 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!checker::parseCheckKinds(VC, Opts.CheckMask)) {
         std::fprintf(stderr,
                      "error: bad --check spec '%s' (want a comma list of "
-                     "uaf | dfree | null | leak | all)\n",
+                     "uaf | dfree | null | leak | uread | ufree | all)\n",
                      VC);
         return ParseResult::Error;
       }
     } else if (Arg == "--check") {
       Opts.CheckMask = checker::AllChecks;
+    } else if (const char *VCS = Value("--check-specs=")) {
+      if (!*VCS) {
+        std::fprintf(stderr,
+                     "error: bad --check-specs '' (want builtin | FILE)\n");
+        return ParseResult::Error;
+      }
+      Opts.CheckSpecs = VCS;
+    } else if (Arg == "--findings-json") {
+      Opts.FindingsJson = "-";
+    } else if (const char *VFJ = Value("--findings-json=")) {
+      Opts.FindingsJson = VFJ;
     } else if (Arg == "--inject-bugs") {
       Opts.InjectBugs = true;
     } else if (Arg == "--lint") {
@@ -326,13 +356,27 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
     // Demand mode answers the checkers' questions from per-query slices;
     // without a client there is nothing to query, and "all" would mix
     // query scopes across backends.
-    if (!Opts.CheckMask) {
-      std::fprintf(stderr, "error: --mode=demand needs --check\n");
+    if (!Opts.CheckMask && Opts.CheckSpecs.empty()) {
+      std::fprintf(stderr,
+                   "error: --mode=demand needs --check or --check-specs\n");
       return ParseResult::Error;
     }
     if (Opts.Analysis == "all") {
       std::fprintf(stderr,
                    "error: --mode=demand needs one --analysis, not 'all'\n");
+      return ParseResult::Error;
+    }
+  }
+  if (!Opts.FindingsJson.empty()) {
+    // The findings document names one analysis; "all" would interleave
+    // finding sets with different precision into one file.
+    if (Opts.CheckSpecs.empty()) {
+      std::fprintf(stderr, "error: --findings-json needs --check-specs\n");
+      return ParseResult::Error;
+    }
+    if (Opts.Analysis == "all") {
+      std::fprintf(stderr,
+                   "error: --findings-json needs one --analysis, not 'all'\n");
       return ParseResult::Error;
     }
   }
@@ -462,8 +506,115 @@ void runCheckersFor(const core::AnalysisContext &Ctx, const std::string &Name,
                  KindMask, GT, CG, AuxPrecision);
 }
 
+/// The spec-engine analogue of \c reportFindings: prints each finding once
+/// with its spec name and witness verdict, fills \p CG with the same
+/// per-kind counters the legacy path emits (computed over the projected
+/// legacy finding shape so the numbers are directly comparable), extends
+/// \p TG (the "taint" stats-json group, pre-seeded with the engine's
+/// counters) with the verdict tally, and writes --findings-json when
+/// requested. Returns false only when that write failed.
+bool reportTaintFindings(const core::AnalysisContext &Ctx,
+                         const std::string &Name, const Options &Opts,
+                         const std::vector<taint::TaintSpec> &Specs,
+                         std::vector<taint::TaintFinding> TFs,
+                         uint32_t ReportMask, const checker::GroundTruth *GT,
+                         StatGroup &CG, StatGroup &TG, bool AuxPrecision) {
+  if (AuxPrecision)
+    for (taint::TaintFinding &TF : TFs)
+      TF.F.AuxPrecision = true;
+  uint64_t Verified = 0, Unverifiable = 0;
+  for (const taint::TaintFinding &TF : TFs) {
+    Verified += TF.V == taint::Verdict::Verified;
+    Unverifiable += TF.V == taint::Verdict::Unverifiable;
+  }
+  std::printf("--- %s: %zu spec finding(s) from %zu spec(s), %llu verified, "
+              "%llu unverifiable%s ---\n",
+              Name.c_str(), TFs.size(), Specs.size(),
+              (unsigned long long)Verified, (unsigned long long)Unverifiable,
+              AuxPrecision ? " [aux-precision]" : "");
+  for (const taint::TaintFinding &TF : TFs) {
+    std::printf("  %s [spec %s, %s, witness %zu node(s)]\n",
+                checker::printFinding(Ctx.module(), TF.F).c_str(),
+                Specs[TF.Spec].Name.c_str(), taint::verdictName(TF.V),
+                TF.Witness.size());
+    if (!TF.Note.empty())
+      std::printf("    note: %s\n", TF.Note.c_str());
+  }
+
+  // Legacy-compatible counters and ground-truth scoring over the projected
+  // finding shape (sorted, deduplicated across specs — what runCheckers
+  // would have reported).
+  std::vector<checker::Finding> Projected = taint::toCheckerFindings(TFs);
+  uint32_t PerKind[checker::NumCheckKinds] = {};
+  for (const checker::Finding &F : Projected)
+    ++PerKind[static_cast<uint32_t>(F.Kind)];
+  for (uint32_t K = 0; K < checker::NumCheckKinds; ++K) {
+    if (!(ReportMask & (1u << K)))
+      continue;
+    const char *Flag =
+        checker::checkKindFlag(static_cast<checker::CheckKind>(K));
+    CG.get(std::string(Flag) + "_findings") = PerKind[K];
+  }
+  if (GT) {
+    auto Scores = checker::scoreFindings(Projected, *GT);
+    std::printf("  vs ground truth:");
+    for (uint32_t K = 0; K < checker::NumCheckKinds; ++K) {
+      if (!(ReportMask & (1u << K)))
+        continue;
+      const checker::CheckScore &S = Scores[K];
+      const char *Flag =
+          checker::checkKindFlag(static_cast<checker::CheckKind>(K));
+      std::printf(" %s TP=%u FP=%u FN=%u", Flag, S.TP, S.FP, S.FN);
+      CG.get(std::string(Flag) + "_tp") = S.TP;
+      CG.get(std::string(Flag) + "_fp") = S.FP;
+      CG.get(std::string(Flag) + "_fn") = S.FN;
+    }
+    std::printf("\n");
+  }
+
+  TG.get("verified") = Verified;
+  TG.get("unverifiable") = Unverifiable;
+
+  if (Opts.FindingsJson.empty())
+    return true;
+  return writeOut(Opts.FindingsJson,
+                  taint::findingsJson(Ctx.module(), Specs, TFs, Name));
+}
+
 int run(const Options &Opts) {
   adt::setPointsToRepr(Opts.PtsRepr);
+
+  // Resolve the taint spec set first: a bad spec set should fail before
+  // any analysis work happens.
+  const bool UseTaint = !Opts.CheckSpecs.empty();
+  std::vector<taint::TaintSpec> Specs;
+  if (UseTaint) {
+    if (Opts.CheckSpecs == "builtin") {
+      Specs = taint::builtinSpecs(Opts.CheckMask ? Opts.CheckMask
+                                                 : checker::AllChecks);
+    } else {
+      std::ifstream In(Opts.CheckSpecs);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n",
+                     Opts.CheckSpecs.c_str());
+        return ExitInput;
+      }
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      std::string Error;
+      if (!taint::parseTaintSpecs(Buffer.str(), Specs, Error)) {
+        std::fprintf(stderr, "error: %s: %s\n", Opts.CheckSpecs.c_str(),
+                     Error.c_str());
+        return ExitUsage;
+      }
+    }
+  }
+  // Which finding kinds the spec set can report — drives the per-kind
+  // stats-json counters and ground-truth scoring columns.
+  uint32_t ReportMask = 0;
+  for (const taint::TaintSpec &S : Specs)
+    ReportMask |= checker::checkBit(S.Kind);
+
   core::AnalysisContext Ctx;
   checker::GroundTruth GT;
   bool HaveGT = false;
@@ -501,13 +652,6 @@ int run(const Options &Opts) {
     Ctx.module() = std::move(
         *workload::generateProgram(C, Opts.InjectBugs ? &GT : nullptr));
     HaveGT = Opts.InjectBugs;
-  }
-
-  if (Opts.Lint) {
-    std::vector<std::string> Warnings = ir::lintModule(Ctx.module());
-    std::printf("--- lint: %zu warning(s) ---\n", Warnings.size());
-    for (const std::string &W : Warnings)
-      std::printf("  warning: %s\n", W.c_str());
   }
 
   if (Opts.PrintModule)
@@ -566,6 +710,21 @@ int run(const Options &Opts) {
                 Ctx.coalesceSeconds());
   }
 
+  // Lint after the pipeline build so the pointer-aware lints can consult
+  // the auxiliary analysis; a cancelled build degrades to the structural
+  // lints only.
+  if (Opts.Lint) {
+    std::vector<std::string> Warnings =
+        Built ? ir::lintModule(Ctx.module(),
+                               [&Ctx](ir::VarID V) {
+                                 return &Ctx.andersen().ptsOfVar(V);
+                               })
+              : ir::lintModule(Ctx.module());
+    std::printf("--- lint: %zu warning(s) ---\n", Warnings.size());
+    for (const std::string &W : Warnings)
+      std::printf("  warning: %s\n", W.c_str());
+  }
+
   const core::AnalysisRunner &Runner = core::AnalysisRunner::registry();
   std::vector<std::string> Names;
   if (Opts.Analysis == "all") {
@@ -583,6 +742,7 @@ int run(const Options &Opts) {
   const andersen::CallGraph *FinalCG = &Ctx.andersen().callGraph();
   std::vector<core::AnalysisRunner::RunResult> Results;
   std::vector<std::vector<StatGroup>> CheckerGroups;
+  bool WritesOk = true;
 
   if (!Built) {
     // The pipeline itself ran out of budget. Apply the degradation ladder
@@ -620,7 +780,7 @@ int run(const Options &Opts) {
         printPts(Ctx.module(), *R.Analysis, R.Name.c_str());
       if (Opts.Stats)
         std::printf("%s", core::statsText(R).c_str());
-      if (Opts.CheckMask)
+      if (Opts.CheckMask || UseTaint)
         std::printf("--- %s: checkers skipped (no SVFG: pipeline "
                     "cancelled) ---\n",
                     R.Name.c_str());
@@ -640,8 +800,19 @@ int run(const Options &Opts) {
     QO.QueryLimits.StepBudget = Opts.QueryStepBudget;
     query::QueryEngine Engine(Ctx, QO);
 
-    std::vector<checker::Finding> Findings =
-        query::runCheckersDemand(Engine, Opts.CheckMask);
+    std::vector<checker::Finding> Findings;
+    std::vector<taint::TaintFinding> TaintFindings;
+    StatGroup TG("taint");
+    if (UseTaint) {
+      TaintFindings = query::runTaintDemand(Engine, Specs, &TG);
+      // Replay witnesses against the engine's oracle view *before*
+      // takeRunResult() moves the scoped solver out (after which the
+      // oracle would answer at auxiliary precision).
+      taint::WitnessVerifier(Ctx.svfg(), Engine)
+          .verifyAll(Specs, TaintFindings);
+    } else {
+      Findings = query::runCheckersDemand(Engine, Opts.CheckMask);
+    }
     bool Degraded = Engine.degraded();
     StatGroup QueryStats = Engine.stats();
     core::AnalysisRunner::RunResult R = Engine.takeRunResult();
@@ -670,9 +841,18 @@ int run(const Options &Opts) {
       std::printf("%s", core::statsText(R).c_str());
     }
     StatGroup CG("checkers");
-    reportFindings(Ctx, R.Name + " (demand)", std::move(Findings),
-                   Opts.CheckMask, HaveGT ? &GT : nullptr, CG, Degraded);
-    CheckerGroups.push_back({std::move(CG), std::move(QueryStats)});
+    if (UseTaint) {
+      WritesOk &= reportTaintFindings(Ctx, R.Name + " (demand)", Opts, Specs,
+                                      std::move(TaintFindings), ReportMask,
+                                      HaveGT ? &GT : nullptr, CG, TG,
+                                      Degraded);
+      CheckerGroups.push_back(
+          {std::move(CG), std::move(TG), std::move(QueryStats)});
+    } else {
+      reportFindings(Ctx, R.Name + " (demand)", std::move(Findings),
+                     Opts.CheckMask, HaveGT ? &GT : nullptr, CG, Degraded);
+      CheckerGroups.push_back({std::move(CG), std::move(QueryStats)});
+    }
     // The scoped solver's call graph only covers in-scope discoveries, so
     // the auxiliary graph stays the one worth dumping.
     Results.push_back(std::move(R));
@@ -723,10 +903,23 @@ int run(const Options &Opts) {
               dynamic_cast<const core::VersionedFlowSensitive *>(&A))
         printVersions(Ctx.module(), *VSFS);
     StatGroup CG("checkers");
-    if (Opts.CheckMask)
-      runCheckersFor(Ctx, R.Name, A, Opts.CheckMask, HaveGT ? &GT : nullptr,
-                     CG, /*AuxPrecision=*/R.Degraded);
-    CheckerGroups.push_back({std::move(CG)});
+    if (UseTaint) {
+      taint::TaintEngine TE(Ctx.svfg(), A);
+      std::vector<taint::TaintFinding> TFs = TE.run(Specs);
+      taint::WitnessVerifier(Ctx.svfg(), A).verifyAll(Specs, TFs);
+      StatGroup TG = TE.stats();
+      WritesOk &= reportTaintFindings(Ctx, R.Name, Opts, Specs,
+                                      std::move(TFs), ReportMask,
+                                      HaveGT ? &GT : nullptr, CG, TG,
+                                      /*AuxPrecision=*/R.Degraded);
+      CheckerGroups.push_back({std::move(CG), std::move(TG)});
+    } else {
+      if (Opts.CheckMask)
+        runCheckersFor(Ctx, R.Name, A, Opts.CheckMask,
+                       HaveGT ? &GT : nullptr, CG,
+                       /*AuxPrecision=*/R.Degraded);
+      CheckerGroups.push_back({std::move(CG)});
+    }
     // The most precise call graph wins the dump: the flow-sensitive
     // solvers refine the auxiliary one (a degraded run refines nothing).
     if (!R.Degraded && !R.Partial && (R.Name == "sfs" || R.Name == "vsfs"))
@@ -734,7 +927,6 @@ int run(const Options &Opts) {
     Results.push_back(std::move(R));
   }
 
-  bool WritesOk = true;
   if (!Opts.DumpCallGraph.empty())
     WritesOk &= writeOut(Opts.DumpCallGraph,
                          core::dotCallGraph(Ctx.module(), *FinalCG));
@@ -749,7 +941,8 @@ int run(const Options &Opts) {
     WritesOk &= writeOut(
         Opts.StatsJson,
         core::statsJson(Ctx, Results,
-                        Opts.CheckMask ? &CheckerGroups : nullptr,
+                        (Opts.CheckMask || UseTaint) ? &CheckerGroups
+                                                     : nullptr,
                         Budget.get(), Opts.Mode));
 
   std::printf("peak RSS: %s\n", formatBytes(peakRSSBytes()).c_str());
