@@ -1,0 +1,209 @@
+//===- bench_service.cpp - Analysis service latency ablation ----*- C++ -*-===//
+///
+/// The three latency classes a `vsfs-served` client can observe
+/// (docs/SERVICE.md), measured through real sockets against in-process
+/// servers: a cold request (cache miss, full analysis on a worker), a warm
+/// hit (the same request again, answered from the result cache — timed N
+/// times, minimum reported), and a shed (a server with queue capacity 0
+/// refuses at accept with a retry-after hint, never reading the request).
+///
+/// Two correctness gates decide the exit code on every row: the warm hit
+/// must be at least 10x faster than the cold solve (the cache has to pay
+/// for itself), and the hit's stats/findings documents must be
+/// byte-identical to the miss that populated the cache. Shed latency is
+/// reported, never gated — it only demonstrates that overload costs
+/// microseconds, not an analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ir/Printer.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/Schemas.h"
+
+#include <sstream>
+#include <unistd.h>
+
+using namespace vsfs;
+using namespace vsfs::bench;
+using namespace vsfs::service;
+
+namespace {
+
+std::string uniqueSocket(const char *Tag) {
+  return std::string("/tmp/vsfs-bench-service.") +
+         std::to_string(::getpid()) + "." + Tag + ".sock";
+}
+
+struct ServiceCell {
+  double ColdSeconds = 0;
+  double WarmMinSeconds = 0;
+  double ShedSeconds = 0;
+  size_t StatsBytes = 0;
+  size_t FindingsBytes = 0;
+  bool ColdOk = false;
+  bool WarmAllHits = true;
+  bool HitIdentical = false;
+  bool ShedOk = false;
+};
+
+/// One round trip, timed. Returns false on transport failure.
+bool timedRequest(const std::string &Sock, const AnalyzeRequest &Req,
+                  Response &Resp, double &Seconds) {
+  std::string Error;
+  Timer T;
+  bool Ok = requestAnalyze(Sock, Req, Resp, Error);
+  Seconds = T.seconds();
+  if (!Ok)
+    std::fprintf(stderr, "transport failure: %s\n", Error.c_str());
+  return Ok;
+}
+
+ServiceCell runCell(const workload::BenchSpec &Spec, const Server &Work,
+                    const Server &Shedder, uint32_t WarmRuns) {
+  ServiceCell Cell;
+  AnalyzeRequest Req;
+  Req.Analysis = "vsfs";
+  Req.CheckSpecs = "builtin";
+  Req.Deterministic = true;
+  Req.WantStats = true;
+  Req.WantFindings = true;
+  Req.ModuleText = ir::printModule(*workload::generateProgram(Spec.Config));
+
+  Response Miss;
+  if (!timedRequest(Work.config().SocketPath, Req, Miss, Cell.ColdSeconds))
+    return Cell;
+  Cell.ColdOk = Miss.St == Status::Ok && !Miss.Cached;
+  Cell.StatsBytes = Miss.StatsJson.size();
+  Cell.FindingsBytes = Miss.FindingsJson.size();
+
+  Cell.HitIdentical = true;
+  for (uint32_t Run = 0; Run < WarmRuns; ++Run) {
+    Response Hit;
+    double Seconds = 0;
+    if (!timedRequest(Work.config().SocketPath, Req, Hit, Seconds))
+      return Cell;
+    Cell.WarmAllHits = Cell.WarmAllHits && Hit.Cached;
+    Cell.HitIdentical = Cell.HitIdentical &&
+                        Hit.StatsJson == Miss.StatsJson &&
+                        Hit.FindingsJson == Miss.FindingsJson;
+    if (Run == 0 || Seconds < Cell.WarmMinSeconds)
+      Cell.WarmMinSeconds = Seconds;
+  }
+
+  Response Shed;
+  if (!timedRequest(Shedder.config().SocketPath, Req, Shed,
+                    Cell.ShedSeconds))
+    return Cell;
+  Cell.ShedOk = Shed.St == Status::Shed && Shed.RetryAfterMs > 0;
+  return Cell;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint32_t Runs = 1;
+  std::string JsonPath;
+  auto Suite = parseSuiteArgs(Argc, Argv, Runs, &JsonPath);
+  if (Suite.empty())
+    return 0;
+  // Default to the three tracked presets (EXPERIMENTS.md); --bench /
+  // --quick select explicitly. The gates apply either way.
+  if (Suite.size() == workload::benchmarkSuite().size()) {
+    Suite.clear();
+    for (const char *Name : {"astyle", "mutt", "bash"}) {
+      workload::BenchSpec S;
+      if (workload::findBenchmark(Name, S))
+        Suite.push_back(S);
+    }
+  }
+  const uint32_t WarmRuns = Runs * 8;
+
+  // One working server and one permanently-overloaded one, shared by every
+  // row. The cache is big enough that no preset evicts another, so each
+  // row's warm hits follow its own miss.
+  Server Work([] {
+    Server::Config C;
+    C.SocketPath = uniqueSocket("work");
+    C.Workers = 2;
+    return C;
+  }());
+  Server Shedder([] {
+    Server::Config C;
+    C.SocketPath = uniqueSocket("shed");
+    C.Workers = 1;
+    C.QueueCap = 0; // every accept sheds
+    return C;
+  }());
+  std::string Error;
+  if (!Work.start(Error) || !Shedder.start(Error)) {
+    std::fprintf(stderr, "server start failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("Analysis service latency: cold solve vs warm cache hit vs "
+              "shed\n(in-process servers, real unix sockets; warm = min of "
+              "%u hits; gates: warm*10 <= cold,\nhit documents byte-"
+              "identical to the miss)\n\n",
+              WarmRuns);
+  TableWriter T({-14, 9, 9, 9, 9, 7, 6});
+  std::printf("%s", T.row({"Bench.", "cold t", "warm t", "shed t", "Speedup",
+                           "Bytes", "Same"})
+                        .c_str());
+  std::printf("%s", T.separator().c_str());
+
+  std::ostringstream Json;
+  Json << "{\n  \"schema\": \"" << schemas::BenchService
+       << "\",\n  \"warm_runs\": " << WarmRuns << ",\n  \"rows\": [";
+  bool FirstJson = true;
+  bool AllGatesHold = true;
+  for (const auto &Spec : Suite) {
+    ServiceCell Cell = runCell(Spec, Work, Shedder, WarmRuns);
+    double Speedup = Cell.WarmMinSeconds > 0
+                         ? Cell.ColdSeconds / Cell.WarmMinSeconds
+                         : 0;
+    bool Gates = Cell.ColdOk && Cell.WarmAllHits && Cell.HitIdentical &&
+                 Cell.ShedOk && Speedup >= 10.0;
+    AllGatesHold = AllGatesHold && Gates;
+
+    std::printf("%s",
+                T.row({Spec.Name, formatDouble(Cell.ColdSeconds, 3),
+                       formatDouble(Cell.WarmMinSeconds, 6),
+                       formatDouble(Cell.ShedSeconds, 6),
+                       formatDouble(Speedup, 1),
+                       formatBytes(Cell.StatsBytes + Cell.FindingsBytes),
+                       Gates ? "yes" : "NO"})
+                    .c_str());
+
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "%s    {\"name\": \"%s\", \"cold_seconds\": %.6f, "
+        "\"warm_min_seconds\": %.6f, \"shed_seconds\": %.6f, "
+        "\"speedup\": %.1f, \"stats_bytes\": %zu, \"findings_bytes\": %zu, "
+        "\"cold_ok\": %s, \"warm_all_hits\": %s, \"hit_identical\": %s, "
+        "\"shed_ok\": %s}",
+        FirstJson ? "\n" : ",\n", Spec.Name.c_str(), Cell.ColdSeconds,
+        Cell.WarmMinSeconds, Cell.ShedSeconds, Speedup, Cell.StatsBytes,
+        Cell.FindingsBytes, Cell.ColdOk ? "true" : "false",
+        Cell.WarmAllHits ? "true" : "false",
+        Cell.HitIdentical ? "true" : "false", Cell.ShedOk ? "true" : "false");
+    Json << Buf;
+    FirstJson = false;
+  }
+  Json << "\n  ]\n}\n";
+  Work.stop();
+  Shedder.stop();
+
+  std::printf("%s", T.separator().c_str());
+  std::printf("\nExpected shape: every warm hit >= 10x below its cold solve "
+              "and byte-identical to\nthe miss; shed responses cost "
+              "microseconds — all rows%s.\n",
+              AllGatesHold ? " (holds)" : " (VIOLATED)");
+
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Json.str());
+  return AllGatesHold ? 0 : 1;
+}

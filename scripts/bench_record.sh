@@ -11,12 +11,12 @@
 #   --force:  overwrite an existing out.json (refused otherwise — recorded
 #             baselines are append-only history; a new PR records a new
 #             BENCH_prN.json rather than silently rewriting an old one)
-#   out.json: destination (default results/BENCH_pr8.json)
+#   out.json: destination (default results/BENCH_pr10.json)
 #   tier:     "quick" (8 presets) | "full" (all 15; default)
 #
 # The tier applies to the table2/ptscache sweeps; bench_demand,
-# bench_coalesce and bench_taint always run their tracked three-preset set
-# (astyle, mutt, bash — EXPERIMENTS.md).
+# bench_coalesce, bench_taint and bench_service always run their tracked
+# three-preset set (astyle, mutt, bash — EXPERIMENTS.md).
 #
 # The file is committed so later PRs can diff the trajectory (did unique
 # sets, hit rates, byte ratios, or the coalescing reduction regress?)
@@ -35,7 +35,7 @@ for Arg in "$@"; do
     *) POSITIONAL+=("$Arg") ;;
   esac
 done
-OUT="${POSITIONAL[0]:-$ROOT/results/BENCH_pr8.json}"
+OUT="${POSITIONAL[0]:-$ROOT/results/BENCH_pr10.json}"
 TIER="${POSITIONAL[1]:-full}"
 BUILD_DIR="$ROOT/build"
 
@@ -49,7 +49,8 @@ if [[ ! -x "$BUILD_DIR/bench/bench_table2" ||
       ! -x "$BUILD_DIR/bench/bench_ptscache" ||
       ! -x "$BUILD_DIR/bench/bench_demand" ||
       ! -x "$BUILD_DIR/bench/bench_coalesce" ||
-      ! -x "$BUILD_DIR/bench/bench_taint" ]]; then
+      ! -x "$BUILD_DIR/bench/bench_taint" ||
+      ! -x "$BUILD_DIR/bench/bench_service" ]]; then
   echo "error: build first: cmake -B build -S . && cmake --build build -j" >&2
   exit 1
 fi
@@ -82,12 +83,14 @@ echo "== bench_coalesce (transfer-equivalence coalescing on vs. off) =="
 "$BUILD_DIR/bench/bench_coalesce" --json "$TMP/coalesce.json"
 echo "== bench_taint (spec engine vs. legacy checker walk) =="
 "$BUILD_DIR/bench/bench_taint" --json "$TMP/taint.json"
+echo "== bench_service (cold solve vs. warm cache hit vs. shed) =="
+"$BUILD_DIR/bench/bench_service" --json "$TMP/service.json"
 
-# Merge the six documents into one object, indenting each a level.
+# Merge the seven documents into one object, indenting each a level.
 indent() { sed 's/^/  /' "$1" | sed '1s/^  //'; }
 {
   echo "{"
-  echo "  \"schema\": \"vsfs-bench-pr8-v1\","
+  echo "  \"schema\": \"vsfs-bench-pr10-v1\","
   echo "  \"commit\": \"$COMMIT\","
   echo "  \"tier\": \"$TIER\","
   echo "  \"table2_sbv\": $(indent "$TMP/table2_sbv.json"),"
@@ -95,7 +98,8 @@ indent() { sed 's/^/  /' "$1" | sed '1s/^  //'; }
   echo "  \"ptscache\": $(indent "$TMP/ptscache.json"),"
   echo "  \"demand\": $(indent "$TMP/demand.json"),"
   echo "  \"coalesce\": $(indent "$TMP/coalesce.json"),"
-  echo "  \"taint\": $(indent "$TMP/taint.json")"
+  echo "  \"taint\": $(indent "$TMP/taint.json"),"
+  echo "  \"service\": $(indent "$TMP/service.json")"
   echo "}"
 } > "$OUT"
 

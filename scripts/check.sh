@@ -2,20 +2,23 @@
 # Tier-1 gate: configure with warnings-as-errors, build everything, run the
 # full test suite. This is what CI (and a reviewer) runs:
 #
-#   ./scripts/check.sh [--asan] [--fuzz] [--tidy] [build-dir]
+#   ./scripts/check.sh [--asan] [--fuzz] [--service] [--tidy] [build-dir]
 #
 # --asan builds a second tree with AddressSanitizer + UBSan and runs the
 # full suite under it (slower; catches memory errors the Release build
 # can't). --fuzz additionally runs the differential fuzzing suite (the
 # "fuzz" ctest label: every preset and 50+ random seeds solved under the
-# full {--pts-repr} × {--coalesce} matrix). --tidy runs clang-tidy (the
+# full {--pts-repr} × {--coalesce} matrix). --service additionally runs
+# the analysis-service tier (the "service" ctest label: protocol/cache
+# units, the soak test, the cross-process fault-kill + identity matrix and
+# the latency bench — docs/SERVICE.md). --tidy runs clang-tidy (the
 # checks in .clang-tidy) over src/ using the build tree's compilation
 # database instead of building and testing; it fails when clang-tidy is
 # not installed. Each ctest label (unit | checker | taint | equivalence |
-# query | coalesce | bench | robust, plus fuzz when requested) is run and timed
-# separately, so slow tiers are visible at a glance. The robust tier (budgets,
-# cancellation, degradation — docs/ROBUSTNESS.md) always runs; its tests
-# carry per-test timeouts so a wedged cancellation path fails fast.
+# query | coalesce | bench | robust, plus fuzz/service when requested) is run
+# and timed separately, so slow tiers are visible at a glance. The robust tier
+# (budgets, cancellation, degradation — docs/ROBUSTNESS.md) always runs; its
+# tests carry per-test timeouts so a wedged cancellation path fails fast.
 #
 # Uses separate build trees (default build-check/, build-asan/) so it never
 # disturbs an existing development build/.
@@ -25,12 +28,14 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 ASAN=0
 FUZZ=0
+SERVICE=0
 TIDY=0
 BUILD_DIR=""
 for Arg in "$@"; do
   case "$Arg" in
     --asan) ASAN=1 ;;
     --fuzz) FUZZ=1 ;;
+    --service) SERVICE=1 ;;
     --tidy) TIDY=1 ;;
     -*) echo "unknown option: $Arg" >&2; exit 2 ;;
     *) BUILD_DIR="$Arg" ;;
@@ -79,13 +84,17 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # Run per label so each tier's wall-clock is reported; finish with a safety
 # net for anything unlabeled (-LE matches tests carrying none of the
-# labels). The fuzz tier is opt-in (--fuzz) but always excluded from the
-# safety net, so it never runs by accident. The summary table prints at
-# the end.
-ALL_LABELS=(unit checker taint equivalence query coalesce bench fuzz robust)
+# labels). The fuzz and service tiers are opt-in (--fuzz / --service) but
+# always excluded from the safety net, so they never run by accident. The
+# summary table prints at the end.
+ALL_LABELS=(unit checker taint equivalence query coalesce bench fuzz robust
+            service)
 LABELS=(unit checker taint equivalence query coalesce bench robust)
 if [ "$FUZZ" -eq 1 ]; then
   LABELS+=(fuzz)
+fi
+if [ "$SERVICE" -eq 1 ]; then
+  LABELS+=(service)
 fi
 SUMMARY=""
 for Label in "${LABELS[@]}"; do

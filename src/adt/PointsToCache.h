@@ -23,11 +23,16 @@
 ///   op(a, a), op(a, ∅) short-circuit before the memo
 ///
 /// ID lifetime rules: an ID is valid until \c clear() is called on the
-/// cache that issued it. The cache is process-global (like the
-/// \c PointsToBytes accounting) and grows monotonically; \c clear() exists
-/// for long-running harnesses (the differential fuzzer, benches) and may
-/// only run when no persistent-mode set other than the empty set is live —
-/// node 0 survives a clear, everything else is invalidated.
+/// cache that issued it. The cache is thread-local (like the
+/// \c PointsToBytes accounting — each analysis is single-threaded, and the
+/// analysis service runs one per worker thread) and grows monotonically;
+/// \c clear() exists for long-running harnesses (the differential fuzzer,
+/// benches, service workers between requests) and may only run when no
+/// persistent-mode set other than the empty set is live — node 0 survives
+/// a clear, everything else is invalidated. Long-lived hosts additionally
+/// bracket each analysis in a \c CacheSessionScope; a drain is forbidden
+/// (and asserts) while any session on the thread is live, so a mid-request
+/// drain bug cannot silently invalidate the request's IDs.
 ///
 /// Interned nodes are plain \c SparseBitVector values, so the global
 /// \c PointsToBytes live/peak accounting automatically reflects the shared
@@ -66,10 +71,12 @@ enum class PtsRepr : uint8_t {
   Persistent ///< sets are interned PointsToIDs into the global cache
 };
 
-/// Process-wide representation switch. Plain globals, single-threaded like
-/// the rest of the library.
+/// Per-thread representation switch. Thread-local so each service worker
+/// can hold its own \c PtsReprScope: two concurrent requests with mixed
+/// --pts-repr must not alias one latch (single-threaded callers see the
+/// historical process-global behaviour unchanged).
 inline PtsRepr &pointsToReprSlot() {
-  static PtsRepr Repr = PtsRepr::SBV;
+  static thread_local PtsRepr Repr = PtsRepr::SBV;
   return Repr;
 }
 inline PtsRepr pointsToRepr() { return pointsToReprSlot(); }
@@ -102,7 +109,15 @@ inline bool parsePtsRepr(std::string_view Value, PtsRepr &Out) {
 /// function-local `static const PointsTo Empty` sentinels some accessors
 /// return never block a drain).
 inline uint64_t &livePersistentSets() {
-  static uint64_t Count = 0;
+  static thread_local uint64_t Count = 0;
+  return Count;
+}
+
+/// Number of live \c CacheSessionScope instances on this thread. While
+/// non-zero, \c PointsToCache::drainIfIdle() refuses to fire (and asserts)
+/// — see the ID lifetime rules above.
+inline uint64_t &liveCacheSessions() {
+  static thread_local uint64_t Count = 0;
   return Count;
 }
 
@@ -121,12 +136,32 @@ private:
   PtsRepr Saved;
 };
 
+/// RAII marker for one analysis session on this thread. Long-lived hosts
+/// (the analysis daemon's workers) open one per request: while it is held,
+/// any \c PointsToCache::drainIfIdle() on the thread is refused (asserting
+/// in debug builds), so nothing executed on behalf of the request — not
+/// even a nested build calling the between-runs drain hook — can
+/// invalidate the request's interned IDs out from under it.
+class CacheSessionScope {
+public:
+  CacheSessionScope() { ++liveCacheSessions(); }
+  ~CacheSessionScope() {
+    assert(liveCacheSessions() > 0 && "unbalanced CacheSessionScope");
+    --liveCacheSessions();
+  }
+  CacheSessionScope(const CacheSessionScope &) = delete;
+  CacheSessionScope &operator=(const CacheSessionScope &) = delete;
+};
+
 /// Interns points-to sets into dense IDs and memoises their set algebra.
 class PointsToCache {
 public:
-  /// The process-wide cache every persistent set shares.
+  /// The per-thread cache every persistent set on this thread shares.
+  /// Thread-local for the same reason as \c pointsToReprSlot(): service
+  /// workers are independent analysis universes, and IDs never cross
+  /// threads.
   static PointsToCache &get() {
-    static PointsToCache Cache;
+    static thread_local PointsToCache Cache;
     return Cache;
   }
 
@@ -334,14 +369,35 @@ public:
       return false; // Nothing beyond the empty set: a drain would be a no-op.
     if (livePersistentSets() != 0)
       return false; // An outstanding ID would dangle.
+    // A drain while a session is open would reset counters (and, if the
+    // session is only between analyses, invalidate IDs it is about to
+    // mint against) mid-request: a lifecycle bug, not a policy choice.
+    assert(liveCacheSessions() == 0 &&
+           "drainIfIdle() fired while an analysis session is live");
+    if (liveCacheSessions() != 0)
+      return false; // Release builds refuse instead of corrupting state.
     clear();
     ++Drains;
     return true;
   }
 
-  /// Times \c drainIfIdle() actually cleared the cache, over the process
+  /// Times \c drainIfIdle() actually cleared the cache, over the thread's
   /// lifetime.
   uint64_t drains() const { return Drains; }
+
+  /// Returns the thread's cache to its process-start state: drained, all
+  /// counters (including \c drains()) zero. Service workers call this
+  /// between requests so a request served warm sees counters — and hence
+  /// a --stats-json "ptscache" group — bit-identical to a cold process.
+  /// Only legal when idle: no live session, no live non-empty set.
+  void resetLifecycle() {
+    assert(liveCacheSessions() == 0 && livePersistentSets() == 0 &&
+           "resetLifecycle() while an analysis session or set is live");
+    if (liveCacheSessions() != 0 || livePersistentSets() != 0)
+      return;
+    clear();
+    Drains = 0;
+  }
 
 private:
   static uint64_t pairKey(uint32_t A, uint32_t B) {

@@ -190,6 +190,13 @@ std::string jsonDouble(double D) {
   return Buf;
 }
 
+/// Wall-clock durations are the only nondeterministic values in the
+/// document; under --deterministic-stats they render as 0.000000 so two
+/// runs of the same input are bit-identical (see deterministicStats()).
+std::string jsonSeconds(double D) {
+  return jsonDouble(deterministicStats() ? 0.0 : D);
+}
+
 void jsonCounters(std::ostringstream &OS, int Indent, const StatGroup &G) {
   OS << "{";
   bool First = true;
@@ -241,11 +248,11 @@ std::string vsfs::core::statsJson(
     jsonKey(OS, 2, "pipeline");
     OS << "{\n";
     jsonKey(OS, 4, "andersen_seconds");
-    OS << jsonDouble(Ctx.andersenSeconds()) << ",\n";
+    OS << jsonSeconds(Ctx.andersenSeconds()) << ",\n";
     jsonKey(OS, 4, "memssa_seconds");
-    OS << jsonDouble(Ctx.memSSASeconds()) << ",\n";
+    OS << jsonSeconds(Ctx.memSSASeconds()) << ",\n";
     jsonKey(OS, 4, "svfg_seconds");
-    OS << jsonDouble(Ctx.svfgSeconds()) << ",\n";
+    OS << jsonSeconds(Ctx.svfgSeconds()) << ",\n";
     jsonKey(OS, 4, "svfg_nodes");
     OS << Ctx.svfg().numNodes() << ",\n";
     jsonKey(OS, 4, "svfg_direct_edges");
@@ -253,7 +260,7 @@ std::string vsfs::core::statsJson(
     jsonKey(OS, 4, "svfg_indirect_edges");
     OS << Ctx.svfg().numIndirectEdges() << ",\n";
     jsonKey(OS, 4, "coalesce_seconds");
-    OS << jsonDouble(Ctx.coalesceSeconds()) << "\n  },\n";
+    OS << jsonSeconds(Ctx.coalesceSeconds()) << "\n  },\n";
   }
 
   // Transfer-equivalence coalescing counters (vsfs-stats-v4): present only
@@ -287,7 +294,7 @@ std::string vsfs::core::statsJson(
     jsonKey(OS, 6, "name");
     OS << '"' << R.Name << "\",\n";
     jsonKey(OS, 6, "solve_seconds");
-    OS << jsonDouble(R.SolveSeconds) << ",\n";
+    OS << jsonSeconds(R.SolveSeconds) << ",\n";
     jsonKey(OS, 6, "termination");
     OS << '"' << terminationName(R.Status) << "\",\n";
     jsonKey(OS, 6, "degraded");
@@ -301,7 +308,7 @@ std::string vsfs::core::statsJson(
     if (const auto *V = dynamic_cast<const VersionedFlowSensitive *>(
             R.Analysis.get())) {
       jsonKey(OS, 6, "versioning_seconds");
-      OS << jsonDouble(V->versioningSeconds()) << ",\n";
+      OS << jsonSeconds(V->versioningSeconds()) << ",\n";
       jsonKey(OS, 6, "versioning_counters");
       jsonCounters(OS, 6, V->versioning().stats());
       OS << ",\n";

@@ -1,0 +1,78 @@
+//===- Client.cpp - Thin client for the analysis daemon -------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vsfs;
+using namespace vsfs::service;
+
+bool vsfs::service::roundTrip(const std::string &SocketPath,
+                              const std::string &Payload, Response &Out,
+                              std::string &Error, double TimeoutSeconds) {
+  if (SocketPath.empty() ||
+      SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Error = "bad socket path";
+    return false;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (TimeoutSeconds > 0) {
+    struct timeval TV;
+    TV.tv_sec = static_cast<time_t>(TimeoutSeconds);
+    TV.tv_usec =
+        static_cast<suseconds_t>((TimeoutSeconds - double(TV.tv_sec)) * 1e6);
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV));
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = "cannot connect to " + SocketPath + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  // A shedding daemon answers (and closes) without reading the request,
+  // so a failed write is not fatal by itself: the response — which is
+  // what we are really after — may already be in our receive buffer.
+  bool Wrote = writeFrame(Fd, Payload);
+  std::string ReadError;
+  std::string RespPayload;
+  int RF = readFrame(Fd, RespPayload, ReadError);
+  ::close(Fd);
+  if (RF <= 0) {
+    Error = !Wrote ? "request write failed (daemon gone?)"
+                   : (RF == 0 ? "daemon closed the connection without a "
+                                "response"
+                              : "response read failed: " + ReadError);
+    return false;
+  }
+  if (!parseResponse(RespPayload, Out, Error)) {
+    Error = "malformed response: " + Error;
+    return false;
+  }
+  return true;
+}
+
+bool vsfs::service::requestAnalyze(const std::string &SocketPath,
+                                   const AnalyzeRequest &R, Response &Out,
+                                   std::string &Error,
+                                   double TimeoutSeconds) {
+  return roundTrip(SocketPath, encodeAnalyzeRequest(R), Out, Error,
+                   TimeoutSeconds);
+}
+
+bool vsfs::service::requestHealth(const std::string &SocketPath,
+                                  Response &Out, std::string &Error,
+                                  double TimeoutSeconds) {
+  return roundTrip(SocketPath, encodeHealthRequest(), Out, Error,
+                   TimeoutSeconds);
+}

@@ -1,0 +1,40 @@
+//===- Client.h - Thin client for the analysis daemon -----------*- C++ -*-===//
+///
+/// \file
+/// The client side of docs/SERVICE.md: connect to a `vsfs-served` socket,
+/// exchange one request/response frame pair, and hand the structured
+/// \c Response back. `vsfs-wpa --connect` and the service tests/bench sit
+/// on top of this; all exit-code mapping stays in \c statusExitCode().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SERVICE_CLIENT_H
+#define VSFS_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <string>
+
+namespace vsfs {
+namespace service {
+
+/// Sends one already-encoded request payload and reads the response.
+/// Returns false with \p Error set on any transport failure (daemon
+/// unreachable, timeout, malformed response) — the "service unavailable"
+/// condition the CLI maps to exit code 5. A request the daemon *refused*
+/// is not a transport failure: that arrives as a parsed \c Response.
+bool roundTrip(const std::string &SocketPath, const std::string &Payload,
+               Response &Out, std::string &Error,
+               double TimeoutSeconds = 30);
+
+/// Convenience wrappers.
+bool requestAnalyze(const std::string &SocketPath, const AnalyzeRequest &R,
+                    Response &Out, std::string &Error,
+                    double TimeoutSeconds = 30);
+bool requestHealth(const std::string &SocketPath, Response &Out,
+                   std::string &Error, double TimeoutSeconds = 30);
+
+} // namespace service
+} // namespace vsfs
+
+#endif // VSFS_SERVICE_CLIENT_H

@@ -1,0 +1,418 @@
+//===- Exec.cpp - One analysis request, executed in-process ---------------===//
+//
+// This file intentionally mirrors tools/vsfs-wpa.cpp's run() for the
+// served option subset, printf formats included: the identity tests
+// compare served output against a cold CLI run byte-for-byte, so any
+// drift between the two paths is a test failure, not a cosmetic choice.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Exec.h"
+
+#include "checker/Checker.h"
+#include "core/AnalysisContext.h"
+#include "core/VersionedFlowSensitive.h"
+#include "query/QueryEngine.h"
+#include "support/FaultInjection.h"
+#include "support/Format.h"
+#include "support/MemUsage.h"
+#include "taint/Report.h"
+#include "taint/TaintEngine.h"
+#include "taint/WitnessVerifier.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace vsfs;
+using namespace vsfs::service;
+
+namespace {
+
+/// Captures the driver's printf narrative into a string.
+class SummaryWriter {
+public:
+  __attribute__((format(printf, 2, 3))) void printf(const char *Fmt, ...) {
+    va_list Args;
+    va_start(Args, Fmt);
+    char Buf[1024];
+    int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+    va_end(Args);
+    if (N < 0)
+      return;
+    if (static_cast<size_t>(N) < sizeof(Buf)) {
+      Out.append(Buf, static_cast<size_t>(N));
+      return;
+    }
+    std::string Big(static_cast<size_t>(N) + 1, '\0');
+    va_start(Args, Fmt);
+    std::vsnprintf(Big.data(), Big.size(), Fmt, Args);
+    va_end(Args);
+    Big.resize(static_cast<size_t>(N));
+    Out += Big;
+  }
+
+  void append(const std::string &S) { Out += S; }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+/// RAII for the thread's deterministic-stats switch.
+class DeterministicScope {
+public:
+  explicit DeterministicScope(bool On) : Saved(deterministicStats()) {
+    setDeterministicStats(On);
+  }
+  ~DeterministicScope() { setDeterministicStats(Saved); }
+  DeterministicScope(const DeterministicScope &) = delete;
+  DeterministicScope &operator=(const DeterministicScope &) = delete;
+
+private:
+  bool Saved;
+};
+
+/// Mirror of the CLI's reportFindings for the no-ground-truth case (the
+/// daemon never scores against injected bugs: --inject-bugs is local-only).
+void reportFindings(SummaryWriter &SW, const core::AnalysisContext &Ctx,
+                    const std::string &Name,
+                    std::vector<checker::Finding> Findings, uint32_t KindMask,
+                    StatGroup &CG, bool AuxPrecision) {
+  if (AuxPrecision)
+    for (checker::Finding &F : Findings)
+      F.AuxPrecision = true;
+  SW.printf("--- %s: %zu checker finding(s)%s ---\n", Name.c_str(),
+            Findings.size(), AuxPrecision ? " [aux-precision]" : "");
+  for (const checker::Finding &F : Findings)
+    SW.printf("  %s\n", checker::printFinding(Ctx.module(), F).c_str());
+
+  uint32_t PerKind[checker::NumCheckKinds] = {};
+  for (const checker::Finding &F : Findings)
+    ++PerKind[static_cast<uint32_t>(F.Kind)];
+  for (uint32_t K = 0; K < checker::NumCheckKinds; ++K) {
+    if (!(KindMask & (1u << K)))
+      continue;
+    const char *Flag =
+        checker::checkKindFlag(static_cast<checker::CheckKind>(K));
+    CG.get(std::string(Flag) + "_findings") = PerKind[K];
+  }
+}
+
+/// Mirror of the CLI's reportTaintFindings (no ground truth, findings
+/// JSON captured into the response instead of written to a file).
+void reportTaintFindings(SummaryWriter &SW, Response &Resp,
+                         const core::AnalysisContext &Ctx,
+                         const std::string &Name, const AnalyzeRequest &Req,
+                         const std::vector<taint::TaintSpec> &Specs,
+                         std::vector<taint::TaintFinding> TFs,
+                         uint32_t ReportMask, StatGroup &CG, StatGroup &TG,
+                         bool AuxPrecision) {
+  if (AuxPrecision)
+    for (taint::TaintFinding &TF : TFs)
+      TF.F.AuxPrecision = true;
+  uint64_t Verified = 0, Unverifiable = 0;
+  for (const taint::TaintFinding &TF : TFs) {
+    Verified += TF.V == taint::Verdict::Verified;
+    Unverifiable += TF.V == taint::Verdict::Unverifiable;
+  }
+  SW.printf("--- %s: %zu spec finding(s) from %zu spec(s), %llu verified, "
+            "%llu unverifiable%s ---\n",
+            Name.c_str(), TFs.size(), Specs.size(),
+            (unsigned long long)Verified, (unsigned long long)Unverifiable,
+            AuxPrecision ? " [aux-precision]" : "");
+  for (const taint::TaintFinding &TF : TFs) {
+    SW.printf("  %s [spec %s, %s, witness %zu node(s)]\n",
+              checker::printFinding(Ctx.module(), TF.F).c_str(),
+              Specs[TF.Spec].Name.c_str(), taint::verdictName(TF.V),
+              TF.Witness.size());
+    if (!TF.Note.empty())
+      SW.printf("    note: %s\n", TF.Note.c_str());
+  }
+
+  std::vector<checker::Finding> Projected = taint::toCheckerFindings(TFs);
+  uint32_t PerKind[checker::NumCheckKinds] = {};
+  for (const checker::Finding &F : Projected)
+    ++PerKind[static_cast<uint32_t>(F.Kind)];
+  for (uint32_t K = 0; K < checker::NumCheckKinds; ++K) {
+    if (!(ReportMask & (1u << K)))
+      continue;
+    const char *Flag =
+        checker::checkKindFlag(static_cast<checker::CheckKind>(K));
+    CG.get(std::string(Flag) + "_findings") = PerKind[K];
+  }
+
+  TG.get("verified") = Verified;
+  TG.get("unverifiable") = Unverifiable;
+
+  if (Req.WantFindings)
+    Resp.FindingsJson = taint::findingsJson(Ctx.module(), Specs, TFs, Name);
+}
+
+} // namespace
+
+Response vsfs::service::executeAnalyze(const AnalyzeRequest &Req) {
+  Response Resp;
+  Resp.St = Status::Ok;
+  SummaryWriter SW;
+
+  // The request's analysis universe: representation latch, deterministic
+  // switch and cache session are all thread-local, restored on exit.
+  DeterministicScope Det(Req.Deterministic);
+  adt::PtsReprScope Repr(Req.PtsRepr);
+  adt::CacheSessionScope Session;
+
+  // Resolve the taint spec set first: a bad spec set fails before any
+  // analysis work happens (same order as the CLI).
+  const bool UseTaint = !Req.CheckSpecs.empty();
+  std::vector<taint::TaintSpec> Specs;
+  if (UseTaint) {
+    if (Req.CheckSpecs == "builtin") {
+      Specs = taint::builtinSpecs(Req.CheckMask ? Req.CheckMask
+                                                : checker::AllChecks);
+    } else {
+      std::string Error;
+      if (!taint::parseTaintSpecs(Req.SpecText, Specs, Error)) {
+        Resp.St = Status::BadRequest;
+        Resp.Error = "specs: " + Error;
+        return Resp;
+      }
+    }
+  }
+  uint32_t ReportMask = 0;
+  for (const taint::TaintSpec &S : Specs)
+    ReportMask |= checker::checkBit(S.Kind);
+
+  core::AnalysisContext Ctx;
+  {
+    std::string Error;
+    if (!Ctx.loadText(Req.ModuleText, Error)) {
+      Resp.St = Status::BadInput;
+      Resp.Error = "module: " + Error;
+      return Resp;
+    }
+  }
+
+  // The budget exists when any limit is set *or* fault injection is armed
+  // — identical to the CLI, so budget poll ordinals (and with them every
+  // deterministic fault plan) line up between cold and served runs.
+  std::unique_ptr<ResourceBudget> Budget;
+  if (Req.TimeBudget > 0 || Req.MemBudget != 0 || Req.StepBudget != 0 ||
+      FaultInjection::active()) {
+    ResourceBudget::Limits L;
+    L.TimeBudgetSeconds = Req.TimeBudget;
+    L.MemBudgetBytes = Req.MemBudget;
+    L.StepBudget = Req.StepBudget;
+    Budget = std::make_unique<ResourceBudget>(L);
+  }
+
+  andersen::Andersen::Options AuxOpts;
+  AuxOpts.OfflineSubstitution = Req.OVS;
+  bool Built = Ctx.build(/*ConnectAuxIndirectCalls=*/Req.AuxCallGraph,
+                         AuxOpts, Budget.get());
+  if (Built)
+    SW.printf("pipeline: andersen %.3fs, memssa %.3fs, svfg %.3fs "
+              "(%u nodes, %llu direct, %llu indirect edges)\n",
+              Ctx.andersenSeconds(), Ctx.memSSASeconds(), Ctx.svfgSeconds(),
+              Ctx.svfg().numNodes(),
+              (unsigned long long)Ctx.svfg().numDirectEdges(),
+              (unsigned long long)Ctx.svfg().numIndirectEdges());
+  else
+    SW.printf("pipeline: cancelled during %s (%s)\n",
+              Budget ? Budget->phase() : "build",
+              terminationName(Ctx.buildTermination()));
+
+  if (Built && Req.Coalesce) {
+    Ctx.coalesce();
+    const svfg::CoalesceMap &CM = *Ctx.coalesceMap();
+    SW.printf("coalesce: %u classes, %llu nodes + %llu edges removed "
+              "(%llu forward, %llu same-in, %llu refine iters, %.3fs)\n",
+              CM.numClasses(), (unsigned long long)CM.CoalescedNodes,
+              (unsigned long long)CM.EdgesRemoved,
+              (unsigned long long)CM.ForwardMembers,
+              (unsigned long long)CM.SameInMembers,
+              (unsigned long long)CM.RefineIterations, Ctx.coalesceSeconds());
+  }
+
+  const core::AnalysisRunner &Runner = core::AnalysisRunner::registry();
+  const std::string Name = Runner.find(Req.Analysis)->Name;
+
+  core::SolverOptions SolverOpts;
+  SolverOpts.OnTheFlyCallGraph = !Req.AuxCallGraph;
+  SolverOpts.Budget = Budget.get();
+  SolverOpts.Policy = Req.Policy;
+
+  std::vector<core::AnalysisRunner::RunResult> Results;
+  std::vector<std::vector<StatGroup>> CheckerGroups;
+
+  if (!Built) {
+    // The pipeline itself ran out of budget: apply the CLI's degradation
+    // ladder at the request level.
+    Termination BS = Ctx.buildTermination();
+    bool AuxDone = Ctx.andersen().termination() == Termination::Completed;
+    bool Degrade =
+        Req.Policy == core::SolverOptions::OnExhaustion::Degrade && AuxDone;
+    bool Partial = Req.Policy == core::SolverOptions::OnExhaustion::Partial;
+    if (!Degrade && !Partial) {
+      Resp.St = BS == Termination::Fault ? Status::Fault : Status::Exhausted;
+      Resp.Term = BS;
+      Resp.Error = "budget exhausted (" + std::string(terminationName(BS)) +
+                   ") during pipeline build";
+      Resp.Summary = SW.take();
+      return Resp;
+    }
+    core::AnalysisRunner::RunResult R;
+    R.Name = Name;
+    R.Status = BS;
+    R.Degraded = Degrade;
+    R.Partial = Partial;
+    R.Analysis = std::make_unique<core::AndersenResult>(Ctx.andersen());
+    SW.printf("%s: pipeline budget exhausted (%s); %s\n", R.Name.c_str(),
+              terminationName(BS),
+              Degrade ? "degraded to the auxiliary (ander) result"
+                      : "exposing partial (under-approximate) auxiliary "
+                        "state");
+    if (Req.Stats)
+      SW.append(core::statsText(R));
+    if (Req.CheckMask || UseTaint)
+      SW.printf("--- %s: checkers skipped (no SVFG: pipeline "
+                "cancelled) ---\n",
+                R.Name.c_str());
+    CheckerGroups.push_back({StatGroup("checkers")});
+    Results.push_back(std::move(R));
+  }
+
+  if (Built && Req.Mode == "demand") {
+    query::QueryEngine::Options QO;
+    QO.Solver = Name;
+    QO.OnTheFlyCallGraph = !Req.AuxCallGraph;
+    QO.QueryLimits.TimeBudgetSeconds = Req.QueryTimeBudget;
+    QO.QueryLimits.StepBudget = Req.QueryStepBudget;
+    query::QueryEngine Engine(Ctx, QO);
+
+    std::vector<checker::Finding> Findings;
+    std::vector<taint::TaintFinding> TaintFindings;
+    StatGroup TG("taint");
+    if (UseTaint) {
+      TaintFindings = query::runTaintDemand(Engine, Specs, &TG);
+      taint::WitnessVerifier(Ctx.svfg(), Engine)
+          .verifyAll(Specs, TaintFindings);
+    } else {
+      Findings = query::runCheckersDemand(Engine, Req.CheckMask);
+    }
+    bool Degraded = Engine.degraded();
+    StatGroup QueryStats = Engine.stats();
+    core::AnalysisRunner::RunResult R = Engine.takeRunResult();
+
+    SW.printf("%s (demand): %llu queries (%llu slice-cache hits, %llu "
+              "solves), scope %llu of %llu SVFG nodes, solved in %.3fs\n",
+              R.Name.c_str(),
+              (unsigned long long)QueryStats.lookup("queries"),
+              (unsigned long long)QueryStats.lookup("slice-cache-hits"),
+              (unsigned long long)QueryStats.lookup("solves"),
+              (unsigned long long)QueryStats.lookup("scope-nodes"),
+              (unsigned long long)QueryStats.lookup("svfg-nodes"),
+              R.SolveSeconds);
+    if (QueryStats.lookup("degraded-queries"))
+      SW.printf("%s (demand): %llu query(ies) exhausted their budget "
+                "(%s)%s\n",
+                R.Name.c_str(),
+                (unsigned long long)QueryStats.lookup("degraded-queries"),
+                terminationName(R.Status),
+                Degraded ? "; final answers at auxiliary precision" : "");
+
+    if (Req.Stats) {
+      SW.append(QueryStats.toString());
+      SW.append(core::statsText(R));
+    }
+    StatGroup CG("checkers");
+    if (UseTaint) {
+      reportTaintFindings(SW, Resp, Ctx, R.Name + " (demand)", Req, Specs,
+                          std::move(TaintFindings), ReportMask, CG, TG,
+                          Degraded);
+      CheckerGroups.push_back(
+          {std::move(CG), std::move(TG), std::move(QueryStats)});
+    } else {
+      reportFindings(SW, Ctx, R.Name + " (demand)", std::move(Findings),
+                     Req.CheckMask, CG, Degraded);
+      CheckerGroups.push_back({std::move(CG), std::move(QueryStats)});
+    }
+    Results.push_back(std::move(R));
+  }
+
+  if (Built && Req.Mode != "demand") {
+    core::AnalysisRunner::RunResult R = Runner.run(Ctx, Name, SolverOpts);
+    if (R.Status != Termination::Completed && !R.Degraded && !R.Partial) {
+      Resp.St =
+          R.Status == Termination::Fault ? Status::Fault : Status::Exhausted;
+      Resp.Term = R.Status;
+      Resp.Error = R.Name + ": budget exhausted (" +
+                   terminationName(R.Status) + ")";
+      Resp.Summary = SW.take();
+      return Resp;
+    }
+    const core::PointerAnalysisResult &A = *R.Analysis;
+
+    if (R.Degraded)
+      SW.printf("%s: budget exhausted (%s) after %.3fs; degraded to the "
+                "auxiliary (ander) result\n",
+                R.Name.c_str(), terminationName(R.Status), R.SolveSeconds);
+    else if (R.Partial)
+      SW.printf("%s: budget exhausted (%s) after %.3fs; exposing partial "
+                "(under-approximate) state, %s of analysis state\n",
+                R.Name.c_str(), terminationName(R.Status), R.SolveSeconds,
+                formatBytes(A.footprintBytes()).c_str());
+    else if (const auto *VSFS =
+                 dynamic_cast<const core::VersionedFlowSensitive *>(&A))
+      SW.printf("%s: solved in %.3fs (versioning %.3fs), %s of analysis "
+                "state\n",
+                R.Name.c_str(), R.SolveSeconds, VSFS->versioningSeconds(),
+                formatBytes(A.footprintBytes()).c_str());
+    else if (R.Name == "ander")
+      SW.printf("%s: solved in %.3fs\n", R.Name.c_str(),
+                Ctx.andersenSeconds());
+    else
+      SW.printf("%s: solved in %.3fs, %s of analysis state\n",
+                R.Name.c_str(), R.SolveSeconds,
+                formatBytes(A.footprintBytes()).c_str());
+
+    if (Req.Stats)
+      SW.append(core::statsText(R));
+    StatGroup CG("checkers");
+    if (UseTaint) {
+      taint::TaintEngine TE(Ctx.svfg(), A);
+      std::vector<taint::TaintFinding> TFs = TE.run(Specs);
+      taint::WitnessVerifier(Ctx.svfg(), A).verifyAll(Specs, TFs);
+      StatGroup TG = TE.stats();
+      reportTaintFindings(SW, Resp, Ctx, R.Name, Req, Specs, std::move(TFs),
+                          ReportMask, CG, TG, /*AuxPrecision=*/R.Degraded);
+      CheckerGroups.push_back({std::move(CG), std::move(TG)});
+    } else {
+      if (Req.CheckMask)
+        reportFindings(SW, Ctx, R.Name,
+                       checker::runCheckers(Ctx.svfg(), A, Req.CheckMask),
+                       Req.CheckMask, CG, /*AuxPrecision=*/R.Degraded);
+      CheckerGroups.push_back({std::move(CG)});
+    }
+    Results.push_back(std::move(R));
+  }
+
+  if (Req.WantStats)
+    Resp.StatsJson = core::statsJson(Ctx, Results,
+                                     (Req.CheckMask || UseTaint)
+                                         ? &CheckerGroups
+                                         : nullptr,
+                                     Budget.get(), Req.Mode);
+
+  SW.printf("peak RSS: %s\n", formatBytes(peakRSSBytes()).c_str());
+
+  const core::AnalysisRunner::RunResult &Final = Results.front();
+  Resp.Term = Final.Status;
+  Resp.Degraded = Final.Degraded;
+  Resp.Partial = Final.Partial;
+  Resp.St = Final.Degraded  ? Status::Degraded
+            : Final.Partial ? Status::Partial
+                            : Status::Ok;
+  Resp.Summary = SW.take();
+  return Resp;
+}

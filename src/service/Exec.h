@@ -1,0 +1,38 @@
+//===- Exec.h - One analysis request, executed in-process -------*- C++ -*-===//
+///
+/// \file
+/// \c executeAnalyze runs one validated \c AnalyzeRequest to completion on
+/// the calling thread and returns the full \c Response. It replays exactly
+/// the sequence `vsfs-wpa` runs locally for the same options — same budget
+/// construction, same pipeline phases, same checker/taint reporting, same
+/// stats/findings JSON composition — which is what makes a served response
+/// bit-identical to a cold CLI run (tests/service_identity.sh asserts this
+/// per preset). The narrative the CLI prints to stdout is captured into
+/// \c Response::Summary; stderr diagnostics into \c Response::Error.
+///
+/// Isolation contract: the function brackets the run in its own
+/// \c PtsReprScope and \c CacheSessionScope, so concurrent callers on
+/// different threads are independent analysis universes (all mutable
+/// analysis globals are thread-local). The caller is responsible for
+/// arming the thread's \c FaultInjection from \c AnalyzeRequest::Fault
+/// beforehand (mirroring the CLI, where main() arms from the environment
+/// before run()) and for disarming any unfired plan afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SERVICE_EXEC_H
+#define VSFS_SERVICE_EXEC_H
+
+#include "service/Protocol.h"
+
+namespace vsfs {
+namespace service {
+
+/// Precondition: \c validateRequest(R) passed. Never throws; never exits;
+/// every failure becomes a structured per-request status.
+Response executeAnalyze(const AnalyzeRequest &R);
+
+} // namespace service
+} // namespace vsfs
+
+#endif // VSFS_SERVICE_EXEC_H

@@ -1,0 +1,528 @@
+//===- Protocol.cpp - Analysis service wire protocol ----------------------===//
+
+#include "service/Protocol.h"
+
+#include "query/QueryEngine.h"
+#include "support/FaultInjection.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace vsfs;
+using namespace vsfs::service;
+
+const char *vsfs::service::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::Degraded:
+    return "degraded";
+  case Status::Partial:
+    return "partial";
+  case Status::BadRequest:
+    return "bad-request";
+  case Status::BadInput:
+    return "bad-input";
+  case Status::Exhausted:
+    return "exhausted";
+  case Status::Fault:
+    return "fault";
+  case Status::Shed:
+    return "shed";
+  }
+  return "bad-request";
+}
+
+bool vsfs::service::parseStatus(std::string_view Name, Status &Out) {
+  for (Status S : {Status::Ok, Status::Degraded, Status::Partial,
+                   Status::BadRequest, Status::BadInput, Status::Exhausted,
+                   Status::Fault, Status::Shed}) {
+    if (Name == statusName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+int vsfs::service::statusExitCode(Status S) {
+  switch (S) {
+  case Status::Ok:
+  case Status::Degraded:
+  case Status::Partial:
+    return 0;
+  case Status::BadRequest:
+    return 1;
+  case Status::BadInput:
+    return 2;
+  case Status::Exhausted:
+    return 3;
+  case Status::Fault:
+    return 4;
+  case Status::Shed:
+    return 5;
+  }
+  return 1;
+}
+
+namespace {
+
+const char *policyName(core::SolverOptions::OnExhaustion P) {
+  switch (P) {
+  case core::SolverOptions::OnExhaustion::Fail:
+    return "fail";
+  case core::SolverOptions::OnExhaustion::Degrade:
+    return "degrade";
+  case core::SolverOptions::OnExhaustion::Partial:
+    return "partial";
+  }
+  return "fail";
+}
+
+bool parsePolicy(std::string_view V, core::SolverOptions::OnExhaustion &Out) {
+  if (V == "fail")
+    Out = core::SolverOptions::OnExhaustion::Fail;
+  else if (V == "degrade")
+    Out = core::SolverOptions::OnExhaustion::Degrade;
+  else if (V == "partial")
+    Out = core::SolverOptions::OnExhaustion::Partial;
+  else
+    return false;
+  return true;
+}
+
+/// %.17g round-trips every double exactly, keeping the canonical encoding
+/// (and hence the cache key) a pure function of the request's values.
+std::string doubleField(double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  return Buf;
+}
+
+bool parseDoubleField(std::string_view V, double &Out) {
+  char *End = nullptr;
+  std::string S(V);
+  double D = std::strtod(S.c_str(), &End);
+  if (End == S.c_str() || *End || D < 0)
+    return false;
+  Out = D;
+  return true;
+}
+
+bool parseU64Field(std::string_view V, uint64_t &Out) {
+  if (V.empty())
+    return false;
+  uint64_t N = 0;
+  for (char C : V) {
+    if (C < '0' || C > '9')
+      return false;
+    N = N * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = N;
+  return true;
+}
+
+bool parseBoolField(std::string_view V, bool &Out) {
+  if (V != "0" && V != "1")
+    return false;
+  Out = V == "1";
+  return true;
+}
+
+void headerLine(std::string &S, const char *Key, const std::string &Value) {
+  S += Key;
+  S += '=';
+  S += Value;
+  S += '\n';
+}
+
+/// Splits the header (up to the "end" line) into key=value pairs via a
+/// callback; returns the offset of the first section byte, or npos with
+/// \p Error set.
+template <typename OnPair>
+size_t parseHeader(std::string_view Payload, std::string_view ExpectKind,
+                   OnPair &&Pair, std::string &Error) {
+  size_t Pos = 0;
+  bool First = true;
+  while (Pos < Payload.size()) {
+    size_t NL = Payload.find('\n', Pos);
+    if (NL == std::string_view::npos) {
+      Error = "truncated header";
+      return std::string_view::npos;
+    }
+    std::string_view Line = Payload.substr(Pos, NL - Pos);
+    Pos = NL + 1;
+    if (First) {
+      std::string Expect = std::string(ProtocolMagic) + " ";
+      Expect += ExpectKind;
+      if (Line != Expect) {
+        Error = "bad magic line '" + std::string(Line) + "'";
+        return std::string_view::npos;
+      }
+      First = false;
+      continue;
+    }
+    if (Line == "end")
+      return Pos;
+    size_t Eq = Line.find('=');
+    if (Eq == std::string_view::npos) {
+      Error = "malformed header line '" + std::string(Line) + "'";
+      return std::string_view::npos;
+    }
+    if (!Pair(Line.substr(0, Eq), Line.substr(Eq + 1))) {
+      Error = "bad header field '" + std::string(Line) + "'";
+      return std::string_view::npos;
+    }
+  }
+  Error = "header missing end line";
+  return std::string_view::npos;
+}
+
+/// FNV-1a over \p Data starting from \p Basis.
+uint64_t fnv1a(std::string_view Data, uint64_t Basis) {
+  uint64_t H = Basis;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string singleLine(std::string_view S) {
+  std::string Out(S);
+  for (char &C : Out)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  return Out;
+}
+
+} // namespace
+
+bool vsfs::service::validateRequest(const AnalyzeRequest &R,
+                                    std::string &Error) {
+  if (R.Analysis == "all" ||
+      !core::AnalysisRunner::registry().find(R.Analysis)) {
+    Error = "unknown or unserved analysis '" + R.Analysis +
+            "' (the daemon serves one named analysis per request)";
+    return false;
+  }
+  if (R.Mode != "exhaustive" && R.Mode != "demand") {
+    Error = "bad mode '" + R.Mode + "' (want exhaustive | demand)";
+    return false;
+  }
+  if (!R.CheckSpecs.empty() && R.CheckSpecs != "builtin" &&
+      R.CheckSpecs != "inline") {
+    Error = "bad check-specs '" + R.CheckSpecs +
+            "' (want builtin | inline; spec files travel as inline text)";
+    return false;
+  }
+  if (R.Mode == "demand") {
+    if (!R.CheckMask && R.CheckSpecs.empty()) {
+      Error = "demand mode needs check or check-specs";
+      return false;
+    }
+    if (!query::QueryEngine::supportsSolver(R.Analysis)) {
+      Error = "demand mode cannot slice for '" + R.Analysis +
+              "' (want sfs | vsfs | ander)";
+      return false;
+    }
+  }
+  if (R.WantFindings && R.CheckSpecs.empty()) {
+    Error = "findings-json needs check-specs";
+    return false;
+  }
+  if (!R.Fault.empty()) {
+    Termination K;
+    uint64_t AtPoll;
+    std::string Phase;
+    if (!FaultInjection::parseSpec(R.Fault, K, AtPoll, Phase)) {
+      Error = "bad fault spec '" + R.Fault + "' (want kind@N[:phase])";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string vsfs::service::encodeAnalyzeRequest(const AnalyzeRequest &R) {
+  std::string S = ProtocolMagic;
+  S += " analyze\n";
+  headerLine(S, "analysis", R.Analysis);
+  headerLine(S, "mode", R.Mode);
+  headerLine(S, "query-time-budget", doubleField(R.QueryTimeBudget));
+  headerLine(S, "query-step-budget", std::to_string(R.QueryStepBudget));
+  headerLine(S, "pts-repr", adt::ptsReprName(R.PtsRepr));
+  headerLine(S, "coalesce", R.Coalesce ? "1" : "0");
+  headerLine(S, "check-mask", std::to_string(R.CheckMask));
+  headerLine(S, "check-specs", R.CheckSpecs);
+  headerLine(S, "aux-call-graph", R.AuxCallGraph ? "1" : "0");
+  headerLine(S, "ovs", R.OVS ? "1" : "0");
+  headerLine(S, "stats", R.Stats ? "1" : "0");
+  headerLine(S, "time-budget", doubleField(R.TimeBudget));
+  headerLine(S, "mem-budget", std::to_string(R.MemBudget));
+  headerLine(S, "step-budget", std::to_string(R.StepBudget));
+  headerLine(S, "on-exhaustion", policyName(R.Policy));
+  headerLine(S, "deterministic", R.Deterministic ? "1" : "0");
+  headerLine(S, "want-stats", R.WantStats ? "1" : "0");
+  headerLine(S, "want-findings", R.WantFindings ? "1" : "0");
+  headerLine(S, "fault", R.Fault);
+  headerLine(S, "module-bytes", std::to_string(R.ModuleText.size()));
+  headerLine(S, "specs-bytes", std::to_string(R.SpecText.size()));
+  S += "end\n";
+  S += R.ModuleText;
+  S += R.SpecText;
+  return S;
+}
+
+std::string vsfs::service::encodeHealthRequest() {
+  std::string S = ProtocolMagic;
+  S += " health\nend\n";
+  return S;
+}
+
+std::string vsfs::service::cacheKey(const AnalyzeRequest &R) {
+  AnalyzeRequest Canon = R;
+  Canon.Fault.clear();
+  std::string Enc = encodeAnalyzeRequest(Canon);
+  // Two independent FNV-1a streams make accidental collision odds ~2^-128;
+  // the appended section sizes additionally pin the payload shape.
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "k%016llx%016llx-%zu-%zu",
+                (unsigned long long)fnv1a(Enc, 14695981039346656037ull),
+                (unsigned long long)fnv1a(Enc, 88172645463325252ull),
+                R.ModuleText.size(), R.SpecText.size());
+  return Buf;
+}
+
+bool vsfs::service::parseRequest(std::string_view Payload, RequestKind &Kind,
+                                 AnalyzeRequest &Out, std::string &Error) {
+  // Peek the magic line to pick the kind.
+  size_t NL = Payload.find('\n');
+  if (NL == std::string_view::npos) {
+    Error = "truncated request";
+    return false;
+  }
+  std::string_view Magic = Payload.substr(0, NL);
+  std::string HealthMagic = std::string(ProtocolMagic) + " health";
+  std::string AnalyzeMagic = std::string(ProtocolMagic) + " analyze";
+  if (Magic == HealthMagic) {
+    Kind = RequestKind::Health;
+    return true;
+  }
+  if (Magic != AnalyzeMagic) {
+    Error = "bad magic line '" + std::string(Magic) + "'";
+    return false;
+  }
+
+  AnalyzeRequest R;
+  uint64_t ModuleBytes = 0, SpecBytes = 0;
+  auto Pair = [&](std::string_view K, std::string_view V) -> bool {
+    if (K == "analysis") {
+      R.Analysis = std::string(V);
+      return true;
+    }
+    if (K == "mode") {
+      R.Mode = std::string(V);
+      return true;
+    }
+    if (K == "query-time-budget")
+      return parseDoubleField(V, R.QueryTimeBudget);
+    if (K == "query-step-budget")
+      return parseU64Field(V, R.QueryStepBudget);
+    if (K == "pts-repr")
+      return adt::parsePtsRepr(V, R.PtsRepr);
+    if (K == "coalesce")
+      return parseBoolField(V, R.Coalesce);
+    if (K == "check-mask") {
+      uint64_t M;
+      if (!parseU64Field(V, M) || M > UINT32_MAX)
+        return false;
+      R.CheckMask = static_cast<uint32_t>(M);
+      return true;
+    }
+    if (K == "check-specs") {
+      R.CheckSpecs = std::string(V);
+      return true;
+    }
+    if (K == "aux-call-graph")
+      return parseBoolField(V, R.AuxCallGraph);
+    if (K == "ovs")
+      return parseBoolField(V, R.OVS);
+    if (K == "stats")
+      return parseBoolField(V, R.Stats);
+    if (K == "time-budget")
+      return parseDoubleField(V, R.TimeBudget);
+    if (K == "mem-budget")
+      return parseU64Field(V, R.MemBudget);
+    if (K == "step-budget")
+      return parseU64Field(V, R.StepBudget);
+    if (K == "on-exhaustion")
+      return parsePolicy(V, R.Policy);
+    if (K == "deterministic")
+      return parseBoolField(V, R.Deterministic);
+    if (K == "want-stats")
+      return parseBoolField(V, R.WantStats);
+    if (K == "want-findings")
+      return parseBoolField(V, R.WantFindings);
+    if (K == "fault") {
+      R.Fault = std::string(V);
+      return true;
+    }
+    if (K == "module-bytes")
+      return parseU64Field(V, ModuleBytes);
+    if (K == "specs-bytes")
+      return parseU64Field(V, SpecBytes);
+    return false; // Unknown key: likely a protocol version mismatch.
+  };
+  size_t Sections = parseHeader(Payload, "analyze", Pair, Error);
+  if (Sections == std::string_view::npos)
+    return false;
+  if (Payload.size() - Sections != ModuleBytes + SpecBytes) {
+    Error = "section sizes disagree with payload length";
+    return false;
+  }
+  R.ModuleText = std::string(Payload.substr(Sections, ModuleBytes));
+  R.SpecText = std::string(Payload.substr(Sections + ModuleBytes, SpecBytes));
+  Kind = RequestKind::Analyze;
+  Out = std::move(R);
+  return true;
+}
+
+std::string vsfs::service::encodeResponse(const Response &R) {
+  std::string S = ProtocolMagic;
+  S += " response\n";
+  headerLine(S, "status", statusName(R.St));
+  headerLine(S, "termination", terminationName(R.Term));
+  headerLine(S, "degraded", R.Degraded ? "1" : "0");
+  headerLine(S, "partial", R.Partial ? "1" : "0");
+  headerLine(S, "cached", R.Cached ? "1" : "0");
+  headerLine(S, "retry-after-ms", std::to_string(R.RetryAfterMs));
+  headerLine(S, "error", singleLine(R.Error));
+  headerLine(S, "summary-bytes", std::to_string(R.Summary.size()));
+  headerLine(S, "stats-bytes", std::to_string(R.StatsJson.size()));
+  headerLine(S, "findings-bytes", std::to_string(R.FindingsJson.size()));
+  S += "end\n";
+  S += R.Summary;
+  S += R.StatsJson;
+  S += R.FindingsJson;
+  return S;
+}
+
+bool vsfs::service::parseResponse(std::string_view Payload, Response &Out,
+                                  std::string &Error) {
+  Response R;
+  uint64_t SummaryBytes = 0, StatsBytes = 0, FindingsBytes = 0;
+  auto Pair = [&](std::string_view K, std::string_view V) -> bool {
+    if (K == "status")
+      return parseStatus(V, R.St);
+    if (K == "termination")
+      return parseTermination(V, R.Term);
+    if (K == "degraded")
+      return parseBoolField(V, R.Degraded);
+    if (K == "partial")
+      return parseBoolField(V, R.Partial);
+    if (K == "cached")
+      return parseBoolField(V, R.Cached);
+    if (K == "retry-after-ms") {
+      uint64_t Ms;
+      if (!parseU64Field(V, Ms) || Ms > UINT32_MAX)
+        return false;
+      R.RetryAfterMs = static_cast<uint32_t>(Ms);
+      return true;
+    }
+    if (K == "error") {
+      R.Error = std::string(V);
+      return true;
+    }
+    if (K == "summary-bytes")
+      return parseU64Field(V, SummaryBytes);
+    if (K == "stats-bytes")
+      return parseU64Field(V, StatsBytes);
+    if (K == "findings-bytes")
+      return parseU64Field(V, FindingsBytes);
+    return false;
+  };
+  size_t Sections = parseHeader(Payload, "response", Pair, Error);
+  if (Sections == std::string_view::npos)
+    return false;
+  if (Payload.size() - Sections != SummaryBytes + StatsBytes + FindingsBytes) {
+    Error = "section sizes disagree with payload length";
+    return false;
+  }
+  R.Summary = std::string(Payload.substr(Sections, SummaryBytes));
+  R.StatsJson =
+      std::string(Payload.substr(Sections + SummaryBytes, StatsBytes));
+  R.FindingsJson = std::string(
+      Payload.substr(Sections + SummaryBytes + StatsBytes, FindingsBytes));
+  Out = std::move(R);
+  return true;
+}
+
+bool vsfs::service::writeFrame(int Fd, std::string_view Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  unsigned char Len[4] = {
+      static_cast<unsigned char>(Payload.size() >> 24),
+      static_cast<unsigned char>(Payload.size() >> 16),
+      static_cast<unsigned char>(Payload.size() >> 8),
+      static_cast<unsigned char>(Payload.size()),
+  };
+  // send() with MSG_NOSIGNAL: a peer that hung up must surface as EPIPE,
+  // not as a process-killing SIGPIPE (the daemon writes to clients that
+  // may be gone; the client writes to a daemon that may have shed it).
+  auto WriteAll = [Fd](const char *Data, size_t N) {
+    size_t Done = 0;
+    while (Done < N) {
+      ssize_t W = ::send(Fd, Data + Done, N - Done, MSG_NOSIGNAL);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      if (W == 0)
+        return false;
+      Done += static_cast<size_t>(W);
+    }
+    return true;
+  };
+  return WriteAll(reinterpret_cast<const char *>(Len), 4) &&
+         WriteAll(Payload.data(), Payload.size());
+}
+
+int vsfs::service::readFrame(int Fd, std::string &Payload,
+                             std::string &Error) {
+  auto ReadAll = [Fd, &Error](char *Data, size_t N, bool EofOk) -> int {
+    size_t Done = 0;
+    while (Done < N) {
+      ssize_t R = ::read(Fd, Data + Done, N - Done);
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        Error = std::strerror(errno);
+        return -1;
+      }
+      if (R == 0) {
+        if (EofOk && Done == 0)
+          return 0;
+        Error = "connection closed mid-frame";
+        return -1;
+      }
+      Done += static_cast<size_t>(R);
+    }
+    return 1;
+  };
+  unsigned char Len[4];
+  int R = ReadAll(reinterpret_cast<char *>(Len), 4, /*EofOk=*/true);
+  if (R <= 0)
+    return R;
+  uint32_t N = (uint32_t(Len[0]) << 24) | (uint32_t(Len[1]) << 16) |
+               (uint32_t(Len[2]) << 8) | uint32_t(Len[3]);
+  if (N > MaxFrameBytes) {
+    Error = "frame length " + std::to_string(N) + " exceeds limit";
+    return -1;
+  }
+  Payload.resize(N);
+  return N == 0 ? 1 : ReadAll(Payload.data(), N, /*EofOk=*/false);
+}

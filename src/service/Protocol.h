@@ -1,0 +1,170 @@
+//===- Protocol.h - Analysis service wire protocol --------------*- C++ -*-===//
+///
+/// \file
+/// The wire protocol between `vsfs-wpa --connect` and the `vsfs-served`
+/// daemon (docs/SERVICE.md).
+///
+/// Framing: every message is one frame — a 4-byte big-endian payload
+/// length followed by that many payload bytes. Payloads are text headers
+/// (`key=value` lines, terminated by an `end` line) followed by sized
+/// binary sections whose lengths the header declared (`module-bytes=N`,
+/// ...), so module text and JSON documents travel byte-exact without any
+/// quoting.
+///
+/// The request model is deliberately the CLI's option surface for one
+/// analysis run: the thin client translates flags 1:1, and the daemon's
+/// executor replays exactly the code path `vsfs-wpa` runs locally, which
+/// is what makes served stats/findings JSON bit-identical to a cold run
+/// (the identity tests assert this on every preset).
+///
+/// Each response carries a \c Status — the PR 5 exit-code contract lifted
+/// onto the wire — plus the run's \c Termination and the payload sections.
+/// \c statusExitCode() is the single place the mapping back to process
+/// exit codes lives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SERVICE_PROTOCOL_H
+#define VSFS_SERVICE_PROTOCOL_H
+
+#include "adt/PointsToCache.h"
+#include "core/AnalysisRunner.h"
+#include "support/Budget.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vsfs {
+namespace service {
+
+/// Leads every frame payload; bump when the encoding changes shape.
+inline constexpr const char *ProtocolMagic = "vsfs-served-v1";
+
+/// Hard ceiling on a single frame — a corrupt or hostile length prefix
+/// must not translate into an unbounded allocation.
+inline constexpr uint32_t MaxFrameBytes = 256u << 20;
+
+/// What a request asks for.
+enum class RequestKind : uint8_t {
+  Analyze, ///< run (or serve from cache) one analysis
+  Health,  ///< report daemon health/stats JSON; never queued or shed work
+};
+
+/// Per-request outcome on the wire: the exit-code contract of
+/// docs/ROBUSTNESS.md as a structured status, so one daemon can fail one
+/// request without dying and the client can reconstruct the exact exit
+/// code a local run would have produced.
+enum class Status : uint8_t {
+  Ok,         ///< exit 0: analysis ran to the requested result
+  Degraded,   ///< exit 0: budget exhausted, degraded to the auxiliary result
+  Partial,    ///< exit 0: budget exhausted, partial monotone state exposed
+  BadRequest, ///< exit 1: malformed frame/options/specs (usage error)
+  BadInput,   ///< exit 2: module failed to parse or verify
+  Exhausted,  ///< exit 3: budget exhausted under on-exhaustion=fail
+  Fault,      ///< exit 4: injected/internal fault surfaced
+  Shed,       ///< exit 5: queue full or draining — retry later
+};
+
+/// Lower-case wire spelling ("ok", "bad-request", ...).
+const char *statusName(Status S);
+
+/// Parses a \c statusName() spelling; returns false when unknown.
+bool parseStatus(std::string_view Name, Status &Out);
+
+/// The documented status → process-exit-code mapping (docs/SERVICE.md).
+int statusExitCode(Status S);
+
+/// One analysis request: the supported subset of `vsfs-wpa`'s options plus
+/// the module (and optional spec) text inline. Fields mirror the CLI flags
+/// they are translated from.
+struct AnalyzeRequest {
+  std::string Analysis = "vsfs"; ///< registry name; "all" is not served
+  std::string Mode = "exhaustive"; ///< "exhaustive" | "demand"
+  double QueryTimeBudget = 0;
+  uint64_t QueryStepBudget = 0;
+  adt::PtsRepr PtsRepr = adt::PtsRepr::SBV;
+  bool Coalesce = false;
+  uint32_t CheckMask = 0;
+  /// "" = no spec engine; "builtin" = built-in rules (filtered by
+  /// CheckMask); "inline" = parse SpecText as a spec file.
+  std::string CheckSpecs;
+  std::string SpecText;
+  bool AuxCallGraph = false;
+  bool OVS = false;
+  bool Stats = false; ///< include the aligned-text stat groups in Summary
+  double TimeBudget = 0;
+  uint64_t MemBudget = 0;
+  uint64_t StepBudget = 0;
+  core::SolverOptions::OnExhaustion Policy =
+      core::SolverOptions::OnExhaustion::Fail;
+  bool Deterministic = false; ///< zero wall-clock fields in stats JSON
+  bool WantStats = false;     ///< return the --stats-json document
+  bool WantFindings = false;  ///< return the --findings-json document
+  /// Fault plan in VSFS_FAULT_INJECT grammar ("kind@N[:phase]", "" = none).
+  /// The thin client forwards its environment here instead of arming
+  /// locally; the daemon arms it on the worker serving this request only.
+  /// Excluded from the cache key, and its presence bypasses the cache.
+  std::string Fault;
+  std::string ModuleText;
+};
+
+/// The daemon's answer. Sections are byte-exact copies of what a local
+/// run would have written: Summary is the driver's stdout narrative,
+/// StatsJson/FindingsJson the machine documents.
+struct Response {
+  Status St = Status::BadRequest;
+  Termination Term = Termination::Completed;
+  bool Degraded = false;
+  bool Partial = false;
+  bool Cached = false;      ///< served from the result cache
+  uint32_t RetryAfterMs = 0; ///< only meaningful with Status::Shed
+  std::string Error;   ///< one line; what a local run printed to stderr
+  std::string Summary; ///< multi-line; what a local run printed to stdout
+  std::string StatsJson;
+  std::string FindingsJson;
+};
+
+/// Validates the option combinations the daemon refuses to serve —
+/// exactly the ones the CLI rejects as usage errors, plus the wire-only
+/// restriction to a single named analysis. Returns false with a
+/// one-line reason.
+bool validateRequest(const AnalyzeRequest &R, std::string &Error);
+
+/// The result-cache key: a content hash over the canonical encoding of
+/// the request with the fault plan blanked (a poisoned run must never be
+/// stored or served), prefixed with the section sizes so accidental
+/// collisions cannot cross payload shapes.
+std::string cacheKey(const AnalyzeRequest &R);
+
+//===----------------------------------------------------------------------===//
+// Payload encoding
+//===----------------------------------------------------------------------===//
+
+std::string encodeAnalyzeRequest(const AnalyzeRequest &R);
+std::string encodeHealthRequest();
+std::string encodeResponse(const Response &R);
+
+/// Parses a request payload of either kind. On failure returns false and
+/// sets \p Error; \p Kind and \p Out are meaningful only on success.
+bool parseRequest(std::string_view Payload, RequestKind &Kind,
+                  AnalyzeRequest &Out, std::string &Error);
+
+bool parseResponse(std::string_view Payload, Response &Out,
+                   std::string &Error);
+
+//===----------------------------------------------------------------------===//
+// Framing over a connected socket
+//===----------------------------------------------------------------------===//
+
+/// Writes one length-prefixed frame; false on any short write or error.
+bool writeFrame(int Fd, std::string_view Payload);
+
+/// Reads one frame. Returns 1 on success, 0 on clean EOF before any
+/// byte, -1 on error/timeout/oversized frame (with \p Error set).
+int readFrame(int Fd, std::string &Payload, std::string &Error);
+
+} // namespace service
+} // namespace vsfs
+
+#endif // VSFS_SERVICE_PROTOCOL_H

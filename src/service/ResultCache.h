@@ -1,0 +1,115 @@
+//===- ResultCache.h - Bounded LRU cache of analysis responses --*- C++ -*-===//
+///
+/// \file
+/// The daemon's result cache: completed responses keyed by
+/// \c service::cacheKey (a content hash of module text + canonical
+/// options). Bounded on both entry count and payload bytes with
+/// least-recently-used eviction, so a daemon fed an endless stream of
+/// distinct modules holds steady-state memory instead of growing without
+/// bound — the same "never unbounded" discipline as the request queue.
+///
+/// Policy (docs/SERVICE.md): only \c Status::Ok responses are stored.
+/// Degraded/partial/exhausted outcomes can depend on wall-clock and
+/// memory conditions at run time, and fault-armed requests are poisoned
+/// by construction — replaying any of those as a "hit" would launder a
+/// transient outcome into a permanent one. A hit returns the stored
+/// payload byte-identical to the original miss.
+///
+/// Not thread-safe by itself; the server serialises access under its
+/// state mutex (cache operations are hash-map lookups, never analysis
+/// work, so the critical section is tiny).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SERVICE_RESULTCACHE_H
+#define VSFS_SERVICE_RESULTCACHE_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace vsfs {
+namespace service {
+
+class ResultCache {
+public:
+  struct Limits {
+    uint64_t MaxEntries = 256;
+    uint64_t MaxBytes = 256ull << 20; ///< payload bytes across all entries
+  };
+
+  explicit ResultCache(Limits L) : Lim(L) {}
+
+  /// On hit, copies the stored response into \p Out and marks the entry
+  /// most-recently-used.
+  bool lookup(const std::string &Key, Response &Out) {
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      ++Misses;
+      return false;
+    }
+    ++Hits;
+    Entries.splice(Entries.begin(), Entries, It->second);
+    Out = It->second->second;
+    return true;
+  }
+
+  /// Stores \p R under \p Key (replacing any stale entry), then evicts
+  /// LRU entries until both limits hold. An entry larger than MaxBytes on
+  /// its own is simply not retained.
+  void insert(const std::string &Key, const Response &R) {
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      erase(It);
+    Entries.emplace_front(Key, R);
+    Index[Key] = Entries.begin();
+    Bytes += entryBytes(Entries.front());
+    ++Insertions;
+    while (!Entries.empty() &&
+           (Entries.size() > Lim.MaxEntries || Bytes > Lim.MaxBytes)) {
+      ++Evictions;
+      erase(Index.find(Entries.back().first));
+    }
+  }
+
+  uint64_t entries() const { return Entries.size(); }
+  uint64_t bytes() const { return Bytes; }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t insertions() const { return Insertions; }
+  uint64_t evictions() const { return Evictions; }
+
+private:
+  using Entry = std::pair<std::string, Response>;
+
+  static uint64_t entryBytes(const Entry &E) {
+    return E.first.size() + E.second.Summary.size() +
+           E.second.StatsJson.size() + E.second.FindingsJson.size() +
+           E.second.Error.size();
+  }
+
+  void erase(std::unordered_map<std::string, std::list<Entry>::iterator>::
+                 iterator It) {
+    Bytes -= entryBytes(*It->second);
+    Entries.erase(It->second);
+    Index.erase(It);
+  }
+
+  Limits Lim;
+  std::list<Entry> Entries; ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> Index;
+  uint64_t Bytes = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace service
+} // namespace vsfs
+
+#endif // VSFS_SERVICE_RESULTCACHE_H

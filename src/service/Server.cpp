@@ -1,0 +1,335 @@
+//===- Server.cpp - Fault-isolated analysis daemon core -------------------===//
+
+#include "service/Server.h"
+
+#include "adt/PointsToCache.h"
+#include "service/Exec.h"
+#include "support/FaultInjection.h"
+#include "support/Schemas.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vsfs;
+using namespace vsfs::service;
+
+namespace {
+
+void setSocketTimeouts(int Fd, double Seconds) {
+  if (Seconds <= 0)
+    return;
+  struct timeval TV;
+  TV.tv_sec = static_cast<time_t>(Seconds);
+  TV.tv_usec = static_cast<suseconds_t>((Seconds - double(TV.tv_sec)) * 1e6);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV));
+}
+
+} // namespace
+
+Server::Server(Config Cfg) : C(std::move(Cfg)), Cache(C.Cache) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string &Error) {
+  if (Started) {
+    Error = "server already started";
+    return false;
+  }
+  if (C.SocketPath.empty() ||
+      C.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Error = "bad socket path";
+    return false;
+  }
+  if (::pipe(WakePipe) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, C.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  ::unlink(C.SocketPath.c_str()); // Replace any stale socket file.
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0 ||
+      ::listen(ListenFd, 64) != 0) {
+    Error = std::string("bind/listen ") + C.SocketPath + ": " +
+            std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  // Touch the read-only analysis registry once before any worker exists;
+  // after this, workers only ever read it.
+  core::AnalysisRunner::registry();
+  Stopping.store(false);
+  Started = true;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  for (uint32_t I = 0; I < std::max(1u, C.Workers); ++I)
+    WorkerThreads.emplace_back([this] { workerLoop(); });
+  return true;
+}
+
+void Server::requestStop() {
+  Stopping.store(true);
+  // One byte wakes the acceptor's poll; both calls are async-signal-safe.
+  if (WakePipe[1] >= 0) {
+    char B = 'x';
+    (void)!::write(WakePipe[1], &B, 1);
+  }
+}
+
+void Server::stop() {
+  if (!Started)
+    return;
+  requestStop();
+  Acceptor.join();
+  ::close(ListenFd); // New connects are refused from here on.
+  ListenFd = -1;
+  ::unlink(C.SocketPath.c_str());
+  QueueCV.notify_all();
+  for (std::thread &W : WorkerThreads)
+    W.join(); // Workers drain the queue and in-flight work first.
+  WorkerThreads.clear();
+  ::close(WakePipe[0]);
+  ::close(WakePipe[1]);
+  WakePipe[0] = WakePipe[1] = -1;
+  Started = false;
+}
+
+void Server::acceptLoop() {
+  while (!Stopping.load()) {
+    pollfd P[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    if (::poll(P, 2, -1) < 0)
+      continue; // EINTR
+    if (Stopping.load())
+      break;
+    if (!(P[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (Fd < 0)
+      continue;
+    setSocketTimeouts(Fd, C.IoTimeoutSeconds);
+    bool Enqueued = false;
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Queue.size() < C.QueueCap) {
+        Queue.push_back(Fd);
+        Enqueued = true;
+      }
+    }
+    if (Enqueued) {
+      QueueCV.notify_one();
+      continue;
+    }
+    // Overload shedding: never let the queue grow — tell the client to
+    // retry instead, without reading (or buffering) its request.
+    Response Shed;
+    Shed.St = Status::Shed;
+    Shed.RetryAfterMs = C.RetryAfterMs;
+    Shed.Error = "queue full (" + std::to_string(C.QueueCap) +
+                 " pending); retry after " + std::to_string(C.RetryAfterMs) +
+                 "ms";
+    {
+      std::lock_guard<std::mutex> L(M);
+      countResponse(Shed);
+    }
+    writeFrame(Fd, encodeResponse(Shed));
+    ::close(Fd);
+  }
+}
+
+void Server::workerLoop() {
+  while (true) {
+    int Fd;
+    {
+      std::unique_lock<std::mutex> L(M);
+      QueueCV.wait(L, [this] { return Stopping.load() || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping.load())
+          return;
+        continue;
+      }
+      Fd = Queue.front();
+      Queue.pop_front();
+    }
+    handleConnection(Fd);
+    ::close(Fd);
+    // Between requests the worker's thread-local interning cache returns
+    // to its process-start state, so the next request sees exactly what a
+    // cold process would (and per-worker memory stays bounded).
+    adt::PointsToCache::get().resetLifecycle();
+  }
+}
+
+void Server::countResponse(const Response &R) {
+  ++Stats.ByStatus[static_cast<size_t>(R.St)];
+  ++Stats.ByTermination[static_cast<size_t>(R.Term)];
+}
+
+void Server::handleConnection(int Fd) {
+  std::string Payload, IoError;
+  int RF = readFrame(Fd, Payload, IoError);
+  if (RF == 0)
+    return; // Client connected and left; nothing to answer.
+  auto Respond = [&](const Response &R) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      countResponse(R);
+    }
+    writeFrame(Fd, encodeResponse(R));
+  };
+  auto BadRequest = [](std::string Why) {
+    Response R;
+    R.St = Status::BadRequest;
+    R.Error = std::move(Why);
+    return R;
+  };
+  if (RF < 0) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Stats.ReadErrors;
+    }
+    Respond(BadRequest("request read failed: " + IoError));
+    return;
+  }
+
+  RequestKind Kind;
+  AnalyzeRequest Req;
+  std::string Error;
+  if (!parseRequest(Payload, Kind, Req, Error)) {
+    Respond(BadRequest("malformed request: " + Error));
+    return;
+  }
+  if (Kind == RequestKind::Health) {
+    Response H;
+    H.St = Status::Ok;
+    H.StatsJson = healthJson();
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Stats.HealthRequests;
+    }
+    writeFrame(Fd, encodeResponse(H)); // Health is not an analysis request:
+    return;                            // it skips the status counters.
+  }
+
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++Stats.RequestsTotal;
+  }
+  if (!validateRequest(Req, Error)) {
+    Respond(BadRequest(Error));
+    return;
+  }
+
+  // Arm this worker's fault plan exactly where the CLI arms from the
+  // environment: after validation, before any budget poll. The plan is
+  // thread-local, so it can only poison this request.
+  bool FaultArmed = false;
+  if (!Req.Fault.empty()) {
+    Termination K;
+    uint64_t AtPoll;
+    std::string Phase;
+    FaultInjection::parseSpec(Req.Fault, K, AtPoll, Phase); // validated above
+    FaultInjection::get().arm(K, AtPoll, std::move(Phase));
+    FaultArmed = true;
+  }
+
+  // The service phases poll a limit-free throwaway budget: fault plans
+  // can target the serving machinery itself ("kind@N:serve" etc.), while
+  // the request's real budget — created inside executeAnalyze exactly as
+  // the CLI creates it — keeps poll ordinals identical to a cold run.
+  ResourceBudget ServiceBudget{ResourceBudget::Limits{}};
+  auto ServicePhaseTripped = [&](const char *Phase, Response &Out) {
+    ServiceBudget.beginPhase(Phase, /*StepGoverned=*/false);
+    if (ServiceBudget.checkpoint())
+      return false;
+    Termination K = ServiceBudget.status();
+    Out = Response();
+    Out.St = K == Termination::Fault ? Status::Fault : Status::Exhausted;
+    Out.Term = K;
+    Out.Error = std::string("budget exhausted (") + terminationName(K) +
+                ") during service phase " + Phase;
+    return true;
+  };
+
+  Response Resp;
+  bool Done = false;
+  const bool Cacheable = Req.Fault.empty();
+  const std::string Key = cacheKey(Req);
+
+  if (ServicePhaseTripped(phases::Serve, Resp))
+    Done = true;
+  if (!Done && ServicePhaseTripped(phases::Cache, Resp))
+    Done = true;
+  if (!Done && Cacheable) {
+    std::lock_guard<std::mutex> L(M);
+    if (Cache.lookup(Key, Resp)) {
+      Resp.Cached = true;
+      Done = true;
+    }
+  }
+  if (!Done && ServicePhaseTripped(phases::Worker, Resp))
+    Done = true;
+  if (!Done) {
+    AnalyzeRequest Eff = Req;
+    if (C.RequestTimeoutSeconds > 0 &&
+        (Eff.TimeBudget <= 0 || Eff.TimeBudget > C.RequestTimeoutSeconds))
+      Eff.TimeBudget = C.RequestTimeoutSeconds;
+    Resp = executeAnalyze(Eff);
+    // Store only completed results: degraded/partial/exhausted outcomes
+    // depend on transient pressure, and replaying them as hits would
+    // launder a one-off condition into a permanent answer.
+    if (Cacheable && Resp.St == Status::Ok &&
+        !ServicePhaseTripped(phases::Cache, Resp)) {
+      std::lock_guard<std::mutex> L(M);
+      Cache.insert(Key, Resp);
+    }
+  }
+  if (FaultArmed)
+    FaultInjection::get().disarm(); // Unfired plans must not leak.
+  Respond(Resp);
+}
+
+std::string Server::healthJson() const {
+  std::lock_guard<std::mutex> L(M);
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"schema\": \"" << schemas::HealthJson << "\",\n";
+  OS << "  \"workers\": " << C.Workers << ",\n";
+  OS << "  \"queue_cap\": " << C.QueueCap << ",\n";
+  OS << "  \"queue_depth\": " << Queue.size() << ",\n";
+  OS << "  \"requests_total\": " << Stats.RequestsTotal << ",\n";
+  OS << "  \"health_requests\": " << Stats.HealthRequests << ",\n";
+  OS << "  \"read_errors\": " << Stats.ReadErrors << ",\n";
+  OS << "  \"status\": {";
+  for (size_t I = 0; I < 8; ++I) {
+    OS << (I ? ", " : "") << '"' << statusName(static_cast<Status>(I))
+       << "\": " << Stats.ByStatus[I];
+  }
+  OS << "},\n";
+  OS << "  \"terminations\": {";
+  for (size_t I = 0; I < 5; ++I) {
+    OS << (I ? ", " : "") << '"'
+       << terminationName(static_cast<Termination>(I))
+       << "\": " << Stats.ByTermination[I];
+  }
+  OS << "},\n";
+  OS << "  \"cache\": {\"entries\": " << Cache.entries()
+     << ", \"bytes\": " << Cache.bytes() << ", \"hits\": " << Cache.hits()
+     << ", \"misses\": " << Cache.misses()
+     << ", \"insertions\": " << Cache.insertions()
+     << ", \"evictions\": " << Cache.evictions() << "}\n";
+  OS << "}\n";
+  return OS.str();
+}

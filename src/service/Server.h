@@ -1,0 +1,115 @@
+//===- Server.h - Fault-isolated analysis daemon core -----------*- C++ -*-===//
+///
+/// \file
+/// The daemon behind `vsfs-served` (docs/SERVICE.md): a unix-domain
+/// socket acceptor, a bounded connection queue with overload shedding,
+/// and a pool of worker threads that each execute one request at a time
+/// as an isolated analysis universe (thread-local representation latch,
+/// interning cache, memory accounting and fault plan; their own
+/// \c ResourceBudget and \c AnalysisContext per request).
+///
+/// Robustness properties, each soak-tested:
+///  - a malformed frame, exhausted budget or injected fault maps to a
+///    structured per-request \c Status; the daemon and its other
+///    in-flight requests are untouched;
+///  - the queue never grows past QueueCap: excess connections receive an
+///    explicit shed response with a retry-after hint at accept time;
+///  - completed (Status::Ok) responses land in a bounded LRU result
+///    cache; hits are served byte-identical without re-analysis;
+///  - \c requestStop() is async-signal-safe; \c stop() drains queued and
+///    in-flight work before joining (graceful SIGTERM);
+///  - health requests report queue depth, cache hit rate and cumulative
+///    Termination counts without touching the worker pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VSFS_SERVICE_SERVER_H
+#define VSFS_SERVICE_SERVER_H
+
+#include "service/ResultCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vsfs {
+namespace service {
+
+class Server {
+public:
+  struct Config {
+    std::string SocketPath;
+    uint32_t Workers = 2;
+    uint32_t QueueCap = 16; ///< pending connections before shedding
+    ResultCache::Limits Cache;
+    /// Server-side ceiling on any one request's wall-clock budget,
+    /// enforced through the same cooperative checkpoint polling as a
+    /// client-supplied --time-budget (0 = no ceiling). Note that a
+    /// tighter effective budget is visible in that request's stats.
+    double RequestTimeoutSeconds = 0;
+    double IoTimeoutSeconds = 10; ///< per-socket read/write timeout
+    uint32_t RetryAfterMs = 100;  ///< hint carried by shed responses
+  };
+
+  explicit Server(Config C);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and spawns the acceptor + worker threads. False
+  /// with \p Error set on any setup failure.
+  bool start(std::string &Error);
+
+  /// Async-signal-safe stop request (an atomic store and one pipe write);
+  /// the signal handler in vsfs-served calls this, then the main thread
+  /// runs \c stop().
+  void requestStop();
+
+  /// Stops accepting, drains queued and in-flight requests, joins all
+  /// threads and removes the socket file. Idempotent.
+  void stop();
+
+  bool running() const { return Started; }
+  const Config &config() const { return C; }
+
+  /// The health/stats document (schema vsfs-health-v1); also what a
+  /// health request over the wire returns.
+  std::string healthJson() const;
+
+private:
+  void acceptLoop();
+  void workerLoop();
+  void handleConnection(int Fd);
+  void countResponse(const Response &R);
+
+  Config C;
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+  std::thread Acceptor;
+  std::vector<std::thread> WorkerThreads;
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+
+  mutable std::mutex M; ///< guards Queue, Cache and Stats
+  std::condition_variable QueueCV;
+  std::deque<int> Queue;
+  ResultCache Cache;
+
+  struct Counters {
+    uint64_t RequestsTotal = 0;
+    uint64_t HealthRequests = 0;
+    uint64_t ReadErrors = 0;
+    uint64_t ByStatus[8] = {};      ///< indexed by Status
+    uint64_t ByTermination[5] = {}; ///< indexed by Termination
+  } Stats;
+};
+
+} // namespace service
+} // namespace vsfs
+
+#endif // VSFS_SERVICE_SERVER_H

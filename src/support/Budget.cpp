@@ -114,7 +114,10 @@ StatGroup ResourceBudget::statGroup() const {
   G.get("time-budget-ms") =
       static_cast<uint64_t>(Lim.TimeBudgetSeconds * 1000.0);
   if (Lim.TimeBudgetSeconds > 0) {
-    double Left = Lim.TimeBudgetSeconds - Clock.seconds();
+    // The only clock-derived value in the group; zeroed under
+    // --deterministic-stats so governed runs stay byte-comparable.
+    double Left =
+        deterministicStats() ? 0 : Lim.TimeBudgetSeconds - Clock.seconds();
     G.get("time-remaining-ms") =
         Left > 0 ? static_cast<uint64_t>(Left * 1000.0) : 0;
   }

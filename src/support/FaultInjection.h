@@ -20,6 +20,14 @@
 /// \c active() flag test on the poll slow path; the solver fast path
 /// never sees it.
 ///
+/// Phase filters match whatever name the active budget phase carries. On
+/// top of the pipeline phases ("andersen", "memssa", "svfg", one per
+/// solver) the analysis service (docs/SERVICE.md) opens three service
+/// phases around each request — \c phases::Serve (request parse and
+/// validation), \c phases::Cache (result-cache lookup/store) and
+/// \c phases::Worker (worker-side setup/teardown) — so a plan can target
+/// the serving machinery itself, not just the analysis it wraps.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VSFS_SUPPORT_FAULTINJECTION_H
@@ -33,11 +41,22 @@
 
 namespace vsfs {
 
-/// Process-wide fault plan (the analyses are single-threaded).
+/// Budget-phase names the analysis service adds around each request, for
+/// use as fault-plan phase filters (grammar: "kind@N:serve" etc.).
+namespace phases {
+inline constexpr const char *Serve = "serve";   ///< parse + validate request
+inline constexpr const char *Cache = "cache";   ///< result-cache lookup/store
+inline constexpr const char *Worker = "worker"; ///< worker setup/teardown
+} // namespace phases
+
+/// Per-thread fault plan. Each analysis is single-threaded, but the
+/// service runs one per worker thread; a \c thread_local plan means an
+/// injected fault poisons exactly the request that armed it — a
+/// neighbouring worker's polls can never consume or trip it.
 class FaultInjection {
 public:
   static FaultInjection &get() {
-    static FaultInjection FI;
+    static thread_local FaultInjection FI;
     return FI;
   }
 
@@ -80,6 +99,22 @@ public:
   /// a malformed spec.
   static bool parseSpec(std::string_view Spec, Termination &K,
                         uint64_t &AtPoll, std::string &PhaseFilter);
+
+  /// The inverse of \c parseSpec: renders a plan back to the
+  /// "kind@N[:phase]" grammar, so a plan can round-trip through
+  /// \c VSFS_FAULT_INJECT (the thin client forwards its environment to the
+  /// daemon as exactly this string).
+  static std::string formatSpec(Termination K, uint64_t AtPoll,
+                                std::string_view PhaseFilter) {
+    std::string S = terminationName(K);
+    S += '@';
+    S += std::to_string(AtPoll ? AtPoll : 1);
+    if (!PhaseFilter.empty()) {
+      S += ':';
+      S += PhaseFilter;
+    }
+    return S;
+  }
 
   /// Arms from $VSFS_FAULT_INJECT if set. Returns false when the variable
   /// is set but malformed (callers should treat that as a usage error —

@@ -6,8 +6,8 @@
 
 using namespace vsfs;
 
-uint64_t PointsToBytes::Live = 0;
-uint64_t PointsToBytes::Peak = 0;
+thread_local uint64_t PointsToBytes::Live = 0;
+thread_local uint64_t PointsToBytes::Peak = 0;
 
 uint64_t vsfs::peakRSSBytes() {
   struct rusage Usage;

@@ -26,11 +26,17 @@ namespace vsfs {
 /// Returns the process peak resident set size in bytes (0 if unavailable).
 uint64_t peakRSSBytes();
 
-/// Global live/peak byte accounting for sparse-bit-vector storage.
+/// Per-thread live/peak byte accounting for sparse-bit-vector storage.
 ///
 /// SparseBitVector calls \c retain / \c release around element allocation.
-/// The counters are plain (non-atomic) because all analyses here are
-/// single-threaded, matching the paper's setting.
+/// The counters are \c thread_local: each analysis is single-threaded
+/// (matching the paper's setting), but the analysis service
+/// (docs/SERVICE.md) runs one analysis per worker thread, and each worker
+/// must meter exactly its own request — a neighbour's allocations must
+/// neither trip this request's memory budget nor mask its leaks. The
+/// invariant this imposes is that a set allocated on one thread is
+/// released on the same thread; analyses never share mutable state across
+/// threads, so this holds by construction.
 class PointsToBytes {
 public:
   static void retain(size_t Bytes) {
@@ -55,8 +61,8 @@ public:
   static void resetPeak() { Peak = Live; }
 
 private:
-  static uint64_t Live;
-  static uint64_t Peak;
+  static thread_local uint64_t Live;
+  static thread_local uint64_t Peak;
 };
 
 } // namespace vsfs

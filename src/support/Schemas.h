@@ -51,6 +51,12 @@ inline constexpr const char *BenchCoalesce = "vsfs-coalesce-v1";
 /// bench_taint --json (spec engine vs. legacy walk ablation).
 inline constexpr const char *BenchTaint = "vsfs-taint-v1";
 
+/// vsfs-served health/stats document (docs/SERVICE.md).
+inline constexpr const char *HealthJson = "vsfs-health-v1";
+
+/// bench_service --json (cold vs. warm-hit vs. shed latency).
+inline constexpr const char *BenchService = "vsfs-service-v1";
+
 } // namespace schemas
 } // namespace vsfs
 

@@ -17,6 +17,22 @@
 
 namespace vsfs {
 
+/// Per-thread switch that zeroes every wall-clock-derived field in
+/// machine-readable output (--stats-json's *_seconds and the budget
+/// group's time-remaining-ms). Everything else the stats report — counter
+/// values, set sizes, terminations — is a deterministic function of the
+/// input, so with the switch on, two runs of the same module with the
+/// same options emit bit-identical documents. That is the contract the
+/// analysis service's result cache and its identity tests are built on
+/// (docs/SERVICE.md); enable via `vsfs-wpa --deterministic-stats` or
+/// per-request on the wire.
+inline bool &deterministicStatsSlot() {
+  static thread_local bool Deterministic = false;
+  return Deterministic;
+}
+inline bool deterministicStats() { return deterministicStatsSlot(); }
+inline void setDeterministicStats(bool On) { deterministicStatsSlot() = On; }
+
 /// An interned handle to one counter of a \c StatGroup.
 ///
 /// Resolving a counter by name costs a \c std::map lookup; the solvers'

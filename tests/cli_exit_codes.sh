@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Asserts the documented vsfs-wpa exit-code contract (docs/ROBUSTNESS.md):
 #   0 ok | 1 usage | 2 input error | 3 budget exhausted under fail |
-#   4 internal fault.
-# Usage: cli_exit_codes.sh <path-to-vsfs-wpa>
+#   4 internal fault | 5 service unavailable (--connect).
+# Usage: cli_exit_codes.sh <path-to-vsfs-wpa> [path-to-vsfs-served]
+# The service cases (docs/SERVICE.md) run only when the daemon is given.
 set -u
 
-WPA=${1:?usage: cli_exit_codes.sh <path-to-vsfs-wpa>}
+WPA=${1:?usage: cli_exit_codes.sh <path-to-vsfs-wpa> [path-to-vsfs-served]}
+SERVED=${2:-}
 FAILURES=0
 
 # expect <code> <description> -- <args...>  (runs $WPA "${args[@]}")
@@ -124,6 +126,69 @@ if [ "$CODE" -ne 4 ]; then
   FAILURES=$((FAILURES + 1))
 else
   echo "ok: build-phase fault (exit 4)"
+fi
+
+# --- service mode (docs/SERVICE.md) -------------------------------------
+# The same contract must hold through the wire: the daemon maps each
+# request's outcome to a Status and the thin client reconstructs the exit
+# code a local run would have produced — plus 5 for "no daemon at all".
+
+# 5: nobody listening (no daemon needed for this one).
+expect 5 "unreachable daemon" -- --connect=/nonexistent-dir/vsfs.sock --gen 3
+
+# 1: flags the wire cannot serve are rejected client-side.
+expect 1 "connect rejects --print-pts" -- --connect=/tmp/x.sock --gen 3 \
+  --print-pts
+expect 1 "connect rejects --analysis=all" -- --connect=/tmp/x.sock --gen 3 \
+  --analysis=all
+expect 1 "--health without --connect" -- --health
+
+if [ -n "$SERVED" ]; then
+  SOCK=$(mktemp -u /tmp/vsfs-exitcodes.XXXXXX.sock)
+  "$SERVED" --socket="$SOCK" --workers=1 --request-timeout=0.0001 &
+  SRV=$!
+  for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+
+  # 2: a module that fails to parse, through the wire.
+  BADIR=$(mktemp)
+  printf 'this is not ir\n' > "$BADIR"
+  expect 2 "malformed module over the wire" -- --connect="$SOCK" "$BADIR"
+  rm -f "$BADIR"
+
+  # 3: per-request budget exhaustion under fail, through the wire.
+  expect 3 "step exhaustion over the wire" -- --connect="$SOCK" --bench du \
+    --analysis=vsfs --step-budget=1 --on-exhaustion=fail
+
+  # 3: the daemon's own --request-timeout ceiling trips the deadline.
+  expect 3 "request timeout over the wire" -- --connect="$SOCK" --bench du \
+    --analysis=vsfs --on-exhaustion=fail
+
+  # 4: a forwarded fault plan poisons this request only.
+  VSFS_FAULT_INJECT="fault@1:serve" "$WPA" --connect="$SOCK" --gen 3 \
+    >/dev/null 2>&1
+  CODE=$?
+  if [ "$CODE" -ne 4 ]; then
+    echo "FAIL: forwarded fault: expected exit 4, got $CODE" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: forwarded fault over the wire (exit 4)"
+  fi
+
+  # 0: the daemon that just served three failures still serves health.
+  expect 0 "health after failures" -- --connect="$SOCK" --health
+
+  kill -TERM $SRV
+  wait $SRV
+  CODE=$?
+  if [ "$CODE" -ne 0 ]; then
+    echo "FAIL: daemon SIGTERM drain: expected exit 0, got $CODE" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: daemon drains and exits 0 on SIGTERM"
+  fi
+  rm -f "$SOCK"
+else
+  echo "skipping daemon-backed service cases (no vsfs-served path given)"
 fi
 
 if [ "$FAILURES" -ne 0 ]; then

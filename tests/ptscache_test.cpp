@@ -391,3 +391,55 @@ TEST(PointsToCacheStats, ZClearKeepsOnlyTheEmptySet) {
   EXPECT_NE(Fresh, EmptyPointsToID);
   EXPECT_EQ(cache().bits(Fresh), S);
 }
+
+//===----------------------------------------------------------------------===//
+// Daemon-safe lifecycle (docs/SERVICE.md): session scoping and reset
+//===----------------------------------------------------------------------===//
+
+TEST(PointsToCacheLifecycle, SessionScopeBlocksDrainUntilIdle) {
+  cache().resetLifecycle();
+  SparseBitVector S;
+  S.set(7);
+  cache().intern(S);
+  ASSERT_GT(cache().numUniqueSets(), 1u);
+  {
+    CacheSessionScope Session;
+    // A drain mid-session is a lifecycle bug: with asserts compiled in it
+    // dies loudly; in any build it must refuse rather than invalidate
+    // interned IDs under a live request.
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+    EXPECT_DEATH(cache().drainIfIdle(), "session is live");
+#else
+    EXPECT_FALSE(cache().drainIfIdle());
+#endif
+    EXPECT_GT(cache().numUniqueSets(), 1u); // Nothing was invalidated.
+  }
+  EXPECT_TRUE(cache().drainIfIdle()); // Idle again: the drain proceeds.
+}
+
+TEST(PointsToCacheLifecycle, SessionScopesNest) {
+  EXPECT_EQ(liveCacheSessions(), 0u);
+  {
+    CacheSessionScope Outer;
+    CacheSessionScope Inner;
+    EXPECT_EQ(liveCacheSessions(), 2u);
+  }
+  EXPECT_EQ(liveCacheSessions(), 0u);
+}
+
+TEST(PointsToCacheLifecycle, ResetLifecycleRestoresProcessStartState) {
+  // A daemon worker calls this between requests so its next request sees
+  // byte-identical ptscache stats to a cold process — including drains=0,
+  // which clear()/drainIfIdle() deliberately do not reset.
+  cache().resetLifecycle();
+  SparseBitVector S;
+  S.set(3);
+  cache().intern(S);
+  EXPECT_TRUE(cache().drainIfIdle());
+  EXPECT_EQ(cache().statGroup().lookup("drains"), 1u);
+  cache().intern(S);
+  cache().resetLifecycle();
+  EXPECT_EQ(cache().numUniqueSets(), 1u); // Only the empty set survives.
+  EXPECT_EQ(cache().statGroup().lookup("drains"), 0u);
+  EXPECT_EQ(cache().internedBytes(), 0u);
+}

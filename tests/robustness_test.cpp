@@ -220,6 +220,49 @@ TEST(FaultInjection, FiresAtNthMatchingPollThenDisarms) {
   EXPECT_FALSE(FaultInjection::active()); // One-shot.
 }
 
+TEST(FaultInjectionSpec, FormatSpecRoundTripsThroughTheEnvironment) {
+  // formatSpec is how the analysis service forwards a client's fault plan
+  // over the wire; the grammar must survive format -> env -> armFromEnv
+  // for every kind and every phase class, service phases included.
+  FaultGuard Guard;
+  for (Termination Kind : AllKinds) {
+    for (const char *Phase :
+         {"", phases::Serve, phases::Cache, phases::Worker, "vsfs"}) {
+      std::string Spec = FaultInjection::formatSpec(Kind, 3, Phase);
+      Termination K;
+      uint64_t N;
+      std::string P;
+      ASSERT_TRUE(FaultInjection::parseSpec(Spec, K, N, P)) << Spec;
+      EXPECT_EQ(K, Kind) << Spec;
+      EXPECT_EQ(N, 3u) << Spec;
+      EXPECT_EQ(P, Phase) << Spec;
+      ::setenv("VSFS_FAULT_INJECT", Spec.c_str(), 1);
+      ASSERT_TRUE(FaultInjection::get().armFromEnv()) << Spec;
+      EXPECT_TRUE(FaultInjection::active());
+      FaultInjection::get().disarm();
+    }
+  }
+  ::unsetenv("VSFS_FAULT_INJECT");
+}
+
+TEST(FaultInjection, ServicePhasesAreTargetable) {
+  // The daemon opens serve/cache/worker phases around each request on a
+  // limit-free budget; a plan filtered to one of them must hold fire in
+  // analysis phases and trip at that phase's first poll.
+  FaultGuard Guard;
+  for (const char *Phase : {phases::Serve, phases::Cache, phases::Worker}) {
+    SCOPED_TRACE(Phase);
+    FaultInjection::get().arm(Termination::Fault, 1, Phase);
+    ResourceBudget B;
+    B.beginPhase("vsfs", /*StepGoverned=*/true);
+    ASSERT_TRUE(B.checkpoint()); // Non-matching phase: the plan holds fire.
+    B.beginPhase(Phase, /*StepGoverned=*/false);
+    EXPECT_FALSE(B.checkpoint());
+    EXPECT_EQ(B.status(), Termination::Fault);
+    EXPECT_FALSE(FaultInjection::active()); // One-shot, as in the daemon.
+  }
+}
+
 TEST(FaultInjection, ArmFromEnvHonoursAndValidatesTheVariable) {
   FaultGuard Guard;
   ::unsetenv("VSFS_FAULT_INJECT");

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# The analysis service's two headline guarantees (docs/SERVICE.md), driven
+# end to end through real processes and the real socket:
+#
+#  1. Fault isolation: every Termination kind injected into every phase of
+#     an in-flight request — the three service phases and the pipeline/
+#     solver phases — becomes a structured error for that request only.
+#     The daemon is never restarted during the matrix.
+#  2. Identity: after absorbing the whole fault matrix, the SAME daemon
+#     serves every benchmark preset with --stats-json and --findings-json
+#     documents bit-identical to a cold vsfs-wpa run on the same IR file,
+#     and a repeated request is a cache hit with byte-identical documents.
+#
+# Usage: service_identity.sh <path-to-vsfs-wpa> <path-to-vsfs-served>
+set -u
+
+WPA=${1:?usage: service_identity.sh <vsfs-wpa> <vsfs-served>}
+SERVED=${2:?usage: service_identity.sh <vsfs-wpa> <vsfs-served>}
+FAILURES=0
+
+DIR=$(mktemp -d /tmp/vsfs-identity.XXXXXX)
+SOCK="$DIR/served.sock"
+trap 'kill -9 $SRV 2>/dev/null; rm -rf "$DIR"' EXIT
+
+"$SERVED" --socket="$SOCK" --workers=2 > "$DIR/served.log" 2>&1 &
+SRV=$!
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+if ! [ -S "$SOCK" ]; then
+  echo "FAIL: daemon did not come up" >&2
+  exit 1
+fi
+
+"$WPA" --bench du --emit-ir="$DIR/du.ir" > /dev/null
+
+# --- 1. fault-kill matrix ------------------------------------------------
+for kind in deadline memory steps fault; do
+  for phase in serve cache worker andersen memssa svfg vsfs; do
+    VSFS_FAULT_INJECT="$kind@1:$phase" "$WPA" --connect="$SOCK" \
+      "$DIR/du.ir" --analysis=vsfs --on-exhaustion=fail \
+      > /dev/null 2> "$DIR/err.txt"
+    got=$?
+    want=3
+    [ "$kind" = fault ] && want=4
+    if [ "$got" -ne "$want" ]; then
+      echo "FAIL: $kind@1:$phase: expected exit $want, got $got" >&2
+      FAILURES=$((FAILURES + 1))
+    elif ! grep -q "budget exhausted ($kind)" "$DIR/err.txt"; then
+      echo "FAIL: $kind@1:$phase: missing structured error:" >&2
+      cat "$DIR/err.txt" >&2
+      FAILURES=$((FAILURES + 1))
+    else
+      echo "ok: $kind@1:$phase -> exit $want, per-request error"
+    fi
+  done
+done
+
+if ! kill -0 $SRV 2>/dev/null; then
+  echo "FAIL: daemon died during the fault matrix" >&2
+  exit 1
+fi
+echo "ok: daemon survived the full fault matrix"
+
+# --- 2. per-preset identity on the battle-tested daemon ------------------
+PRESETS="du ninja bake dpkg nano i3 psql janet astyle tmux mruby mutt bash \
+lynx hyriseConsole"
+ARGS=(--analysis=vsfs --deterministic-stats --check-specs=builtin)
+for b in $PRESETS; do
+  IR="$DIR/$b.ir"
+  "$WPA" --bench "$b" --emit-ir="$IR" > /dev/null
+  "$WPA" "$IR" "${ARGS[@]}" --stats-json="$DIR/$b.cold.stats" \
+    --findings-json="$DIR/$b.cold.findings" > /dev/null 2>&1
+  cold=$?
+  "$WPA" --connect="$SOCK" "$IR" "${ARGS[@]}" \
+    --stats-json="$DIR/$b.served.stats" \
+    --findings-json="$DIR/$b.served.findings" > /dev/null 2>&1
+  served=$?
+  if [ "$cold" -ne 0 ] || [ "$served" -ne 0 ]; then
+    echo "FAIL: $b: cold exit $cold, served exit $served" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  if ! cmp -s "$DIR/$b.cold.stats" "$DIR/$b.served.stats"; then
+    echo "FAIL: $b: served stats JSON differs from cold run" >&2
+    diff "$DIR/$b.cold.stats" "$DIR/$b.served.stats" | head -5 >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  if ! cmp -s "$DIR/$b.cold.findings" "$DIR/$b.served.findings"; then
+    echo "FAIL: $b: served findings JSON differs from cold run" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  # The repeat must be a cache hit, byte-identical to the miss.
+  "$WPA" --connect="$SOCK" "$IR" "${ARGS[@]}" \
+    --stats-json="$DIR/$b.hit.stats" \
+    --findings-json="$DIR/$b.hit.findings" > "$DIR/$b.hit.log" 2>&1
+  if ! grep -q "served from result cache" "$DIR/$b.hit.log"; then
+    echo "FAIL: $b: repeated request was not a cache hit" >&2
+    FAILURES=$((FAILURES + 1))
+  elif ! cmp -s "$DIR/$b.served.stats" "$DIR/$b.hit.stats" ||
+       ! cmp -s "$DIR/$b.served.findings" "$DIR/$b.hit.findings"; then
+    echo "FAIL: $b: cache hit not byte-identical to the miss" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $b cold == served == cache hit (bit-identical)"
+  fi
+done
+
+kill -TERM $SRV
+wait $SRV
+if [ $? -ne 0 ]; then
+  echo "FAIL: daemon did not drain and exit 0" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+SRV=""
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES service identity assertion(s) failed" >&2
+  exit 1
+fi
+echo "all service identity assertions passed"

@@ -1,0 +1,157 @@
+//===- vsfs-served.cpp - Fault-isolated analysis daemon ---------*- C++ -*-===//
+///
+/// The long-lived analysis service (docs/SERVICE.md):
+///
+///   vsfs-served --socket=/tmp/vsfs.sock --workers=4 &
+///   vsfs-wpa --connect=/tmp/vsfs.sock --bench du --analysis=vsfs --stats
+///   vsfs-wpa --connect=/tmp/vsfs.sock --health
+///
+/// One process serves many analysis requests: completed results come back
+/// from a bounded LRU cache, misses run on a worker pool where every
+/// request is its own isolated analysis universe with its own budget, and
+/// a request that exhausts its budget or trips an injected fault fails
+/// alone — the daemon and its other in-flight requests are untouched.
+/// SIGTERM/SIGINT drain queued and in-flight work before exiting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+using namespace vsfs;
+
+namespace {
+
+/// Signal → main-thread handoff. The handler only does async-signal-safe
+/// work: flag the server and wake main() off its pipe read.
+service::Server *ActiveServer = nullptr;
+int SignalPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop();
+  char B = 's';
+  (void)!::write(SignalPipe[1], &B, 1);
+}
+
+void usage(const char *Prog) {
+  std::printf(
+      "usage: %s --socket=PATH [options]\n"
+      "\n"
+      "The vsfs analysis daemon (docs/SERVICE.md). Serves vsfs-wpa\n"
+      "--connect requests over a unix domain socket until SIGTERM/SIGINT,\n"
+      "then drains queued and in-flight requests and exits 0.\n"
+      "\n"
+      "options:\n"
+      "  --socket=PATH         unix socket to listen on (required)\n"
+      "  --workers=N           worker threads (default 2)\n"
+      "  --queue-cap=N         pending requests before shedding (default "
+      "16)\n"
+      "  --cache-entries=N     result-cache entry cap (default 256)\n"
+      "  --cache-bytes=N       result-cache byte cap (default 256MiB)\n"
+      "  --request-timeout=S   server-side wall-clock ceiling per request\n"
+      "                        (cooperative, via the request's budget;\n"
+      "                        default 0 = none)\n"
+      "  --retry-after-ms=N    hint carried by shed responses (default "
+      "100)\n",
+      Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  service::Server::Config Cfg;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&Arg](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      if (Arg.compare(0, Len, Prefix) == 0)
+        return Arg.c_str() + Len;
+      return nullptr;
+    };
+    auto BadNumber = [&Arg](const char *V, const char *End) {
+      if (End != V && !*End)
+        return false;
+      std::fprintf(stderr, "error: bad value in '%s'\n", Arg.c_str());
+      return true;
+    };
+    char *End = nullptr;
+    if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (const char *V = Value("--socket=")) {
+      Cfg.SocketPath = V;
+    } else if (const char *VW = Value("--workers=")) {
+      Cfg.Workers = static_cast<uint32_t>(std::strtoul(VW, &End, 10));
+      if (BadNumber(VW, End) || Cfg.Workers == 0)
+        return 1;
+    } else if (const char *VQ = Value("--queue-cap=")) {
+      Cfg.QueueCap = static_cast<uint32_t>(std::strtoul(VQ, &End, 10));
+      if (BadNumber(VQ, End))
+        return 1;
+    } else if (const char *VE = Value("--cache-entries=")) {
+      Cfg.Cache.MaxEntries = std::strtoull(VE, &End, 10);
+      if (BadNumber(VE, End))
+        return 1;
+    } else if (const char *VB = Value("--cache-bytes=")) {
+      Cfg.Cache.MaxBytes = std::strtoull(VB, &End, 10);
+      if (BadNumber(VB, End))
+        return 1;
+    } else if (const char *VT = Value("--request-timeout=")) {
+      Cfg.RequestTimeoutSeconds = std::strtod(VT, &End);
+      if (BadNumber(VT, End) || Cfg.RequestTimeoutSeconds < 0)
+        return 1;
+    } else if (const char *VR = Value("--retry-after-ms=")) {
+      Cfg.RetryAfterMs = static_cast<uint32_t>(std::strtoul(VR, &End, 10));
+      if (BadNumber(VR, End))
+        return 1;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return 1;
+    }
+  }
+  if (Cfg.SocketPath.empty()) {
+    usage(Argv[0]);
+    return 1;
+  }
+
+  if (::pipe(SignalPipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  service::Server Server(Cfg);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  ActiveServer = &Server;
+  struct sigaction SA {};
+  SA.sa_handler = onSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::signal(SIGPIPE, SIG_IGN); // A vanished client must not kill the daemon.
+
+  std::printf("vsfs-served: listening on %s (%u workers, queue cap %u)\n",
+              Cfg.SocketPath.c_str(), Cfg.Workers, Cfg.QueueCap);
+  std::fflush(stdout); // Tests wait for this line through a pipe.
+
+  char B;
+  while (::read(SignalPipe[0], &B, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("vsfs-served: draining\n");
+  std::fflush(stdout);
+  Server.stop(); // Queued and in-flight requests finish first.
+  std::printf("%s", Server.healthJson().c_str());
+  ActiveServer = nullptr;
+  ::close(SignalPipe[0]);
+  ::close(SignalPipe[1]);
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "query/QueryEngine.h"
+#include "service/Client.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
@@ -58,6 +59,7 @@ enum ExitCode : int {
   ExitInput = 2,     ///< parse/verify failure, unreadable input, bad output
   ExitExhausted = 3, ///< budget exhausted under --on-exhaustion=fail
   ExitFault = 4,     ///< internal fault (injected or detected)
+  ExitUnavailable = 5, ///< --connect: daemon unreachable or shedding load
 };
 
 struct Options {
@@ -96,6 +98,12 @@ struct Options {
   std::string DumpCallGraph; // "-" = stdout
   std::string DumpSVFG;
   std::string DumpCFG; // Function name; printed to stdout.
+  /// --connect: run as a thin client against a vsfs-served socket instead
+  /// of analysing in-process (docs/SERVICE.md).
+  std::string Connect;
+  bool Health = false;        ///< --health: query daemon health (--connect)
+  std::string EmitIR;         ///< --emit-ir target; "-" = stdout
+  bool DeterministicStats = false; ///< zero wall-clock fields in stats JSON
 };
 
 void usage(const char *Prog) {
@@ -165,12 +173,28 @@ void usage(const char *Prog) {
       "                        monotone in-flight state)  (default fail)\n"
       "  --stats-json[=F]      write pipeline + analysis statistics as "
       "JSON\n"
+      "  --deterministic-stats zero every wall-clock field in the stats\n"
+      "                        JSON so identical inputs yield identical\n"
+      "                        documents (the service identity tests)\n"
       "  --dump-callgraph[=F]  write the resolved call graph as dot\n"
       "  --dump-svfg[=F]       write the SVFG as dot (capped at 500 nodes)\n"
       "  --dump-cfg=FUNC       write FUNC's CFG as dot to stdout\n"
+      "  --emit-ir[=F]         write the loaded/generated module as textual\n"
+      "                        IR and exit (materialises --bench/--gen\n"
+      "                        presets as files)\n"
+      "\n"
+      "service mode (docs/SERVICE.md):\n"
+      "  --connect=SOCK        send this request to the vsfs-served daemon\n"
+      "                        at unix socket SOCK instead of analysing\n"
+      "                        in-process (print/dump/lint flags are not\n"
+      "                        served)\n"
+      "  --health              with --connect: print the daemon's health\n"
+      "                        JSON and exit\n"
       "\n"
       "exit codes: 0 ok | 1 usage | 2 input error | 3 budget exhausted\n"
-      "            (--on-exhaustion=fail) | 4 internal fault\n",
+      "            (--on-exhaustion=fail) | 4 internal fault\n"
+      "            | 5 service unavailable (--connect: unreachable daemon\n"
+      "            or load shed)\n",
       Prog, core::AnalysisRunner::registry().namesString().c_str());
 }
 
@@ -322,6 +346,20 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.StatsJson = "-";
     } else if (const char *VJ = Value("--stats-json=")) {
       Opts.StatsJson = VJ;
+    } else if (const char *VCn = Value("--connect=")) {
+      if (!*VCn) {
+        std::fprintf(stderr, "error: bad --connect '' (want a socket path)\n");
+        return ParseResult::Error;
+      }
+      Opts.Connect = VCn;
+    } else if (Arg == "--health") {
+      Opts.Health = true;
+    } else if (Arg == "--emit-ir") {
+      Opts.EmitIR = "-";
+    } else if (const char *VEI = Value("--emit-ir=")) {
+      Opts.EmitIR = VEI;
+    } else if (Arg == "--deterministic-stats") {
+      Opts.DeterministicStats = true;
     } else if (Arg == "--dump-callgraph") {
       Opts.DumpCallGraph = "-";
     } else if (const char *V2 = Value("--dump-callgraph=")) {
@@ -341,6 +379,13 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (Opts.ListAnalyses)
     return ParseResult::Run; // Needs no input.
+  if (Opts.Health) {
+    if (Opts.Connect.empty()) {
+      std::fprintf(stderr, "error: --health needs --connect\n");
+      return ParseResult::Error;
+    }
+    return ParseResult::Run; // Needs no input either.
+  }
   int Inputs = !Opts.InputFile.empty();
   Inputs += !Opts.BenchName.empty();
   Inputs += Opts.UseGen;
@@ -377,6 +422,27 @@ ParseResult parseArgs(int Argc, char **Argv, Options &Opts) {
     if (Opts.Analysis == "all") {
       std::fprintf(stderr,
                    "error: --findings-json needs one --analysis, not 'all'\n");
+      return ParseResult::Error;
+    }
+  }
+  if (!Opts.Connect.empty()) {
+    // The wire request is one analysis run producing Summary + JSON
+    // documents; interactive print/dump/lint output and ground truth do
+    // not travel, and "all" would be several runs in one request.
+    const char *Refused = Opts.Analysis == "all" ? "--analysis=all"
+                          : Opts.PrintPts        ? "--print-pts"
+                          : Opts.PrintVersions   ? "--print-versions"
+                          : Opts.PrintModule     ? "--print-module"
+                          : Opts.Lint            ? "--lint"
+                          : Opts.InjectBugs      ? "--inject-bugs"
+                          : !Opts.DumpCallGraph.empty() ? "--dump-callgraph"
+                          : !Opts.DumpSVFG.empty()      ? "--dump-svfg"
+                          : !Opts.DumpCFG.empty()       ? "--dump-cfg"
+                          : !Opts.EmitIR.empty()        ? "--emit-ir"
+                                                        : nullptr;
+    if (Refused) {
+      std::fprintf(stderr, "error: %s is not served over --connect\n",
+                   Refused);
       return ParseResult::Error;
     }
   }
@@ -581,8 +647,114 @@ bool reportTaintFindings(const core::AnalysisContext &Ctx,
                   taint::findingsJson(Ctx.module(), Specs, TFs, Name));
 }
 
+/// The thin-client path: translate the parsed options into one wire
+/// request, exchange it with the daemon, replay the daemon's Summary and
+/// documents as if the run had happened here, and exit with the same code
+/// a local run would have produced (docs/SERVICE.md).
+int runConnected(const Options &Opts) {
+  if (Opts.Health) {
+    service::Response H;
+    std::string Error;
+    if (!service::requestHealth(Opts.Connect, H, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return ExitUnavailable;
+    }
+    std::fputs(H.StatsJson.c_str(), stdout);
+    return service::statusExitCode(H.St);
+  }
+
+  service::AnalyzeRequest Req;
+  Req.Analysis = Opts.Analysis;
+  Req.Mode = Opts.Mode;
+  Req.QueryTimeBudget = Opts.QueryTimeBudget;
+  Req.QueryStepBudget = Opts.QueryStepBudget;
+  Req.PtsRepr = Opts.PtsRepr;
+  Req.Coalesce = Opts.Coalesce;
+  Req.CheckMask = Opts.CheckMask;
+  Req.AuxCallGraph = Opts.AuxCallGraph;
+  Req.OVS = Opts.OVS;
+  Req.Stats = Opts.Stats;
+  Req.TimeBudget = Opts.TimeBudget;
+  Req.MemBudget = Opts.MemBudget;
+  Req.StepBudget = Opts.StepBudget;
+  Req.Policy = Opts.Policy;
+  Req.Deterministic = Opts.DeterministicStats;
+  Req.WantStats = !Opts.StatsJson.empty();
+  Req.WantFindings = !Opts.FindingsJson.empty();
+  // Spec files are resolved client-side: the daemon sees either the
+  // builtin set or the file's bytes inline, never a client-local path.
+  if (Opts.CheckSpecs == "builtin") {
+    Req.CheckSpecs = "builtin";
+  } else if (!Opts.CheckSpecs.empty()) {
+    std::ifstream In(Opts.CheckSpecs);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Opts.CheckSpecs.c_str());
+      return ExitInput;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Req.CheckSpecs = "inline";
+    Req.SpecText = Buffer.str();
+  }
+  // Forward the fault plan instead of arming locally: the daemon arms it
+  // on the worker serving this request only (the fault matrix in
+  // tests/service_identity.sh drives this end to end).
+  if (const char *Fault = std::getenv("VSFS_FAULT_INJECT"))
+    Req.Fault = Fault;
+  // The module travels as text. A file's bytes go verbatim; a preset or
+  // generated workload is printed — the same rendering --emit-ir writes.
+  if (!Opts.InputFile.empty()) {
+    std::ifstream In(Opts.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Opts.InputFile.c_str());
+      return ExitInput;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Req.ModuleText = Buffer.str();
+  } else {
+    workload::GenConfig C;
+    if (!Opts.BenchName.empty()) {
+      workload::BenchSpec Spec;
+      if (!workload::findBenchmark(Opts.BenchName, Spec)) {
+        std::fprintf(stderr, "error: unknown benchmark '%s'\n",
+                     Opts.BenchName.c_str());
+        return ExitInput;
+      }
+      C = Spec.Config;
+    } else {
+      C.Seed = Opts.GenSeed;
+    }
+    Req.ModuleText = ir::printModule(*workload::generateProgram(C, nullptr));
+  }
+
+  service::Response Resp;
+  std::string Error;
+  if (!service::requestAnalyze(Opts.Connect, Req, Resp, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUnavailable;
+  }
+  std::fputs(Resp.Summary.c_str(), stdout);
+  if (Resp.Cached)
+    std::printf("(served from result cache)\n");
+  if (!Resp.Error.empty())
+    std::fprintf(stderr, "error: %s\n", Resp.Error.c_str());
+  int Exit = service::statusExitCode(Resp.St);
+  if (Exit == ExitOK) {
+    bool WritesOk = true;
+    if (!Opts.StatsJson.empty())
+      WritesOk &= writeOut(Opts.StatsJson, Resp.StatsJson);
+    if (!Opts.FindingsJson.empty())
+      WritesOk &= writeOut(Opts.FindingsJson, Resp.FindingsJson);
+    if (!WritesOk)
+      return ExitInput;
+  }
+  return Exit;
+}
+
 int run(const Options &Opts) {
   adt::setPointsToRepr(Opts.PtsRepr);
+  setDeterministicStats(Opts.DeterministicStats);
 
   // Resolve the taint spec set first: a bad spec set should fail before
   // any analysis work happens.
@@ -654,6 +826,9 @@ int run(const Options &Opts) {
     HaveGT = Opts.InjectBugs;
   }
 
+  if (!Opts.EmitIR.empty())
+    return writeOut(Opts.EmitIR, ir::printModule(Ctx.module())) ? ExitOK
+                                                                : ExitInput;
   if (Opts.PrintModule)
     std::printf("%s\n", ir::printModule(Ctx.module()).c_str());
   if (!Opts.DumpCFG.empty()) {
@@ -988,6 +1163,10 @@ int main(int Argc, char **Argv) {
                  "kind@N[:phase])\n",
                  std::getenv("VSFS_FAULT_INJECT"));
     return ExitUsage;
+  }
+  if (!Opts.Connect.empty()) {
+    FaultInjection::get().disarm(); // Forwarded over the wire instead.
+    return runConnected(Opts);
   }
   return run(Opts);
 }
